@@ -1,0 +1,78 @@
+/**
+ * @file
+ * E9 / ablation: caching vs direct (raw cudaMalloc) allocator. The
+ * paper's "fewer memory fragments" and microsecond-scale malloc
+ * behaviors come from the caching design; this bench quantifies what
+ * changes without it.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/format.h"
+#include "nn/models.h"
+#include "runtime/session.h"
+
+using namespace pinpoint;
+
+namespace {
+
+void
+run_one(const char *label, const nn::Model &model, std::int64_t batch,
+        runtime::AllocatorKind kind)
+{
+    runtime::SessionConfig config;
+    config.batch = batch;
+    config.iterations = 10;
+    config.allocator = kind;
+    const auto r = runtime::run_training(model, config);
+    const auto &s = r.alloc_stats;
+    const double hit_rate =
+        s.alloc_count > 0 ? static_cast<double>(s.cache_hit_count) /
+                                static_cast<double>(s.alloc_count)
+                          : 0.0;
+    std::printf("%-22s %10llu %12llu %10.1f%% %12s %12s %12s\n",
+                label,
+                static_cast<unsigned long long>(s.alloc_count),
+                static_cast<unsigned long long>(s.device_alloc_count),
+                hit_rate * 100.0,
+                format_bytes(s.peak_reserved_bytes).c_str(),
+                format_time(r.iteration_time).c_str(),
+                format_time(r.end_time).c_str());
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("ablation_allocator",
+                  "design-choice ablation (DESIGN.md E9)",
+                  "caching vs direct vs buddy allocator; MLP batch 64 "
+                  "and ResNet-18 batch 32, 10 iterations");
+
+    std::printf("\n%-22s %10s %12s %11s %12s %12s %12s\n", "config",
+                "allocs", "cudaMallocs", "hit rate", "peak rsvd",
+                "iter time", "total time");
+    run_one("mlp/caching", nn::mlp(), 64,
+            runtime::AllocatorKind::kCaching);
+    run_one("mlp/direct", nn::mlp(), 64,
+            runtime::AllocatorKind::kDirect);
+    run_one("mlp/buddy", nn::mlp(), 64,
+            runtime::AllocatorKind::kBuddy);
+    run_one("resnet18/caching", nn::resnet(18), 32,
+            runtime::AllocatorKind::kCaching);
+    run_one("resnet18/direct", nn::resnet(18), 32,
+            runtime::AllocatorKind::kDirect);
+    run_one("resnet18/buddy", nn::resnet(18), 32,
+            runtime::AllocatorKind::kBuddy);
+
+    std::printf("\ntakeaway: the caching allocator serves steady-"
+                "state allocations from its free lists (high hit "
+                "rate, ~zero cudaMallocs after warmup) at the cost "
+                "of holding reserved memory; the direct baseline "
+                "pays a driver call per tensor and inflates "
+                "iteration time; the buddy arena is fast but pays "
+                "power-of-two internal fragmentation (visible in "
+                "peak reserved = whole arena).\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches: consistent
+ * headers and table formatting.
+ */
+#ifndef PINPOINT_BENCH_BENCH_UTIL_H
+#define PINPOINT_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "core/format.h"
+
+namespace pinpoint {
+namespace bench {
+
+/** Prints the standard bench banner. */
+inline void
+banner(const char *experiment, const char *paper_artifact,
+       const char *workload)
+{
+    std::printf("================================================="
+                "=============================\n");
+    std::printf("%s — reproduces %s\n", experiment, paper_artifact);
+    std::printf("workload: %s\n", workload);
+    std::printf("================================================="
+                "=============================\n");
+}
+
+/** Prints a section divider. */
+inline void
+section(const char *title)
+{
+    std::printf("\n--- %s ---\n", title);
+}
+
+}  // namespace bench
+}  // namespace pinpoint
+
+#endif  // PINPOINT_BENCH_BENCH_UTIL_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * E4 / Fig. 4: pair-wise ATI and block size of each memory behavior
+ * during MLP training, including the outlier class (huge ATI AND
+ * huge block) the paper red-marks: ATI 840211 us with a 1200 MB
+ * block, for which Eq. 1 allows ~2.54 GB of hidden swap.
+ *
+ * The outlier is produced by a device-resident dataset staging
+ * buffer that is shuffled once per epoch (see DESIGN.md,
+ * substitution table). The epoch length is auto-calibrated so the
+ * staging ATI lands at the paper's ~0.84 s.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/ati.h"
+#include "analysis/outliers.h"
+#include "analysis/stats.h"
+#include "bench_util.h"
+#include "core/format.h"
+#include "nn/models.h"
+#include "runtime/session.h"
+
+using namespace pinpoint;
+
+int
+main()
+{
+    bench::banner("fig4_ati_size_pairs",
+                  "Fig. 4 (pair-wise ATI and block size)",
+                  "MLP, batch 64, 1200 MB on-device dataset shard "
+                  "shuffled once per epoch, 2 epochs + 1 iteration");
+
+    // Calibrate: measure one iteration, then pick the epoch length
+    // that reproduces the paper's ~840 ms outlier ATI.
+    runtime::SessionConfig probe;
+    probe.batch = 64;
+    probe.iterations = 5;
+    probe.record_trace = false;
+    const auto probe_result = runtime::run_training(nn::mlp(), probe);
+    const double iter_us = to_us(probe_result.iteration_time);
+    const int iters_per_epoch =
+        std::max(1, static_cast<int>(840211.0 / iter_us));
+    std::printf("calibration: iteration time %.1f us -> %d "
+                "iterations/epoch\n",
+                iter_us, iters_per_epoch);
+
+    runtime::SessionConfig config;
+    config.batch = 64;
+    config.engine.staging_buffer_bytes = 1200ull * 1024 * 1024;
+    config.engine.iterations_per_epoch = iters_per_epoch;
+    config.iterations = 2 * iters_per_epoch + 1;
+    const auto result = runtime::run_training(nn::mlp(), config);
+
+    const auto atis = analysis::compute_atis(result.trace);
+    std::printf("%zu memory behaviors, %zu ATI samples\n",
+                result.trace.size(), atis.size());
+
+    bench::section("pair-wise series (subsampled; x=behavior index, "
+                   "ATI left axis, size right axis)");
+    std::printf("%12s %14s %12s %13s\n", "behavior#", "ATI (us)",
+                "size (MB)", "category");
+    const std::size_t step = std::max<std::size_t>(1,
+                                                   atis.size() / 40);
+    for (std::size_t i = 0; i < atis.size(); i += step) {
+        const auto &s = atis[i];
+        std::printf("%12zu %14.1f %12.2f %13s\n", s.behavior_index,
+                    to_us(s.interval),
+                    static_cast<double>(s.size) / (1024.0 * 1024.0),
+                    category_name(s.category));
+    }
+
+    bench::section("outliers (ATI > 0.8 s AND size > 600 MB)");
+    const auto outliers =
+        analysis::sift_outliers(atis, analysis::OutlierCriteria{});
+    const analysis::LinkBandwidth link{6.4e9, 6.3e9};
+    const auto ranked = analysis::rank_swap_candidates(outliers, link);
+    std::printf("%12s %14s %12s %16s %10s\n", "behavior#", "ATI",
+                "size", "Eq.1 bound", "swappable");
+    for (const auto &c : ranked) {
+        std::printf("%12zu %14s %12s %16s %10s\n",
+                    c.sample.behavior_index,
+                    format_time(c.sample.interval).c_str(),
+                    format_bytes(c.sample.size).c_str(),
+                    format_bytes(static_cast<std::size_t>(
+                                     c.max_hideable_bytes))
+                        .c_str(),
+                    c.swappable ? "yes" : "no");
+    }
+
+    bench::section("paper checkpoints");
+    if (!ranked.empty()) {
+        const auto &top = ranked.front();
+        std::printf("red-marked outlier equivalent: ATI %s, size %s "
+                    "(paper: 840211 us, 1200 MB)\n",
+                    format_time(top.sample.interval).c_str(),
+                    format_bytes(top.sample.size).c_str());
+        std::printf("Eq. 1 headroom at that ATI: %s (paper: ~2.54 GB "
+                    "at 0.8 s) -> %s\n",
+                    format_bytes(static_cast<std::size_t>(
+                                     top.max_hideable_bytes))
+                        .c_str(),
+                    top.swappable
+                        ? "the whole block can be swapped for free"
+                        : "not hideable");
+    } else {
+        std::printf("NO outliers found — calibration regressed\n");
+        return 1;
+    }
+    const auto us = analysis::ati_microseconds(atis);
+    const auto summary = analysis::summarize(us);
+    std::printf("bulk of behaviors remains negligible: median ATI "
+                "%.1f us, p75 %.1f us\n",
+                summary.median, summary.p75);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * E7 / Fig. 7: occupation breakdown of the non-linear DNN (ResNet)
+ * on ImageNet (224x224) across layer structures (ResNet-18/34/50/
+ * 101/152) and batch sizes. Cells that exceed the Titan X's 12 GB
+ * report OOM — exactly the capacity wall the paper's introduction
+ * motivates.
+ */
+#include <cstdio>
+
+#include "alloc/device_memory.h"
+#include "analysis/breakdown.h"
+#include "bench_util.h"
+#include "core/format.h"
+#include "nn/models.h"
+#include "runtime/session.h"
+
+using namespace pinpoint;
+
+int
+main()
+{
+    bench::banner("fig7_resnet_depth",
+                  "Fig. 7 (ResNet / ImageNet breakdown vs depth)",
+                  "ResNet-18/34/50/101/152, 224x224 inputs, batch "
+                  "16/32/64, 3 iterations each, Titan X 12GB");
+
+    std::printf("\n%-10s %6s %12s %10s %10s %10s\n", "model", "batch",
+                "peak", "input", "params", "interm");
+    for (int depth : {18, 34, 50, 101, 152}) {
+        const nn::Model model = nn::resnet(depth);
+        for (std::int64_t batch : {16, 32, 64}) {
+            runtime::SessionConfig config;
+            config.batch = batch;
+            config.iterations = 3;
+            try {
+                const auto result =
+                    runtime::run_training(model, config);
+                const auto b =
+                    analysis::occupation_breakdown(result.trace);
+                std::printf(
+                    "%-10s %6lld %12s %10s %10s %10s\n",
+                    model.name.c_str(),
+                    static_cast<long long>(batch),
+                    format_bytes(b.peak_total).c_str(),
+                    format_percent(b.fraction(Category::kInput))
+                        .c_str(),
+                    format_percent(b.fraction(Category::kParameter))
+                        .c_str(),
+                    format_percent(
+                        b.fraction(Category::kIntermediate))
+                        .c_str());
+            } catch (const alloc::DeviceOomError &e) {
+                std::printf("%-10s %6lld %12s (requested %s beyond "
+                            "device capacity)\n",
+                            model.name.c_str(),
+                            static_cast<long long>(batch), "OOM",
+                            format_bytes(e.requested).c_str());
+            }
+        }
+    }
+
+    std::printf("\npaper checkpoints: deeper ResNets shift the "
+                "breakdown further toward intermediates; parameters "
+                "stay a minor share at every depth; larger batches "
+                "amplify the effect until the 12 GB device OOMs.\n");
+    return 0;
+}

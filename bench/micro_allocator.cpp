@@ -1,0 +1,109 @@
+/**
+ * @file
+ * E10 / microbenchmark: host-side throughput of the allocator
+ * implementations themselves (google-benchmark). This measures the
+ * simulator's own data structures, not simulated time: the caching
+ * allocator must be cheap enough to instrument million-event traces.
+ */
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "alloc/caching_allocator.h"
+#include "alloc/device_memory.h"
+#include "alloc/direct_allocator.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+
+using namespace pinpoint;
+
+namespace {
+
+struct Fixture {
+    alloc::DeviceMemory device{12ull * 1024 * 1024 * 1024};
+    sim::VirtualClock clock;
+    sim::CostModel cost{sim::DeviceSpec::titan_x_pascal()};
+};
+
+void
+BM_CachingSameSizeChurn(benchmark::State &state)
+{
+    Fixture f;
+    alloc::CachingAllocator a(f.device, f.clock, f.cost);
+    const auto size = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto b = a.allocate(size);
+        benchmark::DoNotOptimize(b.ptr);
+        a.deallocate(b.id);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_DirectSameSizeChurn(benchmark::State &state)
+{
+    Fixture f;
+    alloc::DirectAllocator a(f.device, f.clock, f.cost);
+    const auto size = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto b = a.allocate(size);
+        benchmark::DoNotOptimize(b.ptr);
+        a.deallocate(b.id);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CachingMixedLifetimes(benchmark::State &state)
+{
+    Fixture f;
+    alloc::CachingAllocator a(f.device, f.clock, f.cost);
+    std::mt19937_64 rng(42);
+    std::uniform_int_distribution<std::size_t> size_dist(256,
+                                                         4 << 20);
+    std::vector<BlockId> live;
+    for (auto _ : state) {
+        if (!live.empty() && (rng() & 1)) {
+            const std::size_t i = rng() % live.size();
+            a.deallocate(live[i]);
+            live[i] = live.back();
+            live.pop_back();
+        } else {
+            live.push_back(a.allocate(size_dist(rng)).id);
+        }
+    }
+    for (BlockId id : live)
+        a.deallocate(id);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_DeviceMemoryFirstFit(benchmark::State &state)
+{
+    alloc::DeviceMemory device(12ull * 1024 * 1024 * 1024);
+    std::mt19937_64 rng(7);
+    std::vector<DevPtr> live;
+    for (auto _ : state) {
+        if (live.size() > 256 || (!live.empty() && (rng() & 3) == 0)) {
+            const std::size_t i = rng() % live.size();
+            device.free(live[i]);
+            live[i] = live.back();
+            live.pop_back();
+        } else {
+            live.push_back(device.allocate(2 << 20));
+        }
+    }
+    for (DevPtr p : live)
+        device.free(p);
+    state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_CachingSameSizeChurn)->Arg(512)->Arg(1 << 20)->Arg(64 << 20);
+BENCHMARK(BM_DirectSameSizeChurn)->Arg(512)->Arg(1 << 20);
+BENCHMARK(BM_CachingMixedLifetimes);
+BENCHMARK(BM_DeviceMemoryFirstFit);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Capstone example: compare every memory-pressure-relief lever the
+ * library models on one workload — the question the paper's
+ * characterization exists to answer. For MobileNetV1 at batch 64 on
+ * the 12 GB Titan X:
+ *
+ *   1. baseline            (nothing)
+ *   2. gradient accumulation (micro-batches = 4)
+ *   3. activation checkpointing (every 8)
+ *   4. half precision       (f16)
+ *   5. swapping             (planner + executor, hideable only)
+ *
+ * Each row reports the peak footprint, the simulated iteration time,
+ * and the mechanism's currency (launches, recompute, precision,
+ * PCIe traffic).
+ *
+ * Build & run:  ./build/examples/memory_relief_comparison
+ */
+#include <cstdio>
+
+#include "analysis/breakdown.h"
+#include "core/format.h"
+#include "nn/models.h"
+#include "runtime/session.h"
+#include "swap/executor.h"
+#include "swap/planner.h"
+
+using namespace pinpoint;
+
+namespace {
+
+struct Row {
+    const char *label;
+    std::size_t peak;
+    TimeNs iter_time;
+    std::string note;
+};
+
+Row
+run_config(const char *label, runtime::SessionConfig config,
+           const std::string &note)
+{
+    const auto r =
+        runtime::run_training(nn::mobilenet_v1(), config);
+    const auto b = analysis::occupation_breakdown(r.trace);
+    return {label, b.peak_total, r.iteration_time, note};
+}
+
+}  // namespace
+
+int
+main()
+{
+    runtime::SessionConfig base;
+    base.batch = 64;
+    base.iterations = 3;
+
+    std::vector<Row> rows;
+    rows.push_back(run_config("baseline", base, "-"));
+
+    {
+        auto c = base;
+        c.plan.micro_batches = 4;
+        rows.push_back(run_config("grad accumulation x4", c,
+                                  "4x kernel launches"));
+    }
+    {
+        auto c = base;
+        c.plan.checkpoint_every = 8;
+        rows.push_back(run_config("checkpointing /8", c,
+                                  "forward recompute"));
+    }
+    {
+        auto c = base;
+        c.plan.dtype = DType::kF16;
+        rows.push_back(
+            run_config("half precision", c, "numeric range"));
+    }
+    {
+        // Swapping: plan on the baseline trace, execute, and report
+        // the residency-adjusted peak.
+        const auto r = runtime::run_training(nn::mobilenet_v1(), base);
+        swap::PlannerOptions opts;
+        opts.link = analysis::LinkBandwidth{base.device.d2h_bw_bps,
+                                            base.device.h2d_bw_bps};
+        const auto plan = swap::SwapPlanner(opts).plan(r.trace);
+        const auto exec =
+            swap::execute_plan(r.trace, plan, opts.link);
+        char note[64];
+        std::snprintf(note, sizeof(note), "%s over PCIe",
+                      format_bytes(exec.d2h_bytes).c_str());
+        rows.push_back({"swapping (hideable)", exec.new_peak_bytes,
+                        r.iteration_time, note});
+    }
+
+    std::printf("memory-pressure relief on mobilenet_v1, batch 64, "
+                "Titan X 12GB\n\n");
+    std::printf("%-22s %12s %10s %12s  %s\n", "lever", "peak",
+                "vs base", "iter time", "currency");
+    const double base_peak = static_cast<double>(rows[0].peak);
+    for (const auto &row : rows) {
+        std::printf("%-22s %12s %9.0f%% %12s  %s\n", row.label,
+                    format_bytes(row.peak).c_str(),
+                    100.0 * static_cast<double>(row.peak) / base_peak,
+                    format_time(row.iter_time).c_str(),
+                    row.note.c_str());
+    }
+    std::printf("\nall four levers attack the intermediate term the "
+                "paper pinpoints as dominant; swapping is the only "
+                "one that is free when (and only when) the trace has "
+                "Eq. 1-sized gaps.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Swap advisor: the paper's future-work tool as a user workflow.
+ * Record the memory behaviors of a training run, feed the trace to
+ * the automatic planner, and print an actionable swap schedule with
+ * predicted savings — all driven by the Eq. 1 cost model.
+ *
+ * Build & run:  ./build/examples/swap_advisor
+ */
+#include <cstdio>
+
+#include "core/format.h"
+#include "nn/models.h"
+#include "runtime/session.h"
+#include "swap/planner.h"
+
+using namespace pinpoint;
+
+int
+main()
+{
+    // 1. Characterize: ResNet-50 at batch 16 on the Titan X.
+    nn::Model model = nn::resnet(50);
+    runtime::SessionConfig config;
+    config.batch = 16;
+    config.iterations = 3;
+    const auto result = runtime::run_training(model, config);
+    std::printf("characterized %s batch %lld: peak %s on a %s "
+                "device\n\n",
+                model.name.c_str(),
+                static_cast<long long>(config.batch),
+                format_bytes(result.usage.peak_total).c_str(),
+                format_bytes(config.device.dram_bytes).c_str());
+
+    // 2. Plan: hideable swaps only, with 25% safety margin.
+    swap::PlannerOptions opts;
+    opts.link = analysis::LinkBandwidth{config.device.d2h_bw_bps,
+                                        config.device.h2d_bw_bps};
+    opts.safety_factor = 1.25;
+    opts.min_block_bytes = 8 * 1024 * 1024;
+    const auto plan = swap::SwapPlanner(opts).plan(result.trace);
+
+    std::printf("planner found %zu hideable swap windows\n",
+                plan.decisions.size());
+    std::printf("peak footprint:    %s\n",
+                format_bytes(plan.original_peak_bytes).c_str());
+    std::printf("peak reduction:    %s (%.1f%%)\n",
+                format_bytes(plan.peak_reduction_bytes).c_str(),
+                100.0 * static_cast<double>(plan.peak_reduction_bytes) /
+                    static_cast<double>(plan.original_peak_bytes));
+    std::printf("predicted stall:   %s\n\n",
+                format_time(plan.predicted_overhead).c_str());
+
+    // 3. Inspect the top schedule entries.
+    std::printf("%-6s %10s %14s %14s %10s\n", "block", "size",
+                "swap out at", "back in by", "headroom");
+    int rows = 0;
+    for (const auto &d : plan.decisions) {
+        if (rows++ >= 12) {
+            std::printf("... (%zu more)\n",
+                        plan.decisions.size() - 12);
+            break;
+        }
+        std::printf("%-6llu %10s %14s %14s %9.1fx\n",
+                    static_cast<unsigned long long>(d.block),
+                    format_bytes(d.size).c_str(),
+                    format_time(d.gap_start).c_str(),
+                    format_time(d.gap_end).c_str(), d.hide_ratio);
+    }
+    return 0;
+}

@@ -1,0 +1,188 @@
+#include "alloc/buddy_allocator.h"
+
+#include <algorithm>
+
+namespace pinpoint {
+namespace alloc {
+
+std::size_t
+BuddyAllocator::round_pow2(std::size_t bytes)
+{
+    std::size_t p = std::size_t(1) << kMinOrder;
+    while (p < bytes)
+        p <<= 1;
+    return p;
+}
+
+int
+BuddyAllocator::order_of(std::size_t bytes)
+{
+    int order = kMinOrder;
+    std::size_t p = std::size_t(1) << kMinOrder;
+    while (p < bytes) {
+        p <<= 1;
+        ++order;
+    }
+    return order;
+}
+
+BuddyAllocator::BuddyAllocator(DeviceMemory &device,
+                               sim::VirtualClock &clock,
+                               const sim::CostModel &cost,
+                               std::size_t arena_bytes)
+    : device_(device), clock_(clock), cost_(cost)
+{
+    PP_CHECK(arena_bytes >= (std::size_t(1) << kMinOrder),
+             "arena must hold at least one minimum block");
+    arena_size_ = round_pow2(arena_bytes);
+    max_order_ = order_of(arena_size_);
+    clock_.advance(cost_.cuda_malloc_time());
+    arena_base_ = device_.allocate(arena_size_);  // may throw OOM
+    ++stats_.device_alloc_count;
+    stats_.reserved_bytes = arena_size_;
+    stats_.peak_reserved_bytes = arena_size_;
+
+    free_lists_.resize(static_cast<std::size_t>(max_order_) + 1);
+    free_lists_[static_cast<std::size_t>(max_order_)].insert(0);
+}
+
+BuddyAllocator::~BuddyAllocator()
+{
+    if (arena_base_ != kNullDevPtr)
+        device_.free(arena_base_);
+}
+
+Block
+BuddyAllocator::allocate(std::size_t bytes)
+{
+    PP_CHECK(bytes > 0, "cannot allocate zero bytes");
+    const int order = order_of(bytes);
+    PP_CHECK(order <= max_order_,
+             "request " << bytes << " exceeds arena " << arena_size_);
+
+    // Find the smallest order with a free block.
+    int found = -1;
+    for (int o = order; o <= max_order_; ++o) {
+        if (!free_lists_[static_cast<std::size_t>(o)].empty()) {
+            found = o;
+            break;
+        }
+    }
+    if (found < 0) {
+        throw DeviceOomError(
+            "buddy arena exhausted", std::size_t(1) << order,
+            arena_size_ - stats_.allocated_bytes, 0);
+    }
+
+    auto &from = free_lists_[static_cast<std::size_t>(found)];
+    std::size_t offset = *from.begin();
+    from.erase(from.begin());
+    // Split down to the requested order, freeing the upper halves.
+    for (int o = found; o > order; --o) {
+        const std::size_t half = std::size_t(1) << (o - 1);
+        free_lists_[static_cast<std::size_t>(o - 1)].insert(offset +
+                                                            half);
+        ++stats_.split_count;
+    }
+
+    LiveBlock lb;
+    lb.offset = offset;
+    lb.order = order;
+    lb.pub.id = next_id_++;
+    lb.pub.ptr = arena_base_ + offset;
+    lb.pub.size = std::size_t(1) << order;
+    lb.pub.requested = bytes;
+    const Block pub = lb.pub;
+    live_offsets_.emplace(offset, order);
+    live_.emplace(pub.id, std::move(lb));
+
+    ++stats_.alloc_count;
+    ++stats_.cache_hit_count;  // arena ops never touch the driver
+    stats_.allocated_bytes += pub.size;
+    stats_.peak_allocated_bytes =
+        std::max(stats_.peak_allocated_bytes, stats_.allocated_bytes);
+    clock_.advance(kOpCostNs);
+    return pub;
+}
+
+void
+BuddyAllocator::deallocate(BlockId id)
+{
+    auto it = live_.find(id);
+    PP_CHECK(it != live_.end(), "deallocate of unknown block " << id);
+    std::size_t offset = it->second.offset;
+    int order = it->second.order;
+    const std::size_t size = it->second.pub.size;
+    live_offsets_.erase(offset);
+    live_.erase(it);
+
+    // Coalesce with free buddies as far up as possible.
+    while (order < max_order_) {
+        const std::size_t buddy =
+            offset ^ (std::size_t(1) << order);
+        auto &fl = free_lists_[static_cast<std::size_t>(order)];
+        auto bit = fl.find(buddy);
+        if (bit == fl.end())
+            break;
+        fl.erase(bit);
+        offset = std::min(offset, buddy);
+        ++order;
+        ++stats_.merge_count;
+    }
+    free_lists_[static_cast<std::size_t>(order)].insert(offset);
+
+    stats_.allocated_bytes -= size;
+    ++stats_.free_count;
+    clock_.advance(kOpCostNs);
+}
+
+const Block &
+BuddyAllocator::block(BlockId id) const
+{
+    auto it = live_.find(id);
+    PP_CHECK(it != live_.end(), "unknown block " << id);
+    return it->second.pub;
+}
+
+void
+BuddyAllocator::check_invariants() const
+{
+    // Free blocks: within the arena, aligned to their size, and no
+    // free block's buddy at the same order is also free (they would
+    // have merged).
+    std::size_t free_bytes = 0;
+    for (int o = kMinOrder; o <= max_order_; ++o) {
+        const auto &fl = free_lists_[static_cast<std::size_t>(o)];
+        const std::size_t size = std::size_t(1) << o;
+        for (std::size_t offset : fl) {
+            PP_ASSERT(offset % size == 0,
+                      "misaligned free block at order " << o);
+            PP_ASSERT(offset + size <= arena_size_,
+                      "free block escapes the arena");
+            if (o < max_order_) {
+                const std::size_t buddy = offset ^ size;
+                PP_ASSERT(!fl.count(buddy),
+                          "unmerged free buddies at order " << o);
+            }
+            free_bytes += size;
+        }
+    }
+    std::size_t live_bytes = 0;
+    for (const auto &[id, lb] : live_) {
+        PP_ASSERT(lb.offset % lb.pub.size == 0,
+                  "misaligned live block");
+        PP_ASSERT(live_offsets_.count(lb.offset),
+                  "live offset index out of sync");
+        live_bytes += lb.pub.size;
+    }
+    PP_ASSERT(live_offsets_.size() == live_.size(),
+              "live offset index size mismatch");
+    PP_ASSERT(free_bytes + live_bytes == arena_size_,
+              "arena bytes unaccounted: free " << free_bytes
+              << " + live " << live_bytes << " != " << arena_size_);
+    PP_ASSERT(live_bytes == stats_.allocated_bytes,
+              "allocated_bytes stat drifted");
+}
+
+}  // namespace alloc
+}  // namespace pinpoint

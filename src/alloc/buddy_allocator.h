@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Binary buddy allocator over a single device arena.
+ *
+ * A third design point for the allocator ablation (E9): constant-time
+ * coalescing and no external fragmentation inside the arena, bought
+ * with power-of-two internal fragmentation — the opposite trade from
+ * the PyTorch caching allocator. Modeled after classic kernel buddy
+ * systems.
+ */
+#ifndef PINPOINT_ALLOC_BUDDY_ALLOCATOR_H
+#define PINPOINT_ALLOC_BUDDY_ALLOCATOR_H
+
+#include <cstddef>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "alloc/device_memory.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+
+namespace pinpoint {
+namespace alloc {
+
+/**
+ * Buddy allocator. Reserves one power-of-two arena from the device
+ * at construction; every block is a power-of-two subdivision of it.
+ */
+class BuddyAllocator : public Allocator
+{
+  public:
+    /** Smallest block size handed out (2^9 = 512, cudaMalloc align). */
+    static constexpr std::size_t kMinOrder = 9;
+
+    /**
+     * @param device backing address space (arena reserved here).
+     * @param clock simulated clock advanced by operation costs.
+     * @param cost cost model for the arena's one-time cudaMalloc.
+     * @param arena_bytes arena size; rounded up to a power of two.
+     * @throws DeviceOomError when the arena does not fit the device.
+     */
+    BuddyAllocator(DeviceMemory &device, sim::VirtualClock &clock,
+                   const sim::CostModel &cost,
+                   std::size_t arena_bytes);
+    ~BuddyAllocator() override;
+
+    BuddyAllocator(const BuddyAllocator &) = delete;
+    BuddyAllocator &operator=(const BuddyAllocator &) = delete;
+
+    Block allocate(std::size_t bytes) override;
+    void deallocate(BlockId id) override;
+    const Block &block(BlockId id) const override;
+    const AllocatorStats &stats() const override { return stats_; }
+    std::string name() const override { return "buddy"; }
+    std::size_t live_blocks() const override { return live_.size(); }
+
+    /** @return the arena size in bytes. */
+    std::size_t arena_bytes() const { return arena_size_; }
+
+    /** @return rounded (power-of-two) size for a request. */
+    static std::size_t round_pow2(std::size_t bytes);
+
+    /**
+     * Validates free-list consistency and no-overlap invariants;
+     * aborts on violation (property tests).
+     */
+    void check_invariants() const;
+
+  private:
+    /** Order of the smallest power-of-two block >= bytes. */
+    static int order_of(std::size_t bytes);
+
+    DeviceMemory &device_;
+    sim::VirtualClock &clock_;
+    const sim::CostModel &cost_;
+    AllocatorStats stats_;
+    BlockId next_id_ = 0;
+
+    DevPtr arena_base_ = kNullDevPtr;
+    std::size_t arena_size_ = 0;
+    int max_order_ = 0;
+
+    /** Free block offsets per order. */
+    std::vector<std::set<std::size_t>> free_lists_;
+    /** Live block id → (offset, order). */
+    struct LiveBlock {
+        std::size_t offset;
+        int order;
+        Block pub;
+    };
+    std::unordered_map<BlockId, LiveBlock> live_;
+    /** Offsets of live blocks, for buddy-state lookups. */
+    std::unordered_map<std::size_t, int> live_offsets_;
+
+    static constexpr TimeNs kOpCostNs = 300;
+};
+
+}  // namespace alloc
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ALLOC_BUDDY_ALLOCATOR_H

@@ -1,0 +1,315 @@
+#include "alloc/caching_allocator.h"
+
+#include <algorithm>
+
+namespace pinpoint {
+namespace alloc {
+namespace {
+
+std::size_t
+round_up(std::size_t n, std::size_t a)
+{
+    return (n + a - 1) / a * a;
+}
+
+}  // namespace
+
+CachingAllocator::CachingAllocator(DeviceMemory &device,
+                                   sim::VirtualClock &clock,
+                                   const sim::CostModel &cost)
+    : device_(device), clock_(clock), cost_(cost)
+{
+}
+
+CachingAllocator::~CachingAllocator() = default;
+
+std::size_t
+CachingAllocator::round_size(std::size_t bytes)
+{
+    if (bytes < kMinBlockSize)
+        return kMinBlockSize;
+    return round_up(bytes, kMinBlockSize);
+}
+
+std::size_t
+CachingAllocator::allocation_size(std::size_t size)
+{
+    if (size <= kSmallSize)
+        return kSmallBuffer;
+    if (size < kMinLargeAlloc)
+        return kLargeBuffer;
+    return round_up(size, kRoundLarge);
+}
+
+CachingAllocator::Pool &
+CachingAllocator::pool_for(std::size_t rounded)
+{
+    return rounded <= kSmallSize ? small_pool_ : large_pool_;
+}
+
+CachingAllocator::Pool &
+CachingAllocator::pool_of(const Node &node)
+{
+    return node.is_small_pool ? small_pool_ : large_pool_;
+}
+
+const CachingAllocator::Pool &
+CachingAllocator::pool_of(const Node &node) const
+{
+    return node.is_small_pool ? small_pool_ : large_pool_;
+}
+
+CachingAllocator::Node *
+CachingAllocator::take_free_node(Pool &pool, std::size_t rounded)
+{
+    Node key;
+    key.size = rounded;
+    key.ptr = 0;
+    auto it = pool.lower_bound(&key);
+    if (it == pool.end())
+        return nullptr;
+    Node *node = *it;
+    pool.erase(it);
+    return node;
+}
+
+CachingAllocator::Node *
+CachingAllocator::allocate_segment(std::size_t rounded)
+{
+    const std::size_t seg_size = allocation_size(rounded);
+    DevPtr base = kNullDevPtr;
+    clock_.advance(cost_.cuda_malloc_time());
+    try {
+        base = device_.allocate(seg_size);
+    } catch (const DeviceOomError &) {
+        // Mirror PyTorch: release every cached-but-unused segment and
+        // retry once before surfacing the OOM to the caller.
+        release_cached_segments();
+        clock_.advance(cost_.cuda_malloc_time());
+        base = device_.allocate(seg_size);  // may rethrow
+    }
+    ++stats_.device_alloc_count;
+    stats_.reserved_bytes += seg_size;
+    stats_.peak_reserved_bytes =
+        std::max(stats_.peak_reserved_bytes, stats_.reserved_bytes);
+
+    auto node = std::make_unique<Node>();
+    node->ptr = base;
+    node->size = seg_size;
+    node->is_small_pool = rounded <= kSmallSize;
+    node->segment_base = base;
+    node->segment_size = seg_size;
+    Node *raw = node.get();
+    nodes_.emplace(base, std::move(node));
+    return raw;
+}
+
+bool
+CachingAllocator::should_split(const Node &node, std::size_t rounded)
+{
+    const std::size_t remaining = node.size - rounded;
+    if (node.is_small_pool)
+        return remaining >= kMinBlockSize;
+    return remaining > kSmallSize;
+}
+
+void
+CachingAllocator::maybe_split(Node *node, std::size_t rounded)
+{
+    if (node->size == rounded || !should_split(*node, rounded))
+        return;
+
+    auto rest = std::make_unique<Node>();
+    rest->ptr = node->ptr + rounded;
+    rest->size = node->size - rounded;
+    rest->allocated = false;
+    rest->is_small_pool = node->is_small_pool;
+    rest->segment_base = node->segment_base;
+    rest->segment_size = node->segment_size;
+    rest->prev = node;
+    rest->next = node->next;
+    if (node->next)
+        node->next->prev = rest.get();
+    node->next = rest.get();
+    node->size = rounded;
+
+    pool_of(*rest).insert(rest.get());
+    nodes_.emplace(rest->ptr, std::move(rest));
+    ++stats_.split_count;
+}
+
+Block
+CachingAllocator::allocate(std::size_t bytes)
+{
+    PP_CHECK(bytes > 0, "cannot allocate zero bytes");
+    const std::size_t rounded = round_size(bytes);
+    Pool &pool = pool_for(rounded);
+
+    Node *node = take_free_node(pool, rounded);
+    if (node) {
+        ++stats_.cache_hit_count;
+        clock_.advance(kCacheHitCostNs);
+    } else {
+        node = allocate_segment(rounded);
+    }
+    maybe_split(node, rounded);
+    node->allocated = true;
+
+    Block b;
+    b.id = next_id_++;
+    b.ptr = node->ptr;
+    b.size = node->size;
+    b.requested = bytes;
+    live_nodes_.emplace(b.id, node);
+    live_.emplace(b.id, b);
+
+    ++stats_.alloc_count;
+    stats_.allocated_bytes += node->size;
+    stats_.peak_allocated_bytes =
+        std::max(stats_.peak_allocated_bytes, stats_.allocated_bytes);
+    return b;
+}
+
+CachingAllocator::Node *
+CachingAllocator::merge_with(Node *node, Node *neighbor)
+{
+    PP_ASSERT(!neighbor->allocated, "merging with an allocated node");
+    Node *first = neighbor->ptr < node->ptr ? neighbor : node;
+    Node *second = first == node ? neighbor : node;
+    PP_ASSERT(first->ptr + first->size == second->ptr,
+              "merge candidates are not adjacent");
+
+    pool_of(*neighbor).erase(neighbor);
+
+    first->size += second->size;
+    first->next = second->next;
+    if (second->next)
+        second->next->prev = first;
+    nodes_.erase(second->ptr);
+    ++stats_.merge_count;
+    return first;
+}
+
+void
+CachingAllocator::deallocate(BlockId id)
+{
+    auto it = live_nodes_.find(id);
+    PP_CHECK(it != live_nodes_.end(),
+             "deallocate of unknown block " << id);
+    Node *node = it->second;
+    const std::size_t size = node->size;
+    live_nodes_.erase(it);
+    live_.erase(id);
+
+    node->allocated = false;
+    if (node->prev && !node->prev->allocated)
+        node = merge_with(node, node->prev);
+    if (node->next && !node->next->allocated)
+        node = merge_with(node, node->next);
+    pool_of(*node).insert(node);
+
+    stats_.allocated_bytes -= size;
+    ++stats_.free_count;
+    clock_.advance(kCacheFreeCostNs);
+}
+
+const Block &
+CachingAllocator::block(BlockId id) const
+{
+    auto it = live_.find(id);
+    PP_CHECK(it != live_.end(), "unknown block " << id);
+    return it->second;
+}
+
+std::size_t
+CachingAllocator::release_cached_segments()
+{
+    std::size_t released = 0;
+    for (Pool *pool : {&small_pool_, &large_pool_}) {
+        for (auto it = pool->begin(); it != pool->end();) {
+            Node *node = *it;
+            const bool whole_segment =
+                !node->prev && !node->next &&
+                node->size == node->segment_size;
+            if (!whole_segment) {
+                ++it;
+                continue;
+            }
+            it = pool->erase(it);
+            device_.free(node->segment_base);
+            clock_.advance(cost_.cuda_free_time());
+            released += node->size;
+            stats_.reserved_bytes -= node->size;
+            ++stats_.device_free_count;
+            nodes_.erase(node->ptr);
+        }
+    }
+    return released;
+}
+
+void
+CachingAllocator::empty_cache()
+{
+    release_cached_segments();
+}
+
+std::vector<SegmentInfo>
+CachingAllocator::segments() const
+{
+    std::vector<SegmentInfo> out;
+    for (const auto &[ptr, node] : nodes_) {
+        if (node->ptr != node->segment_base)
+            continue;  // not a segment head
+        SegmentInfo seg;
+        seg.base = node->segment_base;
+        seg.size = node->segment_size;
+        seg.is_small_pool = node->is_small_pool;
+        for (const Node *n = node.get(); n; n = n->next)
+            seg.blocks.push_back({n->ptr, n->size, n->allocated});
+        out.push_back(std::move(seg));
+    }
+    return out;
+}
+
+void
+CachingAllocator::check_invariants() const
+{
+    std::size_t allocated = 0;
+    std::size_t reserved = 0;
+    for (const auto &[ptr, node] : nodes_) {
+        PP_ASSERT(node->ptr == ptr, "node map key mismatch");
+        if (node->next) {
+            PP_ASSERT(node->next->prev == node.get(),
+                      "asymmetric next/prev links");
+            PP_ASSERT(node->ptr + node->size == node->next->ptr,
+                      "gap or overlap between adjacent nodes");
+            PP_ASSERT(node->segment_base == node->next->segment_base,
+                      "next link crosses a segment boundary");
+            PP_ASSERT(!(!node->allocated && !node->next->allocated),
+                      "two adjacent free nodes were not merged");
+        }
+        if (node->allocated)
+            allocated += node->size;
+        if (node->ptr == node->segment_base) {
+            reserved += node->segment_size;
+            std::size_t covered = 0;
+            for (const Node *n = node.get(); n; n = n->next)
+                covered += n->size;
+            PP_ASSERT(covered == node->segment_size,
+                      "segment nodes do not cover the segment");
+        }
+        const bool in_pool =
+            pool_of(*node).count(const_cast<Node *>(node.get())) > 0;
+        PP_ASSERT(node->allocated != in_pool,
+                  "free-pool membership must equal !allocated");
+    }
+    PP_ASSERT(allocated == stats_.allocated_bytes,
+              "allocated_bytes stat drifted: walked " << allocated
+              << " stat " << stats_.allocated_bytes);
+    PP_ASSERT(reserved == stats_.reserved_bytes,
+              "reserved_bytes stat drifted: walked " << reserved
+              << " stat " << stats_.reserved_bytes);
+}
+
+}  // namespace alloc
+}  // namespace pinpoint

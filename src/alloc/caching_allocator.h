@@ -1,0 +1,175 @@
+/**
+ * @file
+ * PyTorch-style caching device allocator.
+ *
+ * Reimplements the algorithm of PyTorch's CUDACachingAllocator, the
+ * allocator the paper instruments: 512-byte size rounding, split
+ * small/large pools with 2 MB / 20 MB segment granularity, best-fit
+ * reuse of cached free blocks, block splitting with adjacent-free
+ * merging, cache release on device OOM, and explicit empty_cache().
+ */
+#ifndef PINPOINT_ALLOC_CACHING_ALLOCATOR_H
+#define PINPOINT_ALLOC_CACHING_ALLOCATOR_H
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "alloc/device_memory.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+
+namespace pinpoint {
+namespace alloc {
+
+/** Introspection record of one block within a segment. */
+struct SegmentBlockInfo {
+    DevPtr ptr;
+    std::size_t size;
+    bool allocated;
+};
+
+/** Introspection record of one device segment owned by the cache. */
+struct SegmentInfo {
+    DevPtr base;
+    std::size_t size;
+    bool is_small_pool;
+    std::vector<SegmentBlockInfo> blocks;
+};
+
+/**
+ * Caching allocator. Allocation requests are rounded and served from
+ * per-pool best-fit free lists; only misses touch the (slow) device
+ * layer, which is how the paper's traces show microsecond-scale
+ * malloc behaviors in steady state.
+ */
+class CachingAllocator : public Allocator
+{
+  public:
+    /** Smallest block granularity; all sizes round to multiples. */
+    static constexpr std::size_t kMinBlockSize = 512;
+    /** Requests at or below this size use the small pool. */
+    static constexpr std::size_t kSmallSize = 1024 * 1024;
+    /** Segment size backing small-pool allocations. */
+    static constexpr std::size_t kSmallBuffer = 2 * 1024 * 1024;
+    /** Segment size backing mid-sized large-pool allocations. */
+    static constexpr std::size_t kLargeBuffer = 20 * 1024 * 1024;
+    /** Requests at or above this size get exact-ish segments. */
+    static constexpr std::size_t kMinLargeAlloc = 10 * 1024 * 1024;
+    /** Rounding granularity for huge segments. */
+    static constexpr std::size_t kRoundLarge = 2 * 1024 * 1024;
+
+    /**
+     * @param device backing simulated device address space.
+     * @param clock simulated clock advanced by each operation's cost.
+     * @param cost cost model for driver-call durations.
+     */
+    CachingAllocator(DeviceMemory &device, sim::VirtualClock &clock,
+                     const sim::CostModel &cost);
+    ~CachingAllocator() override;
+
+    CachingAllocator(const CachingAllocator &) = delete;
+    CachingAllocator &operator=(const CachingAllocator &) = delete;
+
+    Block allocate(std::size_t bytes) override;
+    void deallocate(BlockId id) override;
+    const Block &block(BlockId id) const override;
+    const AllocatorStats &stats() const override { return stats_; }
+    std::string name() const override { return "caching"; }
+    std::size_t live_blocks() const override { return live_.size(); }
+
+    /** Releases every completely-free cached segment to the device. */
+    void empty_cache() override;
+
+    /** @return rounded block size for a request of @p bytes. */
+    static std::size_t round_size(std::size_t bytes);
+
+    /** @return device segment size used to back a block of @p size. */
+    static std::size_t allocation_size(std::size_t size);
+
+    /** @return snapshot of all cached segments and their blocks. */
+    std::vector<SegmentInfo> segments() const;
+
+    /**
+     * Validates internal invariants (segment coverage, link
+     * symmetry, pool membership, stat consistency). Used by the
+     * property-based tests; aborts on violation.
+     */
+    void check_invariants() const;
+
+  private:
+    struct Node {
+        DevPtr ptr = kNullDevPtr;
+        std::size_t size = 0;
+        bool allocated = false;
+        bool is_small_pool = false;
+        Node *prev = nullptr;  ///< address-adjacent neighbor, same segment
+        Node *next = nullptr;
+        DevPtr segment_base = kNullDevPtr;
+        std::size_t segment_size = 0;
+    };
+
+    struct NodeLess {
+        bool
+        operator()(const Node *a, const Node *b) const
+        {
+            if (a->size != b->size)
+                return a->size < b->size;
+            return a->ptr < b->ptr;
+        }
+    };
+
+    using Pool = std::set<Node *, NodeLess>;
+
+    /** Selects the pool for a rounded size. */
+    Pool &pool_for(std::size_t rounded);
+
+    /** Selects the pool a node belongs to. */
+    Pool &pool_of(const Node &node);
+    const Pool &pool_of(const Node &node) const;
+
+    /** Best-fit lookup; removes and returns the node, or nullptr. */
+    Node *take_free_node(Pool &pool, std::size_t rounded);
+
+    /** Allocates a fresh segment node from the device. */
+    Node *allocate_segment(std::size_t rounded);
+
+    /** Splits @p node if policy says the remainder is worth keeping. */
+    void maybe_split(Node *node, std::size_t rounded);
+
+    /** Frees all completely-free segments; @return bytes released. */
+    std::size_t release_cached_segments();
+
+    /** Merges @p node with a free address-adjacent @p neighbor. */
+    Node *merge_with(Node *node, Node *neighbor);
+
+    static bool should_split(const Node &node, std::size_t rounded);
+
+    DeviceMemory &device_;
+    sim::VirtualClock &clock_;
+    const sim::CostModel &cost_;
+    AllocatorStats stats_;
+    BlockId next_id_ = 0;
+
+    Pool small_pool_;
+    Pool large_pool_;
+    /** Every node, owned, keyed by base pointer (non-overlapping). */
+    std::map<DevPtr, std::unique_ptr<Node>> nodes_;
+    /** Live block id → node and public descriptor. */
+    std::unordered_map<BlockId, Node *> live_nodes_;
+    std::unordered_map<BlockId, Block> live_;
+
+    /** Modeled cost of a cache-hit allocation (list manipulation). */
+    static constexpr TimeNs kCacheHitCostNs = 800;
+    /** Modeled cost of returning a block to the cache. */
+    static constexpr TimeNs kCacheFreeCostNs = 400;
+};
+
+}  // namespace alloc
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ALLOC_CACHING_ALLOCATOR_H

@@ -1,0 +1,112 @@
+#include "alloc/device_memory.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pinpoint {
+namespace alloc {
+namespace {
+
+std::size_t
+align_up(std::size_t n, std::size_t a)
+{
+    return (n + a - 1) / a * a;
+}
+
+}  // namespace
+
+DeviceMemory::DeviceMemory(std::size_t capacity)
+    : capacity_(align_up(capacity, kSegmentAlignment))
+{
+    PP_CHECK(capacity > 0, "device capacity must be positive");
+    free_regions_.emplace(kBaseAddress, capacity_);
+}
+
+DevPtr
+DeviceMemory::allocate(std::size_t bytes)
+{
+    PP_CHECK(bytes > 0, "cannot reserve zero bytes");
+    const std::size_t size = align_up(bytes, kSegmentAlignment);
+
+    // First fit in address order, like a simple driver heap.
+    for (auto it = free_regions_.begin(); it != free_regions_.end(); ++it) {
+        if (it->second < size)
+            continue;
+        const DevPtr ptr = it->first;
+        const std::size_t region = it->second;
+        free_regions_.erase(it);
+        if (region > size)
+            free_regions_.emplace(ptr + size, region - size);
+        live_.emplace(ptr, size);
+        reserved_ += size;
+        peak_reserved_ = std::max(peak_reserved_, reserved_);
+        return ptr;
+    }
+
+    std::ostringstream os;
+    os << "device out of memory: requested " << size << " B, free "
+       << free_bytes() << " B, largest contiguous region "
+       << largest_free_region() << " B";
+    throw DeviceOomError(os.str(), size, free_bytes(),
+                         largest_free_region());
+}
+
+void
+DeviceMemory::free(DevPtr ptr)
+{
+    auto it = live_.find(ptr);
+    PP_CHECK(it != live_.end(),
+             "free of unknown device pointer 0x" << std::hex << ptr);
+    const std::size_t size = it->second;
+    live_.erase(it);
+    reserved_ -= size;
+
+    // Insert and coalesce with address-adjacent free neighbors.
+    auto [ins, ok] = free_regions_.emplace(ptr, size);
+    PP_ASSERT(ok, "double-free of device pointer");
+    if (ins != free_regions_.begin()) {
+        auto prev = std::prev(ins);
+        if (prev->first + prev->second == ins->first) {
+            prev->second += ins->second;
+            free_regions_.erase(ins);
+            ins = prev;
+        }
+    }
+    auto next = std::next(ins);
+    if (next != free_regions_.end() &&
+        ins->first + ins->second == next->first) {
+        ins->second += next->second;
+        free_regions_.erase(next);
+    }
+}
+
+std::size_t
+DeviceMemory::largest_free_region() const
+{
+    std::size_t best = 0;
+    for (const auto &[ptr, size] : free_regions_)
+        best = std::max(best, size);
+    return best;
+}
+
+double
+DeviceMemory::external_fragmentation() const
+{
+    const std::size_t free = free_bytes();
+    if (free == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(largest_free_region()) /
+                     static_cast<double>(free);
+}
+
+std::size_t
+DeviceMemory::reservation_size(DevPtr ptr) const
+{
+    auto it = live_.find(ptr);
+    PP_CHECK(it != live_.end(),
+             "unknown device pointer 0x" << std::hex << ptr);
+    return it->second;
+}
+
+}  // namespace alloc
+}  // namespace pinpoint

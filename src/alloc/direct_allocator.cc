@@ -1,0 +1,62 @@
+#include "alloc/direct_allocator.h"
+
+#include <algorithm>
+
+namespace pinpoint {
+namespace alloc {
+
+DirectAllocator::DirectAllocator(DeviceMemory &device,
+                                 sim::VirtualClock &clock,
+                                 const sim::CostModel &cost)
+    : device_(device), clock_(clock), cost_(cost)
+{
+}
+
+Block
+DirectAllocator::allocate(std::size_t bytes)
+{
+    PP_CHECK(bytes > 0, "cannot allocate zero bytes");
+    clock_.advance(cost_.cuda_malloc_time());
+    const DevPtr ptr = device_.allocate(bytes);
+    Block b;
+    b.id = next_id_++;
+    b.ptr = ptr;
+    b.size = device_.reservation_size(ptr);
+    b.requested = bytes;
+    live_.emplace(b.id, b);
+
+    ++stats_.alloc_count;
+    ++stats_.device_alloc_count;
+    stats_.allocated_bytes += b.size;
+    stats_.reserved_bytes += b.size;
+    stats_.peak_allocated_bytes =
+        std::max(stats_.peak_allocated_bytes, stats_.allocated_bytes);
+    stats_.peak_reserved_bytes =
+        std::max(stats_.peak_reserved_bytes, stats_.reserved_bytes);
+    return b;
+}
+
+void
+DirectAllocator::deallocate(BlockId id)
+{
+    auto it = live_.find(id);
+    PP_CHECK(it != live_.end(), "deallocate of unknown block " << id);
+    clock_.advance(cost_.cuda_free_time());
+    device_.free(it->second.ptr);
+    stats_.allocated_bytes -= it->second.size;
+    stats_.reserved_bytes -= it->second.size;
+    ++stats_.free_count;
+    ++stats_.device_free_count;
+    live_.erase(it);
+}
+
+const Block &
+DirectAllocator::block(BlockId id) const
+{
+    auto it = live_.find(id);
+    PP_CHECK(it != live_.end(), "unknown block " << id);
+    return it->second;
+}
+
+}  // namespace alloc
+}  // namespace pinpoint

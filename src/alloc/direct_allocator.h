@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Baseline allocator: one cudaMalloc/cudaFree per block, no caching.
+ */
+#ifndef PINPOINT_ALLOC_DIRECT_ALLOCATOR_H
+#define PINPOINT_ALLOC_DIRECT_ALLOCATOR_H
+
+#include <unordered_map>
+
+#include "alloc/allocator.h"
+#include "alloc/device_memory.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+
+namespace pinpoint {
+namespace alloc {
+
+/**
+ * The naive strategy frameworks used before caching allocators: every
+ * tensor allocation is a driver call. Serves as the ablation baseline
+ * (bench E9): it maximizes driver traffic and allocation latency and
+ * exposes raw device-heap fragmentation.
+ */
+class DirectAllocator : public Allocator
+{
+  public:
+    /**
+     * @param device backing address space (shared with other allocators
+     *        in ablation setups).
+     * @param clock simulated clock advanced by driver-call costs.
+     * @param cost cost model supplying those costs.
+     */
+    DirectAllocator(DeviceMemory &device, sim::VirtualClock &clock,
+                    const sim::CostModel &cost);
+
+    Block allocate(std::size_t bytes) override;
+    void deallocate(BlockId id) override;
+    const Block &block(BlockId id) const override;
+    const AllocatorStats &stats() const override { return stats_; }
+    std::string name() const override { return "direct"; }
+    std::size_t live_blocks() const override { return live_.size(); }
+
+  private:
+    DeviceMemory &device_;
+    sim::VirtualClock &clock_;
+    const sim::CostModel &cost_;
+    AllocatorStats stats_;
+    BlockId next_id_ = 0;
+    std::unordered_map<BlockId, Block> live_;
+};
+
+}  // namespace alloc
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ALLOC_DIRECT_ALLOCATOR_H

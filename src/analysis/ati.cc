@@ -1,0 +1,94 @@
+#include "analysis/ati.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "analysis/stats.h"
+#include "core/format.h"
+
+namespace pinpoint {
+namespace analysis {
+
+std::vector<AtiSample>
+compute_atis(const trace::TraceRecorder &recorder,
+             const AtiOptions &options)
+{
+    std::vector<AtiSample> out;
+    // Last access time per live block. Erased on free so a reused
+    // BlockId (impossible with our allocators, but legal in traces
+    // from other tools) starts a fresh access chain.
+    std::unordered_map<BlockId, TimeNs> last;
+
+    std::size_t index = 0;
+    for (const auto &e : recorder.events()) {
+        ++index;
+        const bool is_access =
+            e.kind == trace::EventKind::kRead ||
+            e.kind == trace::EventKind::kWrite ||
+            (options.include_alloc_free &&
+             (e.kind == trace::EventKind::kMalloc ||
+              e.kind == trace::EventKind::kFree));
+        if (e.kind == trace::EventKind::kFree && !options.include_alloc_free)
+            last.erase(e.block);
+        if (!is_access)
+            continue;
+
+        auto it = last.find(e.block);
+        if (it != last.end()) {
+            AtiSample s;
+            s.behavior_index = index - 1;
+            s.block = e.block;
+            s.size = e.size;
+            s.interval = e.time - it->second;
+            s.at_time = e.time;
+            s.category = e.category;
+            s.op = e.op;
+            out.push_back(std::move(s));
+        }
+        last[e.block] = e.time;
+        if (e.kind == trace::EventKind::kFree)
+            last.erase(e.block);
+    }
+    return out;
+}
+
+std::vector<AtiAttribution>
+attribute_atis(const std::vector<AtiSample> &atis)
+{
+    std::map<std::string, std::vector<double>> groups;
+    for (const auto &s : atis) {
+        const auto dot = s.op.find('.');
+        groups[s.op.substr(0, dot)].push_back(to_us(s.interval));
+    }
+    std::vector<AtiAttribution> out;
+    for (auto &[prefix, values] : groups) {
+        AtiAttribution a;
+        a.prefix = prefix;
+        a.count = values.size();
+        const auto stats = summarize(std::move(values));
+        a.median_us = stats.median;
+        a.p90_us = stats.p90;
+        out.push_back(std::move(a));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const AtiAttribution &a, const AtiAttribution &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.prefix < b.prefix;
+              });
+    return out;
+}
+
+std::vector<double>
+ati_microseconds(const std::vector<AtiSample> &atis)
+{
+    std::vector<double> out;
+    out.reserve(atis.size());
+    for (const auto &s : atis)
+        out.push_back(to_us(s.interval));
+    return out;
+}
+
+}  // namespace analysis
+}  // namespace pinpoint

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Access time interval (ATI) extraction. The paper defines the ATI as
+ * the elapsed time between two adjacent memory accesses to the same
+ * device memory block (Sec. III); Figs. 3 and 4 are computed from the
+ * samples this module produces.
+ */
+#ifndef PINPOINT_ANALYSIS_ATI_H
+#define PINPOINT_ANALYSIS_ATI_H
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace analysis {
+
+/** One ATI observation: the pair-wise datum of the paper's Fig. 4. */
+struct AtiSample {
+    /** Global index of the closing access (the Fig. 4 x-axis). */
+    std::size_t behavior_index = 0;
+    BlockId block = kInvalidBlock;
+    /** Block size in bytes (the Fig. 4 right y-axis). */
+    std::size_t size = 0;
+    /** The interval itself. */
+    TimeNs interval = 0;
+    /** Timestamp of the closing access. */
+    TimeNs at_time = 0;
+    Category category = Category::kIntermediate;
+    /** Name of the op issuing the closing access (attribution). */
+    std::string op;
+};
+
+/** Options for ATI extraction. */
+struct AtiOptions {
+    /**
+     * Count malloc/free as accesses too. The paper's definition uses
+     * "memory access"; reads and writes only is the default.
+     */
+    bool include_alloc_free = false;
+};
+
+/**
+ * Computes every ATI sample of @p recorder's trace, ordered by the
+ * closing access's position in the trace.
+ */
+std::vector<AtiSample> compute_atis(const trace::TraceRecorder &recorder,
+                                    const AtiOptions &options = {});
+
+/** @return just the intervals in microseconds (for Cdf/violin). */
+std::vector<double> ati_microseconds(const std::vector<AtiSample> &atis);
+
+/** Aggregate ATI statistics attributed to one op-name prefix. */
+struct AtiAttribution {
+    std::string prefix;
+    std::size_t count = 0;
+    double median_us = 0.0;
+    double p90_us = 0.0;
+};
+
+/**
+ * Groups samples by the first dot-separated component of the closing
+ * op name (e.g. "fc0", "sgd", "dataset") and summarizes each group,
+ * descending by count. Answers "which ops create which gaps".
+ */
+std::vector<AtiAttribution>
+attribute_atis(const std::vector<AtiSample> &atis);
+
+}  // namespace analysis
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ANALYSIS_ATI_H

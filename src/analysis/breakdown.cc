@@ -1,0 +1,58 @@
+#include "analysis/breakdown.h"
+
+#include <unordered_map>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace analysis {
+
+double
+BreakdownResult::fraction(Category c) const
+{
+    if (peak_total == 0)
+        return 0.0;
+    return static_cast<double>(at_peak[static_cast<int>(c)]) /
+           static_cast<double>(peak_total);
+}
+
+BreakdownResult
+occupation_breakdown(const trace::TraceRecorder &recorder)
+{
+    BreakdownResult r;
+    std::array<std::size_t, kNumCategories> current{};
+    std::size_t total = 0;
+    // Category of each live block, captured at malloc time.
+    std::unordered_map<BlockId, std::pair<Category, std::size_t>> live;
+
+    for (const auto &e : recorder.events()) {
+        if (e.kind == trace::EventKind::kMalloc) {
+            PP_CHECK(!live.count(e.block),
+                     "malloc of already-live block " << e.block);
+            live[e.block] = {e.category, e.size};
+            current[static_cast<int>(e.category)] += e.size;
+            total += e.size;
+            auto &peak_cat =
+                r.peak_per_category[static_cast<int>(e.category)];
+            peak_cat = std::max(peak_cat,
+                                current[static_cast<int>(e.category)]);
+            if (total > r.peak_total) {
+                r.peak_total = total;
+                r.peak_time = e.time;
+                r.at_peak = current;
+            }
+        } else if (e.kind == trace::EventKind::kFree) {
+            auto it = live.find(e.block);
+            PP_CHECK(it != live.end(),
+                     "free of unknown block " << e.block);
+            const auto [cat, size] = it->second;
+            current[static_cast<int>(cat)] -= size;
+            total -= size;
+            live.erase(it);
+        }
+    }
+    return r;
+}
+
+}  // namespace analysis
+}  // namespace pinpoint

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Device memory occupation breakdown by storage content (input data /
+ * parameters / intermediate results), the analysis behind Figs. 5-7.
+ */
+#ifndef PINPOINT_ANALYSIS_BREAKDOWN_H
+#define PINPOINT_ANALYSIS_BREAKDOWN_H
+
+#include <array>
+#include <cstddef>
+
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace analysis {
+
+/** Peak-occupancy breakdown of one training run. */
+struct BreakdownResult {
+    /** Peak of total live bytes across the trace. */
+    std::size_t peak_total = 0;
+    /** Time at which the peak occurred. */
+    TimeNs peak_time = 0;
+    /** Live bytes per Category at the peak instant. */
+    std::array<std::size_t, kNumCategories> at_peak{};
+    /** Independent per-category high-water marks. */
+    std::array<std::size_t, kNumCategories> peak_per_category{};
+
+    /** @return fraction of the peak held by @p c. */
+    double fraction(Category c) const;
+};
+
+/**
+ * Replays the malloc/free events of @p recorder and reports the
+ * category breakdown at peak occupancy.
+ */
+BreakdownResult occupation_breakdown(const trace::TraceRecorder &recorder);
+
+}  // namespace analysis
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ANALYSIS_BREAKDOWN_H

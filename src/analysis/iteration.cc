@@ -1,0 +1,80 @@
+#include "analysis/iteration.h"
+
+#include <algorithm>
+#include <map>
+
+#include "trace/event.h"
+
+namespace pinpoint {
+namespace analysis {
+namespace {
+
+/** FNV-1a over a size sequence. */
+std::uint64_t
+hash_sizes(const std::vector<std::size_t> &sizes)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t s : sizes) {
+        h ^= static_cast<std::uint64_t>(s);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+}  // namespace
+
+IterationPattern
+detect_iteration_pattern(const trace::TraceRecorder &recorder)
+{
+    IterationPattern p;
+
+    // Malloc-size sequence of non-setup events, plus the iteration
+    // label of each allocation.
+    std::vector<std::size_t> sizes;
+    std::map<std::uint32_t, std::vector<std::size_t>> per_iteration;
+    for (const auto &e : recorder.events()) {
+        if (e.kind != trace::EventKind::kMalloc)
+            continue;
+        if (e.iteration == trace::kSetupIteration)
+            continue;
+        sizes.push_back(e.size);
+        per_iteration[e.iteration].push_back(e.size);
+    }
+
+    // Label-free periodicity: smallest period with >= 95% agreement.
+    const std::size_t n = sizes.size();
+    for (std::size_t period = 1; period * 2 <= n; ++period) {
+        std::size_t match = 0;
+        const std::size_t comparisons = n - period;
+        for (std::size_t i = 0; i + period < n; ++i)
+            if (sizes[i] == sizes[i + period])
+                ++match;
+        const double conf = static_cast<double>(match) /
+                            static_cast<double>(comparisons);
+        if (conf >= 0.95) {
+            p.period_allocs = period;
+            p.period_confidence = conf;
+            break;
+        }
+    }
+
+    // Labeled signature stability.
+    p.iterations = per_iteration.size();
+    std::map<std::uint64_t, std::size_t> votes;
+    for (const auto &[iter, seq] : per_iteration) {
+        const std::uint64_t sig = hash_sizes(seq);
+        p.signatures.push_back(sig);
+        ++votes[sig];
+    }
+    if (!votes.empty()) {
+        std::size_t modal = 0;
+        for (const auto &[sig, count] : votes)
+            modal = std::max(modal, count);
+        p.signature_stability = static_cast<double>(modal) /
+                                static_cast<double>(p.iterations);
+    }
+    return p;
+}
+
+}  // namespace analysis
+}  // namespace pinpoint

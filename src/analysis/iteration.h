@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Iterative-pattern detection: quantifies the paper's Fig. 2
+ * observation that memory behaviors repeat every training iteration.
+ */
+#ifndef PINPOINT_ANALYSIS_ITERATION_H
+#define PINPOINT_ANALYSIS_ITERATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace analysis {
+
+/** Result of pattern detection over a trace. */
+struct IterationPattern {
+    /**
+     * Detected period of the malloc-size sequence, in allocations
+     * (0 when no period was found). Found without using the trace's
+     * iteration labels.
+     */
+    std::size_t period_allocs = 0;
+    /** Fraction of positions matching at the detected period. */
+    double period_confidence = 0.0;
+    /** Number of labeled iterations present in the trace. */
+    std::size_t iterations = 0;
+    /**
+     * Fraction of labeled iterations whose allocation signature
+     * (the exact sequence of block sizes) equals the modal one.
+     * 1.0 = perfectly iterative, the paper's observation.
+     */
+    double signature_stability = 0.0;
+    /** One signature hash per labeled iteration. */
+    std::vector<std::uint64_t> signatures;
+};
+
+/**
+ * Detects iterative behavior two ways: label-free periodicity of the
+ * malloc size sequence, and per-iteration signature comparison using
+ * the trace's iteration tags. Setup events are excluded.
+ */
+IterationPattern
+detect_iteration_pattern(const trace::TraceRecorder &recorder);
+
+}  // namespace analysis
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ANALYSIS_ITERATION_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Block lifetime statistics: distributions of the Gantt rectangle
+ * widths of Fig. 2, split by storage category. Short-lived blocks
+ * (workspaces, transient grads) vs iteration-lived (activations) vs
+ * run-lived (parameters, staged data) is exactly the structure the
+ * paper's Gantt chart shows qualitatively.
+ */
+#ifndef PINPOINT_ANALYSIS_LIFETIME_H
+#define PINPOINT_ANALYSIS_LIFETIME_H
+
+#include <array>
+
+#include "analysis/stats.h"
+#include "analysis/timeline.h"
+
+namespace pinpoint {
+namespace analysis {
+
+/** Lifetime statistics of one block category. */
+struct CategoryLifetime {
+    /** Number of block lifetimes observed (freed blocks only). */
+    std::size_t blocks = 0;
+    /** Blocks never freed inside the trace (persistent). */
+    std::size_t unfreed = 0;
+    /** Lifetime summary in microseconds (freed blocks). */
+    SummaryStats lifetime_us;
+    /** Accesses per block. */
+    SummaryStats accesses;
+    /** Bytes-weighted mean lifetime in microseconds. */
+    double mean_lifetime_weighted_us = 0.0;
+};
+
+/** Per-category lifetime statistics of a trace. */
+struct LifetimeReport {
+    std::array<CategoryLifetime, kNumCategories> by_category;
+
+    /** @return statistics of category @p c. */
+    const CategoryLifetime &
+    of(Category c) const
+    {
+        return by_category[static_cast<int>(c)];
+    }
+};
+
+/** Computes lifetime statistics from @p timeline. */
+LifetimeReport lifetime_report(const Timeline &timeline);
+
+}  // namespace analysis
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ANALYSIS_LIFETIME_H

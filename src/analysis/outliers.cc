@@ -1,0 +1,43 @@
+#include "analysis/outliers.h"
+
+#include <algorithm>
+
+namespace pinpoint {
+namespace analysis {
+
+std::vector<AtiSample>
+sift_outliers(const std::vector<AtiSample> &atis,
+              const OutlierCriteria &criteria)
+{
+    std::vector<AtiSample> out;
+    for (const auto &s : atis) {
+        if (s.interval >= criteria.min_interval &&
+            s.size >= criteria.min_size)
+            out.push_back(s);
+    }
+    return out;
+}
+
+std::vector<SwapCandidate>
+rank_swap_candidates(const std::vector<AtiSample> &outliers,
+                     const LinkBandwidth &link)
+{
+    std::vector<SwapCandidate> out;
+    out.reserve(outliers.size());
+    for (const auto &s : outliers) {
+        SwapCandidate c;
+        c.sample = s;
+        c.max_hideable_bytes = max_swap_bytes(s.interval, link);
+        c.swappable =
+            static_cast<double>(s.size) <= c.max_hideable_bytes;
+        out.push_back(c);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SwapCandidate &a, const SwapCandidate &b) {
+                  return a.sample.size > b.sample.size;
+              });
+    return out;
+}
+
+}  // namespace analysis
+}  // namespace pinpoint

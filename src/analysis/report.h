@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Composite characterization report: runs every analysis of the
+ * paper over one trace and renders a human-readable summary — the
+ * "pinpoint" deliverable a user gets for their own workload.
+ */
+#ifndef PINPOINT_ANALYSIS_REPORT_H
+#define PINPOINT_ANALYSIS_REPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/swap_model.h"
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace analysis {
+
+/** Report configuration. */
+struct ReportOptions {
+    /** Workload label printed in the header. */
+    std::string title = "training run";
+    /** Link bandwidths for the Eq. 1 advice section. */
+    LinkBandwidth link{6.4e9, 6.3e9};
+    /** Include the ASCII Gantt section. */
+    bool gantt = true;
+    /** Gantt row budget. */
+    std::size_t gantt_rows = 24;
+};
+
+/**
+ * Writes the full characterization of @p recorder's trace to @p os:
+ * event counts, iterative-pattern verdict, ATI distribution,
+ * occupation breakdown, lifetime statistics, outliers, and Eq. 1
+ * swap advice.
+ *
+ * @throws Error on empty traces.
+ */
+void write_report(const trace::TraceRecorder &recorder, std::ostream &os,
+                  const ReportOptions &options = {});
+
+/** @return the report as a string. */
+std::string report_string(const trace::TraceRecorder &recorder,
+                          const ReportOptions &options = {});
+
+}  // namespace analysis
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ANALYSIS_REPORT_H

@@ -1,0 +1,85 @@
+#include "analysis/series.h"
+
+#include <ostream>
+#include <unordered_map>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace analysis {
+
+std::size_t
+OccupancyPoint::total() const
+{
+    std::size_t n = 0;
+    for (std::size_t b : bytes)
+        n += b;
+    return n;
+}
+
+std::vector<OccupancyPoint>
+occupancy_series(const trace::TraceRecorder &recorder,
+                 std::size_t max_points)
+{
+    std::vector<OccupancyPoint> series;
+    OccupancyPoint cur;
+    std::unordered_map<BlockId, std::pair<Category, std::size_t>>
+        live;
+
+    for (const auto &e : recorder.events()) {
+        if (e.kind == trace::EventKind::kMalloc) {
+            PP_CHECK(!live.count(e.block),
+                     "malloc of already-live block " << e.block);
+            live[e.block] = {e.category, e.size};
+            cur.bytes[static_cast<int>(e.category)] += e.size;
+        } else if (e.kind == trace::EventKind::kFree) {
+            auto it = live.find(e.block);
+            PP_CHECK(it != live.end(),
+                     "free of unknown block " << e.block);
+            cur.bytes[static_cast<int>(it->second.first)] -=
+                it->second.second;
+            live.erase(it);
+        } else {
+            continue;
+        }
+        cur.time = e.time;
+        if (!series.empty() && series.back().time == e.time)
+            series.back() = cur;  // coalesce same-instant edges
+        else
+            series.push_back(cur);
+    }
+
+    if (max_points > 0 && series.size() > max_points) {
+        // Thin uniformly but always keep the peak sample.
+        std::size_t peak_idx = 0;
+        for (std::size_t i = 1; i < series.size(); ++i)
+            if (series[i].total() > series[peak_idx].total())
+                peak_idx = i;
+        std::vector<OccupancyPoint> thin;
+        const std::size_t step = series.size() / max_points + 1;
+        for (std::size_t i = 0; i < series.size(); i += step) {
+            if (i < peak_idx && peak_idx < i + step)
+                thin.push_back(series[peak_idx]);
+            thin.push_back(series[i]);
+        }
+        if (thin.empty() || thin.back().time != series.back().time)
+            thin.push_back(series.back());
+        series = std::move(thin);
+    }
+    return series;
+}
+
+void
+write_series_csv(const std::vector<OccupancyPoint> &series,
+                 std::ostream &os)
+{
+    os << "time_ns,input,parameter,intermediate,total\n";
+    for (const auto &p : series) {
+        os << p.time << ',' << p.bytes[0] << ',' << p.bytes[1] << ','
+           << p.bytes[2] << ',' << p.total() << "\n";
+    }
+    PP_CHECK(os.good(), "series write failed");
+}
+
+}  // namespace analysis
+}  // namespace pinpoint

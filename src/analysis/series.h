@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Occupancy time series: per-category live bytes sampled over the
+ * trace, the data one would plot under the paper's Gantt chart (or
+ * feed to any external plotting tool).
+ */
+#ifndef PINPOINT_ANALYSIS_SERIES_H
+#define PINPOINT_ANALYSIS_SERIES_H
+
+#include <array>
+#include <iosfwd>
+#include <vector>
+
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace analysis {
+
+/** One sample of the occupancy series. */
+struct OccupancyPoint {
+    TimeNs time = 0;
+    /** Live bytes per Category at this instant. */
+    std::array<std::size_t, kNumCategories> bytes{};
+
+    /** @return category sum. */
+    std::size_t total() const;
+};
+
+/**
+ * Samples per-category occupancy at every alloc/free edge of
+ * @p recorder's trace (exact, no interpolation). When @p max_points
+ * > 0 the series is thinned to at most that many points while always
+ * keeping the global peak sample.
+ */
+std::vector<OccupancyPoint>
+occupancy_series(const trace::TraceRecorder &recorder,
+                 std::size_t max_points = 0);
+
+/** Writes the series as CSV ("time_ns,input,parameter,...") to @p os. */
+void write_series_csv(const std::vector<OccupancyPoint> &series,
+                      std::ostream &os);
+
+}  // namespace analysis
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ANALYSIS_SERIES_H

@@ -1,0 +1,171 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace analysis {
+namespace {
+
+/** Linear-interpolated quantile of a sorted sample. */
+double
+quantile_sorted(const std::vector<double> &sorted, double p)
+{
+    PP_CHECK(!sorted.empty(), "quantile of an empty sample");
+    PP_CHECK(p >= 0.0 && p <= 1.0, "quantile p out of [0,1]: " << p);
+    if (sorted.size() == 1)
+        return sorted[0];
+    const double pos = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+SummaryStats
+summarize(std::vector<double> values)
+{
+    SummaryStats s;
+    if (values.empty())
+        return s;
+    std::sort(values.begin(), values.end());
+    s.count = values.size();
+    s.min = values.front();
+    s.max = values.back();
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    s.mean = sum / static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values)
+        var += (v - s.mean) * (v - s.mean);
+    s.stddev = values.size() > 1
+                   ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                   : 0.0;
+    s.median = quantile_sorted(values, 0.5);
+    s.p25 = quantile_sorted(values, 0.25);
+    s.p75 = quantile_sorted(values, 0.75);
+    s.p90 = quantile_sorted(values, 0.90);
+    s.p95 = quantile_sorted(values, 0.95);
+    s.p99 = quantile_sorted(values, 0.99);
+    return s;
+}
+
+Cdf::Cdf(std::vector<double> values)
+    : sorted_(std::move(values))
+{
+    PP_CHECK(!sorted_.empty(), "CDF of an empty sample");
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+Cdf::fraction_below(double x) const
+{
+    const auto it =
+        std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+double
+Cdf::percentile(double p) const
+{
+    return quantile_sorted(sorted_, p);
+}
+
+std::vector<KdePoint>
+kernel_density(const std::vector<double> &values, int points,
+               double bandwidth)
+{
+    PP_CHECK(!values.empty(), "KDE of an empty sample");
+    PP_CHECK(points >= 2, "KDE needs at least 2 evaluation points");
+
+    const auto [mn_it, mx_it] =
+        std::minmax_element(values.begin(), values.end());
+    const double mn = *mn_it;
+    const double mx = *mx_it;
+
+    double h = bandwidth;
+    if (h <= 0.0) {
+        // Silverman's rule of thumb.
+        double mean = 0.0;
+        for (double v : values)
+            mean += v;
+        mean /= static_cast<double>(values.size());
+        double var = 0.0;
+        for (double v : values)
+            var += (v - mean) * (v - mean);
+        const double sd =
+            values.size() > 1
+                ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                : 0.0;
+        h = 1.06 * sd *
+            std::pow(static_cast<double>(values.size()), -0.2);
+        if (h <= 0.0)
+            h = std::max(1.0, std::abs(mn) * 0.01);  // degenerate sample
+    }
+
+    const double lo = mn - 3.0 * h;
+    const double hi = mx + 3.0 * h;
+    const double step = (hi - lo) / static_cast<double>(points - 1);
+    const double norm =
+        1.0 / (static_cast<double>(values.size()) * h *
+               std::sqrt(2.0 * M_PI));
+
+    std::vector<KdePoint> out;
+    out.reserve(static_cast<std::size_t>(points));
+    for (int i = 0; i < points; ++i) {
+        const double x = lo + step * static_cast<double>(i);
+        double d = 0.0;
+        for (double v : values) {
+            const double z = (x - v) / h;
+            d += std::exp(-0.5 * z * z);
+        }
+        out.push_back({x, d * norm});
+    }
+    return out;
+}
+
+ViolinStats
+violin(const std::vector<double> &values, int points)
+{
+    ViolinStats v;
+    v.summary = summarize(values);
+    v.density = kernel_density(values, points);
+    return v;
+}
+
+std::vector<HistogramBin>
+histogram(const std::vector<double> &values, int bins)
+{
+    PP_CHECK(!values.empty(), "histogram of an empty sample");
+    PP_CHECK(bins >= 1, "histogram needs at least one bin");
+    const auto [mn_it, mx_it] =
+        std::minmax_element(values.begin(), values.end());
+    const double mn = *mn_it;
+    double mx = *mx_it;
+    if (mx == mn)
+        mx = mn + 1.0;
+    const double width = (mx - mn) / static_cast<double>(bins);
+
+    std::vector<HistogramBin> out(static_cast<std::size_t>(bins));
+    for (int i = 0; i < bins; ++i) {
+        out[static_cast<std::size_t>(i)].lo =
+            mn + width * static_cast<double>(i);
+        out[static_cast<std::size_t>(i)].hi =
+            mn + width * static_cast<double>(i + 1);
+    }
+    for (double v : values) {
+        auto idx = static_cast<std::size_t>((v - mn) / width);
+        idx = std::min(idx, out.size() - 1);
+        ++out[idx].count;
+    }
+    return out;
+}
+
+}  // namespace analysis
+}  // namespace pinpoint

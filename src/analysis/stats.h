@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Descriptive statistics used by the figures: summary stats,
+ * empirical CDF (Fig. 3a), kernel density / violin (Fig. 3b),
+ * and histograms.
+ */
+#ifndef PINPOINT_ANALYSIS_STATS_H
+#define PINPOINT_ANALYSIS_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace pinpoint {
+namespace analysis {
+
+/** Order statistics + moments of a sample. */
+struct SummaryStats {
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double median = 0.0;
+    double p25 = 0.0;
+    double p75 = 0.0;
+    double p90 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** @return summary statistics of @p values (may be unsorted). */
+SummaryStats summarize(std::vector<double> values);
+
+/**
+ * Empirical cumulative distribution function over a sample, the form
+ * of the paper's Fig. 3a.
+ */
+class Cdf
+{
+  public:
+    /** Builds from @p values. @throws Error when empty. */
+    explicit Cdf(std::vector<double> values);
+
+    /** @return P(X <= x) in [0, 1]. */
+    double fraction_below(double x) const;
+
+    /**
+     * @return the @p p-quantile (p in [0, 1]) with linear
+     * interpolation between order statistics.
+     */
+    double percentile(double p) const;
+
+    /** @return the sorted sample. */
+    const std::vector<double> &sorted() const { return sorted_; }
+
+  private:
+    std::vector<double> sorted_;
+};
+
+/** One evaluation point of a kernel density estimate. */
+struct KdePoint {
+    double x = 0.0;
+    double density = 0.0;
+};
+
+/**
+ * Gaussian kernel density estimate over @p values at @p points
+ * evenly spaced sample positions. @p bandwidth 0 selects Silverman's
+ * rule of thumb.
+ */
+std::vector<KdePoint> kernel_density(const std::vector<double> &values,
+                                     int points = 64,
+                                     double bandwidth = 0.0);
+
+/** The data behind one violin of the paper's Fig. 3b. */
+struct ViolinStats {
+    SummaryStats summary;
+    std::vector<KdePoint> density;
+};
+
+/** Builds violin statistics (summary + KDE) for @p values. */
+ViolinStats violin(const std::vector<double> &values, int points = 64);
+
+/** One histogram bin: [lo, hi). */
+struct HistogramBin {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::size_t count = 0;
+};
+
+/** Equal-width histogram of @p values with @p bins bins. */
+std::vector<HistogramBin> histogram(const std::vector<double> &values,
+                                    int bins);
+
+}  // namespace analysis
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ANALYSIS_STATS_H

@@ -1,0 +1,46 @@
+#include "analysis/swap_model.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace analysis {
+namespace {
+
+double
+round_trip_seconds_per_byte(const LinkBandwidth &link)
+{
+    PP_CHECK(link.d2h_bps > 0.0 && link.h2d_bps > 0.0,
+             "link bandwidths must be positive");
+    return 1.0 / link.d2h_bps + 1.0 / link.h2d_bps;
+}
+
+}  // namespace
+
+double
+max_swap_bytes(TimeNs interval, const LinkBandwidth &link)
+{
+    const double t_sec =
+        static_cast<double>(interval) / static_cast<double>(kNsPerSec);
+    return t_sec / round_trip_seconds_per_byte(link);
+}
+
+TimeNs
+min_interval_for(std::size_t bytes, const LinkBandwidth &link)
+{
+    const double t_sec = static_cast<double>(bytes) *
+                         round_trip_seconds_per_byte(link);
+    return static_cast<TimeNs>(
+        std::ceil(t_sec * static_cast<double>(kNsPerSec)));
+}
+
+bool
+is_swappable(std::size_t bytes, TimeNs interval,
+             const LinkBandwidth &link)
+{
+    return static_cast<double>(bytes) <= max_swap_bytes(interval, link);
+}
+
+}  // namespace analysis
+}  // namespace pinpoint

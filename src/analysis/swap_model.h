@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The paper's swap-feasibility model (Eq. 1): a block of size S can
+ * be swapped out to the host and back within an access gap T without
+ * slowing training iff  S/Bd2h + S/Bh2d <= T, i.e.
+ * S <= T / (1/Bd2h + 1/Bh2d).
+ */
+#ifndef PINPOINT_ANALYSIS_SWAP_MODEL_H
+#define PINPOINT_ANALYSIS_SWAP_MODEL_H
+
+#include <cstddef>
+
+#include "core/types.h"
+
+namespace pinpoint {
+namespace analysis {
+
+/** Host link bandwidths used by Eq. 1, in bytes/second. */
+struct LinkBandwidth {
+    double d2h_bps = 0.0;
+    double h2d_bps = 0.0;
+};
+
+/**
+ * Eq. 1 forward direction: the largest swap size (bytes) that hides
+ * inside an access gap of @p interval.
+ */
+double max_swap_bytes(TimeNs interval, const LinkBandwidth &link);
+
+/**
+ * Eq. 1 inverse: the smallest access gap that hides a swap of
+ * @p bytes.
+ */
+TimeNs min_interval_for(std::size_t bytes, const LinkBandwidth &link);
+
+/** @return true when swapping @p bytes hides inside @p interval. */
+bool is_swappable(std::size_t bytes, TimeNs interval,
+                  const LinkBandwidth &link);
+
+}  // namespace analysis
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ANALYSIS_SWAP_MODEL_H

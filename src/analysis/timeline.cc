@@ -1,0 +1,141 @@
+#include "analysis/timeline.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace analysis {
+
+Timeline::Timeline(const trace::TraceRecorder &recorder)
+{
+    const auto &events = recorder.events();
+    if (events.empty())
+        return;
+    start_ = events.front().time;
+    end_ = events.back().time;
+
+    std::unordered_map<BlockId, std::size_t> open;  // block → index
+    for (const auto &e : events) {
+        switch (e.kind) {
+          case trace::EventKind::kMalloc: {
+            PP_CHECK(!open.count(e.block),
+                     "malloc of already-live block " << e.block);
+            BlockLifetime b;
+            b.block = e.block;
+            b.ptr = e.ptr;
+            b.size = e.size;
+            b.category = e.category;
+            b.tensor = e.tensor;
+            b.alloc_iteration = e.iteration;
+            b.alloc_time = e.time;
+            open.emplace(e.block, blocks_.size());
+            blocks_.push_back(std::move(b));
+            break;
+          }
+          case trace::EventKind::kFree: {
+            auto it = open.find(e.block);
+            PP_CHECK(it != open.end(),
+                     "free of unknown block " << e.block);
+            BlockLifetime &b = blocks_[it->second];
+            b.free_time = e.time;
+            b.freed = true;
+            open.erase(it);
+            break;
+          }
+          case trace::EventKind::kRead:
+          case trace::EventKind::kWrite: {
+            auto it = open.find(e.block);
+            PP_CHECK(it != open.end(),
+                     "access to unallocated block " << e.block);
+            blocks_[it->second].accesses.push_back(e.time);
+            break;
+          }
+        }
+    }
+}
+
+std::vector<const BlockLifetime *>
+Timeline::live_at(TimeNs t) const
+{
+    std::vector<const BlockLifetime *> out;
+    for (const auto &b : blocks_) {
+        if (b.alloc_time <= t && (!b.freed || b.free_time > t))
+            out.push_back(&b);
+    }
+    return out;
+}
+
+std::size_t
+Timeline::live_bytes_at(TimeNs t) const
+{
+    std::size_t n = 0;
+    for (const auto *b : live_at(t))
+        n += b->size;
+    return n;
+}
+
+GapStats
+Timeline::gaps_at(TimeNs t) const
+{
+    GapStats g;
+    auto live = live_at(t);
+    if (live.empty())
+        return g;
+    std::sort(live.begin(), live.end(),
+              [](const BlockLifetime *a, const BlockLifetime *b) {
+                  return a->ptr < b->ptr;
+              });
+    g.live_blocks = live.size();
+    DevPtr cursor = live.front()->ptr;
+    for (const auto *b : live) {
+        g.live_bytes += b->size;
+        if (b->ptr > cursor)
+            g.gap_bytes += b->ptr - cursor;
+        cursor = std::max<DevPtr>(cursor, b->ptr + b->size);
+    }
+    g.span_bytes =
+        static_cast<std::size_t>(cursor - live.front()->ptr);
+    return g;
+}
+
+TimeNs
+Timeline::peak_time() const
+{
+    // Sweep alloc/free edges; peak can only move at an allocation.
+    struct Edge {
+        TimeNs t;
+        std::int64_t delta;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(blocks_.size() * 2);
+    for (const auto &b : blocks_) {
+        edges.push_back({b.alloc_time,
+                         static_cast<std::int64_t>(b.size)});
+        if (b.freed)
+            edges.push_back({b.free_time,
+                             -static_cast<std::int64_t>(b.size)});
+    }
+    std::sort(edges.begin(), edges.end(), [](const Edge &a,
+                                             const Edge &b) {
+        if (a.t != b.t)
+            return a.t < b.t;
+        return a.delta < b.delta;  // apply frees before allocs at ties
+    });
+    std::int64_t cur = 0;
+    std::int64_t best = -1;
+    TimeNs best_t = start_;
+    for (const auto &e : edges) {
+        cur += e.delta;
+        if (cur > best) {
+            best = cur;
+            best_t = e.t;
+        }
+    }
+    return best_t;
+}
+
+}  // namespace analysis
+}  // namespace pinpoint

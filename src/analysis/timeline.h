@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Block timeline reconstruction: turns the flat event trace into
+ * per-block lifetimes with access lists — the data behind the
+ * paper's Gantt chart (Fig. 2).
+ */
+#ifndef PINPOINT_ANALYSIS_TIMELINE_H
+#define PINPOINT_ANALYSIS_TIMELINE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace analysis {
+
+/** One block's life: the rectangle of the paper's Gantt chart. */
+struct BlockLifetime {
+    BlockId block = kInvalidBlock;
+    DevPtr ptr = kNullDevPtr;
+    std::size_t size = 0;
+    Category category = Category::kIntermediate;
+    TensorId tensor = kInvalidTensor;
+    /** Iteration in which the block was allocated. */
+    std::uint32_t alloc_iteration = 0;
+    TimeNs alloc_time = 0;
+    /** Free timestamp; meaningful only when freed is true. */
+    TimeNs free_time = 0;
+    bool freed = false;
+    /** Read/write access timestamps, in order. */
+    std::vector<TimeNs> accesses;
+
+    /** @return lifetime width; for unfreed blocks, up to @p end. */
+    TimeNs lifetime(TimeNs end) const
+    {
+        return (freed ? free_time : end) - alloc_time;
+    }
+};
+
+/** Free-gap statistics of the live-block address layout at a time. */
+struct GapStats {
+    /** Number of live blocks at the probe time. */
+    std::size_t live_blocks = 0;
+    /** Bytes of live blocks. */
+    std::size_t live_bytes = 0;
+    /** Address span from lowest to highest live byte. */
+    std::size_t span_bytes = 0;
+    /** Bytes of holes between live blocks within the span. */
+    std::size_t gap_bytes = 0;
+
+    /** @return gap fraction of the span (the paper's "fragments"). */
+    double
+    gap_fraction() const
+    {
+        return span_bytes == 0
+                   ? 0.0
+                   : static_cast<double>(gap_bytes) /
+                         static_cast<double>(span_bytes);
+    }
+};
+
+/**
+ * Per-block view of a trace. Construction is O(n log n) in the event
+ * count; the result is immutable.
+ */
+class Timeline
+{
+  public:
+    /**
+     * Builds the timeline from @p recorder.
+     * @throws Error on inconsistent traces (access to unallocated
+     * blocks, double frees).
+     */
+    explicit Timeline(const trace::TraceRecorder &recorder);
+
+    /** @return every block, ordered by allocation time. */
+    const std::vector<BlockLifetime> &blocks() const { return blocks_; }
+
+    /** @return time of the first event (0 for empty traces). */
+    TimeNs start() const { return start_; }
+
+    /** @return time of the last event. */
+    TimeNs end() const { return end_; }
+
+    /** @return blocks whose lifetime covers @p t. */
+    std::vector<const BlockLifetime *> live_at(TimeNs t) const;
+
+    /** @return total bytes of blocks live at @p t. */
+    std::size_t live_bytes_at(TimeNs t) const;
+
+    /** @return address-layout gap statistics at @p t. */
+    GapStats gaps_at(TimeNs t) const;
+
+    /**
+     * @return the instant of peak live bytes (first such instant)
+     * scanned over all alloc events.
+     */
+    TimeNs peak_time() const;
+
+  private:
+    std::vector<BlockLifetime> blocks_;
+    TimeNs start_ = 0;
+    TimeNs end_ = 0;
+};
+
+}  // namespace analysis
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ANALYSIS_TIMELINE_H

@@ -1,0 +1,19 @@
+#include "core/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pinpoint {
+namespace detail {
+
+void
+abort_assert_failure(const char *file, int line, const char *cond,
+                     const std::string &msg)
+{
+    std::fprintf(stderr, "%s:%d: internal assertion failed: %s — %s\n",
+                 file, line, cond, msg.c_str());
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace pinpoint

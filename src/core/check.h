@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error-handling primitives for the pinpoint library.
+ *
+ * Follows the gem5 fatal/panic split: PP_CHECK reports conditions a
+ * user can cause (bad arguments, invalid configuration) and throws
+ * pinpoint::Error; PP_ASSERT guards internal invariants that indicate
+ * a library bug and aborts via assert semantics in all build types.
+ */
+#ifndef PINPOINT_CORE_CHECK_H
+#define PINPOINT_CORE_CHECK_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pinpoint {
+
+/** Exception thrown for user-recoverable errors detected by PP_CHECK. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/** Builds a diagnostic message with source location, then throws. */
+[[noreturn]] inline void
+throw_check_failure(const char *file, int line, const char *cond,
+                    const std::string &msg)
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": check failed: " << cond;
+    if (!msg.empty())
+        os << " — " << msg;
+    throw Error(os.str());
+}
+
+/** Aborts the process with a diagnostic; used for internal bugs. */
+[[noreturn]] void abort_assert_failure(const char *file, int line,
+                                       const char *cond,
+                                       const std::string &msg);
+
+}  // namespace detail
+}  // namespace pinpoint
+
+/**
+ * Validates a user-facing precondition; throws pinpoint::Error when it
+ * does not hold. The message operand may use stream syntax:
+ * PP_CHECK(n > 0, "n must be positive, got " << n);
+ */
+#define PP_CHECK(cond, msg)                                                 \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream pp_check_os_;                                \
+            pp_check_os_ << msg;                                            \
+            ::pinpoint::detail::throw_check_failure(                        \
+                __FILE__, __LINE__, #cond, pp_check_os_.str());             \
+        }                                                                   \
+    } while (0)
+
+/**
+ * Validates an internal invariant; aborts when it does not hold.
+ * Enabled in all build types (memory-behavior bugs must not be
+ * silently optimized away in release benchmarking builds).
+ */
+#define PP_ASSERT(cond, msg)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream pp_assert_os_;                               \
+            pp_assert_os_ << msg;                                           \
+            ::pinpoint::detail::abort_assert_failure(                       \
+                __FILE__, __LINE__, #cond, pp_assert_os_.str());            \
+        }                                                                   \
+    } while (0)
+
+#endif  // PINPOINT_CORE_CHECK_H

@@ -1,0 +1,50 @@
+#include "core/dtype.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+
+std::size_t
+dtype_size(DType dt)
+{
+    switch (dt) {
+      case DType::kF16: return 2;
+      case DType::kF32: return 4;
+      case DType::kF64: return 8;
+      case DType::kI8: return 1;
+      case DType::kI32: return 4;
+      case DType::kI64: return 8;
+      case DType::kU8: return 1;
+    }
+    PP_ASSERT(false, "unhandled dtype " << static_cast<int>(dt));
+}
+
+const char *
+dtype_name(DType dt)
+{
+    switch (dt) {
+      case DType::kF16: return "f16";
+      case DType::kF32: return "f32";
+      case DType::kF64: return "f64";
+      case DType::kI8: return "i8";
+      case DType::kI32: return "i32";
+      case DType::kI64: return "i64";
+      case DType::kU8: return "u8";
+    }
+    PP_ASSERT(false, "unhandled dtype " << static_cast<int>(dt));
+}
+
+DType
+parse_dtype(const std::string &name)
+{
+    if (name == "f16") return DType::kF16;
+    if (name == "f32") return DType::kF32;
+    if (name == "f64") return DType::kF64;
+    if (name == "i8") return DType::kI8;
+    if (name == "i32") return DType::kI32;
+    if (name == "i64") return DType::kI64;
+    if (name == "u8") return DType::kU8;
+    PP_CHECK(false, "unknown dtype name '" << name << "'");
+}
+
+}  // namespace pinpoint

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Element data types for tensors in the simulated training runtime.
+ */
+#ifndef PINPOINT_CORE_DTYPE_H
+#define PINPOINT_CORE_DTYPE_H
+
+#include <cstddef>
+#include <string>
+
+namespace pinpoint {
+
+/** Element type of a tensor; determines per-element storage size. */
+enum class DType : std::uint8_t {
+    kF16 = 0,
+    kF32 = 1,
+    kF64 = 2,
+    kI8 = 3,
+    kI32 = 4,
+    kI64 = 5,
+    kU8 = 6,
+};
+
+/** @return storage size in bytes of one element of @p dt. */
+std::size_t dtype_size(DType dt);
+
+/** @return canonical lowercase name, e.g. "f32". */
+const char *dtype_name(DType dt);
+
+/**
+ * Parses a dtype from its canonical name.
+ * @throws Error when @p name is not a known dtype.
+ */
+DType parse_dtype(const std::string &name);
+
+}  // namespace pinpoint
+
+#endif  // PINPOINT_CORE_DTYPE_H

@@ -1,0 +1,11 @@
+#include "core/tensor_meta.h"
+
+namespace pinpoint {
+
+std::size_t
+TensorMeta::bytes() const
+{
+    return static_cast<std::size_t>(shape.numel()) * dtype_size(dtype);
+}
+
+}  // namespace pinpoint

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fundamental identifier and time types shared by every pinpoint module.
+ */
+#ifndef PINPOINT_CORE_TYPES_H
+#define PINPOINT_CORE_TYPES_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace pinpoint {
+
+/** Simulated time in nanoseconds since engine construction. */
+using TimeNs = std::uint64_t;
+
+/** Identifier of a device memory block handed out by an allocator. */
+using BlockId = std::uint64_t;
+
+/** Identifier of a logical tensor in a training plan. */
+using TensorId = std::uint64_t;
+
+/** Simulated device (GPU) virtual address. */
+using DevPtr = std::uint64_t;
+
+/** Sentinel for "no block". */
+inline constexpr BlockId kInvalidBlock =
+    std::numeric_limits<BlockId>::max();
+
+/** Sentinel for "no tensor" (e.g. allocator-internal events). */
+inline constexpr TensorId kInvalidTensor =
+    std::numeric_limits<TensorId>::max();
+
+/** Sentinel null device pointer. */
+inline constexpr DevPtr kNullDevPtr = 0;
+
+/** Nanoseconds per microsecond, for readability at call sites. */
+inline constexpr TimeNs kNsPerUs = 1000;
+
+/** Nanoseconds per millisecond. */
+inline constexpr TimeNs kNsPerMs = 1000 * 1000;
+
+/** Nanoseconds per second. */
+inline constexpr TimeNs kNsPerSec = 1000ull * 1000 * 1000;
+
+/**
+ * Storage-content category of a tensor, following the paper's
+ * three-way breakdown (Sec. III, "Device Memory Occupation
+ * Breakdown"): input data, parameters, and intermediate results
+ * (activations, gradients, workspaces, optimizer scratch).
+ */
+enum class Category : std::uint8_t {
+    kInput = 0,
+    kParameter = 1,
+    kIntermediate = 2,
+};
+
+/** Number of Category enumerators, for array-indexed accumulators. */
+inline constexpr int kNumCategories = 3;
+
+/** Short human-readable name of a category ("input", ...). */
+inline const char *
+category_name(Category c)
+{
+    switch (c) {
+      case Category::kInput: return "input";
+      case Category::kParameter: return "parameter";
+      case Category::kIntermediate: return "intermediate";
+    }
+    return "unknown";
+}
+
+}  // namespace pinpoint
+
+#endif  // PINPOINT_CORE_TYPES_H

@@ -1,0 +1,81 @@
+#include "nn/graph.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace nn {
+
+NodeId
+Graph::add_input(const std::string &name)
+{
+    PP_CHECK(input_ == kInvalidNode, "graph already has an input node");
+    Node n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.kind = LayerKind::kInput;
+    n.name = name;
+    nodes_.push_back(std::move(n));
+    input_ = nodes_.back().id;
+    return input_;
+}
+
+NodeId
+Graph::add(LayerKind kind, const std::string &name,
+           std::vector<NodeId> inputs, LayerAttrs attrs)
+{
+    PP_CHECK(kind != LayerKind::kInput,
+             "use add_input() for the input node");
+    PP_CHECK(!inputs.empty(), "node '" << name << "' has no inputs");
+    const auto next = static_cast<NodeId>(nodes_.size());
+    for (NodeId in : inputs) {
+        PP_CHECK(in >= 0 && in < next,
+                 "node '" << name << "' references unknown input " << in);
+    }
+    Node n;
+    n.id = next;
+    n.kind = kind;
+    n.name = name;
+    n.inputs = std::move(inputs);
+    n.attrs = std::move(attrs);
+    nodes_.push_back(std::move(n));
+    return next;
+}
+
+const Node &
+Graph::node(NodeId id) const
+{
+    PP_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+             "node id " << id << " out of range");
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+NodeId
+Graph::input() const
+{
+    PP_CHECK(input_ != kInvalidNode, "graph has no input node");
+    return input_;
+}
+
+NodeId
+Graph::output() const
+{
+    PP_CHECK(!nodes_.empty(), "graph is empty");
+    return nodes_.back().id;
+}
+
+std::vector<NodeId>
+Graph::consumers(NodeId id) const
+{
+    std::vector<NodeId> out;
+    for (const auto &n : nodes_) {
+        for (NodeId in : n.inputs) {
+            if (in == id) {
+                out.push_back(n.id);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace nn
+}  // namespace pinpoint

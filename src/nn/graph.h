@@ -1,0 +1,82 @@
+/**
+ * @file
+ * DAG of layer nodes: the model representation of the zoo.
+ */
+#ifndef PINPOINT_NN_GRAPH_H
+#define PINPOINT_NN_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace pinpoint {
+namespace nn {
+
+/** Index of a node within its Graph. */
+using NodeId = std::int32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = -1;
+
+/** One operator instance in a model graph. */
+struct Node {
+    NodeId id = kInvalidNode;
+    LayerKind kind = LayerKind::kInput;
+    /** Qualified name, e.g. "layer1.0.conv2". */
+    std::string name;
+    /** Producer nodes; order matters for kAdd/kConcat. */
+    std::vector<NodeId> inputs;
+    LayerAttrs attrs;
+};
+
+/**
+ * Model graph. Nodes are appended in topological order (every input
+ * must already exist), so node id order is a valid execution order —
+ * the same invariant PyTorch's autograd tape gives the paper's
+ * instrumentation.
+ */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /** Adds the (single) input placeholder node. */
+    NodeId add_input(const std::string &name = "input");
+
+    /**
+     * Appends an operator node.
+     * @throws Error if any input id does not exist yet, or an input
+     * node is added twice.
+     */
+    NodeId add(LayerKind kind, const std::string &name,
+               std::vector<NodeId> inputs, LayerAttrs attrs = NoAttrs{});
+
+    /** @return all nodes in topological (insertion) order. */
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    /** @return node count. */
+    std::size_t size() const { return nodes_.size(); }
+
+    /** @return node @p id. @throws Error when out of range. */
+    const Node &node(NodeId id) const;
+
+    /** @return id of the input node. @throws Error if absent. */
+    NodeId input() const;
+
+    /** @return id of the last node (the model output / loss). */
+    NodeId output() const;
+
+    /** @return ids of nodes that consume @p id's output. */
+    std::vector<NodeId> consumers(NodeId id) const;
+
+  private:
+    std::vector<Node> nodes_;
+    NodeId input_ = kInvalidNode;
+};
+
+}  // namespace nn
+}  // namespace pinpoint
+
+#endif  // PINPOINT_NN_GRAPH_H

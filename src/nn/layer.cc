@@ -1,0 +1,35 @@
+#include "nn/layer.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace nn {
+
+const char *
+layer_kind_name(LayerKind k)
+{
+    switch (k) {
+      case LayerKind::kInput: return "input";
+      case LayerKind::kConv2d: return "conv2d";
+      case LayerKind::kLinear: return "linear";
+      case LayerKind::kReLU: return "relu";
+      case LayerKind::kMaxPool2d: return "maxpool2d";
+      case LayerKind::kAvgPool2d: return "avgpool2d";
+      case LayerKind::kAdaptiveAvgPool2d: return "adaptiveavgpool2d";
+      case LayerKind::kBatchNorm2d: return "batchnorm2d";
+      case LayerKind::kLRN: return "lrn";
+      case LayerKind::kDropout: return "dropout";
+      case LayerKind::kFlatten: return "flatten";
+      case LayerKind::kAdd: return "add";
+      case LayerKind::kConcat: return "concat";
+      case LayerKind::kSoftmaxCrossEntropy: return "softmax_ce";
+      case LayerKind::kEmbedding: return "embedding";
+      case LayerKind::kLayerNorm: return "layernorm";
+      case LayerKind::kGELU: return "gelu";
+      case LayerKind::kSelfAttention: return "self_attention";
+    }
+    PP_ASSERT(false, "unhandled layer kind " << static_cast<int>(k));
+}
+
+}  // namespace nn
+}  // namespace pinpoint

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Layer IR: the operator kinds and attributes the model zoo is built
+ * from. Values never flow through these layers — the IR exists to
+ * derive tensor shapes, parameter sets, FLOP counts, and the
+ * forward/backward op sequence whose memory behavior we characterize.
+ */
+#ifndef PINPOINT_NN_LAYER_H
+#define PINPOINT_NN_LAYER_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace pinpoint {
+namespace nn {
+
+/** Operator kinds supported by the IR. */
+enum class LayerKind : std::uint8_t {
+    kInput,
+    kConv2d,
+    kLinear,
+    kReLU,
+    kMaxPool2d,
+    kAvgPool2d,
+    kAdaptiveAvgPool2d,
+    kBatchNorm2d,
+    kLRN,
+    kDropout,
+    kFlatten,
+    kAdd,
+    kConcat,
+    kSoftmaxCrossEntropy,
+    kEmbedding,
+    kLayerNorm,
+    kGELU,
+    kSelfAttention,
+};
+
+/** @return canonical lowercase name, e.g. "conv2d". */
+const char *layer_kind_name(LayerKind k);
+
+/** Attributes of a 2-D convolution (square kernels, as in the zoo). */
+struct Conv2dAttrs {
+    std::int64_t in_channels = 0;
+    std::int64_t out_channels = 0;
+    std::int64_t kernel = 0;
+    std::int64_t stride = 1;
+    std::int64_t padding = 0;
+    bool bias = true;
+    /**
+     * Channel groups; in_channels == groups gives the depthwise
+     * convolution MobileNet is built from.
+     */
+    std::int64_t groups = 1;
+};
+
+/** Attributes of a fully-connected layer. */
+struct LinearAttrs {
+    std::int64_t in_features = 0;
+    std::int64_t out_features = 0;
+    bool bias = true;
+};
+
+/** Attributes of max/avg pooling. */
+struct Pool2dAttrs {
+    std::int64_t kernel = 0;
+    std::int64_t stride = 0;  ///< 0 means "same as kernel"
+    std::int64_t padding = 0;
+};
+
+/** Attributes of adaptive average pooling (fixed output size). */
+struct AdaptivePool2dAttrs {
+    std::int64_t out_h = 1;
+    std::int64_t out_w = 1;
+};
+
+/** Attributes of 2-D batch normalization. */
+struct BatchNorm2dAttrs {
+    std::int64_t features = 0;
+};
+
+/** Attributes of local response normalization (AlexNet). */
+struct LRNAttrs {
+    std::int64_t size = 5;
+};
+
+/** Attributes of dropout. */
+struct DropoutAttrs {
+    double p = 0.5;
+};
+
+/** Attributes of channel concatenation (Inception). */
+struct ConcatAttrs {
+    int axis = 1;
+};
+
+/** Attributes of a token-embedding lookup table. */
+struct EmbeddingAttrs {
+    std::int64_t vocab = 0;
+    std::int64_t dim = 0;
+};
+
+/** Attributes of layer normalization over the innermost dimension. */
+struct LayerNormAttrs {
+    std::int64_t features = 0;
+};
+
+/**
+ * Attributes of fused scaled-dot-product self-attention consuming
+ * already-projected Q, K, V inputs of shape (N, S, d_model).
+ */
+struct SelfAttentionAttrs {
+    std::int64_t heads = 0;
+    std::int64_t d_model = 0;
+};
+
+/** Placeholder for attribute-free layers. */
+struct NoAttrs {};
+
+/** Tagged union over all per-kind attributes. */
+using LayerAttrs =
+    std::variant<NoAttrs, Conv2dAttrs, LinearAttrs, Pool2dAttrs,
+                 AdaptivePool2dAttrs, BatchNorm2dAttrs, LRNAttrs,
+                 DropoutAttrs, ConcatAttrs, EmbeddingAttrs,
+                 LayerNormAttrs, SelfAttentionAttrs>;
+
+}  // namespace nn
+}  // namespace pinpoint
+
+#endif  // PINPOINT_NN_LAYER_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Model zoo: builders for every network the paper evaluates.
+ */
+#ifndef PINPOINT_NN_MODELS_H
+#define PINPOINT_NN_MODELS_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/shape.h"
+#include "nn/graph.h"
+
+namespace pinpoint {
+namespace nn {
+
+/** A built model: graph plus the metadata benches need. */
+struct Model {
+    /** Display name, e.g. "resnet50". */
+    std::string name;
+    /** The layer graph, ending in a softmax cross-entropy loss. */
+    Graph graph;
+    /** Per-sample input shape (no batch dim), e.g. {3, 224, 224}. */
+    Shape sample_shape;
+    /** Number of output classes. */
+    int num_classes = 0;
+
+    /** @return full input shape for @p batch samples. */
+    Shape input_shape(std::int64_t batch) const;
+};
+
+/**
+ * The paper's trivial MLP (Fig. 1): x -> W0 matmul -> +b0 -> ReLU ->
+ * W1 matmul -> +b1 -> y, with W0 of shape (in, hidden) = (2, 12288).
+ */
+Model mlp(std::int64_t in_features = 2, std::int64_t hidden = 12288,
+          std::int64_t out_features = 2);
+
+/** AlexNet for 224x224 ImageNet input (torchvision structure + LRN). */
+Model alexnet_imagenet(int num_classes = 1000);
+
+/** AlexNet adapted to 32x32 CIFAR input (Fig. 6 workload). */
+Model alexnet_cifar(int num_classes = 100);
+
+/** VGG-16 (configuration D) for 224x224 input. */
+Model vgg16(int num_classes = 1000, bool batch_norm = false);
+
+/**
+ * ResNet for 224x224 ImageNet input.
+ * @param depth one of 18, 34, 50, 101, 152 (Fig. 7 workloads).
+ * @throws Error for unsupported depths.
+ */
+Model resnet(int depth, int num_classes = 1000);
+
+/** GoogLeNet-style Inception v1 for 224x224 input. */
+Model inception_v1(int num_classes = 1000);
+
+/** MobileNetV1 (depthwise-separable convolutions), 224x224 input. */
+Model mobilenet_v1(int num_classes = 1000);
+
+/** SqueezeNet 1.0 (fire modules), 224x224 input. */
+Model squeezenet(int num_classes = 1000);
+
+/** Configuration of a BERT-style transformer encoder. */
+struct TransformerConfig {
+    int layers = 12;
+    std::int64_t d_model = 768;
+    std::int64_t heads = 12;
+    std::int64_t d_ff = 3072;
+    std::int64_t seq_len = 128;
+    std::int64_t vocab = 30522;
+};
+
+/**
+ * Transformer encoder with a token-level language-modeling loss.
+ * The attention probabilities (N, heads, S, S) are materialized per
+ * layer, reproducing the seq^2 memory term of transformer training —
+ * the workload class the paper's introduction motivates via GPT-3.
+ */
+Model transformer_encoder(const TransformerConfig &cfg = {});
+
+}  // namespace nn
+}  // namespace pinpoint
+
+#endif  // PINPOINT_NN_MODELS_H

@@ -1,0 +1,103 @@
+#include "nn/models.h"
+
+namespace pinpoint {
+namespace nn {
+namespace {
+
+/** conv -> relu pair, returning the relu's node id. */
+NodeId
+conv_relu(Graph &g, const std::string &name, NodeId in,
+          std::int64_t cin, std::int64_t cout, std::int64_t k,
+          std::int64_t s, std::int64_t p)
+{
+    NodeId c = g.add(LayerKind::kConv2d, name, {in},
+                     Conv2dAttrs{cin, cout, k, s, p, true});
+    return g.add(LayerKind::kReLU, name + ".relu", {c});
+}
+
+}  // namespace
+
+Model
+alexnet_imagenet(int num_classes)
+{
+    Model m;
+    m.name = "alexnet";
+    m.sample_shape = Shape{3, 224, 224};
+    m.num_classes = num_classes;
+
+    Graph &g = m.graph;
+    NodeId x = g.add_input();
+    NodeId t = conv_relu(g, "features.conv1", x, 3, 64, 11, 4, 2);
+    t = g.add(LayerKind::kLRN, "features.lrn1", {t}, LRNAttrs{5});
+    t = g.add(LayerKind::kMaxPool2d, "features.pool1", {t},
+              Pool2dAttrs{3, 2, 0});
+    t = conv_relu(g, "features.conv2", t, 64, 192, 5, 1, 2);
+    t = g.add(LayerKind::kLRN, "features.lrn2", {t}, LRNAttrs{5});
+    t = g.add(LayerKind::kMaxPool2d, "features.pool2", {t},
+              Pool2dAttrs{3, 2, 0});
+    t = conv_relu(g, "features.conv3", t, 192, 384, 3, 1, 1);
+    t = conv_relu(g, "features.conv4", t, 384, 256, 3, 1, 1);
+    t = conv_relu(g, "features.conv5", t, 256, 256, 3, 1, 1);
+    t = g.add(LayerKind::kMaxPool2d, "features.pool3", {t},
+              Pool2dAttrs{3, 2, 0});
+    t = g.add(LayerKind::kAdaptiveAvgPool2d, "avgpool", {t},
+              AdaptivePool2dAttrs{6, 6});
+    t = g.add(LayerKind::kFlatten, "flatten", {t});
+    t = g.add(LayerKind::kDropout, "classifier.drop1", {t},
+              DropoutAttrs{0.5});
+    t = g.add(LayerKind::kLinear, "classifier.fc1", {t},
+              LinearAttrs{256 * 6 * 6, 4096, true});
+    t = g.add(LayerKind::kReLU, "classifier.relu1", {t});
+    t = g.add(LayerKind::kDropout, "classifier.drop2", {t},
+              DropoutAttrs{0.5});
+    t = g.add(LayerKind::kLinear, "classifier.fc2", {t},
+              LinearAttrs{4096, 4096, true});
+    t = g.add(LayerKind::kReLU, "classifier.relu2", {t});
+    t = g.add(LayerKind::kLinear, "classifier.fc3", {t},
+              LinearAttrs{4096, num_classes, true});
+    g.add(LayerKind::kSoftmaxCrossEntropy, "loss", {t});
+    return m;
+}
+
+Model
+alexnet_cifar(int num_classes)
+{
+    Model m;
+    m.name = "alexnet-cifar";
+    m.sample_shape = Shape{3, 32, 32};
+    m.num_classes = num_classes;
+
+    // Stride/kernel-reduced adaptation of AlexNet commonly used for
+    // 32x32 inputs: 32 -> 16 -> 8 -> 4 -> 2 spatial pyramid.
+    Graph &g = m.graph;
+    NodeId x = g.add_input();
+    NodeId t = conv_relu(g, "features.conv1", x, 3, 64, 3, 2, 1);
+    t = g.add(LayerKind::kMaxPool2d, "features.pool1", {t},
+              Pool2dAttrs{2, 2, 0});
+    t = conv_relu(g, "features.conv2", t, 64, 192, 3, 1, 1);
+    t = g.add(LayerKind::kMaxPool2d, "features.pool2", {t},
+              Pool2dAttrs{2, 2, 0});
+    t = conv_relu(g, "features.conv3", t, 192, 384, 3, 1, 1);
+    t = conv_relu(g, "features.conv4", t, 384, 256, 3, 1, 1);
+    t = conv_relu(g, "features.conv5", t, 256, 256, 3, 1, 1);
+    t = g.add(LayerKind::kMaxPool2d, "features.pool3", {t},
+              Pool2dAttrs{2, 2, 0});
+    t = g.add(LayerKind::kFlatten, "flatten", {t});
+    t = g.add(LayerKind::kDropout, "classifier.drop1", {t},
+              DropoutAttrs{0.5});
+    t = g.add(LayerKind::kLinear, "classifier.fc1", {t},
+              LinearAttrs{256 * 2 * 2, 4096, true});
+    t = g.add(LayerKind::kReLU, "classifier.relu1", {t});
+    t = g.add(LayerKind::kDropout, "classifier.drop2", {t},
+              DropoutAttrs{0.5});
+    t = g.add(LayerKind::kLinear, "classifier.fc2", {t},
+              LinearAttrs{4096, 4096, true});
+    t = g.add(LayerKind::kReLU, "classifier.relu2", {t});
+    t = g.add(LayerKind::kLinear, "classifier.fc3", {t},
+              LinearAttrs{4096, num_classes, true});
+    g.add(LayerKind::kSoftmaxCrossEntropy, "loss", {t});
+    return m;
+}
+
+}  // namespace nn
+}  // namespace pinpoint

@@ -1,0 +1,108 @@
+#include "nn/models.h"
+
+namespace pinpoint {
+namespace nn {
+namespace {
+
+/** conv -> bn -> relu, torchvision's BasicConv2d. */
+NodeId
+basic_conv(Graph &g, const std::string &name, NodeId in,
+           std::int64_t cin, std::int64_t cout, std::int64_t k,
+           std::int64_t s, std::int64_t p)
+{
+    NodeId c = g.add(LayerKind::kConv2d, name, {in},
+                     Conv2dAttrs{cin, cout, k, s, p, false});
+    NodeId b = g.add(LayerKind::kBatchNorm2d, name + ".bn", {c},
+                     BatchNorm2dAttrs{cout});
+    return g.add(LayerKind::kReLU, name + ".relu", {b});
+}
+
+/** Channel plan of one inception module. */
+struct InceptionCfg {
+    std::int64_t b1;        ///< 1x1 branch
+    std::int64_t b2_red;    ///< 3x3 reduce
+    std::int64_t b2;        ///< 3x3 branch
+    std::int64_t b3_red;    ///< 5x5 reduce
+    std::int64_t b3;        ///< 5x5 branch
+    std::int64_t b4;        ///< pool projection
+};
+
+NodeId
+inception_block(Graph &g, const std::string &name, NodeId in,
+                std::int64_t cin, const InceptionCfg &c)
+{
+    NodeId b1 = basic_conv(g, name + ".branch1", in, cin, c.b1, 1, 1, 0);
+
+    NodeId b2 =
+        basic_conv(g, name + ".branch2.reduce", in, cin, c.b2_red, 1, 1, 0);
+    b2 = basic_conv(g, name + ".branch2.conv", b2, c.b2_red, c.b2, 3, 1, 1);
+
+    NodeId b3 =
+        basic_conv(g, name + ".branch3.reduce", in, cin, c.b3_red, 1, 1, 0);
+    b3 = basic_conv(g, name + ".branch3.conv", b3, c.b3_red, c.b3, 5, 1, 2);
+
+    NodeId b4 = g.add(LayerKind::kMaxPool2d, name + ".branch4.pool",
+                      {in}, Pool2dAttrs{3, 1, 1});
+    b4 = basic_conv(g, name + ".branch4.proj", b4, cin, c.b4, 1, 1, 0);
+
+    return g.add(LayerKind::kConcat, name + ".concat", {b1, b2, b3, b4},
+                 ConcatAttrs{1});
+}
+
+}  // namespace
+
+Model
+inception_v1(int num_classes)
+{
+    Model m;
+    m.name = "inception_v1";
+    m.sample_shape = Shape{3, 224, 224};
+    m.num_classes = num_classes;
+
+    Graph &g = m.graph;
+    NodeId x = g.add_input();
+    NodeId t = basic_conv(g, "conv1", x, 3, 64, 7, 2, 3);       // 112
+    t = g.add(LayerKind::kMaxPool2d, "maxpool1", {t},
+              Pool2dAttrs{3, 2, 1});                            // 56
+    t = basic_conv(g, "conv2", t, 64, 64, 1, 1, 0);
+    t = basic_conv(g, "conv3", t, 64, 192, 3, 1, 1);
+    t = g.add(LayerKind::kMaxPool2d, "maxpool2", {t},
+              Pool2dAttrs{3, 2, 1});                            // 28
+
+    t = inception_block(g, "inception3a", t, 192,
+                        {64, 96, 128, 16, 32, 32});             // 256
+    t = inception_block(g, "inception3b", t, 256,
+                        {128, 128, 192, 32, 96, 64});           // 480
+    t = g.add(LayerKind::kMaxPool2d, "maxpool3", {t},
+              Pool2dAttrs{3, 2, 1});                            // 14
+
+    t = inception_block(g, "inception4a", t, 480,
+                        {192, 96, 208, 16, 48, 64});            // 512
+    t = inception_block(g, "inception4b", t, 512,
+                        {160, 112, 224, 24, 64, 64});           // 512
+    t = inception_block(g, "inception4c", t, 512,
+                        {128, 128, 256, 24, 64, 64});           // 512
+    t = inception_block(g, "inception4d", t, 512,
+                        {112, 144, 288, 32, 64, 64});           // 528
+    t = inception_block(g, "inception4e", t, 528,
+                        {256, 160, 320, 32, 128, 128});         // 832
+    t = g.add(LayerKind::kMaxPool2d, "maxpool4", {t},
+              Pool2dAttrs{3, 2, 1});                            // 7
+
+    t = inception_block(g, "inception5a", t, 832,
+                        {256, 160, 320, 32, 128, 128});         // 832
+    t = inception_block(g, "inception5b", t, 832,
+                        {384, 192, 384, 48, 128, 128});         // 1024
+
+    t = g.add(LayerKind::kAdaptiveAvgPool2d, "avgpool", {t},
+              AdaptivePool2dAttrs{1, 1});
+    t = g.add(LayerKind::kFlatten, "flatten", {t});
+    t = g.add(LayerKind::kDropout, "dropout", {t}, DropoutAttrs{0.4});
+    t = g.add(LayerKind::kLinear, "fc", {t},
+              LinearAttrs{1024, num_classes, true});
+    g.add(LayerKind::kSoftmaxCrossEntropy, "loss", {t});
+    return m;
+}
+
+}  // namespace nn
+}  // namespace pinpoint

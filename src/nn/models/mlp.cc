@@ -1,0 +1,43 @@
+#include "nn/models.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace nn {
+
+Shape
+Model::input_shape(std::int64_t batch) const
+{
+    PP_CHECK(batch > 0, "batch must be positive, got " << batch);
+    std::vector<std::int64_t> dims;
+    dims.push_back(batch);
+    for (auto d : sample_shape.dims())
+        dims.push_back(d);
+    return Shape(std::move(dims));
+}
+
+Model
+mlp(std::int64_t in_features, std::int64_t hidden,
+    std::int64_t out_features)
+{
+    PP_CHECK(in_features > 0 && hidden > 0 && out_features > 0,
+             "mlp dimensions must be positive");
+    Model m;
+    m.name = "mlp";
+    m.sample_shape = Shape{in_features};
+    m.num_classes = static_cast<int>(out_features);
+
+    Graph &g = m.graph;
+    NodeId x = g.add_input();
+    // Fig. 1 of the paper: star (mat_mul) + plus (add_bias) + f (ReLU).
+    NodeId fc0 = g.add(LayerKind::kLinear, "fc0", {x},
+                       LinearAttrs{in_features, hidden, true});
+    NodeId act = g.add(LayerKind::kReLU, "relu0", {fc0});
+    NodeId fc1 = g.add(LayerKind::kLinear, "fc1", {act},
+                       LinearAttrs{hidden, out_features, true});
+    g.add(LayerKind::kSoftmaxCrossEntropy, "loss", {fc1});
+    return m;
+}
+
+}  // namespace nn
+}  // namespace pinpoint

@@ -1,0 +1,73 @@
+#include "nn/models.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace nn {
+namespace {
+
+/** conv -> bn -> relu, the MobileNet building brick. */
+NodeId
+conv_bn_relu(Graph &g, const std::string &name, NodeId in,
+             std::int64_t cin, std::int64_t cout, std::int64_t k,
+             std::int64_t s, std::int64_t p, std::int64_t groups)
+{
+    Conv2dAttrs attrs{cin, cout, k, s, p, false};
+    attrs.groups = groups;
+    NodeId c = g.add(LayerKind::kConv2d, name, {in}, attrs);
+    NodeId b = g.add(LayerKind::kBatchNorm2d, name + ".bn", {c},
+                     BatchNorm2dAttrs{cout});
+    return g.add(LayerKind::kReLU, name + ".relu", {b});
+}
+
+/** Depthwise 3x3 + pointwise 1x1 separable block. */
+NodeId
+separable(Graph &g, const std::string &name, NodeId in,
+          std::int64_t cin, std::int64_t cout, std::int64_t stride)
+{
+    NodeId t = conv_bn_relu(g, name + ".dw", in, cin, cin, 3, stride,
+                            1, cin);
+    return conv_bn_relu(g, name + ".pw", t, cin, cout, 1, 1, 0, 1);
+}
+
+}  // namespace
+
+Model
+mobilenet_v1(int num_classes)
+{
+    Model m;
+    m.name = "mobilenet_v1";
+    m.sample_shape = Shape{3, 224, 224};
+    m.num_classes = num_classes;
+
+    // (out channels, stride) plan of the 13 separable blocks.
+    struct Stage {
+        std::int64_t cout;
+        std::int64_t stride;
+    };
+    const Stage plan[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2},
+                          {256, 1}, {512, 2}, {512, 1}, {512, 1},
+                          {512, 1}, {512, 1}, {512, 1}, {1024, 2},
+                          {1024, 1}};
+
+    Graph &g = m.graph;
+    NodeId x = g.add_input();
+    NodeId t = conv_bn_relu(g, "conv1", x, 3, 32, 3, 2, 1, 1);
+    std::int64_t cin = 32;
+    int idx = 0;
+    for (const Stage &stage : plan) {
+        t = separable(g, "block" + std::to_string(++idx), t, cin,
+                      stage.cout, stage.stride);
+        cin = stage.cout;
+    }
+    t = g.add(LayerKind::kAdaptiveAvgPool2d, "avgpool", {t},
+              AdaptivePool2dAttrs{1, 1});
+    t = g.add(LayerKind::kFlatten, "flatten", {t});
+    t = g.add(LayerKind::kLinear, "fc", {t},
+              LinearAttrs{1024, num_classes, true});
+    g.add(LayerKind::kSoftmaxCrossEntropy, "loss", {t});
+    return m;
+}
+
+}  // namespace nn
+}  // namespace pinpoint

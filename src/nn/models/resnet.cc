@@ -1,0 +1,123 @@
+#include "nn/models.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace nn {
+namespace {
+
+/** conv -> bn, returning the bn node (no activation). */
+NodeId
+conv_bn(Graph &g, const std::string &name, NodeId in, std::int64_t cin,
+        std::int64_t cout, std::int64_t k, std::int64_t s,
+        std::int64_t p)
+{
+    NodeId c = g.add(LayerKind::kConv2d, name, {in},
+                     Conv2dAttrs{cin, cout, k, s, p, false});
+    return g.add(LayerKind::kBatchNorm2d, name + ".bn", {c},
+                 BatchNorm2dAttrs{cout});
+}
+
+/** Two 3x3 convolutions with an identity/projection shortcut. */
+NodeId
+basic_block(Graph &g, const std::string &name, NodeId in,
+            std::int64_t cin, std::int64_t planes, std::int64_t stride)
+{
+    NodeId t = conv_bn(g, name + ".conv1", in, cin, planes, 3, stride, 1);
+    t = g.add(LayerKind::kReLU, name + ".relu1", {t});
+    t = conv_bn(g, name + ".conv2", t, planes, planes, 3, 1, 1);
+
+    NodeId shortcut = in;
+    if (stride != 1 || cin != planes)
+        shortcut = conv_bn(g, name + ".downsample", in, cin, planes, 1,
+                           stride, 0);
+    NodeId sum = g.add(LayerKind::kAdd, name + ".add", {t, shortcut});
+    return g.add(LayerKind::kReLU, name + ".relu2", {sum});
+}
+
+/** 1x1 -> 3x3 -> 1x1 bottleneck with 4x channel expansion. */
+NodeId
+bottleneck_block(Graph &g, const std::string &name, NodeId in,
+                 std::int64_t cin, std::int64_t planes,
+                 std::int64_t stride)
+{
+    const std::int64_t out = planes * 4;
+    NodeId t = conv_bn(g, name + ".conv1", in, cin, planes, 1, 1, 0);
+    t = g.add(LayerKind::kReLU, name + ".relu1", {t});
+    t = conv_bn(g, name + ".conv2", t, planes, planes, 3, stride, 1);
+    t = g.add(LayerKind::kReLU, name + ".relu2", {t});
+    t = conv_bn(g, name + ".conv3", t, planes, out, 1, 1, 0);
+
+    NodeId shortcut = in;
+    if (stride != 1 || cin != out)
+        shortcut =
+            conv_bn(g, name + ".downsample", in, cin, out, 1, stride, 0);
+    NodeId sum = g.add(LayerKind::kAdd, name + ".add", {t, shortcut});
+    return g.add(LayerKind::kReLU, name + ".relu3", {sum});
+}
+
+struct ResNetConfig {
+    bool bottleneck;
+    int blocks[4];
+};
+
+ResNetConfig
+config_for_depth(int depth)
+{
+    switch (depth) {
+      case 18: return {false, {2, 2, 2, 2}};
+      case 34: return {false, {3, 4, 6, 3}};
+      case 50: return {true, {3, 4, 6, 3}};
+      case 101: return {true, {3, 4, 23, 3}};
+      case 152: return {true, {3, 8, 36, 3}};
+      default:
+        PP_CHECK(false, "unsupported resnet depth " << depth
+                 << " (supported: 18, 34, 50, 101, 152)");
+    }
+}
+
+}  // namespace
+
+Model
+resnet(int depth, int num_classes)
+{
+    const ResNetConfig cfg = config_for_depth(depth);
+    const std::int64_t expansion = cfg.bottleneck ? 4 : 1;
+
+    Model m;
+    m.name = "resnet" + std::to_string(depth);
+    m.sample_shape = Shape{3, 224, 224};
+    m.num_classes = num_classes;
+
+    Graph &g = m.graph;
+    NodeId x = g.add_input();
+    NodeId t = conv_bn(g, "conv1", x, 3, 64, 7, 2, 3);
+    t = g.add(LayerKind::kReLU, "relu1", {t});
+    t = g.add(LayerKind::kMaxPool2d, "maxpool", {t}, Pool2dAttrs{3, 2, 1});
+
+    std::int64_t cin = 64;
+    const std::int64_t planes_per_stage[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        const std::int64_t planes = planes_per_stage[stage];
+        for (int b = 0; b < cfg.blocks[stage]; ++b) {
+            const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+            const std::string name = "layer" + std::to_string(stage + 1) +
+                                     "." + std::to_string(b);
+            t = cfg.bottleneck
+                    ? bottleneck_block(g, name, t, cin, planes, stride)
+                    : basic_block(g, name, t, cin, planes, stride);
+            cin = planes * expansion;
+        }
+    }
+
+    t = g.add(LayerKind::kAdaptiveAvgPool2d, "avgpool", {t},
+              AdaptivePool2dAttrs{1, 1});
+    t = g.add(LayerKind::kFlatten, "flatten", {t});
+    t = g.add(LayerKind::kLinear, "fc", {t},
+              LinearAttrs{512 * expansion, num_classes, true});
+    g.add(LayerKind::kSoftmaxCrossEntropy, "loss", {t});
+    return m;
+}
+
+}  // namespace nn
+}  // namespace pinpoint

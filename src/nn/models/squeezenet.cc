@@ -1,0 +1,70 @@
+#include "nn/models.h"
+
+namespace pinpoint {
+namespace nn {
+namespace {
+
+NodeId
+conv_relu(Graph &g, const std::string &name, NodeId in,
+          std::int64_t cin, std::int64_t cout, std::int64_t k,
+          std::int64_t s, std::int64_t p)
+{
+    NodeId c = g.add(LayerKind::kConv2d, name, {in},
+                     Conv2dAttrs{cin, cout, k, s, p, true});
+    return g.add(LayerKind::kReLU, name + ".relu", {c});
+}
+
+/** Fire module: 1x1 squeeze, then parallel 1x1/3x3 expands + concat. */
+NodeId
+fire(Graph &g, const std::string &name, NodeId in, std::int64_t cin,
+     std::int64_t squeeze, std::int64_t e1, std::int64_t e3)
+{
+    NodeId s = conv_relu(g, name + ".squeeze", in, cin, squeeze, 1, 1,
+                         0);
+    NodeId x1 = conv_relu(g, name + ".expand1x1", s, squeeze, e1, 1,
+                          1, 0);
+    NodeId x3 = conv_relu(g, name + ".expand3x3", s, squeeze, e3, 3,
+                          1, 1);
+    return g.add(LayerKind::kConcat, name + ".concat", {x1, x3},
+                 ConcatAttrs{1});
+}
+
+}  // namespace
+
+Model
+squeezenet(int num_classes)
+{
+    Model m;
+    m.name = "squeezenet1_0";
+    m.sample_shape = Shape{3, 224, 224};
+    m.num_classes = num_classes;
+
+    Graph &g = m.graph;
+    NodeId x = g.add_input();
+    NodeId t = conv_relu(g, "features.conv1", x, 3, 96, 7, 2, 0);
+    t = g.add(LayerKind::kMaxPool2d, "features.pool1", {t},
+              Pool2dAttrs{3, 2, 0});
+    t = fire(g, "features.fire2", t, 96, 16, 64, 64);
+    t = fire(g, "features.fire3", t, 128, 16, 64, 64);
+    t = fire(g, "features.fire4", t, 128, 32, 128, 128);
+    t = g.add(LayerKind::kMaxPool2d, "features.pool2", {t},
+              Pool2dAttrs{3, 2, 0});
+    t = fire(g, "features.fire5", t, 256, 32, 128, 128);
+    t = fire(g, "features.fire6", t, 256, 48, 192, 192);
+    t = fire(g, "features.fire7", t, 384, 48, 192, 192);
+    t = fire(g, "features.fire8", t, 384, 64, 256, 256);
+    t = g.add(LayerKind::kMaxPool2d, "features.pool3", {t},
+              Pool2dAttrs{3, 2, 0});
+    t = fire(g, "features.fire9", t, 512, 64, 256, 256);
+    t = g.add(LayerKind::kDropout, "classifier.drop", {t},
+              DropoutAttrs{0.5});
+    t = conv_relu(g, "classifier.conv", t, 512, num_classes, 1, 1, 0);
+    t = g.add(LayerKind::kAdaptiveAvgPool2d, "avgpool", {t},
+              AdaptivePool2dAttrs{1, 1});
+    t = g.add(LayerKind::kFlatten, "flatten", {t});
+    g.add(LayerKind::kSoftmaxCrossEntropy, "loss", {t});
+    return m;
+}
+
+}  // namespace nn
+}  // namespace pinpoint

@@ -1,0 +1,79 @@
+#include "nn/models.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace nn {
+namespace {
+
+/** One post-LN encoder layer (BERT-style). */
+NodeId
+encoder_layer(Graph &g, const std::string &name, NodeId x,
+              std::int64_t d_model, std::int64_t heads,
+              std::int64_t d_ff)
+{
+    // Self-attention sublayer.
+    NodeId q = g.add(LayerKind::kLinear, name + ".attn.q", {x},
+                     LinearAttrs{d_model, d_model, true});
+    NodeId k = g.add(LayerKind::kLinear, name + ".attn.k", {x},
+                     LinearAttrs{d_model, d_model, true});
+    NodeId v = g.add(LayerKind::kLinear, name + ".attn.v", {x},
+                     LinearAttrs{d_model, d_model, true});
+    NodeId attn = g.add(LayerKind::kSelfAttention, name + ".attn.sdpa",
+                        {q, k, v},
+                        SelfAttentionAttrs{heads, d_model});
+    NodeId proj = g.add(LayerKind::kLinear, name + ".attn.out",
+                        {attn}, LinearAttrs{d_model, d_model, true});
+    NodeId drop1 = g.add(LayerKind::kDropout, name + ".attn.drop",
+                         {proj}, DropoutAttrs{0.1});
+    NodeId res1 =
+        g.add(LayerKind::kAdd, name + ".attn.residual", {x, drop1});
+    NodeId ln1 = g.add(LayerKind::kLayerNorm, name + ".ln1", {res1},
+                       LayerNormAttrs{d_model});
+
+    // Feed-forward sublayer.
+    NodeId ff1 = g.add(LayerKind::kLinear, name + ".ff.fc1", {ln1},
+                       LinearAttrs{d_model, d_ff, true});
+    NodeId act = g.add(LayerKind::kGELU, name + ".ff.gelu", {ff1});
+    NodeId ff2 = g.add(LayerKind::kLinear, name + ".ff.fc2", {act},
+                       LinearAttrs{d_ff, d_model, true});
+    NodeId drop2 = g.add(LayerKind::kDropout, name + ".ff.drop",
+                         {ff2}, DropoutAttrs{0.1});
+    NodeId res2 =
+        g.add(LayerKind::kAdd, name + ".ff.residual", {ln1, drop2});
+    return g.add(LayerKind::kLayerNorm, name + ".ln2", {res2},
+                 LayerNormAttrs{d_model});
+}
+
+}  // namespace
+
+Model
+transformer_encoder(const TransformerConfig &cfg)
+{
+    PP_CHECK(cfg.layers > 0 && cfg.d_model > 0 && cfg.heads > 0 &&
+                 cfg.d_ff > 0 && cfg.seq_len > 0 && cfg.vocab > 0,
+             "invalid transformer configuration");
+    PP_CHECK(cfg.d_model % cfg.heads == 0,
+             "d_model must be divisible by heads");
+
+    Model m;
+    m.name = "transformer-" + std::to_string(cfg.layers) + "L-" +
+             std::to_string(cfg.d_model) + "d";
+    m.sample_shape = Shape{cfg.seq_len};  // token ids per sample
+    m.num_classes = static_cast<int>(cfg.vocab);
+
+    Graph &g = m.graph;
+    NodeId t = g.add_input("tokens");
+    t = g.add(LayerKind::kEmbedding, "embed", {t},
+              EmbeddingAttrs{cfg.vocab, cfg.d_model});
+    for (int i = 0; i < cfg.layers; ++i)
+        t = encoder_layer(g, "layer" + std::to_string(i), t,
+                          cfg.d_model, cfg.heads, cfg.d_ff);
+    t = g.add(LayerKind::kLinear, "lm_head", {t},
+              LinearAttrs{cfg.d_model, cfg.vocab, true});
+    g.add(LayerKind::kSoftmaxCrossEntropy, "loss", {t});
+    return m;
+}
+
+}  // namespace nn
+}  // namespace pinpoint

@@ -1,0 +1,62 @@
+#include "nn/models.h"
+
+namespace pinpoint {
+namespace nn {
+
+Model
+vgg16(int num_classes, bool batch_norm)
+{
+    Model m;
+    m.name = batch_norm ? "vgg16_bn" : "vgg16";
+    m.sample_shape = Shape{3, 224, 224};
+    m.num_classes = num_classes;
+
+    // Configuration D: channel plan with 'M' denoting 2x2 max pool.
+    static constexpr std::int64_t kPool = -1;
+    const std::int64_t cfg[] = {64, 64, kPool, 128, 128, kPool,
+                                256, 256, 256, kPool, 512, 512, 512,
+                                kPool, 512, 512, 512, kPool};
+
+    Graph &g = m.graph;
+    NodeId t = g.add_input();
+    std::int64_t cin = 3;
+    int conv_idx = 0;
+    int pool_idx = 0;
+    for (std::int64_t c : cfg) {
+        if (c == kPool) {
+            t = g.add(LayerKind::kMaxPool2d,
+                      "features.pool" + std::to_string(++pool_idx), {t},
+                      Pool2dAttrs{2, 2, 0});
+            continue;
+        }
+        const std::string base =
+            "features.conv" + std::to_string(++conv_idx);
+        t = g.add(LayerKind::kConv2d, base, {t},
+                  Conv2dAttrs{cin, c, 3, 1, 1, true});
+        if (batch_norm)
+            t = g.add(LayerKind::kBatchNorm2d, base + ".bn", {t},
+                      BatchNorm2dAttrs{c});
+        t = g.add(LayerKind::kReLU, base + ".relu", {t});
+        cin = c;
+    }
+    t = g.add(LayerKind::kAdaptiveAvgPool2d, "avgpool", {t},
+              AdaptivePool2dAttrs{7, 7});
+    t = g.add(LayerKind::kFlatten, "flatten", {t});
+    t = g.add(LayerKind::kLinear, "classifier.fc1", {t},
+              LinearAttrs{512 * 7 * 7, 4096, true});
+    t = g.add(LayerKind::kReLU, "classifier.relu1", {t});
+    t = g.add(LayerKind::kDropout, "classifier.drop1", {t},
+              DropoutAttrs{0.5});
+    t = g.add(LayerKind::kLinear, "classifier.fc2", {t},
+              LinearAttrs{4096, 4096, true});
+    t = g.add(LayerKind::kReLU, "classifier.relu2", {t});
+    t = g.add(LayerKind::kDropout, "classifier.drop2", {t},
+              DropoutAttrs{0.5});
+    t = g.add(LayerKind::kLinear, "classifier.fc3", {t},
+              LinearAttrs{4096, num_classes, true});
+    g.add(LayerKind::kSoftmaxCrossEntropy, "loss", {t});
+    return m;
+}
+
+}  // namespace nn
+}  // namespace pinpoint

@@ -1,0 +1,390 @@
+#include "nn/shape_infer.h"
+
+#include <cstdint>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace nn {
+namespace {
+
+using std::int64_t;
+
+/** Output extent of a strided window op along one spatial dim. */
+int64_t
+window_out(int64_t in, int64_t kernel, int64_t stride, int64_t padding,
+           const std::string &name)
+{
+    PP_CHECK(kernel > 0 && stride > 0 && padding >= 0,
+             "invalid window attrs on '" << name << "'");
+    const int64_t numer = in + 2 * padding - kernel;
+    PP_CHECK(numer >= 0, "'" << name << "': window (k=" << kernel
+             << ", p=" << padding << ") larger than input " << in);
+    return numer / stride + 1;
+}
+
+/** Requires a rank-4 NCHW shape. */
+void
+require_nchw(const Shape &s, const std::string &name)
+{
+    PP_CHECK(s.rank() == 4,
+             "'" << name << "' expects NCHW input, got " << s.to_string());
+}
+
+NodeInfo
+infer_conv2d(const Node &n, const Shape &in)
+{
+    const auto &a = std::get<Conv2dAttrs>(n.attrs);
+    require_nchw(in, n.name);
+    PP_CHECK(in.dim(1) == a.in_channels,
+             "'" << n.name << "': input has " << in.dim(1)
+                 << " channels, conv expects " << a.in_channels);
+    PP_CHECK(a.groups >= 1 && a.in_channels % a.groups == 0 &&
+                 a.out_channels % a.groups == 0,
+             "'" << n.name << "': channels (" << a.in_channels << ", "
+                 << a.out_channels << ") not divisible by groups "
+                 << a.groups);
+    const int64_t ho = window_out(in.dim(2), a.kernel, a.stride,
+                                  a.padding, n.name);
+    const int64_t wo = window_out(in.dim(3), a.kernel, a.stride,
+                                  a.padding, n.name);
+    const int64_t cin_per_group = a.in_channels / a.groups;
+    NodeInfo info;
+    info.out_shape = Shape{in.dim(0), a.out_channels, ho, wo};
+    info.params.push_back(
+        {n.name + ".weight",
+         Shape{a.out_channels, cin_per_group, a.kernel, a.kernel}});
+    if (a.bias)
+        info.params.push_back({n.name + ".bias", Shape{a.out_channels}});
+    info.fwd_flops = 2.0 * static_cast<double>(in.dim(0)) *
+                     static_cast<double>(a.out_channels) *
+                     static_cast<double>(ho) * static_cast<double>(wo) *
+                     static_cast<double>(cin_per_group) *
+                     static_cast<double>(a.kernel * a.kernel);
+    info.bwd_flops = 2.0 * info.fwd_flops;
+    return info;
+}
+
+NodeInfo
+infer_linear(const Node &n, const Shape &in)
+{
+    const auto &a = std::get<LinearAttrs>(n.attrs);
+    PP_CHECK(in.rank() >= 2, "'" << n.name << "' expects a rank>=2 "
+             "input, got " << in.to_string()
+             << " (add a flatten layer)");
+    PP_CHECK(in.dim(-1) == a.in_features,
+             "'" << n.name << "': input features " << in.dim(-1)
+                 << " != expected " << a.in_features);
+    // Like torch.nn.Linear: applies to the innermost dimension.
+    std::vector<int64_t> dims = in.dims();
+    dims.back() = a.out_features;
+    const double rows = static_cast<double>(in.numel()) /
+                        static_cast<double>(a.in_features);
+    NodeInfo info;
+    info.out_shape = Shape(std::move(dims));
+    info.params.push_back(
+        {n.name + ".weight", Shape{a.out_features, a.in_features}});
+    if (a.bias)
+        info.params.push_back({n.name + ".bias", Shape{a.out_features}});
+    info.fwd_flops = 2.0 * rows * static_cast<double>(a.in_features) *
+                     static_cast<double>(a.out_features);
+    info.bwd_flops = 2.0 * info.fwd_flops;
+    return info;
+}
+
+NodeInfo
+infer_embedding(const Node &n, const Shape &in)
+{
+    const auto &a = std::get<EmbeddingAttrs>(n.attrs);
+    PP_CHECK(a.vocab > 0 && a.dim > 0,
+             "'" << n.name << "': invalid embedding attrs");
+    NodeInfo info;
+    info.out_shape = in.appended(a.dim);
+    info.params.push_back(
+        {n.name + ".weight", Shape{a.vocab, a.dim}});
+    // A gather: one element moved per output element.
+    info.fwd_flops = static_cast<double>(info.out_shape.numel());
+    info.bwd_flops = info.fwd_flops;
+    return info;
+}
+
+NodeInfo
+infer_layernorm(const Node &n, const Shape &in)
+{
+    const auto &a = std::get<LayerNormAttrs>(n.attrs);
+    PP_CHECK(in.rank() >= 2 && in.dim(-1) == a.features,
+             "'" << n.name << "': innermost dim " << in.dim(-1)
+                 << " != normalized features " << a.features);
+    NodeInfo info;
+    info.out_shape = in;
+    info.params.push_back({n.name + ".weight", Shape{a.features}});
+    info.params.push_back({n.name + ".bias", Shape{a.features}});
+    info.fwd_flops = 5.0 * static_cast<double>(in.numel());
+    info.bwd_flops = 5.0 * static_cast<double>(in.numel());
+    return info;
+}
+
+NodeInfo
+infer_self_attention(const Node &n, const std::vector<NodeInfo> &infos)
+{
+    const auto &a = std::get<SelfAttentionAttrs>(n.attrs);
+    PP_CHECK(n.inputs.size() == 3,
+             "'" << n.name << "': self-attention expects Q, K, V");
+    const Shape &q = infos[static_cast<std::size_t>(n.inputs[0])].out_shape;
+    PP_CHECK(q.rank() == 3 && q.dim(2) == a.d_model,
+             "'" << n.name << "': Q must be (N, S, d_model), got "
+                 << q.to_string());
+    PP_CHECK(a.heads > 0 && a.d_model % a.heads == 0,
+             "'" << n.name << "': d_model " << a.d_model
+                 << " not divisible by heads " << a.heads);
+    for (NodeId in : n.inputs) {
+        const Shape &o = infos[static_cast<std::size_t>(in)].out_shape;
+        PP_CHECK(o == q, "'" << n.name << "': Q/K/V shapes differ");
+    }
+    NodeInfo info;
+    info.out_shape = q;
+    // QK^T and PV are each 2*N*S*S*D flops; softmax is lower order.
+    info.fwd_flops = 4.0 * static_cast<double>(q.dim(0)) *
+                     static_cast<double>(q.dim(1)) *
+                     static_cast<double>(q.dim(1)) *
+                     static_cast<double>(q.dim(2));
+    info.bwd_flops = 2.0 * info.fwd_flops;
+    return info;
+}
+
+NodeInfo
+infer_pool(const Node &n, const Shape &in)
+{
+    const auto &a = std::get<Pool2dAttrs>(n.attrs);
+    require_nchw(in, n.name);
+    const int64_t stride = a.stride > 0 ? a.stride : a.kernel;
+    const int64_t ho =
+        window_out(in.dim(2), a.kernel, stride, a.padding, n.name);
+    const int64_t wo =
+        window_out(in.dim(3), a.kernel, stride, a.padding, n.name);
+    NodeInfo info;
+    info.out_shape = Shape{in.dim(0), in.dim(1), ho, wo};
+    info.fwd_flops = static_cast<double>(info.out_shape.numel()) *
+                     static_cast<double>(a.kernel * a.kernel);
+    info.bwd_flops = info.fwd_flops;
+    return info;
+}
+
+NodeInfo
+infer_adaptive_pool(const Node &n, const Shape &in)
+{
+    const auto &a = std::get<AdaptivePool2dAttrs>(n.attrs);
+    require_nchw(in, n.name);
+    PP_CHECK(a.out_h > 0 && a.out_w > 0,
+             "'" << n.name << "': invalid output size");
+    NodeInfo info;
+    info.out_shape = Shape{in.dim(0), in.dim(1), a.out_h, a.out_w};
+    info.fwd_flops = static_cast<double>(in.numel());
+    info.bwd_flops = info.fwd_flops;
+    return info;
+}
+
+NodeInfo
+infer_batchnorm(const Node &n, const Shape &in)
+{
+    const auto &a = std::get<BatchNorm2dAttrs>(n.attrs);
+    require_nchw(in, n.name);
+    PP_CHECK(in.dim(1) == a.features,
+             "'" << n.name << "': input has " << in.dim(1)
+                 << " channels, bn expects " << a.features);
+    NodeInfo info;
+    info.out_shape = in;
+    info.params.push_back({n.name + ".weight", Shape{a.features}});
+    info.params.push_back({n.name + ".bias", Shape{a.features}});
+    info.params.push_back(
+        {n.name + ".running_mean", Shape{a.features}, false});
+    info.params.push_back(
+        {n.name + ".running_var", Shape{a.features}, false});
+    info.fwd_flops = 4.0 * static_cast<double>(in.numel());
+    info.bwd_flops = 4.0 * static_cast<double>(in.numel());
+    return info;
+}
+
+NodeInfo
+infer_eltwise(const Node &n, const Shape &in, double flops_per_elem)
+{
+    NodeInfo info;
+    info.out_shape = in;
+    info.fwd_flops =
+        flops_per_elem * static_cast<double>(in.numel());
+    info.bwd_flops = info.fwd_flops;
+    (void)n;
+    return info;
+}
+
+NodeInfo
+infer_add(const Node &n, const std::vector<NodeInfo> &infos,
+          const Graph &graph)
+{
+    PP_CHECK(n.inputs.size() == 2,
+             "'" << n.name << "': add expects exactly 2 inputs");
+    const Shape &a = infos[static_cast<std::size_t>(n.inputs[0])].out_shape;
+    const Shape &b = infos[static_cast<std::size_t>(n.inputs[1])].out_shape;
+    PP_CHECK(a == b, "'" << n.name << "': add operand shapes differ: "
+             << a.to_string() << " vs " << b.to_string());
+    (void)graph;
+    NodeInfo info;
+    info.out_shape = a;
+    info.fwd_flops = static_cast<double>(a.numel());
+    info.bwd_flops = info.fwd_flops;
+    return info;
+}
+
+NodeInfo
+infer_concat(const Node &n, const std::vector<NodeInfo> &infos)
+{
+    const auto &a = std::get<ConcatAttrs>(n.attrs);
+    PP_CHECK(a.axis == 1, "'" << n.name
+             << "': only channel (axis=1) concat is supported");
+    PP_CHECK(n.inputs.size() >= 2,
+             "'" << n.name << "': concat expects >= 2 inputs");
+    const Shape &first =
+        infos[static_cast<std::size_t>(n.inputs[0])].out_shape;
+    PP_CHECK(first.rank() == 4,
+             "'" << n.name << "' expects NCHW inputs");
+    int64_t channels = 0;
+    for (NodeId in : n.inputs) {
+        const Shape &s = infos[static_cast<std::size_t>(in)].out_shape;
+        PP_CHECK(s.rank() == 4 && s.dim(0) == first.dim(0) &&
+                     s.dim(2) == first.dim(2) && s.dim(3) == first.dim(3),
+                 "'" << n.name << "': concat operand " << s.to_string()
+                     << " incompatible with " << first.to_string());
+        channels += s.dim(1);
+    }
+    NodeInfo info;
+    info.out_shape =
+        Shape{first.dim(0), channels, first.dim(2), first.dim(3)};
+    info.fwd_flops = 0.0;  // pure data movement
+    info.bwd_flops = 0.0;
+    return info;
+}
+
+NodeInfo
+infer_softmax_ce(const Node &n, const Shape &in)
+{
+    // Rank 2 for classification, rank 3 for per-token LM losses.
+    PP_CHECK(in.rank() == 2 || in.rank() == 3,
+             "'" << n.name << "' expects (batch[, seq], classes) "
+                 "logits, got " << in.to_string());
+    NodeInfo info;
+    info.out_shape = Shape{1};  // scalar loss
+    info.fwd_flops = 6.0 * static_cast<double>(in.numel());
+    info.bwd_flops = 2.0 * static_cast<double>(in.numel());
+    return info;
+}
+
+}  // namespace
+
+std::vector<NodeInfo>
+infer(const Graph &graph, const Shape &input_shape)
+{
+    PP_CHECK(input_shape.rank() >= 1 && input_shape.dim(0) > 0,
+             "input shape must have a positive batch dimension, got "
+                 << input_shape.to_string());
+    std::vector<NodeInfo> infos;
+    infos.reserve(graph.size());
+    for (const Node &n : graph.nodes()) {
+        const Shape *in = nullptr;
+        if (!n.inputs.empty())
+            in = &infos[static_cast<std::size_t>(n.inputs[0])].out_shape;
+
+        NodeInfo info;
+        switch (n.kind) {
+          case LayerKind::kInput:
+            info.out_shape = input_shape;
+            break;
+          case LayerKind::kConv2d:
+            info = infer_conv2d(n, *in);
+            break;
+          case LayerKind::kLinear:
+            info = infer_linear(n, *in);
+            break;
+          case LayerKind::kReLU:
+            info = infer_eltwise(n, *in, 1.0);
+            break;
+          case LayerKind::kMaxPool2d:
+          case LayerKind::kAvgPool2d:
+            info = infer_pool(n, *in);
+            break;
+          case LayerKind::kAdaptiveAvgPool2d:
+            info = infer_adaptive_pool(n, *in);
+            break;
+          case LayerKind::kBatchNorm2d:
+            info = infer_batchnorm(n, *in);
+            break;
+          case LayerKind::kLRN: {
+            const auto &a = std::get<LRNAttrs>(n.attrs);
+            info = infer_eltwise(n, *in,
+                                 2.0 * static_cast<double>(a.size));
+            break;
+          }
+          case LayerKind::kDropout:
+            info = infer_eltwise(n, *in, 1.0);
+            break;
+          case LayerKind::kFlatten:
+            info.out_shape = in->flattened_2d();
+            break;
+          case LayerKind::kAdd:
+            info = infer_add(n, infos, graph);
+            break;
+          case LayerKind::kConcat:
+            info = infer_concat(n, infos);
+            break;
+          case LayerKind::kSoftmaxCrossEntropy:
+            info = infer_softmax_ce(n, *in);
+            break;
+          case LayerKind::kEmbedding:
+            info = infer_embedding(n, *in);
+            break;
+          case LayerKind::kLayerNorm:
+            info = infer_layernorm(n, *in);
+            break;
+          case LayerKind::kGELU:
+            info = infer_eltwise(n, *in, 8.0);
+            break;
+          case LayerKind::kSelfAttention:
+            info = infer_self_attention(n, infos);
+            break;
+        }
+        infos.push_back(std::move(info));
+    }
+    return infos;
+}
+
+std::int64_t
+total_param_count(const std::vector<NodeInfo> &infos)
+{
+    std::int64_t n = 0;
+    for (const auto &info : infos)
+        for (const auto &p : info.params)
+            if (p.trainable)
+                n += p.shape.numel();
+    return n;
+}
+
+std::int64_t
+total_param_bytes(const std::vector<NodeInfo> &infos)
+{
+    std::int64_t n = 0;
+    for (const auto &info : infos)
+        for (const auto &p : info.params)
+            n += p.shape.numel() * 4;
+    return n;
+}
+
+double
+total_fwd_flops(const std::vector<NodeInfo> &infos)
+{
+    double f = 0.0;
+    for (const auto &info : infos)
+        f += info.fwd_flops;
+    return f;
+}
+
+}  // namespace nn
+}  // namespace pinpoint

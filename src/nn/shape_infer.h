@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Static analysis of a model graph: output shapes, parameter tensors,
+ * and FLOP counts per node. Everything the plan builder needs to turn
+ * a graph into a training-iteration op sequence.
+ */
+#ifndef PINPOINT_NN_SHAPE_INFER_H
+#define PINPOINT_NN_SHAPE_INFER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/shape.h"
+#include "nn/graph.h"
+
+namespace pinpoint {
+namespace nn {
+
+/** One parameter (or persistent buffer) tensor owned by a node. */
+struct ParamSpec {
+    /** Qualified name, e.g. "conv1.weight". */
+    std::string name;
+    Shape shape;
+    /** False for persistent buffers (BN running statistics). */
+    bool trainable = true;
+};
+
+/** Derived static information for one node. */
+struct NodeInfo {
+    /** Output activation shape (batch included). */
+    Shape out_shape;
+    /** Parameters and buffers owned by the node. */
+    std::vector<ParamSpec> params;
+    /** Forward-pass floating point operations. */
+    double fwd_flops = 0.0;
+    /** Backward-pass floating point operations. */
+    double bwd_flops = 0.0;
+};
+
+/**
+ * Infers shapes, parameters, and FLOPs for every node of @p graph
+ * given the model input shape @p input_shape (batch included,
+ * e.g. {32, 3, 224, 224}).
+ *
+ * @return one NodeInfo per node, indexed by NodeId.
+ * @throws Error on shape mismatches or invalid attributes.
+ */
+std::vector<NodeInfo> infer(const Graph &graph, const Shape &input_shape);
+
+/** @return total trainable parameter element count. */
+std::int64_t total_param_count(const std::vector<NodeInfo> &infos);
+
+/** @return total parameter + buffer bytes at dtype f32. */
+std::int64_t total_param_bytes(const std::vector<NodeInfo> &infos);
+
+/** @return total forward FLOPs of one iteration. */
+double total_fwd_flops(const std::vector<NodeInfo> &infos);
+
+}  // namespace nn
+}  // namespace pinpoint
+
+#endif  // PINPOINT_NN_SHAPE_INFER_H

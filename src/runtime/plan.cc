@@ -1,0 +1,55 @@
+#include "runtime/plan.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace runtime {
+
+const char *
+op_phase_name(OpPhase p)
+{
+    switch (p) {
+      case OpPhase::kDataLoad: return "data_load";
+      case OpPhase::kForward: return "forward";
+      case OpPhase::kBackward: return "backward";
+      case OpPhase::kOptimizer: return "optimizer";
+    }
+    PP_ASSERT(false, "unhandled op phase " << static_cast<int>(p));
+}
+
+const TensorMeta &
+Plan::tensor(TensorId id) const
+{
+    PP_CHECK(id < tensors.size(), "tensor id " << id << " out of range");
+    return tensors[static_cast<std::size_t>(id)];
+}
+
+TensorId
+Plan::named(const std::string &name) const
+{
+    auto it = by_name.find(name);
+    PP_CHECK(it != by_name.end(), "no tensor named '" << name << "'");
+    return it->second;
+}
+
+std::size_t
+Plan::persistent_bytes() const
+{
+    std::size_t n = 0;
+    for (TensorId id : persistent)
+        n += tensor(id).bytes();
+    return n;
+}
+
+std::size_t
+Plan::parameter_bytes() const
+{
+    std::size_t n = 0;
+    for (const auto &t : tensors)
+        if (t.category == Category::kParameter)
+            n += t.bytes();
+    return n;
+}
+
+}  // namespace runtime
+}  // namespace pinpoint

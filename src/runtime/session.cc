@@ -1,0 +1,73 @@
+#include "runtime/session.h"
+
+#include <memory>
+
+#include "alloc/buddy_allocator.h"
+#include "alloc/caching_allocator.h"
+#include "alloc/device_memory.h"
+#include "alloc/direct_allocator.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+
+namespace pinpoint {
+namespace runtime {
+
+SessionResult
+run_training(const nn::Model &model, const SessionConfig &config)
+{
+    SessionResult result;
+    result.plan = build_plan(model, config.batch, config.plan);
+
+    alloc::DeviceMemory device(config.device.dram_bytes);
+    sim::VirtualClock clock;
+    sim::CostModel cost(config.device);
+
+    std::unique_ptr<alloc::Allocator> allocator;
+    switch (config.allocator) {
+      case AllocatorKind::kCaching:
+        allocator = std::make_unique<alloc::CachingAllocator>(
+            device, clock, cost);
+        break;
+      case AllocatorKind::kDirect:
+        allocator = std::make_unique<alloc::DirectAllocator>(
+            device, clock, cost);
+        break;
+      case AllocatorKind::kBuddy: {
+        // Largest power-of-two arena the device can hold.
+        std::size_t arena = 1;
+        while (arena * 2 <= config.device.dram_bytes)
+            arena *= 2;
+        allocator = std::make_unique<alloc::BuddyAllocator>(
+            device, clock, cost, arena);
+        break;
+      }
+    }
+
+    {
+        Engine engine(result.plan, *allocator, clock, cost,
+                      config.record_trace ? &result.trace : nullptr,
+                      config.engine);
+        if (config.iterations > 1) {
+            // Measure steady-state iteration time over the last
+            // iterations (the first one pays cold-cache costs).
+            engine.run(config.iterations - 1);
+            const TimeNs before = clock.now();
+            engine.run(1);
+            result.iteration_time = clock.now() - before;
+        } else {
+            engine.run(config.iterations);
+        }
+        result.usage = engine.usage();
+        result.end_time = clock.now();
+        // Heap-layout fragmentation is meaningful while the workload
+        // still holds its blocks, i.e. before teardown.
+        result.device_fragmentation = device.external_fragmentation();
+        engine.teardown();
+        result.alloc_stats = allocator->stats();
+    }
+    result.peak_reserved_bytes = device.peak_reserved_bytes();
+    return result;
+}
+
+}  // namespace runtime
+}  // namespace pinpoint

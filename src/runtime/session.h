@@ -1,0 +1,79 @@
+/**
+ * @file
+ * One-call training-characterization API: build a plan, run the
+ * simulated training, return the trace and summary statistics.
+ */
+#ifndef PINPOINT_RUNTIME_SESSION_H
+#define PINPOINT_RUNTIME_SESSION_H
+
+#include <cstdint>
+
+#include "alloc/allocator.h"
+#include "nn/models.h"
+#include "runtime/engine.h"
+#include "runtime/plan_builder.h"
+#include "sim/device_spec.h"
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace runtime {
+
+/** Which allocator backs the run. */
+enum class AllocatorKind : std::uint8_t {
+    kCaching,  ///< PyTorch-style caching allocator (the paper's setup)
+    kDirect,   ///< raw cudaMalloc/cudaFree baseline
+    kBuddy,    ///< binary buddy arena (kernel-style ablation point)
+};
+
+/** Full configuration of a characterization run. */
+struct SessionConfig {
+    /** Batch size. */
+    std::int64_t batch = 32;
+    /** Number of training iterations to simulate. */
+    int iterations = 5;
+    /** Simulated device (defaults to the paper's Titan X Pascal). */
+    sim::DeviceSpec device = sim::DeviceSpec::titan_x_pascal();
+    /** Allocator selection. */
+    AllocatorKind allocator = AllocatorKind::kCaching;
+    /** Plan lowering options. */
+    PlanOptions plan;
+    /** Engine options (staging buffer etc.). */
+    EngineOptions engine;
+    /** Record the memory-event trace (disable for pure timing). */
+    bool record_trace = true;
+};
+
+/** Everything a characterization run produces. */
+struct SessionResult {
+    /** The recorded memory behaviors. */
+    trace::TraceRecorder trace;
+    /** The plan that was executed. */
+    Plan plan;
+    /** Allocator counters at the end of the run. */
+    alloc::AllocatorStats alloc_stats;
+    /** Engine per-category accounting. */
+    MemoryUsage usage;
+    /** Simulated time at the end of the run. */
+    TimeNs end_time = 0;
+    /** Simulated wall time of one steady-state iteration. */
+    TimeNs iteration_time = 0;
+    /** Device reservation high-water mark. */
+    std::size_t peak_reserved_bytes = 0;
+    /** External fragmentation of the device heap at the end. */
+    double device_fragmentation = 0.0;
+};
+
+/**
+ * Runs the full pipeline: plan @p model at @p config.batch, execute
+ * @p config.iterations iterations on a fresh simulated device, and
+ * collect the trace plus summary statistics.
+ *
+ * @throws Error (or DeviceOomError) when the workload cannot run.
+ */
+SessionResult run_training(const nn::Model &model,
+                           const SessionConfig &config = {});
+
+}  // namespace runtime
+}  // namespace pinpoint
+
+#endif  // PINPOINT_RUNTIME_SESSION_H

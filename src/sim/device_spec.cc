@@ -1,0 +1,68 @@
+#include "sim/device_spec.h"
+
+namespace pinpoint {
+namespace sim {
+namespace {
+
+constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+constexpr std::size_t kGiB = 1024ull * 1024 * 1024;
+
+}  // namespace
+
+DeviceSpec
+DeviceSpec::titan_x_pascal()
+{
+    DeviceSpec s;
+    s.name = "NVIDIA Titan X (Pascal)";
+    s.dram_bytes = 12ull * kGiB;
+    s.dram_bw_bps = 480.0 * kGB;
+    s.fp32_flops = 10.97e12;
+    // Calibrated so small training kernels land in the paper's
+    // observed 10-25 us window (Fig. 3).
+    s.launch_overhead_ns = 6000;
+    // PCIe 3.0 x16 pinned bandwidth as measured by the paper with
+    // CUDA's bandwidthTest (Sec. III).
+    s.h2d_bw_bps = 6.3 * kGB;
+    s.d2h_bw_bps = 6.4 * kGB;
+    s.cuda_malloc_ns = 80000;   // driver allocation is slow (~0.1 ms)
+    s.cuda_free_ns = 40000;
+    s.memcpy_latency_ns = 10000;
+    return s;
+}
+
+DeviceSpec
+DeviceSpec::a100_40gb()
+{
+    DeviceSpec s;
+    s.name = "NVIDIA A100 40GB";
+    s.dram_bytes = 40ull * kGiB;
+    s.dram_bw_bps = 1555.0 * kGB;
+    s.fp32_flops = 19.5e12;
+    s.launch_overhead_ns = 4000;
+    s.h2d_bw_bps = 24.0 * kGB;
+    s.d2h_bw_bps = 24.0 * kGB;
+    s.cuda_malloc_ns = 60000;
+    s.cuda_free_ns = 30000;
+    s.memcpy_latency_ns = 8000;
+    return s;
+}
+
+DeviceSpec
+DeviceSpec::tiny_test_device()
+{
+    DeviceSpec s;
+    s.name = "tiny-test-device";
+    s.dram_bytes = 256ull * 1024 * 1024;
+    s.dram_bw_bps = 100.0 * kGB;
+    s.fp32_flops = 1.0e12;
+    s.launch_overhead_ns = 1000;
+    s.h2d_bw_bps = 4.0 * kGB;
+    s.d2h_bw_bps = 4.0 * kGB;
+    s.cuda_malloc_ns = 10000;
+    s.cuda_free_ns = 5000;
+    s.memcpy_latency_ns = 2000;
+    return s;
+}
+
+}  // namespace sim
+}  // namespace pinpoint

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Hardware description of the simulated accelerator and its host link.
+ */
+#ifndef PINPOINT_SIM_DEVICE_SPEC_H
+#define PINPOINT_SIM_DEVICE_SPEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pinpoint {
+namespace sim {
+
+/**
+ * Static performance/capacity parameters of a simulated device.
+ * The Titan X (Pascal) preset matches the paper's testbed: the PCIe
+ * bandwidths are the paper's own `bandwidthTest` measurements
+ * (6.3 GB/s host-to-device, 6.4 GB/s device-to-host).
+ */
+struct DeviceSpec {
+    /** Marketing name, for reports. */
+    std::string name;
+    /** Device DRAM capacity in bytes. */
+    std::size_t dram_bytes = 0;
+    /** Device DRAM bandwidth in bytes/second. */
+    double dram_bw_bps = 0.0;
+    /** Peak fp32 throughput in FLOP/s. */
+    double fp32_flops = 0.0;
+    /** Fixed kernel launch overhead in nanoseconds. */
+    std::uint64_t launch_overhead_ns = 0;
+    /** Host-to-device pinned-memory copy bandwidth, bytes/second. */
+    double h2d_bw_bps = 0.0;
+    /** Device-to-host pinned-memory copy bandwidth, bytes/second. */
+    double d2h_bw_bps = 0.0;
+    /** Modeled latency of one cudaMalloc driver call, nanoseconds. */
+    std::uint64_t cuda_malloc_ns = 0;
+    /** Modeled latency of one cudaFree driver call, nanoseconds. */
+    std::uint64_t cuda_free_ns = 0;
+    /** Fixed per-memcpy setup latency, nanoseconds. */
+    std::uint64_t memcpy_latency_ns = 0;
+
+    /** Titan X (Pascal): the paper's GPU. */
+    static DeviceSpec titan_x_pascal();
+    /** A100-40GB: the Ampere part the paper's intro cites. */
+    static DeviceSpec a100_40gb();
+    /** Tiny 256 MB device for OOM and fragmentation tests. */
+    static DeviceSpec tiny_test_device();
+};
+
+}  // namespace sim
+}  // namespace pinpoint
+
+#endif  // PINPOINT_SIM_DEVICE_SPEC_H

@@ -1,0 +1,50 @@
+#include "sim/pcie.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace sim {
+
+BandwidthSample
+BandwidthTest::measure(CopyDir dir, std::size_t bytes,
+                       int repetitions) const
+{
+    PP_CHECK(bytes > 0, "transfer size must be positive");
+    PP_CHECK(repetitions > 0, "repetitions must be positive");
+    TimeNs total = 0;
+    for (int i = 0; i < repetitions; ++i) {
+        total += dir == CopyDir::kHostToDevice ? model_.h2d_time(bytes)
+                                               : model_.d2h_time(bytes);
+    }
+    const double sec =
+        static_cast<double>(total) / static_cast<double>(kNsPerSec);
+    const double moved =
+        static_cast<double>(bytes) * static_cast<double>(repetitions);
+    return BandwidthSample{dir, bytes, moved / sec};
+}
+
+std::vector<BandwidthSample>
+BandwidthTest::sweep(std::size_t min_bytes, std::size_t max_bytes) const
+{
+    PP_CHECK(min_bytes > 0 && min_bytes <= max_bytes,
+             "invalid sweep range [" << min_bytes << ", " << max_bytes
+                                     << "]");
+    std::vector<BandwidthSample> out;
+    for (auto dir : {CopyDir::kHostToDevice, CopyDir::kDeviceToHost}) {
+        for (std::size_t sz = min_bytes; sz <= max_bytes; sz *= 2) {
+            out.push_back(measure(dir, sz));
+            if (sz > max_bytes / 2)
+                break;  // avoid overflow on sz *= 2
+        }
+    }
+    return out;
+}
+
+double
+BandwidthTest::asymptotic_bps(CopyDir dir) const
+{
+    return measure(dir, 32ull * 1024 * 1024).effective_bps;
+}
+
+}  // namespace sim
+}  // namespace pinpoint

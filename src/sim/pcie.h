@@ -1,0 +1,72 @@
+/**
+ * @file
+ * PCIe transfer model and a `bandwidthTest` equivalent.
+ *
+ * The paper measures host/device copy bandwidth with the CUDA SDK's
+ * bandwidthTest sample and feeds the result into its swap-feasibility
+ * bound (Eq. 1). This module reproduces that methodology against the
+ * simulated link: effective bandwidth is measured, not assumed, so
+ * the per-copy setup latency shows up at small transfer sizes exactly
+ * as it does on real hardware.
+ */
+#ifndef PINPOINT_SIM_PCIE_H
+#define PINPOINT_SIM_PCIE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace pinpoint {
+namespace sim {
+
+/** Direction of a host/device transfer. */
+enum class CopyDir {
+    kHostToDevice,
+    kDeviceToHost,
+};
+
+/** One measured point of the bandwidth sweep. */
+struct BandwidthSample {
+    CopyDir dir;
+    std::size_t bytes;
+    /** Effective bandwidth in bytes/second (includes setup latency). */
+    double effective_bps;
+};
+
+/**
+ * Simulated equivalent of CUDA's bandwidthTest. Runs @p repetitions
+ * copies per size on the cost model and reports effective bandwidth.
+ */
+class BandwidthTest
+{
+  public:
+    /** Builds the test against cost model @p model. */
+    explicit BandwidthTest(const CostModel &model) : model_(model) {}
+
+    /** Measures one (direction, size) point. */
+    BandwidthSample measure(CopyDir dir, std::size_t bytes,
+                            int repetitions = 10) const;
+
+    /**
+     * Sweeps transfer sizes (powers of two from @p min_bytes to
+     * @p max_bytes inclusive) in both directions.
+     */
+    std::vector<BandwidthSample> sweep(std::size_t min_bytes,
+                                       std::size_t max_bytes) const;
+
+    /**
+     * The "pinned memory transfer bandwidth" number the paper quotes:
+     * effective bandwidth at a large (32 MB) transfer, where setup
+     * latency is amortized away.
+     */
+    double asymptotic_bps(CopyDir dir) const;
+
+  private:
+    const CostModel &model_;
+};
+
+}  // namespace sim
+}  // namespace pinpoint
+
+#endif  // PINPOINT_SIM_PCIE_H

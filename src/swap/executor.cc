@@ -1,0 +1,131 @@
+#include "swap/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "analysis/timeline.h"
+#include "core/check.h"
+
+namespace pinpoint {
+namespace swap {
+namespace {
+
+/** Pure-bandwidth transfer time (Eq. 1 ignores setup latency too). */
+TimeNs
+transfer_ns(std::size_t bytes, double bps)
+{
+    return static_cast<TimeNs>(std::ceil(
+        static_cast<double>(bytes) / bps *
+        static_cast<double>(kNsPerSec)));
+}
+
+/** Occupancy change at a time point. */
+struct Edge {
+    TimeNs t;
+    std::int64_t delta;
+};
+
+std::size_t
+peak_of(std::vector<Edge> edges)
+{
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge &a, const Edge &b) {
+                  if (a.t != b.t)
+                      return a.t < b.t;
+                  return a.delta < b.delta;
+              });
+    std::int64_t cur = 0;
+    std::int64_t best = 0;
+    for (const auto &e : edges) {
+        cur += e.delta;
+        best = std::max(best, cur);
+    }
+    return static_cast<std::size_t>(best);
+}
+
+}  // namespace
+
+SwapExecutionResult
+execute_plan(const trace::TraceRecorder &recorder,
+             const SwapPlanReport &plan,
+             const analysis::LinkBandwidth &link)
+{
+    PP_CHECK(link.d2h_bps > 0 && link.h2d_bps > 0,
+             "executor needs positive link bandwidths");
+
+    analysis::Timeline timeline(recorder);
+    std::unordered_map<BlockId, const analysis::BlockLifetime *>
+        by_id;
+    for (const auto &b : timeline.blocks())
+        by_id.emplace(b.block, &b);
+
+    // Baseline occupancy edges.
+    std::vector<Edge> edges;
+    edges.reserve(timeline.blocks().size() * 2 +
+                  plan.decisions.size() * 2);
+    for (const auto &b : timeline.blocks()) {
+        edges.push_back({b.alloc_time,
+                         static_cast<std::int64_t>(b.size)});
+        if (b.freed)
+            edges.push_back({b.free_time,
+                             -static_cast<std::int64_t>(b.size)});
+    }
+
+    SwapExecutionResult result;
+    result.original_peak_bytes = peak_of(edges);
+
+    for (const auto &d : plan.decisions) {
+        auto it = by_id.find(d.block);
+        PP_CHECK(it != by_id.end(),
+                 "plan references unknown block " << d.block);
+        const auto &b = *it->second;
+        PP_CHECK(d.gap_start >= b.alloc_time &&
+                     (!b.freed || d.gap_end <= b.free_time),
+                 "decision gap escapes block " << d.block
+                                               << "'s lifetime");
+        PP_CHECK(std::binary_search(b.accesses.begin(),
+                                    b.accesses.end(), d.gap_start) &&
+                     std::binary_search(b.accesses.begin(),
+                                        b.accesses.end(), d.gap_end),
+                 "decision gap endpoints are not accesses of block "
+                     << d.block);
+
+        const TimeNs out_time = transfer_ns(d.size, link.d2h_bps);
+        const TimeNs in_time = transfer_ns(d.size, link.h2d_bps);
+        const TimeNs out_done = d.gap_start + out_time;
+        // The swap-in must start early enough to finish by gap_end;
+        // if the gap is too tight the access stalls instead.
+        TimeNs in_start =
+            d.gap_end > in_time ? d.gap_end - in_time : 0;
+        if (in_start < out_done) {
+            // Off-device window would be empty or negative: the
+            // round trip does not fit; the residual is a stall.
+            const TimeNs needed = out_time + in_time;
+            const TimeNs gap = d.gap_end - d.gap_start;
+            if (needed > gap)
+                result.measured_stall += needed - gap;
+            in_start = out_done;
+        }
+        if (in_start > out_done) {
+            edges.push_back(
+                {out_done, -static_cast<std::int64_t>(d.size)});
+            edges.push_back(
+                {in_start, static_cast<std::int64_t>(d.size)});
+        }
+        result.d2h_bytes += d.size;
+        result.h2d_bytes += d.size;
+        result.transfer_time += out_time + in_time;
+        ++result.executed_decisions;
+    }
+
+    result.new_peak_bytes = peak_of(std::move(edges));
+    result.measured_peak_reduction =
+        result.original_peak_bytes > result.new_peak_bytes
+            ? result.original_peak_bytes - result.new_peak_bytes
+            : 0;
+    return result;
+}
+
+}  // namespace swap
+}  // namespace pinpoint

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Swap executor: replays a recorded trace with a swap plan applied
+ * and measures what actually happens — residency-adjusted peak
+ * occupancy, bytes moved over the PCIe link, and the stalls
+ * non-hideable swaps add. Used to validate the planner's predictions
+ * inside the simulation instead of trusting the cost model twice.
+ */
+#ifndef PINPOINT_SWAP_EXECUTOR_H
+#define PINPOINT_SWAP_EXECUTOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "swap/planner.h"
+
+namespace pinpoint {
+namespace swap {
+
+/** Measured outcome of executing a swap plan over a trace. */
+struct SwapExecutionResult {
+    /** Peak live bytes of the unmodified trace. */
+    std::size_t original_peak_bytes = 0;
+    /** Peak device-resident bytes with the plan applied. */
+    std::size_t new_peak_bytes = 0;
+    /** original - new (saturating at 0). */
+    std::size_t measured_peak_reduction = 0;
+    /** Total bytes copied device-to-host. */
+    std::size_t d2h_bytes = 0;
+    /** Total bytes copied host-to-device. */
+    std::size_t h2d_bytes = 0;
+    /** Link busy time for all transfers. */
+    TimeNs transfer_time = 0;
+    /** Stall time where a swap-in could not finish inside its gap. */
+    TimeNs measured_stall = 0;
+    /** Number of decisions executed. */
+    std::size_t executed_decisions = 0;
+};
+
+/**
+ * Executes @p plan against @p recorder's trace under @p link timing.
+ *
+ * The residency model: a swapped block leaves the device once its
+ * swap-out transfer completes (gap_start + size/Bd2h) and returns
+ * when its swap-in starts (gap_end - size/Bh2d, clamped to the
+ * swap-out completion). Occupancy between those instants excludes
+ * the block; everything else replays the original trace.
+ *
+ * @throws Error when a decision references a block the trace does
+ * not contain, or a gap that does not match the block's accesses.
+ */
+SwapExecutionResult execute_plan(const trace::TraceRecorder &recorder,
+                                 const SwapPlanReport &plan,
+                                 const analysis::LinkBandwidth &link);
+
+}  // namespace swap
+}  // namespace pinpoint
+
+#endif  // PINPOINT_SWAP_EXECUTOR_H

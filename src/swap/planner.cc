@@ -1,0 +1,75 @@
+#include "swap/planner.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace swap {
+
+SwapPlanner::SwapPlanner(PlannerOptions options)
+    : options_(std::move(options))
+{
+    PP_CHECK(options_.link.d2h_bps > 0 && options_.link.h2d_bps > 0,
+             "planner needs positive link bandwidths");
+    PP_CHECK(options_.safety_factor >= 1.0,
+             "safety_factor must be >= 1.0");
+}
+
+SwapPlanReport
+SwapPlanner::plan(const trace::TraceRecorder &recorder) const
+{
+    analysis::Timeline timeline(recorder);
+    SwapPlanReport report;
+
+    const TimeNs peak_time = timeline.peak_time();
+    report.original_peak_bytes = timeline.live_bytes_at(peak_time);
+
+    for (const auto &b : timeline.blocks()) {
+        if (b.size < options_.min_block_bytes)
+            continue;
+        // Walk the access gaps: alloc .. a0 .. a1 .. ... .. free.
+        // Only gaps between two accesses qualify — before the first
+        // access the block holds no data worth preserving, and after
+        // the last one it is about to be freed anyway.
+        for (std::size_t i = 1; i < b.accesses.size(); ++i) {
+            const TimeNs gap_start = b.accesses[i - 1];
+            const TimeNs gap_end = b.accesses[i];
+            if (gap_end <= gap_start)
+                continue;
+            const TimeNs gap = gap_end - gap_start;
+            const TimeNs needed =
+                analysis::min_interval_for(b.size, options_.link);
+            const double ratio = static_cast<double>(gap) /
+                                 static_cast<double>(needed);
+            const bool hideable = ratio >= options_.safety_factor;
+            if (!hideable && !options_.allow_overhead)
+                continue;
+            SwapDecision d;
+            d.block = b.block;
+            d.tensor = b.tensor;
+            d.size = b.size;
+            d.gap_start = gap_start;
+            d.gap_end = gap_end;
+            d.gap = gap;
+            d.hide_ratio = ratio;
+            d.overhead = hideable ? 0 : needed - gap;
+            report.predicted_overhead += d.overhead;
+            report.total_swapped_bytes += b.size;
+            if (gap_start <= peak_time && peak_time < gap_end)
+                report.peak_reduction_bytes += b.size;
+            report.decisions.push_back(d);
+        }
+    }
+
+    std::sort(report.decisions.begin(), report.decisions.end(),
+              [](const SwapDecision &a, const SwapDecision &b) {
+                  if (a.gap_start != b.gap_start)
+                      return a.gap_start < b.gap_start;
+                  return a.block < b.block;
+              });
+    return report;
+}
+
+}  // namespace swap
+}  // namespace pinpoint

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Automatic swap planner — the "automatic cost model to sift out
+ * these memory access behaviors" the paper names as future work
+ * (Sec. III/IV). Takes a recorded trace, finds access gaps on large
+ * blocks, applies the Eq. 1 feasibility bound, and emits a swap
+ * schedule with predicted savings and overhead.
+ */
+#ifndef PINPOINT_SWAP_PLANNER_H
+#define PINPOINT_SWAP_PLANNER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/swap_model.h"
+#include "analysis/timeline.h"
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace swap {
+
+/** Planner configuration. */
+struct PlannerOptions {
+    /** Host link bandwidths for Eq. 1. */
+    analysis::LinkBandwidth link;
+    /**
+     * Required headroom: a gap qualifies when
+     * gap >= safety_factor * round_trip(size). 1.0 = the paper's
+     * exact bound.
+     */
+    double safety_factor = 1.0;
+    /** Ignore blocks smaller than this (swap setup isn't free). */
+    std::size_t min_block_bytes = 1024 * 1024;
+    /**
+     * Also schedule non-hideable swaps (for memory-capacity rescue);
+     * their stall time is accumulated as predicted overhead.
+     */
+    bool allow_overhead = false;
+};
+
+/** One scheduled swap-out/swap-in pair for a block's access gap. */
+struct SwapDecision {
+    BlockId block = kInvalidBlock;
+    TensorId tensor = kInvalidTensor;
+    std::size_t size = 0;
+    /** Access closing the gap start: swap-out begins here. */
+    TimeNs gap_start = 0;
+    /** Next access: swap-in must complete by here. */
+    TimeNs gap_end = 0;
+    /** gap_end - gap_start. */
+    TimeNs gap = 0;
+    /** gap / round_trip(size); >= safety factor when hideable. */
+    double hide_ratio = 0.0;
+    /** Stall this decision adds (0 for hideable swaps). */
+    TimeNs overhead = 0;
+};
+
+/** Planner output. */
+struct SwapPlanReport {
+    std::vector<SwapDecision> decisions;
+    /** Sum of sizes over scheduled decisions (gap-bytes moved out). */
+    std::size_t total_swapped_bytes = 0;
+    /** Peak live bytes of the original trace. */
+    std::size_t original_peak_bytes = 0;
+    /** Bytes absent from the device at the original peak instant. */
+    std::size_t peak_reduction_bytes = 0;
+    /** Sum of per-decision stalls (0 unless allow_overhead). */
+    TimeNs predicted_overhead = 0;
+};
+
+/**
+ * Plans swapping for a recorded trace. Stateless; one instance can
+ * plan many traces.
+ */
+class SwapPlanner
+{
+  public:
+    explicit SwapPlanner(PlannerOptions options);
+
+    /** Builds the swap schedule for @p recorder's trace. */
+    SwapPlanReport plan(const trace::TraceRecorder &recorder) const;
+
+  private:
+    PlannerOptions options_;
+};
+
+}  // namespace swap
+}  // namespace pinpoint
+
+#endif  // PINPOINT_SWAP_PLANNER_H

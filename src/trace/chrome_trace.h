@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Chrome trace-event export: renders a memory-behavior trace as a
+ * JSON file loadable in chrome://tracing or Perfetto, giving an
+ * interactive version of the paper's Fig. 2 — one async lane per
+ * block (lifetime bar with access instants) plus per-category
+ * occupancy counters.
+ */
+#ifndef PINPOINT_TRACE_CHROME_TRACE_H
+#define PINPOINT_TRACE_CHROME_TRACE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace trace {
+
+/** Export options. */
+struct ChromeTraceOptions {
+    /** Emit per-category occupancy counter events. */
+    bool counters = true;
+    /** Emit instant events for every read/write access. */
+    bool accesses = true;
+    /**
+     * Skip blocks smaller than this (keeps huge traces loadable;
+     * 0 keeps everything).
+     */
+    std::size_t min_block_bytes = 0;
+};
+
+/** Writes @p recorder as Chrome trace-event JSON to @p os. */
+void write_chrome_trace(const TraceRecorder &recorder, std::ostream &os,
+                        const ChromeTraceOptions &options = {});
+
+/** Writes the JSON to @p path. @throws Error on I/O failure. */
+void write_chrome_trace_file(const TraceRecorder &recorder,
+                             const std::string &path,
+                             const ChromeTraceOptions &options = {});
+
+}  // namespace trace
+}  // namespace pinpoint
+
+#endif  // PINPOINT_TRACE_CHROME_TRACE_H

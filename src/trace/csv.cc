@@ -1,0 +1,125 @@
+#include "trace/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace trace {
+namespace {
+
+const char kHeader[] =
+    "time_ns,kind,block,ptr,size,tensor,category,iteration,op_index,op";
+
+/** Splits one CSV line; the op field (last) may not contain commas. */
+std::vector<std::string>
+split_line(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    for (char c : line) {
+        if (c == ',') {
+            fields.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    fields.push_back(cur);
+    return fields;
+}
+
+Category
+parse_category(const std::string &s)
+{
+    if (s == "input") return Category::kInput;
+    if (s == "parameter") return Category::kParameter;
+    if (s == "intermediate") return Category::kIntermediate;
+    PP_CHECK(false, "unknown category '" << s << "'");
+}
+
+}  // namespace
+
+void
+write_csv(const TraceRecorder &recorder, std::ostream &os)
+{
+    os << kHeader << "\n";
+    for (const auto &e : recorder.events()) {
+        os << e.time << ',' << event_kind_name(e.kind) << ',' << e.block
+           << ',' << e.ptr << ',' << e.size << ',';
+        if (e.tensor == kInvalidTensor)
+            os << "-";
+        else
+            os << e.tensor;
+        os << ',' << category_name(e.category) << ',' << e.iteration
+           << ',' << e.op_index << ',' << e.op << "\n";
+    }
+}
+
+void
+write_csv_file(const TraceRecorder &recorder, const std::string &path)
+{
+    std::ofstream os(path);
+    PP_CHECK(os.good(), "cannot open '" << path << "' for writing");
+    write_csv(recorder, os);
+    PP_CHECK(os.good(), "write to '" << path << "' failed");
+}
+
+TraceRecorder
+read_csv(std::istream &is)
+{
+    TraceRecorder recorder;
+    std::string line;
+    PP_CHECK(std::getline(is, line), "empty trace input");
+    // Tolerate trailing \r from files written on other platforms.
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    PP_CHECK(line == kHeader,
+             "unexpected trace header '" << line << "'");
+
+    std::size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        const auto f = split_line(line);
+        PP_CHECK(f.size() == 10,
+                 "line " << lineno << ": expected 10 fields, got "
+                         << f.size());
+        MemoryEvent e;
+        try {
+            e.time = std::stoull(f[0]);
+            e.kind = parse_event_kind(f[1]);
+            e.block = std::stoull(f[2]);
+            e.ptr = std::stoull(f[3]);
+            e.size = std::stoull(f[4]);
+            e.tensor = f[5] == "-" ? kInvalidTensor : std::stoull(f[5]);
+            e.category = parse_category(f[6]);
+            e.iteration = static_cast<std::uint32_t>(std::stoul(f[7]));
+            e.op_index = std::stoi(f[8]);
+            e.op = f[9];
+        } catch (const std::invalid_argument &) {
+            PP_CHECK(false, "line " << lineno << ": malformed field");
+        } catch (const std::out_of_range &) {
+            PP_CHECK(false, "line " << lineno << ": field out of range");
+        }
+        recorder.record(std::move(e));
+    }
+    return recorder;
+}
+
+TraceRecorder
+read_csv_file(const std::string &path)
+{
+    std::ifstream is(path);
+    PP_CHECK(is.good(), "cannot open '" << path << "' for reading");
+    return read_csv(is);
+}
+
+}  // namespace trace
+}  // namespace pinpoint

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * CSV serialization of memory-event traces, so traces can be captured
+ * once and analyzed (or plotted) offline, as the paper's workflow does.
+ */
+#ifndef PINPOINT_TRACE_CSV_H
+#define PINPOINT_TRACE_CSV_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace trace {
+
+/** Writes @p recorder's events as CSV (with header) to @p os. */
+void write_csv(const TraceRecorder &recorder, std::ostream &os);
+
+/** Writes the trace to the file at @p path. @throws Error on I/O. */
+void write_csv_file(const TraceRecorder &recorder,
+                    const std::string &path);
+
+/**
+ * Parses a trace previously produced by write_csv.
+ * @throws Error on malformed input.
+ */
+TraceRecorder read_csv(std::istream &is);
+
+/** Reads a trace from the file at @p path. @throws Error on I/O. */
+TraceRecorder read_csv_file(const std::string &path);
+
+}  // namespace trace
+}  // namespace pinpoint
+
+#endif  // PINPOINT_TRACE_CSV_H

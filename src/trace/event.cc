@@ -1,0 +1,31 @@
+#include "trace/event.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace trace {
+
+const char *
+event_kind_name(EventKind k)
+{
+    switch (k) {
+      case EventKind::kMalloc: return "malloc";
+      case EventKind::kFree: return "free";
+      case EventKind::kRead: return "read";
+      case EventKind::kWrite: return "write";
+    }
+    PP_ASSERT(false, "unhandled event kind " << static_cast<int>(k));
+}
+
+EventKind
+parse_event_kind(const std::string &name)
+{
+    if (name == "malloc") return EventKind::kMalloc;
+    if (name == "free") return EventKind::kFree;
+    if (name == "read") return EventKind::kRead;
+    if (name == "write") return EventKind::kWrite;
+    PP_CHECK(false, "unknown event kind '" << name << "'");
+}
+
+}  // namespace trace
+}  // namespace pinpoint

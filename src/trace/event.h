@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The memory behavior record: one malloc/free/read/write observation.
+ */
+#ifndef PINPOINT_TRACE_EVENT_H
+#define PINPOINT_TRACE_EVENT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace pinpoint {
+namespace trace {
+
+/** Iteration tag used for one-time setup events in traces. */
+inline constexpr std::uint32_t kSetupIteration = 0xffffffffu;
+
+/** The four memory behaviors the paper instruments (Sec. II). */
+enum class EventKind : std::uint8_t {
+    kMalloc = 0,
+    kFree = 1,
+    kRead = 2,
+    kWrite = 3,
+};
+
+/** @return canonical lowercase name ("malloc", ...). */
+const char *event_kind_name(EventKind k);
+
+/**
+ * Parses an event kind from its canonical name.
+ * @throws Error on unknown names.
+ */
+EventKind parse_event_kind(const std::string &name);
+
+/**
+ * One instrumented memory behavior of one device memory block. This
+ * is the record the paper's modified PyTorch allocators emit; all of
+ * Figs. 2-7 are computed from sequences of these.
+ */
+struct MemoryEvent {
+    /** Simulated timestamp of the behavior. */
+    TimeNs time = 0;
+    /** Behavior kind. */
+    EventKind kind = EventKind::kMalloc;
+    /** Logical block the behavior touched. */
+    BlockId block = kInvalidBlock;
+    /** Device address of the block. */
+    DevPtr ptr = kNullDevPtr;
+    /** Size of the block in bytes. */
+    std::size_t size = 0;
+    /** Tensor occupying the block (kInvalidTensor if none). */
+    TensorId tensor = kInvalidTensor;
+    /** Storage-content category of that tensor. */
+    Category category = Category::kIntermediate;
+    /** Training iteration index the behavior belongs to. */
+    std::uint32_t iteration = 0;
+    /** Index of the op that issued the access (-1 for allocator). */
+    std::int32_t op_index = -1;
+    /** Name of the op, e.g. "fc1.forward"; empty for allocator. */
+    std::string op;
+};
+
+}  // namespace trace
+}  // namespace pinpoint
+
+#endif  // PINPOINT_TRACE_EVENT_H

@@ -1,0 +1,39 @@
+#include "trace/recorder.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace trace {
+
+void
+TraceRecorder::record(MemoryEvent event)
+{
+    PP_CHECK(events_.empty() || event.time >= events_.back().time,
+             "events must be recorded in time order: got "
+                 << event.time << " after " << events_.back().time);
+    events_.push_back(std::move(event));
+}
+
+std::size_t
+TraceRecorder::count(EventKind k) const
+{
+    std::size_t n = 0;
+    for (const auto &e : events_)
+        if (e.kind == k)
+            ++n;
+    return n;
+}
+
+std::vector<MemoryEvent>
+TraceRecorder::filter(
+    const std::function<bool(const MemoryEvent &)> &pred) const
+{
+    std::vector<MemoryEvent> out;
+    for (const auto &e : events_)
+        if (pred(e))
+            out.push_back(e);
+    return out;
+}
+
+}  // namespace trace
+}  // namespace pinpoint

@@ -1,0 +1,75 @@
+#include "trace/slice.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace trace {
+
+TraceRecorder
+slice_iterations(const TraceRecorder &recorder, std::uint32_t first,
+                 std::uint32_t last, const SliceOptions &options)
+{
+    PP_CHECK(first <= last,
+             "invalid iteration window [" << first << ", " << last
+                                          << "]");
+    TraceRecorder out;
+    // Blocks born inside the window (or during setup, if kept).
+    std::unordered_set<BlockId> tracked;
+    // Last event seen for each tracked live block, to synthesize
+    // closing frees.
+    std::unordered_map<BlockId, MemoryEvent> live;
+    TimeNs end_time = 0;
+
+    for (const auto &e : recorder.events()) {
+        const bool is_setup = e.iteration == kSetupIteration;
+        const bool in_window =
+            (is_setup && options.keep_setup) ||
+            (!is_setup && e.iteration >= first && e.iteration <= last);
+        if (!in_window)
+            continue;  // pre-window blocks are untracked; blocks
+                       // still live past the window get synthetic
+                       // closes below regardless of later frees.
+        end_time = e.time;
+        switch (e.kind) {
+          case EventKind::kMalloc:
+            tracked.insert(e.block);
+            live.emplace(e.block, e);
+            break;
+          case EventKind::kFree:
+            if (!tracked.count(e.block))
+                continue;  // born before the window
+            tracked.erase(e.block);
+            live.erase(e.block);
+            break;
+          case EventKind::kRead:
+          case EventKind::kWrite:
+            if (!tracked.count(e.block))
+                continue;
+            break;
+        }
+        out.record(e);
+    }
+
+    if (options.close_open_blocks) {
+        // Deterministic order: ascending block id.
+        std::vector<BlockId> open;
+        open.reserve(live.size());
+        for (const auto &[id, e] : live)
+            open.push_back(id);
+        std::sort(open.begin(), open.end());
+        for (BlockId id : open) {
+            MemoryEvent f = live.at(id);
+            f.kind = EventKind::kFree;
+            f.time = end_time;
+            f.op = "slice.close";
+            out.record(std::move(f));
+        }
+    }
+    return out;
+}
+
+}  // namespace trace
+}  // namespace pinpoint

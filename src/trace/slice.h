@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Trace slicing: extract a window of iterations from a trace while
+ * keeping it self-consistent (malloc/free balanced), so analyses can
+ * run on e.g. "the first five iterations" exactly as the paper's
+ * Fig. 2 does.
+ */
+#ifndef PINPOINT_TRACE_SLICE_H
+#define PINPOINT_TRACE_SLICE_H
+
+#include <cstdint>
+
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace trace {
+
+/** Slice options. */
+struct SliceOptions {
+    /** Keep setup-phase events (parameter allocation etc.). */
+    bool keep_setup = true;
+    /**
+     * Synthesize free events at the window end for blocks that are
+     * still live, so the slice replays cleanly through Timeline and
+     * occupation analyses. Blocks allocated before the window (and
+     * their accesses inside it) are dropped entirely.
+     */
+    bool close_open_blocks = true;
+};
+
+/**
+ * @return the events of iterations [first, last] of @p recorder
+ * (inclusive, 0-based), per @p options.
+ * @throws Error when first > last.
+ */
+TraceRecorder slice_iterations(const TraceRecorder &recorder,
+                               std::uint32_t first, std::uint32_t last,
+                               const SliceOptions &options = {});
+
+}  // namespace trace
+}  // namespace pinpoint
+
+#endif  // PINPOINT_TRACE_SLICE_H

@@ -1,0 +1,160 @@
+/** @file Unit tests for ATI extraction. */
+#include <gtest/gtest.h>
+
+#include "analysis/ati.h"
+
+namespace pinpoint {
+namespace analysis {
+namespace {
+
+trace::MemoryEvent
+ev(TimeNs t, trace::EventKind kind, BlockId block,
+   std::size_t size = 1024)
+{
+    trace::MemoryEvent e;
+    e.time = t;
+    e.kind = kind;
+    e.block = block;
+    e.size = size;
+    return e;
+}
+
+TEST(Ati, AdjacentAccessesOnSameBlock)
+{
+    trace::TraceRecorder r;
+    r.record(ev(0, trace::EventKind::kMalloc, 1));
+    r.record(ev(10, trace::EventKind::kWrite, 1));
+    r.record(ev(35, trace::EventKind::kRead, 1));
+    r.record(ev(60, trace::EventKind::kRead, 1));
+    r.record(ev(70, trace::EventKind::kFree, 1));
+
+    const auto atis = compute_atis(r);
+    ASSERT_EQ(atis.size(), 2u);
+    EXPECT_EQ(atis[0].interval, 25u);
+    EXPECT_EQ(atis[1].interval, 25u);
+    EXPECT_EQ(atis[0].block, 1u);
+}
+
+TEST(Ati, BlocksAreIndependent)
+{
+    trace::TraceRecorder r;
+    r.record(ev(0, trace::EventKind::kMalloc, 1));
+    r.record(ev(0, trace::EventKind::kMalloc, 2));
+    r.record(ev(10, trace::EventKind::kWrite, 1));
+    r.record(ev(20, trace::EventKind::kWrite, 2));
+    r.record(ev(30, trace::EventKind::kRead, 1));
+    r.record(ev(40, trace::EventKind::kRead, 2));
+
+    const auto atis = compute_atis(r);
+    ASSERT_EQ(atis.size(), 2u);
+    EXPECT_EQ(atis[0].interval, 20u);  // block 1: 10 -> 30
+    EXPECT_EQ(atis[1].interval, 20u);  // block 2: 20 -> 40
+}
+
+TEST(Ati, MallocAndFreeAreNotAccessesByDefault)
+{
+    trace::TraceRecorder r;
+    r.record(ev(0, trace::EventKind::kMalloc, 1));
+    r.record(ev(100, trace::EventKind::kWrite, 1));
+    r.record(ev(250, trace::EventKind::kFree, 1));
+    EXPECT_TRUE(compute_atis(r).empty());
+}
+
+TEST(Ati, IncludeAllocFreeOptionCountsThem)
+{
+    trace::TraceRecorder r;
+    r.record(ev(0, trace::EventKind::kMalloc, 1));
+    r.record(ev(100, trace::EventKind::kWrite, 1));
+    r.record(ev(250, trace::EventKind::kFree, 1));
+    AtiOptions opts;
+    opts.include_alloc_free = true;
+    const auto atis = compute_atis(r, opts);
+    ASSERT_EQ(atis.size(), 2u);
+    EXPECT_EQ(atis[0].interval, 100u);
+    EXPECT_EQ(atis[1].interval, 150u);
+}
+
+TEST(Ati, BlockIdReuseStartsFreshChain)
+{
+    trace::TraceRecorder r;
+    r.record(ev(0, trace::EventKind::kMalloc, 1));
+    r.record(ev(10, trace::EventKind::kWrite, 1));
+    r.record(ev(20, trace::EventKind::kFree, 1));
+    r.record(ev(1000, trace::EventKind::kMalloc, 1));
+    r.record(ev(1010, trace::EventKind::kWrite, 1));
+    const auto atis = compute_atis(r);
+    EXPECT_TRUE(atis.empty())
+        << "the write at 1010 must not pair with the write at 10";
+}
+
+TEST(Ati, SamplesCarrySizeCategoryAndIndex)
+{
+    trace::TraceRecorder r;
+    auto m = ev(0, trace::EventKind::kMalloc, 5, 4096);
+    m.category = Category::kParameter;
+    r.record(m);
+    auto w = ev(10, trace::EventKind::kWrite, 5, 4096);
+    w.category = Category::kParameter;
+    r.record(w);
+    auto rd = ev(40, trace::EventKind::kRead, 5, 4096);
+    rd.category = Category::kParameter;
+    r.record(rd);
+
+    const auto atis = compute_atis(r);
+    ASSERT_EQ(atis.size(), 1u);
+    EXPECT_EQ(atis[0].size, 4096u);
+    EXPECT_EQ(atis[0].category, Category::kParameter);
+    EXPECT_EQ(atis[0].behavior_index, 2u);
+    EXPECT_EQ(atis[0].at_time, 40u);
+}
+
+TEST(Ati, MicrosecondsConversion)
+{
+    std::vector<AtiSample> atis(2);
+    atis[0].interval = 25 * kNsPerUs;
+    atis[1].interval = 500;
+    const auto us = ati_microseconds(atis);
+    ASSERT_EQ(us.size(), 2u);
+    EXPECT_DOUBLE_EQ(us[0], 25.0);
+    EXPECT_DOUBLE_EQ(us[1], 0.5);
+}
+
+TEST(Ati, EmptyTraceYieldsNoSamples)
+{
+    trace::TraceRecorder r;
+    EXPECT_TRUE(compute_atis(r).empty());
+}
+
+TEST(Ati, AttributionGroupsByOpPrefix)
+{
+    trace::TraceRecorder r;
+    auto add = [&](TimeNs t, trace::EventKind k, const char *op) {
+        auto e = ev(t, k, 1);
+        e.op = op;
+        r.record(e);
+    };
+    add(0, trace::EventKind::kMalloc, "alloc.x");
+    add(10, trace::EventKind::kWrite, "fc0.mat_mul");
+    add(30, trace::EventKind::kRead, "fc0.add_bias");
+    add(70, trace::EventKind::kRead, "sgd.fc0.weight");
+    add(150, trace::EventKind::kRead, "sgd.fc0.weight");
+
+    const auto atis = compute_atis(r);
+    ASSERT_EQ(atis.size(), 3u);
+    const auto groups = attribute_atis(atis);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].prefix, "sgd");
+    EXPECT_EQ(groups[0].count, 2u);
+    EXPECT_DOUBLE_EQ(groups[0].median_us, 0.06);
+    EXPECT_EQ(groups[1].prefix, "fc0");
+    EXPECT_DOUBLE_EQ(groups[1].median_us, 0.02);
+}
+
+TEST(Ati, AttributionOfEmptyInput)
+{
+    EXPECT_TRUE(attribute_atis({}).empty());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pinpoint

@@ -1,0 +1,101 @@
+/** @file Unit tests for iterative-pattern detection. */
+#include <gtest/gtest.h>
+
+#include "analysis/iteration.h"
+
+namespace pinpoint {
+namespace analysis {
+namespace {
+
+trace::MemoryEvent
+malloc_ev(TimeNs t, BlockId block, std::size_t size,
+          std::uint32_t iteration)
+{
+    trace::MemoryEvent e;
+    e.time = t;
+    e.kind = trace::EventKind::kMalloc;
+    e.block = block;
+    e.size = size;
+    e.iteration = iteration;
+    return e;
+}
+
+TEST(IterationPattern, PerfectlyPeriodicTrace)
+{
+    trace::TraceRecorder r;
+    TimeNs t = 0;
+    BlockId id = 0;
+    for (std::uint32_t iter = 0; iter < 6; ++iter) {
+        for (std::size_t size : {512, 1024, 4096}) {
+            r.record(malloc_ev(t, id, size, iter));
+            t += 10;
+            ++id;
+        }
+    }
+    const auto p = detect_iteration_pattern(r);
+    EXPECT_EQ(p.period_allocs, 3u);
+    EXPECT_DOUBLE_EQ(p.period_confidence, 1.0);
+    EXPECT_EQ(p.iterations, 6u);
+    EXPECT_DOUBLE_EQ(p.signature_stability, 1.0);
+    // All signatures identical.
+    for (const auto sig : p.signatures)
+        EXPECT_EQ(sig, p.signatures.front());
+}
+
+TEST(IterationPattern, SetupEventsAreExcluded)
+{
+    trace::TraceRecorder r;
+    // Setup noise would break the period if counted.
+    r.record(malloc_ev(0, 1000, 999, trace::kSetupIteration));
+    r.record(malloc_ev(1, 1001, 777, trace::kSetupIteration));
+    TimeNs t = 10;
+    BlockId id = 0;
+    for (std::uint32_t iter = 0; iter < 4; ++iter) {
+        for (std::size_t size : {512, 2048}) {
+            r.record(malloc_ev(t, id, size, iter));
+            t += 10;
+            ++id;
+        }
+    }
+    const auto p = detect_iteration_pattern(r);
+    EXPECT_EQ(p.period_allocs, 2u);
+    EXPECT_EQ(p.iterations, 4u);
+}
+
+TEST(IterationPattern, AperiodicTraceFindsNoPeriod)
+{
+    trace::TraceRecorder r;
+    TimeNs t = 0;
+    for (std::size_t i = 0; i < 32; ++i)
+        r.record(malloc_ev(t += 10, i, 512 * (i + 1), 0));
+    const auto p = detect_iteration_pattern(r);
+    EXPECT_EQ(p.period_allocs, 0u);
+    EXPECT_EQ(p.iterations, 1u);
+}
+
+TEST(IterationPattern, OneDivergentIterationLowersStability)
+{
+    trace::TraceRecorder r;
+    TimeNs t = 0;
+    BlockId id = 0;
+    for (std::uint32_t iter = 0; iter < 5; ++iter) {
+        const std::size_t second = iter == 2 ? 8192 : 1024;
+        r.record(malloc_ev(t += 10, id++, 512, iter));
+        r.record(malloc_ev(t += 10, id++, second, iter));
+    }
+    const auto p = detect_iteration_pattern(r);
+    EXPECT_EQ(p.iterations, 5u);
+    EXPECT_DOUBLE_EQ(p.signature_stability, 0.8);
+}
+
+TEST(IterationPattern, EmptyTrace)
+{
+    const auto p = detect_iteration_pattern(trace::TraceRecorder{});
+    EXPECT_EQ(p.period_allocs, 0u);
+    EXPECT_EQ(p.iterations, 0u);
+    EXPECT_DOUBLE_EQ(p.signature_stability, 0.0);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pinpoint

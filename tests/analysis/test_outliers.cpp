@@ -1,0 +1,84 @@
+/** @file Unit tests for outlier sifting and swap-candidate ranking. */
+#include <gtest/gtest.h>
+
+#include "analysis/outliers.h"
+
+namespace pinpoint {
+namespace analysis {
+namespace {
+
+AtiSample
+sample(TimeNs interval, std::size_t size, BlockId block = 0)
+{
+    AtiSample s;
+    s.interval = interval;
+    s.size = size;
+    s.block = block;
+    return s;
+}
+
+TEST(Outliers, RequiresBothThresholds)
+{
+    const std::vector<AtiSample> atis = {
+        sample(900 * kNsPerMs, 700ull << 20),  // both: outlier
+        sample(900 * kNsPerMs, 1 << 20),       // big ATI, small block
+        sample(10 * kNsPerUs, 700ull << 20),   // small ATI, big block
+        sample(10 * kNsPerUs, 1 << 20),        // neither
+    };
+    const auto out = sift_outliers(atis, OutlierCriteria{});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].size, 700ull << 20);
+}
+
+TEST(Outliers, CustomCriteria)
+{
+    const std::vector<AtiSample> atis = {
+        sample(100 * kNsPerUs, 10 << 20),
+        sample(500 * kNsPerUs, 50 << 20),
+    };
+    OutlierCriteria strict;
+    strict.min_interval = 200 * kNsPerUs;
+    strict.min_size = 20 << 20;
+    const auto out = sift_outliers(atis, strict);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].interval, 500 * kNsPerUs);
+}
+
+TEST(Outliers, ThresholdsAreInclusive)
+{
+    OutlierCriteria c;
+    c.min_interval = 100;
+    c.min_size = 1000;
+    const auto out = sift_outliers({sample(100, 1000)}, c);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(RankSwapCandidates, SortsBySizeAndAnnotates)
+{
+    const LinkBandwidth link{6.4e9, 6.3e9};
+    const std::vector<AtiSample> outliers = {
+        sample(kNsPerSec, 100ull << 20, 1),
+        sample(25 * kNsPerUs, 900ull << 20, 2),
+        sample(kNsPerSec, 500ull << 20, 3),
+    };
+    const auto ranked = rank_swap_candidates(outliers, link);
+    ASSERT_EQ(ranked.size(), 3u);
+    EXPECT_EQ(ranked[0].sample.block, 2u);
+    EXPECT_EQ(ranked[1].sample.block, 3u);
+    EXPECT_EQ(ranked[2].sample.block, 1u);
+    // 1 s gap hides ~3.17 GB: blocks 1 and 3 are swappable.
+    EXPECT_FALSE(ranked[0].swappable) << "25us cannot hide 900MB";
+    EXPECT_TRUE(ranked[1].swappable);
+    EXPECT_TRUE(ranked[2].swappable);
+    EXPECT_GT(ranked[1].max_hideable_bytes, 3e9);
+}
+
+TEST(RankSwapCandidates, EmptyInput)
+{
+    EXPECT_TRUE(
+        rank_swap_candidates({}, LinkBandwidth{1e9, 1e9}).empty());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pinpoint

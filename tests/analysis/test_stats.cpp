@@ -1,0 +1,145 @@
+/** @file Unit tests for descriptive statistics. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stats.h"
+#include "core/check.h"
+
+namespace pinpoint {
+namespace analysis {
+namespace {
+
+TEST(Summarize, KnownSample)
+{
+    const auto s = summarize({4.0, 1.0, 3.0, 2.0, 5.0});
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_DOUBLE_EQ(s.p25, 2.0);
+    EXPECT_DOUBLE_EQ(s.p75, 4.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summarize, EmptyAndSingleton)
+{
+    EXPECT_EQ(summarize({}).count, 0u);
+    const auto s = summarize({7.5});
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.median, 7.5);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.p99, 7.5);
+}
+
+TEST(Cdf, FractionBelowCountsInclusive)
+{
+    Cdf cdf({1.0, 2.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(cdf.fraction_below(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.fraction_below(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(cdf.fraction_below(2.0), 0.75);
+    EXPECT_DOUBLE_EQ(cdf.fraction_below(10.0), 1.0);
+}
+
+TEST(Cdf, PercentileInterpolatesLinearly)
+{
+    Cdf cdf({0.0, 10.0});
+    EXPECT_DOUBLE_EQ(cdf.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(cdf.percentile(0.9), 9.0);
+    EXPECT_DOUBLE_EQ(cdf.percentile(1.0), 10.0);
+}
+
+TEST(Cdf, PercentileAndFractionAreConsistent)
+{
+    std::vector<double> v;
+    for (int i = 0; i < 101; ++i)
+        v.push_back(static_cast<double>(i));
+    Cdf cdf(v);
+    const double p90 = cdf.percentile(0.90);
+    EXPECT_NEAR(cdf.fraction_below(p90), 0.90, 0.02);
+}
+
+TEST(Cdf, RejectsEmpty)
+{
+    EXPECT_THROW(Cdf({}), Error);
+    EXPECT_THROW(Cdf({1.0}).percentile(1.5), Error);
+}
+
+TEST(Kde, DensityIntegratesToOne)
+{
+    const auto pts = kernel_density({5.0, 6.0, 7.0, 8.0, 20.0}, 256);
+    double integral = 0.0;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        integral += 0.5 * (pts[i].density + pts[i - 1].density) *
+                    (pts[i].x - pts[i - 1].x);
+    }
+    EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Kde, PeaksNearTheMass)
+{
+    std::vector<double> v(100, 10.0);
+    v.push_back(100.0);
+    const auto pts = kernel_density(v, 128);
+    double best_x = 0.0;
+    double best_d = -1.0;
+    for (const auto &p : pts) {
+        if (p.density > best_d) {
+            best_d = p.density;
+            best_x = p.x;
+        }
+    }
+    EXPECT_NEAR(best_x, 10.0, 5.0);
+}
+
+TEST(Kde, DegenerateSampleDoesNotBlowUp)
+{
+    const auto pts = kernel_density({3.0, 3.0, 3.0}, 16);
+    for (const auto &p : pts) {
+        EXPECT_TRUE(std::isfinite(p.density));
+        EXPECT_GE(p.density, 0.0);
+    }
+}
+
+TEST(Kde, ValidatesArguments)
+{
+    EXPECT_THROW(kernel_density({}, 16), Error);
+    EXPECT_THROW(kernel_density({1.0}, 1), Error);
+}
+
+TEST(Violin, CombinesSummaryAndDensity)
+{
+    const auto v = violin({1.0, 2.0, 3.0}, 16);
+    EXPECT_EQ(v.summary.count, 3u);
+    EXPECT_EQ(v.density.size(), 16u);
+}
+
+TEST(Histogram, CountsFallIntoBins)
+{
+    const auto bins = histogram({0.0, 0.5, 1.0, 1.5, 2.0}, 2);
+    ASSERT_EQ(bins.size(), 2u);
+    EXPECT_EQ(bins[0].count + bins[1].count, 5u);
+    EXPECT_EQ(bins[0].count, 2u);  // 0, 0.5 in [0,1); 1.0 in [1,2]
+    EXPECT_EQ(bins[1].count, 3u);
+}
+
+TEST(Histogram, SingleValueSample)
+{
+    const auto bins = histogram({4.0, 4.0}, 3);
+    std::size_t total = 0;
+    for (const auto &b : bins)
+        total += b.count;
+    EXPECT_EQ(total, 2u);
+}
+
+TEST(Histogram, ValidatesArguments)
+{
+    EXPECT_THROW(histogram({}, 3), Error);
+    EXPECT_THROW(histogram({1.0}, 0), Error);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pinpoint

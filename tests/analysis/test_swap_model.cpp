@@ -1,0 +1,74 @@
+/** @file Unit tests for the Eq. 1 swap-feasibility model. */
+#include <gtest/gtest.h>
+
+#include "analysis/swap_model.h"
+#include "core/check.h"
+
+namespace pinpoint {
+namespace analysis {
+namespace {
+
+/** The paper's measured link: Bd2h = 6.4 GB/s, Bh2d = 6.3 GB/s. */
+const LinkBandwidth kPaperLink{6.4e9, 6.3e9};
+
+TEST(SwapModel, PaperNumber25us)
+{
+    // Paper: S <= 25us / (1/6.4GB/s + 1/6.3GB/s) = 79.37 KB.
+    const double s = max_swap_bytes(25 * kNsPerUs, kPaperLink);
+    EXPECT_NEAR(s / 1000.0, 79.37, 0.01);
+}
+
+TEST(SwapModel, PaperNumber800ms)
+{
+    // Paper: S <= 0.8s / (1/6.4 + 1/6.3) = 2.54 GB.
+    const double s = max_swap_bytes(800 * kNsPerMs, kPaperLink);
+    EXPECT_NEAR(s / 1e9, 2.54, 0.01);
+}
+
+TEST(SwapModel, PaperOutlierIsSwappable)
+{
+    // The red-marked outlier: ATI 840211 us, block 1200 MB.
+    EXPECT_TRUE(is_swappable(1200ull * 1024 * 1024,
+                             840211 * kNsPerUs, kPaperLink));
+}
+
+TEST(SwapModel, TypicalBehaviorIsNotSwappable)
+{
+    // A 1 MB block with a 25 us gap is far beyond the bound.
+    EXPECT_FALSE(
+        is_swappable(1024 * 1024, 25 * kNsPerUs, kPaperLink));
+}
+
+TEST(SwapModel, InverseIsConsistent)
+{
+    const std::size_t bytes = 64 * 1024 * 1024;
+    const TimeNs needed = min_interval_for(bytes, kPaperLink);
+    EXPECT_TRUE(is_swappable(bytes, needed, kPaperLink));
+    EXPECT_FALSE(is_swappable(bytes, needed - kNsPerUs, kPaperLink));
+}
+
+TEST(SwapModel, LinearInInterval)
+{
+    const double s1 = max_swap_bytes(10 * kNsPerUs, kPaperLink);
+    const double s2 = max_swap_bytes(20 * kNsPerUs, kPaperLink);
+    EXPECT_NEAR(s2, 2.0 * s1, 1.0);
+}
+
+TEST(SwapModel, SymmetricLinkHalvesEffectiveBandwidth)
+{
+    const LinkBandwidth sym{8e9, 8e9};
+    // Round trip at 8 GB/s each way = 4 GB/s effective.
+    EXPECT_NEAR(max_swap_bytes(kNsPerSec, sym), 4e9, 1.0);
+}
+
+TEST(SwapModel, RejectsNonPositiveBandwidth)
+{
+    EXPECT_THROW(max_swap_bytes(kNsPerSec, LinkBandwidth{0.0, 1.0}),
+                 Error);
+    EXPECT_THROW(min_interval_for(1, LinkBandwidth{1.0, -2.0}),
+                 Error);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pinpoint

@@ -1,0 +1,162 @@
+/** @file Unit tests for Timeline and Gantt rendering. */
+#include <gtest/gtest.h>
+
+#include "analysis/gantt.h"
+#include "analysis/timeline.h"
+#include "core/check.h"
+
+namespace pinpoint {
+namespace analysis {
+namespace {
+
+trace::MemoryEvent
+ev(TimeNs t, trace::EventKind kind, BlockId block, DevPtr ptr,
+   std::size_t size)
+{
+    trace::MemoryEvent e;
+    e.time = t;
+    e.kind = kind;
+    e.block = block;
+    e.ptr = ptr;
+    e.size = size;
+    return e;
+}
+
+trace::TraceRecorder
+two_block_trace()
+{
+    trace::TraceRecorder r;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, 0x1000, 512));
+    r.record(ev(10, trace::EventKind::kWrite, 1, 0x1000, 512));
+    r.record(ev(20, trace::EventKind::kMalloc, 2, 0x2000, 1024));
+    r.record(ev(30, trace::EventKind::kRead, 1, 0x1000, 512));
+    r.record(ev(40, trace::EventKind::kFree, 1, 0x1000, 512));
+    r.record(ev(90, trace::EventKind::kWrite, 2, 0x2000, 1024));
+    return r;
+}
+
+TEST(Timeline, ReconstructsLifetimes)
+{
+    Timeline t(two_block_trace());
+    ASSERT_EQ(t.blocks().size(), 2u);
+    const auto &b1 = t.blocks()[0];
+    EXPECT_EQ(b1.block, 1u);
+    EXPECT_EQ(b1.alloc_time, 0u);
+    EXPECT_TRUE(b1.freed);
+    EXPECT_EQ(b1.free_time, 40u);
+    EXPECT_EQ(b1.accesses.size(), 2u);
+    const auto &b2 = t.blocks()[1];
+    EXPECT_FALSE(b2.freed);
+    EXPECT_EQ(b2.lifetime(t.end()), 90u - 20u);
+    EXPECT_EQ(t.start(), 0u);
+    EXPECT_EQ(t.end(), 90u);
+}
+
+TEST(Timeline, LiveAtRespectsHalfOpenLifetime)
+{
+    Timeline t(two_block_trace());
+    EXPECT_EQ(t.live_at(0).size(), 1u);
+    EXPECT_EQ(t.live_at(25).size(), 2u);
+    EXPECT_EQ(t.live_at(40).size(), 1u)
+        << "a block is dead at its free instant";
+    EXPECT_EQ(t.live_bytes_at(25), 512u + 1024u);
+    EXPECT_EQ(t.live_bytes_at(50), 1024u);
+}
+
+TEST(Timeline, PeakTimeFindsMaxOccupancy)
+{
+    Timeline t(two_block_trace());
+    const TimeNs peak = t.peak_time();
+    EXPECT_EQ(peak, 20u);
+    EXPECT_EQ(t.live_bytes_at(peak), 1536u);
+}
+
+TEST(Timeline, GapStatsMeasureHoles)
+{
+    trace::TraceRecorder r;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, 0x1000, 0x100));
+    r.record(ev(0, trace::EventKind::kMalloc, 2, 0x1200, 0x100));
+    Timeline t(r);
+    const auto g = t.gaps_at(0);
+    EXPECT_EQ(g.live_blocks, 2u);
+    EXPECT_EQ(g.live_bytes, 0x200u);
+    EXPECT_EQ(g.span_bytes, 0x300u);
+    EXPECT_EQ(g.gap_bytes, 0x100u);
+    EXPECT_NEAR(g.gap_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Timeline, GapStatsEmptyWhenNothingLive)
+{
+    Timeline t{trace::TraceRecorder()};
+    const auto g = t.gaps_at(5);
+    EXPECT_EQ(g.live_blocks, 0u);
+    EXPECT_DOUBLE_EQ(g.gap_fraction(), 0.0);
+}
+
+TEST(Timeline, RejectsInconsistentTraces)
+{
+    trace::TraceRecorder double_malloc;
+    double_malloc.record(ev(0, trace::EventKind::kMalloc, 1, 0, 512));
+    double_malloc.record(ev(1, trace::EventKind::kMalloc, 1, 0, 512));
+    EXPECT_THROW(Timeline{double_malloc}, Error);
+
+    trace::TraceRecorder stray_free;
+    stray_free.record(ev(0, trace::EventKind::kFree, 9, 0, 512));
+    EXPECT_THROW(Timeline{stray_free}, Error);
+
+    trace::TraceRecorder stray_access;
+    stray_access.record(ev(0, trace::EventKind::kRead, 9, 0, 512));
+    EXPECT_THROW(Timeline{stray_access}, Error);
+}
+
+TEST(Gantt, RowsOverlapWindow)
+{
+    Timeline t(two_block_trace());
+    EXPECT_EQ(gantt_rows(t).size(), 2u);
+    EXPECT_EQ(gantt_rows(t, 50, 90).size(), 1u)
+        << "block 1 is dead before the window";
+}
+
+TEST(Gantt, RenderProducesOneLinePerBlock)
+{
+    Timeline t(two_block_trace());
+    GanttOptions opts;
+    opts.width = 40;
+    const std::string out = render_gantt(t, opts);
+    // Header + 2 block rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Gantt, RenderValidatesOptions)
+{
+    Timeline t(two_block_trace());
+    GanttOptions narrow;
+    narrow.width = 4;
+    EXPECT_THROW(render_gantt(t, narrow), Error);
+    GanttOptions inverted;
+    inverted.from = 100;
+    inverted.to = 50;
+    EXPECT_THROW(render_gantt(t, inverted), Error);
+}
+
+TEST(Gantt, MaxRowsKeepsLargestBlocks)
+{
+    trace::TraceRecorder r;
+    for (BlockId i = 0; i < 10; ++i) {
+        r.record(ev(i, trace::EventKind::kMalloc, i,
+                    0x1000 * (i + 1), 512 * (i + 1)));
+    }
+    Timeline t(r);
+    GanttOptions opts;
+    opts.max_rows = 3;
+    opts.to = 100;
+    const std::string out = render_gantt(t, opts);
+    EXPECT_NE(out.find("3 blocks"), std::string::npos);
+    EXPECT_NE(out.find("5.0 KB"), std::string::npos)
+        << "largest block (10*512) must be kept";
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pinpoint

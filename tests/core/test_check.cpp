@@ -1,0 +1,60 @@
+/** @file Unit tests for PP_CHECK and the Error type. */
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow)
+{
+    EXPECT_NO_THROW(PP_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Check, FailingConditionThrowsError)
+{
+    EXPECT_THROW(PP_CHECK(false, "always fails"), Error);
+}
+
+TEST(Check, MessageContainsStreamedOperands)
+{
+    try {
+        const int n = -3;
+        PP_CHECK(n >= 0, "n must be non-negative, got " << n);
+        FAIL() << "expected Error";
+    } catch (const Error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("got -3"), std::string::npos) << what;
+        EXPECT_NE(what.find("n >= 0"), std::string::npos) << what;
+    }
+}
+
+TEST(Check, MessageContainsSourceLocation)
+{
+    try {
+        PP_CHECK(false, "loc");
+        FAIL() << "expected Error";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("test_check.cpp"),
+                  std::string::npos);
+    }
+}
+
+TEST(Check, ErrorIsARuntimeError)
+{
+    EXPECT_THROW(PP_CHECK(false, "x"), std::runtime_error);
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce)
+{
+    int calls = 0;
+    auto count = [&]() {
+        ++calls;
+        return true;
+    };
+    PP_CHECK(count(), "side effects");
+    EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace pinpoint

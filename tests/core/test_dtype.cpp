@@ -1,0 +1,44 @@
+/** @file Unit tests for DType sizes, names, and parsing. */
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/dtype.h"
+
+namespace pinpoint {
+namespace {
+
+TEST(DType, SizesMatchStorageWidths)
+{
+    EXPECT_EQ(dtype_size(DType::kF16), 2u);
+    EXPECT_EQ(dtype_size(DType::kF32), 4u);
+    EXPECT_EQ(dtype_size(DType::kF64), 8u);
+    EXPECT_EQ(dtype_size(DType::kI8), 1u);
+    EXPECT_EQ(dtype_size(DType::kI32), 4u);
+    EXPECT_EQ(dtype_size(DType::kI64), 8u);
+    EXPECT_EQ(dtype_size(DType::kU8), 1u);
+}
+
+TEST(DType, NamesAreCanonical)
+{
+    EXPECT_STREQ(dtype_name(DType::kF32), "f32");
+    EXPECT_STREQ(dtype_name(DType::kI64), "i64");
+    EXPECT_STREQ(dtype_name(DType::kU8), "u8");
+}
+
+TEST(DType, ParseRoundTripsEveryDtype)
+{
+    for (auto dt : {DType::kF16, DType::kF32, DType::kF64, DType::kI8,
+                    DType::kI32, DType::kI64, DType::kU8}) {
+        EXPECT_EQ(parse_dtype(dtype_name(dt)), dt);
+    }
+}
+
+TEST(DType, ParseRejectsUnknownNames)
+{
+    EXPECT_THROW(parse_dtype("float32"), Error);
+    EXPECT_THROW(parse_dtype(""), Error);
+    EXPECT_THROW(parse_dtype("F32"), Error);
+}
+
+}  // namespace
+}  // namespace pinpoint

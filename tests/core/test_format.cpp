@@ -1,0 +1,56 @@
+/** @file Unit tests for formatting helpers. */
+#include <gtest/gtest.h>
+
+#include "core/format.h"
+
+namespace pinpoint {
+namespace {
+
+TEST(FormatBytes, PlainBytes)
+{
+    EXPECT_EQ(format_bytes(0), "0 B");
+    EXPECT_EQ(format_bytes(512), "512 B");
+    EXPECT_EQ(format_bytes(1023), "1023 B");
+}
+
+TEST(FormatBytes, KbMbGb)
+{
+    EXPECT_EQ(format_bytes(1024), "1.0 KB");
+    EXPECT_EQ(format_bytes(1536), "1.5 KB");
+    EXPECT_EQ(format_bytes(1024ull * 1024), "1.0 MB");
+    EXPECT_EQ(format_bytes(1200ull * 1024 * 1024), "1.17 GB");
+}
+
+TEST(FormatTime, MicrosecondRange)
+{
+    EXPECT_EQ(format_time(25 * kNsPerUs), "25.0 us");
+    EXPECT_EQ(format_time(1500), "1.50 us");
+}
+
+TEST(FormatTime, MillisecondAndSecondRange)
+{
+    EXPECT_EQ(format_time(840211 * kNsPerUs), "840.2 ms");
+    EXPECT_EQ(format_time(2 * kNsPerSec), "2.000 s");
+}
+
+TEST(ToUs, ConvertsExactly)
+{
+    EXPECT_DOUBLE_EQ(to_us(25000), 25.0);
+    EXPECT_DOUBLE_EQ(to_sec(kNsPerSec), 1.0);
+}
+
+TEST(FormatPercent, OneDecimal)
+{
+    EXPECT_EQ(format_percent(0.423), "42.3%");
+    EXPECT_EQ(format_percent(1.0), "100.0%");
+    EXPECT_EQ(format_percent(0.0), "0.0%");
+}
+
+TEST(Pad, PadsAndPreservesLongStrings)
+{
+    EXPECT_EQ(pad("ab", 4), "ab  ");
+    EXPECT_EQ(pad("abcdef", 4), "abcdef");
+}
+
+}  // namespace
+}  // namespace pinpoint

@@ -1,0 +1,47 @@
+/** @file Unit tests for TensorMeta. */
+#include <gtest/gtest.h>
+
+#include "core/tensor_meta.h"
+
+namespace pinpoint {
+namespace {
+
+TEST(TensorMeta, BytesIsNumelTimesElementSize)
+{
+    TensorMeta t;
+    t.shape = Shape{2, 12288};
+    t.dtype = DType::kF32;
+    EXPECT_EQ(t.bytes(), 2u * 12288u * 4u);
+}
+
+TEST(TensorMeta, BytesForInt64Labels)
+{
+    TensorMeta t;
+    t.shape = Shape{8192};
+    t.dtype = DType::kI64;
+    EXPECT_EQ(t.bytes(), 8192u * 8u);
+}
+
+TEST(TensorMeta, EmptyTensorHasZeroBytes)
+{
+    TensorMeta t;
+    t.shape = Shape{16, 0};
+    EXPECT_EQ(t.bytes(), 0u);
+}
+
+TEST(TensorMeta, DefaultCategoryIsIntermediate)
+{
+    TensorMeta t;
+    EXPECT_EQ(t.category, Category::kIntermediate);
+}
+
+TEST(CategoryNames, AllThreeAreDistinct)
+{
+    EXPECT_STREQ(category_name(Category::kInput), "input");
+    EXPECT_STREQ(category_name(Category::kParameter), "parameter");
+    EXPECT_STREQ(category_name(Category::kIntermediate),
+                 "intermediate");
+}
+
+}  // namespace
+}  // namespace pinpoint

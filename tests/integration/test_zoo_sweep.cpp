@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parameterized sweep over the model zoo: every model × batch-size
+ * combination must satisfy the characterization invariants the rest
+ * of the library relies on. This is the broad-coverage safety net
+ * behind the per-figure benches.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "analysis/ati.h"
+#include "analysis/breakdown.h"
+#include "analysis/iteration.h"
+#include "analysis/timeline.h"
+#include "nn/models.h"
+#include "nn/shape_infer.h"
+#include "runtime/session.h"
+#include "trace/slice.h"
+
+namespace pinpoint {
+namespace {
+
+struct ZooCase {
+    const char *name;
+    std::function<nn::Model()> build;
+    std::int64_t batch;
+};
+
+class ZooSweep : public ::testing::TestWithParam<ZooCase>
+{
+};
+
+TEST_P(ZooSweep, TrainingRunSatisfiesInvariants)
+{
+    const ZooCase &zc = GetParam();
+    const nn::Model model = zc.build();
+
+    runtime::SessionConfig config;
+    config.batch = zc.batch;
+    config.iterations = 5;
+    const auto r = runtime::run_training(model, config);
+
+    // 1. Balanced allocation lifecycle.
+    ASSERT_EQ(r.trace.count(trace::EventKind::kMalloc),
+              r.trace.count(trace::EventKind::kFree));
+    ASSERT_EQ(r.alloc_stats.alloc_count, r.alloc_stats.free_count);
+
+    // 2. The trace replays consistently.
+    analysis::Timeline timeline(r.trace);
+    EXPECT_GT(timeline.blocks().size(), 0u);
+
+    // 3. Perfectly iterative in steady state (the paper's Fig. 2
+    //    claim). The first couple of iterations may record different
+    //    rounded block sizes while the caching allocator's free
+    //    lists settle (cold segments served unsplit), so check the
+    //    warm window.
+    trace::SliceOptions slice_opts;
+    slice_opts.keep_setup = false;
+    const auto steady =
+        trace::slice_iterations(r.trace, 2, 4, slice_opts);
+    const auto pattern = analysis::detect_iteration_pattern(steady);
+    EXPECT_DOUBLE_EQ(pattern.signature_stability, 1.0);
+    EXPECT_GT(pattern.period_allocs, 0u);
+
+    // 4. Breakdown accounting: categories sum to the peak, and the
+    //    engine's live accounting agrees with the trace replay.
+    const auto b = analysis::occupation_breakdown(r.trace);
+    EXPECT_EQ(b.at_peak[0] + b.at_peak[1] + b.at_peak[2],
+              b.peak_total);
+    EXPECT_EQ(r.usage.peak_total, b.peak_total);
+
+    // 5. Parameter bytes at peak >= the model's parameter payload
+    //    (rounding can only add).
+    const auto infos =
+        nn::infer(model.graph, model.input_shape(zc.batch));
+    EXPECT_GE(b.at_peak[static_cast<int>(Category::kParameter)],
+              static_cast<std::size_t>(
+                  nn::total_param_bytes(infos)));
+
+    // 6. ATIs exist and are non-negative with sane attribution.
+    const auto atis = analysis::compute_atis(r.trace);
+    EXPECT_GT(atis.size(), 10u);
+    const auto groups = analysis::attribute_atis(atis);
+    EXPECT_FALSE(groups.empty());
+
+    // 7. Peak fits the device (we ran without OOM).
+    EXPECT_LE(r.peak_reserved_bytes, config.device.dram_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooSweep,
+    ::testing::Values(
+        ZooCase{"mlp_b16", [] { return nn::mlp(); }, 16},
+        ZooCase{"mlp_b256", [] { return nn::mlp(); }, 256},
+        ZooCase{"alexnet_cifar_b32",
+                [] { return nn::alexnet_cifar(); }, 32},
+        ZooCase{"alexnet_cifar_b256",
+                [] { return nn::alexnet_cifar(); }, 256},
+        ZooCase{"alexnet_imagenet_b16",
+                [] { return nn::alexnet_imagenet(); }, 16},
+        ZooCase{"vgg16_b8", [] { return nn::vgg16(); }, 8},
+        ZooCase{"vgg16bn_b8", [] { return nn::vgg16(10, true); }, 8},
+        ZooCase{"resnet18_b16", [] { return nn::resnet(18); }, 16},
+        ZooCase{"resnet34_b8", [] { return nn::resnet(34); }, 8},
+        ZooCase{"resnet50_b8", [] { return nn::resnet(50); }, 8},
+        ZooCase{"resnet101_b4", [] { return nn::resnet(101); }, 4},
+        ZooCase{"resnet152_b4", [] { return nn::resnet(152); }, 4},
+        ZooCase{"inception_b16",
+                [] { return nn::inception_v1(); }, 16},
+        ZooCase{"mobilenet_b32",
+                [] { return nn::mobilenet_v1(); }, 32},
+        ZooCase{"squeezenet_b32", [] { return nn::squeezenet(); },
+                32},
+        ZooCase{"transformer_tiny_b4",
+                [] {
+                    nn::TransformerConfig cfg;
+                    cfg.layers = 2;
+                    cfg.d_model = 128;
+                    cfg.heads = 4;
+                    cfg.d_ff = 512;
+                    cfg.seq_len = 32;
+                    cfg.vocab = 2000;
+                    return nn::transformer_encoder(cfg);
+                },
+                4}),
+    [](const auto &info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace pinpoint

@@ -1,0 +1,99 @@
+/** @file Unit tests for the model graph container. */
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "nn/graph.h"
+
+namespace pinpoint {
+namespace nn {
+namespace {
+
+TEST(Graph, InputMustBeUniqueAndFirstClass)
+{
+    Graph g;
+    const NodeId x = g.add_input("x");
+    EXPECT_EQ(g.input(), x);
+    EXPECT_THROW(g.add_input("y"), Error);
+}
+
+TEST(Graph, InputAccessorThrowsWhenAbsent)
+{
+    Graph g;
+    EXPECT_THROW(g.input(), Error);
+    EXPECT_THROW(g.output(), Error);
+}
+
+TEST(Graph, NodesAreTopologicallyOrderedByConstruction)
+{
+    Graph g;
+    const NodeId x = g.add_input();
+    const NodeId a = g.add(LayerKind::kReLU, "a", {x});
+    const NodeId b = g.add(LayerKind::kReLU, "b", {a});
+    EXPECT_LT(x, a);
+    EXPECT_LT(a, b);
+    EXPECT_EQ(g.output(), b);
+}
+
+TEST(Graph, ForwardReferencesRejected)
+{
+    Graph g;
+    g.add_input();
+    EXPECT_THROW(g.add(LayerKind::kReLU, "bad", {5}), Error);
+    EXPECT_THROW(g.add(LayerKind::kReLU, "self", {1}), Error)
+        << "a node cannot consume itself";
+}
+
+TEST(Graph, EmptyInputListRejected)
+{
+    Graph g;
+    g.add_input();
+    EXPECT_THROW(g.add(LayerKind::kReLU, "norphan", {}), Error);
+}
+
+TEST(Graph, ConsumersFindsFanOut)
+{
+    Graph g;
+    const NodeId x = g.add_input();
+    const NodeId a = g.add(LayerKind::kReLU, "a", {x});
+    const NodeId b = g.add(LayerKind::kReLU, "b", {a});
+    const NodeId c = g.add(LayerKind::kReLU, "c", {a});
+    const NodeId d = g.add(LayerKind::kAdd, "d", {b, c});
+    const auto consumers = g.consumers(a);
+    ASSERT_EQ(consumers.size(), 2u);
+    EXPECT_EQ(consumers[0], b);
+    EXPECT_EQ(consumers[1], c);
+    EXPECT_TRUE(g.consumers(d).empty());
+}
+
+TEST(Graph, ConsumersCountsEachConsumerOnce)
+{
+    Graph g;
+    const NodeId x = g.add_input();
+    const NodeId a = g.add(LayerKind::kReLU, "a", {x});
+    const NodeId d = g.add(LayerKind::kAdd, "d", {a, a});
+    const auto consumers = g.consumers(a);
+    ASSERT_EQ(consumers.size(), 1u);
+    EXPECT_EQ(consumers[0], d);
+}
+
+TEST(Graph, NodeLookupValidatesRange)
+{
+    Graph g;
+    g.add_input();
+    EXPECT_EQ(g.node(0).kind, LayerKind::kInput);
+    EXPECT_THROW(g.node(1), Error);
+    EXPECT_THROW(g.node(-1), Error);
+}
+
+TEST(LayerKindNames, AllKindsNamed)
+{
+    EXPECT_STREQ(layer_kind_name(LayerKind::kConv2d), "conv2d");
+    EXPECT_STREQ(layer_kind_name(LayerKind::kSoftmaxCrossEntropy),
+                 "softmax_ce");
+    EXPECT_STREQ(layer_kind_name(LayerKind::kAdaptiveAvgPool2d),
+                 "adaptiveavgpool2d");
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace pinpoint

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Model zoo tests: trainable parameter counts are checked against the
+ * published torchvision numbers where our architecture matches
+ * torchvision exactly (AlexNet/ImageNet, VGG-16, the ResNet family),
+ * and against structural invariants elsewhere.
+ */
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "nn/models.h"
+#include "nn/shape_infer.h"
+
+namespace pinpoint {
+namespace nn {
+namespace {
+
+std::int64_t
+param_count(const Model &m, std::int64_t batch = 2)
+{
+    return total_param_count(infer(m.graph, m.input_shape(batch)));
+}
+
+TEST(Models, MlpMatchesPaperFig1)
+{
+    const Model m = mlp();
+    // W0 (2,12288), b0 (12288), W1 (12288,2), b1 (2).
+    EXPECT_EQ(param_count(m), 2 * 12288 + 12288 + 12288 * 2 + 2);
+    const auto infos = infer(m.graph, m.input_shape(64));
+    // x -> fc0 -> relu -> fc1 -> loss.
+    ASSERT_EQ(m.graph.size(), 5u);
+    EXPECT_EQ(infos[1].out_shape, (Shape{64, 12288}));
+    EXPECT_EQ(infos[3].out_shape, (Shape{64, 2}));
+}
+
+TEST(Models, MlpCustomDimensions)
+{
+    const Model m = mlp(10, 100, 7);
+    EXPECT_EQ(param_count(m), 10 * 100 + 100 + 100 * 7 + 7);
+    EXPECT_THROW(mlp(0, 1, 1), Error);
+}
+
+TEST(Models, AlexNetImagenetMatchesTorchvision)
+{
+    // torchvision.models.alexnet(num_classes=1000): 61,100,840.
+    EXPECT_EQ(param_count(alexnet_imagenet()), 61100840);
+}
+
+TEST(Models, AlexNetCifarShapesFlowTo100Classes)
+{
+    const Model m = alexnet_cifar();
+    const auto infos = infer(m.graph, m.input_shape(16));
+    // Penultimate node (pre-loss) is the classifier output.
+    const auto &logits = infos[infos.size() - 2];
+    EXPECT_EQ(logits.out_shape, (Shape{16, 100}));
+}
+
+TEST(Models, Vgg16MatchesTorchvision)
+{
+    // torchvision.models.vgg16(num_classes=1000): 138,357,544.
+    EXPECT_EQ(param_count(vgg16()), 138357544);
+}
+
+TEST(Models, Vgg16BnAddsNormParams)
+{
+    // vgg16_bn: 138,365,992 (adds 2*2*C per conv layer).
+    EXPECT_EQ(param_count(vgg16(1000, true)), 138365992);
+}
+
+TEST(Models, ResNetFamilyMatchesTorchvision)
+{
+    EXPECT_EQ(param_count(resnet(18)), 11689512);
+    EXPECT_EQ(param_count(resnet(34)), 21797672);
+    EXPECT_EQ(param_count(resnet(50)), 25557032);
+    EXPECT_EQ(param_count(resnet(101)), 44549160);
+    EXPECT_EQ(param_count(resnet(152)), 60192808);
+}
+
+TEST(Models, ResNetRejectsUnknownDepth)
+{
+    EXPECT_THROW(resnet(19), Error);
+    EXPECT_THROW(resnet(0), Error);
+}
+
+TEST(Models, ResNetShapePipeline)
+{
+    const Model m = resnet(50);
+    const auto infos = infer(m.graph, m.input_shape(8));
+    // Final feature map before pooling is (8, 2048, 7, 7).
+    bool found = false;
+    for (const auto &info : infos) {
+        if (info.out_shape == Shape{8, 2048, 7, 7})
+            found = true;
+    }
+    EXPECT_TRUE(found);
+    const auto &logits = infos[infos.size() - 2];
+    EXPECT_EQ(logits.out_shape, (Shape{8, 1000}));
+}
+
+TEST(Models, InceptionChannelPlanReaches1024)
+{
+    const Model m = inception_v1();
+    const auto infos = infer(m.graph, m.input_shape(4));
+    bool found_832 = false;
+    bool found_1024 = false;
+    for (const auto &info : infos) {
+        if (info.out_shape == Shape{4, 832, 14, 14})
+            found_832 = true;
+        if (info.out_shape == Shape{4, 1024, 7, 7})
+            found_1024 = true;
+    }
+    EXPECT_TRUE(found_832) << "inception4e output";
+    EXPECT_TRUE(found_1024) << "inception5b output";
+    // Original GoogLeNet: ~6-8M trainable params (ours uses 5x5
+    // branch convs + BN, slightly above torchvision's 3x3 variant).
+    EXPECT_GT(param_count(m), 5000000);
+    EXPECT_LT(param_count(m), 9000000);
+}
+
+TEST(Models, MobileNetV1MatchesReferenceCount)
+{
+    // Canonical MobileNetV1 1.0/224: 4,231,976 trainable params.
+    EXPECT_EQ(param_count(mobilenet_v1()), 4231976);
+}
+
+TEST(Models, MobileNetDepthwiseConvsAreGrouped)
+{
+    const Model m = mobilenet_v1();
+    const auto infos = infer(m.graph, m.input_shape(2));
+    // block1.dw: depthwise 3x3 over 32 channels → weight (32,1,3,3).
+    bool found = false;
+    for (const auto &info : infos) {
+        for (const auto &p : info.params) {
+            if (p.name == "block1.dw.weight") {
+                EXPECT_EQ(p.shape, (Shape{32, 1, 3, 3}));
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Models, SqueezeNetMatchesTorchvision)
+{
+    // torchvision.models.squeezenet1_0: 1,248,424 params.
+    EXPECT_EQ(param_count(squeezenet()), 1248424);
+}
+
+TEST(Models, SqueezeNetFireConcatWidths)
+{
+    const Model m = squeezenet();
+    const auto infos = infer(m.graph, m.input_shape(2));
+    bool found_512 = false;
+    for (const auto &info : infos) {
+        if (info.out_shape.rank() == 4 &&
+            info.out_shape.dim(1) == 512)
+            found_512 = true;
+    }
+    EXPECT_TRUE(found_512) << "fire8/fire9 output 512 channels";
+}
+
+TEST(Models, EveryModelEndsInALoss)
+{
+    for (const Model &m :
+         {mlp(), alexnet_imagenet(), alexnet_cifar(), vgg16(),
+          resnet(18), inception_v1(), mobilenet_v1(), squeezenet()}) {
+        EXPECT_EQ(m.graph.nodes().back().kind,
+                  LayerKind::kSoftmaxCrossEntropy)
+            << m.name;
+    }
+}
+
+TEST(Models, InputShapePrependsBatch)
+{
+    const Model m = resnet(18);
+    EXPECT_EQ(m.input_shape(32), (Shape{32, 3, 224, 224}));
+    EXPECT_THROW(m.input_shape(0), Error);
+    EXPECT_THROW(m.input_shape(-4), Error);
+}
+
+TEST(Models, ParameterBytesScaleWithDepth)
+{
+    const auto bytes = [](int depth) {
+        const Model m = resnet(depth);
+        return total_param_bytes(infer(m.graph, m.input_shape(1)));
+    };
+    EXPECT_LT(bytes(18), bytes(34));
+    EXPECT_LT(bytes(34), bytes(50));
+    EXPECT_LT(bytes(50), bytes(101));
+    EXPECT_LT(bytes(101), bytes(152));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace pinpoint

@@ -1,0 +1,218 @@
+/** @file Unit tests for per-layer shape/param/FLOP inference. */
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "nn/shape_infer.h"
+
+namespace pinpoint {
+namespace nn {
+namespace {
+
+/** Tiny helper: single-op graph around an input. */
+struct Single {
+    Graph g;
+    NodeId out;
+
+    Single(LayerKind kind, LayerAttrs attrs)
+    {
+        const NodeId x = g.add_input();
+        out = g.add(kind, "op", {x}, std::move(attrs));
+    }
+};
+
+TEST(ShapeInfer, Conv2dOutputShape)
+{
+    // AlexNet conv1: 224 -> (224 + 2*2 - 11)/4 + 1 = 55.
+    Single s(LayerKind::kConv2d, Conv2dAttrs{3, 64, 11, 4, 2, true});
+    const auto infos = infer(s.g, Shape{32, 3, 224, 224});
+    EXPECT_EQ(infos.back().out_shape, (Shape{32, 64, 55, 55}));
+}
+
+TEST(ShapeInfer, Conv2dParamsAndFlops)
+{
+    Single s(LayerKind::kConv2d, Conv2dAttrs{3, 64, 11, 4, 2, true});
+    const auto infos = infer(s.g, Shape{1, 3, 224, 224});
+    const auto &info = infos.back();
+    ASSERT_EQ(info.params.size(), 2u);
+    EXPECT_EQ(info.params[0].shape, (Shape{64, 3, 11, 11}));
+    EXPECT_EQ(info.params[1].shape, (Shape{64}));
+    // 2 * N * Cout * H' * W' * Cin * k^2.
+    EXPECT_DOUBLE_EQ(info.fwd_flops,
+                     2.0 * 1 * 64 * 55 * 55 * 3 * 121);
+    EXPECT_DOUBLE_EQ(info.bwd_flops, 2.0 * info.fwd_flops);
+}
+
+TEST(ShapeInfer, GroupedConvSplitsChannels)
+{
+    Conv2dAttrs attrs{8, 16, 3, 1, 1, false};
+    attrs.groups = 4;
+    Single s(LayerKind::kConv2d, attrs);
+    const auto infos = infer(s.g, Shape{2, 8, 10, 10});
+    const auto &info = infos.back();
+    EXPECT_EQ(info.params[0].shape, (Shape{16, 2, 3, 3}));
+    // FLOPs scale by cin/groups.
+    EXPECT_DOUBLE_EQ(info.fwd_flops,
+                     2.0 * 2 * 16 * 10 * 10 * 2 * 9);
+}
+
+TEST(ShapeInfer, DepthwiseConvHasOneInputChannelPerFilter)
+{
+    Conv2dAttrs attrs{32, 32, 3, 1, 1, false};
+    attrs.groups = 32;
+    Single s(LayerKind::kConv2d, attrs);
+    const auto infos = infer(s.g, Shape{1, 32, 8, 8});
+    EXPECT_EQ(infos.back().params[0].shape, (Shape{32, 1, 3, 3}));
+}
+
+TEST(ShapeInfer, GroupsMustDivideChannels)
+{
+    Conv2dAttrs attrs{8, 16, 3, 1, 1, false};
+    attrs.groups = 3;
+    Single s(LayerKind::kConv2d, attrs);
+    EXPECT_THROW(infer(s.g, Shape{1, 8, 8, 8}), Error);
+}
+
+TEST(ShapeInfer, Conv2dNoBias)
+{
+    Single s(LayerKind::kConv2d, Conv2dAttrs{3, 8, 3, 1, 1, false});
+    const auto infos = infer(s.g, Shape{1, 3, 8, 8});
+    EXPECT_EQ(infos.back().params.size(), 1u);
+}
+
+TEST(ShapeInfer, Conv2dChannelMismatchThrows)
+{
+    Single s(LayerKind::kConv2d, Conv2dAttrs{4, 8, 3, 1, 1, true});
+    EXPECT_THROW(infer(s.g, Shape{1, 3, 8, 8}), Error);
+}
+
+TEST(ShapeInfer, Conv2dKernelLargerThanInputThrows)
+{
+    Single s(LayerKind::kConv2d, Conv2dAttrs{3, 8, 7, 1, 0, true});
+    EXPECT_THROW(infer(s.g, Shape{1, 3, 5, 5}), Error);
+}
+
+TEST(ShapeInfer, LinearShapeParamsFlops)
+{
+    // The paper's fc0: (2, 12288).
+    Single s(LayerKind::kLinear, LinearAttrs{2, 12288, true});
+    const auto infos = infer(s.g, Shape{64, 2});
+    const auto &info = infos.back();
+    EXPECT_EQ(info.out_shape, (Shape{64, 12288}));
+    ASSERT_EQ(info.params.size(), 2u);
+    EXPECT_EQ(info.params[0].shape, (Shape{12288, 2}));
+    EXPECT_EQ(info.params[1].shape, (Shape{12288}));
+    EXPECT_DOUBLE_EQ(info.fwd_flops, 2.0 * 64 * 2 * 12288);
+}
+
+TEST(ShapeInfer, LinearRequiresRank2)
+{
+    Single s(LayerKind::kLinear, LinearAttrs{16, 8, true});
+    EXPECT_THROW(infer(s.g, Shape{1, 16, 1, 1}), Error);
+}
+
+TEST(ShapeInfer, MaxPoolDefaultStrideEqualsKernel)
+{
+    Single s(LayerKind::kMaxPool2d, Pool2dAttrs{2, 0, 0});
+    const auto infos = infer(s.g, Shape{4, 8, 32, 32});
+    EXPECT_EQ(infos.back().out_shape, (Shape{4, 8, 16, 16}));
+}
+
+TEST(ShapeInfer, MaxPoolExplicitStrideAndPadding)
+{
+    // ResNet stem pool: 112 -> (112 + 2 - 3)/2 + 1 = 56.
+    Single s(LayerKind::kMaxPool2d, Pool2dAttrs{3, 2, 1});
+    const auto infos = infer(s.g, Shape{1, 64, 112, 112});
+    EXPECT_EQ(infos.back().out_shape, (Shape{1, 64, 56, 56}));
+}
+
+TEST(ShapeInfer, AdaptivePoolProducesRequestedSize)
+{
+    Single s(LayerKind::kAdaptiveAvgPool2d, AdaptivePool2dAttrs{6, 6});
+    const auto infos = infer(s.g, Shape{2, 256, 13, 13});
+    EXPECT_EQ(infos.back().out_shape, (Shape{2, 256, 6, 6}));
+}
+
+TEST(ShapeInfer, BatchNormPreservesShapeAndHasBuffers)
+{
+    Single s(LayerKind::kBatchNorm2d, BatchNorm2dAttrs{64});
+    const auto infos = infer(s.g, Shape{8, 64, 28, 28});
+    const auto &info = infos.back();
+    EXPECT_EQ(info.out_shape, (Shape{8, 64, 28, 28}));
+    ASSERT_EQ(info.params.size(), 4u);
+    EXPECT_TRUE(info.params[0].trainable);   // weight
+    EXPECT_TRUE(info.params[1].trainable);   // bias
+    EXPECT_FALSE(info.params[2].trainable);  // running_mean
+    EXPECT_FALSE(info.params[3].trainable);  // running_var
+}
+
+TEST(ShapeInfer, FlattenCollapsesToRank2)
+{
+    Single s(LayerKind::kFlatten, NoAttrs{});
+    const auto infos = infer(s.g, Shape{32, 256, 6, 6});
+    EXPECT_EQ(infos.back().out_shape, (Shape{32, 256 * 36}));
+}
+
+TEST(ShapeInfer, AddRequiresMatchingShapes)
+{
+    Graph g;
+    const NodeId x = g.add_input();
+    const NodeId a = g.add(LayerKind::kReLU, "a", {x});
+    const NodeId b = g.add(LayerKind::kMaxPool2d, "b", {x},
+                           Pool2dAttrs{2, 0, 0});
+    g.add(LayerKind::kAdd, "sum", {a, b});
+    EXPECT_THROW(infer(g, Shape{1, 4, 8, 8}), Error);
+}
+
+TEST(ShapeInfer, ConcatSumsChannels)
+{
+    Graph g;
+    const NodeId x = g.add_input();
+    const NodeId a = g.add(LayerKind::kConv2d, "a", {x},
+                           Conv2dAttrs{8, 16, 1, 1, 0, true});
+    const NodeId b = g.add(LayerKind::kConv2d, "b", {x},
+                           Conv2dAttrs{8, 24, 1, 1, 0, true});
+    g.add(LayerKind::kConcat, "cat", {a, b}, ConcatAttrs{1});
+    const auto infos = infer(g, Shape{2, 8, 14, 14});
+    EXPECT_EQ(infos.back().out_shape, (Shape{2, 40, 14, 14}));
+}
+
+TEST(ShapeInfer, ConcatRejectsMismatchedSpatialDims)
+{
+    Graph g;
+    const NodeId x = g.add_input();
+    const NodeId a = g.add(LayerKind::kReLU, "a", {x});
+    const NodeId b = g.add(LayerKind::kMaxPool2d, "b", {x},
+                           Pool2dAttrs{2, 0, 0});
+    g.add(LayerKind::kConcat, "cat", {a, b}, ConcatAttrs{1});
+    EXPECT_THROW(infer(g, Shape{1, 4, 8, 8}), Error);
+}
+
+TEST(ShapeInfer, SoftmaxCrossEntropyYieldsScalarLoss)
+{
+    Single s(LayerKind::kSoftmaxCrossEntropy, NoAttrs{});
+    const auto infos = infer(s.g, Shape{64, 10});
+    EXPECT_EQ(infos.back().out_shape, (Shape{1}));
+}
+
+TEST(ShapeInfer, TotalsAggregate)
+{
+    Graph g;
+    const NodeId x = g.add_input();
+    const NodeId fc = g.add(LayerKind::kLinear, "fc", {x},
+                            LinearAttrs{4, 3, true});
+    g.add(LayerKind::kSoftmaxCrossEntropy, "loss", {fc});
+    const auto infos = infer(g, Shape{2, 4});
+    EXPECT_EQ(total_param_count(infos), 4 * 3 + 3);
+    EXPECT_EQ(total_param_bytes(infos), (4 * 3 + 3) * 4);
+    EXPECT_GT(total_fwd_flops(infos), 0.0);
+}
+
+TEST(ShapeInfer, RejectsZeroBatch)
+{
+    Single s(LayerKind::kReLU, NoAttrs{});
+    EXPECT_THROW(infer(s.g, Shape{0, 4}), Error);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace pinpoint

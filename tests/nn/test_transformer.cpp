@@ -1,0 +1,130 @@
+/** @file Tests for the transformer encoder and its layer kinds. */
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "nn/models.h"
+#include "nn/shape_infer.h"
+
+namespace pinpoint {
+namespace nn {
+namespace {
+
+TransformerConfig
+tiny()
+{
+    TransformerConfig cfg;
+    cfg.layers = 2;
+    cfg.d_model = 64;
+    cfg.heads = 4;
+    cfg.d_ff = 256;
+    cfg.seq_len = 16;
+    cfg.vocab = 1000;
+    return cfg;
+}
+
+TEST(Transformer, ParamCountMatchesClosedForm)
+{
+    const TransformerConfig cfg = tiny();
+    const Model m = transformer_encoder(cfg);
+    const auto infos = infer(m.graph, m.input_shape(2));
+
+    const std::int64_t d = cfg.d_model;
+    const std::int64_t ff = cfg.d_ff;
+    const std::int64_t per_layer = 4 * (d * d + d)        // q,k,v,out
+                                   + (d * ff + ff)        // fc1
+                                   + (ff * d + d)         // fc2
+                                   + 2 * (2 * d);         // two LNs
+    const std::int64_t expected = cfg.vocab * d              // embed
+                                  + cfg.layers * per_layer
+                                  + d * cfg.vocab + cfg.vocab;  // head
+    EXPECT_EQ(total_param_count(infos), expected);
+}
+
+TEST(Transformer, BertBaseScaleParamCount)
+{
+    TransformerConfig cfg;  // BERT-base defaults
+    const Model m = transformer_encoder(cfg);
+    const auto infos = infer(m.graph, m.input_shape(1));
+    // Encoder stack of BERT-base is ~85.1M; embedding + tied-size
+    // LM head add ~46.9M here.
+    EXPECT_EQ(total_param_count(infos), 131966778);
+}
+
+TEST(Transformer, ShapesFlowThroughAttention)
+{
+    const Model m = transformer_encoder(tiny());
+    const auto infos = infer(m.graph, m.input_shape(4));
+    // Embedding output.
+    EXPECT_EQ(infos[1].out_shape, (Shape{4, 16, 64}));
+    // Logits (penultimate node).
+    EXPECT_EQ(infos[infos.size() - 2].out_shape,
+              (Shape{4, 16, 1000}));
+    // Loss is scalar.
+    EXPECT_EQ(infos.back().out_shape, (Shape{1}));
+}
+
+TEST(Transformer, LinearAppliesToInnermostDim)
+{
+    Graph g;
+    const NodeId x = g.add_input();
+    const NodeId e = g.add(LayerKind::kEmbedding, "e", {x},
+                           EmbeddingAttrs{100, 32});
+    g.add(LayerKind::kLinear, "fc", {e}, LinearAttrs{32, 48, true});
+    const auto infos = infer(g, Shape{2, 10});
+    EXPECT_EQ(infos.back().out_shape, (Shape{2, 10, 48}));
+    // rows = 2*10: flops = 2*20*32*48.
+    EXPECT_DOUBLE_EQ(infos.back().fwd_flops, 2.0 * 20 * 32 * 48);
+}
+
+TEST(Transformer, SelfAttentionValidatesInputs)
+{
+    Graph g;
+    const NodeId x = g.add_input();
+    const NodeId e = g.add(LayerKind::kEmbedding, "e", {x},
+                           EmbeddingAttrs{100, 32});
+    const NodeId q = g.add(LayerKind::kLinear, "q", {e},
+                           LinearAttrs{32, 32, true});
+    const NodeId k = g.add(LayerKind::kLinear, "k", {e},
+                           LinearAttrs{32, 32, true});
+    // Mismatched V width.
+    const NodeId v = g.add(LayerKind::kLinear, "v", {e},
+                           LinearAttrs{32, 16, true});
+    g.add(LayerKind::kSelfAttention, "attn", {q, k, v},
+          SelfAttentionAttrs{4, 32});
+    EXPECT_THROW(infer(g, Shape{2, 8}), Error);
+}
+
+TEST(Transformer, HeadsMustDivideModelDim)
+{
+    TransformerConfig cfg = tiny();
+    cfg.heads = 5;
+    EXPECT_THROW(transformer_encoder(cfg), Error);
+}
+
+TEST(Transformer, LayerNormRequiresMatchingInnerDim)
+{
+    Graph g;
+    const NodeId x = g.add_input();
+    const NodeId e = g.add(LayerKind::kEmbedding, "e", {x},
+                           EmbeddingAttrs{100, 32});
+    g.add(LayerKind::kLayerNorm, "ln", {e}, LayerNormAttrs{64});
+    EXPECT_THROW(infer(g, Shape{2, 8}), Error);
+}
+
+TEST(Transformer, FlopsDominatedByAttentionAtLongSeq)
+{
+    TransformerConfig short_cfg = tiny();
+    TransformerConfig long_cfg = tiny();
+    long_cfg.seq_len = 16 * 8;
+    const auto flops = [](const TransformerConfig &cfg) {
+        const Model m = transformer_encoder(cfg);
+        return total_fwd_flops(infer(m.graph, m.input_shape(1)));
+    };
+    // Attention is quadratic in S; everything else linear. 8x the
+    // sequence must grow FLOPs by more than 8x.
+    EXPECT_GT(flops(long_cfg), 8.5 * flops(short_cfg));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace pinpoint

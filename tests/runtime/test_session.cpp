@@ -1,0 +1,112 @@
+/** @file Unit tests for the run_training session facade. */
+#include <gtest/gtest.h>
+
+#include "alloc/device_memory.h"
+#include "core/check.h"
+#include "nn/models.h"
+#include "runtime/session.h"
+
+namespace pinpoint {
+namespace runtime {
+namespace {
+
+TEST(Session, ProducesTraceAndStats)
+{
+    SessionConfig config;
+    config.batch = 16;
+    config.iterations = 3;
+    const auto r = run_training(nn::mlp(), config);
+    EXPECT_FALSE(r.trace.empty());
+    EXPECT_GT(r.end_time, 0u);
+    EXPECT_GT(r.iteration_time, 0u);
+    EXPECT_LT(r.iteration_time, r.end_time);
+    EXPECT_GT(r.usage.peak_total, 0u);
+    EXPECT_GT(r.peak_reserved_bytes, 0u);
+    EXPECT_EQ(r.alloc_stats.alloc_count, r.alloc_stats.free_count);
+}
+
+TEST(Session, TraceCanBeDisabled)
+{
+    SessionConfig config;
+    config.batch = 16;
+    config.iterations = 2;
+    config.record_trace = false;
+    const auto r = run_training(nn::mlp(), config);
+    EXPECT_TRUE(r.trace.empty());
+    EXPECT_GT(r.usage.peak_total, 0u);
+}
+
+TEST(Session, DirectAllocatorSelectable)
+{
+    SessionConfig config;
+    config.batch = 16;
+    config.iterations = 2;
+    config.allocator = AllocatorKind::kDirect;
+    const auto r = run_training(nn::mlp(), config);
+    EXPECT_EQ(r.alloc_stats.cache_hit_count, 0u);
+    EXPECT_EQ(r.alloc_stats.alloc_count,
+              r.alloc_stats.device_alloc_count);
+}
+
+TEST(Session, CachingBeatsDirectOnSimulatedTime)
+{
+    SessionConfig config;
+    config.batch = 16;
+    config.iterations = 10;
+    config.record_trace = false;
+
+    config.allocator = AllocatorKind::kCaching;
+    const auto caching = run_training(nn::mlp(), config);
+    config.allocator = AllocatorKind::kDirect;
+    const auto direct = run_training(nn::mlp(), config);
+
+    EXPECT_LT(caching.iteration_time, direct.iteration_time)
+        << "driver calls per tensor must cost simulated time";
+}
+
+TEST(Session, SingleIterationMeasuresNoSteadyState)
+{
+    SessionConfig config;
+    config.batch = 8;
+    config.iterations = 1;
+    const auto r = run_training(nn::mlp(), config);
+    EXPECT_EQ(r.iteration_time, 0u)
+        << "steady-state timing needs >= 2 iterations";
+    EXPECT_GT(r.end_time, 0u);
+}
+
+TEST(Session, OomSurfacesForOversizedWorkloads)
+{
+    SessionConfig config;
+    config.batch = 2048;  // ResNet-50 at batch 2048 cannot fit 12 GB
+    config.iterations = 1;
+    EXPECT_THROW(run_training(nn::resnet(50), config),
+                 alloc::DeviceOomError);
+}
+
+TEST(Session, DeviceIsConfigurable)
+{
+    SessionConfig config;
+    config.batch = 64;
+    config.iterations = 2;
+    config.device = sim::DeviceSpec::a100_40gb();
+    const auto a100 = run_training(nn::resnet(18), config);
+    config.device = sim::DeviceSpec::titan_x_pascal();
+    const auto titan = run_training(nn::resnet(18), config);
+    EXPECT_LT(a100.iteration_time, titan.iteration_time)
+        << "the A100 model must be faster";
+}
+
+TEST(Session, FragmentationReportedFromDeviceHeap)
+{
+    SessionConfig config;
+    config.batch = 16;
+    config.iterations = 2;
+    const auto r = run_training(nn::mlp(), config);
+    EXPECT_GE(r.device_fragmentation, 0.0);
+    EXPECT_LE(r.device_fragmentation, 1.0);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace pinpoint

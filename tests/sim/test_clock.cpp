@@ -1,0 +1,53 @@
+/** @file Unit tests for VirtualClock. */
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "sim/clock.h"
+
+namespace pinpoint {
+namespace sim {
+namespace {
+
+TEST(VirtualClock, StartsAtGivenTime)
+{
+    EXPECT_EQ(VirtualClock().now(), 0u);
+    EXPECT_EQ(VirtualClock(42).now(), 42u);
+}
+
+TEST(VirtualClock, AdvanceAccumulates)
+{
+    VirtualClock c;
+    c.advance(10);
+    c.advance(5);
+    EXPECT_EQ(c.now(), 15u);
+}
+
+TEST(VirtualClock, AdvanceUsConvertsAndRounds)
+{
+    VirtualClock c;
+    c.advance_us(25.0);
+    EXPECT_EQ(c.now(), 25u * kNsPerUs);
+    c.advance_us(0.0004);  // rounds to 0 ns
+    EXPECT_EQ(c.now(), 25u * kNsPerUs);
+    c.advance_us(0.0006);  // rounds to 1 ns
+    EXPECT_EQ(c.now(), 25u * kNsPerUs + 1);
+}
+
+TEST(VirtualClock, AdvanceUsRejectsNegative)
+{
+    VirtualClock c;
+    EXPECT_THROW(c.advance_us(-1.0), Error);
+}
+
+TEST(VirtualClock, AdvanceToMonotonic)
+{
+    VirtualClock c(100);
+    c.advance_to(100);  // no-op is fine
+    c.advance_to(250);
+    EXPECT_EQ(c.now(), 250u);
+    EXPECT_THROW(c.advance_to(249), Error);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace pinpoint

@@ -1,0 +1,38 @@
+/** @file Unit tests for the device presets. */
+#include <gtest/gtest.h>
+
+#include "sim/device_spec.h"
+
+namespace pinpoint {
+namespace sim {
+namespace {
+
+TEST(DeviceSpec, TitanXMatchesPaperTestbed)
+{
+    const DeviceSpec s = DeviceSpec::titan_x_pascal();
+    EXPECT_EQ(s.dram_bytes, 12ull * 1024 * 1024 * 1024);
+    // The paper's bandwidthTest measurements: 6.3 / 6.4 GB/s.
+    EXPECT_NEAR(s.h2d_bw_bps / (1024.0 * 1024.0 * 1024.0), 6.3, 1e-9);
+    EXPECT_NEAR(s.d2h_bw_bps / (1024.0 * 1024.0 * 1024.0), 6.4, 1e-9);
+    EXPECT_GT(s.fp32_flops, 1e13);
+    EXPECT_GT(s.launch_overhead_ns, 0u);
+}
+
+TEST(DeviceSpec, A100HasAmpereCapacity)
+{
+    const DeviceSpec s = DeviceSpec::a100_40gb();
+    // The intro's reference: Ampere DRAM size is 40 GB.
+    EXPECT_EQ(s.dram_bytes, 40ull * 1024 * 1024 * 1024);
+    EXPECT_GT(s.dram_bw_bps,
+              DeviceSpec::titan_x_pascal().dram_bw_bps);
+}
+
+TEST(DeviceSpec, TinyDeviceIsSmall)
+{
+    const DeviceSpec s = DeviceSpec::tiny_test_device();
+    EXPECT_LE(s.dram_bytes, 1ull << 30);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace pinpoint

@@ -1,0 +1,74 @@
+/** @file Unit tests for the bandwidthTest equivalent. */
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "sim/pcie.h"
+
+namespace pinpoint {
+namespace sim {
+namespace {
+
+class BandwidthTestFixture : public ::testing::Test
+{
+  protected:
+    CostModel cost_{DeviceSpec::titan_x_pascal()};
+    BandwidthTest bw_{cost_};
+};
+
+TEST_F(BandwidthTestFixture, AsymptoticApproachesSpecBandwidth)
+{
+    const auto &spec = cost_.spec();
+    const double h2d = bw_.asymptotic_bps(CopyDir::kHostToDevice);
+    const double d2h = bw_.asymptotic_bps(CopyDir::kDeviceToHost);
+    // Within 5% of nominal at 32 MB transfers.
+    EXPECT_NEAR(h2d / spec.h2d_bw_bps, 1.0, 0.05);
+    EXPECT_NEAR(d2h / spec.d2h_bw_bps, 1.0, 0.05);
+    // And below nominal (setup latency can only hurt).
+    EXPECT_LT(h2d, spec.h2d_bw_bps);
+    EXPECT_LT(d2h, spec.d2h_bw_bps);
+}
+
+TEST_F(BandwidthTestFixture, SmallTransfersAreLatencyBound)
+{
+    const auto small = bw_.measure(CopyDir::kHostToDevice, 4096);
+    const auto big =
+        bw_.measure(CopyDir::kHostToDevice, 32ull << 20);
+    EXPECT_LT(small.effective_bps, 0.5 * big.effective_bps);
+}
+
+TEST_F(BandwidthTestFixture, EffectiveBandwidthMonotonicInSize)
+{
+    double prev = 0.0;
+    for (std::size_t sz = 4096; sz <= (64ull << 20); sz *= 4) {
+        const auto s = bw_.measure(CopyDir::kDeviceToHost, sz);
+        EXPECT_GT(s.effective_bps, prev);
+        prev = s.effective_bps;
+    }
+}
+
+TEST_F(BandwidthTestFixture, SweepCoversBothDirections)
+{
+    const auto samples = bw_.sweep(1 << 20, 4 << 20);
+    std::size_t h2d = 0;
+    std::size_t d2h = 0;
+    for (const auto &s : samples) {
+        if (s.dir == CopyDir::kHostToDevice)
+            ++h2d;
+        else
+            ++d2h;
+    }
+    EXPECT_EQ(h2d, 3u);  // 1, 2, 4 MB
+    EXPECT_EQ(d2h, 3u);
+}
+
+TEST_F(BandwidthTestFixture, InvalidArgumentsRejected)
+{
+    EXPECT_THROW(bw_.measure(CopyDir::kHostToDevice, 0), Error);
+    EXPECT_THROW(bw_.measure(CopyDir::kHostToDevice, 1024, 0), Error);
+    EXPECT_THROW(bw_.sweep(0, 1024), Error);
+    EXPECT_THROW(bw_.sweep(2048, 1024), Error);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace pinpoint

@@ -1,0 +1,151 @@
+/** @file Unit tests for the swap executor. */
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "nn/models.h"
+#include "runtime/session.h"
+#include "swap/executor.h"
+
+namespace pinpoint {
+namespace swap {
+namespace {
+
+const analysis::LinkBandwidth kLink{6.4e9, 6.3e9};
+
+trace::MemoryEvent
+ev(TimeNs t, trace::EventKind kind, BlockId block, std::size_t size)
+{
+    trace::MemoryEvent e;
+    e.time = t;
+    e.kind = kind;
+    e.block = block;
+    e.size = size;
+    return e;
+}
+
+/** Big block with a 1 s gap, plus a transient block mid-gap. */
+trace::TraceRecorder
+gap_trace(std::size_t big = 512ull << 20)
+{
+    trace::TraceRecorder r;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, big));
+    r.record(ev(10, trace::EventKind::kWrite, 1, big));
+    r.record(ev(400 * kNsPerMs, trace::EventKind::kMalloc, 2,
+                64ull << 20));
+    r.record(ev(500 * kNsPerMs, trace::EventKind::kFree, 2,
+                64ull << 20));
+    r.record(ev(kNsPerSec, trace::EventKind::kRead, 1, big));
+    r.record(ev(kNsPerSec + 10, trace::EventKind::kFree, 1, big));
+    return r;
+}
+
+TEST(SwapExecutor, HideableSwapReducesPeakWithNoStall)
+{
+    const auto trace = gap_trace();
+    PlannerOptions opts;
+    opts.link = kLink;
+    const auto plan = SwapPlanner(opts).plan(trace);
+    ASSERT_EQ(plan.decisions.size(), 1u);
+
+    const auto exec = execute_plan(trace, plan, kLink);
+    EXPECT_EQ(exec.executed_decisions, 1u);
+    EXPECT_EQ(exec.measured_stall, 0u);
+    EXPECT_EQ(exec.original_peak_bytes, (512ull + 64ull) << 20);
+    // At the old peak instant the big block is off-device.
+    EXPECT_EQ(exec.new_peak_bytes, 512ull << 20)
+        << "peak moves to the big block's resident phase";
+    EXPECT_EQ(exec.measured_peak_reduction, 64ull << 20);
+    EXPECT_EQ(exec.d2h_bytes, 512ull << 20);
+    EXPECT_EQ(exec.h2d_bytes, 512ull << 20);
+    EXPECT_GT(exec.transfer_time, 100 * kNsPerMs);
+}
+
+TEST(SwapExecutor, ExecutorConfirmsPlannerPeakPrediction)
+{
+    const auto trace = gap_trace();
+    PlannerOptions opts;
+    opts.link = kLink;
+    const auto plan = SwapPlanner(opts).plan(trace);
+    const auto exec = execute_plan(trace, plan, kLink);
+    // The planner predicted reduction at the original peak instant;
+    // the executor's measured reduction must be at least that once
+    // transfer edges are accounted for.
+    EXPECT_EQ(plan.original_peak_bytes, exec.original_peak_bytes);
+    EXPECT_GE(exec.measured_peak_reduction, 0u);
+    EXPECT_LE(exec.new_peak_bytes, exec.original_peak_bytes);
+}
+
+TEST(SwapExecutor, NonHideableSwapMeasuresStall)
+{
+    // 512 MB with only a 100 ms gap: round trip needs ~170 ms.
+    trace::TraceRecorder r;
+    const std::size_t big = 512ull << 20;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, big));
+    r.record(ev(10, trace::EventKind::kWrite, 1, big));
+    r.record(ev(100 * kNsPerMs, trace::EventKind::kRead, 1, big));
+
+    PlannerOptions opts;
+    opts.link = kLink;
+    opts.allow_overhead = true;
+    const auto plan = SwapPlanner(opts).plan(r);
+    ASSERT_EQ(plan.decisions.size(), 1u);
+    const auto exec = execute_plan(r, plan, kLink);
+    EXPECT_GT(exec.measured_stall, 0u);
+    // Executor and planner agree on the stall to the nanosecond.
+    EXPECT_EQ(exec.measured_stall, plan.predicted_overhead);
+}
+
+TEST(SwapExecutor, EmptyPlanChangesNothing)
+{
+    const auto trace = gap_trace();
+    SwapPlanReport empty;
+    const auto exec = execute_plan(trace, empty, kLink);
+    EXPECT_EQ(exec.executed_decisions, 0u);
+    EXPECT_EQ(exec.new_peak_bytes, exec.original_peak_bytes);
+    EXPECT_EQ(exec.measured_peak_reduction, 0u);
+    EXPECT_EQ(exec.transfer_time, 0u);
+}
+
+TEST(SwapExecutor, RejectsForeignDecisions)
+{
+    const auto trace = gap_trace();
+    SwapPlanReport bogus;
+    SwapDecision d;
+    d.block = 999;
+    d.size = 1024;
+    d.gap_start = 10;
+    d.gap_end = 20;
+    bogus.decisions.push_back(d);
+    EXPECT_THROW(execute_plan(trace, bogus, kLink), Error);
+
+    SwapPlanReport misaligned;
+    d.block = 1;
+    d.size = 512ull << 20;
+    d.gap_start = 11;  // not an access timestamp
+    d.gap_end = kNsPerSec;
+    misaligned.decisions.push_back(d);
+    EXPECT_THROW(execute_plan(trace, misaligned, kLink), Error);
+}
+
+TEST(SwapExecutor, EndToEndOnRealTrainingTrace)
+{
+    runtime::SessionConfig config;
+    config.batch = 16;
+    config.iterations = 3;
+    const auto result = runtime::run_training(nn::resnet(18), config);
+
+    PlannerOptions opts;
+    opts.link = kLink;
+    const auto plan = SwapPlanner(opts).plan(result.trace);
+    const auto exec = execute_plan(result.trace, plan, kLink);
+    EXPECT_EQ(exec.executed_decisions, plan.decisions.size());
+    EXPECT_EQ(exec.measured_stall, 0u) << "hideable-only plan";
+    EXPECT_LE(exec.new_peak_bytes, exec.original_peak_bytes);
+    if (!plan.decisions.empty()) {
+        EXPECT_GT(exec.measured_peak_reduction, 0u);
+    }
+}
+
+}  // namespace
+}  // namespace swap
+}  // namespace pinpoint

@@ -1,0 +1,187 @@
+/** @file Unit tests for the automatic swap planner. */
+#include <gtest/gtest.h>
+
+#include "analysis/swap_model.h"
+#include "core/check.h"
+#include "swap/planner.h"
+
+namespace pinpoint {
+namespace swap {
+namespace {
+
+const analysis::LinkBandwidth kLink{6.4e9, 6.3e9};
+
+trace::MemoryEvent
+ev(TimeNs t, trace::EventKind kind, BlockId block, std::size_t size)
+{
+    trace::MemoryEvent e;
+    e.time = t;
+    e.kind = kind;
+    e.block = block;
+    e.size = size;
+    return e;
+}
+
+/** Block with one huge internal access gap (the Fig. 4 outlier). */
+trace::TraceRecorder
+outlier_trace()
+{
+    trace::TraceRecorder r;
+    const std::size_t size = 1200ull * 1024 * 1024;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, size));
+    r.record(ev(10, trace::EventKind::kWrite, 1, size));
+    r.record(ev(840211 * kNsPerUs, trace::EventKind::kRead, 1, size));
+    r.record(ev(840300 * kNsPerUs, trace::EventKind::kFree, 1, size));
+    return r;
+}
+
+PlannerOptions
+default_options()
+{
+    PlannerOptions o;
+    o.link = kLink;
+    return o;
+}
+
+TEST(SwapPlanner, SchedulesTheOutlier)
+{
+    SwapPlanner planner(default_options());
+    const auto plan = planner.plan(outlier_trace());
+    ASSERT_EQ(plan.decisions.size(), 1u);
+    const auto &d = plan.decisions[0];
+    EXPECT_EQ(d.block, 1u);
+    EXPECT_EQ(d.gap_start, 10u);
+    EXPECT_EQ(d.gap_end, 840211 * kNsPerUs);
+    EXPECT_GT(d.hide_ratio, 1.0);
+    EXPECT_EQ(d.overhead, 0u);
+    EXPECT_EQ(plan.predicted_overhead, 0u);
+    EXPECT_EQ(plan.total_swapped_bytes, 1200ull * 1024 * 1024);
+}
+
+TEST(SwapPlanner, PeakReductionCountsCoveringGaps)
+{
+    // The outlier block's gap must cover the global peak instant,
+    // which a second, transient block creates mid-gap.
+    trace::TraceRecorder r;
+    const std::size_t big = 1200ull * 1024 * 1024;
+    const std::size_t small = 100ull * 1024 * 1024;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, big));
+    r.record(ev(10, trace::EventKind::kWrite, 1, big));
+    r.record(ev(kNsPerMs, trace::EventKind::kMalloc, 2, small));
+    r.record(ev(2 * kNsPerMs, trace::EventKind::kFree, 2, small));
+    r.record(ev(840211 * kNsPerUs, trace::EventKind::kRead, 1, big));
+    r.record(ev(840300 * kNsPerUs, trace::EventKind::kFree, 1, big));
+
+    SwapPlanner planner(default_options());
+    const auto plan = planner.plan(r);
+    EXPECT_EQ(plan.original_peak_bytes, big + small);
+    EXPECT_EQ(plan.peak_reduction_bytes, big)
+        << "the big block is off-device at the peak instant";
+}
+
+TEST(SwapPlanner, NoPeakReductionWhenPeakIsOutsideGaps)
+{
+    SwapPlanner planner(default_options());
+    const auto plan = planner.plan(outlier_trace());
+    // Single-block trace: the peak is the alloc instant, which
+    // precedes the first access, so nothing is off-device there.
+    EXPECT_EQ(plan.original_peak_bytes, 1200ull * 1024 * 1024);
+    EXPECT_EQ(plan.peak_reduction_bytes, 0u);
+}
+
+TEST(SwapPlanner, SmallBlocksAreIgnored)
+{
+    trace::TraceRecorder r;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, 4096));
+    r.record(ev(10, trace::EventKind::kWrite, 1, 4096));
+    r.record(ev(kNsPerSec, trace::EventKind::kRead, 1, 4096));
+    SwapPlanner planner(default_options());
+    EXPECT_TRUE(planner.plan(r).decisions.empty());
+}
+
+TEST(SwapPlanner, TightGapsAreNotHideable)
+{
+    trace::TraceRecorder r;
+    const std::size_t size = 64ull * 1024 * 1024;  // needs ~20 ms
+    r.record(ev(0, trace::EventKind::kMalloc, 1, size));
+    r.record(ev(10, trace::EventKind::kWrite, 1, size));
+    r.record(ev(kNsPerMs, trace::EventKind::kRead, 1, size));
+    SwapPlanner planner(default_options());
+    EXPECT_TRUE(planner.plan(r).decisions.empty());
+}
+
+TEST(SwapPlanner, AllowOverheadSchedulesWithStall)
+{
+    trace::TraceRecorder r;
+    const std::size_t size = 64ull * 1024 * 1024;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, size));
+    r.record(ev(10, trace::EventKind::kWrite, 1, size));
+    r.record(ev(10 * kNsPerMs, trace::EventKind::kRead, 1, size));
+
+    PlannerOptions opts = default_options();
+    opts.allow_overhead = true;
+    const auto plan = SwapPlanner(opts).plan(r);
+    ASSERT_EQ(plan.decisions.size(), 1u);
+    const TimeNs needed = analysis::min_interval_for(size, kLink);
+    EXPECT_EQ(plan.decisions[0].overhead,
+              needed - (10 * kNsPerMs - 10));
+    EXPECT_EQ(plan.predicted_overhead, plan.decisions[0].overhead);
+}
+
+TEST(SwapPlanner, SafetyFactorTightensTheBound)
+{
+    trace::TraceRecorder r;
+    const std::size_t size = 100ull * 1024 * 1024;
+    const TimeNs needed = analysis::min_interval_for(size, kLink);
+    r.record(ev(0, trace::EventKind::kMalloc, 1, size));
+    r.record(ev(10, trace::EventKind::kWrite, 1, size));
+    // Gap of 1.5x the bound: fine at safety 1.0, rejected at 2.0.
+    r.record(ev(10 + needed * 3 / 2, trace::EventKind::kRead, 1,
+                size));
+
+    PlannerOptions loose = default_options();
+    EXPECT_EQ(SwapPlanner(loose).plan(r).decisions.size(), 1u);
+    PlannerOptions strict = default_options();
+    strict.safety_factor = 2.0;
+    EXPECT_TRUE(SwapPlanner(strict).plan(r).decisions.empty());
+}
+
+TEST(SwapPlanner, MultipleGapsYieldMultipleDecisions)
+{
+    trace::TraceRecorder r;
+    const std::size_t size = 16ull * 1024 * 1024;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, size));
+    r.record(ev(10, trace::EventKind::kWrite, 1, size));
+    r.record(ev(kNsPerSec, trace::EventKind::kRead, 1, size));
+    r.record(ev(2 * kNsPerSec, trace::EventKind::kRead, 1, size));
+    const auto plan = SwapPlanner(default_options()).plan(r);
+    EXPECT_EQ(plan.decisions.size(), 2u);
+    EXPECT_EQ(plan.total_swapped_bytes, 2 * size);
+    // Decisions come out sorted by gap start.
+    EXPECT_LT(plan.decisions[0].gap_start,
+              plan.decisions[1].gap_start);
+}
+
+TEST(SwapPlanner, GapsBeforeFirstAccessDoNotQualify)
+{
+    trace::TraceRecorder r;
+    const std::size_t size = 100ull * 1024 * 1024;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, size));
+    // One access only, a second after allocation: no internal gap.
+    r.record(ev(kNsPerSec, trace::EventKind::kWrite, 1, size));
+    EXPECT_TRUE(
+        SwapPlanner(default_options()).plan(r).decisions.empty());
+}
+
+TEST(SwapPlanner, ValidatesOptions)
+{
+    PlannerOptions bad_link;
+    EXPECT_THROW(SwapPlanner{bad_link}, Error);
+    PlannerOptions bad_safety = default_options();
+    bad_safety.safety_factor = 0.5;
+    EXPECT_THROW(SwapPlanner{bad_safety}, Error);
+}
+
+}  // namespace
+}  // namespace swap
+}  // namespace pinpoint

@@ -1,0 +1,124 @@
+/** @file Unit tests for the Chrome trace-event export. */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/check.h"
+#include "trace/chrome_trace.h"
+
+namespace pinpoint {
+namespace trace {
+namespace {
+
+MemoryEvent
+ev(TimeNs t, EventKind kind, BlockId block, std::size_t size,
+   const std::string &op = "op")
+{
+    MemoryEvent e;
+    e.time = t;
+    e.kind = kind;
+    e.block = block;
+    e.size = size;
+    e.op = op;
+    return e;
+}
+
+TraceRecorder
+small_trace()
+{
+    TraceRecorder r;
+    r.record(ev(1000, EventKind::kMalloc, 1, 4096, "alloc.x"));
+    r.record(ev(2000, EventKind::kWrite, 1, 4096, "fc0.mat_mul"));
+    r.record(ev(3000, EventKind::kRead, 1, 4096, "fc0.backward"));
+    r.record(ev(4000, EventKind::kFree, 1, 4096, "free.x"));
+    return r;
+}
+
+TEST(ChromeTrace, EmitsValidJsonSkeleton)
+{
+    std::stringstream ss;
+    write_chrome_trace(small_trace(), ss);
+    const std::string out = ss.str();
+    EXPECT_EQ(out.find("{\"displayTimeUnit\":\"ms\""), 0u);
+    EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_EQ(out.rfind("]}\n"), out.size() - 3);
+    // Balanced braces — cheap structural sanity.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+}
+
+TEST(ChromeTrace, LifetimeBecomesAsyncBeginEndPair)
+{
+    std::stringstream ss;
+    write_chrome_trace(small_trace(), ss);
+    const std::string out = ss.str();
+    EXPECT_NE(out.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"e\""), std::string::npos);
+    EXPECT_NE(out.find("\"id\":1"), std::string::npos);
+    // Timestamps are microseconds: 1000 ns -> 1.000 us.
+    EXPECT_NE(out.find("\"ts\":1.000"), std::string::npos);
+}
+
+TEST(ChromeTrace, AccessesBecomeInstants)
+{
+    std::stringstream ss;
+    write_chrome_trace(small_trace(), ss);
+    EXPECT_NE(ss.str().find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(ss.str().find("write fc0.mat_mul"), std::string::npos);
+
+    ChromeTraceOptions no_access;
+    no_access.accesses = false;
+    std::stringstream ss2;
+    write_chrome_trace(small_trace(), ss2, no_access);
+    EXPECT_EQ(ss2.str().find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(ChromeTrace, CountersTrackOccupancy)
+{
+    std::stringstream ss;
+    write_chrome_trace(small_trace(), ss);
+    EXPECT_NE(ss.str().find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(ss.str().find("\"intermediate\":4096"),
+              std::string::npos);
+    EXPECT_NE(ss.str().find("\"intermediate\":0"), std::string::npos)
+        << "counter returns to zero after the free";
+}
+
+TEST(ChromeTrace, MinBlockFilterDropsSmallBlocksButNotCounters)
+{
+    ChromeTraceOptions opts;
+    opts.min_block_bytes = 1 << 20;
+    std::stringstream ss;
+    write_chrome_trace(small_trace(), ss, opts);
+    const std::string out = ss.str();
+    EXPECT_EQ(out.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"C\""), std::string::npos)
+        << "counters still reflect the filtered blocks";
+}
+
+TEST(ChromeTrace, EscapesSpecialCharactersInOpNames)
+{
+    TraceRecorder r;
+    r.record(ev(0, EventKind::kMalloc, 1, 512, "weird\"op\\name"));
+    std::stringstream ss;
+    write_chrome_trace(r, ss);
+    EXPECT_NE(ss.str().find("weird\\\"op\\\\name"),
+              std::string::npos);
+}
+
+TEST(ChromeTrace, FileWriteAndBadPath)
+{
+    const std::string path =
+        ::testing::TempDir() + "/pinpoint_chrome.json";
+    write_chrome_trace_file(small_trace(), path);
+    std::ifstream check(path);
+    EXPECT_TRUE(check.good());
+    EXPECT_THROW(
+        write_chrome_trace_file(small_trace(), "/nonexistent/x.json"),
+        Error);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace pinpoint

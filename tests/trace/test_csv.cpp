@@ -1,0 +1,156 @@
+/** @file Unit tests for CSV trace serialization. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/check.h"
+#include "nn/models.h"
+#include "runtime/session.h"
+#include "trace/csv.h"
+
+namespace pinpoint {
+namespace trace {
+namespace {
+
+TraceRecorder
+sample_trace()
+{
+    TraceRecorder r;
+    MemoryEvent m;
+    m.time = 100;
+    m.kind = EventKind::kMalloc;
+    m.block = 3;
+    m.ptr = 0x7f0000000000ull;
+    m.size = 4096;
+    m.tensor = 9;
+    m.category = Category::kParameter;
+    m.iteration = 0;
+    m.op_index = -1;
+    m.op = "alloc.fc0.weight";
+    r.record(m);
+
+    MemoryEvent w = m;
+    w.time = 250;
+    w.kind = EventKind::kWrite;
+    w.op_index = 2;
+    w.op = "fc0.mat_mul";
+    r.record(w);
+
+    MemoryEvent f = m;
+    f.time = 900;
+    f.kind = EventKind::kFree;
+    f.tensor = kInvalidTensor;
+    f.category = Category::kIntermediate;
+    f.op = "free.fc0.weight";
+    r.record(f);
+    return r;
+}
+
+TEST(TraceCsv, RoundTripsEveryField)
+{
+    const TraceRecorder original = sample_trace();
+    std::stringstream ss;
+    write_csv(original, ss);
+    const TraceRecorder parsed = read_csv(ss);
+
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const auto &a = original.events()[i];
+        const auto &b = parsed.events()[i];
+        EXPECT_EQ(a.time, b.time);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.block, b.block);
+        EXPECT_EQ(a.ptr, b.ptr);
+        EXPECT_EQ(a.size, b.size);
+        EXPECT_EQ(a.tensor, b.tensor);
+        EXPECT_EQ(a.category, b.category);
+        EXPECT_EQ(a.iteration, b.iteration);
+        EXPECT_EQ(a.op_index, b.op_index);
+        EXPECT_EQ(a.op, b.op);
+    }
+}
+
+TEST(TraceCsv, HeaderIsStable)
+{
+    std::stringstream ss;
+    write_csv(TraceRecorder(), ss);
+    std::string header;
+    std::getline(ss, header);
+    EXPECT_EQ(header,
+              "time_ns,kind,block,ptr,size,tensor,category,iteration,"
+              "op_index,op");
+}
+
+TEST(TraceCsv, RejectsEmptyInput)
+{
+    std::stringstream ss;
+    EXPECT_THROW(read_csv(ss), Error);
+}
+
+TEST(TraceCsv, RejectsBadHeader)
+{
+    std::stringstream ss("time,kind\n");
+    EXPECT_THROW(read_csv(ss), Error);
+}
+
+TEST(TraceCsv, RejectsMalformedRows)
+{
+    std::stringstream missing(
+        "time_ns,kind,block,ptr,size,tensor,category,iteration,"
+        "op_index,op\n"
+        "1,malloc,2,3\n");
+    EXPECT_THROW(read_csv(missing), Error);
+
+    std::stringstream garbage(
+        "time_ns,kind,block,ptr,size,tensor,category,iteration,"
+        "op_index,op\n"
+        "abc,malloc,2,3,4,5,parameter,0,-1,x\n");
+    EXPECT_THROW(read_csv(garbage), Error);
+
+    std::stringstream bad_kind(
+        "time_ns,kind,block,ptr,size,tensor,category,iteration,"
+        "op_index,op\n"
+        "1,munmap,2,3,4,5,parameter,0,-1,x\n");
+    EXPECT_THROW(read_csv(bad_kind), Error);
+}
+
+TEST(TraceCsv, ToleratesCrLfAndBlankLines)
+{
+    std::stringstream ss(
+        "time_ns,kind,block,ptr,size,tensor,category,iteration,"
+        "op_index,op\r\n"
+        "1,malloc,2,3,512,-,input,0,-1,alloc.x\r\n"
+        "\n");
+    const auto r = read_csv(ss);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.events()[0].tensor, kInvalidTensor);
+    EXPECT_EQ(r.events()[0].category, Category::kInput);
+}
+
+TEST(TraceCsv, FileRoundTripOfARealTrainingTrace)
+{
+    runtime::SessionConfig config;
+    config.batch = 16;
+    config.iterations = 2;
+    const auto result = runtime::run_training(nn::mlp(), config);
+
+    const std::string path =
+        ::testing::TempDir() + "/pinpoint_trace.csv";
+    write_csv_file(result.trace, path);
+    const TraceRecorder parsed = read_csv_file(path);
+    ASSERT_EQ(parsed.size(), result.trace.size());
+    // Spot-check equality at both ends.
+    EXPECT_EQ(parsed.events().front().op,
+              result.trace.events().front().op);
+    EXPECT_EQ(parsed.events().back().time,
+              result.trace.events().back().time);
+}
+
+TEST(TraceCsv, MissingFileThrows)
+{
+    EXPECT_THROW(read_csv_file("/nonexistent/trace.csv"), Error);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace pinpoint

@@ -1,0 +1,45 @@
+/** @file Unit tests for MemoryEvent kinds. */
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "trace/event.h"
+
+namespace pinpoint {
+namespace trace {
+namespace {
+
+TEST(EventKind, NamesRoundTrip)
+{
+    for (auto k : {EventKind::kMalloc, EventKind::kFree,
+                   EventKind::kRead, EventKind::kWrite}) {
+        EXPECT_EQ(parse_event_kind(event_kind_name(k)), k);
+    }
+}
+
+TEST(EventKind, NamesMatchPaperTerminology)
+{
+    // Sec. II: "memory behaviors (including malloc, free, read, write)"
+    EXPECT_STREQ(event_kind_name(EventKind::kMalloc), "malloc");
+    EXPECT_STREQ(event_kind_name(EventKind::kFree), "free");
+    EXPECT_STREQ(event_kind_name(EventKind::kRead), "read");
+    EXPECT_STREQ(event_kind_name(EventKind::kWrite), "write");
+}
+
+TEST(EventKind, ParseRejectsUnknown)
+{
+    EXPECT_THROW(parse_event_kind("alloc"), Error);
+    EXPECT_THROW(parse_event_kind(""), Error);
+}
+
+TEST(MemoryEvent, DefaultsAreInert)
+{
+    MemoryEvent e;
+    EXPECT_EQ(e.block, kInvalidBlock);
+    EXPECT_EQ(e.tensor, kInvalidTensor);
+    EXPECT_EQ(e.op_index, -1);
+    EXPECT_TRUE(e.op.empty());
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace pinpoint

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * pinpoint_cli — command-line front end of the library.
+ *
+ *   pinpoint_cli characterize --model resnet50 --batch 32
+ *       [--iterations 5] [--allocator caching|direct|buddy]
+ *       [--device titan-x|a100] [--micro-batches K]
+ *       [--csv trace.csv] [--chrome trace.json] [--no-gantt]
+ *   pinpoint_cli swap-plan --model resnet50 --batch 32
+ *       [--safety 1.25] [--min-block-mb 8] [--aggressive]
+ *   pinpoint_cli bandwidth [--device titan-x|a100]
+ *   pinpoint_cli models
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/series.h"
+#include "core/check.h"
+#include "core/format.h"
+#include "nn/models.h"
+#include "runtime/session.h"
+#include "sim/pcie.h"
+#include "swap/executor.h"
+#include "swap/planner.h"
+#include "trace/chrome_trace.h"
+#include "trace/csv.h"
+
+using namespace pinpoint;
+
+namespace {
+
+/** Name → model builder registry. */
+const std::map<std::string, std::function<nn::Model()>> kModels = {
+    {"mlp", [] { return nn::mlp(); }},
+    {"alexnet", [] { return nn::alexnet_imagenet(); }},
+    {"alexnet-cifar", [] { return nn::alexnet_cifar(); }},
+    {"vgg16", [] { return nn::vgg16(); }},
+    {"vgg16-bn", [] { return nn::vgg16(1000, true); }},
+    {"resnet18", [] { return nn::resnet(18); }},
+    {"resnet34", [] { return nn::resnet(34); }},
+    {"resnet50", [] { return nn::resnet(50); }},
+    {"resnet101", [] { return nn::resnet(101); }},
+    {"resnet152", [] { return nn::resnet(152); }},
+    {"inception", [] { return nn::inception_v1(); }},
+    {"mobilenet", [] { return nn::mobilenet_v1(); }},
+    {"squeezenet", [] { return nn::squeezenet(); }},
+    {"transformer", [] { return nn::transformer_encoder(); }},
+};
+
+/** Simple --flag value argument cursor. */
+class Args
+{
+  public:
+    Args(int argc, char **argv) : argv_(argv + 1, argv + argc) {}
+
+    /** @return value of --name, or @p fallback when absent. */
+    std::string
+    value(const std::string &name, const std::string &fallback) const
+    {
+        for (std::size_t i = 0; i + 1 < argv_.size(); ++i)
+            if (argv_[i] == "--" + name)
+                return argv_[i + 1];
+        return fallback;
+    }
+
+    /** @return true when the bare flag --name is present. */
+    bool
+    flag(const std::string &name) const
+    {
+        for (const auto &a : argv_)
+            if (a == "--" + name)
+                return true;
+        return false;
+    }
+
+    /** @return first positional argument (the subcommand). */
+    std::string
+    command() const
+    {
+        return argv_.empty() ? "" : argv_[0];
+    }
+
+  private:
+    std::vector<std::string> argv_;
+};
+
+sim::DeviceSpec
+device_for(const std::string &name)
+{
+    if (name == "titan-x")
+        return sim::DeviceSpec::titan_x_pascal();
+    if (name == "a100")
+        return sim::DeviceSpec::a100_40gb();
+    PP_CHECK(false, "unknown device '" << name
+             << "' (expected titan-x or a100)");
+}
+
+nn::Model
+model_for(const std::string &name)
+{
+    auto it = kModels.find(name);
+    if (it == kModels.end()) {
+        std::string known;
+        for (const auto &[k, v] : kModels)
+            known += k + " ";
+        PP_CHECK(false,
+                 "unknown model '" << name << "'; known: " << known);
+    }
+    return it->second();
+}
+
+runtime::SessionConfig
+session_config(const Args &args)
+{
+    runtime::SessionConfig config;
+    config.batch = std::stoll(args.value("batch", "32"));
+    config.iterations = std::stoi(args.value("iterations", "5"));
+    config.device = device_for(args.value("device", "titan-x"));
+    config.plan.micro_batches =
+        std::stoi(args.value("micro-batches", "1"));
+    const std::string alloc = args.value("allocator", "caching");
+    if (alloc == "caching")
+        config.allocator = runtime::AllocatorKind::kCaching;
+    else if (alloc == "direct")
+        config.allocator = runtime::AllocatorKind::kDirect;
+    else if (alloc == "buddy")
+        config.allocator = runtime::AllocatorKind::kBuddy;
+    else
+        PP_CHECK(false, "unknown allocator '" << alloc << "'");
+    return config;
+}
+
+int
+cmd_characterize(const Args &args)
+{
+    const std::string name = args.value("model", "mlp");
+    const nn::Model model = model_for(name);
+    const runtime::SessionConfig config = session_config(args);
+    const auto result = runtime::run_training(model, config);
+
+    analysis::ReportOptions opts;
+    opts.title = name + " batch " + std::to_string(config.batch) +
+                 " x" + std::to_string(config.iterations) +
+                 " iterations on " + config.device.name;
+    opts.link = analysis::LinkBandwidth{config.device.d2h_bw_bps,
+                                        config.device.h2d_bw_bps};
+    opts.gantt = !args.flag("no-gantt");
+    analysis::write_report(result.trace, std::cout, opts);
+
+    const std::string csv = args.value("csv", "");
+    if (!csv.empty()) {
+        trace::write_csv_file(result.trace, csv);
+        std::printf("\nwrote CSV trace to %s\n", csv.c_str());
+    }
+    const std::string chrome = args.value("chrome", "");
+    if (!chrome.empty()) {
+        trace::write_chrome_trace_file(result.trace, chrome);
+        std::printf("wrote Chrome trace to %s (load in "
+                    "chrome://tracing)\n",
+                    chrome.c_str());
+    }
+    const std::string series = args.value("series", "");
+    if (!series.empty()) {
+        std::ofstream os(series);
+        PP_CHECK(os.good(), "cannot open '" << series << "'");
+        analysis::write_series_csv(
+            analysis::occupancy_series(result.trace), os);
+        std::printf("wrote occupancy series to %s\n", series.c_str());
+    }
+    return 0;
+}
+
+int
+cmd_swap_plan(const Args &args)
+{
+    const std::string name = args.value("model", "resnet50");
+    const nn::Model model = model_for(name);
+    const runtime::SessionConfig config = session_config(args);
+    const auto result = runtime::run_training(model, config);
+
+    swap::PlannerOptions opts;
+    opts.link = analysis::LinkBandwidth{config.device.d2h_bw_bps,
+                                        config.device.h2d_bw_bps};
+    opts.safety_factor = std::stod(args.value("safety", "1.0"));
+    opts.min_block_bytes = static_cast<std::size_t>(std::stoll(
+                               args.value("min-block-mb", "8"))) *
+                           1024 * 1024;
+    opts.allow_overhead = args.flag("aggressive");
+
+    const auto plan = swap::SwapPlanner(opts).plan(result.trace);
+    const auto exec = swap::execute_plan(result.trace, plan, opts.link);
+
+    std::printf("swap plan for %s batch %lld on %s\n", name.c_str(),
+                static_cast<long long>(config.batch),
+                config.device.name.c_str());
+    std::printf("  decisions:        %zu\n", plan.decisions.size());
+    std::printf("  original peak:    %s\n",
+                format_bytes(exec.original_peak_bytes).c_str());
+    std::printf("  new peak:         %s\n",
+                format_bytes(exec.new_peak_bytes).c_str());
+    std::printf("  peak reduction:   %s\n",
+                format_bytes(exec.measured_peak_reduction).c_str());
+    std::printf("  bytes moved:      %s out + %s in\n",
+                format_bytes(exec.d2h_bytes).c_str(),
+                format_bytes(exec.h2d_bytes).c_str());
+    std::printf("  link busy:        %s\n",
+                format_time(exec.transfer_time).c_str());
+    std::printf("  measured stall:   %s\n",
+                format_time(exec.measured_stall).c_str());
+    return 0;
+}
+
+int
+cmd_bandwidth(const Args &args)
+{
+    const sim::DeviceSpec spec =
+        device_for(args.value("device", "titan-x"));
+    const sim::CostModel cost(spec);
+    const sim::BandwidthTest bw(cost);
+    constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+    std::printf("bandwidthTest equivalent on %s\n", spec.name.c_str());
+    std::printf("  H2D pinned: %.2f GB/s\n",
+                bw.asymptotic_bps(sim::CopyDir::kHostToDevice) / kGB);
+    std::printf("  D2H pinned: %.2f GB/s\n",
+                bw.asymptotic_bps(sim::CopyDir::kDeviceToHost) / kGB);
+    return 0;
+}
+
+int
+cmd_models()
+{
+    for (const auto &[name, build] : kModels)
+        std::printf("%s\n", name.c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: pinpoint_cli <command> [options]\n"
+        "commands:\n"
+        "  characterize  run a workload and print the full report\n"
+        "                (--model --batch --iterations --allocator\n"
+        "                 --device --micro-batches --csv --chrome\n"
+        "                 --series --no-gantt)\n"
+        "  swap-plan     plan + execute swapping for a workload\n"
+        "                (--model --batch --safety --min-block-mb\n"
+        "                 --aggressive)\n"
+        "  bandwidth     run the bandwidthTest equivalent (--device)\n"
+        "  models        list available models\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    try {
+        const std::string cmd = args.command();
+        if (cmd == "characterize")
+            return cmd_characterize(args);
+        if (cmd == "swap-plan")
+            return cmd_swap_plan(args);
+        if (cmd == "bandwidth")
+            return cmd_bandwidth(args);
+        if (cmd == "models")
+            return cmd_models();
+        usage();
+        return cmd.empty() ? 0 : 1;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
