@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sweep scalability bench: wall-clock of the full model-zoo grid
+ * executed serially vs. on the worker pool, with a byte-identity
+ * check of the exported results. The interesting numbers are the
+ * speedup (ideally ~min(jobs, cores) on a multi-core host; the
+ * per-scenario simulations are embarrassingly parallel) and the
+ * determinism verdict (must always be "yes").
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "sweep/driver.h"
+#include "sweep/export.h"
+#include "sweep/scenario.h"
+#include "sweep/thread_pool.h"
+
+using namespace pinpoint;
+
+int
+main(int argc, char **argv)
+{
+    int jobs = sweep::ThreadPool::default_threads();
+    if (argc > 1)
+        jobs = std::atoi(argv[1]);
+    if (jobs < 1)
+        jobs = 1;
+
+    bench::banner("sweep_parallel",
+                  "sweep-driver scalability (serial vs. thread pool)",
+                  "full default zoo x {16,32,64} x 3 allocators");
+
+    const auto scenarios = sweep::expand_grid(sweep::SweepGrid{});
+    std::printf("grid: %zu scenarios, %d worker threads\n",
+                scenarios.size(), jobs);
+
+    bench::section("serial (--jobs 1)");
+    sweep::SweepOptions serial;
+    serial.jobs = 1;
+    const auto report1 = sweep::run_sweep(scenarios, serial);
+    std::printf("wall: %.3f s  (%zu ok, %zu oom, %zu failed)\n",
+                report1.wall_seconds, report1.succeeded, report1.oom,
+                report1.failed);
+
+    bench::section("parallel");
+    sweep::SweepOptions parallel;
+    parallel.jobs = jobs;
+    const auto reportN = sweep::run_sweep(scenarios, parallel);
+    std::printf("wall: %.3f s  (%zu ok, %zu oom, %zu failed)\n",
+                reportN.wall_seconds, reportN.succeeded, reportN.oom,
+                reportN.failed);
+
+    bench::section("verdict");
+    const bool identical = sweep::sweep_csv_string(report1) ==
+                               sweep::sweep_csv_string(reportN) &&
+                           sweep::sweep_json_string(report1) ==
+                               sweep::sweep_json_string(reportN);
+    const double speedup =
+        reportN.wall_seconds > 0.0
+            ? report1.wall_seconds / reportN.wall_seconds
+            : 0.0;
+    std::printf("speedup:       %.2fx on %d workers\n", speedup, jobs);
+    std::printf("deterministic: %s (CSV+JSON byte-identical)\n",
+                identical ? "yes" : "NO — BUG");
+    return identical ? 0 : 1;
+}

@@ -52,13 +52,32 @@ BuddyAllocator::~BuddyAllocator()
         device_.free(arena_base_);
 }
 
+std::size_t
+BuddyAllocator::largest_free_block() const
+{
+    for (int o = max_order_; o >= 0; --o)
+        if (!free_lists_[static_cast<std::size_t>(o)].empty())
+            return std::size_t(1) << o;
+    return 0;
+}
+
 Block
 BuddyAllocator::allocate(std::size_t bytes)
 {
     PP_CHECK(bytes > 0, "cannot allocate zero bytes");
     const int order = order_of(bytes);
-    PP_CHECK(order <= max_order_,
-             "request " << bytes << " exceeds arena " << arena_size_);
+    if (order > max_order_) {
+        // A request no arena state could ever satisfy is still an
+        // out-of-memory condition, not a usage error: callers (and
+        // the sweep driver's oom/error classification) treat it the
+        // same as runtime exhaustion.
+        throw DeviceOomError("request " + std::to_string(bytes) +
+                                 " B exceeds buddy arena of " +
+                                 std::to_string(arena_size_) + " B",
+                             bytes,
+                             arena_size_ - stats_.allocated_bytes,
+                             largest_free_block());
+    }
 
     // Find the smallest order with a free block.
     int found = -1;
@@ -71,7 +90,8 @@ BuddyAllocator::allocate(std::size_t bytes)
     if (found < 0) {
         throw DeviceOomError(
             "buddy arena exhausted", std::size_t(1) << order,
-            arena_size_ - stats_.allocated_bytes, 0);
+            arena_size_ - stats_.allocated_bytes,
+            largest_free_block());
     }
 
     auto &from = free_lists_[static_cast<std::size_t>(found)];

@@ -72,6 +72,9 @@ class BuddyAllocator : public Allocator
     /** Order of the smallest power-of-two block >= bytes. */
     static int order_of(std::size_t bytes);
 
+    /** @return size of the largest free block (0 when none). */
+    std::size_t largest_free_block() const;
+
     DeviceMemory &device_;
     sim::VirtualClock &clock_;
     const sim::CostModel &cost_;

@@ -56,7 +56,12 @@ class Shape
     /** @return "(2, 12288)"-style rendering used in logs and tests. */
     std::string to_string() const;
 
-    bool operator==(const Shape &other) const = default;
+    bool operator==(const Shape &other) const
+    {
+        return dims_ == other.dims_;
+    }
+
+    bool operator!=(const Shape &other) const { return !(*this == other); }
 
   private:
     std::vector<std::int64_t> dims_;

@@ -1,0 +1,103 @@
+#include "nn/model_registry.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace nn {
+namespace {
+
+/** Tiny transformer used by fast tests (2 layers, d_model 128). */
+Model
+transformer_tiny()
+{
+    TransformerConfig cfg;
+    cfg.layers = 2;
+    cfg.d_model = 128;
+    cfg.heads = 4;
+    cfg.d_ff = 512;
+    cfg.seq_len = 32;
+    cfg.vocab = 2000;
+    return transformer_encoder(cfg);
+}
+
+std::vector<ModelEntry>
+make_registry()
+{
+    std::vector<ModelEntry> entries;
+    entries.push_back({"mlp", [] { return mlp(); }, true});
+    entries.push_back(
+        {"alexnet", [] { return alexnet_imagenet(); }, true});
+    entries.push_back(
+        {"alexnet-cifar", [] { return alexnet_cifar(); }, true});
+    entries.push_back({"vgg16", [] { return vgg16(); }, true});
+    entries.push_back(
+        {"vgg16-bn", [] { return vgg16(1000, true); }, true});
+    entries.push_back({"resnet18", [] { return resnet(18); }, true});
+    entries.push_back({"resnet34", [] { return resnet(34); }, true});
+    entries.push_back({"resnet50", [] { return resnet(50); }, true});
+    entries.push_back({"resnet101", [] { return resnet(101); }, true});
+    entries.push_back({"resnet152", [] { return resnet(152); }, true});
+    entries.push_back(
+        {"inception", [] { return inception_v1(); }, true});
+    entries.push_back(
+        {"mobilenet", [] { return mobilenet_v1(); }, true});
+    entries.push_back(
+        {"squeezenet", [] { return squeezenet(); }, true});
+    entries.push_back(
+        {"transformer", [] { return transformer_encoder(); }, true});
+    entries.push_back(
+        {"transformer-tiny", [] { return transformer_tiny(); }, false});
+    return entries;
+}
+
+}  // namespace
+
+const std::vector<ModelEntry> &
+model_registry()
+{
+    static const std::vector<ModelEntry> registry = make_registry();
+    return registry;
+}
+
+std::vector<std::string>
+model_names()
+{
+    std::vector<std::string> names;
+    for (const auto &entry : model_registry())
+        names.push_back(entry.name);
+    return names;
+}
+
+std::vector<std::string>
+default_zoo_names()
+{
+    std::vector<std::string> names;
+    for (const auto &entry : model_registry())
+        if (entry.in_default_zoo)
+            names.push_back(entry.name);
+    return names;
+}
+
+bool
+has_model(const std::string &name)
+{
+    for (const auto &entry : model_registry())
+        if (entry.name == name)
+            return true;
+    return false;
+}
+
+Model
+build_model(const std::string &name)
+{
+    for (const auto &entry : model_registry())
+        if (entry.name == name)
+            return entry.build();
+    std::string known;
+    for (const auto &entry : model_registry())
+        known += entry.name + " ";
+    PP_CHECK(false, "unknown model '" << name << "'; known: " << known);
+}
+
+}  // namespace nn
+}  // namespace pinpoint

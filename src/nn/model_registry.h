@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Name-keyed registry over the model zoo. One canonical list of
+ * buildable workloads shared by the CLI, the sweep driver, the
+ * figure benches, and the zoo-coverage tests — so "every model"
+ * means the same thing everywhere.
+ */
+#ifndef PINPOINT_NN_MODEL_REGISTRY_H
+#define PINPOINT_NN_MODEL_REGISTRY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/models.h"
+
+namespace pinpoint {
+namespace nn {
+
+/** One registered workload. */
+struct ModelEntry {
+    /** Registry key, e.g. "resnet50". */
+    std::string name;
+    /** Builds a fresh Model instance. */
+    std::function<Model()> build;
+    /**
+     * Included in full-zoo sweeps by default. Variants that exist for
+     * fast tests (e.g. the tiny transformer) opt out.
+     */
+    bool in_default_zoo = true;
+};
+
+/**
+ * @return the full registry in canonical zoo order (the order the
+ * paper's figures enumerate workloads, tiny test variants last).
+ */
+const std::vector<ModelEntry> &model_registry();
+
+/** @return registry names in canonical order. */
+std::vector<std::string> model_names();
+
+/** @return names of the default-zoo subset, in canonical order. */
+std::vector<std::string> default_zoo_names();
+
+/** @return true when @p name is a registered model. */
+bool has_model(const std::string &name);
+
+/**
+ * Builds the registered model @p name.
+ * @throws Error for unknown names (message lists known ones).
+ */
+Model build_model(const std::string &name);
+
+}  // namespace nn
+}  // namespace pinpoint
+
+#endif  // PINPOINT_NN_MODEL_REGISTRY_H

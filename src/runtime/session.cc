@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "alloc/buddy_allocator.h"
+#include "core/check.h"
 #include "alloc/caching_allocator.h"
 #include "alloc/device_memory.h"
 #include "alloc/direct_allocator.h"
@@ -11,6 +12,31 @@
 
 namespace pinpoint {
 namespace runtime {
+
+const char *
+allocator_kind_name(AllocatorKind kind)
+{
+    switch (kind) {
+      case AllocatorKind::kCaching: return "caching";
+      case AllocatorKind::kDirect: return "direct";
+      case AllocatorKind::kBuddy: return "buddy";
+    }
+    return "unknown";
+}
+
+AllocatorKind
+allocator_kind_from_name(const std::string &name)
+{
+    if (name == "caching")
+        return AllocatorKind::kCaching;
+    if (name == "direct")
+        return AllocatorKind::kDirect;
+    if (name == "buddy")
+        return AllocatorKind::kBuddy;
+    PP_CHECK(false, "unknown allocator '"
+                        << name
+                        << "' (expected caching, direct, or buddy)");
+}
 
 SessionResult
 run_training(const nn::Model &model, const SessionConfig &config)

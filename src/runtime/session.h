@@ -7,6 +7,7 @@
 #define PINPOINT_RUNTIME_SESSION_H
 
 #include <cstdint>
+#include <string>
 
 #include "alloc/allocator.h"
 #include "nn/models.h"
@@ -24,6 +25,18 @@ enum class AllocatorKind : std::uint8_t {
     kDirect,   ///< raw cudaMalloc/cudaFree baseline
     kBuddy,    ///< binary buddy arena (kernel-style ablation point)
 };
+
+/** Number of AllocatorKind enumerators. */
+inline constexpr int kNumAllocatorKinds = 3;
+
+/** @return short name ("caching", "direct", "buddy"). */
+const char *allocator_kind_name(AllocatorKind kind);
+
+/**
+ * @return the kind named @p name.
+ * @throws Error for unknown names.
+ */
+AllocatorKind allocator_kind_from_name(const std::string &name);
 
 /** Full configuration of a characterization run. */
 struct SessionConfig {

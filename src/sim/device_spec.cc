@@ -1,5 +1,7 @@
 #include "sim/device_spec.h"
 
+#include "core/check.h"
+
 namespace pinpoint {
 namespace sim {
 namespace {
@@ -62,6 +64,44 @@ DeviceSpec::tiny_test_device()
     s.cuda_free_ns = 5000;
     s.memcpy_latency_ns = 2000;
     return s;
+}
+
+namespace {
+
+/** Single source of truth for the preset name → factory mapping. */
+struct Preset {
+    const char *name;
+    DeviceSpec (*make)();
+};
+
+constexpr Preset kPresets[] = {
+    {"titan-x", &DeviceSpec::titan_x_pascal},
+    {"a100", &DeviceSpec::a100_40gb},
+    {"tiny", &DeviceSpec::tiny_test_device},
+};
+
+}  // namespace
+
+DeviceSpec
+device_spec_by_name(const std::string &name)
+{
+    for (const Preset &preset : kPresets)
+        if (name == preset.name)
+            return preset.make();
+    std::string known;
+    for (const Preset &preset : kPresets)
+        known += std::string(preset.name) + " ";
+    PP_CHECK(false, "unknown device '" << name << "'; known: "
+                                       << known);
+}
+
+std::vector<std::string>
+device_spec_names()
+{
+    std::vector<std::string> names;
+    for (const Preset &preset : kPresets)
+        names.push_back(preset.name);
+    return names;
 }
 
 }  // namespace sim

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace pinpoint {
 namespace sim {
@@ -47,6 +48,15 @@ struct DeviceSpec {
     /** Tiny 256 MB device for OOM and fragmentation tests. */
     static DeviceSpec tiny_test_device();
 };
+
+/**
+ * @return the preset named @p name: "titan-x", "a100", or "tiny".
+ * @throws Error for unknown names.
+ */
+DeviceSpec device_spec_by_name(const std::string &name);
+
+/** @return the preset short names, in canonical order. */
+std::vector<std::string> device_spec_names();
 
 }  // namespace sim
 }  // namespace pinpoint

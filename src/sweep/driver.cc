@@ -1,0 +1,164 @@
+#include "sweep/driver.h"
+
+#include <chrono>
+#include <mutex>
+
+#include "alloc/device_memory.h"
+#include "analysis/ati.h"
+#include "analysis/stats.h"
+#include "analysis/swap_model.h"
+#include "nn/model_registry.h"
+#include "swap/planner.h"
+#include "sweep/thread_pool.h"
+
+namespace pinpoint {
+namespace sweep {
+namespace {
+
+/** Fills the aggregate fields of @p out from a finished session. */
+void
+aggregate(const runtime::SessionResult &r, bool swap_plan,
+          const sim::DeviceSpec &device, ScenarioResult &out)
+{
+    out.peak_total_bytes = r.usage.peak_total;
+    out.peak_input_bytes =
+        r.usage.at_peak[static_cast<int>(Category::kInput)];
+    out.peak_parameter_bytes =
+        r.usage.at_peak[static_cast<int>(Category::kParameter)];
+    out.peak_intermediate_bytes =
+        r.usage.at_peak[static_cast<int>(Category::kIntermediate)];
+    out.peak_reserved_bytes = r.peak_reserved_bytes;
+    out.device_fragmentation = r.device_fragmentation;
+
+    out.iteration_time = r.iteration_time;
+    out.end_time = r.end_time;
+
+    out.alloc_count = r.alloc_stats.alloc_count;
+    out.cache_hit_count = r.alloc_stats.cache_hit_count;
+    out.device_alloc_count = r.alloc_stats.device_alloc_count;
+
+    out.event_count = r.trace.size();
+    const auto atis = analysis::compute_atis(r.trace);
+    out.ati_count = atis.size();
+    if (!atis.empty()) {
+        const auto stats =
+            analysis::summarize(analysis::ati_microseconds(atis));
+        out.ati_median_us = stats.median;
+        out.ati_p90_us = stats.p90;
+        out.ati_max_us = stats.max;
+    }
+
+    if (swap_plan) {
+        swap::PlannerOptions opts;
+        opts.link = analysis::LinkBandwidth{device.d2h_bw_bps,
+                                            device.h2d_bw_bps};
+        const auto plan = swap::SwapPlanner(opts).plan(r.trace);
+        out.swap_decisions = plan.decisions.size();
+        out.swap_peak_reduction_bytes = plan.peak_reduction_bytes;
+        out.swap_total_bytes = plan.total_swapped_bytes;
+    }
+}
+
+/** Best-effort progress notification; never lets a throw escape. */
+void
+notify(const SweepOptions &options, const ScenarioResult &result)
+{
+    if (!options.on_result)
+        return;
+    try {
+        options.on_result(result);
+    } catch (...) {
+        // Progress reporting must never abort the sweep — in the
+        // parallel path an escaping exception would std::terminate.
+    }
+}
+
+}  // namespace
+
+const char *
+scenario_status_name(ScenarioStatus status)
+{
+    switch (status) {
+      case ScenarioStatus::kOk: return "ok";
+      case ScenarioStatus::kOom: return "oom";
+      case ScenarioStatus::kError: return "error";
+    }
+    return "unknown";
+}
+
+ScenarioResult
+run_scenario(const Scenario &scenario, bool swap_plan)
+{
+    ScenarioResult result;
+    result.scenario = scenario;
+    try {
+        const runtime::SessionConfig config = scenario.session_config();
+        const nn::Model model = nn::build_model(scenario.model);
+        const auto session = runtime::run_training(model, config);
+        aggregate(session, swap_plan, config.device, result);
+    } catch (const alloc::DeviceOomError &e) {
+        result.status = ScenarioStatus::kOom;
+        result.error = e.what();
+    } catch (const std::exception &e) {
+        result.status = ScenarioStatus::kError;
+        result.error = e.what();
+    }
+    return result;
+}
+
+SweepReport
+run_sweep(const std::vector<Scenario> &scenarios,
+          const SweepOptions &options)
+{
+    SweepReport report;
+    report.jobs = options.jobs < 1 ? 1 : options.jobs;
+    report.results.resize(scenarios.size());
+
+    const auto start = std::chrono::steady_clock::now();
+    if (report.jobs == 1) {
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            report.results[i] =
+                run_scenario(scenarios[i], options.swap_plan);
+            notify(options, report.results[i]);
+        }
+    } else {
+        std::mutex notify_mutex;
+        ThreadPool pool(report.jobs);
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            pool.submit([&, i] {
+                // Each worker owns its scenario's entire session —
+                // device arena, clock, allocator, recorder — so runs
+                // share nothing and slot i is written exactly once.
+                ScenarioResult r =
+                    run_scenario(scenarios[i], options.swap_plan);
+                if (options.on_result) {
+                    std::lock_guard<std::mutex> lock(notify_mutex);
+                    notify(options, r);
+                }
+                report.results[i] = std::move(r);
+            });
+        }
+        pool.wait();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    report.wall_seconds =
+        std::chrono::duration<double>(end - start).count();
+
+    for (const auto &r : report.results) {
+        switch (r.status) {
+          case ScenarioStatus::kOk: ++report.succeeded; break;
+          case ScenarioStatus::kOom: ++report.oom; break;
+          case ScenarioStatus::kError: ++report.failed; break;
+        }
+    }
+    return report;
+}
+
+SweepReport
+run_sweep(const SweepGrid &grid, const SweepOptions &options)
+{
+    return run_sweep(expand_grid(grid), options);
+}
+
+}  // namespace sweep
+}  // namespace pinpoint

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Parallel sweep driver: executes a list of scenarios on a worker
+ * pool, each in an isolated runtime::Session, and aggregates every
+ * run into one deterministic report. Result order is the scenario
+ * (grid-expansion) order, never the completion order, so `--jobs 8`
+ * and `--jobs 1` produce byte-identical exports.
+ */
+#ifndef PINPOINT_SWEEP_DRIVER_H
+#define PINPOINT_SWEEP_DRIVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sweep/scenario.h"
+
+namespace pinpoint {
+namespace sweep {
+
+/** Terminal state of one scenario. */
+enum class ScenarioStatus : std::uint8_t {
+    kOk,     ///< ran to completion
+    kOom,    ///< deterministic simulated-device OOM
+    kError,  ///< any other failure (bad config, internal error)
+};
+
+/** @return short name ("ok", "oom", "error"). */
+const char *scenario_status_name(ScenarioStatus status);
+
+/**
+ * Aggregated outcome of one scenario. The full trace is consumed
+ * (and dropped) inside the worker — only summary numbers leave it,
+ * which is what keeps a 100+-scenario sweep in bounded memory.
+ */
+struct ScenarioResult {
+    Scenario scenario;
+    ScenarioStatus status = ScenarioStatus::kOk;
+    /** Failure message when status != kOk. */
+    std::string error;
+
+    // --- memory ---------------------------------------------------
+    /** Peak of total live bytes. */
+    std::size_t peak_total_bytes = 0;
+    /** Live bytes per category at the peak instant. */
+    std::size_t peak_input_bytes = 0;
+    std::size_t peak_parameter_bytes = 0;
+    std::size_t peak_intermediate_bytes = 0;
+    /** Device reservation high-water mark. */
+    std::size_t peak_reserved_bytes = 0;
+    /** External fragmentation of the device heap at run end. */
+    double device_fragmentation = 0.0;
+
+    // --- time -----------------------------------------------------
+    /** Simulated steady-state iteration time. */
+    TimeNs iteration_time = 0;
+    /** Simulated end-to-end time. */
+    TimeNs end_time = 0;
+
+    // --- allocator ------------------------------------------------
+    std::uint64_t alloc_count = 0;
+    std::uint64_t cache_hit_count = 0;
+    std::uint64_t device_alloc_count = 0;
+
+    // --- trace / ATI ----------------------------------------------
+    /** Recorded memory events. */
+    std::size_t event_count = 0;
+    /** ATI sample count. */
+    std::size_t ati_count = 0;
+    double ati_median_us = 0.0;
+    double ati_p90_us = 0.0;
+    double ati_max_us = 0.0;
+
+    // --- swap planning --------------------------------------------
+    /** Scheduled (hideable) swap decisions. */
+    std::size_t swap_decisions = 0;
+    /** Bytes absent from the device at the original peak. */
+    std::size_t swap_peak_reduction_bytes = 0;
+    /** Sum of scheduled swap sizes. */
+    std::size_t swap_total_bytes = 0;
+};
+
+/** Sweep execution options. */
+struct SweepOptions {
+    /** Worker threads; 1 = serial in the calling thread. */
+    int jobs = 1;
+    /** Run the Eq. 1 swap planner over each trace. */
+    bool swap_plan = true;
+    /**
+     * Called after each scenario finishes, serialized under a lock
+     * and therefore safe to print from. Completion order — for
+     * progress only, never for results. Best-effort: exceptions it
+     * throws are swallowed (identically in serial and parallel
+     * mode), never aborting the sweep.
+     */
+    std::function<void(const ScenarioResult &)> on_result;
+};
+
+/** Everything one sweep produced. */
+struct SweepReport {
+    /** Per-scenario results, in scenario (grid) order. */
+    std::vector<ScenarioResult> results;
+    /** Scenarios with status kOk. */
+    std::size_t succeeded = 0;
+    /**
+     * Scenarios with status kOom. A deterministic simulated OOM is a
+     * capacity finding, not a sweep failure — it is reported per-row
+     * and does not make the sweep itself fail.
+     */
+    std::size_t oom = 0;
+    /** Scenarios with status kError. */
+    std::size_t failed = 0;
+    /** Host wall-clock of the whole sweep, in seconds. */
+    double wall_seconds = 0.0;
+    /** Worker threads actually used. */
+    int jobs = 1;
+};
+
+/**
+ * Runs one scenario to an aggregated result. Never throws: failures
+ * are captured in the result's status/error fields.
+ */
+ScenarioResult run_scenario(const Scenario &scenario,
+                            bool swap_plan = true);
+
+/**
+ * Executes @p scenarios on @p options.jobs workers and aggregates
+ * the outcomes. Deterministic: results (and every exported byte
+ * derived from them) depend only on the scenario list, not on
+ * scheduling.
+ */
+SweepReport run_sweep(const std::vector<Scenario> &scenarios,
+                      const SweepOptions &options = {});
+
+/** Convenience: expand_grid + run_sweep. */
+SweepReport run_sweep(const SweepGrid &grid,
+                      const SweepOptions &options = {});
+
+}  // namespace sweep
+}  // namespace pinpoint
+
+#endif  // PINPOINT_SWEEP_DRIVER_H

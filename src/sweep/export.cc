@@ -1,0 +1,207 @@
+#include "sweep/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/check.h"
+#include "core/format.h"
+#include "trace/chrome_trace.h"
+
+namespace pinpoint {
+namespace sweep {
+namespace {
+
+/** Locale-independent fixed-precision double rendering. */
+std::string
+fmt_double(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    return buf;
+}
+
+/** Compact "21.5 us" rendering for the summary table. */
+std::string
+fmt_us(double us)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f us", us);
+    return buf;
+}
+
+/** First line of a (possibly multi-line) error message. */
+std::string
+first_line(const std::string &s)
+{
+    const auto pos = s.find('\n');
+    return pos == std::string::npos ? s : s.substr(0, pos);
+}
+
+/** Escapes a CSV field (quotes when it contains , " or newline). */
+std::string
+csv_escape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else if (c == '\n')
+            out += ' ';
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+void
+write_sweep_csv(const SweepReport &report, std::ostream &os)
+{
+    os << "model,batch,allocator,device,iterations,status,error,"
+          "peak_total_bytes,peak_input_bytes,peak_parameter_bytes,"
+          "peak_intermediate_bytes,peak_reserved_bytes,"
+          "device_fragmentation,iteration_time_ns,end_time_ns,"
+          "alloc_count,cache_hit_count,device_alloc_count,"
+          "event_count,ati_count,ati_median_us,ati_p90_us,ati_max_us,"
+          "swap_decisions,swap_peak_reduction_bytes,swap_total_bytes"
+          "\n";
+    for (const auto &r : report.results) {
+        const Scenario &s = r.scenario;
+        os << csv_escape(s.model) << ',' << s.batch << ','
+           << runtime::allocator_kind_name(s.allocator) << ','
+           << csv_escape(s.device) << ',' << s.iterations << ','
+           << scenario_status_name(r.status) << ','
+           << csv_escape(first_line(r.error)) << ','
+           << r.peak_total_bytes << ',' << r.peak_input_bytes << ','
+           << r.peak_parameter_bytes << ','
+           << r.peak_intermediate_bytes << ','
+           << r.peak_reserved_bytes << ','
+           << fmt_double(r.device_fragmentation) << ','
+           << r.iteration_time << ',' << r.end_time << ','
+           << r.alloc_count << ',' << r.cache_hit_count << ','
+           << r.device_alloc_count << ',' << r.event_count << ','
+           << r.ati_count << ',' << fmt_double(r.ati_median_us) << ','
+           << fmt_double(r.ati_p90_us) << ','
+           << fmt_double(r.ati_max_us) << ',' << r.swap_decisions
+           << ',' << r.swap_peak_reduction_bytes << ','
+           << r.swap_total_bytes << '\n';
+    }
+}
+
+void
+write_sweep_json(const SweepReport &report, std::ostream &os)
+{
+    os << "{\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const auto &r = report.results[i];
+        const Scenario &s = r.scenario;
+        os << "    {\"model\": \"" << trace::json_escape(s.model)
+           << "\", \"batch\": " << s.batch << ", \"allocator\": \""
+           << runtime::allocator_kind_name(s.allocator)
+           << "\", \"device\": \"" << trace::json_escape(s.device)
+           << "\", \"iterations\": " << s.iterations
+           << ", \"status\": \"" << scenario_status_name(r.status)
+           << "\", \"error\": \""
+           << trace::json_escape(first_line(r.error))
+           << "\", \"peak_total_bytes\": " << r.peak_total_bytes
+           << ", \"peak_input_bytes\": " << r.peak_input_bytes
+           << ", \"peak_parameter_bytes\": " << r.peak_parameter_bytes
+           << ", \"peak_intermediate_bytes\": "
+           << r.peak_intermediate_bytes
+           << ", \"peak_reserved_bytes\": " << r.peak_reserved_bytes
+           << ", \"device_fragmentation\": "
+           << fmt_double(r.device_fragmentation)
+           << ", \"iteration_time_ns\": " << r.iteration_time
+           << ", \"end_time_ns\": " << r.end_time
+           << ", \"alloc_count\": " << r.alloc_count
+           << ", \"cache_hit_count\": " << r.cache_hit_count
+           << ", \"device_alloc_count\": " << r.device_alloc_count
+           << ", \"event_count\": " << r.event_count
+           << ", \"ati_count\": " << r.ati_count
+           << ", \"ati_median_us\": " << fmt_double(r.ati_median_us)
+           << ", \"ati_p90_us\": " << fmt_double(r.ati_p90_us)
+           << ", \"ati_max_us\": " << fmt_double(r.ati_max_us)
+           << ", \"swap_decisions\": " << r.swap_decisions
+           << ", \"swap_peak_reduction_bytes\": "
+           << r.swap_peak_reduction_bytes
+           << ", \"swap_total_bytes\": " << r.swap_total_bytes << "}"
+           << (i + 1 < report.results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"summary\": {\"scenarios\": "
+       << report.results.size()
+       << ", \"succeeded\": " << report.succeeded
+       << ", \"oom\": " << report.oom
+       << ", \"failed\": " << report.failed << "}\n}\n";
+}
+
+void
+write_sweep_csv_file(const SweepReport &report, const std::string &path)
+{
+    std::ofstream os(path);
+    PP_CHECK(os.good(), "cannot open '" << path << "' for writing");
+    write_sweep_csv(report, os);
+    PP_CHECK(os.good(), "write to '" << path << "' failed");
+}
+
+void
+write_sweep_json_file(const SweepReport &report, const std::string &path)
+{
+    std::ofstream os(path);
+    PP_CHECK(os.good(), "cannot open '" << path << "' for writing");
+    write_sweep_json(report, os);
+    PP_CHECK(os.good(), "write to '" << path << "' failed");
+}
+
+std::string
+sweep_csv_string(const SweepReport &report)
+{
+    std::ostringstream os;
+    write_sweep_csv(report, os);
+    return os.str();
+}
+
+std::string
+sweep_json_string(const SweepReport &report)
+{
+    std::ostringstream os;
+    write_sweep_json(report, os);
+    return os.str();
+}
+
+void
+write_sweep_table(const SweepReport &report, std::ostream &os)
+{
+    os << pad("scenario", 36) << pad("status", 8) << pad("peak", 12)
+       << pad("reserved", 12) << pad("iter time", 12)
+       << pad("ATI p50", 12) << pad("swap save", 12) << "\n";
+    for (const auto &r : report.results) {
+        os << pad(r.scenario.id(), 36)
+           << pad(scenario_status_name(r.status), 8);
+        if (r.status == ScenarioStatus::kOk) {
+            os << pad(format_bytes(r.peak_total_bytes), 12)
+               << pad(format_bytes(r.peak_reserved_bytes), 12)
+               << pad(format_time(r.iteration_time), 12)
+               << pad(fmt_us(r.ati_median_us), 12)
+               << pad(format_bytes(r.swap_peak_reduction_bytes), 12);
+        } else {
+            os << first_line(r.error);
+        }
+        os << "\n";
+    }
+    os << report.results.size() << " scenarios: " << report.succeeded
+       << " ok, " << report.oom << " oom, " << report.failed
+       << " failed";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, " in %.2f s (jobs=%d)\n",
+                  report.wall_seconds, report.jobs);
+    os << buf;
+}
+
+}  // namespace sweep
+}  // namespace pinpoint

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic exporters for sweep reports: machine-readable CSV
+ * and JSON plus the human summary table the CLI prints. All numeric
+ * formatting is locale-independent and fixed-precision so that two
+ * sweeps over the same grid produce byte-identical files regardless
+ * of worker count or host.
+ */
+#ifndef PINPOINT_SWEEP_EXPORT_H
+#define PINPOINT_SWEEP_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "sweep/driver.h"
+
+namespace pinpoint {
+namespace sweep {
+
+/** Writes the per-scenario CSV (with header row) to @p os. */
+void write_sweep_csv(const SweepReport &report, std::ostream &os);
+
+/** Writes the CSV to @p path. @throws Error on I/O failure. */
+void write_sweep_csv_file(const SweepReport &report,
+                          const std::string &path);
+
+/**
+ * Writes the report as a JSON document to @p os: a "scenarios"
+ * array plus a "summary" object. Host-dependent fields (wall clock,
+ * job count) are deliberately excluded so output is reproducible.
+ */
+void write_sweep_json(const SweepReport &report, std::ostream &os);
+
+/** Writes the JSON to @p path. @throws Error on I/O failure. */
+void write_sweep_json_file(const SweepReport &report,
+                           const std::string &path);
+
+/** @return the CSV as a string (determinism tests compare these). */
+std::string sweep_csv_string(const SweepReport &report);
+
+/** @return the JSON as a string. */
+std::string sweep_json_string(const SweepReport &report);
+
+/** Writes the human-readable summary table to @p os. */
+void write_sweep_table(const SweepReport &report, std::ostream &os);
+
+}  // namespace sweep
+}  // namespace pinpoint
+
+#endif  // PINPOINT_SWEEP_EXPORT_H

@@ -1,0 +1,118 @@
+#include "sweep/scenario.h"
+
+#include "core/check.h"
+#include "nn/model_registry.h"
+#include "sim/device_spec.h"
+
+namespace pinpoint {
+namespace sweep {
+
+std::string
+Scenario::id() const
+{
+    return model + "/b" + std::to_string(batch) + "/" +
+           runtime::allocator_kind_name(allocator) + "/" + device;
+}
+
+runtime::SessionConfig
+Scenario::session_config() const
+{
+    runtime::SessionConfig config;
+    config.batch = batch;
+    config.iterations = iterations;
+    config.device = sim::device_spec_by_name(device);
+    config.allocator = allocator;
+    return config;
+}
+
+std::vector<Scenario>
+expand_grid(const SweepGrid &grid)
+{
+    std::vector<std::string> models =
+        grid.models.empty() ? nn::default_zoo_names() : grid.models;
+    for (const auto &m : models)
+        PP_CHECK(nn::has_model(m), "unknown model '" << m << "'");
+
+    std::vector<std::int64_t> batches = grid.batches;
+    if (batches.empty())
+        batches = {16, 32, 64};
+    for (std::int64_t b : batches)
+        PP_CHECK(b > 0, "batch must be positive, got " << b);
+
+    std::vector<runtime::AllocatorKind> allocators = grid.allocators;
+    if (allocators.empty())
+        allocators = {runtime::AllocatorKind::kCaching,
+                      runtime::AllocatorKind::kDirect,
+                      runtime::AllocatorKind::kBuddy};
+
+    std::vector<std::string> devices =
+        grid.devices.empty() ? std::vector<std::string>{"titan-x"}
+                             : grid.devices;
+    for (const auto &d : devices)
+        sim::device_spec_by_name(d);  // validates; throws on unknown
+
+    PP_CHECK(grid.iterations >= 1,
+             "iterations must be >= 1, got " << grid.iterations);
+
+    std::vector<Scenario> scenarios;
+    scenarios.reserve(models.size() * batches.size() *
+                      allocators.size() * devices.size());
+    for (const auto &model : models)
+        for (std::int64_t batch : batches)
+            for (runtime::AllocatorKind allocator : allocators)
+                for (const auto &device : devices) {
+                    Scenario s;
+                    s.model = model;
+                    s.batch = batch;
+                    s.allocator = allocator;
+                    s.device = device;
+                    s.iterations = grid.iterations;
+                    scenarios.push_back(std::move(s));
+                }
+    return scenarios;
+}
+
+std::vector<std::string>
+split_list(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (char c : csv) {
+        if (c == ',') {
+            if (!current.empty())
+                out.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        out.push_back(current);
+    return out;
+}
+
+std::vector<std::int64_t>
+parse_batches(const std::string &csv)
+{
+    std::vector<std::int64_t> out;
+    for (const auto &field : split_list(csv)) {
+        try {
+            out.push_back(std::stoll(field));
+        } catch (const std::exception &) {
+            PP_CHECK(false, "bad batch size '" << field << "'");
+        }
+    }
+    return out;
+}
+
+std::vector<runtime::AllocatorKind>
+parse_allocators(const std::string &csv)
+{
+    std::vector<runtime::AllocatorKind> out;
+    for (const auto &field : split_list(csv))
+        out.push_back(runtime::allocator_kind_from_name(field));
+    return out;
+}
+
+}  // namespace sweep
+}  // namespace pinpoint

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Declarative sweep scenarios: one Scenario pins a (model, batch,
+ * allocator, device) point; a SweepGrid is the cross product the
+ * driver expands. Expansion order is the canonical result order —
+ * independent of how many workers execute the grid.
+ */
+#ifndef PINPOINT_SWEEP_SCENARIO_H
+#define PINPOINT_SWEEP_SCENARIO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/session.h"
+
+namespace pinpoint {
+namespace sweep {
+
+/** One fully-pinned characterization scenario. */
+struct Scenario {
+    /** Model registry name, e.g. "resnet50". */
+    std::string model;
+    /** Batch size. */
+    std::int64_t batch = 32;
+    /** Allocator backing the run. */
+    runtime::AllocatorKind allocator = runtime::AllocatorKind::kCaching;
+    /** Device preset name ("titan-x", "a100", "tiny"). */
+    std::string device = "titan-x";
+    /** Training iterations to simulate. */
+    int iterations = 5;
+
+    /** @return "resnet50/b32/caching/titan-x" — the stable key. */
+    std::string id() const;
+
+    /** @return the session configuration this scenario pins. */
+    runtime::SessionConfig session_config() const;
+};
+
+/**
+ * The sweep cross product. Empty dimension lists mean "the default
+ * for that axis" (full default zoo, the standard batch ladder, every
+ * allocator, the paper's device).
+ */
+struct SweepGrid {
+    /** Model registry names; empty = the full default zoo. */
+    std::vector<std::string> models;
+    /** Batch sizes; empty = {16, 32, 64}. */
+    std::vector<std::int64_t> batches;
+    /** Allocator kinds; empty = caching, direct, buddy. */
+    std::vector<runtime::AllocatorKind> allocators;
+    /** Device preset names; empty = {"titan-x"}. */
+    std::vector<std::string> devices;
+    /** Iterations per scenario. */
+    int iterations = 5;
+};
+
+/**
+ * Expands @p grid into scenarios in canonical order: models
+ * outermost, then batches, allocators, devices innermost.
+ * @throws Error for unknown model or device names.
+ */
+std::vector<Scenario> expand_grid(const SweepGrid &grid);
+
+/**
+ * Parses a comma-separated list ("a,b,c") into its elements,
+ * dropping empty fields. Used by CLI grid filters.
+ */
+std::vector<std::string> split_list(const std::string &csv);
+
+/** Parses a comma-separated list of batch sizes. @throws Error. */
+std::vector<std::int64_t> parse_batches(const std::string &csv);
+
+/** Parses a comma-separated list of allocator kinds. @throws Error. */
+std::vector<runtime::AllocatorKind>
+parse_allocators(const std::string &csv);
+
+}  // namespace sweep
+}  // namespace pinpoint
+
+#endif  // PINPOINT_SWEEP_SCENARIO_H

@@ -1,6 +1,7 @@
 #include "trace/chrome_trace.h"
 
 #include <array>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 
@@ -8,9 +9,7 @@
 
 namespace pinpoint {
 namespace trace {
-namespace {
 
-/** Escapes a string for embedding in a JSON literal. */
 std::string
 json_escape(const std::string &s)
 {
@@ -22,11 +21,23 @@ json_escape(const std::string &s)
           case '\\': out += "\\\\"; break;
           case '\n': out += "\\n"; break;
           case '\t': out += "\\t"; break;
-          default: out += c;
+          case '\r': out += "\\r"; break;
+          default:
+            // RFC 8259: every control character must be escaped.
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
         }
     }
     return out;
 }
+
+namespace {
 
 /** Microsecond timestamp (Chrome traces use us). */
 double

@@ -30,6 +30,12 @@ struct ChromeTraceOptions {
     std::size_t min_block_bytes = 0;
 };
 
+/**
+ * Escapes @p s for embedding inside a JSON string literal. Shared by
+ * every JSON-emitting exporter (Chrome traces, sweep reports).
+ */
+std::string json_escape(const std::string &s);
+
 /** Writes @p recorder as Chrome trace-event JSON to @p os. */
 void write_chrome_trace(const TraceRecorder &recorder, std::ostream &os,
                         const ChromeTraceOptions &options = {});

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Sweep driver: deterministic results independent of worker count,
+ * aggregation math consistent with a direct runtime::Session run,
+ * and graceful per-scenario failure capture.
+ */
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "analysis/ati.h"
+#include "analysis/stats.h"
+#include "nn/model_registry.h"
+#include "sweep/driver.h"
+#include "sweep/export.h"
+
+namespace pinpoint {
+namespace sweep {
+namespace {
+
+/** Small but heterogeneous grid used by the determinism tests. */
+std::vector<Scenario>
+small_grid()
+{
+    SweepGrid grid;
+    grid.models = {"mlp", "alexnet-cifar", "transformer-tiny"};
+    grid.batches = {16, 32};
+    grid.allocators = {runtime::AllocatorKind::kCaching,
+                       runtime::AllocatorKind::kDirect};
+    grid.iterations = 4;
+    return expand_grid(grid);
+}
+
+TEST(SweepDriver, SerialAndParallelAreByteIdentical)
+{
+    const auto scenarios = small_grid();
+
+    SweepOptions serial;
+    serial.jobs = 1;
+    const auto report1 = run_sweep(scenarios, serial);
+
+    SweepOptions parallel;
+    parallel.jobs = 8;
+    const auto report8 = run_sweep(scenarios, parallel);
+
+    EXPECT_EQ(sweep_csv_string(report1), sweep_csv_string(report8));
+    EXPECT_EQ(sweep_json_string(report1), sweep_json_string(report8));
+}
+
+TEST(SweepDriver, ResultsStayInGridOrderUnderParallelism)
+{
+    const auto scenarios = small_grid();
+    SweepOptions options;
+    options.jobs = 4;
+    const auto report = run_sweep(scenarios, options);
+    ASSERT_EQ(report.results.size(), scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        EXPECT_EQ(report.results[i].scenario.id(), scenarios[i].id());
+}
+
+TEST(SweepDriver, AggregationMatchesDirectSession)
+{
+    Scenario s;
+    s.model = "alexnet-cifar";
+    s.batch = 32;
+    s.iterations = 5;
+    const auto result = run_scenario(s);
+    ASSERT_EQ(result.status, ScenarioStatus::kOk) << result.error;
+
+    const auto direct = runtime::run_training(
+        nn::build_model(s.model), s.session_config());
+
+    EXPECT_EQ(result.peak_total_bytes, direct.usage.peak_total);
+    EXPECT_EQ(result.peak_input_bytes + result.peak_parameter_bytes +
+                  result.peak_intermediate_bytes,
+              direct.usage.peak_total);
+    EXPECT_EQ(result.peak_reserved_bytes, direct.peak_reserved_bytes);
+    EXPECT_EQ(result.iteration_time, direct.iteration_time);
+    EXPECT_EQ(result.end_time, direct.end_time);
+    EXPECT_EQ(result.alloc_count, direct.alloc_stats.alloc_count);
+    EXPECT_EQ(result.event_count, direct.trace.size());
+
+    const auto atis = analysis::compute_atis(direct.trace);
+    EXPECT_EQ(result.ati_count, atis.size());
+    const auto stats =
+        analysis::summarize(analysis::ati_microseconds(atis));
+    EXPECT_DOUBLE_EQ(result.ati_median_us, stats.median);
+    EXPECT_DOUBLE_EQ(result.ati_p90_us, stats.p90);
+}
+
+TEST(SweepDriver, OomIsCapturedPerScenario)
+{
+    // vgg16 cannot train at batch 64 on a 256 MB device.
+    Scenario s;
+    s.model = "vgg16";
+    s.batch = 64;
+    s.device = "tiny";
+    const auto result = run_scenario(s);
+    EXPECT_EQ(result.status, ScenarioStatus::kOom);
+    EXPECT_FALSE(result.error.empty());
+    EXPECT_EQ(result.peak_total_bytes, 0u);
+}
+
+TEST(SweepDriver, FailuresAreCountedNotThrown)
+{
+    SweepGrid grid;
+    grid.models = {"mlp", "vgg16"};
+    grid.batches = {64};
+    grid.allocators = {runtime::AllocatorKind::kCaching};
+    grid.devices = {"tiny"};
+    SweepOptions options;
+    options.jobs = 2;
+    const auto report = run_sweep(grid, options);
+    ASSERT_EQ(report.results.size(), 2u);
+    EXPECT_EQ(report.succeeded, 1u);
+    EXPECT_EQ(report.oom, 1u);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.results[0].status, ScenarioStatus::kOk);
+    EXPECT_EQ(report.results[1].status, ScenarioStatus::kOom);
+}
+
+TEST(SweepDriver, CallbackFiresOncePerScenario)
+{
+    const auto scenarios = small_grid();
+    std::mutex mutex;
+    std::multiset<std::string> seen;
+    SweepOptions options;
+    options.jobs = 4;
+    options.on_result = [&](const ScenarioResult &r) {
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.insert(r.scenario.id());
+    };
+    run_sweep(scenarios, options);
+    EXPECT_EQ(seen.size(), scenarios.size());
+    for (const auto &s : scenarios)
+        EXPECT_EQ(seen.count(s.id()), 1u) << s.id();
+}
+
+TEST(SweepDriver, SwapPlanCanBeDisabled)
+{
+    Scenario s;
+    s.model = "alexnet-cifar";
+    s.batch = 32;
+    const auto with_plan = run_scenario(s, true);
+    const auto without = run_scenario(s, false);
+    EXPECT_GT(with_plan.swap_decisions, 0u);
+    EXPECT_EQ(without.swap_decisions, 0u);
+    EXPECT_EQ(without.swap_peak_reduction_bytes, 0u);
+    // Everything else is unchanged.
+    EXPECT_EQ(with_plan.peak_total_bytes, without.peak_total_bytes);
+    EXPECT_EQ(with_plan.end_time, without.end_time);
+}
+
+TEST(SweepDriver, NonPositiveJobsClampToSerial)
+{
+    std::vector<Scenario> one;
+    Scenario s;
+    s.model = "mlp";
+    one.push_back(s);
+    SweepOptions options;
+    options.jobs = 0;
+    const auto report = run_sweep(one, options);
+    EXPECT_EQ(report.jobs, 1);
+    EXPECT_EQ(report.succeeded, 1u);
+}
+
+}  // namespace
+}  // namespace sweep
+}  // namespace pinpoint

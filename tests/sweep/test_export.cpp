@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Sweep exporters: stable CSV schema, well-formed JSON, correct
+ * escaping, and reproducible bytes.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "sweep/driver.h"
+#include "sweep/export.h"
+
+namespace pinpoint {
+namespace sweep {
+namespace {
+
+/** @return line @p n (0-based) of @p text. */
+std::string
+line(const std::string &text, std::size_t n)
+{
+    std::istringstream is(text);
+    std::string current;
+    for (std::size_t i = 0; i <= n; ++i)
+        if (!std::getline(is, current))
+            return "";
+    return current;
+}
+
+std::size_t
+count_lines(const std::string &text)
+{
+    std::size_t lines = 0;
+    for (char c : text)
+        if (c == '\n')
+            ++lines;
+    return lines;
+}
+
+SweepReport
+tiny_report()
+{
+    SweepGrid grid;
+    grid.models = {"mlp"};
+    grid.batches = {16, 32};
+    grid.allocators = {runtime::AllocatorKind::kCaching};
+    return run_sweep(grid);
+}
+
+TEST(SweepExport, CsvSchemaIsStable)
+{
+    const auto csv = sweep_csv_string(tiny_report());
+    EXPECT_EQ(line(csv, 0),
+              "model,batch,allocator,device,iterations,status,error,"
+              "peak_total_bytes,peak_input_bytes,peak_parameter_bytes,"
+              "peak_intermediate_bytes,peak_reserved_bytes,"
+              "device_fragmentation,iteration_time_ns,end_time_ns,"
+              "alloc_count,cache_hit_count,device_alloc_count,"
+              "event_count,ati_count,ati_median_us,ati_p90_us,"
+              "ati_max_us,swap_decisions,swap_peak_reduction_bytes,"
+              "swap_total_bytes");
+    EXPECT_EQ(count_lines(csv), 3u);  // header + 2 scenarios
+    EXPECT_EQ(line(csv, 1).substr(0, 24), "mlp,16,caching,titan-x,5");
+}
+
+TEST(SweepExport, CsvEscapesReservedCharacters)
+{
+    SweepReport report;
+    ScenarioResult r;
+    r.scenario.model = "mlp";
+    r.status = ScenarioStatus::kError;
+    r.error = "bad, \"worse\"\nsecond line";
+    report.results.push_back(r);
+    const auto csv = sweep_csv_string(report);
+    // Field quoted, quotes doubled, and only the first line kept.
+    EXPECT_NE(line(csv, 1).find("\"bad, \"\"worse\"\"\""),
+              std::string::npos);
+    EXPECT_EQ(count_lines(csv), 2u);
+}
+
+TEST(SweepExport, JsonIsBalancedAndCarriesSummary)
+{
+    const auto report = tiny_report();
+    const auto json = sweep_json_string(report);
+    std::size_t braces = 0, brackets = 0;
+    for (char c : json) {
+        if (c == '{') ++braces;
+        if (c == '}') --braces;
+        if (c == '[') ++brackets;
+        if (c == ']') --brackets;
+    }
+    EXPECT_EQ(braces, 0u);
+    EXPECT_EQ(brackets, 0u);
+    EXPECT_NE(json.find("\"scenarios\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"summary\": {\"scenarios\": 2, "
+                        "\"succeeded\": 2, \"oom\": 0, "
+                        "\"failed\": 0}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"model\": \"mlp\""), std::string::npos);
+}
+
+TEST(SweepExport, JsonEscapesErrorStrings)
+{
+    SweepReport report;
+    ScenarioResult r;
+    r.scenario.model = "mlp";
+    r.status = ScenarioStatus::kError;
+    r.error = "path \"x\\y\"";
+    report.results.push_back(r);
+    const auto json = sweep_json_string(report);
+    EXPECT_NE(json.find("\"error\": \"path \\\"x\\\\y\\\"\""),
+              std::string::npos);
+}
+
+TEST(SweepExport, RepeatedExportIsByteIdentical)
+{
+    const auto report = tiny_report();
+    EXPECT_EQ(sweep_csv_string(report), sweep_csv_string(report));
+    EXPECT_EQ(sweep_json_string(report), sweep_json_string(report));
+    // And a re-run of the same grid reproduces the same bytes.
+    EXPECT_EQ(sweep_csv_string(report),
+              sweep_csv_string(tiny_report()));
+}
+
+TEST(SweepExport, TableHasOneRowPerScenario)
+{
+    const auto report = tiny_report();
+    std::ostringstream os;
+    write_sweep_table(report, os);
+    // header + 2 scenarios + summary line
+    EXPECT_EQ(count_lines(os.str()), 4u);
+    EXPECT_NE(os.str().find("2 scenarios: 2 ok, 0 oom, 0 failed"),
+              std::string::npos);
+}
+
+TEST(SweepExport, FileWritersRejectBadPaths)
+{
+    const auto report = tiny_report();
+    EXPECT_THROW(
+        write_sweep_csv_file(report, "/nonexistent-dir/out.csv"),
+        Error);
+    EXPECT_THROW(
+        write_sweep_json_file(report, "/nonexistent-dir/out.json"),
+        Error);
+}
+
+}  // namespace
+}  // namespace sweep
+}  // namespace pinpoint

@@ -10,13 +10,16 @@
  *       [--safety 1.25] [--min-block-mb 8] [--aggressive]
  *   pinpoint_cli bandwidth [--device titan-x|a100]
  *   pinpoint_cli models
+ *   pinpoint_cli sweep [--jobs N] [--models a,b] [--batches 16,32]
+ *       [--allocators caching,direct] [--devices titan-x]
+ *       [--iterations 5] [--csv out.csv] [--json out.json]
+ *       [--no-swap-plan] [--quiet]
  */
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -24,35 +27,21 @@
 #include "analysis/series.h"
 #include "core/check.h"
 #include "core/format.h"
+#include "nn/model_registry.h"
 #include "nn/models.h"
 #include "runtime/session.h"
 #include "sim/pcie.h"
 #include "swap/executor.h"
 #include "swap/planner.h"
+#include "sweep/driver.h"
+#include "sweep/export.h"
+#include "sweep/scenario.h"
 #include "trace/chrome_trace.h"
 #include "trace/csv.h"
 
 using namespace pinpoint;
 
 namespace {
-
-/** Name → model builder registry. */
-const std::map<std::string, std::function<nn::Model()>> kModels = {
-    {"mlp", [] { return nn::mlp(); }},
-    {"alexnet", [] { return nn::alexnet_imagenet(); }},
-    {"alexnet-cifar", [] { return nn::alexnet_cifar(); }},
-    {"vgg16", [] { return nn::vgg16(); }},
-    {"vgg16-bn", [] { return nn::vgg16(1000, true); }},
-    {"resnet18", [] { return nn::resnet(18); }},
-    {"resnet34", [] { return nn::resnet(34); }},
-    {"resnet50", [] { return nn::resnet(50); }},
-    {"resnet101", [] { return nn::resnet(101); }},
-    {"resnet152", [] { return nn::resnet(152); }},
-    {"inception", [] { return nn::inception_v1(); }},
-    {"mobilenet", [] { return nn::mobilenet_v1(); }},
-    {"squeezenet", [] { return nn::squeezenet(); }},
-    {"transformer", [] { return nn::transformer_encoder(); }},
-};
 
 /** Simple --flag value argument cursor. */
 class Args
@@ -91,49 +80,18 @@ class Args
     std::vector<std::string> argv_;
 };
 
-sim::DeviceSpec
-device_for(const std::string &name)
-{
-    if (name == "titan-x")
-        return sim::DeviceSpec::titan_x_pascal();
-    if (name == "a100")
-        return sim::DeviceSpec::a100_40gb();
-    PP_CHECK(false, "unknown device '" << name
-             << "' (expected titan-x or a100)");
-}
-
-nn::Model
-model_for(const std::string &name)
-{
-    auto it = kModels.find(name);
-    if (it == kModels.end()) {
-        std::string known;
-        for (const auto &[k, v] : kModels)
-            known += k + " ";
-        PP_CHECK(false,
-                 "unknown model '" << name << "'; known: " << known);
-    }
-    return it->second();
-}
-
 runtime::SessionConfig
 session_config(const Args &args)
 {
     runtime::SessionConfig config;
     config.batch = std::stoll(args.value("batch", "32"));
     config.iterations = std::stoi(args.value("iterations", "5"));
-    config.device = device_for(args.value("device", "titan-x"));
+    config.device =
+        sim::device_spec_by_name(args.value("device", "titan-x"));
     config.plan.micro_batches =
         std::stoi(args.value("micro-batches", "1"));
-    const std::string alloc = args.value("allocator", "caching");
-    if (alloc == "caching")
-        config.allocator = runtime::AllocatorKind::kCaching;
-    else if (alloc == "direct")
-        config.allocator = runtime::AllocatorKind::kDirect;
-    else if (alloc == "buddy")
-        config.allocator = runtime::AllocatorKind::kBuddy;
-    else
-        PP_CHECK(false, "unknown allocator '" << alloc << "'");
+    config.allocator = runtime::allocator_kind_from_name(
+        args.value("allocator", "caching"));
     return config;
 }
 
@@ -141,7 +99,7 @@ int
 cmd_characterize(const Args &args)
 {
     const std::string name = args.value("model", "mlp");
-    const nn::Model model = model_for(name);
+    const nn::Model model = nn::build_model(name);
     const runtime::SessionConfig config = session_config(args);
     const auto result = runtime::run_training(model, config);
 
@@ -181,7 +139,7 @@ int
 cmd_swap_plan(const Args &args)
 {
     const std::string name = args.value("model", "resnet50");
-    const nn::Model model = model_for(name);
+    const nn::Model model = nn::build_model(name);
     const runtime::SessionConfig config = session_config(args);
     const auto result = runtime::run_training(model, config);
 
@@ -221,7 +179,7 @@ int
 cmd_bandwidth(const Args &args)
 {
     const sim::DeviceSpec spec =
-        device_for(args.value("device", "titan-x"));
+        sim::device_spec_by_name(args.value("device", "titan-x"));
     const sim::CostModel cost(spec);
     const sim::BandwidthTest bw(cost);
     constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
@@ -236,9 +194,71 @@ cmd_bandwidth(const Args &args)
 int
 cmd_models()
 {
-    for (const auto &[name, build] : kModels)
-        std::printf("%s\n", name.c_str());
+    // stdout carries bare names only, so `models | xargs` stays
+    // scriptable; the variant annotation goes to stderr.
+    for (const auto &entry : nn::model_registry()) {
+        std::printf("%s\n", entry.name.c_str());
+        if (!entry.in_default_zoo)
+            std::fprintf(stderr, "# %s is a test variant (excluded "
+                                 "from default sweeps)\n",
+                         entry.name.c_str());
+    }
     return 0;
+}
+
+int
+cmd_sweep(const Args &args)
+{
+    sweep::SweepGrid grid;
+    grid.models = sweep::split_list(args.value("models", ""));
+    grid.batches = sweep::parse_batches(args.value("batches", ""));
+    grid.allocators =
+        sweep::parse_allocators(args.value("allocators", ""));
+    grid.devices = sweep::split_list(args.value("devices", ""));
+    const auto parse_int = [&](const char *flag, const char *fallback) {
+        const std::string v = args.value(flag, fallback);
+        try {
+            return std::stoi(v);
+        } catch (const std::exception &) {
+            PP_CHECK(false, "--" << flag << " needs an integer, got '"
+                                 << v << "'");
+        }
+    };
+    grid.iterations = parse_int("iterations", "5");
+
+    sweep::SweepOptions opts;
+    opts.jobs = parse_int("jobs", "1");
+    PP_CHECK(opts.jobs >= 1, "--jobs must be >= 1");
+    opts.swap_plan = !args.flag("no-swap-plan");
+    const bool quiet = args.flag("quiet");
+    if (!quiet) {
+        opts.on_result = [](const sweep::ScenarioResult &r) {
+            std::fprintf(stderr, "[%s] %s\n",
+                         sweep::scenario_status_name(r.status),
+                         r.scenario.id().c_str());
+        };
+    }
+
+    const auto scenarios = sweep::expand_grid(grid);
+    std::fprintf(stderr, "sweeping %zu scenarios on %d worker%s...\n",
+                 scenarios.size(), opts.jobs,
+                 opts.jobs == 1 ? "" : "s");
+    const auto report = sweep::run_sweep(scenarios, opts);
+
+    sweep::write_sweep_table(report, std::cout);
+    const std::string csv = args.value("csv", "");
+    if (!csv.empty()) {
+        sweep::write_sweep_csv_file(report, csv);
+        std::printf("wrote sweep CSV to %s\n", csv.c_str());
+    }
+    const std::string json = args.value("json", "");
+    if (!json.empty()) {
+        sweep::write_sweep_json_file(report, json);
+        std::printf("wrote sweep JSON to %s\n", json.c_str());
+    }
+    // Deterministic simulated OOMs are findings, not failures; only
+    // scenario *errors* make the sweep exit non-zero.
+    return report.failed == 0 ? 0 : 2;
 }
 
 void
@@ -255,7 +275,12 @@ usage()
         "                (--model --batch --safety --min-block-mb\n"
         "                 --aggressive)\n"
         "  bandwidth     run the bandwidthTest equivalent (--device)\n"
-        "  models        list available models\n");
+        "  models        list available models\n"
+        "  sweep         run a model × batch × allocator × device\n"
+        "                grid in parallel and aggregate the results\n"
+        "                (--jobs --models --batches --allocators\n"
+        "                 --devices --iterations --csv --json\n"
+        "                 --no-swap-plan --quiet)\n");
 }
 
 }  // namespace
@@ -274,6 +299,8 @@ main(int argc, char **argv)
             return cmd_bandwidth(args);
         if (cmd == "models")
             return cmd_models();
+        if (cmd == "sweep")
+            return cmd_sweep(args);
         usage();
         return cmd.empty() ? 0 : 1;
     } catch (const Error &e) {
