@@ -18,6 +18,15 @@ round_trip_seconds_per_byte(const LinkBandwidth &link)
 
 }  // namespace
 
+TimeNs
+transfer_ns(std::size_t bytes, double bps)
+{
+    PP_CHECK(bps > 0.0, "link bandwidth must be positive");
+    return static_cast<TimeNs>(
+        std::ceil(static_cast<double>(bytes) / bps *
+                  static_cast<double>(kNsPerSec)));
+}
+
 double
 max_swap_bytes(TimeNs interval, const LinkBandwidth &link)
 {
@@ -29,10 +38,11 @@ max_swap_bytes(TimeNs interval, const LinkBandwidth &link)
 TimeNs
 min_interval_for(std::size_t bytes, const LinkBandwidth &link)
 {
-    const double t_sec = static_cast<double>(bytes) *
-                         round_trip_seconds_per_byte(link);
-    return static_cast<TimeNs>(
-        std::ceil(t_sec * static_cast<double>(kNsPerSec)));
+    // Sum of the per-leg times, each rounded the way the executor
+    // schedules them — not one ceil over the analytic round trip,
+    // which could disagree with scheduled execution by 1 ns.
+    return transfer_ns(bytes, link.d2h_bps) +
+           transfer_ns(bytes, link.h2d_bps);
 }
 
 bool

@@ -22,6 +22,15 @@ struct LinkBandwidth {
 };
 
 /**
+ * Time to move @p bytes over one link direction at @p bps, rounded
+ * up to whole nanoseconds. This is the single rounding rule shared
+ * by the planner, the executor, and the link scheduler — keeping
+ * them on one helper is what makes a gap the planner deems exactly
+ * hideable also measure zero stall in execution.
+ */
+TimeNs transfer_ns(std::size_t bytes, double bps);
+
+/**
  * Eq. 1 forward direction: the largest swap size (bytes) that hides
  * inside an access gap of @p interval.
  */
@@ -29,7 +38,8 @@ double max_swap_bytes(TimeNs interval, const LinkBandwidth &link);
 
 /**
  * Eq. 1 inverse: the smallest access gap that hides a swap of
- * @p bytes.
+ * @p bytes. Computed as transfer_ns(d2h) + transfer_ns(h2d) so the
+ * bound agrees leg-by-leg with scheduled execution.
  */
 TimeNs min_interval_for(std::size_t bytes, const LinkBandwidth &link);
 

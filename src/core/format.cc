@@ -63,6 +63,14 @@ format_percent(double fraction)
 }
 
 std::string
+format_fixed6(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    return buf;
+}
+
+std::string
 pad(const std::string &value, std::size_t width)
 {
     if (value.size() >= width)

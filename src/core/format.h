@@ -30,6 +30,12 @@ double to_sec(TimeNs t);
 std::string format_percent(double fraction);
 
 /**
+ * @return locale-independent fixed-precision "%.6f" rendering —
+ * the one double format the deterministic CSV/JSON exporters use.
+ */
+std::string format_fixed6(double value);
+
+/**
  * @return @p value right-padded/truncated to @p width characters;
  * used by the fixed-width tables the benches print.
  */

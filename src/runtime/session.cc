@@ -95,5 +95,27 @@ run_training(const nn::Model &model, const SessionConfig &config)
     return result;
 }
 
+SwapValidation
+validate_swap_plan(const SessionResult &result,
+                   const sim::DeviceSpec &device,
+                   swap::PlannerOptions options)
+{
+    PP_CHECK(result.trace.size() > 0,
+             "swap validation needs a recorded trace (run with "
+             "record_trace = true)");
+    // Fill only the unset legs, so a caller overriding one
+    // direction keeps that override.
+    if (options.link.d2h_bps <= 0.0)
+        options.link.d2h_bps = device.d2h_bw_bps;
+    if (options.link.h2d_bps <= 0.0)
+        options.link.h2d_bps = device.h2d_bw_bps;
+    SwapValidation v;
+    v.plan = swap::SwapPlanner(options).plan(result.trace);
+    sim::LinkScheduler link(options.link.d2h_bps,
+                            options.link.h2d_bps);
+    v.execution = swap::execute_plan(result.trace, v.plan, link);
+    return v;
+}
+
 }  // namespace runtime
 }  // namespace pinpoint

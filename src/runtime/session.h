@@ -14,6 +14,8 @@
 #include "runtime/engine.h"
 #include "runtime/plan_builder.h"
 #include "sim/device_spec.h"
+#include "swap/executor.h"
+#include "swap/planner.h"
 #include "trace/recorder.h"
 
 namespace pinpoint {
@@ -85,6 +87,43 @@ struct SessionResult {
  */
 SessionResult run_training(const nn::Model &model,
                            const SessionConfig &config = {});
+
+/**
+ * Planner prediction and shared-link executor measurement for one
+ * recorded session, side by side. The closed loop the ROADMAP asks
+ * for: a plan is only trusted once execution on the contended link
+ * confirms it.
+ */
+struct SwapValidation {
+    /** What the Eq. 1 planner predicted. */
+    swap::SwapPlanReport plan;
+    /** What executing the plan on the shared link measured. */
+    swap::SwapExecutionResult execution;
+
+    /** @return measured stall beyond the planner's prediction. */
+    TimeNs
+    unpredicted_stall() const
+    {
+        return execution.measured_stall > plan.predicted_overhead
+                   ? execution.measured_stall -
+                         plan.predicted_overhead
+                   : 0;
+    }
+};
+
+/**
+ * Validation step of the swap pipeline: plans swapping for
+ * @p result's trace and executes the plan on a shared full-duplex
+ * link with @p device's bandwidths. When @p options carries zero
+ * link bandwidths (the default-constructed state) they are filled
+ * from @p device.
+ *
+ * @throws Error when the session recorded no trace, or on
+ * plan/trace mismatch.
+ */
+SwapValidation validate_swap_plan(const SessionResult &result,
+                                  const sim::DeviceSpec &device,
+                                  swap::PlannerOptions options = {});
 
 }  // namespace runtime
 }  // namespace pinpoint

@@ -1,0 +1,92 @@
+#include "sim/link_scheduler.h"
+
+#include <algorithm>
+
+#include "analysis/swap_model.h"
+#include "core/check.h"
+
+namespace pinpoint {
+namespace sim {
+
+LinkScheduler::LinkScheduler(double d2h_bps, double h2d_bps)
+    : bps_{d2h_bps, h2d_bps}
+{
+    PP_CHECK(d2h_bps > 0.0 && h2d_bps > 0.0,
+             "link scheduler needs positive bandwidths");
+}
+
+LinkScheduler
+LinkScheduler::from_measured(const CostModel &model)
+{
+    const BandwidthTest bw(model);
+    return LinkScheduler(bw.asymptotic_bps(CopyDir::kDeviceToHost),
+                         bw.asymptotic_bps(CopyDir::kHostToDevice));
+}
+
+LinkTransfer
+LinkScheduler::submit(CopyDir dir, std::size_t bytes,
+                      TimeNs ready_time)
+{
+    const int i = index(dir);
+    LinkTransfer t;
+    t.dir = dir;
+    t.bytes = bytes;
+    t.ready_time = ready_time;
+    t.start_time = std::max(ready_time, busy_until_[i]);
+    t.end_time =
+        t.start_time + analysis::transfer_ns(bytes, bps_[i]);
+    busy_until_[i] = t.end_time;
+    busy_time_[i] += t.duration();
+    bytes_moved_[i] += bytes;
+    history_.push_back(t);
+    return t;
+}
+
+double
+LinkScheduler::bandwidth_bps(CopyDir dir) const
+{
+    return bps_[index(dir)];
+}
+
+TimeNs
+LinkScheduler::busy_until(CopyDir dir) const
+{
+    return busy_until_[index(dir)];
+}
+
+TimeNs
+LinkScheduler::busy_time(CopyDir dir) const
+{
+    return busy_time_[index(dir)];
+}
+
+std::size_t
+LinkScheduler::bytes_moved(CopyDir dir) const
+{
+    return bytes_moved_[index(dir)];
+}
+
+double
+LinkScheduler::busy_fraction(TimeNs window) const
+{
+    const TimeNs span =
+        std::max({window, busy_until_[0], busy_until_[1]});
+    if (span == 0)
+        return 0.0;
+    // Full duplex: each direction can carry traffic the whole span,
+    // so saturation is 2 * span of channel time.
+    return static_cast<double>(busy_time_[0] + busy_time_[1]) /
+           (2.0 * static_cast<double>(span));
+}
+
+void
+LinkScheduler::reset()
+{
+    busy_until_[0] = busy_until_[1] = 0;
+    busy_time_[0] = busy_time_[1] = 0;
+    bytes_moved_[0] = bytes_moved_[1] = 0;
+    history_.clear();
+}
+
+}  // namespace sim
+}  // namespace pinpoint

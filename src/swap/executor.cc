@@ -1,7 +1,7 @@
 #include "swap/executor.h"
 
 #include <algorithm>
-#include <cmath>
+#include <numeric>
 #include <unordered_map>
 
 #include "analysis/timeline.h"
@@ -10,15 +10,6 @@
 namespace pinpoint {
 namespace swap {
 namespace {
-
-/** Pure-bandwidth transfer time (Eq. 1 ignores setup latency too). */
-TimeNs
-transfer_ns(std::size_t bytes, double bps)
-{
-    return static_cast<TimeNs>(std::ceil(
-        static_cast<double>(bytes) / bps *
-        static_cast<double>(kNsPerSec)));
-}
 
 /** Occupancy change at a time point. */
 struct Edge {
@@ -49,11 +40,8 @@ peak_of(std::vector<Edge> edges)
 SwapExecutionResult
 execute_plan(const trace::TraceRecorder &recorder,
              const SwapPlanReport &plan,
-             const analysis::LinkBandwidth &link)
+             sim::LinkScheduler &scheduler)
 {
-    PP_CHECK(link.d2h_bps > 0 && link.h2d_bps > 0,
-             "executor needs positive link bandwidths");
-
     analysis::Timeline timeline(recorder);
     std::unordered_map<BlockId, const analysis::BlockLifetime *>
         by_id;
@@ -75,6 +63,13 @@ execute_plan(const trace::TraceRecorder &recorder,
     SwapExecutionResult result;
     result.original_peak_bytes = peak_of(edges);
 
+    // The scheduler may carry earlier plans' traffic; snapshot the
+    // channel busy times so this result reports only its own.
+    const TimeNs d2h_busy_before =
+        scheduler.busy_time(sim::CopyDir::kDeviceToHost);
+    const TimeNs h2d_busy_before =
+        scheduler.busy_time(sim::CopyDir::kHostToDevice);
+
     for (const auto &d : plan.decisions) {
         auto it = by_id.find(d.block);
         PP_CHECK(it != by_id.end(),
@@ -90,34 +85,105 @@ execute_plan(const trace::TraceRecorder &recorder,
                                         b.accesses.end(), d.gap_end),
                  "decision gap endpoints are not accesses of block "
                      << d.block);
+    }
 
-        const TimeNs out_time = transfer_ns(d.size, link.d2h_bps);
-        const TimeNs in_time = transfer_ns(d.size, link.h2d_bps);
-        const TimeNs out_done = d.gap_start + out_time;
-        // The swap-in must start early enough to finish by gap_end;
-        // if the gap is too tight the access stalls instead.
-        TimeNs in_start =
+    const std::size_t n = plan.decisions.size();
+    result.swaps.resize(n);
+
+    // Phase 1 — swap-outs. The D2H channel serializes them; queue
+    // order is gap-start order (ties by block id for determinism).
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const auto &da = plan.decisions[a];
+                  const auto &db = plan.decisions[b];
+                  if (da.gap_start != db.gap_start)
+                      return da.gap_start < db.gap_start;
+                  return da.block < db.block;
+              });
+    for (std::size_t i : order) {
+        const auto &d = plan.decisions[i];
+        const auto out = scheduler.submit(
+            sim::CopyDir::kDeviceToHost, d.size, d.gap_start);
+        auto &s = result.swaps[i];
+        s.block = d.block;
+        s.size = d.size;
+        s.out_start = out.start_time;
+        s.out_end = out.end_time;
+        s.queue_delay += out.queue_delay();
+    }
+
+    // Phase 2 — swap-ins. Each is ready at its *ideal* start
+    // (gap_end - transfer time, so an uncontended swap-in finishes
+    // exactly at gap_end) but never before its own swap-out is off
+    // the device. The H2D channel serializes in ready order; a
+    // swap-in queued behind earlier traffic ends past gap_end and
+    // the slip is the measured stall.
+    const double h2d_bps =
+        scheduler.bandwidth_bps(sim::CopyDir::kHostToDevice);
+    std::vector<TimeNs> ready(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &d = plan.decisions[i];
+        const TimeNs in_time = analysis::transfer_ns(d.size, h2d_bps);
+        const TimeNs ideal =
             d.gap_end > in_time ? d.gap_end - in_time : 0;
-        if (in_start < out_done) {
-            // Off-device window would be empty or negative: the
-            // round trip does not fit; the residual is a stall.
-            const TimeNs needed = out_time + in_time;
-            const TimeNs gap = d.gap_end - d.gap_start;
-            if (needed > gap)
-                result.measured_stall += needed - gap;
-            in_start = out_done;
-        }
-        if (in_start > out_done) {
+        ready[i] = std::max(ideal, result.swaps[i].out_end);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const auto &da = plan.decisions[a];
+                  const auto &db = plan.decisions[b];
+                  if (ready[a] != ready[b])
+                      return ready[a] < ready[b];
+                  if (da.block != db.block)
+                      return da.block < db.block;
+                  return da.gap_start < db.gap_start;
+              });
+    for (std::size_t i : order) {
+        const auto &d = plan.decisions[i];
+        const auto in = scheduler.submit(
+            sim::CopyDir::kHostToDevice, d.size, ready[i]);
+        auto &s = result.swaps[i];
+        s.in_start = in.start_time;
+        s.in_end = in.end_time;
+        s.queue_delay += in.queue_delay();
+        if (in.end_time > d.gap_end)
+            s.stall = in.end_time - d.gap_end;
+
+        // Residency edges use the *scheduled* completion/start, not
+        // the ideal ones: contention shrinks the off-device window.
+        if (s.in_start > s.out_end) {
             edges.push_back(
-                {out_done, -static_cast<std::int64_t>(d.size)});
+                {s.out_end, -static_cast<std::int64_t>(d.size)});
             edges.push_back(
-                {in_start, static_cast<std::int64_t>(d.size)});
+                {s.in_start, static_cast<std::int64_t>(d.size)});
         }
+
         result.d2h_bytes += d.size;
         result.h2d_bytes += d.size;
-        result.transfer_time += out_time + in_time;
+        result.transfer_time +=
+            (s.out_end - s.out_start) + (s.in_end - s.in_start);
+        result.measured_stall += s.stall;
+        result.queue_delay += s.queue_delay;
         ++result.executed_decisions;
     }
+
+    result.d2h_busy_time =
+        scheduler.busy_time(sim::CopyDir::kDeviceToHost) -
+        d2h_busy_before;
+    result.h2d_busy_time =
+        scheduler.busy_time(sim::CopyDir::kHostToDevice) -
+        h2d_busy_before;
+    const TimeNs span = std::max(
+        {timeline.end(),
+         scheduler.busy_until(sim::CopyDir::kDeviceToHost),
+         scheduler.busy_until(sim::CopyDir::kHostToDevice)});
+    result.link_busy_fraction =
+        span == 0 ? 0.0
+                  : static_cast<double>(result.d2h_busy_time +
+                                        result.h2d_busy_time) /
+                        (2.0 * static_cast<double>(span));
 
     result.new_peak_bytes = peak_of(std::move(edges));
     result.measured_peak_reduction =
@@ -125,6 +191,15 @@ execute_plan(const trace::TraceRecorder &recorder,
             ? result.original_peak_bytes - result.new_peak_bytes
             : 0;
     return result;
+}
+
+SwapExecutionResult
+execute_plan(const trace::TraceRecorder &recorder,
+             const SwapPlanReport &plan,
+             const analysis::LinkBandwidth &link)
+{
+    sim::LinkScheduler scheduler(link.d2h_bps, link.h2d_bps);
+    return execute_plan(recorder, plan, scheduler);
 }
 
 }  // namespace swap

@@ -3,8 +3,15 @@
  * Swap executor: replays a recorded trace with a swap plan applied
  * and measures what actually happens — residency-adjusted peak
  * occupancy, bytes moved over the PCIe link, and the stalls
- * non-hideable swaps add. Used to validate the planner's predictions
- * inside the simulation instead of trusting the cost model twice.
+ * non-hideable or link-contended swaps add. Used to validate the
+ * planner's predictions inside the simulation instead of trusting
+ * the cost model twice.
+ *
+ * All transfers share one full-duplex link (sim::LinkScheduler):
+ * overlapping swap-outs serialize against each other, overlapping
+ * swap-ins likewise, and a swap-in queued behind earlier traffic
+ * starts late — that slip is measured as stall, which the paper's
+ * per-decision Eq. 1 bound cannot see.
  */
 #ifndef PINPOINT_SWAP_EXECUTOR_H
 #define PINPOINT_SWAP_EXECUTOR_H
@@ -12,10 +19,27 @@
 #include <cstddef>
 #include <vector>
 
+#include "sim/link_scheduler.h"
 #include "swap/planner.h"
 
 namespace pinpoint {
 namespace swap {
+
+/** Scheduled outcome of one decision (same order as the plan). */
+struct ExecutedSwap {
+    BlockId block = kInvalidBlock;
+    std::size_t size = 0;
+    /** Scheduled device-to-host copy. */
+    TimeNs out_start = 0;
+    TimeNs out_end = 0;
+    /** Scheduled host-to-device copy. */
+    TimeNs in_start = 0;
+    TimeNs in_end = 0;
+    /** Time the swap-in finishes past gap_end (0 when hidden). */
+    TimeNs stall = 0;
+    /** Total time this decision waited for the shared link. */
+    TimeNs queue_delay = 0;
+};
 
 /** Measured outcome of executing a swap plan over a trace. */
 struct SwapExecutionResult {
@@ -29,25 +53,49 @@ struct SwapExecutionResult {
     std::size_t d2h_bytes = 0;
     /** Total bytes copied host-to-device. */
     std::size_t h2d_bytes = 0;
-    /** Link busy time for all transfers. */
+    /** Link busy time for all transfers (both directions). */
     TimeNs transfer_time = 0;
-    /** Stall time where a swap-in could not finish inside its gap. */
+    /** Busy time this plan added to the device-to-host channel. */
+    TimeNs d2h_busy_time = 0;
+    /** Busy time this plan added to the host-to-device channel. */
+    TimeNs h2d_busy_time = 0;
+    /**
+     * Mean per-direction occupancy of the shared link over the
+     * trace span (1.0 = both directions saturated end to end).
+     */
+    double link_busy_fraction = 0.0;
+    /** Stall time where a swap-in could not finish by its gap end. */
     TimeNs measured_stall = 0;
+    /** Total time decisions spent queued behind other transfers. */
+    TimeNs queue_delay = 0;
     /** Number of decisions executed. */
     std::size_t executed_decisions = 0;
+    /** Per-decision schedule, aligned with the plan's decisions. */
+    std::vector<ExecutedSwap> swaps;
 };
 
 /**
- * Executes @p plan against @p recorder's trace under @p link timing.
+ * Executes @p plan against @p recorder's trace, timing every copy
+ * on the shared link @p scheduler (which may already carry traffic;
+ * state accumulates across calls).
  *
  * The residency model: a swapped block leaves the device once its
- * swap-out transfer completes (gap_start + size/Bd2h) and returns
- * when its swap-in starts (gap_end - size/Bh2d, clamped to the
- * swap-out completion). Occupancy between those instants excludes
- * the block; everything else replays the original trace.
+ * *scheduled* swap-out completes and returns when its *scheduled*
+ * swap-in starts. Swap-outs enter the D2H queue in gap-start order;
+ * swap-ins enter the H2D queue ordered by their ideal start
+ * (gap_end - transfer time, clamped to the swap-out completion). A
+ * swap-in finishing past its gap end is a measured stall.
  *
  * @throws Error when a decision references a block the trace does
  * not contain, or a gap that does not match the block's accesses.
+ */
+SwapExecutionResult execute_plan(const trace::TraceRecorder &recorder,
+                                 const SwapPlanReport &plan,
+                                 sim::LinkScheduler &scheduler);
+
+/**
+ * Convenience overload: executes on a fresh shared link with
+ * @p link's bandwidths.
  */
 SwapExecutionResult execute_plan(const trace::TraceRecorder &recorder,
                                  const SwapPlanReport &plan,

@@ -28,6 +28,11 @@ SwapPlanner::plan(const trace::TraceRecorder &recorder) const
     for (const auto &b : timeline.blocks()) {
         if (b.size < options_.min_block_bytes)
             continue;
+        const TimeNs out_time =
+            analysis::transfer_ns(b.size, options_.link.d2h_bps);
+        const TimeNs in_time =
+            analysis::transfer_ns(b.size, options_.link.h2d_bps);
+        const TimeNs needed = out_time + in_time;
         // Walk the access gaps: alloc .. a0 .. a1 .. ... .. free.
         // Only gaps between two accesses qualify — before the first
         // access the block holds no data worth preserving, and after
@@ -38,8 +43,6 @@ SwapPlanner::plan(const trace::TraceRecorder &recorder) const
             if (gap_end <= gap_start)
                 continue;
             const TimeNs gap = gap_end - gap_start;
-            const TimeNs needed =
-                analysis::min_interval_for(b.size, options_.link);
             const double ratio = static_cast<double>(gap) /
                                  static_cast<double>(needed);
             const bool hideable = ratio >= options_.safety_factor;
@@ -53,10 +56,23 @@ SwapPlanner::plan(const trace::TraceRecorder &recorder) const
             d.gap_end = gap_end;
             d.gap = gap;
             d.hide_ratio = ratio;
-            d.overhead = hideable ? 0 : needed - gap;
+            // A safety_factor > 1 can reject a gap that still fits
+            // the raw round trip (needed <= gap); overhead must
+            // saturate at zero there, not wrap the unsigned TimeNs.
+            d.overhead =
+                (hideable || needed <= gap) ? 0 : needed - gap;
             report.predicted_overhead += d.overhead;
             report.total_swapped_bytes += b.size;
-            if (gap_start <= peak_time && peak_time < gap_end)
+            // The executor only evicts between swap-out completion
+            // and swap-in start; credit the peak only when it falls
+            // inside that transfer-adjusted residency window, not
+            // anywhere in the raw gap.
+            const TimeNs out_done = gap_start + out_time;
+            TimeNs in_start =
+                gap_end > in_time ? gap_end - in_time : 0;
+            if (in_start < out_done)
+                in_start = out_done;
+            if (out_done <= peak_time && peak_time < in_start)
                 report.peak_reduction_bytes += b.size;
             report.decisions.push_back(d);
         }

@@ -62,7 +62,11 @@ struct SwapPlanReport {
     std::size_t total_swapped_bytes = 0;
     /** Peak live bytes of the original trace. */
     std::size_t original_peak_bytes = 0;
-    /** Bytes absent from the device at the original peak instant. */
+    /**
+     * Bytes absent from the device at the original peak instant,
+     * using the executor's residency window (swap-out completion to
+     * swap-in start) rather than the raw access gap.
+     */
     std::size_t peak_reduction_bytes = 0;
     /** Sum of per-decision stalls (0 unless allow_overhead). */
     TimeNs predicted_overhead = 0;

@@ -6,9 +6,7 @@
 #include "alloc/device_memory.h"
 #include "analysis/ati.h"
 #include "analysis/stats.h"
-#include "analysis/swap_model.h"
 #include "nn/model_registry.h"
-#include "swap/planner.h"
 #include "sweep/thread_pool.h"
 
 namespace pinpoint {
@@ -49,13 +47,18 @@ aggregate(const runtime::SessionResult &r, bool swap_plan,
     }
 
     if (swap_plan) {
-        swap::PlannerOptions opts;
-        opts.link = analysis::LinkBandwidth{device.d2h_bw_bps,
-                                            device.h2d_bw_bps};
-        const auto plan = swap::SwapPlanner(opts).plan(r.trace);
-        out.swap_decisions = plan.decisions.size();
-        out.swap_peak_reduction_bytes = plan.peak_reduction_bytes;
-        out.swap_total_bytes = plan.total_swapped_bytes;
+        // Plan *and* execute on the shared link, so every row
+        // carries the measured numbers next to the predicted ones.
+        const auto v = runtime::validate_swap_plan(r, device);
+        out.swap_decisions = v.plan.decisions.size();
+        out.swap_peak_reduction_bytes = v.plan.peak_reduction_bytes;
+        out.swap_total_bytes = v.plan.total_swapped_bytes;
+        out.swap_measured_peak_reduction_bytes =
+            v.execution.measured_peak_reduction;
+        out.swap_predicted_stall_ns = v.plan.predicted_overhead;
+        out.swap_measured_stall_ns = v.execution.measured_stall;
+        out.swap_link_busy_fraction =
+            v.execution.link_busy_fraction;
     }
 }
 

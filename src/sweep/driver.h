@@ -76,10 +76,20 @@ struct ScenarioResult {
     // --- swap planning --------------------------------------------
     /** Scheduled (hideable) swap decisions. */
     std::size_t swap_decisions = 0;
-    /** Bytes absent from the device at the original peak. */
+    /** Predicted bytes absent from the device at the original peak. */
     std::size_t swap_peak_reduction_bytes = 0;
     /** Sum of scheduled swap sizes. */
     std::size_t swap_total_bytes = 0;
+
+    // --- swap validation (shared-link execution) ------------------
+    /** Peak reduction the executor measured on the shared link. */
+    std::size_t swap_measured_peak_reduction_bytes = 0;
+    /** Stall the planner predicted (0 for hideable-only plans). */
+    TimeNs swap_predicted_stall_ns = 0;
+    /** Stall measured with all transfers contending for one link. */
+    TimeNs swap_measured_stall_ns = 0;
+    /** Mean per-direction occupancy of the link over the trace. */
+    double swap_link_busy_fraction = 0.0;
 };
 
 /** Sweep execution options. */

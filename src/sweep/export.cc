@@ -13,15 +13,6 @@ namespace pinpoint {
 namespace sweep {
 namespace {
 
-/** Locale-independent fixed-precision double rendering. */
-std::string
-fmt_double(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6f", v);
-    return buf;
-}
-
 /** Compact "21.5 us" rendering for the summary table. */
 std::string
 fmt_us(double us)
@@ -69,7 +60,10 @@ write_sweep_csv(const SweepReport &report, std::ostream &os)
           "device_fragmentation,iteration_time_ns,end_time_ns,"
           "alloc_count,cache_hit_count,device_alloc_count,"
           "event_count,ati_count,ati_median_us,ati_p90_us,ati_max_us,"
-          "swap_decisions,swap_peak_reduction_bytes,swap_total_bytes"
+          "swap_decisions,swap_peak_reduction_bytes,swap_total_bytes,"
+          "swap_measured_peak_reduction_bytes,"
+          "swap_predicted_stall_ns,swap_measured_stall_ns,"
+          "swap_link_busy_fraction"
           "\n";
     for (const auto &r : report.results) {
         const Scenario &s = r.scenario;
@@ -82,15 +76,19 @@ write_sweep_csv(const SweepReport &report, std::ostream &os)
            << r.peak_parameter_bytes << ','
            << r.peak_intermediate_bytes << ','
            << r.peak_reserved_bytes << ','
-           << fmt_double(r.device_fragmentation) << ','
+           << format_fixed6(r.device_fragmentation) << ','
            << r.iteration_time << ',' << r.end_time << ','
            << r.alloc_count << ',' << r.cache_hit_count << ','
            << r.device_alloc_count << ',' << r.event_count << ','
-           << r.ati_count << ',' << fmt_double(r.ati_median_us) << ','
-           << fmt_double(r.ati_p90_us) << ','
-           << fmt_double(r.ati_max_us) << ',' << r.swap_decisions
+           << r.ati_count << ',' << format_fixed6(r.ati_median_us) << ','
+           << format_fixed6(r.ati_p90_us) << ','
+           << format_fixed6(r.ati_max_us) << ',' << r.swap_decisions
            << ',' << r.swap_peak_reduction_bytes << ','
-           << r.swap_total_bytes << '\n';
+           << r.swap_total_bytes << ','
+           << r.swap_measured_peak_reduction_bytes << ','
+           << r.swap_predicted_stall_ns << ','
+           << r.swap_measured_stall_ns << ','
+           << format_fixed6(r.swap_link_busy_fraction) << '\n';
     }
 }
 
@@ -116,7 +114,7 @@ write_sweep_json(const SweepReport &report, std::ostream &os)
            << r.peak_intermediate_bytes
            << ", \"peak_reserved_bytes\": " << r.peak_reserved_bytes
            << ", \"device_fragmentation\": "
-           << fmt_double(r.device_fragmentation)
+           << format_fixed6(r.device_fragmentation)
            << ", \"iteration_time_ns\": " << r.iteration_time
            << ", \"end_time_ns\": " << r.end_time
            << ", \"alloc_count\": " << r.alloc_count
@@ -124,13 +122,21 @@ write_sweep_json(const SweepReport &report, std::ostream &os)
            << ", \"device_alloc_count\": " << r.device_alloc_count
            << ", \"event_count\": " << r.event_count
            << ", \"ati_count\": " << r.ati_count
-           << ", \"ati_median_us\": " << fmt_double(r.ati_median_us)
-           << ", \"ati_p90_us\": " << fmt_double(r.ati_p90_us)
-           << ", \"ati_max_us\": " << fmt_double(r.ati_max_us)
+           << ", \"ati_median_us\": " << format_fixed6(r.ati_median_us)
+           << ", \"ati_p90_us\": " << format_fixed6(r.ati_p90_us)
+           << ", \"ati_max_us\": " << format_fixed6(r.ati_max_us)
            << ", \"swap_decisions\": " << r.swap_decisions
            << ", \"swap_peak_reduction_bytes\": "
            << r.swap_peak_reduction_bytes
-           << ", \"swap_total_bytes\": " << r.swap_total_bytes << "}"
+           << ", \"swap_total_bytes\": " << r.swap_total_bytes
+           << ", \"swap_measured_peak_reduction_bytes\": "
+           << r.swap_measured_peak_reduction_bytes
+           << ", \"swap_predicted_stall_ns\": "
+           << r.swap_predicted_stall_ns
+           << ", \"swap_measured_stall_ns\": "
+           << r.swap_measured_stall_ns
+           << ", \"swap_link_busy_fraction\": "
+           << format_fixed6(r.swap_link_busy_fraction) << "}"
            << (i + 1 < report.results.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"summary\": {\"scenarios\": "
@@ -179,7 +185,8 @@ write_sweep_table(const SweepReport &report, std::ostream &os)
 {
     os << pad("scenario", 36) << pad("status", 8) << pad("peak", 12)
        << pad("reserved", 12) << pad("iter time", 12)
-       << pad("ATI p50", 12) << pad("swap save", 12) << "\n";
+       << pad("ATI p50", 12) << pad("swap save", 12)
+       << pad("meas save", 12) << pad("meas stall", 12) << "\n";
     for (const auto &r : report.results) {
         os << pad(r.scenario.id(), 36)
            << pad(scenario_status_name(r.status), 8);
@@ -188,7 +195,11 @@ write_sweep_table(const SweepReport &report, std::ostream &os)
                << pad(format_bytes(r.peak_reserved_bytes), 12)
                << pad(format_time(r.iteration_time), 12)
                << pad(fmt_us(r.ati_median_us), 12)
-               << pad(format_bytes(r.swap_peak_reduction_bytes), 12);
+               << pad(format_bytes(r.swap_peak_reduction_bytes), 12)
+               << pad(format_bytes(
+                          r.swap_measured_peak_reduction_bytes),
+                      12)
+               << pad(format_time(r.swap_measured_stall_ns), 12);
         } else {
             os << first_line(r.error);
         }

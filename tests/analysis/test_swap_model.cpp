@@ -61,6 +61,33 @@ TEST(SwapModel, SymmetricLinkHalvesEffectiveBandwidth)
     EXPECT_NEAR(max_swap_bytes(kNsPerSec, sym), 4e9, 1.0);
 }
 
+TEST(SwapModel, RoundTripIsTheSumOfPerLegRoundings)
+{
+    // The bound must equal the two scheduled legs exactly — one
+    // ceil over the summed analytic round trip can land 1 ns short
+    // of ceil(d2h) + ceil(h2d), making a "hideable" gap stall.
+    const std::size_t sizes[] = {1, 1023, 4096, 333333333,
+                                 64ull * 1024 * 1024,
+                                 1200ull * 1024 * 1024};
+    for (std::size_t bytes : sizes) {
+        EXPECT_EQ(min_interval_for(bytes, kPaperLink),
+                  transfer_ns(bytes, kPaperLink.d2h_bps) +
+                      transfer_ns(bytes, kPaperLink.h2d_bps))
+            << bytes << " bytes";
+    }
+}
+
+TEST(SwapModel, TransferNsRoundsUp)
+{
+    // 3 bytes at 2 B/s = 1.5 s, rounded up to whole nanoseconds.
+    EXPECT_EQ(transfer_ns(3, 2.0), kNsPerSec + kNsPerSec / 2);
+    EXPECT_EQ(transfer_ns(0, 1e9), 0u);
+    EXPECT_EQ(transfer_ns(1, 1e9), 1u);
+    // 1 byte at 3 GB/s is 0.33 ns: ceil to 1.
+    EXPECT_EQ(transfer_ns(1, 3e9), 1u);
+    EXPECT_THROW(transfer_ns(1, 0.0), Error);
+}
+
 TEST(SwapModel, RejectsNonPositiveBandwidth)
 {
     EXPECT_THROW(max_swap_bytes(kNsPerSec, LinkBandwidth{0.0, 1.0}),

@@ -95,6 +95,98 @@ TEST(SwapExecutor, NonHideableSwapMeasuresStall)
     EXPECT_EQ(exec.measured_stall, plan.predicted_overhead);
 }
 
+TEST(SwapExecutor, ExactlyHideableGapHasNoSpuriousStall)
+{
+    // An odd size forces fractional per-leg transfer times. The gap
+    // equals min_interval_for exactly; with the planner and the
+    // executor on one per-leg rounding helper this is stall-free —
+    // the seed ceiled the summed round trip in the planner but each
+    // leg separately in the executor, reporting a spurious 1 ns
+    // stall on gaps like this one.
+    trace::TraceRecorder r;
+    const std::size_t size = 333333333;
+    const TimeNs needed = analysis::min_interval_for(size, kLink);
+    r.record(ev(0, trace::EventKind::kMalloc, 1, size));
+    r.record(ev(10, trace::EventKind::kWrite, 1, size));
+    r.record(ev(10 + needed, trace::EventKind::kRead, 1, size));
+
+    PlannerOptions opts;
+    opts.link = kLink;
+    const auto plan = SwapPlanner(opts).plan(r);
+    ASSERT_EQ(plan.decisions.size(), 1u);
+    EXPECT_EQ(plan.decisions[0].overhead, 0u);
+    const auto exec = execute_plan(r, plan, kLink);
+    EXPECT_EQ(exec.measured_stall, 0u)
+        << "planner and executor disagree on rounding";
+}
+
+TEST(SwapExecutor, ContendedSwapsStallOnTheSharedLink)
+{
+    // Two 512 MB blocks share one 200 ms gap. Each round trip needs
+    // ~161 ms — hideable in isolation — but the two D2H copies
+    // serialize on the shared link (~80 ms each) and so do the two
+    // H2D copies (~81 ms each), so the second swap-in cannot finish
+    // by the gap end. The seed's dedicated-link executor reported
+    // zero stall here.
+    trace::TraceRecorder r;
+    const std::size_t big = 512ull << 20;
+    const TimeNs gap_end = 200 * kNsPerMs;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, big));
+    r.record(ev(0, trace::EventKind::kMalloc, 2, big));
+    r.record(ev(10, trace::EventKind::kWrite, 1, big));
+    r.record(ev(10, trace::EventKind::kWrite, 2, big));
+    r.record(ev(gap_end, trace::EventKind::kRead, 1, big));
+    r.record(ev(gap_end, trace::EventKind::kRead, 2, big));
+    r.record(ev(gap_end + 10, trace::EventKind::kFree, 1, big));
+    r.record(ev(gap_end + 10, trace::EventKind::kFree, 2, big));
+
+    PlannerOptions opts;
+    opts.link = kLink;
+    const auto plan = SwapPlanner(opts).plan(r);
+    ASSERT_EQ(plan.decisions.size(), 2u);
+    EXPECT_EQ(plan.predicted_overhead, 0u)
+        << "each swap is hideable in isolation";
+
+    // Alone, either decision is stall-free.
+    for (const auto &d : plan.decisions) {
+        SwapPlanReport solo;
+        solo.decisions.push_back(d);
+        EXPECT_EQ(execute_plan(r, solo, kLink).measured_stall, 0u);
+    }
+
+    // Together they contend, and the slip is measured.
+    const auto exec = execute_plan(r, plan, kLink);
+    EXPECT_GT(exec.measured_stall, 0u)
+        << "the shared link must surface contention stall";
+    EXPECT_GT(exec.queue_delay, 0u);
+    ASSERT_EQ(exec.swaps.size(), 2u);
+    // FIFO: the first-queued swap hides; the second pays the slip.
+    EXPECT_EQ(exec.swaps[0].stall, 0u);
+    EXPECT_GT(exec.swaps[1].stall, 0u);
+    // The second swap-out starts only when the first leaves the
+    // D2H channel — scheduled, not ideal, edges.
+    EXPECT_EQ(exec.swaps[1].out_start, exec.swaps[0].out_end);
+    EXPECT_EQ(exec.swaps[1].in_start, exec.swaps[0].in_end);
+}
+
+TEST(SwapExecutor, SharedSchedulerAccumulatesAcrossPlans)
+{
+    const auto trace = gap_trace();
+    PlannerOptions opts;
+    opts.link = kLink;
+    const auto plan = SwapPlanner(opts).plan(trace);
+    ASSERT_EQ(plan.decisions.size(), 1u);
+
+    sim::LinkScheduler link(kLink.d2h_bps, kLink.h2d_bps);
+    const auto first = execute_plan(trace, plan, link);
+    EXPECT_EQ(first.measured_stall, 0u);
+    // A second plan over the same window now queues behind the
+    // first plan's traffic on the very same link.
+    const auto second = execute_plan(trace, plan, link);
+    EXPECT_GT(second.measured_stall, first.measured_stall);
+    EXPECT_EQ(link.transfer_count(), 4u);
+}
+
 TEST(SwapExecutor, EmptyPlanChangesNothing)
 {
     const auto trace = gap_trace();
@@ -139,8 +231,15 @@ TEST(SwapExecutor, EndToEndOnRealTrainingTrace)
     const auto plan = SwapPlanner(opts).plan(result.trace);
     const auto exec = execute_plan(result.trace, plan, kLink);
     EXPECT_EQ(exec.executed_decisions, plan.decisions.size());
-    EXPECT_EQ(exec.measured_stall, 0u) << "hideable-only plan";
+    // A hideable-only plan can still stall on a real trace: the
+    // decisions overlap and contend for the one link. What must
+    // hold is that every stall is link slip, never more than the
+    // time spent queued.
+    EXPECT_GE(exec.measured_stall, plan.predicted_overhead);
+    EXPECT_LE(exec.measured_stall, exec.queue_delay);
     EXPECT_LE(exec.new_peak_bytes, exec.original_peak_bytes);
+    EXPECT_GE(exec.link_busy_fraction, 0.0);
+    EXPECT_LE(exec.link_busy_fraction, 1.0);
     if (!plan.decisions.empty()) {
         EXPECT_GT(exec.measured_peak_reduction, 0u);
     }

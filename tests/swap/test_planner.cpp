@@ -58,10 +58,35 @@ TEST(SwapPlanner, SchedulesTheOutlier)
     EXPECT_EQ(plan.total_swapped_bytes, 1200ull * 1024 * 1024);
 }
 
-TEST(SwapPlanner, PeakReductionCountsCoveringGaps)
+TEST(SwapPlanner, PeakReductionCountsResidencyWindowGaps)
 {
-    // The outlier block's gap must cover the global peak instant,
-    // which a second, transient block creates mid-gap.
+    // The peak instant must fall inside the *residency window* —
+    // after the swap-out transfer completes (~197 ms for 1200 MB at
+    // 6.4 GB/s) and before the swap-in starts (~640 ms) — which a
+    // transient block at 400 ms arranges.
+    trace::TraceRecorder r;
+    const std::size_t big = 1200ull * 1024 * 1024;
+    const std::size_t small = 100ull * 1024 * 1024;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, big));
+    r.record(ev(10, trace::EventKind::kWrite, 1, big));
+    r.record(ev(400 * kNsPerMs, trace::EventKind::kMalloc, 2, small));
+    r.record(ev(401 * kNsPerMs, trace::EventKind::kFree, 2, small));
+    r.record(ev(840211 * kNsPerUs, trace::EventKind::kRead, 1, big));
+    r.record(ev(840300 * kNsPerUs, trace::EventKind::kFree, 1, big));
+
+    SwapPlanner planner(default_options());
+    const auto plan = planner.plan(r);
+    EXPECT_EQ(plan.original_peak_bytes, big + small);
+    EXPECT_EQ(plan.peak_reduction_bytes, big)
+        << "the big block is off-device at the peak instant";
+}
+
+TEST(SwapPlanner, NoPeakReductionWhilePeakSitsInsideTransfer)
+{
+    // Same trace but the transient peaks at 1 ms — while the big
+    // block's swap-out is still on the wire, so the block is still
+    // resident and crediting its size would be optimistic (the old
+    // raw-gap test credited it from anywhere in the gap).
     trace::TraceRecorder r;
     const std::size_t big = 1200ull * 1024 * 1024;
     const std::size_t small = 100ull * 1024 * 1024;
@@ -72,11 +97,10 @@ TEST(SwapPlanner, PeakReductionCountsCoveringGaps)
     r.record(ev(840211 * kNsPerUs, trace::EventKind::kRead, 1, big));
     r.record(ev(840300 * kNsPerUs, trace::EventKind::kFree, 1, big));
 
-    SwapPlanner planner(default_options());
-    const auto plan = planner.plan(r);
+    const auto plan = SwapPlanner(default_options()).plan(r);
     EXPECT_EQ(plan.original_peak_bytes, big + small);
-    EXPECT_EQ(plan.peak_reduction_bytes, big)
-        << "the big block is off-device at the peak instant";
+    EXPECT_EQ(plan.peak_reduction_bytes, 0u)
+        << "the swap-out has not completed at the peak instant";
 }
 
 TEST(SwapPlanner, NoPeakReductionWhenPeakIsOutsideGaps)
@@ -126,6 +150,30 @@ TEST(SwapPlanner, AllowOverheadSchedulesWithStall)
     EXPECT_EQ(plan.decisions[0].overhead,
               needed - (10 * kNsPerMs - 10));
     EXPECT_EQ(plan.predicted_overhead, plan.decisions[0].overhead);
+}
+
+TEST(SwapPlanner, OverheadSaturatesAtZeroUnderSafetyFactor)
+{
+    // gap = 1.5 * needed: not hideable at safety 2.0, yet the raw
+    // round trip fits (needed <= gap). With allow_overhead the
+    // decision is still scheduled and its overhead must clamp to 0
+    // — the seed computed needed - gap, wrapping the unsigned
+    // TimeNs to ~2^64 and corrupting predicted_overhead.
+    trace::TraceRecorder r;
+    const std::size_t size = 100ull * 1024 * 1024;
+    const TimeNs needed = analysis::min_interval_for(size, kLink);
+    r.record(ev(0, trace::EventKind::kMalloc, 1, size));
+    r.record(ev(10, trace::EventKind::kWrite, 1, size));
+    r.record(ev(10 + needed * 3 / 2, trace::EventKind::kRead, 1,
+                size));
+
+    PlannerOptions opts = default_options();
+    opts.safety_factor = 2.0;
+    opts.allow_overhead = true;
+    const auto plan = SwapPlanner(opts).plan(r);
+    ASSERT_EQ(plan.decisions.size(), 1u);
+    EXPECT_EQ(plan.decisions[0].overhead, 0u);
+    EXPECT_EQ(plan.predicted_overhead, 0u);
 }
 
 TEST(SwapPlanner, SafetyFactorTightensTheBound)

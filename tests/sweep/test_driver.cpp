@@ -148,6 +148,9 @@ TEST(SweepDriver, SwapPlanCanBeDisabled)
     EXPECT_GT(with_plan.swap_decisions, 0u);
     EXPECT_EQ(without.swap_decisions, 0u);
     EXPECT_EQ(without.swap_peak_reduction_bytes, 0u);
+    EXPECT_EQ(without.swap_measured_peak_reduction_bytes, 0u);
+    EXPECT_EQ(without.swap_measured_stall_ns, 0u);
+    EXPECT_EQ(without.swap_link_busy_fraction, 0.0);
     // Everything else is unchanged.
     EXPECT_EQ(with_plan.peak_total_bytes, without.peak_total_bytes);
     EXPECT_EQ(with_plan.end_time, without.end_time);

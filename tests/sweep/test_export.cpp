@@ -60,7 +60,9 @@ TEST(SweepExport, CsvSchemaIsStable)
               "alloc_count,cache_hit_count,device_alloc_count,"
               "event_count,ati_count,ati_median_us,ati_p90_us,"
               "ati_max_us,swap_decisions,swap_peak_reduction_bytes,"
-              "swap_total_bytes");
+              "swap_total_bytes,swap_measured_peak_reduction_bytes,"
+              "swap_predicted_stall_ns,swap_measured_stall_ns,"
+              "swap_link_busy_fraction");
     EXPECT_EQ(count_lines(csv), 3u);  // header + 2 scenarios
     EXPECT_EQ(line(csv, 1).substr(0, 24), "mlp,16,caching,titan-x,5");
 }
@@ -99,6 +101,13 @@ TEST(SweepExport, JsonIsBalancedAndCarriesSummary)
                         "\"failed\": 0}"),
               std::string::npos);
     EXPECT_NE(json.find("\"model\": \"mlp\""), std::string::npos);
+    // The measured-vs-predicted swap columns ride along per row.
+    EXPECT_NE(json.find("\"swap_measured_peak_reduction_bytes\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"swap_measured_stall_ns\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"swap_link_busy_fraction\""),
+              std::string::npos);
 }
 
 TEST(SweepExport, JsonEscapesErrorStrings)

@@ -6,8 +6,11 @@
  *       [--iterations 5] [--allocator caching|direct|buddy]
  *       [--device titan-x|a100] [--micro-batches K]
  *       [--csv trace.csv] [--chrome trace.json] [--no-gantt]
- *   pinpoint_cli swap-plan --model resnet50 --batch 32
- *       [--safety 1.25] [--min-block-mb 8] [--aggressive]
+ *   pinpoint_cli swap --model resnet50 --batch 32
+ *       [--safety-factor 1.25] [--min-block 8] [--allow-overhead]
+ *       [--validate] [--csv plan.csv] [--json plan.json]
+ *       (swap-plan is a compatible alias; --safety, --min-block-mb
+ *        and --aggressive still work)
  *   pinpoint_cli bandwidth [--device titan-x|a100]
  *   pinpoint_cli models
  *   pinpoint_cli sweep [--jobs N] [--models a,b] [--batches 16,32]
@@ -135,8 +138,91 @@ cmd_characterize(const Args &args)
     return 0;
 }
 
+/**
+ * Writes the per-decision swap schedule as CSV. Measured columns
+ * are present only when @p exec is non-null (--validate).
+ */
+void
+write_swap_csv(const swap::SwapPlanReport &plan,
+               const swap::SwapExecutionResult *exec,
+               std::ostream &os)
+{
+    os << "block,tensor,size_bytes,gap_start_ns,gap_end_ns,gap_ns,"
+          "hide_ratio,predicted_overhead_ns";
+    if (exec)
+        os << ",out_start_ns,out_end_ns,in_start_ns,in_end_ns,"
+              "queue_delay_ns,measured_stall_ns";
+    os << "\n";
+    for (std::size_t i = 0; i < plan.decisions.size(); ++i) {
+        const auto &d = plan.decisions[i];
+        os << d.block << ',' << d.tensor << ',' << d.size << ','
+           << d.gap_start << ',' << d.gap_end << ',' << d.gap << ','
+           << format_fixed6(d.hide_ratio) << ',' << d.overhead;
+        if (exec) {
+            const auto &s = exec->swaps[i];
+            os << ',' << s.out_start << ',' << s.out_end << ','
+               << s.in_start << ',' << s.in_end << ','
+               << s.queue_delay << ',' << s.stall;
+        }
+        os << "\n";
+    }
+}
+
+/** Writes the plan (and measured execution, when present) as JSON. */
+void
+write_swap_json(const std::string &model,
+                const runtime::SessionConfig &config,
+                const swap::SwapPlanReport &plan,
+                const swap::SwapExecutionResult *exec,
+                std::ostream &os)
+{
+    os << "{\n  \"model\": \"" << trace::json_escape(model)
+       << "\", \"batch\": " << config.batch << ", \"device\": \""
+       << trace::json_escape(config.device.name) << "\",\n"
+       << "  \"plan\": {\"decisions\": " << plan.decisions.size()
+       << ", \"original_peak_bytes\": " << plan.original_peak_bytes
+       << ", \"peak_reduction_bytes\": " << plan.peak_reduction_bytes
+       << ", \"total_swapped_bytes\": " << plan.total_swapped_bytes
+       << ", \"predicted_overhead_ns\": " << plan.predicted_overhead
+       << "},\n  \"decisions\": [\n";
+    for (std::size_t i = 0; i < plan.decisions.size(); ++i) {
+        const auto &d = plan.decisions[i];
+        os << "    {\"block\": " << d.block
+           << ", \"size_bytes\": " << d.size
+           << ", \"gap_start_ns\": " << d.gap_start
+           << ", \"gap_end_ns\": " << d.gap_end
+           << ", \"hide_ratio\": " << format_fixed6(d.hide_ratio)
+           << ", \"predicted_overhead_ns\": " << d.overhead;
+        if (exec) {
+            const auto &s = exec->swaps[i];
+            os << ", \"out_start_ns\": " << s.out_start
+               << ", \"out_end_ns\": " << s.out_end
+               << ", \"in_start_ns\": " << s.in_start
+               << ", \"in_end_ns\": " << s.in_end
+               << ", \"queue_delay_ns\": " << s.queue_delay
+               << ", \"measured_stall_ns\": " << s.stall;
+        }
+        os << "}" << (i + 1 < plan.decisions.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]";
+    if (exec) {
+        os << ",\n  \"execution\": {\"new_peak_bytes\": "
+           << exec->new_peak_bytes
+           << ", \"measured_peak_reduction_bytes\": "
+           << exec->measured_peak_reduction
+           << ", \"measured_stall_ns\": " << exec->measured_stall
+           << ", \"queue_delay_ns\": " << exec->queue_delay
+           << ", \"d2h_busy_ns\": " << exec->d2h_busy_time
+           << ", \"h2d_busy_ns\": " << exec->h2d_busy_time
+           << ", \"link_busy_fraction\": "
+           << format_fixed6(exec->link_busy_fraction) << "}";
+    }
+    os << "\n}\n";
+}
+
 int
-cmd_swap_plan(const Args &args)
+cmd_swap(const Args &args)
 {
     const std::string name = args.value("model", "resnet50");
     const nn::Model model = nn::build_model(name);
@@ -146,32 +232,77 @@ cmd_swap_plan(const Args &args)
     swap::PlannerOptions opts;
     opts.link = analysis::LinkBandwidth{config.device.d2h_bw_bps,
                                         config.device.h2d_bw_bps};
-    opts.safety_factor = std::stod(args.value("safety", "1.0"));
-    opts.min_block_bytes = static_cast<std::size_t>(std::stoll(
-                               args.value("min-block-mb", "8"))) *
-                           1024 * 1024;
-    opts.allow_overhead = args.flag("aggressive");
+    // New spellings first, the swap-plan era ones as fallbacks.
+    opts.safety_factor = std::stod(
+        args.value("safety-factor", args.value("safety", "1.0")));
+    opts.min_block_bytes =
+        static_cast<std::size_t>(std::stoll(args.value(
+            "min-block", args.value("min-block-mb", "8")))) *
+        1024 * 1024;
+    opts.allow_overhead =
+        args.flag("allow-overhead") || args.flag("aggressive");
+    const bool validate = args.flag("validate");
 
     const auto plan = swap::SwapPlanner(opts).plan(result.trace);
-    const auto exec = swap::execute_plan(result.trace, plan, opts.link);
 
     std::printf("swap plan for %s batch %lld on %s\n", name.c_str(),
                 static_cast<long long>(config.batch),
                 config.device.name.c_str());
-    std::printf("  decisions:        %zu\n", plan.decisions.size());
-    std::printf("  original peak:    %s\n",
-                format_bytes(exec.original_peak_bytes).c_str());
-    std::printf("  new peak:         %s\n",
-                format_bytes(exec.new_peak_bytes).c_str());
-    std::printf("  peak reduction:   %s\n",
-                format_bytes(exec.measured_peak_reduction).c_str());
-    std::printf("  bytes moved:      %s out + %s in\n",
-                format_bytes(exec.d2h_bytes).c_str(),
-                format_bytes(exec.h2d_bytes).c_str());
-    std::printf("  link busy:        %s\n",
-                format_time(exec.transfer_time).c_str());
-    std::printf("  measured stall:   %s\n",
-                format_time(exec.measured_stall).c_str());
+    std::printf("  decisions:          %zu\n", plan.decisions.size());
+    std::printf("  original peak:      %s\n",
+                format_bytes(plan.original_peak_bytes).c_str());
+    std::printf("  predicted savings:  %s\n",
+                format_bytes(plan.peak_reduction_bytes).c_str());
+    std::printf("  predicted stall:    %s\n",
+                format_time(plan.predicted_overhead).c_str());
+
+    swap::SwapExecutionResult exec;
+    if (validate) {
+        // Execute the plan printed above — not a re-planned copy —
+        // so the exported per-decision rows stay aligned with it.
+        sim::LinkScheduler link(opts.link.d2h_bps,
+                                opts.link.h2d_bps);
+        exec = swap::execute_plan(result.trace, plan, link);
+        std::printf("validated on the shared PCIe link:\n");
+        std::printf("  new peak:           %s\n",
+                    format_bytes(exec.new_peak_bytes).c_str());
+        std::printf("  measured savings:   %s\n",
+                    format_bytes(exec.measured_peak_reduction)
+                        .c_str());
+        std::printf("  bytes moved:        %s out + %s in\n",
+                    format_bytes(exec.d2h_bytes).c_str(),
+                    format_bytes(exec.h2d_bytes).c_str());
+        std::printf("  link busy:          %s (%.1f%% of trace)\n",
+                    format_time(exec.transfer_time).c_str(),
+                    100.0 * exec.link_busy_fraction);
+        std::printf("  queue delay:        %s\n",
+                    format_time(exec.queue_delay).c_str());
+        std::printf("  measured stall:     %s\n",
+                    format_time(exec.measured_stall).c_str());
+        if (exec.measured_stall > plan.predicted_overhead)
+            std::printf("  contention stall:   %s beyond the "
+                        "dedicated-link prediction\n",
+                        format_time(exec.measured_stall -
+                                    plan.predicted_overhead)
+                            .c_str());
+    }
+
+    const swap::SwapExecutionResult *measured =
+        validate ? &exec : nullptr;
+    const std::string csv = args.value("csv", "");
+    if (!csv.empty()) {
+        std::ofstream os(csv);
+        PP_CHECK(os.good(), "cannot open '" << csv << "'");
+        write_swap_csv(plan, measured, os);
+        std::printf("wrote swap schedule CSV to %s\n", csv.c_str());
+    }
+    const std::string json = args.value("json", "");
+    if (!json.empty()) {
+        std::ofstream os(json);
+        PP_CHECK(os.good(), "cannot open '" << json << "'");
+        write_swap_json(name, config, plan, measured, os);
+        std::printf("wrote swap schedule JSON to %s\n", json.c_str());
+    }
     return 0;
 }
 
@@ -271,9 +402,12 @@ usage()
         "                (--model --batch --iterations --allocator\n"
         "                 --device --micro-batches --csv --chrome\n"
         "                 --series --no-gantt)\n"
-        "  swap-plan     plan + execute swapping for a workload\n"
-        "                (--model --batch --safety --min-block-mb\n"
-        "                 --aggressive)\n"
+        "  swap          plan swapping for a workload and validate\n"
+        "                it on the shared PCIe link\n"
+        "                (--model --batch --safety-factor\n"
+        "                 --min-block <MiB> --allow-overhead\n"
+        "                 --validate --csv --json; swap-plan is an\n"
+        "                 alias)\n"
         "  bandwidth     run the bandwidthTest equivalent (--device)\n"
         "  models        list available models\n"
         "  sweep         run a model × batch × allocator × device\n"
@@ -293,8 +427,8 @@ main(int argc, char **argv)
         const std::string cmd = args.command();
         if (cmd == "characterize")
             return cmd_characterize(args);
-        if (cmd == "swap-plan")
-            return cmd_swap_plan(args);
+        if (cmd == "swap" || cmd == "swap-plan")
+            return cmd_swap(args);
         if (cmd == "bandwidth")
             return cmd_bandwidth(args);
         if (cmd == "models")
