@@ -5,26 +5,30 @@
  * characterization exists to answer. For MobileNetV1 at batch 64 on
  * the 12 GB Titan X:
  *
- *   1. baseline            (nothing)
+ *   1. baseline             (nothing)
  *   2. gradient accumulation (micro-batches = 4)
- *   3. activation checkpointing (every 8)
- *   4. half precision       (f16)
- *   5. swapping             (planner + executor, hideable only)
+ *   3. activation checkpointing (every 8, full replay)
+ *   4. half precision        (f16)
+ *   5. swapping              (relief planner, swap-only)
+ *   6. recomputation         (relief planner, recompute-only)
+ *   7. hybrid                (relief planner, best per tensor)
  *
- * Each row reports the peak footprint, the simulated iteration time,
- * and the mechanism's currency (launches, recompute, precision,
- * PCIe traffic).
+ * Rows 5-7 come from the unified relief::StrategyPlanner run on the
+ * *baseline* trace: the recompute costs are the producing layers'
+ * measured forward times from that trace (not a hand-rolled
+ * estimate), and the swap legs are scheduled on the shared PCIe
+ * link, so the three strategies are directly comparable under one
+ * cost model.
  *
- * Build & run:  ./build/examples/memory_relief_comparison
+ * Build & run:  ./build/example_memory_relief_comparison
  */
 #include <cstdio>
 
 #include "analysis/breakdown.h"
 #include "core/format.h"
 #include "nn/models.h"
+#include "relief/strategy_planner.h"
 #include "runtime/session.h"
-#include "swap/executor.h"
-#include "swap/planner.h"
 
 using namespace pinpoint;
 
@@ -68,7 +72,7 @@ main()
     {
         auto c = base;
         c.plan.checkpoint_every = 8;
-        rows.push_back(run_config("checkpointing /8", c,
+        rows.push_back(run_config("checkpointing /8 (replay)", c,
                                   "forward recompute"));
     }
     {
@@ -78,37 +82,65 @@ main()
             run_config("half precision", c, "numeric range"));
     }
     {
-        // Swapping: plan on the baseline trace, execute, and report
-        // the residency-adjusted peak.
+        // The unified planner: one baseline trace, three strategies
+        // under one overhead budget (at most one extra iteration's
+        // worth of stall/recompute). Each row reports the scheduled
+        // new peak — swap legs timed on the shared link — and the
+        // measured overhead: link stall plus the producers'
+        // measured forward times.
         const auto r = runtime::run_training(nn::mobilenet_v1(), base);
-        swap::PlannerOptions opts;
-        opts.link = analysis::LinkBandwidth{base.device.d2h_bw_bps,
-                                            base.device.h2d_bw_bps};
-        const auto plan = swap::SwapPlanner(opts).plan(r.trace);
-        const auto exec =
-            swap::execute_plan(r.trace, plan, opts.link);
-        char note[64];
-        std::snprintf(note, sizeof(note), "%s over PCIe",
-                      format_bytes(exec.d2h_bytes).c_str());
-        rows.push_back({"swapping (hideable)", exec.new_peak_bytes,
-                        r.iteration_time, note});
+        const relief::StrategyOptions opts = [&] {
+            relief::StrategyOptions o;
+            o.link =
+                analysis::LinkBandwidth{base.device.d2h_bw_bps,
+                                        base.device.h2d_bw_bps};
+            o.overhead_budget = r.iteration_time;
+            return o;
+        }();
+        const char *kLabels[] = {
+            "swap plan /iter budget",
+            "recompute plan /iter budget",
+            "hybrid plan /iter budget",
+        };
+        const auto reports =
+            relief::StrategyPlanner(opts).plan_all(r.trace);
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            const auto &rep = reports[i];
+            char note[96];
+            std::snprintf(note, sizeof(note),
+                          "%s moved, %s recomputed, +%s",
+                          format_bytes(rep.total_swapped_bytes)
+                              .c_str(),
+                          format_bytes(rep.total_recomputed_bytes)
+                              .c_str(),
+                          format_time(rep.measured_overhead).c_str());
+            rows.push_back({kLabels[i], rep.new_peak_bytes,
+                            r.iteration_time, note});
+        }
     }
 
     std::printf("memory-pressure relief on mobilenet_v1, batch 64, "
                 "Titan X 12GB\n\n");
-    std::printf("%-22s %12s %10s %12s  %s\n", "lever", "peak",
+    std::printf("%-26s %12s %10s %12s  %s\n", "lever", "peak",
                 "vs base", "iter time", "currency");
     const double base_peak = static_cast<double>(rows[0].peak);
     for (const auto &row : rows) {
-        std::printf("%-22s %12s %9.0f%% %12s  %s\n", row.label,
+        std::printf("%-26s %12s %9.0f%% %12s  %s\n", row.label,
                     format_bytes(row.peak).c_str(),
                     100.0 * static_cast<double>(row.peak) / base_peak,
                     format_time(row.iter_time).c_str(),
                     row.note.c_str());
     }
-    std::printf("\nall four levers attack the intermediate term the "
-                "paper pinpoints as dominant; swapping is the only "
-                "one that is free when (and only when) the trace has "
-                "Eq. 1-sized gaps.\n");
+    std::printf("\nall levers attack the intermediate term the paper "
+                "pinpoints as dominant. swapping is free per "
+                "decision when the trace has Eq. 1-sized gaps, but "
+                "the scheduled rows show the dedicated-link fallacy: "
+                "hundreds of 'free' swaps contending for one PCIe "
+                "link stall far past the predicted budget, while "
+                "recomputation pays only the producers' measured "
+                "forward times and never touches the link. the "
+                "hybrid planner's predicted peak reduction is never "
+                "worse than either pure strategy at the same "
+                "budget.\n");
     return 0;
 }

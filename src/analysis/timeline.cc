@@ -137,5 +137,38 @@ Timeline::peak_time() const
     return best_t;
 }
 
+std::vector<OccupancyEdge>
+occupancy_edges(const Timeline &timeline)
+{
+    std::vector<OccupancyEdge> edges;
+    edges.reserve(timeline.blocks().size() * 2);
+    for (const auto &b : timeline.blocks()) {
+        edges.push_back(
+            {b.alloc_time, static_cast<std::int64_t>(b.size)});
+        if (b.freed)
+            edges.push_back(
+                {b.free_time, -static_cast<std::int64_t>(b.size)});
+    }
+    return edges;
+}
+
+std::size_t
+peak_occupancy(std::vector<OccupancyEdge> edges)
+{
+    std::sort(edges.begin(), edges.end(),
+              [](const OccupancyEdge &a, const OccupancyEdge &b) {
+                  if (a.t != b.t)
+                      return a.t < b.t;
+                  return a.delta < b.delta;
+              });
+    std::int64_t cur = 0;
+    std::int64_t best = 0;
+    for (const auto &e : edges) {
+        cur += e.delta;
+        best = std::max(best, cur);
+    }
+    return static_cast<std::size_t>(best);
+}
+
 }  // namespace analysis
 }  // namespace pinpoint

@@ -8,6 +8,7 @@
 #define PINPOINT_ANALYSIS_TIMELINE_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,27 @@ class Timeline
     TimeNs start_ = 0;
     TimeNs end_ = 0;
 };
+
+/**
+ * Occupancy change at a time point. The common currency of the
+ * what-if peak computations: the swap executor and the relief
+ * planner both rebuild occupancy from these edges so their peak
+ * arithmetic can never drift apart.
+ */
+struct OccupancyEdge {
+    TimeNs t;
+    std::int64_t delta;
+};
+
+/** @return the alloc/free edges of every block of @p timeline. */
+std::vector<OccupancyEdge> occupancy_edges(const Timeline &timeline);
+
+/**
+ * @return the peak of the running occupancy sum over @p edges. At
+ * equal times negative deltas apply first, so a window that closes
+ * exactly where another opens never double-counts.
+ */
+std::size_t peak_occupancy(std::vector<OccupancyEdge> edges);
 
 }  // namespace analysis
 }  // namespace pinpoint

@@ -1,0 +1,154 @@
+#include "relief/recompute_planner.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace relief {
+namespace {
+
+/** Op-instance key: one op execution in one iteration. */
+std::uint64_t
+instance_key(std::uint32_t iteration, std::int32_t op_index)
+{
+    return (static_cast<std::uint64_t>(iteration) << 32) |
+           static_cast<std::uint32_t>(op_index);
+}
+
+}  // namespace
+
+bool
+is_forward_op(const std::string &op)
+{
+    // Forward-phase ops are everything the plan builder emits during
+    // the forward pass ("*.forward", "*.mat_mul", "*.add_bias",
+    // "loss.item"); recognize them by excluding the other phases'
+    // naming patterns rather than enumerating layer kinds.
+    if (op.empty())
+        return false;
+    if (op.find(".backward") != std::string::npos)
+        return false;
+    if (op.find(".grad_accum") != std::string::npos)
+        return false;
+    if (op.compare(0, 4, "sgd.") == 0)
+        return false;
+    if (op == "data.h2d")
+        return false;
+    return true;
+}
+
+std::unordered_map<BlockId, Producer>
+index_producers(const trace::TraceRecorder &recorder)
+{
+    // Pass 1 — measured op durations. The engine records an op's
+    // reads at kernel launch and its writes at completion, so the
+    // spread of one (iteration, op_index) instance's event times is
+    // the kernel's simulated duration.
+    std::unordered_map<std::uint64_t, std::pair<TimeNs, TimeNs>> span;
+    for (const auto &e : recorder.events()) {
+        if (e.op_index < 0)
+            continue;
+        const std::uint64_t key = instance_key(e.iteration, e.op_index);
+        auto it = span.find(key);
+        if (it == span.end()) {
+            span.emplace(key, std::make_pair(e.time, e.time));
+        } else {
+            it->second.first = std::min(it->second.first, e.time);
+            it->second.second = std::max(it->second.second, e.time);
+        }
+    }
+
+    // Pass 2 — each block's first write. Only intermediate-category
+    // blocks materialized by a forward op can be re-derived by a
+    // re-run: parameters and host inputs have no in-iteration
+    // producer to replay.
+    std::unordered_map<BlockId, Producer> producers;
+    for (const auto &e : recorder.events()) {
+        if (e.kind != trace::EventKind::kWrite || e.op_index < 0)
+            continue;
+        if (producers.count(e.block))
+            continue;
+        if (e.category != Category::kIntermediate ||
+            !is_forward_op(e.op))
+            continue;
+        const auto it =
+            span.find(instance_key(e.iteration, e.op_index));
+        const TimeNs cost =
+            it == span.end() ? 0 : it->second.second - it->second.first;
+        if (cost == 0)
+            continue;  // no measurable forward time: not priceable
+        producers.emplace(e.block, Producer{e.op, cost});
+    }
+    return producers;
+}
+
+RecomputePlanner::RecomputePlanner(RecomputeOptions options)
+    : options_(options)
+{
+}
+
+RecomputePlanReport
+RecomputePlanner::plan(const trace::TraceRecorder &recorder) const
+{
+    analysis::Timeline timeline(recorder);
+    const auto producers = index_producers(recorder);
+    RecomputePlanReport report;
+
+    const TimeNs peak_time = timeline.peak_time();
+    report.original_peak_bytes = timeline.live_bytes_at(peak_time);
+
+    for (const auto &b : timeline.blocks()) {
+        if (b.size < options_.min_block_bytes)
+            continue;
+        const auto prod = producers.find(b.block);
+        if (prod == producers.end())
+            continue;
+        // Same gap walk as the swap planner: only gaps between two
+        // accesses qualify (before the first access there is nothing
+        // to preserve, after the last the block is about to die).
+        for (std::size_t i = 1; i < b.accesses.size(); ++i) {
+            const TimeNs gap_start = b.accesses[i - 1];
+            const TimeNs gap_end = b.accesses[i];
+            if (gap_end <= gap_start)
+                continue;
+            const TimeNs cost = prod->second.forward_ns;
+            // The re-run must fit inside the gap: its output buffer
+            // is live again while the producer replays, so a cost
+            // that fills (or exceeds) the gap frees nothing.
+            if (cost >= gap_end - gap_start)
+                continue;
+            RecomputeDecision d;
+            d.block = b.block;
+            d.tensor = b.tensor;
+            d.size = b.size;
+            d.gap_start = gap_start;
+            d.gap_end = gap_end;
+            d.gap = gap_end - gap_start;
+            d.producer = prod->second.op;
+            d.recompute_cost = cost;
+            report.predicted_overhead += cost;
+            report.total_recomputed_bytes += b.size;
+            // Dropped at gap_start, re-materialized while the
+            // producer replays over the last cost ns of the gap:
+            // absent only in [gap_start, gap_end - cost) — the
+            // compute-adjusted analogue of the swap executor's
+            // transfer-adjusted residency window.
+            if (gap_start <= peak_time &&
+                peak_time < gap_end - cost)
+                report.peak_reduction_bytes += b.size;
+            report.decisions.push_back(std::move(d));
+        }
+    }
+
+    std::sort(report.decisions.begin(), report.decisions.end(),
+              [](const RecomputeDecision &a, const RecomputeDecision &b) {
+                  if (a.gap_start != b.gap_start)
+                      return a.gap_start < b.gap_start;
+                  return a.block < b.block;
+              });
+    return report;
+}
+
+}  // namespace relief
+}  // namespace pinpoint

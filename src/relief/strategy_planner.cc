@@ -1,0 +1,420 @@
+#include "relief/strategy_planner.h"
+
+#include <algorithm>
+
+#include "analysis/timeline.h"
+#include "core/check.h"
+#include "sim/link_scheduler.h"
+
+namespace pinpoint {
+namespace relief {
+namespace {
+
+/** One (block, access-gap) relief candidate with both options. */
+struct Candidate {
+    const analysis::BlockLifetime *block = nullptr;
+    TimeNs gap_start = 0;
+    TimeNs gap_end = 0;
+    TimeNs gap = 0;
+    // Swap option.
+    bool swap_ok = false;
+    TimeNs swap_overhead = 0;
+    bool swap_covers = false;
+    double hide_ratio = 0.0;
+    // Recompute option.
+    bool rec_ok = false;
+    TimeNs rec_cost = 0;
+    bool rec_covers = false;
+    const Producer *producer = nullptr;
+};
+
+/** The option of a candidate chosen for one mechanism. */
+struct Choice {
+    const Candidate *candidate = nullptr;
+    Mechanism mechanism = Mechanism::kSwap;
+    TimeNs overhead = 0;
+    bool covers_peak = false;
+};
+
+/** Aggregate outcome of one selection, for strategy comparison. */
+struct Selection {
+    std::vector<Choice> choices;
+    std::size_t peak_reduction = 0;
+    TimeNs overhead = 0;
+    std::size_t total_bytes = 0;
+};
+
+/** Everything plan() derives from a trace once, strategy-agnostic. */
+struct PlanContext {
+    analysis::Timeline timeline;
+    std::unordered_map<BlockId, Producer> producers;
+    std::vector<Candidate> candidates;
+    TimeNs peak_time = 0;
+    std::size_t original_peak = 0;
+
+    explicit PlanContext(const trace::TraceRecorder &recorder)
+        : timeline(recorder), producers(index_producers(recorder))
+    {
+        peak_time = timeline.peak_time();
+        original_peak = timeline.live_bytes_at(peak_time);
+    }
+};
+
+/**
+ * Enumerates every (block, gap) candidate with both options priced:
+ * the Eq. 1 swap evaluation (shared with swap::SwapPlanner) and the
+ * measured-forward-time recompute.
+ */
+void
+enumerate_candidates(PlanContext &ctx, const StrategyOptions &options)
+{
+    for (const auto &b : ctx.timeline.blocks()) {
+        if (b.size < options.min_block_bytes)
+            continue;
+        const auto prod = ctx.producers.find(b.block);
+        for (std::size_t i = 1; i < b.accesses.size(); ++i) {
+            const TimeNs gap_start = b.accesses[i - 1];
+            const TimeNs gap_end = b.accesses[i];
+            if (gap_end <= gap_start)
+                continue;
+            Candidate c;
+            c.block = &b;
+            c.gap_start = gap_start;
+            c.gap_end = gap_end;
+            c.gap = gap_end - gap_start;
+
+            // Swap option: the same evaluation the swap planner
+            // uses (hide ratio, saturating overhead, transfer-
+            // adjusted residency window for the peak credit).
+            const swap::GapEvaluation e = swap::evaluate_swap_gap(
+                b.size, gap_start, gap_end, options.link,
+                options.safety_factor);
+            c.swap_ok = true;
+            c.hide_ratio = e.hide_ratio;
+            c.swap_overhead = e.overhead;
+            c.swap_covers = e.out_done <= ctx.peak_time &&
+                            ctx.peak_time < e.in_start;
+
+            // Recompute option: only for blocks whose priceable
+            // forward producer's re-run fits inside the gap; the
+            // block is live again while the producer replays, so
+            // the absence window ends at gap_end - cost.
+            if (prod != ctx.producers.end() &&
+                prod->second.forward_ns < c.gap) {
+                const TimeNs cost = prod->second.forward_ns;
+                c.rec_ok = true;
+                c.rec_cost = cost;
+                c.rec_covers = gap_start <= ctx.peak_time &&
+                               ctx.peak_time < gap_end - cost;
+                c.producer = &prod->second;
+            }
+            ctx.candidates.push_back(c);
+        }
+    }
+}
+
+/**
+ * Greedy selection over the candidates with the given mechanisms
+ * allowed. Zero-overhead options (hideable swaps) are always taken;
+ * overhead-bearing options are ranked by bytes-freed-per-ns and
+ * taken while they fit the budget.
+ */
+Selection
+select(const std::vector<Candidate> &candidates, bool allow_swap,
+       bool allow_recompute, TimeNs budget)
+{
+    Selection sel;
+    std::vector<Choice> paid;
+    for (const auto &c : candidates) {
+        const bool sw = allow_swap && c.swap_ok;
+        const bool re = allow_recompute && c.rec_ok;
+        if (!sw && !re)
+            continue;
+        bool use_swap = sw;
+        if (sw && re) {
+            // Prefer the option that covers the peak; break ties on
+            // lower overhead, and keep the swap option on full ties
+            // so pure-swap and hybrid selections stay comparable.
+            if (c.swap_covers != c.rec_covers)
+                use_swap = c.swap_covers;
+            else
+                use_swap = c.swap_overhead <= c.rec_cost;
+        }
+        Choice choice;
+        choice.candidate = &c;
+        if (use_swap) {
+            choice.mechanism = Mechanism::kSwap;
+            choice.overhead = c.swap_overhead;
+            choice.covers_peak = c.swap_covers;
+        } else {
+            choice.mechanism = Mechanism::kRecompute;
+            choice.overhead = c.rec_cost;
+            choice.covers_peak = c.rec_covers;
+        }
+        if (choice.overhead == 0)
+            sel.choices.push_back(choice);
+        else
+            paid.push_back(choice);
+    }
+
+    // Overhead-bearing candidates: highest bytes/ns first; smaller
+    // items later in the ranking may still fit a nearly-spent
+    // budget, so the scan continues past the first miss.
+    std::sort(paid.begin(), paid.end(),
+              [](const Choice &a, const Choice &b) {
+                  const double sa =
+                      static_cast<double>(a.candidate->block->size) /
+                      static_cast<double>(a.overhead);
+                  const double sb =
+                      static_cast<double>(b.candidate->block->size) /
+                      static_cast<double>(b.overhead);
+                  if (sa != sb)
+                      return sa > sb;
+                  if (a.candidate->block->block !=
+                      b.candidate->block->block)
+                      return a.candidate->block->block <
+                             b.candidate->block->block;
+                  return a.candidate->gap_start < b.candidate->gap_start;
+              });
+    for (const auto &choice : paid) {
+        if (choice.overhead > budget - sel.overhead)
+            continue;
+        sel.choices.push_back(choice);
+        sel.overhead += choice.overhead;
+    }
+
+    for (const auto &choice : sel.choices) {
+        sel.total_bytes += choice.candidate->block->size;
+        if (choice.covers_peak)
+            sel.peak_reduction += choice.candidate->block->size;
+    }
+    return sel;
+}
+
+/** @return true when @p a beats @p b for the hybrid guarantee. */
+bool
+better(const Selection &a, const Selection &b)
+{
+    if (a.peak_reduction != b.peak_reduction)
+        return a.peak_reduction > b.peak_reduction;
+    if (a.overhead != b.overhead)
+        return a.overhead < b.overhead;
+    return a.total_bytes > b.total_bytes;
+}
+
+/**
+ * Turns a selection into the full report: sorted decisions, swap
+ * legs scheduled on a fresh shared link, and the combined what-if
+ * occupancy peak.
+ */
+ReliefReport
+assemble(const PlanContext &ctx, const StrategyOptions &options,
+         const trace::TraceRecorder &recorder, Strategy strategy,
+         const Selection &sel)
+{
+    ReliefReport report;
+    report.strategy = strategy;
+    report.original_peak_bytes = ctx.original_peak;
+
+    std::vector<Choice> ordered = sel.choices;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Choice &a, const Choice &b) {
+                  if (a.candidate->gap_start != b.candidate->gap_start)
+                      return a.candidate->gap_start <
+                             b.candidate->gap_start;
+                  return a.candidate->block->block <
+                         b.candidate->block->block;
+              });
+    for (const auto &choice : ordered) {
+        const Candidate &c = *choice.candidate;
+        ReliefDecision d;
+        d.mechanism = choice.mechanism;
+        d.block = c.block->block;
+        d.tensor = c.block->tensor;
+        d.size = c.block->size;
+        d.gap_start = c.gap_start;
+        d.gap_end = c.gap_end;
+        d.gap = c.gap;
+        d.overhead = choice.overhead;
+        d.covers_peak = choice.covers_peak;
+        if (choice.mechanism == Mechanism::kSwap) {
+            d.hide_ratio = c.hide_ratio;
+            ++report.swap_decisions;
+            report.total_swapped_bytes += c.block->size;
+        } else {
+            d.producer = c.producer->op;
+            d.recompute_cost = c.rec_cost;
+            ++report.recompute_decisions;
+            report.total_recomputed_bytes += c.block->size;
+        }
+        report.predicted_overhead += choice.overhead;
+        if (choice.covers_peak)
+            report.peak_reduction_bytes += c.block->size;
+        report.decisions.push_back(std::move(d));
+    }
+
+    // Swap legs contend on one shared full-duplex link; the
+    // recompute legs occupy the compute stream instead and leave
+    // the link untouched.
+    swap::SwapPlanReport swap_plan;
+    for (const auto &d : report.decisions) {
+        if (d.mechanism != Mechanism::kSwap)
+            continue;
+        swap::SwapDecision s;
+        s.block = d.block;
+        s.tensor = d.tensor;
+        s.size = d.size;
+        s.gap_start = d.gap_start;
+        s.gap_end = d.gap_end;
+        s.gap = d.gap;
+        s.hide_ratio = d.hide_ratio;
+        s.overhead = d.overhead;
+        swap_plan.decisions.push_back(std::move(s));
+        swap_plan.total_swapped_bytes += d.size;
+    }
+    swap_plan.original_peak_bytes = report.original_peak_bytes;
+    sim::LinkScheduler link(options.link.d2h_bps,
+                            options.link.h2d_bps);
+    report.swap_execution =
+        swap::execute_plan(recorder, swap_plan, link);
+
+    // Combined occupancy: baseline lifetimes, minus the *scheduled*
+    // swap residency windows, minus the compute-adjusted recompute
+    // absence windows.
+    std::vector<analysis::OccupancyEdge> edges =
+        analysis::occupancy_edges(ctx.timeline);
+    edges.reserve(edges.size() + report.decisions.size() * 2);
+    std::size_t swap_index = 0;
+    for (const auto &d : report.decisions) {
+        if (d.mechanism == Mechanism::kSwap) {
+            const auto &s = report.swap_execution.swaps[swap_index++];
+            if (s.in_start > s.out_end) {
+                edges.push_back(
+                    {s.out_end, -static_cast<std::int64_t>(d.size)});
+                edges.push_back(
+                    {s.in_start, static_cast<std::int64_t>(d.size)});
+            }
+        } else {
+            edges.push_back(
+                {d.gap_start, -static_cast<std::int64_t>(d.size)});
+            edges.push_back({d.gap_end - d.recompute_cost,
+                             static_cast<std::int64_t>(d.size)});
+            report.measured_overhead += d.recompute_cost;
+        }
+    }
+    report.measured_overhead +=
+        report.swap_execution.measured_stall;
+    report.new_peak_bytes =
+        analysis::peak_occupancy(std::move(edges));
+    report.measured_peak_reduction =
+        report.original_peak_bytes > report.new_peak_bytes
+            ? report.original_peak_bytes - report.new_peak_bytes
+            : 0;
+    return report;
+}
+
+}  // namespace
+
+const char *
+strategy_name(Strategy s)
+{
+    switch (s) {
+      case Strategy::kSwapOnly: return "swap";
+      case Strategy::kRecomputeOnly: return "recompute";
+      case Strategy::kHybrid: return "hybrid";
+    }
+    return "unknown";
+}
+
+Strategy
+strategy_from_name(const std::string &name)
+{
+    if (name == "swap" || name == "swap-only")
+        return Strategy::kSwapOnly;
+    if (name == "recompute" || name == "recompute-only")
+        return Strategy::kRecomputeOnly;
+    if (name == "hybrid")
+        return Strategy::kHybrid;
+    PP_CHECK(false, "unknown relief strategy '"
+                        << name
+                        << "' (expected swap, recompute, or hybrid)");
+}
+
+const char *
+mechanism_name(Mechanism m)
+{
+    switch (m) {
+      case Mechanism::kSwap: return "swap";
+      case Mechanism::kRecompute: return "recompute";
+    }
+    return "unknown";
+}
+
+StrategyPlanner::StrategyPlanner(StrategyOptions options)
+    : options_(std::move(options))
+{
+    PP_CHECK(options_.link.d2h_bps > 0 && options_.link.h2d_bps > 0,
+             "strategy planner needs positive link bandwidths");
+    PP_CHECK(options_.safety_factor >= 1.0,
+             "safety_factor must be >= 1.0");
+}
+
+ReliefReport
+StrategyPlanner::plan(const trace::TraceRecorder &recorder,
+                      Strategy strategy) const
+{
+    PlanContext ctx(recorder);
+    enumerate_candidates(ctx, options_);
+    const TimeNs budget = options_.overhead_budget;
+    switch (strategy) {
+      case Strategy::kSwapOnly:
+        return assemble(ctx, options_, recorder, strategy,
+                        select(ctx.candidates, true, false, budget));
+      case Strategy::kRecomputeOnly:
+        return assemble(ctx, options_, recorder, strategy,
+                        select(ctx.candidates, false, true, budget));
+      case Strategy::kHybrid: break;
+    }
+    // The greedy union search, guarded by both pure selections:
+    // hybrid adopts whichever wins, so at equal budget it is never
+    // worse than either pure strategy.
+    Selection sel = select(ctx.candidates, true, true, budget);
+    Selection swap_only = select(ctx.candidates, true, false, budget);
+    Selection rec_only = select(ctx.candidates, false, true, budget);
+    if (better(swap_only, sel))
+        sel = std::move(swap_only);
+    if (better(rec_only, sel))
+        sel = std::move(rec_only);
+    return assemble(ctx, options_, recorder, Strategy::kHybrid, sel);
+}
+
+std::array<ReliefReport, kNumStrategies>
+StrategyPlanner::plan_all(const trace::TraceRecorder &recorder) const
+{
+    // One trace analysis and candidate enumeration serves all three
+    // strategies; the hybrid guard reuses the pure selections
+    // instead of recomputing them.
+    PlanContext ctx(recorder);
+    enumerate_candidates(ctx, options_);
+    const TimeNs budget = options_.overhead_budget;
+    const Selection swap_only =
+        select(ctx.candidates, true, false, budget);
+    const Selection rec_only =
+        select(ctx.candidates, false, true, budget);
+    const Selection united =
+        select(ctx.candidates, true, true, budget);
+    const Selection *hybrid = &united;
+    if (better(swap_only, *hybrid))
+        hybrid = &swap_only;
+    if (better(rec_only, *hybrid))
+        hybrid = &rec_only;
+    return {assemble(ctx, options_, recorder, Strategy::kSwapOnly,
+                     swap_only),
+            assemble(ctx, options_, recorder,
+                     Strategy::kRecomputeOnly, rec_only),
+            assemble(ctx, options_, recorder, Strategy::kHybrid,
+                     *hybrid)};
+}
+
+}  // namespace relief
+}  // namespace pinpoint

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unified memory-relief planner: searches over swap-only,
+ * recompute-only, and hybrid per-tensor assignments, turning the
+ * repo's two relief mechanisms into one strategy engine.
+ *
+ * Every (block, access-gap) candidate can be relieved two ways:
+ *
+ *   - swap      — move the block over the shared PCIe link and back
+ *                 (free when the Eq. 1 bound hides both legs, a
+ *                 stall otherwise);
+ *   - recompute — drop the block and re-run its producing forward
+ *                 op (always costs that op's measured forward time,
+ *                 but touches no link bandwidth at all).
+ *
+ * Selection is greedy by bytes-freed-per-nanosecond-of-overhead
+ * under a total overhead budget; zero-overhead hideable swaps are
+ * always taken. The hybrid strategy additionally guarantees it is
+ * never worse than either pure strategy at the same budget: it
+ * evaluates the pure selections too and adopts the best, so
+ * "hybrid >= max(swap-only, recompute-only)" holds structurally.
+ *
+ * Swap legs of the chosen assignment are then scheduled on the
+ * shared full-duplex sim::LinkScheduler — same-direction transfers
+ * serialize, so the report's measured numbers include the link
+ * contention a per-decision cost model cannot see.
+ */
+#ifndef PINPOINT_RELIEF_STRATEGY_PLANNER_H
+#define PINPOINT_RELIEF_STRATEGY_PLANNER_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/swap_model.h"
+#include "relief/recompute_planner.h"
+#include "swap/executor.h"
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace relief {
+
+/** Which mechanisms the planner may assign. */
+enum class Strategy : std::uint8_t {
+    kSwapOnly,       ///< PCIe swapping only (PR 2 pipeline)
+    kRecomputeOnly,  ///< activation recomputation only
+    kHybrid,         ///< best mechanism per tensor
+};
+
+/** Number of Strategy enumerators. */
+inline constexpr int kNumStrategies = 3;
+
+/** @return short name ("swap", "recompute", "hybrid"). */
+const char *strategy_name(Strategy s);
+
+/**
+ * @return the strategy named @p name.
+ * @throws Error for unknown names.
+ */
+Strategy strategy_from_name(const std::string &name);
+
+/** Relief mechanism assigned to one decision. */
+enum class Mechanism : std::uint8_t {
+    kSwap,
+    kRecompute,
+};
+
+/** @return short name ("swap", "recompute"). */
+const char *mechanism_name(Mechanism m);
+
+/** "No cap" sentinel for the overhead budget. */
+inline constexpr TimeNs kUnlimitedBudget =
+    std::numeric_limits<TimeNs>::max();
+
+/** Unified planner configuration. */
+struct StrategyOptions {
+    /** Shared-link bandwidths for the swap legs. */
+    analysis::LinkBandwidth link;
+    /** Eq. 1 headroom required for a swap to count as hideable. */
+    double safety_factor = 1.0;
+    /** Ignore blocks smaller than this. */
+    std::size_t min_block_bytes = 1024 * 1024;
+    /**
+     * Total predicted overhead the selection may spend across all
+     * overhead-bearing decisions (hideable swaps are free and never
+     * consume budget). kUnlimitedBudget = take everything.
+     */
+    TimeNs overhead_budget = kUnlimitedBudget;
+};
+
+/** One per-tensor relief assignment. */
+struct ReliefDecision {
+    Mechanism mechanism = Mechanism::kSwap;
+    BlockId block = kInvalidBlock;
+    TensorId tensor = kInvalidTensor;
+    std::size_t size = 0;
+    /** Access closing the gap start. */
+    TimeNs gap_start = 0;
+    /** Next access. */
+    TimeNs gap_end = 0;
+    /** gap_end - gap_start. */
+    TimeNs gap = 0;
+    /** Predicted overhead: swap stall, or the recompute cost. */
+    TimeNs overhead = 0;
+    /**
+     * True when the decision's absence window contains the original
+     * peak instant, i.e. it contributes to peak reduction.
+     */
+    bool covers_peak = false;
+    /** Swap only: gap / round_trip(size). */
+    double hide_ratio = 0.0;
+    /** Recompute only: producing forward op re-run by the decision. */
+    std::string producer;
+    /** Recompute only: measured forward time of the producer. */
+    TimeNs recompute_cost = 0;
+};
+
+/** Unified planner output: the plan plus its scheduled execution. */
+struct ReliefReport {
+    /** Strategy that produced this report. */
+    Strategy strategy = Strategy::kHybrid;
+    /** Selected decisions, in (gap_start, block) order. */
+    std::vector<ReliefDecision> decisions;
+    /** Decisions assigned to each mechanism. */
+    std::size_t swap_decisions = 0;
+    std::size_t recompute_decisions = 0;
+    /** Sum of sizes per mechanism. */
+    std::size_t total_swapped_bytes = 0;
+    std::size_t total_recomputed_bytes = 0;
+    /** Peak live bytes of the original trace. */
+    std::size_t original_peak_bytes = 0;
+    /** Predicted bytes absent from the device at the peak instant. */
+    std::size_t peak_reduction_bytes = 0;
+    /** Sum of per-decision predicted overheads (<= budget). */
+    TimeNs predicted_overhead = 0;
+
+    // --- scheduled execution (swap legs on the shared link) -------
+    /** Peak with the plan applied, swap legs link-scheduled. */
+    std::size_t new_peak_bytes = 0;
+    /** original - new (saturating at 0). */
+    std::size_t measured_peak_reduction = 0;
+    /**
+     * Link-scheduled swap stall plus the recompute costs: what the
+     * plan really adds to the iteration once same-direction swap
+     * transfers serialize on the shared link.
+     */
+    TimeNs measured_overhead = 0;
+    /** Shared-link execution of the swap-assigned decisions. */
+    swap::SwapExecutionResult swap_execution;
+};
+
+/**
+ * Plans relief strategies for recorded traces. Stateless and
+ * deterministic: a report depends only on the trace and options,
+ * never on scheduling or wall-clock.
+ */
+class StrategyPlanner
+{
+  public:
+    /** @throws Error for non-positive bandwidths or bad factor. */
+    explicit StrategyPlanner(StrategyOptions options);
+
+    /**
+     * Builds the relief plan for @p recorder's trace under
+     * @p strategy, then schedules its swap legs on a fresh shared
+     * link and fills the measured fields.
+     */
+    ReliefReport plan(const trace::TraceRecorder &recorder,
+                      Strategy strategy) const;
+
+    /**
+     * Plans all three strategies from one trace analysis — the
+     * candidate enumeration and pure selections are shared, so this
+     * costs roughly one plan() instead of three. Reports are
+     * indexed by Strategy enumerator order.
+     */
+    std::array<ReliefReport, kNumStrategies>
+    plan_all(const trace::TraceRecorder &recorder) const;
+
+  private:
+    StrategyOptions options_;
+};
+
+}  // namespace relief
+}  // namespace pinpoint
+
+#endif  // PINPOINT_RELIEF_STRATEGY_PLANNER_H

@@ -117,5 +117,44 @@ validate_swap_plan(const SessionResult &result,
     return v;
 }
 
+namespace {
+
+/** Fills unset relief link bandwidths from the device spec. */
+relief::StrategyOptions
+relief_options_for(const SessionResult &result,
+                   const sim::DeviceSpec &device,
+                   relief::StrategyOptions options)
+{
+    PP_CHECK(result.trace.size() > 0,
+             "relief planning needs a recorded trace (run with "
+             "record_trace = true)");
+    if (options.link.d2h_bps <= 0.0)
+        options.link.d2h_bps = device.d2h_bw_bps;
+    if (options.link.h2d_bps <= 0.0)
+        options.link.h2d_bps = device.h2d_bw_bps;
+    return options;
+}
+
+}  // namespace
+
+relief::ReliefReport
+plan_relief(const SessionResult &result, const sim::DeviceSpec &device,
+            relief::Strategy strategy,
+            relief::StrategyOptions options)
+{
+    options = relief_options_for(result, device, options);
+    return relief::StrategyPlanner(options).plan(result.trace,
+                                                 strategy);
+}
+
+std::array<relief::ReliefReport, relief::kNumStrategies>
+plan_relief_all(const SessionResult &result,
+                const sim::DeviceSpec &device,
+                relief::StrategyOptions options)
+{
+    options = relief_options_for(result, device, options);
+    return relief::StrategyPlanner(options).plan_all(result.trace);
+}
+
 }  // namespace runtime
 }  // namespace pinpoint

@@ -11,6 +11,7 @@
 
 #include "alloc/allocator.h"
 #include "nn/models.h"
+#include "relief/strategy_planner.h"
 #include "runtime/engine.h"
 #include "runtime/plan_builder.h"
 #include "sim/device_spec.h"
@@ -124,6 +125,29 @@ struct SwapValidation {
 SwapValidation validate_swap_plan(const SessionResult &result,
                                   const sim::DeviceSpec &device,
                                   swap::PlannerOptions options = {});
+
+/**
+ * Unified-relief step of the pipeline: plans @p strategy (swap-only,
+ * recompute-only, or hybrid) for @p result's trace and schedules the
+ * plan's swap legs on a shared full-duplex link with @p device's
+ * bandwidths. When @p options carries zero link bandwidths (the
+ * default-constructed state) they are filled from @p device.
+ *
+ * @throws Error when the session recorded no trace.
+ */
+relief::ReliefReport plan_relief(const SessionResult &result,
+                                 const sim::DeviceSpec &device,
+                                 relief::Strategy strategy,
+                                 relief::StrategyOptions options = {});
+
+/**
+ * Same as plan_relief, but plans all three strategies from one
+ * shared trace analysis (reports in Strategy enumerator order).
+ */
+std::array<relief::ReliefReport, relief::kNumStrategies>
+plan_relief_all(const SessionResult &result,
+                const sim::DeviceSpec &device,
+                relief::StrategyOptions options = {});
 
 }  // namespace runtime
 }  // namespace pinpoint

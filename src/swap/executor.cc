@@ -9,33 +9,6 @@
 
 namespace pinpoint {
 namespace swap {
-namespace {
-
-/** Occupancy change at a time point. */
-struct Edge {
-    TimeNs t;
-    std::int64_t delta;
-};
-
-std::size_t
-peak_of(std::vector<Edge> edges)
-{
-    std::sort(edges.begin(), edges.end(),
-              [](const Edge &a, const Edge &b) {
-                  if (a.t != b.t)
-                      return a.t < b.t;
-                  return a.delta < b.delta;
-              });
-    std::int64_t cur = 0;
-    std::int64_t best = 0;
-    for (const auto &e : edges) {
-        cur += e.delta;
-        best = std::max(best, cur);
-    }
-    return static_cast<std::size_t>(best);
-}
-
-}  // namespace
 
 SwapExecutionResult
 execute_plan(const trace::TraceRecorder &recorder,
@@ -49,19 +22,12 @@ execute_plan(const trace::TraceRecorder &recorder,
         by_id.emplace(b.block, &b);
 
     // Baseline occupancy edges.
-    std::vector<Edge> edges;
-    edges.reserve(timeline.blocks().size() * 2 +
-                  plan.decisions.size() * 2);
-    for (const auto &b : timeline.blocks()) {
-        edges.push_back({b.alloc_time,
-                         static_cast<std::int64_t>(b.size)});
-        if (b.freed)
-            edges.push_back({b.free_time,
-                             -static_cast<std::int64_t>(b.size)});
-    }
+    std::vector<analysis::OccupancyEdge> edges =
+        analysis::occupancy_edges(timeline);
+    edges.reserve(edges.size() + plan.decisions.size() * 2);
 
     SwapExecutionResult result;
-    result.original_peak_bytes = peak_of(edges);
+    result.original_peak_bytes = analysis::peak_occupancy(edges);
 
     // The scheduler may carry earlier plans' traffic; snapshot the
     // channel busy times so this result reports only its own.
@@ -185,7 +151,8 @@ execute_plan(const trace::TraceRecorder &recorder,
                                         result.h2d_busy_time) /
                         (2.0 * static_cast<double>(span));
 
-    result.new_peak_bytes = peak_of(std::move(edges));
+    result.new_peak_bytes =
+        analysis::peak_occupancy(std::move(edges));
     result.measured_peak_reduction =
         result.original_peak_bytes > result.new_peak_bytes
             ? result.original_peak_bytes - result.new_peak_bytes

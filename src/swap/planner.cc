@@ -7,6 +7,30 @@
 namespace pinpoint {
 namespace swap {
 
+GapEvaluation
+evaluate_swap_gap(std::size_t size, TimeNs gap_start, TimeNs gap_end,
+                  const analysis::LinkBandwidth &link,
+                  double safety_factor)
+{
+    const TimeNs out_time = analysis::transfer_ns(size, link.d2h_bps);
+    const TimeNs in_time = analysis::transfer_ns(size, link.h2d_bps);
+    const TimeNs needed = out_time + in_time;
+    const TimeNs gap = gap_end - gap_start;
+    GapEvaluation e;
+    e.hide_ratio =
+        static_cast<double>(gap) / static_cast<double>(needed);
+    // A safety_factor > 1 can reject a gap that still fits the raw
+    // round trip (needed <= gap); overhead must saturate at zero
+    // there, not wrap the unsigned TimeNs.
+    const bool hideable = e.hide_ratio >= safety_factor;
+    e.overhead = (hideable || needed <= gap) ? 0 : needed - gap;
+    e.out_done = gap_start + out_time;
+    e.in_start = gap_end > in_time ? gap_end - in_time : 0;
+    if (e.in_start < e.out_done)
+        e.in_start = e.out_done;
+    return e;
+}
+
 SwapPlanner::SwapPlanner(PlannerOptions options)
     : options_(std::move(options))
 {
@@ -28,11 +52,6 @@ SwapPlanner::plan(const trace::TraceRecorder &recorder) const
     for (const auto &b : timeline.blocks()) {
         if (b.size < options_.min_block_bytes)
             continue;
-        const TimeNs out_time =
-            analysis::transfer_ns(b.size, options_.link.d2h_bps);
-        const TimeNs in_time =
-            analysis::transfer_ns(b.size, options_.link.h2d_bps);
-        const TimeNs needed = out_time + in_time;
         // Walk the access gaps: alloc .. a0 .. a1 .. ... .. free.
         // Only gaps between two accesses qualify — before the first
         // access the block holds no data worth preserving, and after
@@ -42,10 +61,12 @@ SwapPlanner::plan(const trace::TraceRecorder &recorder) const
             const TimeNs gap_end = b.accesses[i];
             if (gap_end <= gap_start)
                 continue;
-            const TimeNs gap = gap_end - gap_start;
-            const double ratio = static_cast<double>(gap) /
-                                 static_cast<double>(needed);
-            const bool hideable = ratio >= options_.safety_factor;
+            const GapEvaluation e =
+                evaluate_swap_gap(b.size, gap_start, gap_end,
+                                  options_.link,
+                                  options_.safety_factor);
+            const bool hideable =
+                e.hide_ratio >= options_.safety_factor;
             if (!hideable && !options_.allow_overhead)
                 continue;
             SwapDecision d;
@@ -54,25 +75,16 @@ SwapPlanner::plan(const trace::TraceRecorder &recorder) const
             d.size = b.size;
             d.gap_start = gap_start;
             d.gap_end = gap_end;
-            d.gap = gap;
-            d.hide_ratio = ratio;
-            // A safety_factor > 1 can reject a gap that still fits
-            // the raw round trip (needed <= gap); overhead must
-            // saturate at zero there, not wrap the unsigned TimeNs.
-            d.overhead =
-                (hideable || needed <= gap) ? 0 : needed - gap;
+            d.gap = gap_end - gap_start;
+            d.hide_ratio = e.hide_ratio;
+            d.overhead = e.overhead;
             report.predicted_overhead += d.overhead;
             report.total_swapped_bytes += b.size;
             // The executor only evicts between swap-out completion
             // and swap-in start; credit the peak only when it falls
             // inside that transfer-adjusted residency window, not
             // anywhere in the raw gap.
-            const TimeNs out_done = gap_start + out_time;
-            TimeNs in_start =
-                gap_end > in_time ? gap_end - in_time : 0;
-            if (in_start < out_done)
-                in_start = out_done;
-            if (out_done <= peak_time && peak_time < in_start)
+            if (e.out_done <= peak_time && peak_time < e.in_start)
                 report.peak_reduction_bytes += b.size;
             report.decisions.push_back(d);
         }

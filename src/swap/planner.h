@@ -38,6 +38,36 @@ struct PlannerOptions {
     bool allow_overhead = false;
 };
 
+/**
+ * Eq. 1 evaluation of one access gap of a block. One shared
+ * implementation backs both the swap planner and the unified relief
+ * planner, so the two can never drift apart on the hide bound,
+ * overhead saturation, or the residency window (the bug class PR 2
+ * fixed by sharing analysis::transfer_ns).
+ */
+struct GapEvaluation {
+    /** gap / round_trip(size); >= safety factor when hideable. */
+    double hide_ratio = 0.0;
+    /** Saturating stall: 0 when the raw round trip fits the gap. */
+    TimeNs overhead = 0;
+    /**
+     * Transfer-adjusted residency window [out_done, in_start): the
+     * block is off the device only after the swap-out completes and
+     * before the swap-in starts.
+     */
+    TimeNs out_done = 0;
+    TimeNs in_start = 0;
+};
+
+/**
+ * Evaluates swapping a @p size-byte block out and back inside the
+ * access gap [gap_start, gap_end] over @p link.
+ */
+GapEvaluation evaluate_swap_gap(std::size_t size, TimeNs gap_start,
+                                TimeNs gap_end,
+                                const analysis::LinkBandwidth &link,
+                                double safety_factor);
+
 /** One scheduled swap-out/swap-in pair for a block's access gap. */
 struct SwapDecision {
     BlockId block = kInvalidBlock;

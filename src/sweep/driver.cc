@@ -59,6 +59,30 @@ aggregate(const runtime::SessionResult &r, bool swap_plan,
         out.swap_measured_stall_ns = v.execution.measured_stall;
         out.swap_link_busy_fraction =
             v.execution.link_busy_fraction;
+
+        // Unified relief: plan all three strategies from one shared
+        // trace analysis and report the winner on the *measured*
+        // numbers — peak reduction with swap legs scheduled on the
+        // shared link, overhead = link stall + recompute time. The
+        // predicted numbers would repeat the dedicated-link
+        // optimism the measured columns exist to correct.
+        const auto reports = runtime::plan_relief_all(r, device);
+        for (const auto &rep : reports) {
+            const bool wins =
+                out.relief_strategy.empty() ||
+                rep.measured_peak_reduction >
+                    out.relief_peak_reduction_bytes ||
+                (rep.measured_peak_reduction ==
+                     out.relief_peak_reduction_bytes &&
+                 rep.measured_overhead < out.relief_overhead_ns);
+            if (wins) {
+                out.relief_strategy =
+                    relief::strategy_name(rep.strategy);
+                out.relief_peak_reduction_bytes =
+                    rep.measured_peak_reduction;
+                out.relief_overhead_ns = rep.measured_overhead;
+            }
+        }
     }
 }
 

@@ -90,6 +90,21 @@ struct ScenarioResult {
     TimeNs swap_measured_stall_ns = 0;
     /** Mean per-direction occupancy of the link over the trace. */
     double swap_link_busy_fraction = 0.0;
+
+    // --- unified relief planner -----------------------------------
+    /**
+     * Winning relief strategy ("swap", "recompute", or "hybrid"):
+     * the one with the largest *measured* peak reduction (swap legs
+     * scheduled on the shared link) at unlimited budget, ties
+     * broken by lower measured overhead, then by the order
+     * swap < recompute < hybrid (simpler mechanism first). Empty
+     * when relief planning was skipped or the scenario failed.
+     */
+    std::string relief_strategy;
+    /** Measured peak reduction of the winning strategy. */
+    std::size_t relief_peak_reduction_bytes = 0;
+    /** Measured overhead (link stall + recompute) of the winner. */
+    TimeNs relief_overhead_ns = 0;
 };
 
 /** Sweep execution options. */

@@ -63,7 +63,9 @@ write_sweep_csv(const SweepReport &report, std::ostream &os)
           "swap_decisions,swap_peak_reduction_bytes,swap_total_bytes,"
           "swap_measured_peak_reduction_bytes,"
           "swap_predicted_stall_ns,swap_measured_stall_ns,"
-          "swap_link_busy_fraction"
+          "swap_link_busy_fraction,"
+          "relief_strategy,relief_peak_reduction_bytes,"
+          "relief_overhead_ns"
           "\n";
     for (const auto &r : report.results) {
         const Scenario &s = r.scenario;
@@ -88,7 +90,10 @@ write_sweep_csv(const SweepReport &report, std::ostream &os)
            << r.swap_measured_peak_reduction_bytes << ','
            << r.swap_predicted_stall_ns << ','
            << r.swap_measured_stall_ns << ','
-           << format_fixed6(r.swap_link_busy_fraction) << '\n';
+           << format_fixed6(r.swap_link_busy_fraction) << ','
+           << csv_escape(r.relief_strategy) << ','
+           << r.relief_peak_reduction_bytes << ','
+           << r.relief_overhead_ns << '\n';
     }
 }
 
@@ -136,7 +141,13 @@ write_sweep_json(const SweepReport &report, std::ostream &os)
            << ", \"swap_measured_stall_ns\": "
            << r.swap_measured_stall_ns
            << ", \"swap_link_busy_fraction\": "
-           << format_fixed6(r.swap_link_busy_fraction) << "}"
+           << format_fixed6(r.swap_link_busy_fraction)
+           << ", \"relief_strategy\": \""
+           << trace::json_escape(r.relief_strategy)
+           << "\", \"relief_peak_reduction_bytes\": "
+           << r.relief_peak_reduction_bytes
+           << ", \"relief_overhead_ns\": " << r.relief_overhead_ns
+           << "}"
            << (i + 1 < report.results.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"summary\": {\"scenarios\": "
@@ -186,7 +197,8 @@ write_sweep_table(const SweepReport &report, std::ostream &os)
     os << pad("scenario", 36) << pad("status", 8) << pad("peak", 12)
        << pad("reserved", 12) << pad("iter time", 12)
        << pad("ATI p50", 12) << pad("swap save", 12)
-       << pad("meas save", 12) << pad("meas stall", 12) << "\n";
+       << pad("meas save", 12) << pad("meas stall", 12)
+       << pad("relief", 10) << pad("relief save", 12) << "\n";
     for (const auto &r : report.results) {
         os << pad(r.scenario.id(), 36)
            << pad(scenario_status_name(r.status), 8);
@@ -199,7 +211,12 @@ write_sweep_table(const SweepReport &report, std::ostream &os)
                << pad(format_bytes(
                           r.swap_measured_peak_reduction_bytes),
                       12)
-               << pad(format_time(r.swap_measured_stall_ns), 12);
+               << pad(format_time(r.swap_measured_stall_ns), 12)
+               << pad(r.relief_strategy.empty() ? "-"
+                                                : r.relief_strategy,
+                      10)
+               << pad(format_bytes(r.relief_peak_reduction_bytes),
+                      12);
         } else {
             os << first_line(r.error);
         }

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the recomputation planner: producer indexing from
+ * the trace, measured-forward-time costing, gap walking, and the
+ * zero-gap regression.
+ */
+#include <gtest/gtest.h>
+
+#include "relief/recompute_planner.h"
+
+namespace pinpoint {
+namespace relief {
+namespace {
+
+constexpr std::size_t kMB = 1024 * 1024;
+
+trace::MemoryEvent
+ev(TimeNs t, trace::EventKind kind, BlockId block, std::size_t size,
+   const char *op = "", std::int32_t op_index = -1,
+   Category category = Category::kIntermediate,
+   std::uint32_t iteration = 0)
+{
+    trace::MemoryEvent e;
+    e.time = t;
+    e.kind = kind;
+    e.block = block;
+    e.size = size;
+    e.tensor = block;
+    e.category = category;
+    e.iteration = iteration;
+    e.op_index = op_index;
+    e.op = op;
+    return e;
+}
+
+/**
+ * One forward op (index 5, 100 ns measured) producing a 64 MB
+ * activation that is next read 10 ms later by the backward pass.
+ */
+trace::TraceRecorder
+activation_trace()
+{
+    trace::TraceRecorder r;
+    const std::size_t act = 64 * kMB;
+    const std::size_t in = 8 * kMB;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, in, "", -1,
+                Category::kInput));
+    r.record(ev(0, trace::EventKind::kMalloc, 2, act));
+    // conv1.forward reads the input at launch (t=10) and writes the
+    // activation at completion (t=110): measured duration 100 ns.
+    r.record(ev(10, trace::EventKind::kRead, 1, in, "conv1.forward", 5,
+                Category::kInput));
+    r.record(ev(110, trace::EventKind::kWrite, 2, act,
+                "conv1.forward", 5));
+    r.record(ev(10 * kNsPerMs, trace::EventKind::kRead, 2, act,
+                "conv1.backward.dgrad", 42));
+    r.record(ev(10 * kNsPerMs + 50, trace::EventKind::kFree, 2, act));
+    r.record(ev(10 * kNsPerMs + 60, trace::EventKind::kFree, 1, in,
+                "", -1, Category::kInput));
+    return r;
+}
+
+TEST(IndexProducers, FindsForwardWriterWithMeasuredDuration)
+{
+    const auto producers = index_producers(activation_trace());
+    ASSERT_EQ(producers.count(2), 1u);
+    EXPECT_EQ(producers.at(2).op, "conv1.forward");
+    EXPECT_EQ(producers.at(2).forward_ns, 100u);
+    // The input block has no forward producer.
+    EXPECT_EQ(producers.count(1), 0u);
+}
+
+TEST(IndexProducers, SkipsBackwardAndOptimizerWriters)
+{
+    trace::TraceRecorder r;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, 64 * kMB));
+    r.record(ev(10, trace::EventKind::kRead, 1, 64 * kMB,
+                "fc.backward.wgrad", 7));
+    r.record(ev(110, trace::EventKind::kWrite, 1, 64 * kMB,
+                "fc.backward.wgrad", 7));
+    r.record(ev(200, trace::EventKind::kFree, 1, 64 * kMB));
+    EXPECT_TRUE(index_producers(r).empty());
+
+    EXPECT_FALSE(is_forward_op("fc.backward.wgrad"));
+    EXPECT_FALSE(is_forward_op("layer1.0.out.grad_accum"));
+    EXPECT_FALSE(is_forward_op("sgd.fc.weight"));
+    EXPECT_FALSE(is_forward_op("data.h2d"));
+    EXPECT_FALSE(is_forward_op(""));
+    EXPECT_TRUE(is_forward_op("layer1.0.conv2.forward"));
+    EXPECT_TRUE(is_forward_op("fc1.mat_mul"));
+    EXPECT_TRUE(is_forward_op("fc1.add_bias"));
+}
+
+TEST(IndexProducers, SkipsNonIntermediateCategories)
+{
+    trace::TraceRecorder r;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, 64 * kMB, "", -1,
+                Category::kParameter));
+    r.record(ev(10, trace::EventKind::kRead, 1, 64 * kMB,
+                "bn1.forward", 3, Category::kParameter));
+    r.record(ev(110, trace::EventKind::kWrite, 1, 64 * kMB,
+                "bn1.forward", 3, Category::kParameter));
+    r.record(ev(200, trace::EventKind::kFree, 1, 64 * kMB, "", -1,
+                Category::kParameter));
+    EXPECT_EQ(index_producers(r).count(1), 0u);
+}
+
+TEST(RecomputePlanner, PlansGapAtMeasuredForwardCost)
+{
+    RecomputePlanner planner(RecomputeOptions{});
+    const auto plan = planner.plan(activation_trace());
+    ASSERT_EQ(plan.decisions.size(), 1u);
+    const auto &d = plan.decisions[0];
+    EXPECT_EQ(d.block, 2u);
+    EXPECT_EQ(d.gap_start, 110u);
+    EXPECT_EQ(d.gap_end, 10 * kNsPerMs);
+    EXPECT_EQ(d.producer, "conv1.forward");
+    EXPECT_EQ(d.recompute_cost, 100u);
+    EXPECT_EQ(plan.predicted_overhead, 100u);
+    EXPECT_EQ(plan.total_recomputed_bytes, 64 * kMB);
+}
+
+TEST(RecomputePlanner, ZeroGapProducesNoDecision)
+{
+    // Two accesses at the same instant: the "gap" has zero width, so
+    // dropping the block buys nothing and must not be scheduled
+    // (regression: gap_end <= gap_start candidates are skipped).
+    trace::TraceRecorder r;
+    const std::size_t act = 64 * kMB;
+    r.record(ev(0, trace::EventKind::kMalloc, 2, kMB));
+    r.record(ev(0, trace::EventKind::kMalloc, 1, act));
+    r.record(ev(5, trace::EventKind::kRead, 2, kMB, "f.forward", 1));
+    r.record(ev(105, trace::EventKind::kWrite, 1, act, "f.forward", 1));
+    r.record(ev(105, trace::EventKind::kRead, 1, act, "g.forward", 2));
+    r.record(ev(200, trace::EventKind::kFree, 1, act));
+    r.record(ev(210, trace::EventKind::kFree, 2, kMB));
+    RecomputePlanner planner(RecomputeOptions{});
+    EXPECT_TRUE(planner.plan(r).decisions.empty());
+}
+
+TEST(RecomputePlanner, ReRunMustFitInsideTheGap)
+{
+    // A 100 ns producer and a 60 ns gap: the output buffer would be
+    // live again for the entire gap while the producer replays, so
+    // dropping it frees nothing and must not be scheduled.
+    trace::TraceRecorder r;
+    const std::size_t act = 64 * kMB;
+    const std::size_t in = 8 * kMB;
+    r.record(ev(0, trace::EventKind::kMalloc, 1, in, "", -1,
+                Category::kInput));
+    r.record(ev(0, trace::EventKind::kMalloc, 2, act));
+    r.record(ev(10, trace::EventKind::kRead, 1, in, "conv1.forward",
+                5, Category::kInput));
+    r.record(ev(110, trace::EventKind::kWrite, 2, act,
+                "conv1.forward", 5));
+    r.record(ev(170, trace::EventKind::kRead, 2, act,
+                "conv1.backward.dgrad", 42));
+    r.record(ev(200, trace::EventKind::kFree, 2, act));
+    r.record(ev(210, trace::EventKind::kFree, 1, in, "", -1,
+                Category::kInput));
+    RecomputePlanner planner(RecomputeOptions{});
+    EXPECT_TRUE(planner.plan(r).decisions.empty());
+}
+
+TEST(RecomputePlanner, MinBlockFilterDropsSmallBlocks)
+{
+    RecomputeOptions opts;
+    opts.min_block_bytes = 128 * kMB;
+    RecomputePlanner planner(opts);
+    EXPECT_TRUE(planner.plan(activation_trace()).decisions.empty());
+}
+
+TEST(RecomputePlanner, PeakCreditUsesComputeAdjustedWindow)
+{
+    // A transient spike inside the activation's absence window
+    // [gap_start, gap_end - cost): the dropped block is absent
+    // there, so its size counts as peak reduction.
+    trace::TraceRecorder r;
+    const std::size_t act = 64 * kMB;
+    const std::size_t spike = 32 * kMB;
+    r.record(ev(0, trace::EventKind::kMalloc, 2, kMB));
+    r.record(ev(0, trace::EventKind::kMalloc, 1, act));
+    r.record(ev(5, trace::EventKind::kRead, 2, kMB, "f.forward", 1));
+    r.record(ev(105, trace::EventKind::kWrite, 1, act, "f.forward", 1));
+    r.record(ev(5 * kNsPerMs, trace::EventKind::kMalloc, 3, spike));
+    r.record(ev(6 * kNsPerMs, trace::EventKind::kFree, 3, spike));
+    r.record(ev(10 * kNsPerMs, trace::EventKind::kRead, 1, act,
+                "f.backward.dgrad", 9));
+    r.record(ev(11 * kNsPerMs, trace::EventKind::kFree, 1, act));
+    r.record(ev(11 * kNsPerMs, trace::EventKind::kFree, 2, kMB));
+
+    RecomputePlanner planner(RecomputeOptions{});
+    const auto plan = planner.plan(r);
+    ASSERT_EQ(plan.decisions.size(), 1u);
+    EXPECT_EQ(plan.original_peak_bytes, act + spike + kMB);
+    EXPECT_EQ(plan.peak_reduction_bytes, act);
+}
+
+}  // namespace
+}  // namespace relief
+}  // namespace pinpoint

@@ -62,7 +62,8 @@ TEST(SweepExport, CsvSchemaIsStable)
               "ati_max_us,swap_decisions,swap_peak_reduction_bytes,"
               "swap_total_bytes,swap_measured_peak_reduction_bytes,"
               "swap_predicted_stall_ns,swap_measured_stall_ns,"
-              "swap_link_busy_fraction");
+              "swap_link_busy_fraction,relief_strategy,"
+              "relief_peak_reduction_bytes,relief_overhead_ns");
     EXPECT_EQ(count_lines(csv), 3u);  // header + 2 scenarios
     EXPECT_EQ(line(csv, 1).substr(0, 24), "mlp,16,caching,titan-x,5");
 }
@@ -107,6 +108,12 @@ TEST(SweepExport, JsonIsBalancedAndCarriesSummary)
     EXPECT_NE(json.find("\"swap_measured_stall_ns\""),
               std::string::npos);
     EXPECT_NE(json.find("\"swap_link_busy_fraction\""),
+              std::string::npos);
+    // The unified-relief winner columns ride along too.
+    EXPECT_NE(json.find("\"relief_strategy\""), std::string::npos);
+    EXPECT_NE(json.find("\"relief_peak_reduction_bytes\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"relief_overhead_ns\""),
               std::string::npos);
 }
 

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo Markdown links.
+
+Scans every tracked .md file for inline links and images
+(``[text](target)`` / ``![alt](target)``) and reference definitions
+(``[label]: target``), and verifies that each *relative* target —
+resolved against the linking file's directory — exists in the tree.
+External schemes (http/https/mailto) and pure in-page anchors
+(``#section``) are skipped; a ``path#anchor`` target is checked for
+the path part only.
+
+Usage: tools/check_markdown_links.py [root]   (default: repo root)
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target may not contain whitespace or a closing
+# paren; angle-bracketed <target> allows spaces.
+INLINE = re.compile(r"!?\[[^\]]*\]\(\s*(?:<([^>]+)>|([^)\s]+))")
+REFDEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(?:<([^>]+)>|(\S+))")
+SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+# Fenced code blocks must not contribute "links" (CLI usage text
+# like [--flag value] followed by (parenthetical) would match).
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def iter_markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames if d not in {".git", "build"}
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def targets_in(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in INLINE.finditer(line):
+                yield match.group(1) or match.group(2)
+            match = REFDEF.match(line)
+            if match:
+                yield match.group(1) or match.group(2)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir)
+    root = os.path.abspath(root)
+    broken = []
+    checked = 0
+    for md in iter_markdown_files(root):
+        for target in targets_in(md):
+            if target.startswith(SCHEMES) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md), path))
+            checked += 1
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(md, root), target))
+    for md, target in broken:
+        print(f"BROKEN {md}: {target}")
+    print(f"checked {checked} intra-repo links, "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@
  *       [--validate] [--csv plan.csv] [--json plan.json]
  *       (swap-plan is a compatible alias; --safety, --min-block-mb
  *        and --aggressive still work)
+ *   pinpoint_cli relief --model resnet50 --batch 32
+ *       [--strategy swap|recompute|hybrid] [--budget-ms N]
+ *       [--safety-factor 1.0] [--min-block 8]
+ *       [--csv plan.csv] [--json plan.json]
  *   pinpoint_cli bandwidth [--device titan-x|a100]
  *   pinpoint_cli models
  *   pinpoint_cli sweep [--jobs N] [--models a,b] [--batches 16,32]
@@ -32,6 +36,7 @@
 #include "core/format.h"
 #include "nn/model_registry.h"
 #include "nn/models.h"
+#include "relief/strategy_planner.h"
 #include "runtime/session.h"
 #include "sim/pcie.h"
 #include "swap/executor.h"
@@ -306,6 +311,165 @@ cmd_swap(const Args &args)
     return 0;
 }
 
+/** Writes the per-decision relief schedule as CSV. */
+void
+write_relief_csv(const relief::ReliefReport &report, std::ostream &os)
+{
+    os << "mechanism,block,tensor,size_bytes,gap_start_ns,"
+          "gap_end_ns,gap_ns,overhead_ns,covers_peak,hide_ratio,"
+          "producer,recompute_cost_ns\n";
+    for (const auto &d : report.decisions) {
+        os << relief::mechanism_name(d.mechanism) << ',' << d.block
+           << ',' << d.tensor << ',' << d.size << ',' << d.gap_start
+           << ',' << d.gap_end << ',' << d.gap << ',' << d.overhead
+           << ',' << (d.covers_peak ? 1 : 0) << ','
+           << format_fixed6(d.hide_ratio) << ',' << d.producer << ','
+           << d.recompute_cost << "\n";
+    }
+}
+
+/** Writes the relief plan and its scheduled execution as JSON. */
+void
+write_relief_json(const std::string &model,
+                  const runtime::SessionConfig &config,
+                  const relief::ReliefReport &report, std::ostream &os)
+{
+    os << "{\n  \"model\": \"" << trace::json_escape(model)
+       << "\", \"batch\": " << config.batch << ", \"device\": \""
+       << trace::json_escape(config.device.name)
+       << "\", \"strategy\": \""
+       << relief::strategy_name(report.strategy) << "\",\n"
+       << "  \"plan\": {\"decisions\": " << report.decisions.size()
+       << ", \"swap_decisions\": " << report.swap_decisions
+       << ", \"recompute_decisions\": " << report.recompute_decisions
+       << ", \"original_peak_bytes\": " << report.original_peak_bytes
+       << ", \"peak_reduction_bytes\": "
+       << report.peak_reduction_bytes
+       << ", \"predicted_overhead_ns\": " << report.predicted_overhead
+       << "},\n  \"execution\": {\"new_peak_bytes\": "
+       << report.new_peak_bytes
+       << ", \"measured_peak_reduction_bytes\": "
+       << report.measured_peak_reduction
+       << ", \"measured_overhead_ns\": " << report.measured_overhead
+       << ", \"swap_stall_ns\": "
+       << report.swap_execution.measured_stall
+       << ", \"link_busy_fraction\": "
+       << format_fixed6(report.swap_execution.link_busy_fraction)
+       << "},\n  \"decisions\": [\n";
+    for (std::size_t i = 0; i < report.decisions.size(); ++i) {
+        const auto &d = report.decisions[i];
+        os << "    {\"mechanism\": \""
+           << relief::mechanism_name(d.mechanism)
+           << "\", \"block\": " << d.block
+           << ", \"size_bytes\": " << d.size
+           << ", \"gap_start_ns\": " << d.gap_start
+           << ", \"gap_end_ns\": " << d.gap_end
+           << ", \"overhead_ns\": " << d.overhead
+           << ", \"covers_peak\": "
+           << (d.covers_peak ? "true" : "false");
+        if (d.mechanism == relief::Mechanism::kSwap)
+            os << ", \"hide_ratio\": "
+               << format_fixed6(d.hide_ratio);
+        else
+            os << ", \"producer\": \"" << trace::json_escape(d.producer)
+               << "\", \"recompute_cost_ns\": " << d.recompute_cost;
+        os << "}" << (i + 1 < report.decisions.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+int
+cmd_relief(const Args &args)
+{
+    const std::string name = args.value("model", "resnet50");
+    const nn::Model model = nn::build_model(name);
+    const runtime::SessionConfig config = session_config(args);
+    const auto result = runtime::run_training(model, config);
+
+    relief::StrategyOptions opts;
+    opts.link = analysis::LinkBandwidth{config.device.d2h_bw_bps,
+                                        config.device.h2d_bw_bps};
+    opts.safety_factor =
+        std::stod(args.value("safety-factor", "1.0"));
+    opts.min_block_bytes = static_cast<std::size_t>(std::stoll(
+                               args.value("min-block", "8"))) *
+                           1024 * 1024;
+    const std::string budget_ms = args.value("budget-ms", "");
+    if (!budget_ms.empty())
+        opts.overhead_budget = static_cast<TimeNs>(
+            std::stod(budget_ms) * static_cast<double>(kNsPerMs));
+    const relief::Strategy strategy =
+        relief::strategy_from_name(args.value("strategy", "hybrid"));
+
+    // One trace analysis, three strategies at the same budget: the
+    // selected strategy's detailed report plus the two references,
+    // so a single run answers "which lever wins here?".
+    const relief::StrategyPlanner planner(opts);
+    const auto reports = planner.plan_all(result.trace);
+    std::printf("relief plan for %s batch %lld on %s", name.c_str(),
+                static_cast<long long>(config.batch),
+                config.device.name.c_str());
+    if (opts.overhead_budget != relief::kUnlimitedBudget)
+        std::printf(" (budget %s)",
+                    format_time(opts.overhead_budget).c_str());
+    std::printf("\n\n%-12s %10s %12s %12s %12s %12s\n", "strategy",
+                "decisions", "peak save", "overhead", "meas save",
+                "meas ovh");
+    relief::ReliefReport selected;
+    for (const auto &rep : reports) {
+        std::printf("%-12s %10zu %12s %12s %12s %12s%s\n",
+                    relief::strategy_name(rep.strategy),
+                    rep.decisions.size(),
+                    format_bytes(rep.peak_reduction_bytes).c_str(),
+                    format_time(rep.predicted_overhead).c_str(),
+                    format_bytes(rep.measured_peak_reduction).c_str(),
+                    format_time(rep.measured_overhead).c_str(),
+                    rep.strategy == strategy ? "  <-- selected" : "");
+        if (rep.strategy == strategy)
+            selected = rep;
+    }
+
+    std::printf("\nselected %s: %zu decisions (%zu swap, %zu "
+                "recompute)\n",
+                relief::strategy_name(strategy),
+                selected.decisions.size(), selected.swap_decisions,
+                selected.recompute_decisions);
+    std::printf("  original peak:      %s\n",
+                format_bytes(selected.original_peak_bytes).c_str());
+    std::printf("  predicted savings:  %s\n",
+                format_bytes(selected.peak_reduction_bytes).c_str());
+    std::printf("  new peak (sched.):  %s\n",
+                format_bytes(selected.new_peak_bytes).c_str());
+    std::printf("  bytes swapped:      %s\n",
+                format_bytes(selected.total_swapped_bytes).c_str());
+    std::printf("  bytes recomputed:   %s\n",
+                format_bytes(selected.total_recomputed_bytes)
+                    .c_str());
+    std::printf("  measured overhead:  %s (%s link stall + "
+                "recompute)\n",
+                format_time(selected.measured_overhead).c_str(),
+                format_time(selected.swap_execution.measured_stall)
+                    .c_str());
+
+    const std::string csv = args.value("csv", "");
+    if (!csv.empty()) {
+        std::ofstream os(csv);
+        PP_CHECK(os.good(), "cannot open '" << csv << "'");
+        write_relief_csv(selected, os);
+        std::printf("wrote relief schedule CSV to %s\n", csv.c_str());
+    }
+    const std::string json = args.value("json", "");
+    if (!json.empty()) {
+        std::ofstream os(json);
+        PP_CHECK(os.good(), "cannot open '" << json << "'");
+        write_relief_json(name, config, selected, os);
+        std::printf("wrote relief schedule JSON to %s\n",
+                    json.c_str());
+    }
+    return 0;
+}
+
 int
 cmd_bandwidth(const Args &args)
 {
@@ -408,6 +572,12 @@ usage()
         "                 --min-block <MiB> --allow-overhead\n"
         "                 --validate --csv --json; swap-plan is an\n"
         "                 alias)\n"
+        "  relief        compare swap / recompute / hybrid relief\n"
+        "                strategies for a workload under one\n"
+        "                overhead budget\n"
+        "                (--model --batch --strategy --budget-ms\n"
+        "                 --safety-factor --min-block <MiB>\n"
+        "                 --csv --json)\n"
         "  bandwidth     run the bandwidthTest equivalent (--device)\n"
         "  models        list available models\n"
         "  sweep         run a model × batch × allocator × device\n"
@@ -429,6 +599,8 @@ main(int argc, char **argv)
             return cmd_characterize(args);
         if (cmd == "swap" || cmd == "swap-plan")
             return cmd_swap(args);
+        if (cmd == "relief")
+            return cmd_relief(args);
         if (cmd == "bandwidth")
             return cmd_bandwidth(args);
         if (cmd == "models")
