@@ -9,12 +9,10 @@
 
 #include "analysis/gantt.h"
 #include "analysis/series.h"
-#include "analysis/iteration.h"
-#include "analysis/timeline.h"
+#include "api/study.h"
 #include "bench_util.h"
+#include "core/check.h"
 #include "core/format.h"
-#include "nn/models.h"
-#include "runtime/session.h"
 
 using namespace pinpoint;
 
@@ -25,12 +23,24 @@ main()
                   "MLP (2-12288-2), batch 64, SGD, 5 iterations, "
                   "Titan X Pascal");
 
-    runtime::SessionConfig config;
-    config.batch = 64;
-    config.iterations = 5;
-    auto result = runtime::run_training(nn::mlp(), config);
+    api::WorkloadSpec spec;
+    spec.model = "mlp";
+    spec.batch = 64;
+    spec.iterations = 5;
+    const api::Study study = api::Study::run(spec);
+    const runtime::SessionResult &result = study.result();
 
-    analysis::Timeline timeline(result.trace);
+    const analysis::Timeline &timeline = study.timeline();
+    // Migration hygiene: the cached facet must equal a direct
+    // reconstruction — Study caching changes cost, not results.
+    {
+        const analysis::Timeline direct(result.trace);
+        PP_CHECK(timeline.blocks().size() == direct.blocks().size() &&
+                     timeline.end() == direct.end() &&
+                     timeline.peak_time() == direct.peak_time(),
+                 "Study timeline facet diverged from direct "
+                 "reconstruction");
+    }
 
     bench::section("block lifetimes (one row per Fig. 2 rectangle)");
     std::printf("%-6s %-28s %-10s %12s %12s %12s\n", "block", "tensor",
@@ -62,7 +72,7 @@ main()
 
     bench::section("iterative pattern (paper: 'obvious iterative "
                    "memory access patterns')");
-    auto pattern = analysis::detect_iteration_pattern(result.trace);
+    const auto &pattern = study.iteration_pattern();
     std::printf("label-free period: %zu allocations "
                 "(confidence %.1f%%)\n",
                 pattern.period_allocs,
@@ -73,7 +83,7 @@ main()
                 pattern.iterations);
 
     bench::section("total footprint over time (area under the Gantt)");
-    const auto series = analysis::occupancy_series(result.trace, 96);
+    const auto series = analysis::occupancy_series(study.trace(), 96);
     std::size_t peak_bytes = 0;
     for (const auto &p : series)
         peak_bytes = std::max(peak_bytes, p.total());

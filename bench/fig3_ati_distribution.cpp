@@ -9,9 +9,9 @@
 
 #include "analysis/ati.h"
 #include "analysis/stats.h"
+#include "api/study.h"
 #include "bench_util.h"
-#include "nn/models.h"
-#include "runtime/session.h"
+#include "core/check.h"
 
 using namespace pinpoint;
 
@@ -23,12 +23,25 @@ main()
                   "MLP (2-12288-2), batch 64, 100 iterations, "
                   "Titan X Pascal");
 
-    runtime::SessionConfig config;
-    config.batch = 64;
-    config.iterations = 100;
-    auto result = runtime::run_training(nn::mlp(), config);
+    api::WorkloadSpec spec;
+    spec.model = "mlp";
+    spec.batch = 64;
+    spec.iterations = 100;
+    const api::Study study = api::Study::run(spec);
+    const runtime::SessionResult &result = study.result();
 
-    const auto atis = analysis::compute_atis(result.trace);
+    const auto &atis = study.atis();
+    // Migration hygiene: the cached facet must equal a direct
+    // extraction — Study caching changes cost, not results.
+    {
+        const auto direct = analysis::compute_atis(result.trace);
+        bool equal = direct.size() == atis.size();
+        for (std::size_t i = 0; equal && i < direct.size(); ++i)
+            equal = direct[i].block == atis[i].block &&
+                    direct[i].interval == atis[i].interval;
+        PP_CHECK(equal, "Study ATI facet diverged from direct "
+                        "extraction");
+    }
     const auto us = analysis::ati_microseconds(atis);
     analysis::Cdf cdf(us);
 

@@ -6,15 +6,14 @@
  * DNNs; intermediate results are the primary contributor.
  */
 #include <cstdio>
-#include <functional>
 #include <vector>
 
 #include "analysis/breakdown.h"
-#include "core/check.h"
+#include "api/study.h"
 #include "bench_util.h"
+#include "core/check.h"
 #include "core/format.h"
-#include "nn/models.h"
-#include "runtime/session.h"
+#include "nn/model_registry.h"
 
 using namespace pinpoint;
 
@@ -27,32 +26,40 @@ main()
                   "Titan X Pascal 12GB");
 
     struct Workload {
-        std::function<nn::Model()> build;
+        const char *model;
         std::int64_t batch;
     };
     const std::vector<Workload> workloads = {
-        {[] { return nn::mlp(); }, 64},
-        {[] { return nn::alexnet_cifar(); }, 32},
-        {[] { return nn::alexnet_imagenet(); }, 32},
-        {[] { return nn::vgg16(); }, 32},
-        {[] { return nn::resnet(18); }, 32},
-        {[] { return nn::resnet(50); }, 32},
-        {[] { return nn::inception_v1(); }, 32},
-        {[] { return nn::mobilenet_v1(); }, 32},
-        {[] { return nn::squeezenet(); }, 32},
+        {"mlp", 64},       {"alexnet-cifar", 32},
+        {"alexnet", 32},   {"vgg16", 32},
+        {"resnet18", 32},  {"resnet50", 32},
+        {"inception", 32}, {"mobilenet", 32},
+        {"squeezenet", 32},
     };
 
+    bool hygiene_checked = false;
     std::printf("\n%-16s %6s %12s | %18s %18s %18s\n", "model", "batch",
                 "peak", "input", "parameters", "intermediates");
     for (const auto &w : workloads) {
-        const nn::Model model = w.build();
-        runtime::SessionConfig config;
-        config.batch = w.batch;
-        config.iterations = 3;
+        const nn::Model model = nn::build_model(w.model);
+        api::WorkloadSpec spec;
+        spec.model = w.model;
+        spec.batch = w.batch;
+        spec.iterations = 3;
         try {
-            const auto result = runtime::run_training(model, config);
-            const auto b =
-                analysis::occupation_breakdown(result.trace);
+            const api::Study study = api::Study::run(spec);
+            const auto &b = study.breakdown();
+            // Migration hygiene, checked once where cheap: the
+            // cached facet must equal a direct replay.
+            if (!hygiene_checked) {
+                const auto direct = analysis::occupation_breakdown(
+                    study.trace());
+                PP_CHECK(direct.peak_total == b.peak_total &&
+                             direct.at_peak == b.at_peak,
+                         "Study breakdown facet diverged from "
+                         "direct replay");
+                hygiene_checked = true;
+            }
             auto cell = [&](Category c) {
                 static char buf[64];
                 std::snprintf(

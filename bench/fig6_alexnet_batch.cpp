@@ -9,10 +9,10 @@
 #include <cstdio>
 
 #include "analysis/breakdown.h"
+#include "api/study.h"
 #include "bench_util.h"
+#include "core/check.h"
 #include "core/format.h"
-#include "nn/models.h"
-#include "runtime/session.h"
 
 using namespace pinpoint;
 
@@ -24,8 +24,6 @@ main()
                   "AlexNet-CIFAR (32x32 inputs, 100 classes), batch "
                   "16..512, 3 iterations each");
 
-    const nn::Model model = nn::alexnet_cifar();
-
     std::printf("\n(a) absolute bytes at peak\n");
     std::printf("%6s %12s %12s %12s %12s\n", "batch", "peak", "input",
                 "params", "interm");
@@ -35,11 +33,19 @@ main()
     };
     std::vector<Row> rows;
     for (std::int64_t batch : {16, 32, 64, 128, 256, 512}) {
-        runtime::SessionConfig config;
-        config.batch = batch;
-        config.iterations = 3;
-        const auto result = runtime::run_training(model, config);
-        const auto b = analysis::occupation_breakdown(result.trace);
+        api::WorkloadSpec spec;
+        spec.model = "alexnet-cifar";
+        spec.batch = batch;
+        spec.iterations = 3;
+        const api::Study study = api::Study::run(spec);
+        const auto &b = study.breakdown();
+        // Migration hygiene, checked at the smallest batch: the
+        // cached facet must equal a direct replay.
+        if (batch == 16)
+            PP_CHECK(analysis::occupation_breakdown(study.trace())
+                             .peak_total == b.peak_total,
+                     "Study breakdown facet diverged from direct "
+                     "replay");
         rows.push_back({batch, b});
         std::printf(
             "%6lld %12s %12s %12s %12s\n",

@@ -10,10 +10,10 @@
 
 #include "alloc/device_memory.h"
 #include "analysis/breakdown.h"
+#include "api/study.h"
 #include "bench_util.h"
+#include "core/check.h"
 #include "core/format.h"
-#include "nn/models.h"
-#include "runtime/session.h"
 
 using namespace pinpoint;
 
@@ -25,19 +25,29 @@ main()
                   "ResNet-18/34/50/101/152, 224x224 inputs, batch "
                   "16/32/64, 3 iterations each, Titan X 12GB");
 
+    bool hygiene_checked = false;
     std::printf("\n%-10s %6s %12s %10s %10s %10s\n", "model", "batch",
                 "peak", "input", "params", "interm");
     for (int depth : {18, 34, 50, 101, 152}) {
         const nn::Model model = nn::resnet(depth);
         for (std::int64_t batch : {16, 32, 64}) {
-            runtime::SessionConfig config;
-            config.batch = batch;
-            config.iterations = 3;
+            api::WorkloadSpec spec;
+            spec.model = model.name;
+            spec.batch = batch;
+            spec.iterations = 3;
             try {
-                const auto result =
-                    runtime::run_training(model, config);
-                const auto b =
-                    analysis::occupation_breakdown(result.trace);
+                const api::Study study = api::Study::run(spec);
+                const auto &b = study.breakdown();
+                // Migration hygiene, once where cheap: the cached
+                // facet must equal a direct replay.
+                if (!hygiene_checked) {
+                    PP_CHECK(
+                        analysis::occupation_breakdown(study.trace())
+                                .at_peak == b.at_peak,
+                        "Study breakdown facet diverged from "
+                        "direct replay");
+                    hygiene_checked = true;
+                }
                 std::printf(
                     "%-10s %6lld %12s %10s %10s %10s\n",
                     model.name.c_str(),

@@ -14,11 +14,12 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/study.h"
 #include "bench_util.h"
+#include "core/check.h"
 #include "core/format.h"
 #include "nn/model_registry.h"
 #include "relief/strategy_planner.h"
-#include "runtime/session.h"
 
 using namespace pinpoint;
 
@@ -38,25 +39,40 @@ main(int argc, char **argv)
                 "model", "peak", "save", "overhead", "save",
                 "overhead", "save", "overhead");
 
+    bool hygiene_checked = false;
     for (const auto &entry : nn::model_registry()) {
         if (!entry.in_default_zoo)
             continue;
-        runtime::SessionConfig config;
-        config.batch = batch;
-        config.iterations = 3;
-        const auto result =
-            runtime::run_training(entry.build(), config);
-
-        relief::StrategyOptions opts;
-        opts.link =
-            analysis::LinkBandwidth{config.device.d2h_bw_bps,
-                                    config.device.h2d_bw_bps};
-        const relief::StrategyPlanner planner(opts);
+        api::WorkloadSpec spec;
+        spec.model = entry.name;
+        spec.batch = batch;
+        spec.iterations = 3;
+        const api::Study study = api::Study::run(spec);
 
         std::size_t save[relief::kNumStrategies];
         TimeNs overhead[relief::kNumStrategies];
         std::size_t original_peak = 0;
-        const auto reports = planner.plan_all(result.trace);
+        const auto &reports = study.relief_all();
+        // Migration hygiene, checked on the first (cheapest) model:
+        // the cached relief facet must equal a direct plan_all on
+        // the same trace and options.
+        if (!hygiene_checked) {
+            relief::StrategyOptions opts;
+            opts.link = analysis::LinkBandwidth{
+                study.device().d2h_bw_bps,
+                study.device().h2d_bw_bps};
+            const auto direct = relief::StrategyPlanner(opts)
+                                    .plan_all(study.trace());
+            for (int i = 0; i < relief::kNumStrategies; ++i)
+                PP_CHECK(
+                    direct[i].peak_reduction_bytes ==
+                            reports[i].peak_reduction_bytes &&
+                        direct[i].measured_overhead ==
+                            reports[i].measured_overhead,
+                    "Study relief facet diverged from direct "
+                    "planning");
+            hygiene_checked = true;
+        }
         for (int i = 0; i < relief::kNumStrategies; ++i) {
             save[i] = reports[i].peak_reduction_bytes;
             overhead[i] = reports[i].measured_overhead;

@@ -12,7 +12,7 @@
 #include <functional>
 
 #include "alloc/device_memory.h"
-#include "analysis/breakdown.h"
+#include "api/study.h"
 #include "core/format.h"
 #include "nn/models.h"
 #include "runtime/session.h"
@@ -70,19 +70,30 @@ plan(const nn::Model &model, const sim::DeviceSpec &device)
                     model.name.c_str());
         return;
     }
-    runtime::SessionConfig config;
-    config.batch = batch;
-    config.iterations = 2;
+    // Characterize the found edge batch through the run artifact:
+    // the breakdown is a cached Study facet, shared with any other
+    // analysis a caller might add.
+    api::WorkloadSpec spec;
+    spec.model = model.name;
+    spec.batch = batch;
+    spec.iterations = 2;
+    const std::string preset = sim::device_preset_name(device);
+    if (!preset.empty())
+        spec.device = preset;
+    runtime::SessionConfig config = spec.session_config();
+    // Honor the exact spec, including custom (non-preset) devices
+    // a caller may pass; the spec's device string is display-only.
     config.device = device;
-    runtime::SessionResult r;
+    runtime::SessionResult session;
     try {
-        r = runtime::run_training(model, config);
+        session = runtime::run_training(model, config);
     } catch (const alloc::DeviceOomError &) {
         std::printf("%-14s probe raced fragmentation at batch %lld\n",
                     model.name.c_str(), static_cast<long long>(batch));
         return;
     }
-    const auto b = analysis::occupation_breakdown(r.trace);
+    const api::Study study(spec, std::move(session), device);
+    const auto &b = study.breakdown();
     std::printf("%-14s max batch %5lld  peak %10s  "
                 "(interm %s, params %s)\n",
                 model.name.c_str(), static_cast<long long>(batch),

@@ -25,6 +25,7 @@
 #include <cstdio>
 
 #include "analysis/breakdown.h"
+#include "api/study.h"
 #include "core/format.h"
 #include "nn/models.h"
 #include "relief/strategy_planner.h"
@@ -82,28 +83,29 @@ main()
             run_config("half precision", c, "numeric range"));
     }
     {
-        // The unified planner: one baseline trace, three strategies
-        // under one overhead budget (at most one extra iteration's
-        // worth of stall/recompute). Each row reports the scheduled
-        // new peak — swap legs timed on the shared link — and the
-        // measured overhead: link stall plus the producers'
+        // The unified planner through the run artifact: one
+        // baseline Study, three strategies under one overhead
+        // budget (at most one extra iteration's worth of
+        // stall/recompute). The budget depends on the *measured*
+        // iteration time, so the session runs first and the Study
+        // wraps it with the options attached. Each row reports the
+        // scheduled new peak — swap legs timed on the shared link —
+        // and the measured overhead: link stall plus the producers'
         // measured forward times.
-        const auto r = runtime::run_training(nn::mobilenet_v1(), base);
-        const relief::StrategyOptions opts = [&] {
-            relief::StrategyOptions o;
-            o.link =
-                analysis::LinkBandwidth{base.device.d2h_bw_bps,
-                                        base.device.h2d_bw_bps};
-            o.overhead_budget = r.iteration_time;
-            return o;
-        }();
+        api::WorkloadSpec spec;
+        spec.model = "mobilenet";
+        spec.batch = base.batch;
+        spec.iterations = base.iterations;
+        auto session = runtime::run_training(nn::mobilenet_v1(), base);
+        api::StudyOptions opts;
+        opts.relief.overhead_budget = session.iteration_time;
+        const api::Study study(spec, std::move(session), opts);
         const char *kLabels[] = {
             "swap plan /iter budget",
             "recompute plan /iter budget",
             "hybrid plan /iter budget",
         };
-        const auto reports =
-            relief::StrategyPlanner(opts).plan_all(r.trace);
+        const auto &reports = study.relief_all();
         for (std::size_t i = 0; i < reports.size(); ++i) {
             const auto &rep = reports[i];
             char note[96];
@@ -115,7 +117,7 @@ main()
                               .c_str(),
                           format_time(rep.measured_overhead).c_str());
             rows.push_back({kLabels[i], rep.new_peak_bytes,
-                            r.iteration_time, note});
+                            study.result().iteration_time, note});
         }
     }
 

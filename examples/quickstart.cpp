@@ -3,57 +3,51 @@
  * Quickstart: profile the memory behaviors of MLP training on the
  * simulated Titan X Pascal, then print the headline analyses of the
  * paper — the Gantt chart, the ATI distribution, and the occupation
- * breakdown.
+ * breakdown — all read from one api::Study, the library's run
+ * artifact. Every analysis is a lazy facet: computed on first
+ * access, cached for every later consumer.
  *
- * Build & run:  ./build/examples/quickstart
+ * Build & run:  ./build/example_quickstart
  */
 #include <cstdio>
 
-#include "analysis/ati.h"
-#include "analysis/breakdown.h"
 #include "analysis/gantt.h"
-#include "analysis/iteration.h"
-#include "analysis/stats.h"
+#include "api/study.h"
 #include "core/format.h"
-#include "nn/models.h"
-#include "runtime/session.h"
 
 int
 main()
 {
     using namespace pinpoint;
 
-    // 1. Pick a model and a configuration (paper Sec. II: trivial MLP).
-    nn::Model model = nn::mlp();
-    runtime::SessionConfig config;
-    config.batch = 64;
-    config.iterations = 5;
-
-    // 2. Run the instrumented training simulation.
-    runtime::SessionResult result = runtime::run_training(model, config);
-    std::printf("model=%s batch=%lld iterations=%d\n",
-                model.name.c_str(),
-                static_cast<long long>(config.batch), config.iterations);
+    // 1. Describe the workload (paper Sec. II: trivial MLP) with
+    //    the canonical spec and run it into a Study.
+    api::WorkloadSpec spec;
+    spec.model = "mlp";
+    spec.batch = 64;
+    spec.iterations = 5;
+    const api::Study study = api::Study::run(spec);
+    std::printf("workload: %s\n", spec.to_string().c_str());
     std::printf("recorded %zu memory behaviors, iteration time %s\n\n",
-                result.trace.size(),
-                format_time(result.iteration_time).c_str());
+                study.trace().size(),
+                format_time(study.result().iteration_time).c_str());
 
-    // 3. Fig. 2: Gantt chart of block lifetimes.
-    analysis::Timeline timeline(result.trace);
+    // 2. Fig. 2: Gantt chart of block lifetimes (timeline facet).
     analysis::GanttOptions gantt;
     gantt.max_rows = 24;
     std::printf("--- Gantt (Fig. 2) ---\n%s\n",
-                analysis::render_gantt(timeline, gantt).c_str());
+                analysis::render_gantt(study.timeline(), gantt)
+                    .c_str());
 
-    // 4. Fig. 3: ATI distribution.
-    auto atis = analysis::compute_atis(result.trace);
-    auto summary = analysis::summarize(analysis::ati_microseconds(atis));
+    // 3. Fig. 3: ATI distribution (ati facets).
+    const auto &summary = study.ati_summary();
     std::printf("--- ATI distribution (Fig. 3) ---\n");
     std::printf("count=%zu median=%.1fus p90=%.1fus p99=%.1fus\n\n",
-                summary.count, summary.median, summary.p90, summary.p99);
+                summary.count, summary.median, summary.p90,
+                summary.p99);
 
-    // 5. Figs. 5-7: occupation breakdown at peak.
-    auto breakdown = analysis::occupation_breakdown(result.trace);
+    // 4. Figs. 5-7: occupation breakdown at peak (breakdown facet).
+    const auto &breakdown = study.breakdown();
     std::printf("--- Occupation breakdown at peak (%s total) ---\n",
                 format_bytes(breakdown.peak_total).c_str());
     for (int c = 0; c < kNumCategories; ++c) {
@@ -63,8 +57,8 @@ main()
                     format_percent(breakdown.fraction(cat)).c_str());
     }
 
-    // 6. The Fig. 2 takeaway, quantified.
-    auto pattern = analysis::detect_iteration_pattern(result.trace);
+    // 5. The Fig. 2 takeaway, quantified (iteration facet).
+    const auto &pattern = study.iteration_pattern();
     std::printf("\niterative pattern: period=%zu allocs, "
                 "signature stability=%.0f%%\n",
                 pattern.period_allocs,

@@ -1,44 +1,44 @@
 /**
  * @file
  * Swap advisor: the paper's future-work tool as a user workflow.
- * Record the memory behaviors of a training run, feed the trace to
- * the automatic planner, and print an actionable swap schedule with
- * predicted savings — all driven by the Eq. 1 cost model.
+ * Run a workload into an api::Study with Eq. 1 planner options, and
+ * read the swap-validation facet: the plan, its predicted savings,
+ * and — because the facet always executes the plan on the shared
+ * PCIe link — the measured numbers that expose the dedicated-link
+ * fallacy, all computed once and cached.
  *
- * Build & run:  ./build/examples/swap_advisor
+ * Build & run:  ./build/example_swap_advisor
  */
 #include <cstdio>
 
+#include "api/study.h"
 #include "core/format.h"
-#include "nn/models.h"
-#include "runtime/session.h"
-#include "swap/planner.h"
 
 using namespace pinpoint;
 
 int
 main()
 {
-    // 1. Characterize: ResNet-50 at batch 16 on the Titan X.
-    nn::Model model = nn::resnet(50);
-    runtime::SessionConfig config;
-    config.batch = 16;
-    config.iterations = 3;
-    const auto result = runtime::run_training(model, config);
+    // 1. Characterize: ResNet-50 at batch 16 on the Titan X, with
+    //    hideable-only swaps at a 25% safety margin.
+    api::WorkloadSpec spec;
+    spec.model = "resnet50";
+    spec.batch = 16;
+    spec.iterations = 3;
+    api::StudyOptions opts;
+    opts.swap.safety_factor = 1.25;
+    opts.swap.min_block_bytes = 8 * 1024 * 1024;
+    const api::Study study = api::Study::run(spec, opts);
     std::printf("characterized %s batch %lld: peak %s on a %s "
                 "device\n\n",
-                model.name.c_str(),
-                static_cast<long long>(config.batch),
-                format_bytes(result.usage.peak_total).c_str(),
-                format_bytes(config.device.dram_bytes).c_str());
+                spec.model.c_str(),
+                static_cast<long long>(spec.batch),
+                format_bytes(study.result().usage.peak_total).c_str(),
+                format_bytes(study.device().dram_bytes).c_str());
 
-    // 2. Plan: hideable swaps only, with 25% safety margin.
-    swap::PlannerOptions opts;
-    opts.link = analysis::LinkBandwidth{config.device.d2h_bw_bps,
-                                        config.device.h2d_bw_bps};
-    opts.safety_factor = 1.25;
-    opts.min_block_bytes = 8 * 1024 * 1024;
-    const auto plan = swap::SwapPlanner(opts).plan(result.trace);
+    // 2. The swap-validation facet: plan + shared-link execution.
+    const auto &v = study.swap_validation();
+    const auto &plan = v.plan;
 
     std::printf("planner found %zu hideable swap windows\n",
                 plan.decisions.size());
@@ -48,8 +48,12 @@ main()
                 format_bytes(plan.peak_reduction_bytes).c_str(),
                 100.0 * static_cast<double>(plan.peak_reduction_bytes) /
                     static_cast<double>(plan.original_peak_bytes));
-    std::printf("predicted stall:   %s\n\n",
+    std::printf("predicted stall:   %s\n",
                 format_time(plan.predicted_overhead).c_str());
+    std::printf("measured stall:    %s on the shared link "
+                "(+%s unpredicted)\n\n",
+                format_time(v.execution.measured_stall).c_str(),
+                format_time(v.unpredicted_stall()).c_str());
 
     // 3. Inspect the top schedule entries.
     std::printf("%-6s %10s %14s %14s %10s\n", "block", "size",

@@ -1,0 +1,210 @@
+#include "api/study.h"
+
+#include <mutex>
+#include <utility>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace api {
+
+/**
+ * One slot per facet: a std::call_once guard plus storage. Facet
+ * accessors are const — the cache is an implementation detail of
+ * "computed lazily", not observable state — so every slot lives
+ * behind the Study's facets_ pointer and is written exactly once.
+ */
+struct Study::Facets {
+    std::once_flag timeline_once;
+    std::unique_ptr<analysis::Timeline> timeline;
+
+    std::once_flag occupancy_once;
+    std::vector<analysis::OccupancyEdge> occupancy_edges;
+    std::size_t peak_occupancy_bytes = 0;
+
+    std::once_flag atis_once;
+    std::vector<analysis::AtiSample> atis;
+
+    std::once_flag ati_summary_once;
+    analysis::SummaryStats ati_summary;
+
+    std::once_flag breakdown_once;
+    analysis::BreakdownResult breakdown;
+
+    std::once_flag iteration_once;
+    analysis::IterationPattern iteration_pattern;
+
+    std::once_flag swap_plan_once;
+    swap::SwapPlanReport swap_plan;
+
+    std::once_flag swap_once;
+    runtime::SwapValidation swap_validation;
+
+    std::once_flag relief_once;
+    std::array<relief::ReliefReport, relief::kNumStrategies>
+        relief_all;
+};
+
+Study::~Study() = default;
+Study::Study(Study &&) noexcept = default;
+Study &Study::operator=(Study &&) noexcept = default;
+
+Study::Study(WorkloadSpec spec, runtime::SessionResult result,
+             StudyOptions options)
+    : spec_(std::move(spec)),
+      device_(sim::device_spec_by_name(spec_.device)),
+      options_(std::move(options)), result_(std::move(result)),
+      facets_(std::make_unique<Facets>())
+{
+}
+
+Study::Study(WorkloadSpec spec, runtime::SessionResult result,
+             const sim::DeviceSpec &device, StudyOptions options)
+    : spec_(std::move(spec)), device_(device),
+      options_(std::move(options)), result_(std::move(result)),
+      facets_(std::make_unique<Facets>())
+{
+    // No preset resolution: spec.device may be any descriptive
+    // string here, the facets price @p device exactly.
+}
+
+Study
+Study::run(const WorkloadSpec &spec, StudyOptions options)
+{
+    spec.validate();
+    return Study(spec,
+                 runtime::run_training(spec.build(),
+                                       spec.session_config()),
+                 std::move(options));
+}
+
+Study
+Study::from_trace(trace::TraceRecorder trace,
+                  const sim::DeviceSpec &device, StudyOptions options)
+{
+    runtime::SessionResult result;
+    result.trace = std::move(trace);
+    // Synthetic display-only spec: an empty model marks the study
+    // as offline, so spec()/id() can never mislabel the trace as a
+    // concrete workload; the device string is the nearest preset.
+    WorkloadSpec spec;
+    spec.model = "";
+    const std::string preset = sim::device_preset_name(device);
+    spec.device = preset.empty() ? device.name : preset;
+    return Study(std::move(spec), std::move(result), device,
+                 std::move(options));
+}
+
+const analysis::Timeline &
+Study::timeline() const
+{
+    std::call_once(facets_->timeline_once, [&] {
+        facets_->timeline =
+            std::make_unique<analysis::Timeline>(result_.trace);
+    });
+    return *facets_->timeline;
+}
+
+const std::vector<analysis::OccupancyEdge> &
+Study::occupancy_edges() const
+{
+    std::call_once(facets_->occupancy_once, [&] {
+        facets_->occupancy_edges =
+            analysis::occupancy_edges(timeline());
+        facets_->peak_occupancy_bytes =
+            analysis::peak_occupancy(facets_->occupancy_edges);
+    });
+    return facets_->occupancy_edges;
+}
+
+std::size_t
+Study::peak_occupancy_bytes() const
+{
+    occupancy_edges();
+    return facets_->peak_occupancy_bytes;
+}
+
+const std::vector<analysis::AtiSample> &
+Study::atis() const
+{
+    std::call_once(facets_->atis_once, [&] {
+        facets_->atis = analysis::compute_atis(result_.trace);
+    });
+    return facets_->atis;
+}
+
+const analysis::SummaryStats &
+Study::ati_summary() const
+{
+    std::call_once(facets_->ati_summary_once, [&] {
+        facets_->ati_summary = analysis::summarize(
+            analysis::ati_microseconds(atis()));
+    });
+    return facets_->ati_summary;
+}
+
+const analysis::BreakdownResult &
+Study::breakdown() const
+{
+    std::call_once(facets_->breakdown_once, [&] {
+        facets_->breakdown =
+            analysis::occupation_breakdown(result_.trace);
+    });
+    return facets_->breakdown;
+}
+
+const analysis::IterationPattern &
+Study::iteration_pattern() const
+{
+    std::call_once(facets_->iteration_once, [&] {
+        facets_->iteration_pattern =
+            analysis::detect_iteration_pattern(result_.trace);
+    });
+    return facets_->iteration_pattern;
+}
+
+const swap::SwapPlanReport &
+Study::swap_plan() const
+{
+    std::call_once(facets_->swap_plan_once, [&] {
+        PP_CHECK(result_.trace.size() > 0,
+                 "swap planning needs a recorded trace (run with "
+                 "record_trace = true)");
+        // The shared fill rule keeps this plan identical to
+        // swap_validation().plan by construction.
+        facets_->swap_plan =
+            swap::SwapPlanner(
+                runtime::fill_swap_link(options_.swap, device_))
+                .plan(result_.trace);
+    });
+    return facets_->swap_plan;
+}
+
+const runtime::SwapValidation &
+Study::swap_validation() const
+{
+    std::call_once(facets_->swap_once, [&] {
+        facets_->swap_validation = runtime::validate_swap_plan(
+            result_, device_, options_.swap);
+    });
+    return facets_->swap_validation;
+}
+
+const std::array<relief::ReliefReport, relief::kNumStrategies> &
+Study::relief_all() const
+{
+    std::call_once(facets_->relief_once, [&] {
+        facets_->relief_all = runtime::plan_relief_all(
+            result_, device_, options_.relief);
+    });
+    return facets_->relief_all;
+}
+
+const relief::ReliefReport &
+Study::relief(relief::Strategy strategy) const
+{
+    return relief_all()[static_cast<std::size_t>(strategy)];
+}
+
+}  // namespace api
+}  // namespace pinpoint

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * api::Study — the run artifact of one characterization. A Study
+ * owns the runtime::SessionResult of a workload and exposes every
+ * derived analysis the repo computes — the block timeline and
+ * occupancy edges/peak, ATI samples and statistics, the occupation
+ * breakdown, the iterative-pattern verdict, the shared-link swap
+ * validation, and the three unified-relief reports — as *lazy,
+ * computed-once, cached facets*.
+ *
+ * Invariants the layers above rely on:
+ *
+ *   - Each facet is computed at most once per Study, on first
+ *     access, guarded by a std::call_once per facet — concurrent
+ *     accessors (the sweep worker pool) share one computation and
+ *     one cached value.
+ *   - Facet values are identical to calling the underlying analysis
+ *     directly on the same trace with the Study's options: caching
+ *     changes cost, never results (asserted by the migrated benches
+ *     and tests/api/test_study.cpp).
+ *   - Facets never mutate the session result; a Study is
+ *     const-usable from many threads.
+ */
+#ifndef PINPOINT_API_STUDY_H
+#define PINPOINT_API_STUDY_H
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "analysis/ati.h"
+#include "analysis/breakdown.h"
+#include "analysis/iteration.h"
+#include "analysis/stats.h"
+#include "analysis/timeline.h"
+#include "api/workload.h"
+#include "relief/strategy_planner.h"
+#include "runtime/session.h"
+#include "swap/planner.h"
+
+namespace pinpoint {
+namespace api {
+
+/** Facet knobs fixed at Study construction. */
+struct StudyOptions {
+    /**
+     * Swap-validation facet options. Zero link bandwidths (the
+     * default) are filled from the spec's device.
+     */
+    swap::PlannerOptions swap;
+    /** Relief facet options; zero link bandwidths filled likewise. */
+    relief::StrategyOptions relief;
+};
+
+/**
+ * One workload's run artifact: the session result plus lazily
+ * computed, cached analyses. Movable, not copyable (facets are
+ * computed-once per artifact; copying would fork the cache).
+ */
+class Study
+{
+  public:
+    /**
+     * Wraps an already-run session for @p spec. The facet device
+     * is resolved from spec.device — for sessions run on a custom
+     * (non-preset) DeviceSpec, use the device overload below or
+     * the swap/relief facets would price the wrong link.
+     */
+    Study(WorkloadSpec spec, runtime::SessionResult result,
+          StudyOptions options = {});
+
+    /**
+     * Same, but with the exact device the session ran on — the
+     * constructor for custom DeviceSpecs. spec.device stays
+     * display-only.
+     */
+    Study(WorkloadSpec spec, runtime::SessionResult result,
+          const sim::DeviceSpec &device, StudyOptions options = {});
+
+    /**
+     * Runs @p spec's training session and wraps the result.
+     * @throws Error / DeviceOomError when the workload cannot run.
+     */
+    static Study run(const WorkloadSpec &spec,
+                     StudyOptions options = {});
+
+    /**
+     * Wraps a bare trace (e.g. reloaded from CSV) for offline
+     * analysis on @p device. The session-summary fields of result()
+     * are empty and spec() is synthetic — spec().model is "" so an
+     * offline trace can never masquerade as a named workload —
+     * while every trace-derived facet works.
+     */
+    static Study from_trace(trace::TraceRecorder trace,
+                            const sim::DeviceSpec &device,
+                            StudyOptions options = {});
+
+    // Defined in study.cc where Facets is complete.
+    ~Study();
+    Study(Study &&) noexcept;
+    Study &operator=(Study &&) noexcept;
+    Study(const Study &) = delete;
+    Study &operator=(const Study &) = delete;
+
+    /** @return the workload this study ran. */
+    const WorkloadSpec &spec() const { return spec_; }
+
+    /** @return the resolved device the workload ran on. */
+    const sim::DeviceSpec &device() const { return device_; }
+
+    /** @return the owned session result. */
+    const runtime::SessionResult &result() const { return result_; }
+
+    /** @return the recorded trace. */
+    const trace::TraceRecorder &trace() const { return result_.trace; }
+
+    // --- lazy cached facets ---------------------------------------
+
+    /** @return the per-block timeline (Fig. 2 reconstruction). */
+    const analysis::Timeline &timeline() const;
+
+    /** @return the alloc/free occupancy edges of the timeline. */
+    const std::vector<analysis::OccupancyEdge> &
+    occupancy_edges() const;
+
+    /** @return the peak of the running occupancy sum. */
+    std::size_t peak_occupancy_bytes() const;
+
+    /** @return every ATI sample, in trace order. */
+    const std::vector<analysis::AtiSample> &atis() const;
+
+    /** @return summary statistics of the ATIs in microseconds. */
+    const analysis::SummaryStats &ati_summary() const;
+
+    /** @return the occupation breakdown at peak (Figs. 5-7). */
+    const analysis::BreakdownResult &breakdown() const;
+
+    /** @return the iterative-pattern verdict (Fig. 2 takeaway). */
+    const analysis::IterationPattern &iteration_pattern() const;
+
+    /**
+     * @return the Eq. 1 swap plan alone — no link execution.
+     * Identical by construction to swap_validation().plan, but
+     * skips the shared-link scheduling entirely, so plan-only
+     * consumers never pay for measurement.
+     * @throws Error when the study has no trace.
+     */
+    const swap::SwapPlanReport &swap_plan() const;
+
+    /**
+     * @return the Eq. 1 swap plan executed on the shared PCIe link
+     * (prediction and measurement side by side).
+     * @throws Error when the study has no trace.
+     */
+    const runtime::SwapValidation &swap_validation() const;
+
+    /**
+     * @return all three relief reports (swap-only, recompute-only,
+     * hybrid) planned from one shared trace analysis, indexed by
+     * relief::Strategy enumerator order.
+     * @throws Error when the study has no trace.
+     */
+    const std::array<relief::ReliefReport, relief::kNumStrategies> &
+    relief_all() const;
+
+    /** @return the relief report for @p strategy. */
+    const relief::ReliefReport &relief(relief::Strategy strategy) const;
+
+  private:
+    struct Facets;
+
+    WorkloadSpec spec_;
+    sim::DeviceSpec device_;
+    StudyOptions options_;
+    runtime::SessionResult result_;
+    /**
+     * Heap-allocated so the Study stays movable: std::once_flag is
+     * neither movable nor copyable, and moving a Study must carry
+     * its cache, not reset it.
+     */
+    std::unique_ptr<Facets> facets_;
+};
+
+}  // namespace api
+}  // namespace pinpoint
+
+#endif  // PINPOINT_API_STUDY_H

@@ -1,0 +1,161 @@
+#include "api/workload.h"
+
+#include <map>
+#include <sstream>
+
+#include "core/check.h"
+#include "core/format.h"
+#include "core/parse.h"
+#include "nn/model_registry.h"
+#include "sim/device_spec.h"
+
+namespace pinpoint {
+namespace api {
+
+std::string
+WorkloadSpec::id() const
+{
+    return model + "/b" + std::to_string(batch) + "/" +
+           runtime::allocator_kind_name(allocator) + "/" + device;
+}
+
+std::string
+WorkloadSpec::to_string() const
+{
+    std::ostringstream os;
+    os << "--model " << model << " --batch " << batch
+       << " --iterations " << iterations << " --allocator "
+       << runtime::allocator_kind_name(allocator) << " --device "
+       << device << " --micro-batches " << micro_batches;
+    return os.str();
+}
+
+const std::vector<std::string> &
+WorkloadSpec::flag_names()
+{
+    static const std::vector<std::string> kNames = {
+        "model", "batch", "iterations",
+        "allocator", "device", "micro-batches"};
+    return kNames;
+}
+
+WorkloadSpec
+WorkloadSpec::from_flags(const FlagView &get)
+{
+    return from_flags(get, WorkloadSpec());
+}
+
+WorkloadSpec
+WorkloadSpec::from_flags(const FlagView &get, const WorkloadSpec &base)
+{
+    WorkloadSpec spec = base;
+    if (const std::string *v = get("model"))
+        spec.model = *v;
+    if (const std::string *v = get("batch"))
+        spec.batch = parse_int64_flag("batch", *v);
+    if (const std::string *v = get("iterations"))
+        spec.iterations = parse_int_flag("iterations", *v);
+    if (const std::string *v = get("allocator"))
+        // Throws the shared typed "unknown allocator" UsageError.
+        spec.allocator = runtime::allocator_kind_from_name(*v);
+    if (const std::string *v = get("device"))
+        spec.device = *v;
+    if (const std::string *v = get("micro-batches"))
+        spec.micro_batches = parse_int_flag("micro-batches", *v);
+    spec.validate();
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::from_args(const std::vector<std::string> &tokens)
+{
+    return from_args(tokens, WorkloadSpec());
+}
+
+WorkloadSpec
+WorkloadSpec::from_args(const std::vector<std::string> &tokens,
+                        const WorkloadSpec &base)
+{
+    // The shared core walk (also behind cli::parse_args),
+    // specialized to the workload flags — all of which take a
+    // value — so the two surfaces' syntax rules cannot drift.
+    std::map<std::string, std::string> values;
+    FlagWalkHandler handler;
+    handler.takes_value = [](const std::string &name) {
+        for (const auto &f : flag_names())
+            if (f == name)
+                return true;
+        throw UsageError("unknown workload flag '--" + name +
+                         "' (known: --" + join_names(flag_names()) +
+                         ")");
+    };
+    handler.on_switch = [](const std::string &) {};
+    handler.on_value = [&](const std::string &name,
+                           const std::string &value) {
+        values[name] = value;
+    };
+    walk_flag_tokens(tokens, handler);
+    return from_flags(
+        [&](const std::string &name) -> const std::string * {
+            const auto it = values.find(name);
+            return it == values.end() ? nullptr : &it->second;
+        },
+        base);
+}
+
+WorkloadSpec
+WorkloadSpec::from_string(const std::string &text)
+{
+    return from_string(text, WorkloadSpec());
+}
+
+WorkloadSpec
+WorkloadSpec::from_string(const std::string &text,
+                          const WorkloadSpec &base)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(text);
+    std::string token;
+    while (is >> token)
+        tokens.push_back(token);
+    return from_args(tokens, base);
+}
+
+void
+WorkloadSpec::validate() const
+{
+    // Both lookups throw the shared typed "unknown X (known: ...)"
+    // UsageErrors themselves.
+    nn::require_model(model);
+    sim::device_spec_by_name(device);
+    if (batch < 1)
+        throw UsageError("--batch must be >= 1, got " +
+                         std::to_string(batch));
+    if (iterations < 1)
+        throw UsageError("--iterations must be >= 1, got " +
+                         std::to_string(iterations));
+    if (micro_batches < 1)
+        throw UsageError("--micro-batches must be >= 1, got " +
+                         std::to_string(micro_batches));
+}
+
+runtime::SessionConfig
+WorkloadSpec::session_config() const
+{
+    runtime::SessionConfig config;
+    config.batch = batch;
+    config.iterations = iterations;
+    config.device = sim::device_spec_by_name(device);
+    config.allocator = allocator;
+    config.plan.micro_batches = micro_batches;
+    return config;
+}
+
+nn::Model
+WorkloadSpec::build() const
+{
+    return nn::build_model(model);
+}
+
+}  // namespace api
+}  // namespace pinpoint

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * api::WorkloadSpec — the one canonical description of a
+ * characterization run. Every consumer of the pipeline (CLI
+ * subcommands, sweep scenarios, benches, examples) describes the
+ * workload it runs with this struct, and every string form of a
+ * workload — CLI flags, the sweep scenario id, a log line — is
+ * produced and parsed here and nowhere else.
+ *
+ * Invariant the layers above rely on: WorkloadSpec is the *only*
+ * place that maps workload flag names to fields. A flag spelled
+ * differently anywhere else is a bug.
+ */
+#ifndef PINPOINT_API_WORKLOAD_H
+#define PINPOINT_API_WORKLOAD_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/models.h"
+#include "runtime/session.h"
+
+namespace pinpoint {
+namespace api {
+
+/** Canonical description of one characterization run. */
+struct WorkloadSpec {
+    /** Model registry name, e.g. "resnet50". */
+    std::string model = "mlp";
+    /** Batch size. */
+    std::int64_t batch = 32;
+    /** Training iterations to simulate. */
+    int iterations = 5;
+    /** Allocator backing the run. */
+    runtime::AllocatorKind allocator =
+        runtime::AllocatorKind::kCaching;
+    /** Device preset name ("titan-x", "a100", "tiny"). */
+    std::string device = "titan-x";
+    /** Gradient-accumulation micro-batches. */
+    int micro_batches = 1;
+
+    /**
+     * Stable compact key, e.g. "resnet50/b32/caching/titan-x".
+     * Iterations and micro-batches are run-length knobs, not
+     * workload identity, and are deliberately excluded — this is
+     * the sweep scenario id and must stay byte-stable.
+     */
+    std::string id() const;
+
+    /**
+     * Canonical flag string, e.g. "--model resnet50 --batch 32
+     * --iterations 5 --allocator caching --device titan-x
+     * --micro-batches 1". Round-trips through from_string.
+     */
+    std::string to_string() const;
+
+    /**
+     * Parses the to_string form (whitespace-separated flag/value
+     * pairs). @throws UsageError on unknown flags, missing values,
+     * or non-numeric numbers; the parsed spec is validated.
+     */
+    static WorkloadSpec from_string(const std::string &text);
+    static WorkloadSpec from_string(const std::string &text,
+                                    const WorkloadSpec &base);
+
+    /**
+     * Parses a "--flag value ..." token list in which *every* token
+     * must belong to a workload flag. @throws UsageError otherwise.
+     */
+    static WorkloadSpec
+    from_args(const std::vector<std::string> &tokens);
+    static WorkloadSpec
+    from_args(const std::vector<std::string> &tokens,
+              const WorkloadSpec &base);
+
+    /**
+     * Generic form for callers with their own flag syntax layer
+     * (the CLI): @p get returns the raw text of a parsed flag by
+     * canonical name ("model", "batch", ...) or nullptr when the
+     * flag was absent. Fields not covered by @p get keep @p base's
+     * values. @throws UsageError on bad values; validated.
+     */
+    using FlagView =
+        std::function<const std::string *(const std::string &name)>;
+    static WorkloadSpec from_flags(const FlagView &get);
+    static WorkloadSpec from_flags(const FlagView &get,
+                                   const WorkloadSpec &base);
+
+    /** Canonical workload flag names, in to_string order. */
+    static const std::vector<std::string> &flag_names();
+
+    /**
+     * Checks the spec describes a runnable workload: registered
+     * model and device, positive batch, iterations >= 1,
+     * micro-batches >= 1. @throws UsageError with an actionable
+     * message otherwise.
+     */
+    void validate() const;
+
+    /** @return the session configuration this spec pins. */
+    runtime::SessionConfig session_config() const;
+
+    /** @return a fresh instance of the spec's model. */
+    nn::Model build() const;
+};
+
+}  // namespace api
+}  // namespace pinpoint
+
+#endif  // PINPOINT_API_WORKLOAD_H

@@ -1,0 +1,766 @@
+#include "cli/commands.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/series.h"
+#include "api/study.h"
+#include "core/check.h"
+#include "core/format.h"
+#include "nn/model_registry.h"
+#include "sim/pcie.h"
+#include "sweep/driver.h"
+#include "sweep/export.h"
+#include "trace/chrome_trace.h"
+#include "trace/csv.h"
+
+namespace pinpoint {
+namespace cli {
+namespace {
+
+/** Builds the workload spec of a command from its parsed flags. */
+api::WorkloadSpec
+workload_from(const ParsedArgs &parsed, const char *default_model)
+{
+    api::WorkloadSpec base;
+    base.model = default_model;
+    return api::WorkloadSpec::from_flags(
+        [&](const std::string &name) { return parsed.raw(name); },
+        base);
+}
+
+/**
+ * @return the validated --safety-factor value. The planners
+ * PP_CHECK >= 1.0 internally, but that surfaces as an internal
+ * file:line diagnostic with exit 1; a flag value is a usage error
+ * and must exit 2 with a flag-named message.
+ */
+double
+safety_factor_from(const ParsedArgs &args)
+{
+    const double factor = args.double_value("safety-factor", 1.0);
+    if (!(factor >= 1.0) || !std::isfinite(factor))
+        throw UsageError(
+            "--safety-factor must be a finite number >= 1.0, got '" +
+            args.value("safety-factor", "") + "'");
+    return factor;
+}
+
+/** @return the validated --min-block threshold in bytes. */
+std::size_t
+min_block_bytes_from(const ParsedArgs &args)
+{
+    const std::int64_t mib = args.int64_value("min-block", 8);
+    // A negative value would wrap through the size_t cast into a
+    // ~1.8e19 threshold and silently produce an empty plan.
+    if (mib < 0 || mib > (1 << 20))
+        throw UsageError("--min-block must be between 0 and "
+                         "1048576 MiB, got " +
+                         std::to_string(mib));
+    return static_cast<std::size_t>(mib) * 1024 * 1024;
+}
+
+// ----------------------------------------------------------------
+// characterize
+// ----------------------------------------------------------------
+
+int
+cmd_characterize(const ParsedArgs &args, CommandIo &io)
+{
+    const api::WorkloadSpec spec = workload_from(args, "mlp");
+    const api::Study study = api::Study::run(spec);
+
+    analysis::ReportOptions opts;
+    opts.title = spec.model + " batch " + std::to_string(spec.batch) +
+                 " x" + std::to_string(spec.iterations) +
+                 " iterations on " + study.device().name;
+    opts.link = analysis::LinkBandwidth{study.device().d2h_bw_bps,
+                                        study.device().h2d_bw_bps};
+    opts.gantt = !args.flag("no-gantt");
+    analysis::write_report(study.trace(), io.out, opts);
+
+    const std::string csv = args.value("csv", "");
+    if (!csv.empty()) {
+        trace::write_csv_file(study.trace(), csv);
+        oprintf(io.out, "\nwrote CSV trace to %s\n", csv.c_str());
+    }
+    const std::string chrome = args.value("chrome", "");
+    if (!chrome.empty()) {
+        trace::write_chrome_trace_file(study.trace(), chrome);
+        oprintf(io.out,
+                "wrote Chrome trace to %s (load in "
+                "chrome://tracing)\n",
+                chrome.c_str());
+    }
+    const std::string series = args.value("series", "");
+    if (!series.empty()) {
+        std::ofstream os(series);
+        PP_CHECK(os.good(), "cannot open '" << series << "'");
+        analysis::write_series_csv(
+            analysis::occupancy_series(study.trace()), os);
+        oprintf(io.out, "wrote occupancy series to %s\n",
+                series.c_str());
+    }
+    return kExitOk;
+}
+
+// ----------------------------------------------------------------
+// swap
+// ----------------------------------------------------------------
+
+/**
+ * Writes the per-decision swap schedule as CSV. Measured columns
+ * are present only when @p exec is non-null (--validate).
+ */
+void
+write_swap_csv(const swap::SwapPlanReport &plan,
+               const swap::SwapExecutionResult *exec,
+               std::ostream &os)
+{
+    os << "block,tensor,size_bytes,gap_start_ns,gap_end_ns,gap_ns,"
+          "hide_ratio,predicted_overhead_ns";
+    if (exec)
+        os << ",out_start_ns,out_end_ns,in_start_ns,in_end_ns,"
+              "queue_delay_ns,measured_stall_ns";
+    os << "\n";
+    for (std::size_t i = 0; i < plan.decisions.size(); ++i) {
+        const auto &d = plan.decisions[i];
+        os << d.block << ',' << d.tensor << ',' << d.size << ','
+           << d.gap_start << ',' << d.gap_end << ',' << d.gap << ','
+           << format_fixed6(d.hide_ratio) << ',' << d.overhead;
+        if (exec) {
+            const auto &s = exec->swaps[i];
+            os << ',' << s.out_start << ',' << s.out_end << ','
+               << s.in_start << ',' << s.in_end << ','
+               << s.queue_delay << ',' << s.stall;
+        }
+        os << "\n";
+    }
+}
+
+/** Writes the plan (and measured execution, when present) as JSON. */
+void
+write_swap_json(const api::WorkloadSpec &spec,
+                const sim::DeviceSpec &device,
+                const swap::SwapPlanReport &plan,
+                const swap::SwapExecutionResult *exec,
+                std::ostream &os)
+{
+    os << "{\n  \"model\": \"" << trace::json_escape(spec.model)
+       << "\", \"batch\": " << spec.batch << ", \"device\": \""
+       << trace::json_escape(device.name) << "\",\n"
+       << "  \"plan\": {\"decisions\": " << plan.decisions.size()
+       << ", \"original_peak_bytes\": " << plan.original_peak_bytes
+       << ", \"peak_reduction_bytes\": " << plan.peak_reduction_bytes
+       << ", \"total_swapped_bytes\": " << plan.total_swapped_bytes
+       << ", \"predicted_overhead_ns\": " << plan.predicted_overhead
+       << "},\n  \"decisions\": [\n";
+    for (std::size_t i = 0; i < plan.decisions.size(); ++i) {
+        const auto &d = plan.decisions[i];
+        os << "    {\"block\": " << d.block
+           << ", \"size_bytes\": " << d.size
+           << ", \"gap_start_ns\": " << d.gap_start
+           << ", \"gap_end_ns\": " << d.gap_end
+           << ", \"hide_ratio\": " << format_fixed6(d.hide_ratio)
+           << ", \"predicted_overhead_ns\": " << d.overhead;
+        if (exec) {
+            const auto &s = exec->swaps[i];
+            os << ", \"out_start_ns\": " << s.out_start
+               << ", \"out_end_ns\": " << s.out_end
+               << ", \"in_start_ns\": " << s.in_start
+               << ", \"in_end_ns\": " << s.in_end
+               << ", \"queue_delay_ns\": " << s.queue_delay
+               << ", \"measured_stall_ns\": " << s.stall;
+        }
+        os << "}" << (i + 1 < plan.decisions.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]";
+    if (exec) {
+        os << ",\n  \"execution\": {\"new_peak_bytes\": "
+           << exec->new_peak_bytes
+           << ", \"measured_peak_reduction_bytes\": "
+           << exec->measured_peak_reduction
+           << ", \"measured_stall_ns\": " << exec->measured_stall
+           << ", \"queue_delay_ns\": " << exec->queue_delay
+           << ", \"d2h_busy_ns\": " << exec->d2h_busy_time
+           << ", \"h2d_busy_ns\": " << exec->h2d_busy_time
+           << ", \"link_busy_fraction\": "
+           << format_fixed6(exec->link_busy_fraction) << "}";
+    }
+    os << "\n}\n";
+}
+
+int
+cmd_swap(const ParsedArgs &args, CommandIo &io)
+{
+    const api::WorkloadSpec spec = workload_from(args, "resnet50");
+
+    api::StudyOptions opts;
+    opts.swap.safety_factor = safety_factor_from(args);
+    opts.swap.min_block_bytes = min_block_bytes_from(args);
+    opts.swap.allow_overhead = args.flag("allow-overhead");
+    const bool validate = args.flag("validate");
+
+    const api::Study study = api::Study::run(spec, opts);
+    // Plan-only invocations read the plan facet and never pay for
+    // link scheduling; --validate reads the validation facet, whose
+    // plan and execution are one object, so the printed plan and
+    // the exported per-decision rows stay aligned.
+    const swap::SwapPlanReport &plan =
+        validate ? study.swap_validation().plan : study.swap_plan();
+
+    oprintf(io.out, "swap plan for %s batch %lld on %s\n",
+            spec.model.c_str(), static_cast<long long>(spec.batch),
+            study.device().name.c_str());
+    oprintf(io.out, "  decisions:          %zu\n",
+            plan.decisions.size());
+    oprintf(io.out, "  original peak:      %s\n",
+            format_bytes(plan.original_peak_bytes).c_str());
+    oprintf(io.out, "  predicted savings:  %s\n",
+            format_bytes(plan.peak_reduction_bytes).c_str());
+    oprintf(io.out, "  predicted stall:    %s\n",
+            format_time(plan.predicted_overhead).c_str());
+
+    if (validate) {
+        const swap::SwapExecutionResult &exec =
+            study.swap_validation().execution;
+        oprintf(io.out, "validated on the shared PCIe link:\n");
+        oprintf(io.out, "  new peak:           %s\n",
+                format_bytes(exec.new_peak_bytes).c_str());
+        oprintf(io.out, "  measured savings:   %s\n",
+                format_bytes(exec.measured_peak_reduction).c_str());
+        oprintf(io.out, "  bytes moved:        %s out + %s in\n",
+                format_bytes(exec.d2h_bytes).c_str(),
+                format_bytes(exec.h2d_bytes).c_str());
+        oprintf(io.out, "  link busy:          %s (%.1f%% of trace)\n",
+                format_time(exec.transfer_time).c_str(),
+                100.0 * exec.link_busy_fraction);
+        oprintf(io.out, "  queue delay:        %s\n",
+                format_time(exec.queue_delay).c_str());
+        oprintf(io.out, "  measured stall:     %s\n",
+                format_time(exec.measured_stall).c_str());
+        if (exec.measured_stall > plan.predicted_overhead)
+            oprintf(io.out,
+                    "  contention stall:   %s beyond the "
+                    "dedicated-link prediction\n",
+                    format_time(exec.measured_stall -
+                                plan.predicted_overhead)
+                        .c_str());
+    }
+
+    const swap::SwapExecutionResult *measured =
+        validate ? &study.swap_validation().execution : nullptr;
+    const std::string csv = args.value("csv", "");
+    if (!csv.empty()) {
+        std::ofstream os(csv);
+        PP_CHECK(os.good(), "cannot open '" << csv << "'");
+        write_swap_csv(plan, measured, os);
+        oprintf(io.out, "wrote swap schedule CSV to %s\n",
+                csv.c_str());
+    }
+    const std::string json = args.value("json", "");
+    if (!json.empty()) {
+        std::ofstream os(json);
+        PP_CHECK(os.good(), "cannot open '" << json << "'");
+        write_swap_json(spec, study.device(), plan, measured, os);
+        oprintf(io.out, "wrote swap schedule JSON to %s\n",
+                json.c_str());
+    }
+    return kExitOk;
+}
+
+// ----------------------------------------------------------------
+// relief
+// ----------------------------------------------------------------
+
+/** Writes the per-decision relief schedule as CSV. */
+void
+write_relief_csv(const relief::ReliefReport &report, std::ostream &os)
+{
+    os << "mechanism,block,tensor,size_bytes,gap_start_ns,"
+          "gap_end_ns,gap_ns,overhead_ns,covers_peak,hide_ratio,"
+          "producer,recompute_cost_ns\n";
+    for (const auto &d : report.decisions) {
+        os << relief::mechanism_name(d.mechanism) << ',' << d.block
+           << ',' << d.tensor << ',' << d.size << ',' << d.gap_start
+           << ',' << d.gap_end << ',' << d.gap << ',' << d.overhead
+           << ',' << (d.covers_peak ? 1 : 0) << ','
+           << format_fixed6(d.hide_ratio) << ',' << d.producer << ','
+           << d.recompute_cost << "\n";
+    }
+}
+
+/** Writes the relief plan and its scheduled execution as JSON. */
+void
+write_relief_json(const api::WorkloadSpec &spec,
+                  const sim::DeviceSpec &device,
+                  const relief::ReliefReport &report, std::ostream &os)
+{
+    os << "{\n  \"model\": \"" << trace::json_escape(spec.model)
+       << "\", \"batch\": " << spec.batch << ", \"device\": \""
+       << trace::json_escape(device.name) << "\", \"strategy\": \""
+       << relief::strategy_name(report.strategy) << "\",\n"
+       << "  \"plan\": {\"decisions\": " << report.decisions.size()
+       << ", \"swap_decisions\": " << report.swap_decisions
+       << ", \"recompute_decisions\": " << report.recompute_decisions
+       << ", \"original_peak_bytes\": " << report.original_peak_bytes
+       << ", \"peak_reduction_bytes\": "
+       << report.peak_reduction_bytes
+       << ", \"predicted_overhead_ns\": " << report.predicted_overhead
+       << "},\n  \"execution\": {\"new_peak_bytes\": "
+       << report.new_peak_bytes
+       << ", \"measured_peak_reduction_bytes\": "
+       << report.measured_peak_reduction
+       << ", \"measured_overhead_ns\": " << report.measured_overhead
+       << ", \"swap_stall_ns\": "
+       << report.swap_execution.measured_stall
+       << ", \"link_busy_fraction\": "
+       << format_fixed6(report.swap_execution.link_busy_fraction)
+       << "},\n  \"decisions\": [\n";
+    for (std::size_t i = 0; i < report.decisions.size(); ++i) {
+        const auto &d = report.decisions[i];
+        os << "    {\"mechanism\": \""
+           << relief::mechanism_name(d.mechanism)
+           << "\", \"block\": " << d.block
+           << ", \"size_bytes\": " << d.size
+           << ", \"gap_start_ns\": " << d.gap_start
+           << ", \"gap_end_ns\": " << d.gap_end
+           << ", \"overhead_ns\": " << d.overhead
+           << ", \"covers_peak\": "
+           << (d.covers_peak ? "true" : "false");
+        if (d.mechanism == relief::Mechanism::kSwap)
+            os << ", \"hide_ratio\": "
+               << format_fixed6(d.hide_ratio);
+        else
+            os << ", \"producer\": \""
+               << trace::json_escape(d.producer)
+               << "\", \"recompute_cost_ns\": " << d.recompute_cost;
+        os << "}" << (i + 1 < report.decisions.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+int
+cmd_relief(const ParsedArgs &args, CommandIo &io)
+{
+    const api::WorkloadSpec spec = workload_from(args, "resnet50");
+
+    api::StudyOptions opts;
+    opts.relief.safety_factor = safety_factor_from(args);
+    opts.relief.min_block_bytes = min_block_bytes_from(args);
+    if (args.has("budget-ms")) {
+        const double ms = args.double_value("budget-ms", 0.0);
+        // !(ms >= 0) also rejects NaN; the isfinite check rejects
+        // inf, whose unsigned cast below would be UB.
+        if (!(ms >= 0.0) || !std::isfinite(ms))
+            throw UsageError(
+                "--budget-ms must be a finite number >= 0, got '" +
+                args.value("budget-ms", "") + "'");
+        const double ns = ms * static_cast<double>(kNsPerMs);
+        opts.relief.overhead_budget =
+            ns >= static_cast<double>(relief::kUnlimitedBudget)
+                ? relief::kUnlimitedBudget
+                : static_cast<TimeNs>(ns);
+    }
+    relief::Strategy strategy = relief::Strategy::kHybrid;
+    if (args.has("strategy")) {
+        try {
+            strategy = relief::strategy_from_name(
+                args.value("strategy", "hybrid"));
+        } catch (const Error &) {
+            throw UsageError("--strategy must be swap, recompute, "
+                             "or hybrid, got '" +
+                             args.value("strategy", "") + "'");
+        }
+    }
+
+    const api::Study study = api::Study::run(spec, opts);
+    // One trace analysis, three strategies at the same budget: the
+    // selected strategy's detailed report plus the two references,
+    // so a single run answers "which lever wins here?".
+    const auto &reports = study.relief_all();
+    oprintf(io.out, "relief plan for %s batch %lld on %s",
+            spec.model.c_str(), static_cast<long long>(spec.batch),
+            study.device().name.c_str());
+    if (opts.relief.overhead_budget != relief::kUnlimitedBudget)
+        oprintf(io.out, " (budget %s)",
+                format_time(opts.relief.overhead_budget).c_str());
+    oprintf(io.out, "\n\n%-12s %10s %12s %12s %12s %12s\n",
+            "strategy", "decisions", "peak save", "overhead",
+            "meas save", "meas ovh");
+    // Points into the Study-owned cache (which outlives every use
+    // below) — the decision vectors are not worth copying.
+    const relief::ReliefReport *selected_report = nullptr;
+    for (const auto &rep : reports) {
+        oprintf(io.out, "%-12s %10zu %12s %12s %12s %12s%s\n",
+                relief::strategy_name(rep.strategy),
+                rep.decisions.size(),
+                format_bytes(rep.peak_reduction_bytes).c_str(),
+                format_time(rep.predicted_overhead).c_str(),
+                format_bytes(rep.measured_peak_reduction).c_str(),
+                format_time(rep.measured_overhead).c_str(),
+                rep.strategy == strategy ? "  <-- selected" : "");
+        if (rep.strategy == strategy)
+            selected_report = &rep;
+    }
+    PP_ASSERT(selected_report != nullptr,
+              "plan_all missed strategy "
+                  << relief::strategy_name(strategy));
+    const relief::ReliefReport &selected = *selected_report;
+
+    oprintf(io.out,
+            "\nselected %s: %zu decisions (%zu swap, %zu "
+            "recompute)\n",
+            relief::strategy_name(strategy),
+            selected.decisions.size(), selected.swap_decisions,
+            selected.recompute_decisions);
+    oprintf(io.out, "  original peak:      %s\n",
+            format_bytes(selected.original_peak_bytes).c_str());
+    oprintf(io.out, "  predicted savings:  %s\n",
+            format_bytes(selected.peak_reduction_bytes).c_str());
+    oprintf(io.out, "  new peak (sched.):  %s\n",
+            format_bytes(selected.new_peak_bytes).c_str());
+    oprintf(io.out, "  bytes swapped:      %s\n",
+            format_bytes(selected.total_swapped_bytes).c_str());
+    oprintf(io.out, "  bytes recomputed:   %s\n",
+            format_bytes(selected.total_recomputed_bytes).c_str());
+    oprintf(io.out,
+            "  measured overhead:  %s (%s link stall + "
+            "recompute)\n",
+            format_time(selected.measured_overhead).c_str(),
+            format_time(selected.swap_execution.measured_stall)
+                .c_str());
+
+    const std::string csv = args.value("csv", "");
+    if (!csv.empty()) {
+        std::ofstream os(csv);
+        PP_CHECK(os.good(), "cannot open '" << csv << "'");
+        write_relief_csv(selected, os);
+        oprintf(io.out, "wrote relief schedule CSV to %s\n",
+                csv.c_str());
+    }
+    const std::string json = args.value("json", "");
+    if (!json.empty()) {
+        std::ofstream os(json);
+        PP_CHECK(os.good(), "cannot open '" << json << "'");
+        write_relief_json(spec, study.device(), selected, os);
+        oprintf(io.out, "wrote relief schedule JSON to %s\n",
+                json.c_str());
+    }
+    return kExitOk;
+}
+
+// ----------------------------------------------------------------
+// bandwidth / models
+// ----------------------------------------------------------------
+
+int
+cmd_bandwidth(const ParsedArgs &args, CommandIo &io)
+{
+    // Throws the shared typed "unknown device" UsageError.
+    const sim::DeviceSpec spec =
+        sim::device_spec_by_name(args.value("device", "titan-x"));
+    const sim::CostModel cost(spec);
+    const sim::BandwidthTest bw(cost);
+    constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+    oprintf(io.out, "bandwidthTest equivalent on %s\n",
+            spec.name.c_str());
+    oprintf(io.out, "  H2D pinned: %.2f GB/s\n",
+            bw.asymptotic_bps(sim::CopyDir::kHostToDevice) / kGB);
+    oprintf(io.out, "  D2H pinned: %.2f GB/s\n",
+            bw.asymptotic_bps(sim::CopyDir::kDeviceToHost) / kGB);
+    return kExitOk;
+}
+
+int
+cmd_models(const ParsedArgs &, CommandIo &io)
+{
+    // out carries bare names only, so `models | xargs` stays
+    // scriptable; the variant annotation goes to err.
+    for (const auto &entry : nn::model_registry()) {
+        oprintf(io.out, "%s\n", entry.name.c_str());
+        if (!entry.in_default_zoo)
+            oprintf(io.err,
+                    "# %s is a test variant (excluded "
+                    "from default sweeps)\n",
+                    entry.name.c_str());
+    }
+    return kExitOk;
+}
+
+// ----------------------------------------------------------------
+// sweep
+// ----------------------------------------------------------------
+
+int
+cmd_sweep(const ParsedArgs &args, CommandIo &io)
+{
+    // Grid axis values are user input; the sweep parsers and
+    // expand_grid throw typed UsageErrors (exit 2) themselves.
+    sweep::SweepGrid grid;
+    grid.models = sweep::split_list(args.value("models", ""));
+    grid.batches = sweep::parse_batches(args.value("batches", ""));
+    grid.allocators =
+        sweep::parse_allocators(args.value("allocators", ""));
+    grid.devices = sweep::split_list(args.value("devices", ""));
+    grid.iterations = args.int_value("iterations", 5);
+
+    sweep::SweepOptions opts;
+    opts.jobs = args.int_value("jobs", 1);
+    if (opts.jobs < 1)
+        throw UsageError("--jobs must be >= 1, got " +
+                         std::to_string(opts.jobs));
+    opts.swap_plan = !args.flag("no-swap-plan");
+    const bool quiet = args.flag("quiet");
+    if (!quiet) {
+        opts.on_result = [&io](const sweep::ScenarioResult &r) {
+            oprintf(io.err, "[%s] %s\n",
+                    sweep::scenario_status_name(r.status),
+                    r.scenario.id().c_str());
+        };
+    }
+
+    const auto scenarios = sweep::expand_grid(grid);
+    oprintf(io.err, "sweeping %zu scenarios on %d worker%s...\n",
+            scenarios.size(), opts.jobs, opts.jobs == 1 ? "" : "s");
+    const auto report = sweep::run_sweep(scenarios, opts);
+
+    sweep::write_sweep_table(report, io.out);
+    const std::string csv = args.value("csv", "");
+    if (!csv.empty()) {
+        sweep::write_sweep_csv_file(report, csv);
+        oprintf(io.out, "wrote sweep CSV to %s\n", csv.c_str());
+    }
+    const std::string json = args.value("json", "");
+    if (!json.empty()) {
+        sweep::write_sweep_json_file(report, json);
+        oprintf(io.out, "wrote sweep JSON to %s\n", json.c_str());
+    }
+    // Deterministic simulated OOMs are findings, not failures; only
+    // scenario *errors* make the sweep fail (exit 1 — the run was
+    // valid, the workload broke).
+    return report.failed == 0 ? kExitOk : kExitRuntimeError;
+}
+
+}  // namespace
+
+CommandRegistry
+make_default_registry()
+{
+    CommandRegistry registry;
+
+    {
+        Command c;
+        c.name = "characterize";
+        c.summary = "run one workload and print the full "
+                    "characterization report";
+        c.description =
+            "Runs one workload and prints the full paper-style "
+            "report: event\ncounts, the iterative-pattern verdict, "
+            "the ATI distribution, the\ninput/parameter/"
+            "intermediate occupation breakdown, lifetime\n"
+            "statistics, outliers, and Eq. 1 swap advice.";
+        c.workload = true;
+        c.default_model = "mlp";
+        c.flags = {
+            {"csv", FlagKind::kValue, "PATH", "",
+             "export the raw event trace as CSV", {}},
+            {"chrome", FlagKind::kValue, "PATH", "",
+             "export a Chrome trace (load in chrome://tracing)", {}},
+            {"series", FlagKind::kValue, "PATH", "",
+             "export the occupancy time series as CSV", {}},
+            {"no-gantt", FlagKind::kBool, "", "",
+             "suppress the ASCII Gantt chart", {}},
+        };
+        c.example = "pinpoint_cli characterize --model resnet50 "
+                    "--batch 32 --chrome trace.json";
+        c.run = cmd_characterize;
+        registry.add(std::move(c));
+    }
+    {
+        Command c;
+        c.name = "swap";
+        c.summary = "plan Eq. 1 swapping and validate it on the "
+                    "shared PCIe link";
+        c.description =
+            "Plans Eq. 1 swapping for a workload and (optionally) "
+            "validates the\nplan by executing it on the shared "
+            "full-duplex PCIe link.";
+        c.aliases = {"swap-plan"};
+        c.workload = true;
+        c.default_model = "resnet50";
+        c.flags = {
+            {"safety-factor", FlagKind::kValue, "F", "1.0",
+             "required headroom: a gap qualifies when gap >= F * "
+             "round_trip(size)",
+             {"safety"}},
+            {"min-block", FlagKind::kValue, "MiB", "8",
+             "ignore blocks smaller than this many MiB",
+             {"min-block-mb"}},
+            {"allow-overhead", FlagKind::kBool, "", "",
+             "also schedule non-hideable swaps and price their "
+             "stall",
+             {"aggressive"}},
+            {"validate", FlagKind::kBool, "", "",
+             "execute on the shared link; report measured savings, "
+             "stall, queue delay, link occupancy",
+             {}},
+            {"csv", FlagKind::kValue, "PATH", "",
+             "per-decision schedule export (measured columns when "
+             "validating)",
+             {}},
+            {"json", FlagKind::kValue, "PATH", "",
+             "plan + execution summary and per-decision schedule",
+             {}},
+        };
+        c.example = "pinpoint_cli swap --model resnet50 --batch 16 "
+                    "--validate --csv schedule.csv";
+        c.run = cmd_swap;
+        registry.add(std::move(c));
+    }
+    {
+        Command c;
+        c.name = "relief";
+        c.summary = "compare swap / recompute / hybrid relief under "
+                    "one overhead budget";
+        c.description =
+            "The unified memory-relief planner: compares swap-only, "
+            "recompute-only,\nand hybrid strategies for one "
+            "workload under one overhead budget,\nprints all three "
+            "side by side, and exports the selected strategy's\n"
+            "per-decision schedule. Recompute costs are the "
+            "producing layers'\n*measured* forward times from the "
+            "trace; swap legs are scheduled on\nthe shared PCIe "
+            "link. The hybrid strategy is never worse than either\n"
+            "pure strategy at the same budget.";
+        c.workload = true;
+        c.default_model = "resnet50";
+        c.flags = {
+            {"strategy", FlagKind::kValue, "S", "hybrid",
+             "swap, recompute, or hybrid — which strategy's "
+             "detail/export to select (all three are printed)",
+             {}},
+            {"budget-ms", FlagKind::kValue, "N", "unlimited",
+             "total predicted overhead the selection may spend, in "
+             "milliseconds; hideable swaps are free and exempt",
+             {}},
+            {"safety-factor", FlagKind::kValue, "F", "1.0",
+             "Eq. 1 headroom for the swap legs", {}},
+            {"min-block", FlagKind::kValue, "MiB", "8",
+             "ignore blocks smaller than this many MiB", {}},
+            {"csv", FlagKind::kValue, "PATH", "",
+             "per-decision schedule of the selected strategy", {}},
+            {"json", FlagKind::kValue, "PATH", "",
+             "plan + scheduled-execution summary and decisions", {}},
+        };
+        c.example = "pinpoint_cli relief --model resnet50 --batch "
+                    "16 --strategy hybrid --budget-ms 50";
+        c.run = cmd_relief;
+        registry.add(std::move(c));
+    }
+    {
+        Command c;
+        c.name = "bandwidth";
+        c.summary =
+            "print the simulated bandwidthTest asymptotes";
+        c.description =
+            "Prints the simulated `bandwidthTest` asymptotes (the "
+            "paper's\nmethodology for measuring the host link) for "
+            "a device preset.";
+        c.flags = {
+            {"device", FlagKind::kValue, "D", "titan-x",
+             "device preset: " +
+                 join_names(sim::device_spec_names()),
+             {}},
+        };
+        c.example = "pinpoint_cli bandwidth --device a100";
+        c.run = cmd_bandwidth;
+        registry.add(std::move(c));
+    }
+    {
+        Command c;
+        c.name = "models";
+        c.summary = "list model registry names";
+        c.description =
+            "Lists every model registry name, one per line on "
+            "stdout (test-only\nvariants are annotated on stderr so "
+            "`models | xargs` stays scriptable).";
+        c.example = "pinpoint_cli models";
+        c.run = cmd_models;
+        registry.add(std::move(c));
+    }
+    {
+        Command c;
+        c.name = "sweep";
+        c.summary = "run a scenario grid in parallel and aggregate "
+                    "the results";
+        c.description =
+            "Runs a declarative model × batch × allocator × device "
+            "grid on a\nworker pool, each scenario in an isolated "
+            "session, and aggregates\neverything into one "
+            "deterministic report (table to stdout, optional\n"
+            "CSV/JSON). Results are ordered by grid position, so "
+            "`--jobs 8` and\n`--jobs 1` produce byte-identical "
+            "exports. A deterministic simulated\nOOM is a capacity "
+            "*finding*: the row gets status `oom` and the sweep\n"
+            "still exits 0. Only scenario *errors* exit 1.";
+        c.flags = {
+            {"jobs", FlagKind::kValue, "N", "1",
+             "worker threads; results are byte-identical for any N",
+             {}},
+            {"models", FlagKind::kValue, "a,b", "full zoo",
+             "comma-separated model filter", {}},
+            {"batches", FlagKind::kValue, "16,32", "16,32,64",
+             "batch-size axis", {}},
+            {"allocators", FlagKind::kValue, "a,b", "all three",
+             "allocator axis", {}},
+            {"devices", FlagKind::kValue, "a,b", "titan-x",
+             "device axis", {}},
+            {"iterations", FlagKind::kValue, "K", "5",
+             "iterations per scenario", {}},
+            {"csv", FlagKind::kValue, "PATH", "",
+             "full-report CSV export", {}},
+            {"json", FlagKind::kValue, "PATH", "",
+             "full-report JSON export", {}},
+            {"no-swap-plan", FlagKind::kBool, "", "",
+             "skip swap *and* relief planning per trace", {}},
+            {"quiet", FlagKind::kBool, "", "",
+             "suppress per-scenario progress on stderr", {}},
+        };
+        c.example = "pinpoint_cli sweep --jobs 8 --models "
+                    "resnet50,vgg16 --batches 16,32 --csv zoo.csv";
+        c.run = cmd_sweep;
+        registry.add(std::move(c));
+    }
+    {
+        Command c;
+        c.name = "help";
+        c.summary = "show usage, or 'help <command>' for the flag "
+                    "reference";
+        c.description =
+            "Shows the top-level usage, the detailed help of one "
+            "command\n(`help <command>`), or the full Markdown "
+            "reference the committed\n`docs/CLI.md` is generated "
+            "from (`help --markdown`).";
+        c.flags = {
+            {"markdown", FlagKind::kBool, "", "",
+             "print the full CLI reference as Markdown "
+             "(docs/CLI.md is this output)",
+             {}},
+        };
+        c.example = "pinpoint_cli help sweep";
+        // Dispatched inside run_cli (needs the registry itself).
+        c.run = nullptr;
+        registry.add(std::move(c));
+    }
+    return registry;
+}
+
+}  // namespace cli
+}  // namespace pinpoint

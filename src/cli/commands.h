@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The default pinpoint command set. Each command is a pure function
+ * from validated flags + output streams to an exit code, built as a
+ * thin projection of an api::Study — the CLI computes nothing a
+ * library consumer couldn't get from the same Study.
+ */
+#ifndef PINPOINT_CLI_COMMANDS_H
+#define PINPOINT_CLI_COMMANDS_H
+
+#include "cli/command.h"
+
+namespace pinpoint {
+namespace cli {
+
+/**
+ * @return the registry with every shipped subcommand:
+ * characterize, swap, relief, bandwidth, models, sweep, help.
+ */
+CommandRegistry make_default_registry();
+
+}  // namespace cli
+}  // namespace pinpoint
+
+#endif  // PINPOINT_CLI_COMMANDS_H

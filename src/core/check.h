@@ -23,6 +23,18 @@ class Error : public std::runtime_error
     explicit Error(const std::string &what) : std::runtime_error(what) {}
 };
 
+/**
+ * Error caused by malformed user input on a command line or other
+ * argument surface: unknown flags, missing or non-numeric values,
+ * unknown model/device names. The CLI maps this class (and only
+ * this class) to exit code 2; every other Error exits 1.
+ */
+class UsageError : public Error
+{
+  public:
+    explicit UsageError(const std::string &what) : Error(what) {}
+};
+
 namespace detail {
 
 /** Builds a diagnostic message with source location, then throws. */

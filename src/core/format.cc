@@ -78,4 +78,16 @@ pad(const std::string &value, std::size_t width)
     return value + std::string(width - value.size(), ' ');
 }
 
+std::string
+join_names(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &name : names) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out;
+}
+
 }  // namespace pinpoint

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/types.h"
 
@@ -40,6 +41,12 @@ std::string format_fixed6(double value);
  * used by the fixed-width tables the benches print.
  */
 std::string pad(const std::string &value, std::size_t width);
+
+/**
+ * @return @p names joined as "a, b, c" — the one renderer for the
+ * "(known: ...)" lists in user-facing diagnostics.
+ */
+std::string join_names(const std::vector<std::string> &names);
 
 }  // namespace pinpoint
 

@@ -1,0 +1,127 @@
+#include "core/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace {
+
+/**
+ * Common strtoX wrapper: the token parses iff it is non-empty, the
+ * converter consumed every character, and no range error occurred.
+ * strtoX itself skips leading whitespace and accepts a '+' sign —
+ * both are rejected up front so " 5" and "+5" fail like "5 " does
+ * and the whole-token contract holds symmetrically.
+ */
+template <typename T, typename Convert>
+bool
+parse_whole(const std::string &text, T &out, Convert convert)
+{
+    if (text.empty() ||
+        std::isspace(static_cast<unsigned char>(text.front())) ||
+        text.front() == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const auto value = convert(text.c_str(), &end);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return false;
+    out = value;
+    return true;
+}
+
+}  // namespace
+
+bool
+parse_int64(const std::string &text, std::int64_t &out)
+{
+    long long value = 0;
+    if (!parse_whole(text, value, [](const char *s, char **end) {
+            return std::strtoll(s, end, 10);
+        }))
+        return false;
+    out = static_cast<std::int64_t>(value);
+    return true;
+}
+
+bool
+parse_int(const std::string &text, int &out)
+{
+    std::int64_t value = 0;
+    if (!parse_int64(text, value) ||
+        value < std::numeric_limits<int>::min() ||
+        value > std::numeric_limits<int>::max())
+        return false;
+    out = static_cast<int>(value);
+    return true;
+}
+
+bool
+parse_double(const std::string &text, double &out)
+{
+    return parse_whole(text, out, [](const char *s, char **end) {
+        return std::strtod(s, end);
+    });
+}
+
+bool
+is_flag_token(const std::string &token)
+{
+    return token.size() > 2 && token.compare(0, 2, "--") == 0;
+}
+
+std::int64_t
+parse_int64_flag(const std::string &flag, const std::string &text)
+{
+    std::int64_t value = 0;
+    if (!parse_int64(text, value))
+        throw UsageError("--" + flag + " needs an integer, got '" +
+                         text + "'");
+    return value;
+}
+
+int
+parse_int_flag(const std::string &flag, const std::string &text)
+{
+    int value = 0;
+    if (!parse_int(text, value))
+        throw UsageError("--" + flag + " needs an integer, got '" +
+                         text + "'");
+    return value;
+}
+
+double
+parse_double_flag(const std::string &flag, const std::string &text)
+{
+    double value = 0.0;
+    if (!parse_double(text, value))
+        throw UsageError("--" + flag + " needs a number, got '" +
+                         text + "'");
+    return value;
+}
+
+void
+walk_flag_tokens(const std::vector<std::string> &tokens,
+                 const FlagWalkHandler &handler)
+{
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &token = tokens[i];
+        if (!is_flag_token(token))
+            throw UsageError("unexpected argument '" + token +
+                             "' (flags are spelled --name)");
+        const std::string name = token.substr(2);
+        if (!handler.takes_value(name)) {
+            handler.on_switch(name);
+            continue;
+        }
+        if (i + 1 >= tokens.size() || is_flag_token(tokens[i + 1]))
+            throw UsageError("--" + name + " requires a value");
+        handler.on_value(name, tokens[++i]);
+    }
+}
+
+}  // namespace pinpoint

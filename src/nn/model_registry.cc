@@ -1,6 +1,7 @@
 #include "nn/model_registry.h"
 
 #include "core/check.h"
+#include "core/format.h"
 
 namespace pinpoint {
 namespace nn {
@@ -87,16 +88,24 @@ has_model(const std::string &name)
     return false;
 }
 
+void
+require_model(const std::string &name)
+{
+    // Model names are user input (CLI flags, sweep grids): one
+    // typed usage error with one wording for every surface.
+    if (!has_model(name))
+        throw UsageError("unknown model '" + name + "' (known: " +
+                         join_names(model_names()) + ")");
+}
+
 Model
 build_model(const std::string &name)
 {
+    require_model(name);
     for (const auto &entry : model_registry())
         if (entry.name == name)
             return entry.build();
-    std::string known;
-    for (const auto &entry : model_registry())
-        known += entry.name + " ";
-    PP_CHECK(false, "unknown model '" << name << "'; known: " << known);
+    throw Error("model registry lookup failed for '" + name + "'");
 }
 
 }  // namespace nn

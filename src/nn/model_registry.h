@@ -46,8 +46,16 @@ std::vector<std::string> default_zoo_names();
 bool has_model(const std::string &name);
 
 /**
+ * Checks @p name is registered. Model names are user input, so
+ * @throws UsageError (message lists known ones) otherwise — the
+ * one wording every surface (CLI, sweep grids, WorkloadSpec)
+ * reports.
+ */
+void require_model(const std::string &name);
+
+/**
  * Builds the registered model @p name.
- * @throws Error for unknown names (message lists known ones).
+ * @throws UsageError for unknown names (message lists known ones).
  */
 Model build_model(const std::string &name);
 

@@ -4,6 +4,7 @@
 
 #include "alloc/buddy_allocator.h"
 #include "core/check.h"
+#include "core/format.h"
 #include "alloc/caching_allocator.h"
 #include "alloc/device_memory.h"
 #include "alloc/direct_allocator.h"
@@ -24,6 +25,16 @@ allocator_kind_name(AllocatorKind kind)
     return "unknown";
 }
 
+std::vector<std::string>
+allocator_names()
+{
+    std::vector<std::string> names;
+    for (int i = 0; i < kNumAllocatorKinds; ++i)
+        names.push_back(
+            allocator_kind_name(static_cast<AllocatorKind>(i)));
+    return names;
+}
+
 AllocatorKind
 allocator_kind_from_name(const std::string &name)
 {
@@ -33,9 +44,11 @@ allocator_kind_from_name(const std::string &name)
         return AllocatorKind::kDirect;
     if (name == "buddy")
         return AllocatorKind::kBuddy;
-    PP_CHECK(false, "unknown allocator '"
-                        << name
-                        << "' (expected caching, direct, or buddy)");
+    // Allocator names are user input (CLI flags, sweep grids): one
+    // typed usage error with one wording for every surface.
+    throw UsageError("unknown allocator '" + name +
+                     "' (known: " + join_names(allocator_names()) +
+                     ")");
 }
 
 SessionResult
@@ -95,6 +108,19 @@ run_training(const nn::Model &model, const SessionConfig &config)
     return result;
 }
 
+swap::PlannerOptions
+fill_swap_link(swap::PlannerOptions options,
+               const sim::DeviceSpec &device)
+{
+    // Fill only the unset legs, so a caller overriding one
+    // direction keeps that override.
+    if (options.link.d2h_bps <= 0.0)
+        options.link.d2h_bps = device.d2h_bw_bps;
+    if (options.link.h2d_bps <= 0.0)
+        options.link.h2d_bps = device.h2d_bw_bps;
+    return options;
+}
+
 SwapValidation
 validate_swap_plan(const SessionResult &result,
                    const sim::DeviceSpec &device,
@@ -103,12 +129,7 @@ validate_swap_plan(const SessionResult &result,
     PP_CHECK(result.trace.size() > 0,
              "swap validation needs a recorded trace (run with "
              "record_trace = true)");
-    // Fill only the unset legs, so a caller overriding one
-    // direction keeps that override.
-    if (options.link.d2h_bps <= 0.0)
-        options.link.d2h_bps = device.d2h_bw_bps;
-    if (options.link.h2d_bps <= 0.0)
-        options.link.h2d_bps = device.h2d_bw_bps;
+    options = fill_swap_link(std::move(options), device);
     SwapValidation v;
     v.plan = swap::SwapPlanner(options).plan(result.trace);
     sim::LinkScheduler link(options.link.d2h_bps,

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "alloc/allocator.h"
 #include "nn/models.h"
@@ -35,9 +36,13 @@ inline constexpr int kNumAllocatorKinds = 3;
 /** @return short name ("caching", "direct", "buddy"). */
 const char *allocator_kind_name(AllocatorKind kind);
 
+/** @return every allocator kind name, in enumerator order. */
+std::vector<std::string> allocator_names();
+
 /**
  * @return the kind named @p name.
- * @throws Error for unknown names.
+ * @throws UsageError (allocator names are user input) for unknown
+ * names.
  */
 AllocatorKind allocator_kind_from_name(const std::string &name);
 
@@ -111,6 +116,16 @@ struct SwapValidation {
                    : 0;
     }
 };
+
+/**
+ * @return @p options with unset (<= 0) link bandwidths filled from
+ * @p device. The one fill rule shared by validate_swap_plan and
+ * api::Study::swap_plan, so a plan-only facet and a validated plan
+ * can never price different links.
+ */
+swap::PlannerOptions
+fill_swap_link(swap::PlannerOptions options,
+               const sim::DeviceSpec &device);
 
 /**
  * Validation step of the swap pipeline: plans swapping for

@@ -1,6 +1,7 @@
 #include "sim/device_spec.h"
 
 #include "core/check.h"
+#include "core/format.h"
 
 namespace pinpoint {
 namespace sim {
@@ -88,11 +89,10 @@ device_spec_by_name(const std::string &name)
     for (const Preset &preset : kPresets)
         if (name == preset.name)
             return preset.make();
-    std::string known;
-    for (const Preset &preset : kPresets)
-        known += std::string(preset.name) + " ";
-    PP_CHECK(false, "unknown device '" << name << "'; known: "
-                                       << known);
+    // Device names are user input (CLI flags, sweep grids): one
+    // typed usage error with one wording for every surface.
+    throw UsageError("unknown device '" + name + "' (known: " +
+                     join_names(device_spec_names()) + ")");
 }
 
 std::vector<std::string>
@@ -102,6 +102,15 @@ device_spec_names()
     for (const Preset &preset : kPresets)
         names.push_back(preset.name);
     return names;
+}
+
+std::string
+device_preset_name(const DeviceSpec &spec)
+{
+    for (const Preset &preset : kPresets)
+        if (preset.make().name == spec.name)
+            return preset.name;
+    return "";
 }
 
 }  // namespace sim

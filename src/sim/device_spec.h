@@ -51,12 +51,19 @@ struct DeviceSpec {
 
 /**
  * @return the preset named @p name: "titan-x", "a100", or "tiny".
- * @throws Error for unknown names.
+ * @throws UsageError (device names are user input) for unknown
+ * names; the message lists the known presets.
  */
 DeviceSpec device_spec_by_name(const std::string &name);
 
 /** @return the preset short names, in canonical order. */
 std::vector<std::string> device_spec_names();
+
+/**
+ * @return the preset short name ("titan-x", "a100", "tiny") whose
+ * spec matches @p spec by full device name, or "" for custom specs.
+ */
+std::string device_preset_name(const DeviceSpec &spec);
 
 }  // namespace sim
 }  // namespace pinpoint

@@ -4,20 +4,27 @@
 #include <mutex>
 
 #include "alloc/device_memory.h"
-#include "analysis/ati.h"
-#include "analysis/stats.h"
-#include "nn/model_registry.h"
+#include "api/study.h"
 #include "sweep/thread_pool.h"
 
 namespace pinpoint {
 namespace sweep {
 namespace {
 
-/** Fills the aggregate fields of @p out from a finished session. */
+/**
+ * Fills the aggregate fields of @p out from a finished study. Pure
+ * projection: every number is either a session summary field or a
+ * Study facet, so the sweep can never recompute an analysis the
+ * facet cache already holds. Facets run with default StudyOptions
+ * (1 MiB min-block, safety factor 1.0) — matching CLI output
+ * requires the same planner flags (the CLI's --min-block default
+ * is 8 MiB).
+ */
 void
-aggregate(const runtime::SessionResult &r, bool swap_plan,
-          const sim::DeviceSpec &device, ScenarioResult &out)
+aggregate(const api::Study &study, bool swap_plan,
+          ScenarioResult &out)
 {
+    const runtime::SessionResult &r = study.result();
     out.peak_total_bytes = r.usage.peak_total;
     out.peak_input_bytes =
         r.usage.at_peak[static_cast<int>(Category::kInput)];
@@ -36,11 +43,9 @@ aggregate(const runtime::SessionResult &r, bool swap_plan,
     out.device_alloc_count = r.alloc_stats.device_alloc_count;
 
     out.event_count = r.trace.size();
-    const auto atis = analysis::compute_atis(r.trace);
-    out.ati_count = atis.size();
-    if (!atis.empty()) {
-        const auto stats =
-            analysis::summarize(analysis::ati_microseconds(atis));
+    out.ati_count = study.atis().size();
+    if (!study.atis().empty()) {
+        const auto &stats = study.ati_summary();
         out.ati_median_us = stats.median;
         out.ati_p90_us = stats.p90;
         out.ati_max_us = stats.max;
@@ -49,7 +54,7 @@ aggregate(const runtime::SessionResult &r, bool swap_plan,
     if (swap_plan) {
         // Plan *and* execute on the shared link, so every row
         // carries the measured numbers next to the predicted ones.
-        const auto v = runtime::validate_swap_plan(r, device);
+        const auto &v = study.swap_validation();
         out.swap_decisions = v.plan.decisions.size();
         out.swap_peak_reduction_bytes = v.plan.peak_reduction_bytes;
         out.swap_total_bytes = v.plan.total_swapped_bytes;
@@ -66,7 +71,7 @@ aggregate(const runtime::SessionResult &r, bool swap_plan,
         // shared link, overhead = link stall + recompute time. The
         // predicted numbers would repeat the dedicated-link
         // optimism the measured columns exist to correct.
-        const auto reports = runtime::plan_relief_all(r, device);
+        const auto &reports = study.relief_all();
         for (const auto &rep : reports) {
             const bool wins =
                 out.relief_strategy.empty() ||
@@ -119,10 +124,8 @@ run_scenario(const Scenario &scenario, bool swap_plan)
     ScenarioResult result;
     result.scenario = scenario;
     try {
-        const runtime::SessionConfig config = scenario.session_config();
-        const nn::Model model = nn::build_model(scenario.model);
-        const auto session = runtime::run_training(model, config);
-        aggregate(session, swap_plan, config.device, result);
+        const api::Study study = api::Study::run(scenario.spec());
+        aggregate(study, swap_plan, result);
     } catch (const alloc::DeviceOomError &e) {
         result.status = ScenarioStatus::kOom;
         result.error = e.what();

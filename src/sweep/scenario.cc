@@ -1,43 +1,33 @@
 #include "sweep/scenario.h"
 
 #include "core/check.h"
+#include "core/parse.h"
 #include "nn/model_registry.h"
 #include "sim/device_spec.h"
 
 namespace pinpoint {
 namespace sweep {
 
-std::string
-Scenario::id() const
-{
-    return model + "/b" + std::to_string(batch) + "/" +
-           runtime::allocator_kind_name(allocator) + "/" + device;
-}
-
-runtime::SessionConfig
-Scenario::session_config() const
-{
-    runtime::SessionConfig config;
-    config.batch = batch;
-    config.iterations = iterations;
-    config.device = sim::device_spec_by_name(device);
-    config.allocator = allocator;
-    return config;
-}
-
 std::vector<Scenario>
 expand_grid(const SweepGrid &grid)
 {
+    // Grid axes are user input (CLI flags, config files): reject
+    // bad values with typed UsageErrors. The name lookups throw
+    // the shared "unknown X (known: ...)" messages themselves, so
+    // the grid surface and the single-workload surface
+    // (api::WorkloadSpec::validate) cannot drift apart.
     std::vector<std::string> models =
         grid.models.empty() ? nn::default_zoo_names() : grid.models;
     for (const auto &m : models)
-        PP_CHECK(nn::has_model(m), "unknown model '" << m << "'");
+        nn::require_model(m);
 
     std::vector<std::int64_t> batches = grid.batches;
     if (batches.empty())
         batches = {16, 32, 64};
     for (std::int64_t b : batches)
-        PP_CHECK(b > 0, "batch must be positive, got " << b);
+        if (b < 1)
+            throw UsageError("batch must be positive, got " +
+                             std::to_string(b));
 
     std::vector<runtime::AllocatorKind> allocators = grid.allocators;
     if (allocators.empty())
@@ -49,10 +39,11 @@ expand_grid(const SweepGrid &grid)
         grid.devices.empty() ? std::vector<std::string>{"titan-x"}
                              : grid.devices;
     for (const auto &d : devices)
-        sim::device_spec_by_name(d);  // validates; throws on unknown
+        sim::device_spec_by_name(d);  // throws typed UsageError
 
-    PP_CHECK(grid.iterations >= 1,
-             "iterations must be >= 1, got " << grid.iterations);
+    if (grid.iterations < 1)
+        throw UsageError("iterations must be >= 1, got " +
+                         std::to_string(grid.iterations));
 
     std::vector<Scenario> scenarios;
     scenarios.reserve(models.size() * batches.size() *
@@ -96,11 +87,11 @@ parse_batches(const std::string &csv)
 {
     std::vector<std::int64_t> out;
     for (const auto &field : split_list(csv)) {
-        try {
-            out.push_back(std::stoll(field));
-        } catch (const std::exception &) {
-            PP_CHECK(false, "bad batch size '" << field << "'");
-        }
+        std::int64_t batch = 0;
+        // Whole-token parse: "12abc" is an error, never batch 12.
+        if (!parse_int64(field, batch))
+            throw UsageError("bad batch size '" + field + "'");
+        out.push_back(batch);
     }
     return out;
 }
@@ -109,6 +100,8 @@ std::vector<runtime::AllocatorKind>
 parse_allocators(const std::string &csv)
 {
     std::vector<runtime::AllocatorKind> out;
+    // allocator_kind_from_name throws the shared typed
+    // "unknown allocator" UsageError itself.
     for (const auto &field : split_list(csv))
         out.push_back(runtime::allocator_kind_from_name(field));
     return out;

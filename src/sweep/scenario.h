@@ -12,29 +12,22 @@
 #include <string>
 #include <vector>
 
+#include "api/workload.h"
 #include "runtime/session.h"
 
 namespace pinpoint {
 namespace sweep {
 
-/** One fully-pinned characterization scenario. */
-struct Scenario {
-    /** Model registry name, e.g. "resnet50". */
-    std::string model;
-    /** Batch size. */
-    std::int64_t batch = 32;
-    /** Allocator backing the run. */
-    runtime::AllocatorKind allocator = runtime::AllocatorKind::kCaching;
-    /** Device preset name ("titan-x", "a100", "tiny"). */
-    std::string device = "titan-x";
-    /** Training iterations to simulate. */
-    int iterations = 5;
-
-    /** @return "resnet50/b32/caching/titan-x" — the stable key. */
-    std::string id() const;
-
-    /** @return the session configuration this scenario pins. */
-    runtime::SessionConfig session_config() const;
+/**
+ * One fully-pinned characterization scenario: a thin adapter over
+ * api::WorkloadSpec. The spec owns the fields, the id() format, the
+ * string forms, and session_config(); the sweep layer only adds the
+ * grid semantics. Keeping Scenario a distinct type preserves the
+ * sweep vocabulary without re-owning any workload parsing.
+ */
+struct Scenario : api::WorkloadSpec {
+    /** @return the underlying canonical workload description. */
+    const api::WorkloadSpec &spec() const { return *this; }
 };
 
 /**
@@ -58,7 +51,8 @@ struct SweepGrid {
 /**
  * Expands @p grid into scenarios in canonical order: models
  * outermost, then batches, allocators, devices innermost.
- * @throws Error for unknown model or device names.
+ * @throws UsageError (grid axes are user input) for unknown model
+ * or device names, non-positive batches, or iterations < 1.
  */
 std::vector<Scenario> expand_grid(const SweepGrid &grid);
 
@@ -68,10 +62,16 @@ std::vector<Scenario> expand_grid(const SweepGrid &grid);
  */
 std::vector<std::string> split_list(const std::string &csv);
 
-/** Parses a comma-separated list of batch sizes. @throws Error. */
+/**
+ * Parses a comma-separated list of batch sizes; whole-token strict.
+ * @throws UsageError.
+ */
 std::vector<std::int64_t> parse_batches(const std::string &csv);
 
-/** Parses a comma-separated list of allocator kinds. @throws Error. */
+/**
+ * Parses a comma-separated list of allocator kinds.
+ * @throws UsageError.
+ */
 std::vector<runtime::AllocatorKind>
 parse_allocators(const std::string &csv);
 

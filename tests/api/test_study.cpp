@@ -1,0 +1,216 @@
+/**
+ * @file
+ * api::Study: the run artifact. Facets must equal the underlying
+ * analyses computed directly (caching changes cost, never results),
+ * be computed exactly once per Study, and be safe to hammer from
+ * many threads — the property the sweep worker pool relies on.
+ */
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "analysis/ati.h"
+#include "analysis/breakdown.h"
+#include "analysis/timeline.h"
+#include "api/study.h"
+#include "core/check.h"
+
+namespace pinpoint {
+namespace api {
+namespace {
+
+WorkloadSpec
+small_spec()
+{
+    WorkloadSpec spec;
+    spec.model = "mlp";
+    spec.batch = 32;
+    spec.iterations = 2;
+    return spec;
+}
+
+TEST(Study, FacetsEqualDirectComputation)
+{
+    const Study study = Study::run(small_spec());
+
+    const analysis::Timeline direct_timeline(study.trace());
+    EXPECT_EQ(study.timeline().blocks().size(),
+              direct_timeline.blocks().size());
+    EXPECT_EQ(study.timeline().end(), direct_timeline.end());
+
+    const auto direct_atis = analysis::compute_atis(study.trace());
+    ASSERT_EQ(study.atis().size(), direct_atis.size());
+    for (std::size_t i = 0; i < direct_atis.size(); ++i) {
+        EXPECT_EQ(study.atis()[i].block, direct_atis[i].block);
+        EXPECT_EQ(study.atis()[i].interval, direct_atis[i].interval);
+    }
+    const auto direct_summary = analysis::summarize(
+        analysis::ati_microseconds(direct_atis));
+    EXPECT_EQ(study.ati_summary().count, direct_summary.count);
+    EXPECT_EQ(study.ati_summary().median, direct_summary.median);
+
+    const auto direct_breakdown =
+        analysis::occupation_breakdown(study.trace());
+    EXPECT_EQ(study.breakdown().peak_total,
+              direct_breakdown.peak_total);
+    EXPECT_EQ(study.breakdown().at_peak, direct_breakdown.at_peak);
+}
+
+TEST(Study, OccupancyFacetAgreesWithBreakdownPeak)
+{
+    const Study study = Study::run(small_spec());
+    // Two independent peak computations — the occupancy-edge walk
+    // and the breakdown replay — must land on the same bytes.
+    EXPECT_EQ(study.peak_occupancy_bytes(),
+              study.breakdown().peak_total);
+    EXPECT_FALSE(study.occupancy_edges().empty());
+}
+
+TEST(Study, SwapPlanFacetEqualsTheValidationPlan)
+{
+    // Two studies so neither facet can serve the other from its
+    // cache: the plan-only facet (no link scheduling) must produce
+    // the exact plan the full validation facet produces.
+    const Study planned = Study::run(small_spec());
+    const Study validated = Study::run(small_spec());
+    const auto &plan = planned.swap_plan();
+    const auto &vplan = validated.swap_validation().plan;
+    EXPECT_EQ(plan.decisions.size(), vplan.decisions.size());
+    EXPECT_EQ(plan.original_peak_bytes, vplan.original_peak_bytes);
+    EXPECT_EQ(plan.peak_reduction_bytes, vplan.peak_reduction_bytes);
+    EXPECT_EQ(plan.predicted_overhead, vplan.predicted_overhead);
+    EXPECT_EQ(&planned.swap_plan(), &plan);
+}
+
+TEST(Study, SwapAndReliefFacetsEqualRuntimeHelpers)
+{
+    const Study study = Study::run(small_spec());
+    const auto direct =
+        runtime::validate_swap_plan(study.result(), study.device());
+    EXPECT_EQ(study.swap_validation().plan.decisions.size(),
+              direct.plan.decisions.size());
+    EXPECT_EQ(study.swap_validation().plan.peak_reduction_bytes,
+              direct.plan.peak_reduction_bytes);
+    EXPECT_EQ(study.swap_validation().execution.measured_stall,
+              direct.execution.measured_stall);
+
+    const auto direct_relief =
+        runtime::plan_relief_all(study.result(), study.device());
+    for (int i = 0; i < relief::kNumStrategies; ++i) {
+        EXPECT_EQ(study.relief_all()[i].peak_reduction_bytes,
+                  direct_relief[i].peak_reduction_bytes);
+        EXPECT_EQ(study.relief_all()[i].measured_overhead,
+                  direct_relief[i].measured_overhead);
+        EXPECT_EQ(&study.relief(static_cast<relief::Strategy>(i)),
+                  &study.relief_all()[i]);
+    }
+}
+
+TEST(Study, FacetsAreComputedOnceAndCached)
+{
+    const Study study = Study::run(small_spec());
+    // Same object on every access — the facet is a cache, not a
+    // recomputation.
+    EXPECT_EQ(&study.timeline(), &study.timeline());
+    EXPECT_EQ(&study.atis(), &study.atis());
+    EXPECT_EQ(&study.breakdown(), &study.breakdown());
+    EXPECT_EQ(&study.swap_validation(), &study.swap_validation());
+    EXPECT_EQ(&study.relief_all(), &study.relief_all());
+    EXPECT_EQ(&study.iteration_pattern(),
+              &study.iteration_pattern());
+}
+
+TEST(Study, FacetsAreThreadSafe)
+{
+    const Study study = Study::run(small_spec());
+    const std::size_t expected_atis =
+        analysis::compute_atis(study.trace()).size();
+
+    std::vector<const void *> seen(16, nullptr);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < seen.size(); ++t) {
+        threads.emplace_back([&study, &seen, t] {
+            // Touch every facet concurrently; record one address.
+            study.timeline();
+            study.breakdown();
+            study.swap_validation();
+            study.relief_all();
+            seen[t] = &study.atis();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (const void *address : seen)
+        EXPECT_EQ(address, &study.atis());
+    EXPECT_EQ(study.atis().size(), expected_atis);
+}
+
+TEST(Study, MoveCarriesTheCache)
+{
+    Study study = Study::run(small_spec());
+    const analysis::BreakdownResult *breakdown = &study.breakdown();
+    Study moved = std::move(study);
+    EXPECT_EQ(&moved.breakdown(), breakdown);
+}
+
+TEST(Study, DeviceOverloadHonorsCustomSpecs)
+{
+    WorkloadSpec spec = small_spec();
+    sim::DeviceSpec custom = sim::DeviceSpec::titan_x_pascal();
+    custom.name = "titan-x-half-link";
+    custom.d2h_bw_bps /= 2;
+    custom.h2d_bw_bps /= 2;
+    auto session =
+        runtime::run_training(spec.build(), spec.session_config());
+    // spec.device may be any descriptive string with the device
+    // overload — it is display-only and never preset-resolved.
+    spec.device = "my custom half-link card";
+    const Study study(spec, std::move(session), custom);
+    // The facets must price the custom link, not a preset.
+    EXPECT_EQ(study.device().name, "titan-x-half-link");
+    EXPECT_EQ(study.device().d2h_bw_bps,
+              sim::DeviceSpec::titan_x_pascal().d2h_bw_bps / 2);
+    // Link-priced facets work — they never resolve spec.device.
+    EXPECT_GT(study.swap_validation().plan.original_peak_bytes, 0u);
+}
+
+TEST(Study, FromTraceSupportsOfflineAnalysis)
+{
+    const Study recorded = Study::run(small_spec());
+    trace::TraceRecorder copy = recorded.trace();
+    const Study offline = Study::from_trace(
+        std::move(copy), sim::DeviceSpec::titan_x_pascal());
+    EXPECT_EQ(offline.atis().size(), recorded.atis().size());
+    EXPECT_EQ(offline.breakdown().peak_total,
+              recorded.breakdown().peak_total);
+    EXPECT_EQ(offline.device().name,
+              sim::DeviceSpec::titan_x_pascal().name);
+    // The synthetic spec is marked: offline traces never
+    // masquerade as a named workload.
+    EXPECT_EQ(offline.spec().model, "");
+}
+
+TEST(Study, StudyOptionsReachTheFacets)
+{
+    StudyOptions opts;
+    opts.swap.min_block_bytes = 1;
+    opts.swap.allow_overhead = true;
+    const Study aggressive = Study::run(small_spec(), opts);
+    const Study conservative = Study::run(small_spec());
+    // A 1-byte threshold with overhead allowed can only widen the
+    // plan relative to the defaults.
+    EXPECT_GE(aggressive.swap_validation().plan.decisions.size(),
+              conservative.swap_validation().plan.decisions.size());
+}
+
+TEST(Study, RunValidatesTheSpec)
+{
+    WorkloadSpec bad;
+    bad.model = "lenet";
+    EXPECT_THROW(Study::run(bad), UsageError);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace pinpoint

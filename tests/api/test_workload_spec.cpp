@@ -1,0 +1,177 @@
+/**
+ * @file
+ * api::WorkloadSpec: the canonical workload description and the
+ * library's only workload parser. String forms round-trip, every
+ * malformed input fails with a UsageError (the exit-2 class), and
+ * the spec pins the session configuration exactly.
+ */
+#include <gtest/gtest.h>
+
+#include "api/workload.h"
+#include "core/check.h"
+
+namespace pinpoint {
+namespace api {
+namespace {
+
+TEST(WorkloadSpec, IdIsTheStableScenarioKey)
+{
+    WorkloadSpec spec;
+    spec.model = "resnet50";
+    spec.batch = 32;
+    spec.allocator = runtime::AllocatorKind::kCaching;
+    spec.device = "titan-x";
+    EXPECT_EQ(spec.id(), "resnet50/b32/caching/titan-x");
+}
+
+TEST(WorkloadSpec, ToStringRoundTripsThroughFromString)
+{
+    WorkloadSpec spec;
+    spec.model = "resnet18";
+    spec.batch = 16;
+    spec.iterations = 3;
+    spec.allocator = runtime::AllocatorKind::kBuddy;
+    spec.device = "a100";
+    spec.micro_batches = 4;
+
+    const WorkloadSpec reparsed =
+        WorkloadSpec::from_string(spec.to_string());
+    EXPECT_EQ(reparsed.model, spec.model);
+    EXPECT_EQ(reparsed.batch, spec.batch);
+    EXPECT_EQ(reparsed.iterations, spec.iterations);
+    EXPECT_EQ(reparsed.allocator, spec.allocator);
+    EXPECT_EQ(reparsed.device, spec.device);
+    EXPECT_EQ(reparsed.micro_batches, spec.micro_batches);
+    EXPECT_EQ(reparsed.to_string(), spec.to_string());
+}
+
+TEST(WorkloadSpec, FromArgsParsesFlagValuePairs)
+{
+    const WorkloadSpec spec = WorkloadSpec::from_args(
+        {"--model", "vgg16", "--batch", "8", "--device", "tiny"});
+    EXPECT_EQ(spec.model, "vgg16");
+    EXPECT_EQ(spec.batch, 8);
+    EXPECT_EQ(spec.device, "tiny");
+    // Unset fields keep the defaults.
+    EXPECT_EQ(spec.iterations, 5);
+    EXPECT_EQ(spec.micro_batches, 1);
+}
+
+TEST(WorkloadSpec, FromArgsBaseProvidesDefaults)
+{
+    WorkloadSpec base;
+    base.model = "resnet50";
+    base.batch = 64;
+    const WorkloadSpec spec =
+        WorkloadSpec::from_args({"--batch", "16"}, base);
+    EXPECT_EQ(spec.model, "resnet50");
+    EXPECT_EQ(spec.batch, 16);
+}
+
+TEST(WorkloadSpec, RejectsUnknownFlag)
+{
+    EXPECT_THROW(WorkloadSpec::from_args({"--batches", "16"}),
+                 UsageError);
+}
+
+TEST(WorkloadSpec, RejectsPositionalToken)
+{
+    EXPECT_THROW(WorkloadSpec::from_args({"resnet50"}), UsageError);
+}
+
+TEST(WorkloadSpec, RejectsDanglingValueFlag)
+{
+    // The old CLI silently fell back to the default here.
+    EXPECT_THROW(WorkloadSpec::from_args({"--batch"}), UsageError);
+    EXPECT_THROW(
+        WorkloadSpec::from_args({"--batch", "--model", "mlp"}),
+        UsageError);
+}
+
+TEST(WorkloadSpec, RejectsNonNumericNumbers)
+{
+    // The old CLI died with a raw std::invalid_argument.
+    EXPECT_THROW(WorkloadSpec::from_args({"--batch", "abc"}),
+                 UsageError);
+    // Partial numbers must not silently truncate.
+    EXPECT_THROW(WorkloadSpec::from_args({"--batch", "12abc"}),
+                 UsageError);
+    EXPECT_THROW(WorkloadSpec::from_args({"--iterations", "2.5"}),
+                 UsageError);
+    EXPECT_THROW(WorkloadSpec::from_args({"--micro-batches", ""}),
+                 UsageError);
+    // strtoX leniencies (leading whitespace, '+' sign) are closed:
+    // the whole token must be the number.
+    EXPECT_THROW(WorkloadSpec::from_args({"--batch", " 5"}),
+                 UsageError);
+    EXPECT_THROW(WorkloadSpec::from_args({"--batch", "+5"}),
+                 UsageError);
+    EXPECT_THROW(WorkloadSpec::from_args({"--batch", "5 "}),
+                 UsageError);
+}
+
+TEST(WorkloadSpec, RejectsUnknownNames)
+{
+    EXPECT_THROW(WorkloadSpec::from_args({"--model", "lenet"}),
+                 UsageError);
+    EXPECT_THROW(WorkloadSpec::from_args({"--device", "h100"}),
+                 UsageError);
+    EXPECT_THROW(WorkloadSpec::from_args({"--allocator", "slab"}),
+                 UsageError);
+}
+
+TEST(WorkloadSpec, ValidateChecksRanges)
+{
+    WorkloadSpec spec;
+    spec.batch = 0;
+    EXPECT_THROW(spec.validate(), UsageError);
+    spec.batch = 1;
+    spec.iterations = 0;
+    EXPECT_THROW(spec.validate(), UsageError);
+    spec.iterations = 1;
+    spec.micro_batches = 0;
+    EXPECT_THROW(spec.validate(), UsageError);
+    spec.micro_batches = 1;
+    EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(WorkloadSpec, UsageErrorIsAnError)
+{
+    // The CLI maps UsageError to exit 2 and plain Error to exit 1;
+    // UsageError must stay a subclass so generic handlers catch it.
+    EXPECT_THROW(WorkloadSpec::from_args({"--batch", "x"}), Error);
+}
+
+TEST(WorkloadSpec, SessionConfigPinsEveryAxis)
+{
+    WorkloadSpec spec;
+    spec.model = "mlp";
+    spec.batch = 64;
+    spec.iterations = 3;
+    spec.allocator = runtime::AllocatorKind::kDirect;
+    spec.device = "a100";
+    spec.micro_batches = 2;
+    const runtime::SessionConfig config = spec.session_config();
+    EXPECT_EQ(config.batch, 64);
+    EXPECT_EQ(config.iterations, 3);
+    EXPECT_EQ(config.allocator, runtime::AllocatorKind::kDirect);
+    EXPECT_EQ(config.device.name, sim::DeviceSpec::a100_40gb().name);
+    EXPECT_EQ(config.plan.micro_batches, 2);
+}
+
+TEST(WorkloadSpec, FlagNamesMatchToStringOrder)
+{
+    const auto &names = WorkloadSpec::flag_names();
+    ASSERT_EQ(names.size(), 6u);
+    const std::string str = WorkloadSpec().to_string();
+    std::size_t pos = 0;
+    for (const auto &name : names) {
+        const std::size_t at = str.find("--" + name + " ", pos);
+        EXPECT_NE(at, std::string::npos) << name;
+        pos = at;
+    }
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace pinpoint

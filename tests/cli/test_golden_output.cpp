@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Byte-identity of the registry-based CLI against the pre-refactor
+ * monolithic pinpoint_cli. The fixtures under tests/cli/golden/
+ * were captured from the old binary (PR 3 state) on fixed
+ * workloads; the rebuilt commands — now thin projections of an
+ * api::Study — must reproduce them exactly, proving the API
+ * redesign changed structure and cost, not results.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/commands.h"
+
+namespace pinpoint {
+namespace cli {
+namespace {
+
+std::string
+read_file(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+std::string
+golden(const std::string &name)
+{
+    return read_file(std::string(PINPOINT_SOURCE_DIR) +
+                     "/tests/cli/golden/" + name);
+}
+
+/** Runs the registry CLI; returns captured stdout-equivalent. */
+std::string
+run_out(const std::vector<std::string> &args, int expect_code = 0)
+{
+    const CommandRegistry registry = make_default_registry();
+    std::ostringstream out;
+    std::ostringstream err;
+    CommandIo io{out, err};
+    EXPECT_EQ(run_cli(registry, args, io), expect_code) << err.str();
+    return out.str();
+}
+
+TEST(GoldenOutput, CharacterizeMatchesThePreRefactorCli)
+{
+    EXPECT_EQ(run_out({"characterize", "--model", "mlp", "--batch",
+                       "64", "--iterations", "2"}),
+              golden("characterize_mlp_b64_i2.txt"));
+}
+
+TEST(GoldenOutput, SwapValidateMatchesThePreRefactorCli)
+{
+    EXPECT_EQ(run_out({"swap", "--model", "resnet18", "--batch",
+                       "16", "--iterations", "2", "--validate"}),
+              golden("swap_resnet18_b16_i2_validate.txt"));
+}
+
+TEST(GoldenOutput, ReliefMatchesThePreRefactorCli)
+{
+    EXPECT_EQ(run_out({"relief", "--model", "resnet18", "--batch",
+                       "16", "--iterations", "2", "--budget-ms",
+                       "50"}),
+              golden("relief_resnet18_b16_i2_budget50.txt"));
+}
+
+TEST(GoldenOutput, SweepCsvMatchesThePreRefactorCli)
+{
+    const std::string path =
+        testing::TempDir() + "pinpoint_golden_sweep.csv";
+    run_out({"sweep", "--models", "mlp,resnet18", "--batches", "16",
+             "--allocators", "caching,direct", "--iterations", "2",
+             "--jobs", "2", "--quiet", "--csv", path});
+    EXPECT_EQ(read_file(path), golden("sweep_small.csv"));
+    std::remove(path.c_str());
+}
+
+TEST(GoldenOutput, SwapPlanAliasMatchesTheNewSpelling)
+{
+    const std::vector<std::string> tail = {
+        "--model", "mlp", "--batch", "16", "--iterations", "2"};
+    std::vector<std::string> as_swap = {"swap"};
+    std::vector<std::string> as_alias = {"swap-plan"};
+    as_swap.insert(as_swap.end(), tail.begin(), tail.end());
+    as_alias.insert(as_alias.end(), tail.begin(), tail.end());
+    EXPECT_EQ(run_out(as_swap), run_out(as_alias));
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace pinpoint

@@ -136,6 +136,9 @@ TEST(Parsing, ParseBatches)
               (std::vector<std::int64_t>{16, 32}));
     EXPECT_TRUE(parse_batches("").empty());
     EXPECT_THROW(parse_batches("16,huge"), Error);
+    // Partial numbers must be an error, never a silent truncation
+    // (std::stoll would have accepted "12abc" as 12).
+    EXPECT_THROW(parse_batches("12abc"), Error);
 }
 
 TEST(Parsing, ParseAllocators)

@@ -1,619 +1,25 @@
 /**
  * @file
- * pinpoint_cli — command-line front end of the library.
+ * pinpoint_cli — thin entry point over the src/cli command
+ * registry. All commands, flag parsing, help text, and the exit
+ * code contract (0 success, 1 runtime failure, 2 usage error) live
+ * in the cli library where they are unit-tested; this file only
+ * adapts argv and the process streams.
  *
- *   pinpoint_cli characterize --model resnet50 --batch 32
- *       [--iterations 5] [--allocator caching|direct|buddy]
- *       [--device titan-x|a100] [--micro-batches K]
- *       [--csv trace.csv] [--chrome trace.json] [--no-gantt]
- *   pinpoint_cli swap --model resnet50 --batch 32
- *       [--safety-factor 1.25] [--min-block 8] [--allow-overhead]
- *       [--validate] [--csv plan.csv] [--json plan.json]
- *       (swap-plan is a compatible alias; --safety, --min-block-mb
- *        and --aggressive still work)
- *   pinpoint_cli relief --model resnet50 --batch 32
- *       [--strategy swap|recompute|hybrid] [--budget-ms N]
- *       [--safety-factor 1.0] [--min-block 8]
- *       [--csv plan.csv] [--json plan.json]
- *   pinpoint_cli bandwidth [--device titan-x|a100]
- *   pinpoint_cli models
- *   pinpoint_cli sweep [--jobs N] [--models a,b] [--batches 16,32]
- *       [--allocators caching,direct] [--devices titan-x]
- *       [--iterations 5] [--csv out.csv] [--json out.json]
- *       [--no-swap-plan] [--quiet]
+ * Run `pinpoint_cli help` for the command list, or see docs/CLI.md
+ * (generated from the same registry via `help --markdown`).
  */
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "analysis/report.h"
-#include "analysis/series.h"
-#include "core/check.h"
-#include "core/format.h"
-#include "nn/model_registry.h"
-#include "nn/models.h"
-#include "relief/strategy_planner.h"
-#include "runtime/session.h"
-#include "sim/pcie.h"
-#include "swap/executor.h"
-#include "swap/planner.h"
-#include "sweep/driver.h"
-#include "sweep/export.h"
-#include "sweep/scenario.h"
-#include "trace/chrome_trace.h"
-#include "trace/csv.h"
-
-using namespace pinpoint;
-
-namespace {
-
-/** Simple --flag value argument cursor. */
-class Args
-{
-  public:
-    Args(int argc, char **argv) : argv_(argv + 1, argv + argc) {}
-
-    /** @return value of --name, or @p fallback when absent. */
-    std::string
-    value(const std::string &name, const std::string &fallback) const
-    {
-        for (std::size_t i = 0; i + 1 < argv_.size(); ++i)
-            if (argv_[i] == "--" + name)
-                return argv_[i + 1];
-        return fallback;
-    }
-
-    /** @return true when the bare flag --name is present. */
-    bool
-    flag(const std::string &name) const
-    {
-        for (const auto &a : argv_)
-            if (a == "--" + name)
-                return true;
-        return false;
-    }
-
-    /** @return first positional argument (the subcommand). */
-    std::string
-    command() const
-    {
-        return argv_.empty() ? "" : argv_[0];
-    }
-
-  private:
-    std::vector<std::string> argv_;
-};
-
-runtime::SessionConfig
-session_config(const Args &args)
-{
-    runtime::SessionConfig config;
-    config.batch = std::stoll(args.value("batch", "32"));
-    config.iterations = std::stoi(args.value("iterations", "5"));
-    config.device =
-        sim::device_spec_by_name(args.value("device", "titan-x"));
-    config.plan.micro_batches =
-        std::stoi(args.value("micro-batches", "1"));
-    config.allocator = runtime::allocator_kind_from_name(
-        args.value("allocator", "caching"));
-    return config;
-}
-
-int
-cmd_characterize(const Args &args)
-{
-    const std::string name = args.value("model", "mlp");
-    const nn::Model model = nn::build_model(name);
-    const runtime::SessionConfig config = session_config(args);
-    const auto result = runtime::run_training(model, config);
-
-    analysis::ReportOptions opts;
-    opts.title = name + " batch " + std::to_string(config.batch) +
-                 " x" + std::to_string(config.iterations) +
-                 " iterations on " + config.device.name;
-    opts.link = analysis::LinkBandwidth{config.device.d2h_bw_bps,
-                                        config.device.h2d_bw_bps};
-    opts.gantt = !args.flag("no-gantt");
-    analysis::write_report(result.trace, std::cout, opts);
-
-    const std::string csv = args.value("csv", "");
-    if (!csv.empty()) {
-        trace::write_csv_file(result.trace, csv);
-        std::printf("\nwrote CSV trace to %s\n", csv.c_str());
-    }
-    const std::string chrome = args.value("chrome", "");
-    if (!chrome.empty()) {
-        trace::write_chrome_trace_file(result.trace, chrome);
-        std::printf("wrote Chrome trace to %s (load in "
-                    "chrome://tracing)\n",
-                    chrome.c_str());
-    }
-    const std::string series = args.value("series", "");
-    if (!series.empty()) {
-        std::ofstream os(series);
-        PP_CHECK(os.good(), "cannot open '" << series << "'");
-        analysis::write_series_csv(
-            analysis::occupancy_series(result.trace), os);
-        std::printf("wrote occupancy series to %s\n", series.c_str());
-    }
-    return 0;
-}
-
-/**
- * Writes the per-decision swap schedule as CSV. Measured columns
- * are present only when @p exec is non-null (--validate).
- */
-void
-write_swap_csv(const swap::SwapPlanReport &plan,
-               const swap::SwapExecutionResult *exec,
-               std::ostream &os)
-{
-    os << "block,tensor,size_bytes,gap_start_ns,gap_end_ns,gap_ns,"
-          "hide_ratio,predicted_overhead_ns";
-    if (exec)
-        os << ",out_start_ns,out_end_ns,in_start_ns,in_end_ns,"
-              "queue_delay_ns,measured_stall_ns";
-    os << "\n";
-    for (std::size_t i = 0; i < plan.decisions.size(); ++i) {
-        const auto &d = plan.decisions[i];
-        os << d.block << ',' << d.tensor << ',' << d.size << ','
-           << d.gap_start << ',' << d.gap_end << ',' << d.gap << ','
-           << format_fixed6(d.hide_ratio) << ',' << d.overhead;
-        if (exec) {
-            const auto &s = exec->swaps[i];
-            os << ',' << s.out_start << ',' << s.out_end << ','
-               << s.in_start << ',' << s.in_end << ','
-               << s.queue_delay << ',' << s.stall;
-        }
-        os << "\n";
-    }
-}
-
-/** Writes the plan (and measured execution, when present) as JSON. */
-void
-write_swap_json(const std::string &model,
-                const runtime::SessionConfig &config,
-                const swap::SwapPlanReport &plan,
-                const swap::SwapExecutionResult *exec,
-                std::ostream &os)
-{
-    os << "{\n  \"model\": \"" << trace::json_escape(model)
-       << "\", \"batch\": " << config.batch << ", \"device\": \""
-       << trace::json_escape(config.device.name) << "\",\n"
-       << "  \"plan\": {\"decisions\": " << plan.decisions.size()
-       << ", \"original_peak_bytes\": " << plan.original_peak_bytes
-       << ", \"peak_reduction_bytes\": " << plan.peak_reduction_bytes
-       << ", \"total_swapped_bytes\": " << plan.total_swapped_bytes
-       << ", \"predicted_overhead_ns\": " << plan.predicted_overhead
-       << "},\n  \"decisions\": [\n";
-    for (std::size_t i = 0; i < plan.decisions.size(); ++i) {
-        const auto &d = plan.decisions[i];
-        os << "    {\"block\": " << d.block
-           << ", \"size_bytes\": " << d.size
-           << ", \"gap_start_ns\": " << d.gap_start
-           << ", \"gap_end_ns\": " << d.gap_end
-           << ", \"hide_ratio\": " << format_fixed6(d.hide_ratio)
-           << ", \"predicted_overhead_ns\": " << d.overhead;
-        if (exec) {
-            const auto &s = exec->swaps[i];
-            os << ", \"out_start_ns\": " << s.out_start
-               << ", \"out_end_ns\": " << s.out_end
-               << ", \"in_start_ns\": " << s.in_start
-               << ", \"in_end_ns\": " << s.in_end
-               << ", \"queue_delay_ns\": " << s.queue_delay
-               << ", \"measured_stall_ns\": " << s.stall;
-        }
-        os << "}" << (i + 1 < plan.decisions.size() ? "," : "")
-           << "\n";
-    }
-    os << "  ]";
-    if (exec) {
-        os << ",\n  \"execution\": {\"new_peak_bytes\": "
-           << exec->new_peak_bytes
-           << ", \"measured_peak_reduction_bytes\": "
-           << exec->measured_peak_reduction
-           << ", \"measured_stall_ns\": " << exec->measured_stall
-           << ", \"queue_delay_ns\": " << exec->queue_delay
-           << ", \"d2h_busy_ns\": " << exec->d2h_busy_time
-           << ", \"h2d_busy_ns\": " << exec->h2d_busy_time
-           << ", \"link_busy_fraction\": "
-           << format_fixed6(exec->link_busy_fraction) << "}";
-    }
-    os << "\n}\n";
-}
-
-int
-cmd_swap(const Args &args)
-{
-    const std::string name = args.value("model", "resnet50");
-    const nn::Model model = nn::build_model(name);
-    const runtime::SessionConfig config = session_config(args);
-    const auto result = runtime::run_training(model, config);
-
-    swap::PlannerOptions opts;
-    opts.link = analysis::LinkBandwidth{config.device.d2h_bw_bps,
-                                        config.device.h2d_bw_bps};
-    // New spellings first, the swap-plan era ones as fallbacks.
-    opts.safety_factor = std::stod(
-        args.value("safety-factor", args.value("safety", "1.0")));
-    opts.min_block_bytes =
-        static_cast<std::size_t>(std::stoll(args.value(
-            "min-block", args.value("min-block-mb", "8")))) *
-        1024 * 1024;
-    opts.allow_overhead =
-        args.flag("allow-overhead") || args.flag("aggressive");
-    const bool validate = args.flag("validate");
-
-    const auto plan = swap::SwapPlanner(opts).plan(result.trace);
-
-    std::printf("swap plan for %s batch %lld on %s\n", name.c_str(),
-                static_cast<long long>(config.batch),
-                config.device.name.c_str());
-    std::printf("  decisions:          %zu\n", plan.decisions.size());
-    std::printf("  original peak:      %s\n",
-                format_bytes(plan.original_peak_bytes).c_str());
-    std::printf("  predicted savings:  %s\n",
-                format_bytes(plan.peak_reduction_bytes).c_str());
-    std::printf("  predicted stall:    %s\n",
-                format_time(plan.predicted_overhead).c_str());
-
-    swap::SwapExecutionResult exec;
-    if (validate) {
-        // Execute the plan printed above — not a re-planned copy —
-        // so the exported per-decision rows stay aligned with it.
-        sim::LinkScheduler link(opts.link.d2h_bps,
-                                opts.link.h2d_bps);
-        exec = swap::execute_plan(result.trace, plan, link);
-        std::printf("validated on the shared PCIe link:\n");
-        std::printf("  new peak:           %s\n",
-                    format_bytes(exec.new_peak_bytes).c_str());
-        std::printf("  measured savings:   %s\n",
-                    format_bytes(exec.measured_peak_reduction)
-                        .c_str());
-        std::printf("  bytes moved:        %s out + %s in\n",
-                    format_bytes(exec.d2h_bytes).c_str(),
-                    format_bytes(exec.h2d_bytes).c_str());
-        std::printf("  link busy:          %s (%.1f%% of trace)\n",
-                    format_time(exec.transfer_time).c_str(),
-                    100.0 * exec.link_busy_fraction);
-        std::printf("  queue delay:        %s\n",
-                    format_time(exec.queue_delay).c_str());
-        std::printf("  measured stall:     %s\n",
-                    format_time(exec.measured_stall).c_str());
-        if (exec.measured_stall > plan.predicted_overhead)
-            std::printf("  contention stall:   %s beyond the "
-                        "dedicated-link prediction\n",
-                        format_time(exec.measured_stall -
-                                    plan.predicted_overhead)
-                            .c_str());
-    }
-
-    const swap::SwapExecutionResult *measured =
-        validate ? &exec : nullptr;
-    const std::string csv = args.value("csv", "");
-    if (!csv.empty()) {
-        std::ofstream os(csv);
-        PP_CHECK(os.good(), "cannot open '" << csv << "'");
-        write_swap_csv(plan, measured, os);
-        std::printf("wrote swap schedule CSV to %s\n", csv.c_str());
-    }
-    const std::string json = args.value("json", "");
-    if (!json.empty()) {
-        std::ofstream os(json);
-        PP_CHECK(os.good(), "cannot open '" << json << "'");
-        write_swap_json(name, config, plan, measured, os);
-        std::printf("wrote swap schedule JSON to %s\n", json.c_str());
-    }
-    return 0;
-}
-
-/** Writes the per-decision relief schedule as CSV. */
-void
-write_relief_csv(const relief::ReliefReport &report, std::ostream &os)
-{
-    os << "mechanism,block,tensor,size_bytes,gap_start_ns,"
-          "gap_end_ns,gap_ns,overhead_ns,covers_peak,hide_ratio,"
-          "producer,recompute_cost_ns\n";
-    for (const auto &d : report.decisions) {
-        os << relief::mechanism_name(d.mechanism) << ',' << d.block
-           << ',' << d.tensor << ',' << d.size << ',' << d.gap_start
-           << ',' << d.gap_end << ',' << d.gap << ',' << d.overhead
-           << ',' << (d.covers_peak ? 1 : 0) << ','
-           << format_fixed6(d.hide_ratio) << ',' << d.producer << ','
-           << d.recompute_cost << "\n";
-    }
-}
-
-/** Writes the relief plan and its scheduled execution as JSON. */
-void
-write_relief_json(const std::string &model,
-                  const runtime::SessionConfig &config,
-                  const relief::ReliefReport &report, std::ostream &os)
-{
-    os << "{\n  \"model\": \"" << trace::json_escape(model)
-       << "\", \"batch\": " << config.batch << ", \"device\": \""
-       << trace::json_escape(config.device.name)
-       << "\", \"strategy\": \""
-       << relief::strategy_name(report.strategy) << "\",\n"
-       << "  \"plan\": {\"decisions\": " << report.decisions.size()
-       << ", \"swap_decisions\": " << report.swap_decisions
-       << ", \"recompute_decisions\": " << report.recompute_decisions
-       << ", \"original_peak_bytes\": " << report.original_peak_bytes
-       << ", \"peak_reduction_bytes\": "
-       << report.peak_reduction_bytes
-       << ", \"predicted_overhead_ns\": " << report.predicted_overhead
-       << "},\n  \"execution\": {\"new_peak_bytes\": "
-       << report.new_peak_bytes
-       << ", \"measured_peak_reduction_bytes\": "
-       << report.measured_peak_reduction
-       << ", \"measured_overhead_ns\": " << report.measured_overhead
-       << ", \"swap_stall_ns\": "
-       << report.swap_execution.measured_stall
-       << ", \"link_busy_fraction\": "
-       << format_fixed6(report.swap_execution.link_busy_fraction)
-       << "},\n  \"decisions\": [\n";
-    for (std::size_t i = 0; i < report.decisions.size(); ++i) {
-        const auto &d = report.decisions[i];
-        os << "    {\"mechanism\": \""
-           << relief::mechanism_name(d.mechanism)
-           << "\", \"block\": " << d.block
-           << ", \"size_bytes\": " << d.size
-           << ", \"gap_start_ns\": " << d.gap_start
-           << ", \"gap_end_ns\": " << d.gap_end
-           << ", \"overhead_ns\": " << d.overhead
-           << ", \"covers_peak\": "
-           << (d.covers_peak ? "true" : "false");
-        if (d.mechanism == relief::Mechanism::kSwap)
-            os << ", \"hide_ratio\": "
-               << format_fixed6(d.hide_ratio);
-        else
-            os << ", \"producer\": \"" << trace::json_escape(d.producer)
-               << "\", \"recompute_cost_ns\": " << d.recompute_cost;
-        os << "}" << (i + 1 < report.decisions.size() ? "," : "")
-           << "\n";
-    }
-    os << "  ]\n}\n";
-}
-
-int
-cmd_relief(const Args &args)
-{
-    const std::string name = args.value("model", "resnet50");
-    const nn::Model model = nn::build_model(name);
-    const runtime::SessionConfig config = session_config(args);
-    const auto result = runtime::run_training(model, config);
-
-    relief::StrategyOptions opts;
-    opts.link = analysis::LinkBandwidth{config.device.d2h_bw_bps,
-                                        config.device.h2d_bw_bps};
-    opts.safety_factor =
-        std::stod(args.value("safety-factor", "1.0"));
-    opts.min_block_bytes = static_cast<std::size_t>(std::stoll(
-                               args.value("min-block", "8"))) *
-                           1024 * 1024;
-    const std::string budget_ms = args.value("budget-ms", "");
-    if (!budget_ms.empty())
-        opts.overhead_budget = static_cast<TimeNs>(
-            std::stod(budget_ms) * static_cast<double>(kNsPerMs));
-    const relief::Strategy strategy =
-        relief::strategy_from_name(args.value("strategy", "hybrid"));
-
-    // One trace analysis, three strategies at the same budget: the
-    // selected strategy's detailed report plus the two references,
-    // so a single run answers "which lever wins here?".
-    const relief::StrategyPlanner planner(opts);
-    const auto reports = planner.plan_all(result.trace);
-    std::printf("relief plan for %s batch %lld on %s", name.c_str(),
-                static_cast<long long>(config.batch),
-                config.device.name.c_str());
-    if (opts.overhead_budget != relief::kUnlimitedBudget)
-        std::printf(" (budget %s)",
-                    format_time(opts.overhead_budget).c_str());
-    std::printf("\n\n%-12s %10s %12s %12s %12s %12s\n", "strategy",
-                "decisions", "peak save", "overhead", "meas save",
-                "meas ovh");
-    relief::ReliefReport selected;
-    for (const auto &rep : reports) {
-        std::printf("%-12s %10zu %12s %12s %12s %12s%s\n",
-                    relief::strategy_name(rep.strategy),
-                    rep.decisions.size(),
-                    format_bytes(rep.peak_reduction_bytes).c_str(),
-                    format_time(rep.predicted_overhead).c_str(),
-                    format_bytes(rep.measured_peak_reduction).c_str(),
-                    format_time(rep.measured_overhead).c_str(),
-                    rep.strategy == strategy ? "  <-- selected" : "");
-        if (rep.strategy == strategy)
-            selected = rep;
-    }
-
-    std::printf("\nselected %s: %zu decisions (%zu swap, %zu "
-                "recompute)\n",
-                relief::strategy_name(strategy),
-                selected.decisions.size(), selected.swap_decisions,
-                selected.recompute_decisions);
-    std::printf("  original peak:      %s\n",
-                format_bytes(selected.original_peak_bytes).c_str());
-    std::printf("  predicted savings:  %s\n",
-                format_bytes(selected.peak_reduction_bytes).c_str());
-    std::printf("  new peak (sched.):  %s\n",
-                format_bytes(selected.new_peak_bytes).c_str());
-    std::printf("  bytes swapped:      %s\n",
-                format_bytes(selected.total_swapped_bytes).c_str());
-    std::printf("  bytes recomputed:   %s\n",
-                format_bytes(selected.total_recomputed_bytes)
-                    .c_str());
-    std::printf("  measured overhead:  %s (%s link stall + "
-                "recompute)\n",
-                format_time(selected.measured_overhead).c_str(),
-                format_time(selected.swap_execution.measured_stall)
-                    .c_str());
-
-    const std::string csv = args.value("csv", "");
-    if (!csv.empty()) {
-        std::ofstream os(csv);
-        PP_CHECK(os.good(), "cannot open '" << csv << "'");
-        write_relief_csv(selected, os);
-        std::printf("wrote relief schedule CSV to %s\n", csv.c_str());
-    }
-    const std::string json = args.value("json", "");
-    if (!json.empty()) {
-        std::ofstream os(json);
-        PP_CHECK(os.good(), "cannot open '" << json << "'");
-        write_relief_json(name, config, selected, os);
-        std::printf("wrote relief schedule JSON to %s\n",
-                    json.c_str());
-    }
-    return 0;
-}
-
-int
-cmd_bandwidth(const Args &args)
-{
-    const sim::DeviceSpec spec =
-        sim::device_spec_by_name(args.value("device", "titan-x"));
-    const sim::CostModel cost(spec);
-    const sim::BandwidthTest bw(cost);
-    constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
-    std::printf("bandwidthTest equivalent on %s\n", spec.name.c_str());
-    std::printf("  H2D pinned: %.2f GB/s\n",
-                bw.asymptotic_bps(sim::CopyDir::kHostToDevice) / kGB);
-    std::printf("  D2H pinned: %.2f GB/s\n",
-                bw.asymptotic_bps(sim::CopyDir::kDeviceToHost) / kGB);
-    return 0;
-}
-
-int
-cmd_models()
-{
-    // stdout carries bare names only, so `models | xargs` stays
-    // scriptable; the variant annotation goes to stderr.
-    for (const auto &entry : nn::model_registry()) {
-        std::printf("%s\n", entry.name.c_str());
-        if (!entry.in_default_zoo)
-            std::fprintf(stderr, "# %s is a test variant (excluded "
-                                 "from default sweeps)\n",
-                         entry.name.c_str());
-    }
-    return 0;
-}
-
-int
-cmd_sweep(const Args &args)
-{
-    sweep::SweepGrid grid;
-    grid.models = sweep::split_list(args.value("models", ""));
-    grid.batches = sweep::parse_batches(args.value("batches", ""));
-    grid.allocators =
-        sweep::parse_allocators(args.value("allocators", ""));
-    grid.devices = sweep::split_list(args.value("devices", ""));
-    const auto parse_int = [&](const char *flag, const char *fallback) {
-        const std::string v = args.value(flag, fallback);
-        try {
-            return std::stoi(v);
-        } catch (const std::exception &) {
-            PP_CHECK(false, "--" << flag << " needs an integer, got '"
-                                 << v << "'");
-        }
-    };
-    grid.iterations = parse_int("iterations", "5");
-
-    sweep::SweepOptions opts;
-    opts.jobs = parse_int("jobs", "1");
-    PP_CHECK(opts.jobs >= 1, "--jobs must be >= 1");
-    opts.swap_plan = !args.flag("no-swap-plan");
-    const bool quiet = args.flag("quiet");
-    if (!quiet) {
-        opts.on_result = [](const sweep::ScenarioResult &r) {
-            std::fprintf(stderr, "[%s] %s\n",
-                         sweep::scenario_status_name(r.status),
-                         r.scenario.id().c_str());
-        };
-    }
-
-    const auto scenarios = sweep::expand_grid(grid);
-    std::fprintf(stderr, "sweeping %zu scenarios on %d worker%s...\n",
-                 scenarios.size(), opts.jobs,
-                 opts.jobs == 1 ? "" : "s");
-    const auto report = sweep::run_sweep(scenarios, opts);
-
-    sweep::write_sweep_table(report, std::cout);
-    const std::string csv = args.value("csv", "");
-    if (!csv.empty()) {
-        sweep::write_sweep_csv_file(report, csv);
-        std::printf("wrote sweep CSV to %s\n", csv.c_str());
-    }
-    const std::string json = args.value("json", "");
-    if (!json.empty()) {
-        sweep::write_sweep_json_file(report, json);
-        std::printf("wrote sweep JSON to %s\n", json.c_str());
-    }
-    // Deterministic simulated OOMs are findings, not failures; only
-    // scenario *errors* make the sweep exit non-zero.
-    return report.failed == 0 ? 0 : 2;
-}
-
-void
-usage()
-{
-    std::printf(
-        "usage: pinpoint_cli <command> [options]\n"
-        "commands:\n"
-        "  characterize  run a workload and print the full report\n"
-        "                (--model --batch --iterations --allocator\n"
-        "                 --device --micro-batches --csv --chrome\n"
-        "                 --series --no-gantt)\n"
-        "  swap          plan swapping for a workload and validate\n"
-        "                it on the shared PCIe link\n"
-        "                (--model --batch --safety-factor\n"
-        "                 --min-block <MiB> --allow-overhead\n"
-        "                 --validate --csv --json; swap-plan is an\n"
-        "                 alias)\n"
-        "  relief        compare swap / recompute / hybrid relief\n"
-        "                strategies for a workload under one\n"
-        "                overhead budget\n"
-        "                (--model --batch --strategy --budget-ms\n"
-        "                 --safety-factor --min-block <MiB>\n"
-        "                 --csv --json)\n"
-        "  bandwidth     run the bandwidthTest equivalent (--device)\n"
-        "  models        list available models\n"
-        "  sweep         run a model × batch × allocator × device\n"
-        "                grid in parallel and aggregate the results\n"
-        "                (--jobs --models --batches --allocators\n"
-        "                 --devices --iterations --csv --json\n"
-        "                 --no-swap-plan --quiet)\n");
-}
-
-}  // namespace
+#include "cli/commands.h"
 
 int
 main(int argc, char **argv)
 {
-    const Args args(argc, argv);
-    try {
-        const std::string cmd = args.command();
-        if (cmd == "characterize")
-            return cmd_characterize(args);
-        if (cmd == "swap" || cmd == "swap-plan")
-            return cmd_swap(args);
-        if (cmd == "relief")
-            return cmd_relief(args);
-        if (cmd == "bandwidth")
-            return cmd_bandwidth(args);
-        if (cmd == "models")
-            return cmd_models();
-        if (cmd == "sweep")
-            return cmd_sweep(args);
-        usage();
-        return cmd.empty() ? 0 : 1;
-    } catch (const Error &e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
-    }
+    using namespace pinpoint;
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    cli::CommandIo io{std::cout, std::cerr};
+    return cli::run_cli(cli::make_default_registry(), args, io);
 }
