@@ -31,7 +31,7 @@ main()
         config.iterations = 50;
         config.device.launch_overhead_ns = launch_us * 1000;
         const auto result = runtime::run_training(nn::mlp(), config);
-        const auto atis = analysis::compute_atis(result.trace);
+        const auto atis = analysis::compute_atis(result.view());
         const auto s =
             analysis::summarize(analysis::ati_microseconds(atis));
         std::printf("%12llu %10.1f %10.1f %10.1f %10.1f\n",

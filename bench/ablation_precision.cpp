@@ -28,7 +28,7 @@ run_one(const char *label, const nn::Model &model, std::int64_t batch,
     config.iterations = 3;
     config.plan.dtype = dtype;
     const auto r = runtime::run_training(model, config);
-    const auto b = analysis::occupation_breakdown(r.trace);
+    const auto b = analysis::occupation_breakdown(r.view());
     std::printf(
         "%-22s %5s %12s %12s %12s %12s\n", label, dtype_name(dtype),
         format_bytes(b.peak_total).c_str(),

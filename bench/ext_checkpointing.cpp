@@ -27,7 +27,7 @@ sweep(const char *label, const nn::Model &model, std::int64_t batch)
         config.iterations = 3;
         config.plan.checkpoint_every = every;
         const auto r = runtime::run_training(model, config);
-        const auto b = analysis::occupation_breakdown(r.trace);
+        const auto b = analysis::occupation_breakdown(r.view());
         std::printf("%-18s %5d %12s %12s %12s\n", label, every,
                     format_bytes(b.peak_total).c_str(),
                     format_bytes(

@@ -54,17 +54,17 @@ main()
         swap::PlannerOptions opts;
         opts.link = link;
         report("mlp+staging (hideable only)",
-               swap::SwapPlanner(opts).plan(result.trace));
+               swap::SwapPlanner(opts).plan(result.view()));
 
         opts.safety_factor = 2.0;
         report("mlp+staging (safety 2.0)",
-               swap::SwapPlanner(opts).plan(result.trace));
+               swap::SwapPlanner(opts).plan(result.view()));
 
         opts.safety_factor = 1.0;
         opts.allow_overhead = true;
         opts.min_block_bytes = 16 * 1024 * 1024;
         report("mlp+staging (aggressive >=16MB)",
-               swap::SwapPlanner(opts).plan(result.trace));
+               swap::SwapPlanner(opts).plan(result.view()));
     }
 
     {
@@ -77,12 +77,12 @@ main()
         swap::PlannerOptions opts;
         opts.link = link;
         report("resnet18 (hideable only)",
-               swap::SwapPlanner(opts).plan(result.trace));
+               swap::SwapPlanner(opts).plan(result.view()));
 
         opts.allow_overhead = true;
         opts.min_block_bytes = 64 * 1024 * 1024;
         report("resnet18 (aggressive >=64MB)",
-               swap::SwapPlanner(opts).plan(result.trace));
+               swap::SwapPlanner(opts).plan(result.view()));
     }
 
     std::printf("\ntakeaway (matches the paper): kernel-scale ATIs "

@@ -41,7 +41,7 @@ main()
         config.iterations = 2;
         try {
             const auto r = runtime::run_training(model, config);
-            const auto b = analysis::occupation_breakdown(r.trace);
+            const auto b = analysis::occupation_breakdown(r.view());
             // Bytes of one layer's attention probabilities.
             const std::size_t probs =
                 static_cast<std::size_t>(8 * cfg.heads * seq * seq) *

@@ -9,6 +9,7 @@
 
 #include "analysis/gantt.h"
 #include "analysis/series.h"
+#include "analysis/trace_view.h"
 #include "api/study.h"
 #include "bench_util.h"
 #include "core/check.h"
@@ -31,16 +32,21 @@ main()
     const runtime::SessionResult &result = study.result();
 
     const analysis::Timeline &timeline = study.timeline();
-    // Migration hygiene: the cached facet must equal a direct
-    // reconstruction — Study caching changes cost, not results.
+    // Migration hygiene: the cached facet must equal a rebuild on a
+    // fresh view — sharing one TraceView changes cost, not results.
     {
-        const analysis::Timeline direct(result.trace);
+        const analysis::TraceView fresh(result.trace);
+        const analysis::Timeline &direct = fresh.timeline();
         PP_CHECK(timeline.blocks().size() == direct.blocks().size() &&
                      timeline.end() == direct.end() &&
                      timeline.peak_time() == direct.peak_time(),
                  "Study timeline facet diverged from direct "
                  "reconstruction");
     }
+    // The one-build-per-run invariant: everything this bench reads
+    // (timeline, pattern, series, gantt) shares one construction.
+    bench::ViewBuildTally tally;
+    tally.record(study, 1, 1);
 
     bench::section("block lifetimes (one row per Fig. 2 rectangle)");
     std::printf("%-6s %-28s %-10s %12s %12s %12s\n", "block", "tensor",
@@ -83,7 +89,7 @@ main()
                 pattern.iterations);
 
     bench::section("total footprint over time (area under the Gantt)");
-    const auto series = analysis::occupancy_series(study.trace(), 96);
+    const auto series = analysis::occupancy_series(study.view(), 96);
     std::size_t peak_bytes = 0;
     for (const auto &p : series)
         peak_bytes = std::max(peak_bytes, p.total());
@@ -117,5 +123,6 @@ main()
                 gaps.gap_fraction() * 100.0);
     std::printf("allocator slack (reserved-allocated) at end: %s\n",
                 format_bytes(result.alloc_stats.slack_bytes()).c_str());
+    tally.print_trailer();
     return 0;
 }

@@ -34,7 +34,7 @@ main()
     // Migration hygiene: the cached facet must equal a direct
     // extraction — Study caching changes cost, not results.
     {
-        const auto direct = analysis::compute_atis(result.trace);
+        const auto direct = analysis::compute_atis(result.view());
         bool equal = direct.size() == atis.size();
         for (std::size_t i = 0; equal && i < direct.size(); ++i)
             equal = direct[i].block == atis[i].block &&
@@ -42,6 +42,10 @@ main()
         PP_CHECK(equal, "Study ATI facet diverged from direct "
                         "extraction");
     }
+    // One shared trace index per run: the ATI scans walk frozen
+    // columns, so at most the facets' single Timeline build exists.
+    bench::ViewBuildTally tally;
+    tally.record(study, 0, 1);
     const auto us = analysis::ati_microseconds(atis);
     analysis::Cdf cdf(us);
 
@@ -87,7 +91,7 @@ main()
     bench::section("sensitivity: counting malloc/free as accesses");
     analysis::AtiOptions with_af;
     with_af.include_alloc_free = true;
-    const auto atis_af = analysis::compute_atis(result.trace, with_af);
+    const auto atis_af = analysis::compute_atis(result.view(), with_af);
     const auto s_af =
         analysis::summarize(analysis::ati_microseconds(atis_af));
     std::printf("samples %zu -> %zu, median %.1fus -> %.1fus, p90 "
@@ -106,5 +110,6 @@ main()
                 cdf.percentile(0.90));
     std::printf("note: the tail above the band is parameter reuse "
                 "across fwd/bwd/optimizer phases; see EXPERIMENTS.md\n");
+    tally.print_trailer();
     return 0;
 }

@@ -52,7 +52,7 @@ main()
     config.iterations = 2 * iters_per_epoch + 1;
     const auto result = runtime::run_training(nn::mlp(), config);
 
-    const auto atis = analysis::compute_atis(result.trace);
+    const auto atis = analysis::compute_atis(result.view());
     std::printf("%zu memory behaviors, %zu ATI samples\n",
                 result.trace.size(), atis.size());
 

@@ -38,6 +38,7 @@ main()
     };
 
     bool hygiene_checked = false;
+    bench::ViewBuildTally tally;
     std::printf("\n%-16s %6s %12s | %18s %18s %18s\n", "model", "batch",
                 "peak", "input", "parameters", "intermediates");
     for (const auto &w : workloads) {
@@ -53,13 +54,17 @@ main()
             // cached facet must equal a direct replay.
             if (!hygiene_checked) {
                 const auto direct = analysis::occupation_breakdown(
-                    study.trace());
+                    study.view());
                 PP_CHECK(direct.peak_total == b.peak_total &&
                              direct.at_peak == b.at_peak,
                          "Study breakdown facet diverged from "
                          "direct replay");
                 hygiene_checked = true;
             }
+            // One shared trace index per scenario: the breakdown
+            // walks the frozen columns and must never have forced
+            // more than the facets' single Timeline build.
+            tally.record(study, 0, 1);
             auto cell = [&](Category c) {
                 static char buf[64];
                 std::snprintf(
@@ -84,6 +89,7 @@ main()
         }
     }
 
+    tally.print_trailer();
     std::printf("\npaper checkpoints: parameters are a small slice "
                 "for most DNNs (so pruning/quantization alone cannot "
                 "fix training memory); intermediates dominate.\n");

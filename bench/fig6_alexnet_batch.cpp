@@ -32,6 +32,7 @@ main()
         analysis::BreakdownResult b;
     };
     std::vector<Row> rows;
+    bench::ViewBuildTally tally;
     for (std::int64_t batch : {16, 32, 64, 128, 256, 512}) {
         api::WorkloadSpec spec;
         spec.model = "alexnet-cifar";
@@ -42,10 +43,12 @@ main()
         // Migration hygiene, checked at the smallest batch: the
         // cached facet must equal a direct replay.
         if (batch == 16)
-            PP_CHECK(analysis::occupation_breakdown(study.trace())
+            PP_CHECK(analysis::occupation_breakdown(study.view())
                              .peak_total == b.peak_total,
                      "Study breakdown facet diverged from direct "
                      "replay");
+        // One shared trace index per scenario.
+        tally.record(study, 0, 1);
         rows.push_back({batch, b});
         std::printf(
             "%6lld %12s %12s %12s %12s\n",
@@ -76,6 +79,7 @@ main()
                         .c_str());
     }
 
+    tally.print_trailer();
     std::printf("\npaper checkpoints: parameter share falls "
                 "monotonically with batch; intermediates dominate at "
                 "large batch; input share grows slightly.\n");

@@ -26,6 +26,7 @@ main()
                   "16/32/64, 3 iterations each, Titan X 12GB");
 
     bool hygiene_checked = false;
+    bench::ViewBuildTally tally;
     std::printf("\n%-10s %6s %12s %10s %10s %10s\n", "model", "batch",
                 "peak", "input", "params", "interm");
     for (int depth : {18, 34, 50, 101, 152}) {
@@ -42,12 +43,14 @@ main()
                 // facet must equal a direct replay.
                 if (!hygiene_checked) {
                     PP_CHECK(
-                        analysis::occupation_breakdown(study.trace())
+                        analysis::occupation_breakdown(study.view())
                                 .at_peak == b.at_peak,
                         "Study breakdown facet diverged from "
                         "direct replay");
                     hygiene_checked = true;
                 }
+                // One shared trace index per scenario.
+                tally.record(study, 0, 1);
                 std::printf(
                     "%-10s %6lld %12s %10s %10s %10s\n",
                     model.name.c_str(),
@@ -70,6 +73,7 @@ main()
         }
     }
 
+    tally.print_trailer();
     std::printf("\npaper checkpoints: deeper ResNets shift the "
                 "breakdown further toward intermediates; parameters "
                 "stay a minor share at every depth; larger batches "

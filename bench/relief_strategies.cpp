@@ -40,6 +40,7 @@ main(int argc, char **argv)
                 "overhead", "save", "overhead");
 
     bool hygiene_checked = false;
+    bench::ViewBuildTally tally;
     for (const auto &entry : nn::model_registry()) {
         if (!entry.in_default_zoo)
             continue;
@@ -53,6 +54,12 @@ main(int argc, char **argv)
         TimeNs overhead[relief::kNumStrategies];
         std::size_t original_peak = 0;
         const auto &reports = study.relief_all();
+        // The PR 5 invariant, enforced per scenario: planning all
+        // three strategies and scheduling their swap legs costs
+        // exactly ONE timeline construction on the shared view.
+        // Before TraceView the same path built it four times
+        // (plan_all context + one per-strategy execute_plan).
+        tally.record(study, 1, 1);
         // Migration hygiene, checked on the first (cheapest) model:
         // the cached relief facet must equal a direct plan_all on
         // the same trace and options.
@@ -62,7 +69,7 @@ main(int argc, char **argv)
                 study.device().d2h_bw_bps,
                 study.device().h2d_bw_bps};
             const auto direct = relief::StrategyPlanner(opts)
-                                    .plan_all(study.trace());
+                                    .plan_all(study.view());
             for (int i = 0; i < relief::kNumStrategies; ++i)
                 PP_CHECK(
                     direct[i].peak_reduction_bytes ==
@@ -95,6 +102,7 @@ main(int argc, char **argv)
         }
     }
 
+    tally.print_trailer(/*pre_refactor_per_scenario=*/4);
     std::printf("\ntakeaway: recompute-only reaches nearly the same "
                 "peak relief as swap-only at a fraction of the "
                 "overhead whenever the link is the bottleneck, and "

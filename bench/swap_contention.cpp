@@ -32,7 +32,7 @@ contrast(const char *name, std::int64_t batch)
     swap::PlannerOptions opts;
     opts.link = analysis::LinkBandwidth{config.device.d2h_bw_bps,
                                         config.device.h2d_bw_bps};
-    const auto plan = swap::SwapPlanner(opts).plan(result.trace);
+    const auto plan = swap::SwapPlanner(opts).plan(result.view());
 
     // (a) dedicated-link model: each decision alone on a fresh link.
     TimeNs dedicated_stall = 0;
@@ -40,13 +40,13 @@ contrast(const char *name, std::int64_t batch)
         swap::SwapPlanReport solo;
         solo.decisions.push_back(d);
         dedicated_stall +=
-            swap::execute_plan(result.trace, solo, opts.link)
+            swap::execute_plan(result.view(), solo, opts.link)
                 .measured_stall;
     }
 
     // (b) shared link: the whole plan contends for one PCIe link.
     const auto shared =
-        swap::execute_plan(result.trace, plan, opts.link);
+        swap::execute_plan(result.view(), plan, opts.link);
 
     std::printf("%-22s %9zu %12s %12s %12s %8.1f%%\n", name,
                 plan.decisions.size(),

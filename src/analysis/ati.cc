@@ -5,14 +5,14 @@
 #include <unordered_map>
 
 #include "analysis/stats.h"
+#include "analysis/trace_view.h"
 #include "core/format.h"
 
 namespace pinpoint {
 namespace analysis {
 
 std::vector<AtiSample>
-compute_atis(const trace::TraceRecorder &recorder,
-             const AtiOptions &options)
+compute_atis(const TraceView &view, const AtiOptions &options)
 {
     std::vector<AtiSample> out;
     // Last access time per live block. Erased on free so a reused
@@ -20,35 +20,37 @@ compute_atis(const trace::TraceRecorder &recorder,
     // from other tools) starts a fresh access chain.
     std::unordered_map<BlockId, TimeNs> last;
 
-    std::size_t index = 0;
-    for (const auto &e : recorder.events()) {
-        ++index;
+    const std::size_t n = view.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const trace::EventKind kind = view.kind(i);
+        const BlockId block = view.block(i);
         const bool is_access =
-            e.kind == trace::EventKind::kRead ||
-            e.kind == trace::EventKind::kWrite ||
+            kind == trace::EventKind::kRead ||
+            kind == trace::EventKind::kWrite ||
             (options.include_alloc_free &&
-             (e.kind == trace::EventKind::kMalloc ||
-              e.kind == trace::EventKind::kFree));
-        if (e.kind == trace::EventKind::kFree && !options.include_alloc_free)
-            last.erase(e.block);
+             (kind == trace::EventKind::kMalloc ||
+              kind == trace::EventKind::kFree));
+        if (kind == trace::EventKind::kFree &&
+            !options.include_alloc_free)
+            last.erase(block);
         if (!is_access)
             continue;
 
-        auto it = last.find(e.block);
+        auto it = last.find(block);
         if (it != last.end()) {
             AtiSample s;
-            s.behavior_index = index - 1;
-            s.block = e.block;
-            s.size = e.size;
-            s.interval = e.time - it->second;
-            s.at_time = e.time;
-            s.category = e.category;
-            s.op = e.op;
+            s.behavior_index = i;
+            s.block = block;
+            s.size = view.event_size(i);
+            s.interval = view.time(i) - it->second;
+            s.at_time = view.time(i);
+            s.category = view.category(i);
+            s.op = view.op(i);
             out.push_back(std::move(s));
         }
-        last[e.block] = e.time;
-        if (e.kind == trace::EventKind::kFree)
-            last.erase(e.block);
+        last[block] = view.time(i);
+        if (kind == trace::EventKind::kFree)
+            last.erase(block);
     }
     return out;
 }

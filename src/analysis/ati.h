@@ -9,9 +9,10 @@
 #define PINPOINT_ANALYSIS_ATI_H
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
-#include "trace/recorder.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace analysis {
@@ -41,11 +42,13 @@ struct AtiOptions {
     bool include_alloc_free = false;
 };
 
+class TraceView;
+
 /**
- * Computes every ATI sample of @p recorder's trace, ordered by the
+ * Computes every ATI sample of @p view's trace, ordered by the
  * closing access's position in the trace.
  */
-std::vector<AtiSample> compute_atis(const trace::TraceRecorder &recorder,
+std::vector<AtiSample> compute_atis(const TraceView &view,
                                     const AtiOptions &options = {});
 
 /** @return just the intervals in microseconds (for Cdf/violin). */

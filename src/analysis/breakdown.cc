@@ -1,7 +1,9 @@
 #include "analysis/breakdown.h"
 
 #include <unordered_map>
+#include <utility>
 
+#include "analysis/trace_view.h"
 #include "core/check.h"
 
 namespace pinpoint {
@@ -17,7 +19,7 @@ BreakdownResult::fraction(Category c) const
 }
 
 BreakdownResult
-occupation_breakdown(const trace::TraceRecorder &recorder)
+occupation_breakdown(const TraceView &view)
 {
     BreakdownResult r;
     std::array<std::size_t, kNumCategories> current{};
@@ -25,26 +27,29 @@ occupation_breakdown(const trace::TraceRecorder &recorder)
     // Category of each live block, captured at malloc time.
     std::unordered_map<BlockId, std::pair<Category, std::size_t>> live;
 
-    for (const auto &e : recorder.events()) {
-        if (e.kind == trace::EventKind::kMalloc) {
-            PP_CHECK(!live.count(e.block),
-                     "malloc of already-live block " << e.block);
-            live[e.block] = {e.category, e.size};
-            current[static_cast<int>(e.category)] += e.size;
-            total += e.size;
+    const std::size_t n = view.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (view.kind(i) == trace::EventKind::kMalloc) {
+            PP_CHECK(!live.count(view.block(i)),
+                     "malloc of already-live block " << view.block(i));
+            const Category category = view.category(i);
+            const std::size_t size = view.event_size(i);
+            live[view.block(i)] = {category, size};
+            current[static_cast<int>(category)] += size;
+            total += size;
             auto &peak_cat =
-                r.peak_per_category[static_cast<int>(e.category)];
+                r.peak_per_category[static_cast<int>(category)];
             peak_cat = std::max(peak_cat,
-                                current[static_cast<int>(e.category)]);
+                                current[static_cast<int>(category)]);
             if (total > r.peak_total) {
                 r.peak_total = total;
-                r.peak_time = e.time;
+                r.peak_time = view.time(i);
                 r.at_peak = current;
             }
-        } else if (e.kind == trace::EventKind::kFree) {
-            auto it = live.find(e.block);
+        } else if (view.kind(i) == trace::EventKind::kFree) {
+            auto it = live.find(view.block(i));
             PP_CHECK(it != live.end(),
-                     "free of unknown block " << e.block);
+                     "free of unknown block " << view.block(i));
             const auto [cat, size] = it->second;
             current[static_cast<int>(cat)] -= size;
             total -= size;

@@ -9,10 +9,12 @@
 #include <array>
 #include <cstddef>
 
-#include "trace/recorder.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace analysis {
+
+class TraceView;
 
 /** Peak-occupancy breakdown of one training run. */
 struct BreakdownResult {
@@ -30,10 +32,10 @@ struct BreakdownResult {
 };
 
 /**
- * Replays the malloc/free events of @p recorder and reports the
+ * Replays the malloc/free events of @p view and reports the
  * category breakdown at peak occupancy.
  */
-BreakdownResult occupation_breakdown(const trace::TraceRecorder &recorder);
+BreakdownResult occupation_breakdown(const TraceView &view);
 
 }  // namespace analysis
 }  // namespace pinpoint

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/trace_view.h"
 #include "trace/event.h"
 
 namespace pinpoint {
@@ -24,21 +25,22 @@ hash_sizes(const std::vector<std::size_t> &sizes)
 }  // namespace
 
 IterationPattern
-detect_iteration_pattern(const trace::TraceRecorder &recorder)
+detect_iteration_pattern(const TraceView &view)
 {
     IterationPattern p;
 
     // Malloc-size sequence of non-setup events, plus the iteration
-    // label of each allocation.
+    // label of each allocation. The view's per-kind offsets make
+    // this a walk over the mallocs only, not the whole trace.
     std::vector<std::size_t> sizes;
     std::map<std::uint32_t, std::vector<std::size_t>> per_iteration;
-    for (const auto &e : recorder.events()) {
-        if (e.kind != trace::EventKind::kMalloc)
+    for (std::size_t i :
+         view.indices_of(trace::EventKind::kMalloc)) {
+        if (view.iteration(i) == trace::kSetupIteration)
             continue;
-        if (e.iteration == trace::kSetupIteration)
-            continue;
-        sizes.push_back(e.size);
-        per_iteration[e.iteration].push_back(e.size);
+        sizes.push_back(view.event_size(i));
+        per_iteration[view.iteration(i)].push_back(
+            view.event_size(i));
     }
 
     // Label-free periodicity: smallest period with >= 95% agreement.

@@ -6,10 +6,11 @@
 #ifndef PINPOINT_ANALYSIS_ITERATION_H
 #define PINPOINT_ANALYSIS_ITERATION_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
-#include "trace/recorder.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace analysis {
@@ -36,13 +37,17 @@ struct IterationPattern {
     std::vector<std::uint64_t> signatures;
 };
 
+class TraceView;
+
 /**
  * Detects iterative behavior two ways: label-free periodicity of the
  * malloc size sequence, and per-iteration signature comparison using
  * the trace's iteration tags. Setup events are excluded.
+ *
+ * Prefer the cached verdict at TraceView::iteration_pattern(); this
+ * free function computes fresh (the view caches through it).
  */
-IterationPattern
-detect_iteration_pattern(const trace::TraceRecorder &recorder);
+IterationPattern detect_iteration_pattern(const TraceView &view);
 
 }  // namespace analysis
 }  // namespace pinpoint

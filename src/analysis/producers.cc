@@ -1,0 +1,93 @@
+#include "analysis/producers.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/trace_view.h"
+
+namespace pinpoint {
+namespace analysis {
+namespace {
+
+/** Op-instance key: one op execution in one iteration. */
+std::uint64_t
+instance_key(std::uint32_t iteration, std::int32_t op_index)
+{
+    return (static_cast<std::uint64_t>(iteration) << 32) |
+           static_cast<std::uint32_t>(op_index);
+}
+
+}  // namespace
+
+bool
+is_forward_op(const std::string &op)
+{
+    // Forward-phase ops are everything the plan builder emits during
+    // the forward pass ("*.forward", "*.mat_mul", "*.add_bias",
+    // "loss.item"); recognize them by excluding the other phases'
+    // naming patterns rather than enumerating layer kinds.
+    if (op.empty())
+        return false;
+    if (op.find(".backward") != std::string::npos)
+        return false;
+    if (op.find(".grad_accum") != std::string::npos)
+        return false;
+    if (op.compare(0, 4, "sgd.") == 0)
+        return false;
+    if (op == "data.h2d")
+        return false;
+    return true;
+}
+
+ProducerIndex
+index_producers(const TraceView &view)
+{
+    // Pass 1 — measured op durations. The engine records an op's
+    // reads at kernel launch and its writes at completion, so the
+    // spread of one (iteration, op_index) instance's event times is
+    // the kernel's simulated duration.
+    std::unordered_map<std::uint64_t, std::pair<TimeNs, TimeNs>> span;
+    const std::size_t n = view.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (view.op_index(i) < 0)
+            continue;
+        const std::uint64_t key =
+            instance_key(view.iteration(i), view.op_index(i));
+        const TimeNs time = view.time(i);
+        auto it = span.find(key);
+        if (it == span.end()) {
+            span.emplace(key, std::make_pair(time, time));
+        } else {
+            it->second.first = std::min(it->second.first, time);
+            it->second.second = std::max(it->second.second, time);
+        }
+    }
+
+    // Pass 2 — each block's first write (the view's per-kind
+    // offsets restrict the walk to the write rows). Only
+    // intermediate-category blocks materialized by a forward op can
+    // be re-derived by a re-run: parameters and host inputs have no
+    // in-iteration producer to replay.
+    ProducerIndex producers;
+    for (std::size_t i : view.indices_of(trace::EventKind::kWrite)) {
+        if (view.op_index(i) < 0)
+            continue;
+        if (producers.count(view.block(i)))
+            continue;
+        if (view.category(i) != Category::kIntermediate ||
+            !is_forward_op(view.op(i)))
+            continue;
+        const auto it =
+            span.find(instance_key(view.iteration(i), view.op_index(i)));
+        TimeNs cost = 0;
+        if (it != span.end())
+            cost = it->second.second - it->second.first;
+        if (cost == 0)
+            continue;  // no measurable forward time: not priceable
+        producers.emplace(view.block(i), Producer{view.op(i), cost});
+    }
+    return producers;
+}
+
+}  // namespace analysis
+}  // namespace pinpoint

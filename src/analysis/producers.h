@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Recompute-producer index: maps each block to the forward op that
+ * first wrote it and that op's measured duration — the price of
+ * re-running it once more. The compute-side counterpart of the
+ * Eq. 1 swap model, consumed by the relief planners.
+ *
+ * Lives in analysis/ (not relief/) because it is a sub-index of
+ * TraceView, built once per run and shared by every consumer, next
+ * to the Timeline and the iteration pattern.
+ */
+#ifndef PINPOINT_ANALYSIS_PRODUCERS_H
+#define PINPOINT_ANALYSIS_PRODUCERS_H
+
+#include <string>
+#include <unordered_map>
+
+#include "core/types.h"
+
+namespace pinpoint {
+namespace analysis {
+
+class TraceView;
+
+/**
+ * The forward op that materialized a block, with its measured
+ * duration — the price of running it once more.
+ */
+struct Producer {
+    /** Qualified op name, e.g. "layer1.0.conv2.forward". */
+    std::string op;
+    /** Measured duration of that op instance in the trace. */
+    TimeNs forward_ns = 0;
+};
+
+/** Block → producing forward op, the recompute price list. */
+using ProducerIndex = std::unordered_map<BlockId, Producer>;
+
+/**
+ * Builds the producer index of @p view's trace. A block appears
+ * only when it is recomputable: its first write came from a
+ * forward-phase op (not backward, optimizer, or data-load) whose
+ * measured duration is positive.
+ *
+ * Prefer the cached copy at TraceView::producers(); this free
+ * function computes a fresh index (the view caches through it).
+ */
+ProducerIndex index_producers(const TraceView &view);
+
+/** @return true when op name @p op belongs to the forward phase. */
+bool is_forward_op(const std::string &op);
+
+}  // namespace analysis
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ANALYSIS_PRODUCERS_H

@@ -11,6 +11,7 @@
 #include "analysis/outliers.h"
 #include "analysis/stats.h"
 #include "analysis/timeline.h"
+#include "analysis/trace_view.h"
 #include "core/check.h"
 #include "core/format.h"
 
@@ -27,22 +28,24 @@ heading(std::ostream &os, const std::string &text)
 }  // namespace
 
 void
-write_report(const trace::TraceRecorder &recorder, std::ostream &os,
+write_report(const TraceView &view, std::ostream &os,
              const ReportOptions &options)
 {
-    PP_CHECK(!recorder.empty(), "cannot report on an empty trace");
+    PP_CHECK(!view.empty(), "cannot report on an empty trace");
 
-    Timeline timeline(recorder);
+    // The shared sub-index: every section below reads this one
+    // instance, never a private rebuild.
+    const Timeline &timeline = view.timeline();
     os << "pinpoint characterization — " << options.title << "\n";
-    os << recorder.size() << " memory behaviors over "
+    os << view.size() << " memory behaviors over "
        << format_time(timeline.end() - timeline.start()) << " ("
-       << recorder.count(trace::EventKind::kMalloc) << " malloc, "
-       << recorder.count(trace::EventKind::kFree) << " free, "
-       << recorder.count(trace::EventKind::kRead) << " read, "
-       << recorder.count(trace::EventKind::kWrite) << " write)\n";
+       << view.count(trace::EventKind::kMalloc) << " malloc, "
+       << view.count(trace::EventKind::kFree) << " free, "
+       << view.count(trace::EventKind::kRead) << " read, "
+       << view.count(trace::EventKind::kWrite) << " write)\n";
 
     heading(os, "iterative pattern (Fig. 2)");
-    const auto pattern = detect_iteration_pattern(recorder);
+    const auto &pattern = view.iteration_pattern();
     if (pattern.period_allocs > 0) {
         os << "periodic: every " << pattern.period_allocs
            << " allocations (confidence "
@@ -55,7 +58,7 @@ write_report(const trace::TraceRecorder &recorder, std::ostream &os,
        << pattern.iterations << " iterations\n";
 
     heading(os, "access time intervals (Fig. 3)");
-    const auto atis = compute_atis(recorder);
+    const auto atis = compute_atis(view);
     if (atis.empty()) {
         os << "no ATI samples (trace too short)\n";
     } else {
@@ -76,7 +79,7 @@ write_report(const trace::TraceRecorder &recorder, std::ostream &os,
     }
 
     heading(os, "occupation breakdown (Figs. 5-7)");
-    const auto b = occupation_breakdown(recorder);
+    const auto b = occupation_breakdown(view);
     os << "peak " << format_bytes(b.peak_total) << " at "
        << format_time(b.peak_time) << "\n";
     for (int c = 0; c < kNumCategories; ++c) {
@@ -126,11 +129,10 @@ write_report(const trace::TraceRecorder &recorder, std::ostream &os,
 }
 
 std::string
-report_string(const trace::TraceRecorder &recorder,
-              const ReportOptions &options)
+report_string(const TraceView &view, const ReportOptions &options)
 {
     std::ostringstream os;
-    write_report(recorder, os, options);
+    write_report(view, os, options);
     return os.str();
 }
 

@@ -11,7 +11,6 @@
 #include <string>
 
 #include "analysis/swap_model.h"
-#include "trace/recorder.h"
 
 namespace pinpoint {
 namespace analysis {
@@ -28,19 +27,22 @@ struct ReportOptions {
     std::size_t gantt_rows = 24;
 };
 
+class TraceView;
+
 /**
- * Writes the full characterization of @p recorder's trace to @p os:
+ * Writes the full characterization of @p view's trace to @p os:
  * event counts, iterative-pattern verdict, ATI distribution,
  * occupation breakdown, lifetime statistics, outliers, and Eq. 1
- * swap advice.
+ * swap advice. Every section shares @p view's cached sub-indices
+ * (timeline, iteration pattern) instead of re-deriving them.
  *
  * @throws Error on empty traces.
  */
-void write_report(const trace::TraceRecorder &recorder, std::ostream &os,
+void write_report(const TraceView &view, std::ostream &os,
                   const ReportOptions &options = {});
 
 /** @return the report as a string. */
-std::string report_string(const trace::TraceRecorder &recorder,
+std::string report_string(const TraceView &view,
                           const ReportOptions &options = {});
 
 }  // namespace analysis

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "analysis/trace_view.h"
 #include "core/check.h"
 
 namespace pinpoint {
@@ -18,32 +19,35 @@ OccupancyPoint::total() const
 }
 
 std::vector<OccupancyPoint>
-occupancy_series(const trace::TraceRecorder &recorder,
-                 std::size_t max_points)
+occupancy_series(const TraceView &view, std::size_t max_points)
 {
     std::vector<OccupancyPoint> series;
     OccupancyPoint cur;
     std::unordered_map<BlockId, std::pair<Category, std::size_t>>
         live;
 
-    for (const auto &e : recorder.events()) {
-        if (e.kind == trace::EventKind::kMalloc) {
-            PP_CHECK(!live.count(e.block),
-                     "malloc of already-live block " << e.block);
-            live[e.block] = {e.category, e.size};
-            cur.bytes[static_cast<int>(e.category)] += e.size;
-        } else if (e.kind == trace::EventKind::kFree) {
-            auto it = live.find(e.block);
+    const std::size_t n = view.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (view.kind(i) == trace::EventKind::kMalloc) {
+            PP_CHECK(!live.count(view.block(i)),
+                     "malloc of already-live block "
+                         << view.block(i));
+            live[view.block(i)] = {view.category(i),
+                                   view.event_size(i)};
+            cur.bytes[static_cast<int>(view.category(i))] +=
+                view.event_size(i);
+        } else if (view.kind(i) == trace::EventKind::kFree) {
+            auto it = live.find(view.block(i));
             PP_CHECK(it != live.end(),
-                     "free of unknown block " << e.block);
+                     "free of unknown block " << view.block(i));
             cur.bytes[static_cast<int>(it->second.first)] -=
                 it->second.second;
             live.erase(it);
         } else {
             continue;
         }
-        cur.time = e.time;
-        if (!series.empty() && series.back().time == e.time)
+        cur.time = view.time(i);
+        if (!series.empty() && series.back().time == cur.time)
             series.back() = cur;  // coalesce same-instant edges
         else
             series.push_back(cur);

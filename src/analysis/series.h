@@ -8,10 +8,11 @@
 #define PINPOINT_ANALYSIS_SERIES_H
 
 #include <array>
+#include <cstddef>
 #include <iosfwd>
 #include <vector>
 
-#include "trace/recorder.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace analysis {
@@ -26,15 +27,17 @@ struct OccupancyPoint {
     std::size_t total() const;
 };
 
+class TraceView;
+
 /**
  * Samples per-category occupancy at every alloc/free edge of
- * @p recorder's trace (exact, no interpolation). When @p max_points
+ * @p view's trace (exact, no interpolation). When @p max_points
  * > 0 the series is thinned to at most that many points while always
- * keeping the global peak sample.
+ * keeping the global peak sample. One pass over the frozen columns:
+ * O(n + m) for n events and m emitted points.
  */
 std::vector<OccupancyPoint>
-occupancy_series(const trace::TraceRecorder &recorder,
-                 std::size_t max_points = 0);
+occupancy_series(const TraceView &view, std::size_t max_points = 0);
 
 /** Writes the series as CSV ("time_ns,input,parameter,...") to @p os. */
 void write_series_csv(const std::vector<OccupancyPoint> &series,

@@ -1,69 +1,30 @@
 #include "analysis/timeline.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
-
-#include "core/check.h"
 
 namespace pinpoint {
 namespace analysis {
 
-Timeline::Timeline(const trace::TraceRecorder &recorder)
-{
-    const auto &events = recorder.events();
-    if (events.empty())
-        return;
-    start_ = events.front().time;
-    end_ = events.back().time;
-
-    std::unordered_map<BlockId, std::size_t> open;  // block → index
-    for (const auto &e : events) {
-        switch (e.kind) {
-          case trace::EventKind::kMalloc: {
-            PP_CHECK(!open.count(e.block),
-                     "malloc of already-live block " << e.block);
-            BlockLifetime b;
-            b.block = e.block;
-            b.ptr = e.ptr;
-            b.size = e.size;
-            b.category = e.category;
-            b.tensor = e.tensor;
-            b.alloc_iteration = e.iteration;
-            b.alloc_time = e.time;
-            open.emplace(e.block, blocks_.size());
-            blocks_.push_back(std::move(b));
-            break;
-          }
-          case trace::EventKind::kFree: {
-            auto it = open.find(e.block);
-            PP_CHECK(it != open.end(),
-                     "free of unknown block " << e.block);
-            BlockLifetime &b = blocks_[it->second];
-            b.free_time = e.time;
-            b.freed = true;
-            open.erase(it);
-            break;
-          }
-          case trace::EventKind::kRead:
-          case trace::EventKind::kWrite: {
-            auto it = open.find(e.block);
-            PP_CHECK(it != open.end(),
-                     "access to unallocated block " << e.block);
-            blocks_[it->second].accesses.push_back(e.time);
-            break;
-          }
-        }
-    }
-}
+// Construction lives in trace_view.cc (TraceView::timeline() is the
+// one build site); this file implements only the probes.
 
 std::vector<const BlockLifetime *>
 Timeline::live_at(TimeNs t) const
 {
     std::vector<const BlockLifetime *> out;
-    for (const auto &b : blocks_) {
-        if (b.alloc_time <= t && (!b.freed || b.free_time > t))
-            out.push_back(&b);
+    // blocks_ is ordered by allocation time — guaranteed because
+    // TraceRecorder::record rejects out-of-order events and
+    // TraceView (the only Timeline builder) appends blocks in event
+    // order — so every candidate precedes the first block allocated
+    // after t.
+    const auto last = std::upper_bound(
+        blocks_.begin(), blocks_.end(), t,
+        [](TimeNs probe, const BlockLifetime &b) {
+            return probe < b.alloc_time;
+        });
+    for (auto it = blocks_.begin(); it != last; ++it) {
+        if (!it->freed || it->free_time > t)
+            out.push_back(&*it);
     }
     return out;
 }
@@ -71,10 +32,18 @@ Timeline::live_at(TimeNs t) const
 std::size_t
 Timeline::live_bytes_at(TimeNs t) const
 {
-    std::size_t n = 0;
-    for (const auto *b : live_at(t))
-        n += b->size;
-    return n;
+    // Occupancy after every edge with time <= t. Frees sort before
+    // allocs at equal times, but both still apply at their instant,
+    // so the prefix at the partition point is exactly the sum over
+    // blocks with alloc_time <= t and (unfreed or free_time > t).
+    const auto it = std::upper_bound(
+        sorted_edges_.begin(), sorted_edges_.end(), t,
+        [](TimeNs probe, const OccupancyEdge &e) {
+            return probe < e.t;
+        });
+    const auto idx =
+        static_cast<std::size_t>(it - sorted_edges_.begin());
+    return static_cast<std::size_t>(prefix_[idx]);
 }
 
 GapStats
@@ -99,57 +68,6 @@ Timeline::gaps_at(TimeNs t) const
     g.span_bytes =
         static_cast<std::size_t>(cursor - live.front()->ptr);
     return g;
-}
-
-TimeNs
-Timeline::peak_time() const
-{
-    // Sweep alloc/free edges; peak can only move at an allocation.
-    struct Edge {
-        TimeNs t;
-        std::int64_t delta;
-    };
-    std::vector<Edge> edges;
-    edges.reserve(blocks_.size() * 2);
-    for (const auto &b : blocks_) {
-        edges.push_back({b.alloc_time,
-                         static_cast<std::int64_t>(b.size)});
-        if (b.freed)
-            edges.push_back({b.free_time,
-                             -static_cast<std::int64_t>(b.size)});
-    }
-    std::sort(edges.begin(), edges.end(), [](const Edge &a,
-                                             const Edge &b) {
-        if (a.t != b.t)
-            return a.t < b.t;
-        return a.delta < b.delta;  // apply frees before allocs at ties
-    });
-    std::int64_t cur = 0;
-    std::int64_t best = -1;
-    TimeNs best_t = start_;
-    for (const auto &e : edges) {
-        cur += e.delta;
-        if (cur > best) {
-            best = cur;
-            best_t = e.t;
-        }
-    }
-    return best_t;
-}
-
-std::vector<OccupancyEdge>
-occupancy_edges(const Timeline &timeline)
-{
-    std::vector<OccupancyEdge> edges;
-    edges.reserve(timeline.blocks().size() * 2);
-    for (const auto &b : timeline.blocks()) {
-        edges.push_back(
-            {b.alloc_time, static_cast<std::int64_t>(b.size)});
-        if (b.freed)
-            edges.push_back(
-                {b.free_time, -static_cast<std::int64_t>(b.size)});
-    }
-    return edges;
 }
 
 std::size_t

@@ -3,6 +3,12 @@
  * Block timeline reconstruction: turns the flat event trace into
  * per-block lifetimes with access lists — the data behind the
  * paper's Gantt chart (Fig. 2).
+ *
+ * A Timeline is a sub-index of analysis::TraceView and can only be
+ * built by one: every consumer shares the single instance the view
+ * caches instead of re-deriving it (`view.timeline()`), which is
+ * what keeps a full `relief` run at exactly one O(n log n) timeline
+ * construction.
  */
 #ifndef PINPOINT_ANALYSIS_TIMELINE_H
 #define PINPOINT_ANALYSIS_TIMELINE_H
@@ -12,10 +18,12 @@
 #include <string>
 #include <vector>
 
-#include "trace/recorder.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace analysis {
+
+class TraceView;
 
 /** One block's life: the rectangle of the paper's Gantt chart. */
 struct BlockLifetime {
@@ -63,50 +71,6 @@ struct GapStats {
 };
 
 /**
- * Per-block view of a trace. Construction is O(n log n) in the event
- * count; the result is immutable.
- */
-class Timeline
-{
-  public:
-    /**
-     * Builds the timeline from @p recorder.
-     * @throws Error on inconsistent traces (access to unallocated
-     * blocks, double frees).
-     */
-    explicit Timeline(const trace::TraceRecorder &recorder);
-
-    /** @return every block, ordered by allocation time. */
-    const std::vector<BlockLifetime> &blocks() const { return blocks_; }
-
-    /** @return time of the first event (0 for empty traces). */
-    TimeNs start() const { return start_; }
-
-    /** @return time of the last event. */
-    TimeNs end() const { return end_; }
-
-    /** @return blocks whose lifetime covers @p t. */
-    std::vector<const BlockLifetime *> live_at(TimeNs t) const;
-
-    /** @return total bytes of blocks live at @p t. */
-    std::size_t live_bytes_at(TimeNs t) const;
-
-    /** @return address-layout gap statistics at @p t. */
-    GapStats gaps_at(TimeNs t) const;
-
-    /**
-     * @return the instant of peak live bytes (first such instant)
-     * scanned over all alloc events.
-     */
-    TimeNs peak_time() const;
-
-  private:
-    std::vector<BlockLifetime> blocks_;
-    TimeNs start_ = 0;
-    TimeNs end_ = 0;
-};
-
-/**
  * Occupancy change at a time point. The common currency of the
  * what-if peak computations: the swap executor and the relief
  * planner both rebuild occupancy from these edges so their peak
@@ -117,8 +81,83 @@ struct OccupancyEdge {
     std::int64_t delta;
 };
 
-/** @return the alloc/free edges of every block of @p timeline. */
-std::vector<OccupancyEdge> occupancy_edges(const Timeline &timeline);
+/**
+ * Per-block view of a trace. Immutable; construction is O(n log n)
+ * in the event count and happens exactly once per TraceView, inside
+ * TraceView::timeline() — there is deliberately no public
+ * constructor, so no consumer can rebuild the index ad hoc.
+ *
+ * Beyond the lifetimes themselves, the index owns the sorted
+ * occupancy edges and their prefix sums, so the point probes
+ * (live_bytes_at, peak_time, peak_bytes) answer in O(log n) / O(1)
+ * instead of rescanning every block.
+ */
+class Timeline
+{
+  public:
+    /** @return every block, ordered by allocation time. */
+    const std::vector<BlockLifetime> &blocks() const { return blocks_; }
+
+    /** @return time of the first event (0 for empty traces). */
+    TimeNs start() const { return start_; }
+
+    /** @return time of the last event. */
+    TimeNs end() const { return end_; }
+
+    /**
+     * @return blocks whose lifetime covers @p t, in allocation
+     * order. Scans the blocks allocated up to @p t (binary search
+     * bounds the scan on the right; early probes are cheap, late
+     * probes still visit every earlier allocation). For the total
+     * live *bytes* use live_bytes_at — that one is O(log n).
+     */
+    std::vector<const BlockLifetime *> live_at(TimeNs t) const;
+
+    /**
+     * @return total bytes of blocks live at @p t. O(log n): a
+     * prefix-sum lookup over the sorted occupancy edges.
+     */
+    std::size_t live_bytes_at(TimeNs t) const;
+
+    /** @return address-layout gap statistics at @p t. */
+    GapStats gaps_at(TimeNs t) const;
+
+    /**
+     * @return the instant of peak live bytes (first such instant).
+     * O(1): cached from the edge sweep at construction.
+     */
+    TimeNs peak_time() const { return peak_time_; }
+
+    /**
+     * @return peak live bytes over the trace. O(1); equal to
+     * live_bytes_at(peak_time()) by construction.
+     */
+    std::size_t peak_bytes() const { return peak_bytes_; }
+
+    /**
+     * @return the alloc/free edges of every block, in block
+     * (allocation) order — the seed vector the what-if peak
+     * computations copy and extend.
+     */
+    const std::vector<OccupancyEdge> &edges() const { return edges_; }
+
+  private:
+    /** Built exclusively by TraceView::timeline(). */
+    Timeline() = default;
+    friend class TraceView;
+
+    std::vector<BlockLifetime> blocks_;
+    TimeNs start_ = 0;
+    TimeNs end_ = 0;
+    /** Alloc/free edges in block order (edges() / what-if seeds). */
+    std::vector<OccupancyEdge> edges_;
+    /** Edges sorted by (t, delta): frees before allocs at ties. */
+    std::vector<OccupancyEdge> sorted_edges_;
+    /** prefix_[i] = occupancy after the first i sorted edges. */
+    std::vector<std::int64_t> prefix_;
+    TimeNs peak_time_ = 0;
+    std::size_t peak_bytes_ = 0;
+};
 
 /**
  * @return the peak of the running occupancy sum over @p edges. At

@@ -1,0 +1,195 @@
+#include "analysis/trace_view.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace analysis {
+
+TraceView::TraceView(const trace::TraceRecorder &recorder)
+{
+    const auto &events = recorder.events();
+    const std::size_t n = events.size();
+    time_.reserve(n);
+    kind_.reserve(n);
+    block_.reserve(n);
+    ptr_.reserve(n);
+    size_.reserve(n);
+    tensor_.reserve(n);
+    category_.reserve(n);
+    iteration_.reserve(n);
+    op_index_.reserve(n);
+    op_id_.reserve(n);
+
+    std::unordered_map<std::string, std::uint32_t> interned;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &e = events[i];
+        time_.push_back(e.time);
+        kind_.push_back(e.kind);
+        block_.push_back(e.block);
+        ptr_.push_back(e.ptr);
+        size_.push_back(e.size);
+        tensor_.push_back(e.tensor);
+        category_.push_back(e.category);
+        iteration_.push_back(e.iteration);
+        op_index_.push_back(e.op_index);
+        const auto it = interned.find(e.op);
+        if (it != interned.end()) {
+            op_id_.push_back(it->second);
+        } else {
+            const auto id = static_cast<std::uint32_t>(op_names_.size());
+            interned.emplace(e.op, id);
+            op_names_.push_back(e.op);
+            op_id_.push_back(id);
+        }
+        by_kind_[static_cast<std::size_t>(e.kind)].push_back(i);
+    }
+    events_walked_.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::unique_ptr<const Timeline>
+TraceView::build_timeline() const
+{
+    // The one Timeline construction site in the codebase: every
+    // consumer shares this build through TraceView::timeline().
+    std::unique_ptr<Timeline> t(new Timeline());
+    // prefix_[0] must exist even for empty traces: live_bytes_at
+    // answers from prefix_[upper_bound(...)], which is index 0 when
+    // there are no edges.
+    t->prefix_.push_back(0);
+    const std::size_t n = size();
+    if (n == 0)
+        return t;
+    t->start_ = time_.front();
+    t->end_ = time_.back();
+
+    std::unordered_map<BlockId, std::size_t> open;  // block → index
+    for (std::size_t i = 0; i < n; ++i) {
+        switch (kind_[i]) {
+          case trace::EventKind::kMalloc: {
+            PP_CHECK(!open.count(block_[i]),
+                     "malloc of already-live block " << block_[i]);
+            BlockLifetime b;
+            b.block = block_[i];
+            b.ptr = ptr_[i];
+            b.size = size_[i];
+            b.category = category_[i];
+            b.tensor = tensor_[i];
+            b.alloc_iteration = iteration_[i];
+            b.alloc_time = time_[i];
+            open.emplace(block_[i], t->blocks_.size());
+            t->blocks_.push_back(std::move(b));
+            break;
+          }
+          case trace::EventKind::kFree: {
+            auto it = open.find(block_[i]);
+            PP_CHECK(it != open.end(),
+                     "free of unknown block " << block_[i]);
+            BlockLifetime &b = t->blocks_[it->second];
+            b.free_time = time_[i];
+            b.freed = true;
+            open.erase(it);
+            break;
+          }
+          case trace::EventKind::kRead:
+          case trace::EventKind::kWrite: {
+            auto it = open.find(block_[i]);
+            PP_CHECK(it != open.end(),
+                     "access to unallocated block " << block_[i]);
+            t->blocks_[it->second].accesses.push_back(time_[i]);
+            break;
+          }
+        }
+    }
+
+    // Freeze the probe structures: block-order edges for the
+    // what-if computations, and the (t, delta)-sorted copy with
+    // prefix sums that answers live_bytes_at/peak in O(log n)/O(1).
+    t->edges_.reserve(t->blocks_.size() * 2);
+    for (const auto &b : t->blocks_) {
+        t->edges_.push_back(
+            {b.alloc_time, static_cast<std::int64_t>(b.size)});
+        if (b.freed)
+            t->edges_.push_back(
+                {b.free_time, -static_cast<std::int64_t>(b.size)});
+    }
+    t->sorted_edges_ = t->edges_;
+    std::sort(t->sorted_edges_.begin(), t->sorted_edges_.end(),
+              [](const OccupancyEdge &a, const OccupancyEdge &b) {
+                  if (a.t != b.t)
+                      return a.t < b.t;
+                  return a.delta < b.delta;  // frees first at ties
+              });
+    t->prefix_.reserve(t->sorted_edges_.size() + 1);
+    std::int64_t cur = 0;
+    std::int64_t best = -1;
+    TimeNs best_t = t->start_;
+    for (const auto &e : t->sorted_edges_) {
+        cur += e.delta;
+        t->prefix_.push_back(cur);
+        if (cur > best) {
+            best = cur;
+            best_t = e.t;
+        }
+    }
+    t->peak_time_ = best_t;
+    t->peak_bytes_ = best > 0 ? static_cast<std::size_t>(best) : 0;
+    return t;
+}
+
+const Timeline &
+TraceView::timeline() const
+{
+    std::call_once(timeline_once_, [&] {
+        timeline_ = build_timeline();
+        timeline_builds_.fetch_add(1, std::memory_order_relaxed);
+        events_walked_.fetch_add(size(), std::memory_order_relaxed);
+    });
+    // A build that throws (inconsistent trace) propagates out of
+    // call_once without satisfying it, so the next caller retries;
+    // reaching here guarantees the slot is filled.
+    return *timeline_;
+}
+
+const ProducerIndex &
+TraceView::producers() const
+{
+    std::call_once(producers_once_, [&] {
+        producers_ = std::make_unique<const ProducerIndex>(
+            index_producers(*this));
+        producer_builds_.fetch_add(1, std::memory_order_relaxed);
+        // Pass 1 walks every event; pass 2 only the write rows.
+        events_walked_.fetch_add(
+            size() + count(trace::EventKind::kWrite),
+            std::memory_order_relaxed);
+    });
+    return *producers_;
+}
+
+const IterationPattern &
+TraceView::iteration_pattern() const
+{
+    std::call_once(pattern_once_, [&] {
+        pattern_ = std::make_unique<const IterationPattern>(
+            detect_iteration_pattern(*this));
+        pattern_builds_.fetch_add(1, std::memory_order_relaxed);
+        events_walked_.fetch_add(size(), std::memory_order_relaxed);
+    });
+    return *pattern_;
+}
+
+TraceViewStats
+TraceView::build_stats() const
+{
+    TraceViewStats s;
+    s.timeline_builds = timeline_builds_.load(std::memory_order_relaxed);
+    s.producer_builds = producer_builds_.load(std::memory_order_relaxed);
+    s.pattern_builds = pattern_builds_.load(std::memory_order_relaxed);
+    s.events_walked = events_walked_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace analysis
+}  // namespace pinpoint

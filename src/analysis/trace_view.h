@@ -1,0 +1,193 @@
+/**
+ * @file
+ * analysis::TraceView — one immutable snapshot of a recorded trace,
+ * shared by every downstream analysis.
+ *
+ * The paper's whole method is "record one memory-event trace, then
+ * derive every characterization from it". A TraceView is that trace
+ * frozen once per run: the event sequence in columnar (SoA) storage
+ * plus every expensive derived index — the block Timeline, the
+ * recompute producer index, the iteration pattern — each built
+ * lazily, exactly once, behind a std::call_once, and shared by
+ * reference with the analysis, swap, relief, runtime, and api
+ * layers. Before this class existed the per-block index was rebuilt
+ * from scratch at five independent sites on a single `relief` run;
+ * now the invariant is *one build per run*, and build_stats() makes
+ * it checkable from benches and tests.
+ *
+ * Invariants:
+ *   - A TraceView never mutates after construction; every accessor
+ *     is const and safe to call from many threads concurrently.
+ *   - The view owns its storage: the TraceRecorder it was built
+ *     from may be cleared or destroyed afterwards.
+ *   - Each sub-index is built at most once (std::call_once);
+ *     concurrent first accessors share one computation.
+ *   - TraceView is neither copyable nor movable — share it by
+ *     reference (or hold it behind a shared_ptr, as
+ *     runtime::SessionResult::view() does).
+ */
+#ifndef PINPOINT_ANALYSIS_TRACE_VIEW_H
+#define PINPOINT_ANALYSIS_TRACE_VIEW_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/iteration.h"
+#include "analysis/producers.h"
+#include "analysis/timeline.h"
+#include "trace/event.h"
+#include "trace/recorder.h"
+
+namespace pinpoint {
+namespace analysis {
+
+/**
+ * Build/work counters of one TraceView — the perf invariant made
+ * observable. A consumer stack that shares the view correctly shows
+ * at most one build per sub-index no matter how many analyses ran.
+ */
+struct TraceViewStats {
+    /** Timeline constructions (0 before first use, then 1). */
+    std::size_t timeline_builds = 0;
+    /** Producer-index constructions. */
+    std::size_t producer_builds = 0;
+    /** Iteration-pattern detections. */
+    std::size_t pattern_builds = 0;
+    /**
+     * Events scanned across the SoA freeze and every sub-index
+     * build (the freeze itself contributes one full walk).
+     */
+    std::size_t events_walked = 0;
+
+    /** @return total sub-index builds. */
+    std::size_t index_builds() const
+    {
+        return timeline_builds + producer_builds + pattern_builds;
+    }
+};
+
+/**
+ * Immutable, cheaply-shareable snapshot of one recorded trace with
+ * lazily-built, cached sub-indices. See the file comment for the
+ * sharing contract.
+ */
+class TraceView
+{
+  public:
+    /**
+     * Freezes @p recorder's events into columnar storage. O(n); the
+     * recorder is not retained.
+     */
+    explicit TraceView(const trace::TraceRecorder &recorder);
+
+    TraceView(const TraceView &) = delete;
+    TraceView &operator=(const TraceView &) = delete;
+
+    /** @return number of events in the snapshot. */
+    std::size_t size() const { return time_.size(); }
+
+    /** @return true when the snapshot holds no events. */
+    bool empty() const { return time_.empty(); }
+
+    // --- columnar event access ------------------------------------
+
+    TimeNs time(std::size_t i) const { return time_[i]; }
+    trace::EventKind kind(std::size_t i) const { return kind_[i]; }
+    BlockId block(std::size_t i) const { return block_[i]; }
+    DevPtr ptr(std::size_t i) const { return ptr_[i]; }
+    std::size_t event_size(std::size_t i) const { return size_[i]; }
+    TensorId tensor(std::size_t i) const { return tensor_[i]; }
+    Category category(std::size_t i) const { return category_[i]; }
+    std::uint32_t iteration(std::size_t i) const { return iteration_[i]; }
+    std::int32_t op_index(std::size_t i) const { return op_index_[i]; }
+
+    /** @return the (interned) op name of event @p i. */
+    const std::string &op(std::size_t i) const
+    {
+        return op_names_[op_id_[i]];
+    }
+
+    // --- per-kind counts and offsets ------------------------------
+    // Replaces TraceRecorder::count (O(n) rescan per call) and the
+    // per-call copies of TraceRecorder::filter for analysis code.
+
+    /** @return count of events of kind @p k. O(1). */
+    std::size_t count(trace::EventKind k) const
+    {
+        return by_kind_[static_cast<std::size_t>(k)].size();
+    }
+
+    /**
+     * @return the event indices of kind @p k, in trace order — the
+     * zero-copy replacement for TraceRecorder::filter-by-kind.
+     */
+    const std::vector<std::size_t> &indices_of(trace::EventKind k) const
+    {
+        return by_kind_[static_cast<std::size_t>(k)];
+    }
+
+    // --- lazy cached sub-indices ----------------------------------
+
+    /**
+     * @return the per-block Timeline. Built on first access (the
+     * one Timeline construction site in the codebase), then shared.
+     * @throws Error on inconsistent traces (access to unallocated
+     * blocks, double mallocs) — on every call, the failed build is
+     * retried so the error is not sticky-silent.
+     */
+    const Timeline &timeline() const;
+
+    /** @return the recompute producer index, built once. */
+    const ProducerIndex &producers() const;
+
+    /** @return the iterative-pattern verdict, built once. */
+    const IterationPattern &iteration_pattern() const;
+
+    /** @return a snapshot of the build/work counters. */
+    TraceViewStats build_stats() const;
+
+  private:
+    std::unique_ptr<const Timeline> build_timeline() const;
+
+    // Frozen event columns (SoA).
+    std::vector<TimeNs> time_;
+    std::vector<trace::EventKind> kind_;
+    std::vector<BlockId> block_;
+    std::vector<DevPtr> ptr_;
+    std::vector<std::size_t> size_;
+    std::vector<TensorId> tensor_;
+    std::vector<Category> category_;
+    std::vector<std::uint32_t> iteration_;
+    std::vector<std::int32_t> op_index_;
+    /** Per-event index into op_names_. */
+    std::vector<std::uint32_t> op_id_;
+    /** Interned op names, in first-appearance order. */
+    std::vector<std::string> op_names_;
+    /** Event indices per kind, in trace order. */
+    std::array<std::vector<std::size_t>, 4> by_kind_{};
+
+    // Lazy sub-indices. A failed build (inconsistent trace) leaves
+    // the slot empty and the accessor rethrows on the next call.
+    mutable std::once_flag timeline_once_;
+    mutable std::unique_ptr<const Timeline> timeline_;
+    mutable std::once_flag producers_once_;
+    mutable std::unique_ptr<const ProducerIndex> producers_;
+    mutable std::once_flag pattern_once_;
+    mutable std::unique_ptr<const IterationPattern> pattern_;
+
+    mutable std::atomic<std::size_t> timeline_builds_{0};
+    mutable std::atomic<std::size_t> producer_builds_{0};
+    mutable std::atomic<std::size_t> pattern_builds_{0};
+    mutable std::atomic<std::size_t> events_walked_{0};
+};
+
+}  // namespace analysis
+}  // namespace pinpoint
+
+#endif  // PINPOINT_ANALYSIS_TRACE_VIEW_H

@@ -15,13 +15,6 @@ namespace api {
  * behind the Study's facets_ pointer and is written exactly once.
  */
 struct Study::Facets {
-    std::once_flag timeline_once;
-    std::unique_ptr<analysis::Timeline> timeline;
-
-    std::once_flag occupancy_once;
-    std::vector<analysis::OccupancyEdge> occupancy_edges;
-    std::size_t peak_occupancy_bytes = 0;
-
     std::once_flag atis_once;
     std::vector<analysis::AtiSample> atis;
 
@@ -30,9 +23,6 @@ struct Study::Facets {
 
     std::once_flag breakdown_once;
     analysis::BreakdownResult breakdown;
-
-    std::once_flag iteration_once;
-    analysis::IterationPattern iteration_pattern;
 
     std::once_flag swap_plan_once;
     swap::SwapPlanReport swap_plan;
@@ -98,37 +88,27 @@ Study::from_trace(trace::TraceRecorder trace,
 const analysis::Timeline &
 Study::timeline() const
 {
-    std::call_once(facets_->timeline_once, [&] {
-        facets_->timeline =
-            std::make_unique<analysis::Timeline>(result_.trace);
-    });
-    return *facets_->timeline;
+    // The view's cached sub-index: the one timeline build per run.
+    return result_.view().timeline();
 }
 
 const std::vector<analysis::OccupancyEdge> &
 Study::occupancy_edges() const
 {
-    std::call_once(facets_->occupancy_once, [&] {
-        facets_->occupancy_edges =
-            analysis::occupancy_edges(timeline());
-        facets_->peak_occupancy_bytes =
-            analysis::peak_occupancy(facets_->occupancy_edges);
-    });
-    return facets_->occupancy_edges;
+    return result_.view().timeline().edges();
 }
 
 std::size_t
 Study::peak_occupancy_bytes() const
 {
-    occupancy_edges();
-    return facets_->peak_occupancy_bytes;
+    return result_.view().timeline().peak_bytes();
 }
 
 const std::vector<analysis::AtiSample> &
 Study::atis() const
 {
     std::call_once(facets_->atis_once, [&] {
-        facets_->atis = analysis::compute_atis(result_.trace);
+        facets_->atis = analysis::compute_atis(result_.view());
     });
     return facets_->atis;
 }
@@ -148,7 +128,7 @@ Study::breakdown() const
 {
     std::call_once(facets_->breakdown_once, [&] {
         facets_->breakdown =
-            analysis::occupation_breakdown(result_.trace);
+            analysis::occupation_breakdown(result_.view());
     });
     return facets_->breakdown;
 }
@@ -156,11 +136,7 @@ Study::breakdown() const
 const analysis::IterationPattern &
 Study::iteration_pattern() const
 {
-    std::call_once(facets_->iteration_once, [&] {
-        facets_->iteration_pattern =
-            analysis::detect_iteration_pattern(result_.trace);
-    });
-    return facets_->iteration_pattern;
+    return result_.view().iteration_pattern();
 }
 
 const swap::SwapPlanReport &
@@ -175,7 +151,7 @@ Study::swap_plan() const
         facets_->swap_plan =
             swap::SwapPlanner(
                 runtime::fill_swap_link(options_.swap, device_))
-                .plan(result_.trace);
+                .plan(result_.view());
     });
     return facets_->swap_plan;
 }

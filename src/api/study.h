@@ -8,6 +8,12 @@
  * validation, and the three unified-relief reports — as *lazy,
  * computed-once, cached facets*.
  *
+ * Every facet is a projection of the result's single
+ * analysis::TraceView (view()): the timeline, producer index, and
+ * iteration pattern are the view's own cached sub-indices, and the
+ * swap/relief facets plan against them — one trace index per run,
+ * shared across all five layers.
+ *
  * Invariants the layers above rely on:
  *
  *   - Each facet is computed at most once per Study, on first
@@ -115,9 +121,17 @@ class Study
     /** @return the recorded trace. */
     const trace::TraceRecorder &trace() const { return result_.trace; }
 
+    /**
+     * @return the run's shared immutable TraceView — the one trace
+     * snapshot every facet below projects from. Useful directly for
+     * build_stats() asserts and for analyses without a facet.
+     */
+    const analysis::TraceView &view() const { return result_.view(); }
+
     // --- lazy cached facets ---------------------------------------
 
-    /** @return the per-block timeline (Fig. 2 reconstruction). */
+    /** @return the per-block timeline (Fig. 2 reconstruction) —
+     * the view's cached sub-index. */
     const analysis::Timeline &timeline() const;
 
     /** @return the alloc/free occupancy edges of the timeline. */

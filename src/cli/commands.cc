@@ -81,7 +81,7 @@ cmd_characterize(const ParsedArgs &args, CommandIo &io)
     opts.link = analysis::LinkBandwidth{study.device().d2h_bw_bps,
                                         study.device().h2d_bw_bps};
     opts.gantt = !args.flag("no-gantt");
-    analysis::write_report(study.trace(), io.out, opts);
+    analysis::write_report(study.view(), io.out, opts);
 
     const std::string csv = args.value("csv", "");
     if (!csv.empty()) {
@@ -101,7 +101,7 @@ cmd_characterize(const ParsedArgs &args, CommandIo &io)
         std::ofstream os(series);
         PP_CHECK(os.good(), "cannot open '" << series << "'");
         analysis::write_series_csv(
-            analysis::occupancy_series(study.trace()), os);
+            analysis::occupancy_series(study.view()), os);
         oprintf(io.out, "wrote occupancy series to %s\n",
                 series.c_str());
     }

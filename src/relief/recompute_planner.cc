@@ -6,82 +6,9 @@
 
 namespace pinpoint {
 namespace relief {
-namespace {
 
-/** Op-instance key: one op execution in one iteration. */
-std::uint64_t
-instance_key(std::uint32_t iteration, std::int32_t op_index)
-{
-    return (static_cast<std::uint64_t>(iteration) << 32) |
-           static_cast<std::uint32_t>(op_index);
-}
-
-}  // namespace
-
-bool
-is_forward_op(const std::string &op)
-{
-    // Forward-phase ops are everything the plan builder emits during
-    // the forward pass ("*.forward", "*.mat_mul", "*.add_bias",
-    // "loss.item"); recognize them by excluding the other phases'
-    // naming patterns rather than enumerating layer kinds.
-    if (op.empty())
-        return false;
-    if (op.find(".backward") != std::string::npos)
-        return false;
-    if (op.find(".grad_accum") != std::string::npos)
-        return false;
-    if (op.compare(0, 4, "sgd.") == 0)
-        return false;
-    if (op == "data.h2d")
-        return false;
-    return true;
-}
-
-std::unordered_map<BlockId, Producer>
-index_producers(const trace::TraceRecorder &recorder)
-{
-    // Pass 1 — measured op durations. The engine records an op's
-    // reads at kernel launch and its writes at completion, so the
-    // spread of one (iteration, op_index) instance's event times is
-    // the kernel's simulated duration.
-    std::unordered_map<std::uint64_t, std::pair<TimeNs, TimeNs>> span;
-    for (const auto &e : recorder.events()) {
-        if (e.op_index < 0)
-            continue;
-        const std::uint64_t key = instance_key(e.iteration, e.op_index);
-        auto it = span.find(key);
-        if (it == span.end()) {
-            span.emplace(key, std::make_pair(e.time, e.time));
-        } else {
-            it->second.first = std::min(it->second.first, e.time);
-            it->second.second = std::max(it->second.second, e.time);
-        }
-    }
-
-    // Pass 2 — each block's first write. Only intermediate-category
-    // blocks materialized by a forward op can be re-derived by a
-    // re-run: parameters and host inputs have no in-iteration
-    // producer to replay.
-    std::unordered_map<BlockId, Producer> producers;
-    for (const auto &e : recorder.events()) {
-        if (e.kind != trace::EventKind::kWrite || e.op_index < 0)
-            continue;
-        if (producers.count(e.block))
-            continue;
-        if (e.category != Category::kIntermediate ||
-            !is_forward_op(e.op))
-            continue;
-        const auto it =
-            span.find(instance_key(e.iteration, e.op_index));
-        const TimeNs cost =
-            it == span.end() ? 0 : it->second.second - it->second.first;
-        if (cost == 0)
-            continue;  // no measurable forward time: not priceable
-        producers.emplace(e.block, Producer{e.op, cost});
-    }
-    return producers;
-}
+// is_forward_op / index_producers moved to analysis/producers.cc:
+// the producer index is a shared TraceView sub-index now.
 
 RecomputePlanner::RecomputePlanner(RecomputeOptions options)
     : options_(options)
@@ -89,14 +16,14 @@ RecomputePlanner::RecomputePlanner(RecomputeOptions options)
 }
 
 RecomputePlanReport
-RecomputePlanner::plan(const trace::TraceRecorder &recorder) const
+RecomputePlanner::plan(const analysis::TraceView &view) const
 {
-    analysis::Timeline timeline(recorder);
-    const auto producers = index_producers(recorder);
+    const analysis::Timeline &timeline = view.timeline();
+    const analysis::ProducerIndex &producers = view.producers();
     RecomputePlanReport report;
 
     const TimeNs peak_time = timeline.peak_time();
-    report.original_peak_bytes = timeline.live_bytes_at(peak_time);
+    report.original_peak_bytes = timeline.peak_bytes();
 
     for (const auto &b : timeline.blocks()) {
         if (b.size < options_.min_block_bytes)

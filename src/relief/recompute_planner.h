@@ -19,11 +19,11 @@
 
 #include <cstddef>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "analysis/producers.h"
 #include "analysis/timeline.h"
-#include "trace/recorder.h"
+#include "analysis/trace_view.h"
 
 namespace pinpoint {
 namespace relief {
@@ -34,29 +34,13 @@ struct RecomputeOptions {
     std::size_t min_block_bytes = 1024 * 1024;
 };
 
-/**
- * The forward op that materialized a block, with its measured
- * duration — the price of running it once more.
- */
-struct Producer {
-    /** Qualified op name, e.g. "layer1.0.conv2.forward". */
-    std::string op;
-    /** Measured duration of that op instance in the trace. */
-    TimeNs forward_ns = 0;
-};
-
-/**
- * Maps each block to its producing forward op and that op's measured
- * duration. A block appears only when it is recomputable: its first
- * write came from a forward-phase op (not backward, optimizer, or
- * data-load) whose measured duration is positive. Shared by the
- * recompute planner and the unified strategy planner.
- */
-std::unordered_map<BlockId, Producer>
-index_producers(const trace::TraceRecorder &recorder);
-
-/** @return true when op name @p op belongs to the forward phase. */
-bool is_forward_op(const std::string &op);
+// The producer index is a TraceView sub-index now (built once per
+// run, shared by both relief planners); the types and builders live
+// in analysis/producers.h. These aliases keep relief-facing code
+// and tests on their historical names.
+using Producer = analysis::Producer;
+using analysis::index_producers;
+using analysis::is_forward_op;
 
 /** One drop-and-recompute assignment for a block's access gap. */
 struct RecomputeDecision {
@@ -109,8 +93,12 @@ class RecomputePlanner
   public:
     explicit RecomputePlanner(RecomputeOptions options);
 
-    /** Builds the recompute schedule for @p recorder's trace. */
-    RecomputePlanReport plan(const trace::TraceRecorder &recorder) const;
+    /**
+     * Builds the recompute schedule for @p view's trace, reading
+     * the view's shared Timeline and producer index.
+     */
+    RecomputePlanReport
+    plan(const analysis::TraceView &view) const;
 
   private:
     RecomputeOptions options_;

@@ -46,17 +46,19 @@ struct Selection {
 
 /** Everything plan() derives from a trace once, strategy-agnostic. */
 struct PlanContext {
-    analysis::Timeline timeline;
-    std::unordered_map<BlockId, Producer> producers;
+    /** The run's shared sub-indices, borrowed from the TraceView —
+     * never private rebuilds (the five-sites-per-run bug class). */
+    const analysis::Timeline &timeline;
+    const analysis::ProducerIndex &producers;
     std::vector<Candidate> candidates;
     TimeNs peak_time = 0;
     std::size_t original_peak = 0;
 
-    explicit PlanContext(const trace::TraceRecorder &recorder)
-        : timeline(recorder), producers(index_producers(recorder))
+    explicit PlanContext(const analysis::TraceView &view)
+        : timeline(view.timeline()), producers(view.producers())
     {
         peak_time = timeline.peak_time();
-        original_peak = timeline.live_bytes_at(peak_time);
+        original_peak = timeline.peak_bytes();
     }
 };
 
@@ -209,7 +211,7 @@ better(const Selection &a, const Selection &b)
  */
 ReliefReport
 assemble(const PlanContext &ctx, const StrategyOptions &options,
-         const trace::TraceRecorder &recorder, Strategy strategy,
+         const analysis::TraceView &view, Strategy strategy,
          const Selection &sel)
 {
     ReliefReport report;
@@ -276,13 +278,13 @@ assemble(const PlanContext &ctx, const StrategyOptions &options,
     sim::LinkScheduler link(options.link.d2h_bps,
                             options.link.h2d_bps);
     report.swap_execution =
-        swap::execute_plan(recorder, swap_plan, link);
+        swap::execute_plan(view, swap_plan, link);
 
     // Combined occupancy: baseline lifetimes, minus the *scheduled*
     // swap residency windows, minus the compute-adjusted recompute
     // absence windows.
     std::vector<analysis::OccupancyEdge> edges =
-        analysis::occupancy_edges(ctx.timeline);
+        ctx.timeline.edges();
     edges.reserve(edges.size() + report.decisions.size() * 2);
     std::size_t swap_index = 0;
     for (const auto &d : report.decisions) {
@@ -360,18 +362,18 @@ StrategyPlanner::StrategyPlanner(StrategyOptions options)
 }
 
 ReliefReport
-StrategyPlanner::plan(const trace::TraceRecorder &recorder,
+StrategyPlanner::plan(const analysis::TraceView &view,
                       Strategy strategy) const
 {
-    PlanContext ctx(recorder);
+    PlanContext ctx(view);
     enumerate_candidates(ctx, options_);
     const TimeNs budget = options_.overhead_budget;
     switch (strategy) {
       case Strategy::kSwapOnly:
-        return assemble(ctx, options_, recorder, strategy,
+        return assemble(ctx, options_, view, strategy,
                         select(ctx.candidates, true, false, budget));
       case Strategy::kRecomputeOnly:
-        return assemble(ctx, options_, recorder, strategy,
+        return assemble(ctx, options_, view, strategy,
                         select(ctx.candidates, false, true, budget));
       case Strategy::kHybrid: break;
     }
@@ -385,16 +387,16 @@ StrategyPlanner::plan(const trace::TraceRecorder &recorder,
         sel = std::move(swap_only);
     if (better(rec_only, sel))
         sel = std::move(rec_only);
-    return assemble(ctx, options_, recorder, Strategy::kHybrid, sel);
+    return assemble(ctx, options_, view, Strategy::kHybrid, sel);
 }
 
 std::array<ReliefReport, kNumStrategies>
-StrategyPlanner::plan_all(const trace::TraceRecorder &recorder) const
+StrategyPlanner::plan_all(const analysis::TraceView &view) const
 {
     // One trace analysis and candidate enumeration serves all three
     // strategies; the hybrid guard reuses the pure selections
     // instead of recomputing them.
-    PlanContext ctx(recorder);
+    PlanContext ctx(view);
     enumerate_candidates(ctx, options_);
     const TimeNs budget = options_.overhead_budget;
     const Selection swap_only =
@@ -408,11 +410,11 @@ StrategyPlanner::plan_all(const trace::TraceRecorder &recorder) const
         hybrid = &swap_only;
     if (better(rec_only, *hybrid))
         hybrid = &rec_only;
-    return {assemble(ctx, options_, recorder, Strategy::kSwapOnly,
+    return {assemble(ctx, options_, view, Strategy::kSwapOnly,
                      swap_only),
-            assemble(ctx, options_, recorder,
+            assemble(ctx, options_, view,
                      Strategy::kRecomputeOnly, rec_only),
-            assemble(ctx, options_, recorder, Strategy::kHybrid,
+            assemble(ctx, options_, view, Strategy::kHybrid,
                      *hybrid)};
 }
 

@@ -36,9 +36,9 @@
 #include <vector>
 
 #include "analysis/swap_model.h"
+#include "analysis/trace_view.h"
 #include "relief/recompute_planner.h"
 #include "swap/executor.h"
-#include "trace/recorder.h"
 
 namespace pinpoint {
 namespace relief {
@@ -164,11 +164,13 @@ class StrategyPlanner
     explicit StrategyPlanner(StrategyOptions options);
 
     /**
-     * Builds the relief plan for @p recorder's trace under
-     * @p strategy, then schedules its swap legs on a fresh shared
-     * link and fills the measured fields.
+     * Builds the relief plan for @p view's trace under @p strategy,
+     * then schedules its swap legs on a fresh shared link and fills
+     * the measured fields. Reads the view's shared Timeline and
+     * producer index — planning never rebuilds what the swap path
+     * already built.
      */
-    ReliefReport plan(const trace::TraceRecorder &recorder,
+    ReliefReport plan(const analysis::TraceView &view,
                       Strategy strategy) const;
 
     /**
@@ -178,7 +180,7 @@ class StrategyPlanner
      * indexed by Strategy enumerator order.
      */
     std::array<ReliefReport, kNumStrategies>
-    plan_all(const trace::TraceRecorder &recorder) const;
+    plan_all(const analysis::TraceView &view) const;
 
   private:
     StrategyOptions options_;

@@ -108,6 +108,33 @@ run_training(const nn::Model &model, const SessionConfig &config)
     return result;
 }
 
+const analysis::TraceView &
+SessionResult::view() const
+{
+    std::call_once(view_slot_->once, [&] {
+        view_slot_->view =
+            std::make_unique<const analysis::TraceView>(trace);
+    });
+    // The snapshot freezes the trace as of the first view() call.
+    // `trace` is a public member, so catch the misuse of mutating
+    // or replacing it afterwards (or copying the result and
+    // diverging the copies' traces around one shared slot) instead
+    // of silently planning against stale events. Fingerprint =
+    // event count + last timestamp, so a same-size replacement is
+    // caught too (timestamps of distinct runs virtually never
+    // coincide).
+    const analysis::TraceView &frozen = *view_slot_->view;
+    PP_CHECK(frozen.size() == trace.size() &&
+                 (trace.empty() ||
+                  frozen.time(frozen.size() - 1) ==
+                      trace.events().back().time),
+             "SessionResult::trace changed after view() froze it ("
+                 << frozen.size() << " events frozen, "
+                 << trace.size() << " now); build analyses before "
+                                    "mutating the trace");
+    return frozen;
+}
+
 swap::PlannerOptions
 fill_swap_link(swap::PlannerOptions options,
                const sim::DeviceSpec &device)
@@ -130,11 +157,12 @@ validate_swap_plan(const SessionResult &result,
              "swap validation needs a recorded trace (run with "
              "record_trace = true)");
     options = fill_swap_link(std::move(options), device);
+    const analysis::TraceView &view = result.view();
     SwapValidation v;
-    v.plan = swap::SwapPlanner(options).plan(result.trace);
+    v.plan = swap::SwapPlanner(options).plan(view);
     sim::LinkScheduler link(options.link.d2h_bps,
                             options.link.h2d_bps);
-    v.execution = swap::execute_plan(result.trace, v.plan, link);
+    v.execution = swap::execute_plan(view, v.plan, link);
     return v;
 }
 
@@ -164,7 +192,7 @@ plan_relief(const SessionResult &result, const sim::DeviceSpec &device,
             relief::StrategyOptions options)
 {
     options = relief_options_for(result, device, options);
-    return relief::StrategyPlanner(options).plan(result.trace,
+    return relief::StrategyPlanner(options).plan(result.view(),
                                                  strategy);
 }
 
@@ -174,7 +202,7 @@ plan_relief_all(const SessionResult &result,
                 relief::StrategyOptions options)
 {
     options = relief_options_for(result, device, options);
-    return relief::StrategyPlanner(options).plan_all(result.trace);
+    return relief::StrategyPlanner(options).plan_all(result.view());
 }
 
 }  // namespace runtime

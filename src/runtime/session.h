@@ -7,10 +7,13 @@
 #define PINPOINT_RUNTIME_SESSION_H
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "alloc/allocator.h"
+#include "analysis/trace_view.h"
 #include "nn/models.h"
 #include "relief/strategy_planner.h"
 #include "runtime/engine.h"
@@ -64,6 +67,16 @@ struct SessionConfig {
     bool record_trace = true;
 };
 
+/**
+ * Once-built TraceView cache of one SessionResult. Held behind a
+ * shared_ptr so moves (and copies) of the result carry the cache
+ * instead of forking or resetting it.
+ */
+struct TraceViewSlot {
+    std::once_flag once;
+    std::unique_ptr<const analysis::TraceView> view;
+};
+
 /** Everything a characterization run produces. */
 struct SessionResult {
     /** The recorded memory behaviors. */
@@ -82,6 +95,21 @@ struct SessionResult {
     std::size_t peak_reserved_bytes = 0;
     /** External fragmentation of the device heap at the end. */
     double device_fragmentation = 0.0;
+
+    /**
+     * The run's shared analysis::TraceView: built from `trace` on
+     * first call (one build per run, std::call_once), then returned
+     * by reference forever after. Everything downstream —
+     * validate_swap_plan, plan_relief*, every api::Study facet —
+     * routes through this one snapshot. Call only after the run is
+     * complete (the trace must be frozen).
+     */
+    const analysis::TraceView &view() const;
+
+  private:
+    /** Shared so moved/copied results keep one cache. */
+    std::shared_ptr<TraceViewSlot> view_slot_ =
+        std::make_shared<TraceViewSlot>();
 };
 
 /**
@@ -130,9 +158,10 @@ fill_swap_link(swap::PlannerOptions options,
 /**
  * Validation step of the swap pipeline: plans swapping for
  * @p result's trace and executes the plan on a shared full-duplex
- * link with @p device's bandwidths. When @p options carries zero
- * link bandwidths (the default-constructed state) they are filled
- * from @p device.
+ * link with @p device's bandwidths. Both steps read
+ * @p result.view()'s shared Timeline — one index build serves the
+ * whole pipeline. When @p options carries zero link bandwidths (the
+ * default-constructed state) they are filled from @p device.
  *
  * @throws Error when the session recorded no trace, or on
  * plan/trace mismatch.

@@ -5,29 +5,29 @@
 #include <unordered_map>
 
 #include "analysis/timeline.h"
+#include "analysis/trace_view.h"
 #include "core/check.h"
 
 namespace pinpoint {
 namespace swap {
 
 SwapExecutionResult
-execute_plan(const trace::TraceRecorder &recorder,
+execute_plan(const analysis::TraceView &view,
              const SwapPlanReport &plan,
              sim::LinkScheduler &scheduler)
 {
-    analysis::Timeline timeline(recorder);
+    const analysis::Timeline &timeline = view.timeline();
     std::unordered_map<BlockId, const analysis::BlockLifetime *>
         by_id;
     for (const auto &b : timeline.blocks())
         by_id.emplace(b.block, &b);
 
-    // Baseline occupancy edges.
-    std::vector<analysis::OccupancyEdge> edges =
-        analysis::occupancy_edges(timeline);
+    // Baseline occupancy edges, seeded from the shared index.
+    std::vector<analysis::OccupancyEdge> edges = timeline.edges();
     edges.reserve(edges.size() + plan.decisions.size() * 2);
 
     SwapExecutionResult result;
-    result.original_peak_bytes = analysis::peak_occupancy(edges);
+    result.original_peak_bytes = timeline.peak_bytes();
 
     // The scheduler may carry earlier plans' traffic; snapshot the
     // channel busy times so this result reports only its own.
@@ -161,12 +161,12 @@ execute_plan(const trace::TraceRecorder &recorder,
 }
 
 SwapExecutionResult
-execute_plan(const trace::TraceRecorder &recorder,
+execute_plan(const analysis::TraceView &view,
              const SwapPlanReport &plan,
              const analysis::LinkBandwidth &link)
 {
     sim::LinkScheduler scheduler(link.d2h_bps, link.h2d_bps);
-    return execute_plan(recorder, plan, scheduler);
+    return execute_plan(view, plan, scheduler);
 }
 
 }  // namespace swap

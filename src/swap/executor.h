@@ -75,9 +75,10 @@ struct SwapExecutionResult {
 };
 
 /**
- * Executes @p plan against @p recorder's trace, timing every copy
+ * Executes @p plan against @p view's trace, timing every copy
  * on the shared link @p scheduler (which may already carry traffic;
- * state accumulates across calls).
+ * state accumulates across calls). Reads the view's shared Timeline
+ * — validating a plan never rebuilds the index the planner used.
  *
  * The residency model: a swapped block leaves the device once its
  * *scheduled* swap-out completes and returns when its *scheduled*
@@ -89,7 +90,7 @@ struct SwapExecutionResult {
  * @throws Error when a decision references a block the trace does
  * not contain, or a gap that does not match the block's accesses.
  */
-SwapExecutionResult execute_plan(const trace::TraceRecorder &recorder,
+SwapExecutionResult execute_plan(const analysis::TraceView &view,
                                  const SwapPlanReport &plan,
                                  sim::LinkScheduler &scheduler);
 
@@ -97,7 +98,7 @@ SwapExecutionResult execute_plan(const trace::TraceRecorder &recorder,
  * Convenience overload: executes on a fresh shared link with
  * @p link's bandwidths.
  */
-SwapExecutionResult execute_plan(const trace::TraceRecorder &recorder,
+SwapExecutionResult execute_plan(const analysis::TraceView &view,
                                  const SwapPlanReport &plan,
                                  const analysis::LinkBandwidth &link);
 

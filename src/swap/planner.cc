@@ -41,13 +41,13 @@ SwapPlanner::SwapPlanner(PlannerOptions options)
 }
 
 SwapPlanReport
-SwapPlanner::plan(const trace::TraceRecorder &recorder) const
+SwapPlanner::plan(const analysis::TraceView &view) const
 {
-    analysis::Timeline timeline(recorder);
+    const analysis::Timeline &timeline = view.timeline();
     SwapPlanReport report;
 
     const TimeNs peak_time = timeline.peak_time();
-    report.original_peak_bytes = timeline.live_bytes_at(peak_time);
+    report.original_peak_bytes = timeline.peak_bytes();
 
     for (const auto &b : timeline.blocks()) {
         if (b.size < options_.min_block_bytes)

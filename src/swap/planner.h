@@ -14,7 +14,7 @@
 
 #include "analysis/swap_model.h"
 #include "analysis/timeline.h"
-#include "trace/recorder.h"
+#include "analysis/trace_view.h"
 
 namespace pinpoint {
 namespace swap {
@@ -111,8 +111,11 @@ class SwapPlanner
   public:
     explicit SwapPlanner(PlannerOptions options);
 
-    /** Builds the swap schedule for @p recorder's trace. */
-    SwapPlanReport plan(const trace::TraceRecorder &recorder) const;
+    /**
+     * Builds the swap schedule for @p view's trace, reading the
+     * view's shared Timeline (never a private rebuild).
+     */
+    SwapPlanReport plan(const analysis::TraceView &view) const;
 
   private:
     PlannerOptions options_;

@@ -47,12 +47,20 @@ class TraceRecorder
     /** Pre-allocates capacity for @p n events. */
     void reserve(std::size_t n) { events_.reserve(n); }
 
-    /** @return count of events of kind @p k. */
+    /**
+     * @return count of events of kind @p k.
+     * @deprecated O(n) rescan per call. Analysis code must read the
+     * cached per-kind counts at analysis::TraceView::count()
+     * instead; this stays for tests and trace-layer tooling only.
+     */
     std::size_t count(EventKind k) const;
 
     /**
-     * @return events satisfying @p pred, in order. Convenience for
-     * tests and ad-hoc analysis.
+     * @return events satisfying @p pred, in order.
+     * @deprecated Copies the matching events on every call. Analysis
+     * code must iterate analysis::TraceView columns (or its
+     * indices_of(kind) offsets) instead; this stays for tests and
+     * ad-hoc exploration only.
      */
     std::vector<MemoryEvent>
     filter(const std::function<bool(const MemoryEvent &)> &pred) const;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/ati.h"
+#include "analysis/trace_view.h"
 
 namespace pinpoint {
 namespace analysis {
@@ -28,7 +29,7 @@ TEST(Ati, AdjacentAccessesOnSameBlock)
     r.record(ev(60, trace::EventKind::kRead, 1));
     r.record(ev(70, trace::EventKind::kFree, 1));
 
-    const auto atis = compute_atis(r);
+    const auto atis = compute_atis(TraceView(r));
     ASSERT_EQ(atis.size(), 2u);
     EXPECT_EQ(atis[0].interval, 25u);
     EXPECT_EQ(atis[1].interval, 25u);
@@ -45,7 +46,7 @@ TEST(Ati, BlocksAreIndependent)
     r.record(ev(30, trace::EventKind::kRead, 1));
     r.record(ev(40, trace::EventKind::kRead, 2));
 
-    const auto atis = compute_atis(r);
+    const auto atis = compute_atis(TraceView(r));
     ASSERT_EQ(atis.size(), 2u);
     EXPECT_EQ(atis[0].interval, 20u);  // block 1: 10 -> 30
     EXPECT_EQ(atis[1].interval, 20u);  // block 2: 20 -> 40
@@ -57,7 +58,7 @@ TEST(Ati, MallocAndFreeAreNotAccessesByDefault)
     r.record(ev(0, trace::EventKind::kMalloc, 1));
     r.record(ev(100, trace::EventKind::kWrite, 1));
     r.record(ev(250, trace::EventKind::kFree, 1));
-    EXPECT_TRUE(compute_atis(r).empty());
+    EXPECT_TRUE(compute_atis(TraceView(r)).empty());
 }
 
 TEST(Ati, IncludeAllocFreeOptionCountsThem)
@@ -68,7 +69,7 @@ TEST(Ati, IncludeAllocFreeOptionCountsThem)
     r.record(ev(250, trace::EventKind::kFree, 1));
     AtiOptions opts;
     opts.include_alloc_free = true;
-    const auto atis = compute_atis(r, opts);
+    const auto atis = compute_atis(TraceView(r), opts);
     ASSERT_EQ(atis.size(), 2u);
     EXPECT_EQ(atis[0].interval, 100u);
     EXPECT_EQ(atis[1].interval, 150u);
@@ -82,7 +83,7 @@ TEST(Ati, BlockIdReuseStartsFreshChain)
     r.record(ev(20, trace::EventKind::kFree, 1));
     r.record(ev(1000, trace::EventKind::kMalloc, 1));
     r.record(ev(1010, trace::EventKind::kWrite, 1));
-    const auto atis = compute_atis(r);
+    const auto atis = compute_atis(TraceView(r));
     EXPECT_TRUE(atis.empty())
         << "the write at 1010 must not pair with the write at 10";
 }
@@ -100,7 +101,7 @@ TEST(Ati, SamplesCarrySizeCategoryAndIndex)
     rd.category = Category::kParameter;
     r.record(rd);
 
-    const auto atis = compute_atis(r);
+    const auto atis = compute_atis(TraceView(r));
     ASSERT_EQ(atis.size(), 1u);
     EXPECT_EQ(atis[0].size, 4096u);
     EXPECT_EQ(atis[0].category, Category::kParameter);
@@ -122,7 +123,7 @@ TEST(Ati, MicrosecondsConversion)
 TEST(Ati, EmptyTraceYieldsNoSamples)
 {
     trace::TraceRecorder r;
-    EXPECT_TRUE(compute_atis(r).empty());
+    EXPECT_TRUE(compute_atis(TraceView(r)).empty());
 }
 
 TEST(Ati, AttributionGroupsByOpPrefix)
@@ -139,7 +140,7 @@ TEST(Ati, AttributionGroupsByOpPrefix)
     add(70, trace::EventKind::kRead, "sgd.fc0.weight");
     add(150, trace::EventKind::kRead, "sgd.fc0.weight");
 
-    const auto atis = compute_atis(r);
+    const auto atis = compute_atis(TraceView(r));
     ASSERT_EQ(atis.size(), 3u);
     const auto groups = attribute_atis(atis);
     ASSERT_EQ(groups.size(), 2u);

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/breakdown.h"
+#include "analysis/trace_view.h"
 #include "core/check.h"
 
 namespace pinpoint {
@@ -35,7 +36,7 @@ TEST(Breakdown, PeakSnapshotSplitsByCategory)
     r.record(ev(40, trace::EventKind::kMalloc, 4, 60,
                 Category::kIntermediate));
 
-    const auto b = occupation_breakdown(r);
+    const auto b = occupation_breakdown(TraceView(r));
     EXPECT_EQ(b.peak_total, 450u);
     EXPECT_EQ(b.peak_time, 20u);
     EXPECT_EQ(b.at_peak[static_cast<int>(Category::kParameter)],
@@ -57,7 +58,7 @@ TEST(Breakdown, PerCategoryPeaksAreIndependent)
     r.record(ev(20, trace::EventKind::kMalloc, 2, 150,
                 Category::kIntermediate));
 
-    const auto b = occupation_breakdown(r);
+    const auto b = occupation_breakdown(TraceView(r));
     // Input peaked at 200 even though the global peak holds none.
     EXPECT_EQ(b.peak_per_category[static_cast<int>(Category::kInput)],
               200u);
@@ -75,13 +76,13 @@ TEST(Breakdown, ReadsAndWritesDoNotChangeOccupancy)
                 Category::kInput));
     r.record(ev(9, trace::EventKind::kRead, 1, 128,
                 Category::kInput));
-    const auto b = occupation_breakdown(r);
+    const auto b = occupation_breakdown(TraceView(r));
     EXPECT_EQ(b.peak_total, 128u);
 }
 
 TEST(Breakdown, EmptyTrace)
 {
-    const auto b = occupation_breakdown(trace::TraceRecorder{});
+    const auto b = occupation_breakdown(TraceView(trace::TraceRecorder{}));
     EXPECT_EQ(b.peak_total, 0u);
     EXPECT_DOUBLE_EQ(b.fraction(Category::kInput), 0.0);
 }
@@ -93,12 +94,12 @@ TEST(Breakdown, RejectsInconsistentTraces)
                             Category::kInput));
     double_malloc.record(ev(1, trace::EventKind::kMalloc, 1, 10,
                             Category::kInput));
-    EXPECT_THROW(occupation_breakdown(double_malloc), Error);
+    EXPECT_THROW(occupation_breakdown(TraceView(double_malloc)), Error);
 
     trace::TraceRecorder stray_free;
     stray_free.record(
         ev(0, trace::EventKind::kFree, 7, 10, Category::kInput));
-    EXPECT_THROW(occupation_breakdown(stray_free), Error);
+    EXPECT_THROW(occupation_breakdown(TraceView(stray_free)), Error);
 }
 
 TEST(Breakdown, FirstPeakInstantWins)
@@ -110,7 +111,7 @@ TEST(Breakdown, FirstPeakInstantWins)
                 Category::kInput));
     r.record(ev(20, trace::EventKind::kMalloc, 2, 100,
                 Category::kIntermediate));
-    const auto b = occupation_breakdown(r);
+    const auto b = occupation_breakdown(TraceView(r));
     EXPECT_EQ(b.peak_time, 0u) << "ties keep the earliest peak";
     EXPECT_EQ(b.at_peak[static_cast<int>(Category::kInput)], 100u);
 }

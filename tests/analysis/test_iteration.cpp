@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/iteration.h"
+#include "analysis/trace_view.h"
 
 namespace pinpoint {
 namespace analysis {
@@ -32,7 +33,7 @@ TEST(IterationPattern, PerfectlyPeriodicTrace)
             ++id;
         }
     }
-    const auto p = detect_iteration_pattern(r);
+    const auto p = detect_iteration_pattern(TraceView(r));
     EXPECT_EQ(p.period_allocs, 3u);
     EXPECT_DOUBLE_EQ(p.period_confidence, 1.0);
     EXPECT_EQ(p.iterations, 6u);
@@ -57,7 +58,7 @@ TEST(IterationPattern, SetupEventsAreExcluded)
             ++id;
         }
     }
-    const auto p = detect_iteration_pattern(r);
+    const auto p = detect_iteration_pattern(TraceView(r));
     EXPECT_EQ(p.period_allocs, 2u);
     EXPECT_EQ(p.iterations, 4u);
 }
@@ -68,7 +69,7 @@ TEST(IterationPattern, AperiodicTraceFindsNoPeriod)
     TimeNs t = 0;
     for (std::size_t i = 0; i < 32; ++i)
         r.record(malloc_ev(t += 10, i, 512 * (i + 1), 0));
-    const auto p = detect_iteration_pattern(r);
+    const auto p = detect_iteration_pattern(TraceView(r));
     EXPECT_EQ(p.period_allocs, 0u);
     EXPECT_EQ(p.iterations, 1u);
 }
@@ -83,14 +84,14 @@ TEST(IterationPattern, OneDivergentIterationLowersStability)
         r.record(malloc_ev(t += 10, id++, 512, iter));
         r.record(malloc_ev(t += 10, id++, second, iter));
     }
-    const auto p = detect_iteration_pattern(r);
+    const auto p = detect_iteration_pattern(TraceView(r));
     EXPECT_EQ(p.iterations, 5u);
     EXPECT_DOUBLE_EQ(p.signature_stability, 0.8);
 }
 
 TEST(IterationPattern, EmptyTrace)
 {
-    const auto p = detect_iteration_pattern(trace::TraceRecorder{});
+    const auto p = detect_iteration_pattern(TraceView(trace::TraceRecorder{}));
     EXPECT_EQ(p.period_allocs, 0u);
     EXPECT_EQ(p.iterations, 0u);
     EXPECT_DOUBLE_EQ(p.signature_stability, 0.0);

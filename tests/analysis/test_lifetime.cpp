@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/lifetime.h"
+#include "analysis/trace_view.h"
 
 namespace pinpoint {
 namespace analysis {
@@ -41,7 +42,8 @@ TEST(Lifetime, SplitsByCategory)
     r.record(ev(160 * kNsPerUs, trace::EventKind::kFree, 3, 400,
                 Category::kInput));
 
-    Timeline t(r);
+    TraceView view(r);
+    const Timeline &t = view.timeline();
     const auto report = lifetime_report(t);
 
     const auto &param = report.of(Category::kParameter);
@@ -71,7 +73,7 @@ TEST(Lifetime, BytesWeightedMeanFavorsBigBlocks)
     r.record(ev(1020 * kNsPerUs, trace::EventKind::kFree, 2,
                 1024 * 1024, Category::kIntermediate));
 
-    const auto report = lifetime_report(Timeline(r));
+    const auto report = lifetime_report(TraceView(r).timeline());
     const auto &interm = report.of(Category::kIntermediate);
     EXPECT_DOUBLE_EQ(interm.lifetime_us.median, 505.0);
     EXPECT_GT(interm.mean_lifetime_weighted_us, 990.0)
@@ -81,7 +83,7 @@ TEST(Lifetime, BytesWeightedMeanFavorsBigBlocks)
 TEST(Lifetime, EmptyTimeline)
 {
     const auto report =
-        lifetime_report(Timeline(trace::TraceRecorder{}));
+        lifetime_report(TraceView(trace::TraceRecorder{}).timeline());
     for (int c = 0; c < kNumCategories; ++c) {
         EXPECT_EQ(report.by_category[c].blocks, 0u);
         EXPECT_EQ(report.by_category[c].unfreed, 0u);

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/report.h"
+#include "analysis/trace_view.h"
 #include "core/check.h"
 #include "nn/models.h"
 #include "runtime/session.h"
@@ -24,7 +25,7 @@ TEST(Report, ContainsEverySection)
     const auto result = mlp_run();
     ReportOptions opts;
     opts.title = "unit-test run";
-    const std::string report = report_string(result.trace, opts);
+    const std::string report = report_string(result.view(), opts);
 
     EXPECT_NE(report.find("unit-test run"), std::string::npos);
     EXPECT_NE(report.find("iterative pattern"), std::string::npos);
@@ -41,14 +42,14 @@ TEST(Report, GanttSectionIsOptional)
     const auto result = mlp_run();
     ReportOptions opts;
     opts.gantt = false;
-    const std::string report = report_string(result.trace, opts);
+    const std::string report = report_string(result.view(), opts);
     EXPECT_EQ(report.find("== gantt"), std::string::npos);
 }
 
 TEST(Report, ReportsPerfectIterationStability)
 {
     const auto result = mlp_run();
-    const std::string report = report_string(result.trace);
+    const std::string report = report_string(result.view());
     EXPECT_NE(report.find("identical: 100.0% of 5 iterations"),
               std::string::npos)
         << report;
@@ -65,7 +66,7 @@ TEST(Report, FindsTheStagedOutlier)
 
     ReportOptions opts;
     opts.gantt = false;
-    const std::string report = report_string(result.trace, opts);
+    const std::string report = report_string(result.view(), opts);
     // Epoch gaps here are ~ms-scale; the paper-threshold section
     // reports either way — just require the section rendered with a
     // definite verdict.
@@ -80,7 +81,7 @@ TEST(Report, FindsTheStagedOutlier)
 TEST(Report, RejectsEmptyTrace)
 {
     trace::TraceRecorder empty;
-    EXPECT_THROW(report_string(empty), Error);
+    EXPECT_THROW(report_string(TraceView(empty)), Error);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "analysis/breakdown.h"
 #include "analysis/series.h"
+#include "analysis/trace_view.h"
 #include "core/check.h"
 #include "nn/models.h"
 #include "runtime/session.h"
@@ -35,7 +36,7 @@ TEST(Series, TracksEdgesExactly)
     r.record(ev(20, trace::EventKind::kWrite, 2, 50));  // no edge
     r.record(ev(30, trace::EventKind::kFree, 2, 50));
 
-    const auto series = occupancy_series(r);
+    const auto series = occupancy_series(TraceView(r));
     ASSERT_EQ(series.size(), 3u);
     EXPECT_EQ(series[0].time, 0u);
     EXPECT_EQ(series[0].total(), 100u);
@@ -50,7 +51,7 @@ TEST(Series, CoalescesSameInstantEdges)
     trace::TraceRecorder r;
     r.record(ev(5, trace::EventKind::kMalloc, 1, 10));
     r.record(ev(5, trace::EventKind::kMalloc, 2, 20));
-    const auto series = occupancy_series(r);
+    const auto series = occupancy_series(TraceView(r));
     ASSERT_EQ(series.size(), 1u);
     EXPECT_EQ(series[0].total(), 30u);
 }
@@ -61,8 +62,8 @@ TEST(Series, ThinningKeepsThePeak)
     config.batch = 32;
     config.iterations = 10;
     const auto r = runtime::run_training(nn::mlp(), config);
-    const auto full = occupancy_series(r.trace);
-    const auto thin = occupancy_series(r.trace, 32);
+    const auto full = occupancy_series(r.view());
+    const auto thin = occupancy_series(r.view(), 32);
     EXPECT_LE(thin.size(), 34u);
     EXPECT_LT(thin.size(), full.size());
 
@@ -74,7 +75,7 @@ TEST(Series, ThinningKeepsThePeak)
     };
     EXPECT_EQ(peak_of(thin), peak_of(full));
     EXPECT_EQ(peak_of(full),
-              occupation_breakdown(r.trace).peak_total);
+              occupation_breakdown(r.view()).peak_total);
 }
 
 TEST(Series, CsvRendering)
@@ -83,7 +84,7 @@ TEST(Series, CsvRendering)
     r.record(ev(7, trace::EventKind::kMalloc, 1, 64,
                 Category::kInput));
     std::stringstream ss;
-    write_series_csv(occupancy_series(r), ss);
+    write_series_csv(occupancy_series(TraceView(r)), ss);
     EXPECT_EQ(ss.str(),
               "time_ns,input,parameter,intermediate,total\n"
               "7,64,0,0,64\n");
@@ -91,14 +92,14 @@ TEST(Series, CsvRendering)
 
 TEST(Series, EmptyTrace)
 {
-    EXPECT_TRUE(occupancy_series(trace::TraceRecorder{}).empty());
+    EXPECT_TRUE(occupancy_series(TraceView(trace::TraceRecorder{})).empty());
 }
 
 TEST(Series, RejectsInconsistentTrace)
 {
     trace::TraceRecorder r;
     r.record(ev(0, trace::EventKind::kFree, 9, 1));
-    EXPECT_THROW(occupancy_series(r), Error);
+    EXPECT_THROW(occupancy_series(TraceView(r)), Error);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include "analysis/gantt.h"
 #include "analysis/timeline.h"
+#include "analysis/trace_view.h"
 #include "core/check.h"
 
 namespace pinpoint {
@@ -37,7 +38,8 @@ two_block_trace()
 
 TEST(Timeline, ReconstructsLifetimes)
 {
-    Timeline t(two_block_trace());
+    TraceView view(two_block_trace());
+    const Timeline &t = view.timeline();
     ASSERT_EQ(t.blocks().size(), 2u);
     const auto &b1 = t.blocks()[0];
     EXPECT_EQ(b1.block, 1u);
@@ -54,7 +56,8 @@ TEST(Timeline, ReconstructsLifetimes)
 
 TEST(Timeline, LiveAtRespectsHalfOpenLifetime)
 {
-    Timeline t(two_block_trace());
+    TraceView view(two_block_trace());
+    const Timeline &t = view.timeline();
     EXPECT_EQ(t.live_at(0).size(), 1u);
     EXPECT_EQ(t.live_at(25).size(), 2u);
     EXPECT_EQ(t.live_at(40).size(), 1u)
@@ -65,7 +68,8 @@ TEST(Timeline, LiveAtRespectsHalfOpenLifetime)
 
 TEST(Timeline, PeakTimeFindsMaxOccupancy)
 {
-    Timeline t(two_block_trace());
+    TraceView view(two_block_trace());
+    const Timeline &t = view.timeline();
     const TimeNs peak = t.peak_time();
     EXPECT_EQ(peak, 20u);
     EXPECT_EQ(t.live_bytes_at(peak), 1536u);
@@ -76,7 +80,8 @@ TEST(Timeline, GapStatsMeasureHoles)
     trace::TraceRecorder r;
     r.record(ev(0, trace::EventKind::kMalloc, 1, 0x1000, 0x100));
     r.record(ev(0, trace::EventKind::kMalloc, 2, 0x1200, 0x100));
-    Timeline t(r);
+    TraceView view(r);
+    const Timeline &t = view.timeline();
     const auto g = t.gaps_at(0);
     EXPECT_EQ(g.live_blocks, 2u);
     EXPECT_EQ(g.live_bytes, 0x200u);
@@ -87,7 +92,8 @@ TEST(Timeline, GapStatsMeasureHoles)
 
 TEST(Timeline, GapStatsEmptyWhenNothingLive)
 {
-    Timeline t{trace::TraceRecorder()};
+    TraceView view{trace::TraceRecorder()};
+    const Timeline &t = view.timeline();
     const auto g = t.gaps_at(5);
     EXPECT_EQ(g.live_blocks, 0u);
     EXPECT_DOUBLE_EQ(g.gap_fraction(), 0.0);
@@ -98,20 +104,21 @@ TEST(Timeline, RejectsInconsistentTraces)
     trace::TraceRecorder double_malloc;
     double_malloc.record(ev(0, trace::EventKind::kMalloc, 1, 0, 512));
     double_malloc.record(ev(1, trace::EventKind::kMalloc, 1, 0, 512));
-    EXPECT_THROW(Timeline{double_malloc}, Error);
+    EXPECT_THROW(TraceView(double_malloc).timeline(), Error);
 
     trace::TraceRecorder stray_free;
     stray_free.record(ev(0, trace::EventKind::kFree, 9, 0, 512));
-    EXPECT_THROW(Timeline{stray_free}, Error);
+    EXPECT_THROW(TraceView(stray_free).timeline(), Error);
 
     trace::TraceRecorder stray_access;
     stray_access.record(ev(0, trace::EventKind::kRead, 9, 0, 512));
-    EXPECT_THROW(Timeline{stray_access}, Error);
+    EXPECT_THROW(TraceView(stray_access).timeline(), Error);
 }
 
 TEST(Gantt, RowsOverlapWindow)
 {
-    Timeline t(two_block_trace());
+    TraceView view(two_block_trace());
+    const Timeline &t = view.timeline();
     EXPECT_EQ(gantt_rows(t).size(), 2u);
     EXPECT_EQ(gantt_rows(t, 50, 90).size(), 1u)
         << "block 1 is dead before the window";
@@ -119,7 +126,8 @@ TEST(Gantt, RowsOverlapWindow)
 
 TEST(Gantt, RenderProducesOneLinePerBlock)
 {
-    Timeline t(two_block_trace());
+    TraceView view(two_block_trace());
+    const Timeline &t = view.timeline();
     GanttOptions opts;
     opts.width = 40;
     const std::string out = render_gantt(t, opts);
@@ -130,7 +138,8 @@ TEST(Gantt, RenderProducesOneLinePerBlock)
 
 TEST(Gantt, RenderValidatesOptions)
 {
-    Timeline t(two_block_trace());
+    TraceView view(two_block_trace());
+    const Timeline &t = view.timeline();
     GanttOptions narrow;
     narrow.width = 4;
     EXPECT_THROW(render_gantt(t, narrow), Error);
@@ -147,7 +156,8 @@ TEST(Gantt, MaxRowsKeepsLargestBlocks)
         r.record(ev(i, trace::EventKind::kMalloc, i,
                     0x1000 * (i + 1), 512 * (i + 1)));
     }
-    Timeline t(r);
+    TraceView view(r);
+    const Timeline &t = view.timeline();
     GanttOptions opts;
     opts.max_rows = 3;
     opts.to = 100;

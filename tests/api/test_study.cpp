@@ -13,6 +13,7 @@
 #include "analysis/ati.h"
 #include "analysis/breakdown.h"
 #include "analysis/timeline.h"
+#include "analysis/trace_view.h"
 #include "api/study.h"
 #include "core/check.h"
 
@@ -34,12 +35,16 @@ TEST(Study, FacetsEqualDirectComputation)
 {
     const Study study = Study::run(small_spec());
 
-    const analysis::Timeline direct_timeline(study.trace());
+    // A fresh view reproduces what the pre-refactor direct
+    // computation did: sharing one TraceView changes cost, never
+    // results.
+    const analysis::TraceView fresh(study.trace());
+    const analysis::Timeline &direct_timeline = fresh.timeline();
     EXPECT_EQ(study.timeline().blocks().size(),
               direct_timeline.blocks().size());
     EXPECT_EQ(study.timeline().end(), direct_timeline.end());
 
-    const auto direct_atis = analysis::compute_atis(study.trace());
+    const auto direct_atis = analysis::compute_atis(fresh);
     ASSERT_EQ(study.atis().size(), direct_atis.size());
     for (std::size_t i = 0; i < direct_atis.size(); ++i) {
         EXPECT_EQ(study.atis()[i].block, direct_atis[i].block);
@@ -51,7 +56,7 @@ TEST(Study, FacetsEqualDirectComputation)
     EXPECT_EQ(study.ati_summary().median, direct_summary.median);
 
     const auto direct_breakdown =
-        analysis::occupation_breakdown(study.trace());
+        analysis::occupation_breakdown(fresh);
     EXPECT_EQ(study.breakdown().peak_total,
               direct_breakdown.peak_total);
     EXPECT_EQ(study.breakdown().at_peak, direct_breakdown.at_peak);
@@ -125,7 +130,8 @@ TEST(Study, FacetsAreThreadSafe)
 {
     const Study study = Study::run(small_spec());
     const std::size_t expected_atis =
-        analysis::compute_atis(study.trace()).size();
+        analysis::compute_atis(analysis::TraceView(study.trace()))
+            .size();
 
     std::vector<const void *> seen(16, nullptr);
     std::vector<std::thread> threads;

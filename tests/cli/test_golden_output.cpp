@@ -81,6 +81,21 @@ TEST(GoldenOutput, SweepCsvMatchesThePreRefactorCli)
     std::remove(path.c_str());
 }
 
+TEST(GoldenOutput, RepeatedRunsAreByteIdenticalThroughTheSharedView)
+{
+    // PR 5 re-verification: with every command routed through one
+    // shared TraceView per run, a repeated invocation must still
+    // reproduce the fixture bytes — the shared snapshot carries no
+    // state between runs.
+    const std::vector<std::string> args = {
+        "characterize", "--model", "mlp",
+        "--batch",      "64",      "--iterations",
+        "2"};
+    const std::string first = run_out(args);
+    EXPECT_EQ(first, golden("characterize_mlp_b64_i2.txt"));
+    EXPECT_EQ(first, run_out(args));
+}
+
 TEST(GoldenOutput, SwapPlanAliasMatchesTheNewSpelling)
 {
     const std::vector<std::string> tail = {

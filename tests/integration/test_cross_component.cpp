@@ -11,6 +11,7 @@
 #include "analysis/breakdown.h"
 #include "analysis/iteration.h"
 #include "analysis/report.h"
+#include "analysis/trace_view.h"
 #include "nn/models.h"
 #include "runtime/session.h"
 #include "trace/chrome_trace.h"
@@ -34,7 +35,7 @@ TEST(CrossComponent, EveryAllocatorRunsTheSameWorkload)
         EXPECT_EQ(r.alloc_stats.alloc_count, r.alloc_stats.free_count)
             << static_cast<int>(kind);
         const auto pattern =
-            analysis::detect_iteration_pattern(r.trace);
+            analysis::detect_iteration_pattern(r.view());
         EXPECT_DOUBLE_EQ(pattern.signature_stability, 1.0)
             << "iterativity is allocator-independent";
     }
@@ -55,7 +56,7 @@ TEST(CrossComponent, TransformerTrainsAndBreaksDownSanely)
     config.iterations = 3;
     const auto r =
         runtime::run_training(nn::transformer_encoder(cfg), config);
-    const auto b = analysis::occupation_breakdown(r.trace);
+    const auto b = analysis::occupation_breakdown(r.view());
     EXPECT_GT(b.peak_total, 0u);
     EXPECT_GT(b.fraction(Category::kIntermediate), 0.3);
     // The attention probs tensor exists with the right size.
@@ -105,7 +106,7 @@ TEST(CrossComponent, SliceThenReportWorks)
     opts.title = "sliced window";
     opts.gantt = false;
     const std::string report =
-        analysis::report_string(window, opts);
+        analysis::report_string(analysis::TraceView(window), opts);
     EXPECT_NE(report.find("identical: 100.0% of 5 iterations"),
               std::string::npos)
         << report;
@@ -121,8 +122,8 @@ TEST(CrossComponent, CsvRoundTripPreservesAnalyses)
     std::stringstream ss;
     trace::write_csv(r.trace, ss);
     const auto reloaded = trace::read_csv(ss);
-    const auto a = analysis::occupation_breakdown(r.trace);
-    const auto b = analysis::occupation_breakdown(reloaded);
+    const auto a = analysis::occupation_breakdown(r.view());
+    const auto b = analysis::occupation_breakdown(analysis::TraceView(reloaded));
     EXPECT_EQ(a.peak_total, b.peak_total);
     EXPECT_EQ(a.at_peak, b.at_peak);
     EXPECT_EQ(a.peak_time, b.peak_time);
@@ -135,7 +136,7 @@ TEST(CrossComponent, MicroBatchingPreservesIterativity)
     config.iterations = 6;
     config.plan.micro_batches = 4;
     const auto r = runtime::run_training(nn::mlp(), config);
-    const auto pattern = analysis::detect_iteration_pattern(r.trace);
+    const auto pattern = analysis::detect_iteration_pattern(r.view());
     EXPECT_DOUBLE_EQ(pattern.signature_stability, 1.0);
     EXPECT_GT(pattern.period_allocs, 0u);
 }

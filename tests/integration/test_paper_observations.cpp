@@ -12,6 +12,7 @@
 #include "analysis/outliers.h"
 #include "analysis/stats.h"
 #include "analysis/timeline.h"
+#include "analysis/trace_view.h"
 #include "alloc/device_memory.h"
 #include "nn/models.h"
 #include "runtime/session.h"
@@ -48,7 +49,7 @@ runtime::SessionResult *MlpRun::result_ = nullptr;
 TEST_F(MlpRun, Fig2IterativeMemoryAccessPatterns)
 {
     // "There are obvious iterative memory access patterns."
-    const auto p = analysis::detect_iteration_pattern(result_->trace);
+    const auto p = analysis::detect_iteration_pattern(result_->view());
     EXPECT_GT(p.period_allocs, 0u) << "label-free period must exist";
     EXPECT_DOUBLE_EQ(p.signature_stability, 1.0)
         << "every iteration must allocate the identical block "
@@ -59,7 +60,7 @@ TEST_F(MlpRun, Fig2IterativeMemoryAccessPatterns)
 TEST_F(MlpRun, Fig2FewMemoryFragments)
 {
     // "There are fewer memory fragments during MLP training."
-    analysis::Timeline timeline(result_->trace);
+    const analysis::Timeline &timeline = result_->view().timeline();
     const auto gaps = timeline.gaps_at(timeline.peak_time());
     EXPECT_LT(gaps.gap_fraction(), 0.5)
         << "live blocks must be densely packed at peak";
@@ -69,7 +70,7 @@ TEST_F(MlpRun, Fig3AtisAreConcentrated)
 {
     // "The ATIs of most memory behaviors range from 10us to 25us,
     //  and their distributions are relatively concentrated."
-    const auto atis = analysis::compute_atis(result_->trace);
+    const auto atis = analysis::compute_atis(result_->view());
     ASSERT_GT(atis.size(), 100u);
     const auto s =
         analysis::summarize(analysis::ati_microseconds(atis));
@@ -84,7 +85,7 @@ TEST_F(MlpRun, Fig3MostBehaviorsAreNegligibleForSwapping)
     // Eq. 1 with the measured link: behaviors in the concentrated
     // band can hide only ~tens of KB — negligible.
     const analysis::LinkBandwidth link{6.4e9, 6.3e9};
-    const auto atis = analysis::compute_atis(result_->trace);
+    const auto atis = analysis::compute_atis(result_->view());
     analysis::Cdf cdf(analysis::ati_microseconds(atis));
     const double typical_gap_us = cdf.percentile(0.5);
     const double hideable = analysis::max_swap_bytes(
@@ -96,7 +97,7 @@ TEST_F(MlpRun, Fig3MostBehaviorsAreNegligibleForSwapping)
 TEST_F(MlpRun, Fig5ParametersAreASmallFraction)
 {
     // "For most DNNs, parameters only account for a small fraction."
-    const auto b = analysis::occupation_breakdown(result_->trace);
+    const auto b = analysis::occupation_breakdown(result_->view());
     EXPECT_LT(b.fraction(Category::kParameter), 0.25);
     EXPECT_GT(b.fraction(Category::kIntermediate), 0.5)
         << "intermediate results are the primary contributor";
@@ -111,7 +112,7 @@ TEST(PaperObservations, Fig4OutlierExistsWithStagedDataset)
     config.iterations = 101;
     const auto result = runtime::run_training(nn::mlp(), config);
 
-    const auto atis = analysis::compute_atis(result.trace);
+    const auto atis = analysis::compute_atis(result.view());
     analysis::OutlierCriteria criteria;
     criteria.min_interval = 5 * kNsPerMs;  // epoch ~= 50 iterations
     criteria.min_size = 600ull * 1024 * 1024;
@@ -137,7 +138,7 @@ TEST(PaperObservations, Fig6IntermediatesGrowWithBatch)
         config.batch = batch;
         config.iterations = 2;
         const auto r = runtime::run_training(model, config);
-        const auto b = analysis::occupation_breakdown(r.trace);
+        const auto b = analysis::occupation_breakdown(r.view());
         const double param = b.fraction(Category::kParameter);
         const double input = b.fraction(Category::kInput);
         const std::size_t interm =
@@ -163,7 +164,7 @@ TEST(PaperObservations, Fig7DeeperResNetsStayIntermediateDominated)
         config.iterations = 2;
         const auto r =
             runtime::run_training(nn::resnet(depth), config);
-        const auto b = analysis::occupation_breakdown(r.trace);
+        const auto b = analysis::occupation_breakdown(r.view());
         const double share = b.fraction(Category::kIntermediate);
         EXPECT_GT(share, 0.7) << "resnet" << depth;
         if (depth == 18)
@@ -206,8 +207,8 @@ TEST(PaperObservations, TraceIsSelfConsistentAcrossAllocators)
               direct.trace.count(trace::EventKind::kRead));
     // Caching rounds block sizes up, so peaks may differ slightly
     // but within the rounding slack.
-    const auto bc = analysis::occupation_breakdown(caching.trace);
-    const auto bd = analysis::occupation_breakdown(direct.trace);
+    const auto bc = analysis::occupation_breakdown(caching.view());
+    const auto bd = analysis::occupation_breakdown(direct.view());
     EXPECT_NEAR(static_cast<double>(bc.peak_total),
                 static_cast<double>(bd.peak_total),
                 0.05 * static_cast<double>(bd.peak_total));

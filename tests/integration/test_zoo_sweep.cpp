@@ -16,6 +16,7 @@
 #include "analysis/breakdown.h"
 #include "analysis/iteration.h"
 #include "analysis/timeline.h"
+#include "analysis/trace_view.h"
 #include "nn/model_registry.h"
 #include "nn/shape_infer.h"
 #include "runtime/session.h"
@@ -53,7 +54,7 @@ TEST_P(ZooSweep, TrainingRunSatisfiesInvariants)
     ASSERT_EQ(r.alloc_stats.alloc_count, r.alloc_stats.free_count);
 
     // 2. The trace replays consistently.
-    analysis::Timeline timeline(r.trace);
+    const analysis::Timeline &timeline = r.view().timeline();
     EXPECT_GT(timeline.blocks().size(), 0u);
 
     // 3. Perfectly iterative in steady state (the paper's Fig. 2
@@ -65,13 +66,13 @@ TEST_P(ZooSweep, TrainingRunSatisfiesInvariants)
     slice_opts.keep_setup = false;
     const auto steady =
         trace::slice_iterations(r.trace, 2, 4, slice_opts);
-    const auto pattern = analysis::detect_iteration_pattern(steady);
+    const auto pattern = analysis::detect_iteration_pattern(analysis::TraceView(steady));
     EXPECT_DOUBLE_EQ(pattern.signature_stability, 1.0);
     EXPECT_GT(pattern.period_allocs, 0u);
 
     // 4. Breakdown accounting: categories sum to the peak, and the
     //    engine's live accounting agrees with the trace replay.
-    const auto b = analysis::occupation_breakdown(r.trace);
+    const auto b = analysis::occupation_breakdown(r.view());
     EXPECT_EQ(b.at_peak[0] + b.at_peak[1] + b.at_peak[2],
               b.peak_total);
     EXPECT_EQ(r.usage.peak_total, b.peak_total);
@@ -85,7 +86,7 @@ TEST_P(ZooSweep, TrainingRunSatisfiesInvariants)
                   nn::total_param_bytes(infos)));
 
     // 6. ATIs exist and are non-negative with sane attribution.
-    const auto atis = analysis::compute_atis(r.trace);
+    const auto atis = analysis::compute_atis(r.view());
     EXPECT_GT(atis.size(), 10u);
     const auto groups = analysis::attribute_atis(atis);
     EXPECT_FALSE(groups.empty());

@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "analysis/trace_view.h"
 #include "relief/recompute_planner.h"
 
 namespace pinpoint {
@@ -62,7 +63,8 @@ activation_trace()
 
 TEST(IndexProducers, FindsForwardWriterWithMeasuredDuration)
 {
-    const auto producers = index_producers(activation_trace());
+    const auto producers =
+        index_producers(analysis::TraceView(activation_trace()));
     ASSERT_EQ(producers.count(2), 1u);
     EXPECT_EQ(producers.at(2).op, "conv1.forward");
     EXPECT_EQ(producers.at(2).forward_ns, 100u);
@@ -79,7 +81,7 @@ TEST(IndexProducers, SkipsBackwardAndOptimizerWriters)
     r.record(ev(110, trace::EventKind::kWrite, 1, 64 * kMB,
                 "fc.backward.wgrad", 7));
     r.record(ev(200, trace::EventKind::kFree, 1, 64 * kMB));
-    EXPECT_TRUE(index_producers(r).empty());
+    EXPECT_TRUE(index_producers(analysis::TraceView(r)).empty());
 
     EXPECT_FALSE(is_forward_op("fc.backward.wgrad"));
     EXPECT_FALSE(is_forward_op("layer1.0.out.grad_accum"));
@@ -102,13 +104,13 @@ TEST(IndexProducers, SkipsNonIntermediateCategories)
                 "bn1.forward", 3, Category::kParameter));
     r.record(ev(200, trace::EventKind::kFree, 1, 64 * kMB, "", -1,
                 Category::kParameter));
-    EXPECT_EQ(index_producers(r).count(1), 0u);
+    EXPECT_EQ(index_producers(analysis::TraceView(r)).count(1), 0u);
 }
 
 TEST(RecomputePlanner, PlansGapAtMeasuredForwardCost)
 {
     RecomputePlanner planner(RecomputeOptions{});
-    const auto plan = planner.plan(activation_trace());
+    const auto plan = planner.plan(analysis::TraceView(activation_trace()));
     ASSERT_EQ(plan.decisions.size(), 1u);
     const auto &d = plan.decisions[0];
     EXPECT_EQ(d.block, 2u);
@@ -135,7 +137,7 @@ TEST(RecomputePlanner, ZeroGapProducesNoDecision)
     r.record(ev(200, trace::EventKind::kFree, 1, act));
     r.record(ev(210, trace::EventKind::kFree, 2, kMB));
     RecomputePlanner planner(RecomputeOptions{});
-    EXPECT_TRUE(planner.plan(r).decisions.empty());
+    EXPECT_TRUE(planner.plan(analysis::TraceView(r)).decisions.empty());
 }
 
 TEST(RecomputePlanner, ReRunMustFitInsideTheGap)
@@ -159,7 +161,7 @@ TEST(RecomputePlanner, ReRunMustFitInsideTheGap)
     r.record(ev(210, trace::EventKind::kFree, 1, in, "", -1,
                 Category::kInput));
     RecomputePlanner planner(RecomputeOptions{});
-    EXPECT_TRUE(planner.plan(r).decisions.empty());
+    EXPECT_TRUE(planner.plan(analysis::TraceView(r)).decisions.empty());
 }
 
 TEST(RecomputePlanner, MinBlockFilterDropsSmallBlocks)
@@ -167,7 +169,8 @@ TEST(RecomputePlanner, MinBlockFilterDropsSmallBlocks)
     RecomputeOptions opts;
     opts.min_block_bytes = 128 * kMB;
     RecomputePlanner planner(opts);
-    EXPECT_TRUE(planner.plan(activation_trace()).decisions.empty());
+    EXPECT_TRUE(planner.plan(analysis::TraceView(activation_trace()))
+                    .decisions.empty());
 }
 
 TEST(RecomputePlanner, PeakCreditUsesComputeAdjustedWindow)
@@ -190,7 +193,7 @@ TEST(RecomputePlanner, PeakCreditUsesComputeAdjustedWindow)
     r.record(ev(11 * kNsPerMs, trace::EventKind::kFree, 2, kMB));
 
     RecomputePlanner planner(RecomputeOptions{});
-    const auto plan = planner.plan(r);
+    const auto plan = planner.plan(analysis::TraceView(r));
     ASSERT_EQ(plan.decisions.size(), 1u);
     EXPECT_EQ(plan.original_peak_bytes, act + spike + kMB);
     EXPECT_EQ(plan.peak_reduction_bytes, act);

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 
+#include "analysis/trace_view.h"
 #include "core/check.h"
 #include "nn/model_registry.h"
 #include "relief/strategy_planner.h"
@@ -92,7 +93,7 @@ TEST(StrategyNames, RoundTrip)
 TEST(StrategyPlanner, HybridPicksRecomputeWhenCheaperThanSwapStall)
 {
     StrategyPlanner planner(slow_link_options());
-    const auto r = recompute_cheaper_trace();
+    const analysis::TraceView r(recompute_cheaper_trace());
 
     const auto swap_only = planner.plan(r, Strategy::kSwapOnly);
     const auto hybrid = planner.plan(r, Strategy::kHybrid);
@@ -114,7 +115,7 @@ TEST(StrategyPlanner, ZeroBudgetKeepsOnlyHideableSwaps)
     StrategyOptions opts = slow_link_options();
     opts.overhead_budget = 0;
     StrategyPlanner planner(opts);
-    const auto r = recompute_cheaper_trace();
+    const analysis::TraceView r(recompute_cheaper_trace());
 
     // Nothing is free here (the swap stalls, the recompute costs a
     // re-run), so a zero budget buys zero decisions.
@@ -130,8 +131,9 @@ TEST(StrategyPlanner, ZeroBudgetKeepsOnlyHideableSwaps)
 TEST(StrategyPlanner, ReportAccountingIsConsistent)
 {
     StrategyPlanner planner(slow_link_options());
-    const auto rep = planner.plan(recompute_cheaper_trace(),
-                                  Strategy::kHybrid);
+    const auto rep =
+        planner.plan(analysis::TraceView(recompute_cheaper_trace()),
+                     Strategy::kHybrid);
     EXPECT_EQ(rep.swap_decisions + rep.recompute_decisions,
               rep.decisions.size());
     std::size_t swapped = 0, recomputed = 0;
@@ -157,7 +159,7 @@ TEST(StrategyPlanner, ReportAccountingIsConsistent)
 TEST(StrategyPlanner, PlansAreDeterministic)
 {
     StrategyPlanner planner(slow_link_options());
-    const auto r = recompute_cheaper_trace();
+    const analysis::TraceView r(recompute_cheaper_trace());
     for (Strategy s : {Strategy::kSwapOnly, Strategy::kRecomputeOnly,
                        Strategy::kHybrid}) {
         const auto a = planner.plan(r, s);
@@ -207,11 +209,11 @@ TEST(StrategyPlanner, HybridDominatesPureStrategiesZooWide)
             StrategyPlanner planner(opts);
 
             const auto swap_only =
-                planner.plan(result.trace, Strategy::kSwapOnly);
+                planner.plan(result.view(), Strategy::kSwapOnly);
             const auto rec_only =
-                planner.plan(result.trace, Strategy::kRecomputeOnly);
+                planner.plan(result.view(), Strategy::kRecomputeOnly);
             const auto hybrid =
-                planner.plan(result.trace, Strategy::kHybrid);
+                planner.plan(result.view(), Strategy::kHybrid);
 
             if (budget != kUnlimitedBudget) {
                 EXPECT_LE(swap_only.predicted_overhead, budget);

@@ -4,6 +4,7 @@
 #include "alloc/caching_allocator.h"
 #include "alloc/device_memory.h"
 #include "analysis/breakdown.h"
+#include "analysis/trace_view.h"
 #include "core/check.h"
 #include "nn/models.h"
 #include "runtime/engine.h"
@@ -86,7 +87,7 @@ TEST_F(EngineTest, UsageMatchesTraceBreakdown)
 {
     Engine engine(plan_, alloc_, clock_, cost_, &trace_);
     engine.run(3);
-    const auto breakdown = analysis::occupation_breakdown(trace_);
+    const auto breakdown = analysis::occupation_breakdown(analysis::TraceView(trace_));
     EXPECT_EQ(engine.usage().peak_total, breakdown.peak_total);
     for (int c = 0; c < kNumCategories; ++c)
         EXPECT_EQ(engine.usage().at_peak[c], breakdown.at_peak[c]);

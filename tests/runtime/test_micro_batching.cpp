@@ -93,7 +93,7 @@ TEST(MicroBatching, ShrinksPeakIntermediates)
         config.iterations = 2;
         config.plan.micro_batches = k;
         const auto r = run_training(nn::resnet(18), config);
-        const auto b = analysis::occupation_breakdown(r.trace);
+        const auto b = analysis::occupation_breakdown(r.view());
         return b.peak_per_category[static_cast<int>(
             Category::kIntermediate)];
     };

@@ -126,7 +126,7 @@ TEST(Session, ValidateSwapPlanClosesTheLoop)
     swap::PlannerOptions opts;
     opts.link = analysis::LinkBandwidth{config.device.d2h_bw_bps,
                                         config.device.h2d_bw_bps};
-    const auto direct = swap::SwapPlanner(opts).plan(r.trace);
+    const auto direct = swap::SwapPlanner(opts).plan(r.view());
     EXPECT_EQ(v.plan.decisions.size(), direct.decisions.size());
     EXPECT_EQ(v.plan.peak_reduction_bytes,
               direct.peak_reduction_bytes);

@@ -41,7 +41,7 @@ gap_trace(std::size_t big = 512ull << 20)
 
 TEST(SwapExecutor, HideableSwapReducesPeakWithNoStall)
 {
-    const auto trace = gap_trace();
+    const analysis::TraceView trace(gap_trace());
     PlannerOptions opts;
     opts.link = kLink;
     const auto plan = SwapPlanner(opts).plan(trace);
@@ -62,7 +62,7 @@ TEST(SwapExecutor, HideableSwapReducesPeakWithNoStall)
 
 TEST(SwapExecutor, ExecutorConfirmsPlannerPeakPrediction)
 {
-    const auto trace = gap_trace();
+    const analysis::TraceView trace(gap_trace());
     PlannerOptions opts;
     opts.link = kLink;
     const auto plan = SwapPlanner(opts).plan(trace);
@@ -87,9 +87,10 @@ TEST(SwapExecutor, NonHideableSwapMeasuresStall)
     PlannerOptions opts;
     opts.link = kLink;
     opts.allow_overhead = true;
-    const auto plan = SwapPlanner(opts).plan(r);
+    const analysis::TraceView view(r);
+    const auto plan = SwapPlanner(opts).plan(view);
     ASSERT_EQ(plan.decisions.size(), 1u);
-    const auto exec = execute_plan(r, plan, kLink);
+    const auto exec = execute_plan(view, plan, kLink);
     EXPECT_GT(exec.measured_stall, 0u);
     // Executor and planner agree on the stall to the nanosecond.
     EXPECT_EQ(exec.measured_stall, plan.predicted_overhead);
@@ -112,10 +113,11 @@ TEST(SwapExecutor, ExactlyHideableGapHasNoSpuriousStall)
 
     PlannerOptions opts;
     opts.link = kLink;
-    const auto plan = SwapPlanner(opts).plan(r);
+    const analysis::TraceView view(r);
+    const auto plan = SwapPlanner(opts).plan(view);
     ASSERT_EQ(plan.decisions.size(), 1u);
     EXPECT_EQ(plan.decisions[0].overhead, 0u);
-    const auto exec = execute_plan(r, plan, kLink);
+    const auto exec = execute_plan(view, plan, kLink);
     EXPECT_EQ(exec.measured_stall, 0u)
         << "planner and executor disagree on rounding";
 }
@@ -142,7 +144,8 @@ TEST(SwapExecutor, ContendedSwapsStallOnTheSharedLink)
 
     PlannerOptions opts;
     opts.link = kLink;
-    const auto plan = SwapPlanner(opts).plan(r);
+    const analysis::TraceView view(r);
+    const auto plan = SwapPlanner(opts).plan(view);
     ASSERT_EQ(plan.decisions.size(), 2u);
     EXPECT_EQ(plan.predicted_overhead, 0u)
         << "each swap is hideable in isolation";
@@ -151,11 +154,11 @@ TEST(SwapExecutor, ContendedSwapsStallOnTheSharedLink)
     for (const auto &d : plan.decisions) {
         SwapPlanReport solo;
         solo.decisions.push_back(d);
-        EXPECT_EQ(execute_plan(r, solo, kLink).measured_stall, 0u);
+        EXPECT_EQ(execute_plan(view, solo, kLink).measured_stall, 0u);
     }
 
     // Together they contend, and the slip is measured.
-    const auto exec = execute_plan(r, plan, kLink);
+    const auto exec = execute_plan(view, plan, kLink);
     EXPECT_GT(exec.measured_stall, 0u)
         << "the shared link must surface contention stall";
     EXPECT_GT(exec.queue_delay, 0u);
@@ -171,7 +174,7 @@ TEST(SwapExecutor, ContendedSwapsStallOnTheSharedLink)
 
 TEST(SwapExecutor, SharedSchedulerAccumulatesAcrossPlans)
 {
-    const auto trace = gap_trace();
+    const analysis::TraceView trace(gap_trace());
     PlannerOptions opts;
     opts.link = kLink;
     const auto plan = SwapPlanner(opts).plan(trace);
@@ -189,7 +192,7 @@ TEST(SwapExecutor, SharedSchedulerAccumulatesAcrossPlans)
 
 TEST(SwapExecutor, EmptyPlanChangesNothing)
 {
-    const auto trace = gap_trace();
+    const analysis::TraceView trace(gap_trace());
     SwapPlanReport empty;
     const auto exec = execute_plan(trace, empty, kLink);
     EXPECT_EQ(exec.executed_decisions, 0u);
@@ -200,7 +203,7 @@ TEST(SwapExecutor, EmptyPlanChangesNothing)
 
 TEST(SwapExecutor, RejectsForeignDecisions)
 {
-    const auto trace = gap_trace();
+    const analysis::TraceView trace(gap_trace());
     SwapPlanReport bogus;
     SwapDecision d;
     d.block = 999;
@@ -228,8 +231,8 @@ TEST(SwapExecutor, EndToEndOnRealTrainingTrace)
 
     PlannerOptions opts;
     opts.link = kLink;
-    const auto plan = SwapPlanner(opts).plan(result.trace);
-    const auto exec = execute_plan(result.trace, plan, kLink);
+    const auto plan = SwapPlanner(opts).plan(result.view());
+    const auto exec = execute_plan(result.view(), plan, kLink);
     EXPECT_EQ(exec.executed_decisions, plan.decisions.size());
     // A hideable-only plan can still stall on a real trace: the
     // decisions overlap and contend for the one link. What must

@@ -43,11 +43,11 @@ TEST(PlanExecuteAgreement, EveryZooModelRoundTrips)
             runtime::run_training(entry.build(), config);
 
         const PlannerOptions opts = paper_link_options();
-        const auto plan = SwapPlanner(opts).plan(result.trace);
+        const auto plan = SwapPlanner(opts).plan(result.view());
 
         // Every plan() decision passes execute_plan validation.
         const auto exec =
-            execute_plan(result.trace, plan, opts.link);
+            execute_plan(result.view(), plan, opts.link);
         ASSERT_EQ(exec.executed_decisions, plan.decisions.size());
         ASSERT_EQ(exec.swaps.size(), plan.decisions.size());
         EXPECT_LE(exec.new_peak_bytes, exec.original_peak_bytes);
@@ -67,7 +67,7 @@ TEST(PlanExecuteAgreement, EveryZooModelRoundTrips)
             SwapPlanReport solo;
             solo.decisions.push_back(plan.decisions[i]);
             const auto alone =
-                execute_plan(result.trace, solo, opts.link);
+                execute_plan(result.view(), solo, opts.link);
             EXPECT_EQ(alone.measured_stall, 0u)
                 << "decision " << i
                 << " is hideable yet stalls uncontended";
@@ -93,7 +93,7 @@ TEST(PlanExecuteAgreement, OverheadPlansAgreeUncontended)
     PlannerOptions opts = paper_link_options();
     opts.allow_overhead = true;
     opts.min_block_bytes = 256 * 1024;
-    const auto plan = SwapPlanner(opts).plan(result.trace);
+    const auto plan = SwapPlanner(opts).plan(result.view());
     ASSERT_FALSE(plan.decisions.empty());
 
     TimeNs solo_stall_sum = 0;
@@ -101,7 +101,7 @@ TEST(PlanExecuteAgreement, OverheadPlansAgreeUncontended)
         SwapPlanReport solo;
         solo.decisions.push_back(d);
         const auto alone =
-            execute_plan(result.trace, solo, opts.link);
+            execute_plan(result.view(), solo, opts.link);
         EXPECT_EQ(alone.measured_stall, d.overhead)
             << "block " << d.block;
         solo_stall_sum += alone.measured_stall;
@@ -109,7 +109,7 @@ TEST(PlanExecuteAgreement, OverheadPlansAgreeUncontended)
     EXPECT_EQ(solo_stall_sum, plan.predicted_overhead);
 
     // And the contended run is bounded below by that prediction.
-    const auto exec = execute_plan(result.trace, plan, opts.link);
+    const auto exec = execute_plan(result.view(), plan, opts.link);
     EXPECT_GE(exec.measured_stall, plan.predicted_overhead);
 }
 

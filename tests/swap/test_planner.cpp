@@ -3,6 +3,7 @@
 
 #include "analysis/swap_model.h"
 #include "core/check.h"
+#include "analysis/trace_view.h"
 #include "swap/planner.h"
 
 namespace pinpoint {
@@ -46,7 +47,7 @@ default_options()
 TEST(SwapPlanner, SchedulesTheOutlier)
 {
     SwapPlanner planner(default_options());
-    const auto plan = planner.plan(outlier_trace());
+    const auto plan = planner.plan(analysis::TraceView(outlier_trace()));
     ASSERT_EQ(plan.decisions.size(), 1u);
     const auto &d = plan.decisions[0];
     EXPECT_EQ(d.block, 1u);
@@ -75,7 +76,7 @@ TEST(SwapPlanner, PeakReductionCountsResidencyWindowGaps)
     r.record(ev(840300 * kNsPerUs, trace::EventKind::kFree, 1, big));
 
     SwapPlanner planner(default_options());
-    const auto plan = planner.plan(r);
+    const auto plan = planner.plan(analysis::TraceView(r));
     EXPECT_EQ(plan.original_peak_bytes, big + small);
     EXPECT_EQ(plan.peak_reduction_bytes, big)
         << "the big block is off-device at the peak instant";
@@ -97,7 +98,8 @@ TEST(SwapPlanner, NoPeakReductionWhilePeakSitsInsideTransfer)
     r.record(ev(840211 * kNsPerUs, trace::EventKind::kRead, 1, big));
     r.record(ev(840300 * kNsPerUs, trace::EventKind::kFree, 1, big));
 
-    const auto plan = SwapPlanner(default_options()).plan(r);
+    const auto plan =
+        SwapPlanner(default_options()).plan(analysis::TraceView(r));
     EXPECT_EQ(plan.original_peak_bytes, big + small);
     EXPECT_EQ(plan.peak_reduction_bytes, 0u)
         << "the swap-out has not completed at the peak instant";
@@ -106,7 +108,7 @@ TEST(SwapPlanner, NoPeakReductionWhilePeakSitsInsideTransfer)
 TEST(SwapPlanner, NoPeakReductionWhenPeakIsOutsideGaps)
 {
     SwapPlanner planner(default_options());
-    const auto plan = planner.plan(outlier_trace());
+    const auto plan = planner.plan(analysis::TraceView(outlier_trace()));
     // Single-block trace: the peak is the alloc instant, which
     // precedes the first access, so nothing is off-device there.
     EXPECT_EQ(plan.original_peak_bytes, 1200ull * 1024 * 1024);
@@ -120,7 +122,7 @@ TEST(SwapPlanner, SmallBlocksAreIgnored)
     r.record(ev(10, trace::EventKind::kWrite, 1, 4096));
     r.record(ev(kNsPerSec, trace::EventKind::kRead, 1, 4096));
     SwapPlanner planner(default_options());
-    EXPECT_TRUE(planner.plan(r).decisions.empty());
+    EXPECT_TRUE(planner.plan(analysis::TraceView(r)).decisions.empty());
 }
 
 TEST(SwapPlanner, TightGapsAreNotHideable)
@@ -131,7 +133,7 @@ TEST(SwapPlanner, TightGapsAreNotHideable)
     r.record(ev(10, trace::EventKind::kWrite, 1, size));
     r.record(ev(kNsPerMs, trace::EventKind::kRead, 1, size));
     SwapPlanner planner(default_options());
-    EXPECT_TRUE(planner.plan(r).decisions.empty());
+    EXPECT_TRUE(planner.plan(analysis::TraceView(r)).decisions.empty());
 }
 
 TEST(SwapPlanner, AllowOverheadSchedulesWithStall)
@@ -144,7 +146,7 @@ TEST(SwapPlanner, AllowOverheadSchedulesWithStall)
 
     PlannerOptions opts = default_options();
     opts.allow_overhead = true;
-    const auto plan = SwapPlanner(opts).plan(r);
+    const auto plan = SwapPlanner(opts).plan(analysis::TraceView(r));
     ASSERT_EQ(plan.decisions.size(), 1u);
     const TimeNs needed = analysis::min_interval_for(size, kLink);
     EXPECT_EQ(plan.decisions[0].overhead,
@@ -170,7 +172,7 @@ TEST(SwapPlanner, OverheadSaturatesAtZeroUnderSafetyFactor)
     PlannerOptions opts = default_options();
     opts.safety_factor = 2.0;
     opts.allow_overhead = true;
-    const auto plan = SwapPlanner(opts).plan(r);
+    const auto plan = SwapPlanner(opts).plan(analysis::TraceView(r));
     ASSERT_EQ(plan.decisions.size(), 1u);
     EXPECT_EQ(plan.decisions[0].overhead, 0u);
     EXPECT_EQ(plan.predicted_overhead, 0u);
@@ -188,10 +190,15 @@ TEST(SwapPlanner, SafetyFactorTightensTheBound)
                 size));
 
     PlannerOptions loose = default_options();
-    EXPECT_EQ(SwapPlanner(loose).plan(r).decisions.size(), 1u);
+    EXPECT_EQ(SwapPlanner(loose)
+                  .plan(analysis::TraceView(r))
+                  .decisions.size(),
+              1u);
     PlannerOptions strict = default_options();
     strict.safety_factor = 2.0;
-    EXPECT_TRUE(SwapPlanner(strict).plan(r).decisions.empty());
+    EXPECT_TRUE(SwapPlanner(strict)
+                    .plan(analysis::TraceView(r))
+                    .decisions.empty());
 }
 
 TEST(SwapPlanner, MultipleGapsYieldMultipleDecisions)
@@ -202,7 +209,8 @@ TEST(SwapPlanner, MultipleGapsYieldMultipleDecisions)
     r.record(ev(10, trace::EventKind::kWrite, 1, size));
     r.record(ev(kNsPerSec, trace::EventKind::kRead, 1, size));
     r.record(ev(2 * kNsPerSec, trace::EventKind::kRead, 1, size));
-    const auto plan = SwapPlanner(default_options()).plan(r);
+    const auto plan =
+        SwapPlanner(default_options()).plan(analysis::TraceView(r));
     EXPECT_EQ(plan.decisions.size(), 2u);
     EXPECT_EQ(plan.total_swapped_bytes, 2 * size);
     // Decisions come out sorted by gap start.
@@ -217,8 +225,9 @@ TEST(SwapPlanner, GapsBeforeFirstAccessDoNotQualify)
     r.record(ev(0, trace::EventKind::kMalloc, 1, size));
     // One access only, a second after allocation: no internal gap.
     r.record(ev(kNsPerSec, trace::EventKind::kWrite, 1, size));
-    EXPECT_TRUE(
-        SwapPlanner(default_options()).plan(r).decisions.empty());
+    EXPECT_TRUE(SwapPlanner(default_options())
+                    .plan(analysis::TraceView(r))
+                    .decisions.empty());
 }
 
 TEST(SwapPlanner, ValidatesOptions)

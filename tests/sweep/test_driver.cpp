@@ -82,7 +82,7 @@ TEST(SweepDriver, AggregationMatchesDirectSession)
     EXPECT_EQ(result.alloc_count, direct.alloc_stats.alloc_count);
     EXPECT_EQ(result.event_count, direct.trace.size());
 
-    const auto atis = analysis::compute_atis(direct.trace);
+    const auto atis = analysis::compute_atis(direct.view());
     EXPECT_EQ(result.ati_count, atis.size());
     const auto stats =
         analysis::summarize(analysis::ati_microseconds(atis));

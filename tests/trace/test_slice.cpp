@@ -3,6 +3,7 @@
 
 #include "analysis/breakdown.h"
 #include "analysis/timeline.h"
+#include "analysis/trace_view.h"
 #include "core/check.h"
 #include "nn/models.h"
 #include "runtime/session.h"
@@ -39,8 +40,9 @@ TEST(Slice, ResultReplaysThroughAnalyses)
 {
     const auto window = slice_iterations(mlp_trace(), 1, 4);
     // Timeline and breakdown both PP_CHECK trace consistency.
-    EXPECT_NO_THROW(analysis::Timeline{window});
-    EXPECT_NO_THROW(analysis::occupation_breakdown(window));
+    EXPECT_NO_THROW(analysis::TraceView(window).timeline());
+    EXPECT_NO_THROW(analysis::occupation_breakdown(
+        analysis::TraceView(window)));
     EXPECT_EQ(window.count(EventKind::kMalloc),
               window.count(EventKind::kFree))
         << "open blocks must be closed";
@@ -53,7 +55,7 @@ TEST(Slice, SetupCanBeDropped)
     const auto window = slice_iterations(mlp_trace(), 0, 1, opts);
     for (const auto &e : window.events())
         EXPECT_NE(e.iteration, kSetupIteration);
-    EXPECT_NO_THROW(analysis::Timeline{window});
+    EXPECT_NO_THROW(analysis::TraceView(window).timeline());
 }
 
 TEST(Slice, AccessesToPreWindowBlocksAreDropped)
@@ -63,7 +65,9 @@ TEST(Slice, AccessesToPreWindowBlocksAreDropped)
     const auto window = slice_iterations(mlp_trace(), 2, 2, opts);
     // Parameters were allocated at setup (dropped): no event may
     // reference their blocks.
-    analysis::Timeline t(window);  // would throw on stray accesses
+    const analysis::TraceView view(window);
+    const analysis::Timeline &t =
+        view.timeline();  // would throw on stray accesses
     for (const auto &b : t.blocks())
         EXPECT_GE(b.alloc_iteration, 2u);
 }

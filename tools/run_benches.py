@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Run the figure/relief benches and emit a perf-trajectory JSON.
+
+Each bench binary prints a machine-readable trailer line
+
+    bench_stats: scenarios=<K> timeline_builds=<B> [pre_refactor_timeline_builds=<P>]
+
+which this script scrapes (every key=value pair on the line) and
+records, together with the wall-clock time of the run, as one entry
+of the output JSON:
+
+    [{"bench": "relief_strategies", "wall_ms": 131,
+      "scenarios": 14, "timeline_builds": 14,
+      "pre_refactor_timeline_builds": 56}, ...]
+
+The JSON is the repo's perf trajectory anchor: CI checks it is
+produced and parseable, and the timeline_builds column documents the
+one-index-build-per-run invariant (PR 5) against the pre-refactor
+cost where a bench knows it.
+
+Usage:
+    tools/run_benches.py [--build-dir build] [--output BENCH_pr5.json]
+                         [--benches a,b,...]
+
+Exit codes: 0 on success, 1 when a bench fails or emits no output.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+DEFAULT_BENCHES = [
+    "fig2_gantt",
+    "fig3_ati_distribution",
+    "fig5_breakdown",
+    "fig6_alexnet_batch",
+    "fig7_resnet_depth",
+    "relief_strategies",
+]
+
+STATS_RE = re.compile(r"^bench_stats:\s*(.*)$", re.MULTILINE)
+PAIR_RE = re.compile(r"(\w+)=(\d+)")
+
+
+def run_bench(binary: Path) -> dict:
+    start = time.monotonic()
+    proc = subprocess.run(
+        [str(binary)], capture_output=True, text=True, check=False
+    )
+    wall_ms = int(round((time.monotonic() - start) * 1000))
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
+        raise RuntimeError(
+            f"{binary.name} exited {proc.returncode}"
+        )
+    entry = {"bench": binary.name, "wall_ms": wall_ms}
+    match = None
+    for match in STATS_RE.finditer(proc.stdout):
+        pass  # keep the last bench_stats line
+    if match is not None:
+        for key, value in PAIR_RE.findall(match.group(1)):
+            entry[key] = int(value)
+    return entry
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="run benches, emit perf-trajectory JSON"
+    )
+    parser.add_argument("--build-dir", default="build", type=Path)
+    parser.add_argument(
+        "--output", default=Path("BENCH_pr5.json"), type=Path
+    )
+    parser.add_argument(
+        "--benches",
+        default=",".join(DEFAULT_BENCHES),
+        help="comma-separated bench names (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    entries = []
+    for name in [b for b in args.benches.split(",") if b]:
+        binary = args.build_dir / name
+        if not binary.exists():
+            sys.stderr.write(
+                f"error: {binary} not built (configure with "
+                "-DPINPOINT_BUILD_BENCHES=ON)\n"
+            )
+            return 1
+        try:
+            entry = run_bench(binary)
+        except RuntimeError as err:
+            sys.stderr.write(f"error: {err}\n")
+            return 1
+        builds = entry.get("timeline_builds")
+        scenarios = entry.get("scenarios")
+        print(
+            f"{name:<24} {entry['wall_ms']:>7} ms"
+            + (
+                f"  scenarios={scenarios} timeline_builds={builds}"
+                if builds is not None
+                else ""
+            )
+        )
+        entries.append(entry)
+
+    args.output.write_text(json.dumps(entries, indent=2) + "\n")
+    # Round-trip parse so a truncated write can never slip through.
+    json.loads(args.output.read_text())
+    print(f"wrote {args.output} ({len(entries)} benches)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
