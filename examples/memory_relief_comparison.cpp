@@ -100,14 +100,21 @@ main()
         api::StudyOptions opts;
         opts.relief.overhead_budget = session.iteration_time;
         const api::Study study(spec, std::move(session), opts);
-        const char *kLabels[] = {
+        // One label per relief::Strategy enumerator, in enum
+        // order. Unavailable reports (peer offload on this
+        // single-device study) are skipped, not printed as a
+        // zero-savings row.
+        const char *kLabels[relief::kNumStrategies] = {
             "swap plan /iter budget",
             "recompute plan /iter budget",
+            "peer offload /iter budget",
             "hybrid plan /iter budget",
         };
         const auto &reports = study.relief_all();
         for (std::size_t i = 0; i < reports.size(); ++i) {
             const auto &rep = reports[i];
+            if (!rep.available)
+                continue;
             char note[96];
             std::snprintf(note, sizeof(note),
                           "%s moved, %s recomputed, +%s",

@@ -58,14 +58,45 @@ Study::Study(WorkloadSpec spec, runtime::SessionResult result,
     // string here, the facets price @p device exactly.
 }
 
+Study::Study(WorkloadSpec spec, runtime::DataParallelResult result,
+             StudyOptions options)
+    : spec_(std::move(spec)),
+      device_(sim::device_spec_by_name(spec_.device)),
+      options_(std::move(options)),
+      dp_(std::make_unique<runtime::DataParallelResult>(
+          std::move(result))),
+      facets_(std::make_unique<Facets>())
+{
+}
+
 Study
 Study::run(const WorkloadSpec &spec, StudyOptions options)
 {
     spec.validate();
+    if (spec.devices > 1)
+        return Study(spec,
+                     runtime::run_data_parallel(
+                         spec.build(), spec.data_parallel_config()),
+                     std::move(options));
     return Study(spec,
                  runtime::run_training(spec.build(),
                                        spec.session_config()),
                  std::move(options));
+}
+
+const runtime::SessionResult &
+Study::result() const
+{
+    return dp_ ? dp_->primary() : result_;
+}
+
+const runtime::DataParallelResult &
+Study::data_parallel_result() const
+{
+    PP_CHECK(dp_ != nullptr,
+             "single-device study has no data-parallel result "
+             "(spec devices = " << spec_.devices << ")");
+    return *dp_;
 }
 
 Study
@@ -89,26 +120,26 @@ const analysis::Timeline &
 Study::timeline() const
 {
     // The view's cached sub-index: the one timeline build per run.
-    return result_.view().timeline();
+    return result().view().timeline();
 }
 
 const std::vector<analysis::OccupancyEdge> &
 Study::occupancy_edges() const
 {
-    return result_.view().timeline().edges();
+    return result().view().timeline().edges();
 }
 
 std::size_t
 Study::peak_occupancy_bytes() const
 {
-    return result_.view().timeline().peak_bytes();
+    return result().view().timeline().peak_bytes();
 }
 
 const std::vector<analysis::AtiSample> &
 Study::atis() const
 {
     std::call_once(facets_->atis_once, [&] {
-        facets_->atis = analysis::compute_atis(result_.view());
+        facets_->atis = analysis::compute_atis(result().view());
     });
     return facets_->atis;
 }
@@ -128,7 +159,7 @@ Study::breakdown() const
 {
     std::call_once(facets_->breakdown_once, [&] {
         facets_->breakdown =
-            analysis::occupation_breakdown(result_.view());
+            analysis::occupation_breakdown(result().view());
     });
     return facets_->breakdown;
 }
@@ -136,14 +167,14 @@ Study::breakdown() const
 const analysis::IterationPattern &
 Study::iteration_pattern() const
 {
-    return result_.view().iteration_pattern();
+    return result().view().iteration_pattern();
 }
 
 const swap::SwapPlanReport &
 Study::swap_plan() const
 {
     std::call_once(facets_->swap_plan_once, [&] {
-        PP_CHECK(result_.trace.size() > 0,
+        PP_CHECK(result().trace.size() > 0,
                  "swap planning needs a recorded trace (run with "
                  "record_trace = true)");
         // The shared fill rule keeps this plan identical to
@@ -151,7 +182,7 @@ Study::swap_plan() const
         facets_->swap_plan =
             swap::SwapPlanner(
                 runtime::fill_swap_link(options_.swap, device_))
-                .plan(result_.view());
+                .plan(result().view());
     });
     return facets_->swap_plan;
 }
@@ -161,7 +192,7 @@ Study::swap_validation() const
 {
     std::call_once(facets_->swap_once, [&] {
         facets_->swap_validation = runtime::validate_swap_plan(
-            result_, device_, options_.swap);
+            result(), device_, options_.swap);
     });
     return facets_->swap_validation;
 }
@@ -170,8 +201,16 @@ const std::array<relief::ReliefReport, relief::kNumStrategies> &
 Study::relief_all() const
 {
     std::call_once(facets_->relief_once, [&] {
+        relief::StrategyOptions opts = options_.relief;
+        // Arm the peer mechanism from the spec's topology unless the
+        // caller configured one explicitly — the one place the
+        // devices axis reaches the relief planner.
+        if (dp_ && !opts.peer_available()) {
+            opts.devices = dp_->devices;
+            opts.interconnect = dp_->interconnect;
+        }
         facets_->relief_all = runtime::plan_relief_all(
-            result_, device_, options_.relief);
+            result(), device_, std::move(opts));
     });
     return facets_->relief_all;
 }

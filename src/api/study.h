@@ -42,6 +42,7 @@
 #include "analysis/timeline.h"
 #include "api/workload.h"
 #include "relief/strategy_planner.h"
+#include "runtime/data_parallel.h"
 #include "runtime/session.h"
 #include "swap/planner.h"
 
@@ -85,7 +86,17 @@ class Study
           const sim::DeviceSpec &device, StudyOptions options = {});
 
     /**
-     * Runs @p spec's training session and wraps the result.
+     * Wraps an already-run data-parallel result for @p spec. The
+     * single-device facets below project replica 0 (replicas are
+     * deterministic clones); the data-parallel facets read the
+     * aggregate.
+     */
+    Study(WorkloadSpec spec, runtime::DataParallelResult result,
+          StudyOptions options = {});
+
+    /**
+     * Runs @p spec's training session — data-parallel when
+     * spec.devices > 1 — and wraps the result.
      * @throws Error / DeviceOomError when the workload cannot run.
      */
     static Study run(const WorkloadSpec &spec,
@@ -115,18 +126,67 @@ class Study
     /** @return the resolved device the workload ran on. */
     const sim::DeviceSpec &device() const { return device_; }
 
-    /** @return the owned session result. */
-    const runtime::SessionResult &result() const { return result_; }
+    /**
+     * @return the owned session result — replica 0's for a
+     * data-parallel study (replicas are deterministic clones, so
+     * replica 0 is *the* single-device view of the run).
+     */
+    const runtime::SessionResult &result() const;
 
     /** @return the recorded trace. */
-    const trace::TraceRecorder &trace() const { return result_.trace; }
+    const trace::TraceRecorder &trace() const
+    {
+        return result().trace;
+    }
 
     /**
      * @return the run's shared immutable TraceView — the one trace
      * snapshot every facet below projects from. Useful directly for
      * build_stats() asserts and for analyses without a facet.
      */
-    const analysis::TraceView &view() const { return result_.view(); }
+    const analysis::TraceView &view() const
+    {
+        return result().view();
+    }
+
+    // --- data-parallel surface ------------------------------------
+
+    /** @return true when the study wraps a multi-replica run. */
+    bool data_parallel() const { return dp_ != nullptr; }
+
+    /**
+     * @return the aggregate data-parallel result (replica sessions,
+     * scheduled all-reduces, scaling metrics). @throws Error on a
+     * single-device study.
+     */
+    const runtime::DataParallelResult &data_parallel_result() const;
+
+    /** @return replica count (1 for single-device studies). */
+    int devices() const { return dp_ ? dp_->devices : 1; }
+
+    /** @return compute / effective iteration time; 1.0 when not DP. */
+    double scaling_efficiency() const
+    {
+        return dp_ ? dp_->scaling_efficiency : 1.0;
+    }
+
+    /** @return mean peer-link occupancy; 0.0 when not DP. */
+    double interconnect_busy_fraction() const
+    {
+        return dp_ ? dp_->interconnect_busy_fraction : 0.0;
+    }
+
+    /** @return steady-state exposed all-reduce time; 0 when not DP. */
+    TimeNs allreduce_time() const
+    {
+        return dp_ ? dp_->allreduce_time : 0;
+    }
+
+    /** @return steady-state all-reduce queueing slip; 0 when not DP. */
+    TimeNs allreduce_stall() const
+    {
+        return dp_ ? dp_->allreduce_stall : 0;
+    }
 
     // --- lazy cached facets ---------------------------------------
 
@@ -170,9 +230,12 @@ class Study
     const runtime::SwapValidation &swap_validation() const;
 
     /**
-     * @return all three relief reports (swap-only, recompute-only,
-     * hybrid) planned from one shared trace analysis, indexed by
-     * relief::Strategy enumerator order.
+     * @return every relief report (swap-only, recompute-only,
+     * peer-only, hybrid) planned from one shared trace analysis,
+     * indexed by relief::Strategy enumerator order. On multi-device
+     * studies the planner's peer mechanism is armed with the spec's
+     * topology; on single-device studies the peer-only report is
+     * marked unavailable.
      * @throws Error when the study has no trace.
      */
     const std::array<relief::ReliefReport, relief::kNumStrategies> &
@@ -187,7 +250,10 @@ class Study
     WorkloadSpec spec_;
     sim::DeviceSpec device_;
     StudyOptions options_;
+    /** Single-device runs only; empty when dp_ holds the result. */
     runtime::SessionResult result_;
+    /** Multi-device runs: the aggregate, owning every replica. */
+    std::unique_ptr<runtime::DataParallelResult> dp_;
     /**
      * Heap-allocated so the Study stays movable: std::once_flag is
      * neither movable nor copyable, and moving a Study must carry

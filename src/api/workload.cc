@@ -8,6 +8,7 @@
 #include "core/parse.h"
 #include "nn/model_registry.h"
 #include "sim/device_spec.h"
+#include "sim/topology.h"
 
 namespace pinpoint {
 namespace api {
@@ -15,8 +16,14 @@ namespace api {
 std::string
 WorkloadSpec::id() const
 {
-    return model + "/b" + std::to_string(batch) + "/" +
-           runtime::allocator_kind_name(allocator) + "/" + device;
+    std::string key = model + "/b" + std::to_string(batch) + "/" +
+                      runtime::allocator_kind_name(allocator) + "/" +
+                      device;
+    // Single-device ids predate the devices axis and are pinned by
+    // golden sweep CSVs; only multi-device runs grow the suffix.
+    if (devices > 1)
+        key += "/dp" + std::to_string(devices) + "/" + topology;
+    return key;
 }
 
 std::string
@@ -26,7 +33,8 @@ WorkloadSpec::to_string() const
     os << "--model " << model << " --batch " << batch
        << " --iterations " << iterations << " --allocator "
        << runtime::allocator_kind_name(allocator) << " --device "
-       << device << " --micro-batches " << micro_batches;
+       << device << " --micro-batches " << micro_batches
+       << " --devices " << devices << " --topology " << topology;
     return os.str();
 }
 
@@ -34,8 +42,8 @@ const std::vector<std::string> &
 WorkloadSpec::flag_names()
 {
     static const std::vector<std::string> kNames = {
-        "model", "batch", "iterations",
-        "allocator", "device", "micro-batches"};
+        "model",  "batch",         "iterations", "allocator",
+        "device", "micro-batches", "devices",    "topology"};
     return kNames;
 }
 
@@ -62,6 +70,10 @@ WorkloadSpec::from_flags(const FlagView &get, const WorkloadSpec &base)
         spec.device = *v;
     if (const std::string *v = get("micro-batches"))
         spec.micro_batches = parse_int_flag("micro-batches", *v);
+    if (const std::string *v = get("devices"))
+        spec.devices = parse_int_flag("devices", *v);
+    if (const std::string *v = get("topology"))
+        spec.topology = *v;
     spec.validate();
     return spec;
 }
@@ -124,10 +136,11 @@ WorkloadSpec::from_string(const std::string &text,
 void
 WorkloadSpec::validate() const
 {
-    // Both lookups throw the shared typed "unknown X (known: ...)"
-    // UsageErrors themselves.
+    // All three lookups throw the shared typed "unknown X
+    // (known: ...)" UsageErrors themselves.
     nn::require_model(model);
     sim::device_spec_by_name(device);
+    sim::interconnect_by_name(topology);
     if (batch < 1)
         throw UsageError("--batch must be >= 1, got " +
                          std::to_string(batch));
@@ -137,6 +150,9 @@ WorkloadSpec::validate() const
     if (micro_batches < 1)
         throw UsageError("--micro-batches must be >= 1, got " +
                          std::to_string(micro_batches));
+    if (devices < 1)
+        throw UsageError("--devices must be >= 1, got " +
+                         std::to_string(devices));
 }
 
 runtime::SessionConfig
@@ -148,6 +164,16 @@ WorkloadSpec::session_config() const
     config.device = sim::device_spec_by_name(device);
     config.allocator = allocator;
     config.plan.micro_batches = micro_batches;
+    return config;
+}
+
+runtime::DataParallelConfig
+WorkloadSpec::data_parallel_config() const
+{
+    runtime::DataParallelConfig config;
+    config.session = session_config();
+    config.devices = devices;
+    config.interconnect = sim::interconnect_by_name(topology);
     return config;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "nn/models.h"
+#include "runtime/data_parallel.h"
 #include "runtime/session.h"
 
 namespace pinpoint {
@@ -40,19 +41,27 @@ struct WorkloadSpec {
     std::string device = "titan-x";
     /** Gradient-accumulation micro-batches. */
     int micro_batches = 1;
+    /** Data-parallel replica count (1 = the single-device runs). */
+    int devices = 1;
+    /** Interconnect preset name ("pcie", "nvlink"). */
+    std::string topology = "pcie";
 
     /**
      * Stable compact key, e.g. "resnet50/b32/caching/titan-x".
      * Iterations and micro-batches are run-length knobs, not
      * workload identity, and are deliberately excluded — this is
-     * the sweep scenario id and must stay byte-stable.
+     * the sweep scenario id and must stay byte-stable. Multi-device
+     * runs append "/dpN/<topology>"; devices=1 specs keep the
+     * pre-multi-device id byte for byte (a single device has no
+     * interconnect, so the topology is not identity there).
      */
     std::string id() const;
 
     /**
      * Canonical flag string, e.g. "--model resnet50 --batch 32
      * --iterations 5 --allocator caching --device titan-x
-     * --micro-batches 1". Round-trips through from_string.
+     * --micro-batches 1 --devices 1 --topology pcie". Round-trips
+     * through from_string.
      */
     std::string to_string() const;
 
@@ -93,14 +102,22 @@ struct WorkloadSpec {
 
     /**
      * Checks the spec describes a runnable workload: registered
-     * model and device, positive batch, iterations >= 1,
-     * micro-batches >= 1. @throws UsageError with an actionable
-     * message otherwise.
+     * model, device, and topology presets, positive batch,
+     * iterations >= 1, micro-batches >= 1, devices >= 1. @throws
+     * UsageError with an actionable message otherwise.
      */
     void validate() const;
 
     /** @return the session configuration this spec pins. */
     runtime::SessionConfig session_config() const;
+
+    /**
+     * @return the data-parallel configuration this spec pins:
+     * session_config() plus the replica count and the interconnect
+     * preset. Valid for devices == 1 too (a one-replica run with no
+     * collectives).
+     */
+    runtime::DataParallelConfig data_parallel_config() const;
 
     /** @return a fresh instance of the spec's model. */
     nn::Model build() const;

@@ -11,6 +11,7 @@
 #include "core/parse.h"
 #include "runtime/session.h"
 #include "sim/device_spec.h"
+#include "sim/topology.h"
 
 namespace pinpoint {
 namespace cli {
@@ -115,6 +116,13 @@ workload_flag_specs(const std::string &default_model)
         {"micro-batches", FlagKind::kValue, "K",
          std::to_string(defaults.micro_batches),
          "gradient-accumulation micro-batches", {}},
+        {"devices", FlagKind::kValue, "N",
+         std::to_string(defaults.devices),
+         "data-parallel replica count", {}},
+        {"topology", FlagKind::kValue, "T", defaults.topology,
+         "interconnect preset: " +
+             join_names(sim::interconnect_names()),
+         {}},
     };
     PP_ASSERT(specs.size() == api::WorkloadSpec::flag_names().size(),
               "workload flag help table out of sync with "

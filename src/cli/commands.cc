@@ -13,6 +13,7 @@
 #include "core/format.h"
 #include "nn/model_registry.h"
 #include "sim/pcie.h"
+#include "sim/topology.h"
 #include "sweep/driver.h"
 #include "sweep/export.h"
 #include "trace/chrome_trace.h"
@@ -82,6 +83,32 @@ cmd_characterize(const ParsedArgs &args, CommandIo &io)
                                         study.device().h2d_bw_bps};
     opts.gantt = !args.flag("no-gantt");
     analysis::write_report(study.view(), io.out, opts);
+
+    if (study.data_parallel()) {
+        // The report above is replica 0's single-device view (every
+        // replica is a deterministic clone); the aggregate topology
+        // numbers are the data-parallel delta on top of it.
+        const runtime::DataParallelResult &dp =
+            study.data_parallel_result();
+        oprintf(io.out, "\ndata-parallel topology: %d x %s over %s\n",
+                dp.devices, study.device().name.c_str(),
+                dp.interconnect.name.c_str());
+        oprintf(io.out, "  gradient bytes:     %s per iteration\n",
+                format_bytes(dp.gradient_bytes).c_str());
+        oprintf(io.out, "  compute iteration:  %s\n",
+                format_time(dp.compute_iteration_time).c_str());
+        oprintf(io.out,
+                "  all-reduce:         %s (ideal %s, stall %s)\n",
+                format_time(dp.allreduce_time).c_str(),
+                format_time(dp.allreduce_ideal_time).c_str(),
+                format_time(dp.allreduce_stall).c_str());
+        oprintf(io.out, "  effective iteration: %s\n",
+                format_time(dp.iteration_time).c_str());
+        oprintf(io.out, "  interconnect busy:  %.1f%%\n",
+                100.0 * dp.interconnect_busy_fraction);
+        oprintf(io.out, "  scaling efficiency: %.3f\n",
+                dp.scaling_efficiency);
+    }
 
     const std::string csv = args.value("csv", "");
     if (!csv.empty()) {
@@ -308,6 +335,7 @@ write_relief_json(const api::WorkloadSpec &spec,
        << "  \"plan\": {\"decisions\": " << report.decisions.size()
        << ", \"swap_decisions\": " << report.swap_decisions
        << ", \"recompute_decisions\": " << report.recompute_decisions
+       << ", \"peer_decisions\": " << report.peer_decisions
        << ", \"original_peak_bytes\": " << report.original_peak_bytes
        << ", \"peak_reduction_bytes\": "
        << report.peak_reduction_bytes
@@ -319,6 +347,8 @@ write_relief_json(const api::WorkloadSpec &spec,
        << ", \"measured_overhead_ns\": " << report.measured_overhead
        << ", \"swap_stall_ns\": "
        << report.swap_execution.measured_stall
+       << ", \"peer_stall_ns\": "
+       << report.peer_execution.measured_stall
        << ", \"link_busy_fraction\": "
        << format_fixed6(report.swap_execution.link_busy_fraction)
        << "},\n  \"decisions\": [\n";
@@ -333,7 +363,9 @@ write_relief_json(const api::WorkloadSpec &spec,
            << ", \"overhead_ns\": " << d.overhead
            << ", \"covers_peak\": "
            << (d.covers_peak ? "true" : "false");
-        if (d.mechanism == relief::Mechanism::kSwap)
+        // Swap and peer decisions are transfers (a hide ratio);
+        // recompute decisions name the producer they re-run.
+        if (d.mechanism != relief::Mechanism::kRecompute)
             os << ", \"hide_ratio\": "
                << format_fixed6(d.hide_ratio);
         else
@@ -375,15 +407,22 @@ cmd_relief(const ParsedArgs &args, CommandIo &io)
                 args.value("strategy", "hybrid"));
         } catch (const Error &) {
             throw UsageError("--strategy must be swap, recompute, "
-                             "or hybrid, got '" +
+                             "peer, or hybrid, got '" +
                              args.value("strategy", "") + "'");
         }
     }
+    // Catch the impossible selection before paying for the run: the
+    // peer mechanism needs a peer to offload to.
+    if (strategy == relief::Strategy::kPeerOnly && spec.devices < 2)
+        throw UsageError(
+            "--strategy peer needs a multi-device workload "
+            "(--devices >= 2), got --devices " +
+            std::to_string(spec.devices));
 
     const api::Study study = api::Study::run(spec, opts);
-    // One trace analysis, three strategies at the same budget: the
-    // selected strategy's detailed report plus the two references,
-    // so a single run answers "which lever wins here?".
+    // One trace analysis, every strategy at the same budget: the
+    // selected strategy's detailed report plus the references, so a
+    // single run answers "which lever wins here?".
     const auto &reports = study.relief_all();
     oprintf(io.out, "relief plan for %s batch %lld on %s",
             spec.model.c_str(), static_cast<long long>(spec.batch),
@@ -398,6 +437,11 @@ cmd_relief(const ParsedArgs &args, CommandIo &io)
     // below) — the decision vectors are not worth copying.
     const relief::ReliefReport *selected_report = nullptr;
     for (const auto &rep : reports) {
+        // The peer-only row exists only when a peer topology is
+        // armed; an unavailable placeholder would print misleading
+        // zeros (and change single-device bytes).
+        if (!rep.available)
+            continue;
         oprintf(io.out, "%-12s %10zu %12s %12s %12s %12s%s\n",
                 relief::strategy_name(rep.strategy),
                 rep.decisions.size(),
@@ -416,10 +460,13 @@ cmd_relief(const ParsedArgs &args, CommandIo &io)
 
     oprintf(io.out,
             "\nselected %s: %zu decisions (%zu swap, %zu "
-            "recompute)\n",
+            "recompute",
             relief::strategy_name(strategy),
             selected.decisions.size(), selected.swap_decisions,
             selected.recompute_decisions);
+    if (spec.devices > 1)
+        oprintf(io.out, ", %zu peer", selected.peer_decisions);
+    oprintf(io.out, ")\n");
     oprintf(io.out, "  original peak:      %s\n",
             format_bytes(selected.original_peak_bytes).c_str());
     oprintf(io.out, "  predicted savings:  %s\n",
@@ -430,11 +477,17 @@ cmd_relief(const ParsedArgs &args, CommandIo &io)
             format_bytes(selected.total_swapped_bytes).c_str());
     oprintf(io.out, "  bytes recomputed:   %s\n",
             format_bytes(selected.total_recomputed_bytes).c_str());
+    if (spec.devices > 1)
+        oprintf(io.out, "  bytes to peer:      %s\n",
+                format_bytes(selected.total_peer_bytes).c_str());
+    // Peer stall is 0 on single-device studies, so the sum prints
+    // the same bytes there as the host-only stall always did.
     oprintf(io.out,
             "  measured overhead:  %s (%s link stall + "
             "recompute)\n",
             format_time(selected.measured_overhead).c_str(),
-            format_time(selected.swap_execution.measured_stall)
+            format_time(selected.swap_execution.measured_stall +
+                        selected.peer_execution.measured_stall)
                 .c_str());
 
     const std::string csv = args.value("csv", "");
@@ -508,7 +561,12 @@ cmd_sweep(const ParsedArgs &args, CommandIo &io)
     grid.batches = sweep::parse_batches(args.value("batches", ""));
     grid.allocators =
         sweep::parse_allocators(args.value("allocators", ""));
-    grid.devices = sweep::split_list(args.value("devices", ""));
+    grid.device_presets =
+        sweep::split_list(args.value("device-presets", ""));
+    grid.device_counts =
+        sweep::parse_device_counts(args.value("devices", ""));
+    grid.topologies =
+        sweep::split_list(args.value("topologies", ""));
     grid.iterations = args.int_value("iterations", 5);
 
     sweep::SweepOptions opts;
@@ -627,24 +685,27 @@ make_default_registry()
     {
         Command c;
         c.name = "relief";
-        c.summary = "compare swap / recompute / hybrid relief under "
-                    "one overhead budget";
+        c.summary = "compare swap / recompute / peer / hybrid "
+                    "relief under one overhead budget";
         c.description =
             "The unified memory-relief planner: compares swap-only, "
-            "recompute-only,\nand hybrid strategies for one "
-            "workload under one overhead budget,\nprints all three "
-            "side by side, and exports the selected strategy's\n"
-            "per-decision schedule. Recompute costs are the "
-            "producing layers'\n*measured* forward times from the "
-            "trace; swap legs are scheduled on\nthe shared PCIe "
-            "link. The hybrid strategy is never worse than either\n"
-            "pure strategy at the same budget.";
+            "recompute-only,\npeer-offload (multi-device workloads), "
+            "and hybrid strategies for one\nworkload under one "
+            "overhead budget, prints every available strategy\nside "
+            "by side, and exports the selected strategy's "
+            "per-decision\nschedule. Recompute costs are the "
+            "producing layers' *measured*\nforward times from the "
+            "trace; swap legs are scheduled on the shared\nPCIe "
+            "link and peer legs on the interconnect of --topology. "
+            "The hybrid\nstrategy is never worse than any pure "
+            "strategy at the same budget.";
         c.workload = true;
         c.default_model = "resnet50";
         c.flags = {
             {"strategy", FlagKind::kValue, "S", "hybrid",
-             "swap, recompute, or hybrid — which strategy's "
-             "detail/export to select (all three are printed)",
+             "swap, recompute, peer, or hybrid — which strategy's "
+             "detail/export to select (every available one is "
+             "printed; peer needs --devices >= 2)",
              {}},
             {"budget-ms", FlagKind::kValue, "N", "unlimited",
              "total predicted overhead the selection may spend, in "
@@ -702,14 +763,16 @@ make_default_registry()
                     "the results";
         c.description =
             "Runs a declarative model × batch × allocator × device "
-            "grid on a\nworker pool, each scenario in an isolated "
-            "session, and aggregates\neverything into one "
-            "deterministic report (table to stdout, optional\n"
-            "CSV/JSON). Results are ordered by grid position, so "
-            "`--jobs 8` and\n`--jobs 1` produce byte-identical "
-            "exports. A deterministic simulated\nOOM is a capacity "
-            "*finding*: the row gets status `oom` and the sweep\n"
-            "still exits 0. Only scenario *errors* exit 1.";
+            "preset ×\nreplica count × topology grid on a worker "
+            "pool, each scenario in an\nisolated session, and "
+            "aggregates everything into one deterministic\nreport "
+            "(table to stdout, optional CSV/JSON). Results are "
+            "ordered by\ngrid position, so `--jobs 8` and `--jobs "
+            "1` produce byte-identical\nexports; multi-device rows "
+            "add interconnect busy-fraction and\nall-reduce stall "
+            "columns. A deterministic simulated OOM is a capacity\n"
+            "*finding*: the row gets status `oom` and the sweep "
+            "still exits 0.\nOnly scenario *errors* exit 1.";
         c.flags = {
             {"jobs", FlagKind::kValue, "N", "1",
              "worker threads; results are byte-identical for any N",
@@ -720,8 +783,14 @@ make_default_registry()
              "batch-size axis", {}},
             {"allocators", FlagKind::kValue, "a,b", "all three",
              "allocator axis", {}},
-            {"devices", FlagKind::kValue, "a,b", "titan-x",
-             "device axis", {}},
+            {"device-presets", FlagKind::kValue, "a,b", "titan-x",
+             "device preset axis", {"device-preset"}},
+            {"devices", FlagKind::kValue, "1,2", "1",
+             "data-parallel replica-count axis", {}},
+            {"topologies", FlagKind::kValue, "a,b", "pcie",
+             "interconnect preset axis: " +
+                 join_names(sim::interconnect_names()),
+             {}},
             {"iterations", FlagKind::kValue, "K", "5",
              "iterations per scenario", {}},
             {"csv", FlagKind::kValue, "PATH", "",
@@ -734,7 +803,8 @@ make_default_registry()
              "suppress per-scenario progress on stderr", {}},
         };
         c.example = "pinpoint_cli sweep --jobs 8 --models "
-                    "resnet50,vgg16 --batches 16,32 --csv zoo.csv";
+                    "resnet50,vgg16 --batches 16,32 --devices 1,2,4 "
+                    "--csv zoo.csv";
         c.run = cmd_sweep;
         registry.add(std::move(c));
     }

@@ -10,7 +10,7 @@ namespace pinpoint {
 namespace relief {
 namespace {
 
-/** One (block, access-gap) relief candidate with both options. */
+/** One (block, access-gap) relief candidate with every option. */
 struct Candidate {
     const analysis::BlockLifetime *block = nullptr;
     TimeNs gap_start = 0;
@@ -26,6 +26,11 @@ struct Candidate {
     TimeNs rec_cost = 0;
     bool rec_covers = false;
     const Producer *producer = nullptr;
+    // Peer-offload option (multi-device topologies only).
+    bool peer_ok = false;
+    TimeNs peer_overhead = 0;
+    bool peer_covers = false;
+    double peer_hide_ratio = 0.0;
 };
 
 /** The option of a candidate chosen for one mechanism. */
@@ -110,53 +115,87 @@ enumerate_candidates(PlanContext &ctx, const StrategyOptions &options)
                                ctx.peak_time < gap_end - cost;
                 c.producer = &prod->second;
             }
+
+            // Peer option: the same gap evaluation as swap, but on
+            // the interconnect's symmetric bandwidth plus its
+            // per-transfer latency; only priceable when the
+            // topology has a peer to offload to.
+            if (options.peer_available()) {
+                const analysis::LinkBandwidth peer_link{
+                    options.interconnect.peer_bw_bps,
+                    options.interconnect.peer_bw_bps};
+                const swap::GapEvaluation pe =
+                    swap::evaluate_swap_gap(
+                        b.size, gap_start, gap_end, peer_link,
+                        options.safety_factor,
+                        options.interconnect.latency_ns);
+                c.peer_ok = true;
+                c.peer_hide_ratio = pe.hide_ratio;
+                c.peer_overhead = pe.overhead;
+                c.peer_covers = pe.out_done <= ctx.peak_time &&
+                                ctx.peak_time < pe.in_start;
+            }
             ctx.candidates.push_back(c);
         }
     }
 }
 
+/** Which mechanisms a selection may assign. */
+struct AllowedMechanisms {
+    bool swap = false;
+    bool recompute = false;
+    bool peer = false;
+};
+
 /**
  * Greedy selection over the candidates with the given mechanisms
- * allowed. Zero-overhead options (hideable swaps) are always taken;
- * overhead-bearing options are ranked by bytes-freed-per-ns and
- * taken while they fit the budget.
+ * allowed. Zero-overhead options (hideable swaps and offloads) are
+ * always taken; overhead-bearing options are ranked by
+ * bytes-freed-per-ns and taken while they fit the budget.
  */
 Selection
-select(const std::vector<Candidate> &candidates, bool allow_swap,
-       bool allow_recompute, TimeNs budget)
+select(const std::vector<Candidate> &candidates,
+       const AllowedMechanisms &allow, TimeNs budget)
 {
     Selection sel;
     std::vector<Choice> paid;
     for (const auto &c : candidates) {
-        const bool sw = allow_swap && c.swap_ok;
-        const bool re = allow_recompute && c.rec_ok;
-        if (!sw && !re)
+        // Every allowed option of this candidate, in mechanism
+        // preference order: a later option replaces the incumbent
+        // only when it covers the peak and the incumbent does not,
+        // or at equal coverage with strictly lower overhead — so on
+        // full ties the earliest mechanism wins and pure and hybrid
+        // selections stay comparable.
+        Choice best;
+        auto consider = [&](Mechanism m, TimeNs overhead,
+                            bool covers) {
+            if (best.candidate != nullptr &&
+                covers == best.covers_peak &&
+                overhead >= best.overhead)
+                return;
+            if (best.candidate != nullptr &&
+                covers != best.covers_peak && !covers)
+                return;
+            best.candidate = &c;
+            best.mechanism = m;
+            best.overhead = overhead;
+            best.covers_peak = covers;
+        };
+        if (allow.swap && c.swap_ok)
+            consider(Mechanism::kSwap, c.swap_overhead,
+                     c.swap_covers);
+        if (allow.recompute && c.rec_ok)
+            consider(Mechanism::kRecompute, c.rec_cost,
+                     c.rec_covers);
+        if (allow.peer && c.peer_ok)
+            consider(Mechanism::kPeer, c.peer_overhead,
+                     c.peer_covers);
+        if (best.candidate == nullptr)
             continue;
-        bool use_swap = sw;
-        if (sw && re) {
-            // Prefer the option that covers the peak; break ties on
-            // lower overhead, and keep the swap option on full ties
-            // so pure-swap and hybrid selections stay comparable.
-            if (c.swap_covers != c.rec_covers)
-                use_swap = c.swap_covers;
-            else
-                use_swap = c.swap_overhead <= c.rec_cost;
-        }
-        Choice choice;
-        choice.candidate = &c;
-        if (use_swap) {
-            choice.mechanism = Mechanism::kSwap;
-            choice.overhead = c.swap_overhead;
-            choice.covers_peak = c.swap_covers;
-        } else {
-            choice.mechanism = Mechanism::kRecompute;
-            choice.overhead = c.rec_cost;
-            choice.covers_peak = c.rec_covers;
-        }
-        if (choice.overhead == 0)
-            sel.choices.push_back(choice);
+        if (best.overhead == 0)
+            sel.choices.push_back(best);
         else
-            paid.push_back(choice);
+            paid.push_back(best);
     }
 
     // Overhead-bearing candidates: highest bytes/ns first; smaller
@@ -239,15 +278,23 @@ assemble(const PlanContext &ctx, const StrategyOptions &options,
         d.gap = c.gap;
         d.overhead = choice.overhead;
         d.covers_peak = choice.covers_peak;
-        if (choice.mechanism == Mechanism::kSwap) {
+        switch (choice.mechanism) {
+          case Mechanism::kSwap:
             d.hide_ratio = c.hide_ratio;
             ++report.swap_decisions;
             report.total_swapped_bytes += c.block->size;
-        } else {
+            break;
+          case Mechanism::kRecompute:
             d.producer = c.producer->op;
             d.recompute_cost = c.rec_cost;
             ++report.recompute_decisions;
             report.total_recomputed_bytes += c.block->size;
+            break;
+          case Mechanism::kPeer:
+            d.hide_ratio = c.peer_hide_ratio;
+            ++report.peer_decisions;
+            report.total_peer_bytes += c.block->size;
+            break;
         }
         report.predicted_overhead += choice.overhead;
         if (choice.covers_peak)
@@ -255,57 +302,76 @@ assemble(const PlanContext &ctx, const StrategyOptions &options,
         report.decisions.push_back(std::move(d));
     }
 
-    // Swap legs contend on one shared full-duplex link; the
-    // recompute legs occupy the compute stream instead and leave
-    // the link untouched.
-    swap::SwapPlanReport swap_plan;
-    for (const auto &d : report.decisions) {
-        if (d.mechanism != Mechanism::kSwap)
-            continue;
-        swap::SwapDecision s;
-        s.block = d.block;
-        s.tensor = d.tensor;
-        s.size = d.size;
-        s.gap_start = d.gap_start;
-        s.gap_end = d.gap_end;
-        s.gap = d.gap;
-        s.hide_ratio = d.hide_ratio;
-        s.overhead = d.overhead;
-        swap_plan.decisions.push_back(std::move(s));
-        swap_plan.total_swapped_bytes += d.size;
-    }
-    swap_plan.original_peak_bytes = report.original_peak_bytes;
-    sim::LinkScheduler link(options.link.d2h_bps,
-                            options.link.h2d_bps);
+    // Swap legs contend on the shared host link, peer legs on the
+    // interconnect (a distinct link, so offloads do not steal swap
+    // bandwidth); the recompute legs occupy the compute stream and
+    // leave both links untouched.
+    auto leg_plan = [&](Mechanism mechanism) {
+        swap::SwapPlanReport legs;
+        for (const auto &d : report.decisions) {
+            if (d.mechanism != mechanism)
+                continue;
+            swap::SwapDecision s;
+            s.block = d.block;
+            s.tensor = d.tensor;
+            s.size = d.size;
+            s.gap_start = d.gap_start;
+            s.gap_end = d.gap_end;
+            s.gap = d.gap;
+            s.hide_ratio = d.hide_ratio;
+            s.overhead = d.overhead;
+            legs.decisions.push_back(std::move(s));
+            legs.total_swapped_bytes += d.size;
+        }
+        legs.original_peak_bytes = report.original_peak_bytes;
+        return legs;
+    };
+    sim::LinkScheduler host_link(options.link.d2h_bps,
+                                 options.link.h2d_bps);
     report.swap_execution =
-        swap::execute_plan(view, swap_plan, link);
+        swap::execute_plan(view, leg_plan(Mechanism::kSwap),
+                           host_link);
+    if (report.peer_decisions > 0) {
+        sim::LinkScheduler peer_link(
+            options.interconnect.peer_bw_bps,
+            options.interconnect.peer_bw_bps,
+            options.interconnect.latency_ns);
+        report.peer_execution =
+            swap::execute_plan(view, leg_plan(Mechanism::kPeer),
+                               peer_link);
+    }
 
     // Combined occupancy: baseline lifetimes, minus the *scheduled*
-    // swap residency windows, minus the compute-adjusted recompute
-    // absence windows.
+    // swap/peer residency windows, minus the compute-adjusted
+    // recompute absence windows.
     std::vector<analysis::OccupancyEdge> edges =
         ctx.timeline.edges();
     edges.reserve(edges.size() + report.decisions.size() * 2);
     std::size_t swap_index = 0;
+    std::size_t peer_index = 0;
     for (const auto &d : report.decisions) {
-        if (d.mechanism == Mechanism::kSwap) {
-            const auto &s = report.swap_execution.swaps[swap_index++];
-            if (s.in_start > s.out_end) {
-                edges.push_back(
-                    {s.out_end, -static_cast<std::int64_t>(d.size)});
-                edges.push_back(
-                    {s.in_start, static_cast<std::int64_t>(d.size)});
-            }
-        } else {
+        if (d.mechanism == Mechanism::kRecompute) {
             edges.push_back(
                 {d.gap_start, -static_cast<std::int64_t>(d.size)});
             edges.push_back({d.gap_end - d.recompute_cost,
                              static_cast<std::int64_t>(d.size)});
             report.measured_overhead += d.recompute_cost;
+            continue;
+        }
+        const auto &s =
+            d.mechanism == Mechanism::kSwap
+                ? report.swap_execution.swaps[swap_index++]
+                : report.peer_execution.swaps[peer_index++];
+        if (s.in_start > s.out_end) {
+            edges.push_back(
+                {s.out_end, -static_cast<std::int64_t>(d.size)});
+            edges.push_back(
+                {s.in_start, static_cast<std::int64_t>(d.size)});
         }
     }
     report.measured_overhead +=
-        report.swap_execution.measured_stall;
+        report.swap_execution.measured_stall +
+        report.peer_execution.measured_stall;
     report.new_peak_bytes =
         analysis::peak_occupancy(std::move(edges));
     report.measured_peak_reduction =
@@ -323,6 +389,7 @@ strategy_name(Strategy s)
     switch (s) {
       case Strategy::kSwapOnly: return "swap";
       case Strategy::kRecomputeOnly: return "recompute";
+      case Strategy::kPeerOnly: return "peer";
       case Strategy::kHybrid: return "hybrid";
     }
     return "unknown";
@@ -335,11 +402,15 @@ strategy_from_name(const std::string &name)
         return Strategy::kSwapOnly;
     if (name == "recompute" || name == "recompute-only")
         return Strategy::kRecomputeOnly;
+    if (name == "peer" || name == "peer-only" ||
+        name == "peer-offload")
+        return Strategy::kPeerOnly;
     if (name == "hybrid")
         return Strategy::kHybrid;
-    PP_CHECK(false, "unknown relief strategy '"
-                        << name
-                        << "' (expected swap, recompute, or hybrid)");
+    PP_CHECK(false,
+             "unknown relief strategy '"
+                 << name
+                 << "' (expected swap, recompute, peer, or hybrid)");
 }
 
 const char *
@@ -348,6 +419,7 @@ mechanism_name(Mechanism m)
     switch (m) {
       case Mechanism::kSwap: return "swap";
       case Mechanism::kRecompute: return "recompute";
+      case Mechanism::kPeer: return "peer";
     }
     return "unknown";
 }
@@ -361,6 +433,24 @@ StrategyPlanner::StrategyPlanner(StrategyOptions options)
              "safety_factor must be >= 1.0");
 }
 
+namespace {
+
+/** The peer-only report on a topology with no peer: empty, marked
+ * unavailable so comparisons skip it instead of reading its zero
+ * overhead as a free win. */
+ReliefReport
+unavailable_report(const PlanContext &ctx, Strategy strategy)
+{
+    ReliefReport report;
+    report.strategy = strategy;
+    report.available = false;
+    report.original_peak_bytes = ctx.original_peak;
+    report.new_peak_bytes = ctx.original_peak;
+    return report;
+}
+
+}  // namespace
+
 ReliefReport
 StrategyPlanner::plan(const analysis::TraceView &view,
                       Strategy strategy) const
@@ -368,52 +458,79 @@ StrategyPlanner::plan(const analysis::TraceView &view,
     PlanContext ctx(view);
     enumerate_candidates(ctx, options_);
     const TimeNs budget = options_.overhead_budget;
+    const bool peer = options_.peer_available();
     switch (strategy) {
       case Strategy::kSwapOnly:
-        return assemble(ctx, options_, view, strategy,
-                        select(ctx.candidates, true, false, budget));
+        return assemble(
+            ctx, options_, view, strategy,
+            select(ctx.candidates, {true, false, false}, budget));
       case Strategy::kRecomputeOnly:
-        return assemble(ctx, options_, view, strategy,
-                        select(ctx.candidates, false, true, budget));
+        return assemble(
+            ctx, options_, view, strategy,
+            select(ctx.candidates, {false, true, false}, budget));
+      case Strategy::kPeerOnly:
+        if (!peer)
+            return unavailable_report(ctx, strategy);
+        return assemble(
+            ctx, options_, view, strategy,
+            select(ctx.candidates, {false, false, true}, budget));
       case Strategy::kHybrid: break;
     }
-    // The greedy union search, guarded by both pure selections:
+    // The greedy union search, guarded by every pure selection:
     // hybrid adopts whichever wins, so at equal budget it is never
-    // worse than either pure strategy.
-    Selection sel = select(ctx.candidates, true, true, budget);
-    Selection swap_only = select(ctx.candidates, true, false, budget);
-    Selection rec_only = select(ctx.candidates, false, true, budget);
+    // worse than any pure strategy.
+    Selection sel =
+        select(ctx.candidates, {true, true, peer}, budget);
+    Selection swap_only =
+        select(ctx.candidates, {true, false, false}, budget);
+    Selection rec_only =
+        select(ctx.candidates, {false, true, false}, budget);
     if (better(swap_only, sel))
         sel = std::move(swap_only);
     if (better(rec_only, sel))
         sel = std::move(rec_only);
+    if (peer) {
+        Selection peer_only =
+            select(ctx.candidates, {false, false, true}, budget);
+        if (better(peer_only, sel))
+            sel = std::move(peer_only);
+    }
     return assemble(ctx, options_, view, Strategy::kHybrid, sel);
 }
 
 std::array<ReliefReport, kNumStrategies>
 StrategyPlanner::plan_all(const analysis::TraceView &view) const
 {
-    // One trace analysis and candidate enumeration serves all three
-    // strategies; the hybrid guard reuses the pure selections
+    // One trace analysis and candidate enumeration serves every
+    // strategy; the hybrid guard reuses the pure selections
     // instead of recomputing them.
     PlanContext ctx(view);
     enumerate_candidates(ctx, options_);
     const TimeNs budget = options_.overhead_budget;
+    const bool peer = options_.peer_available();
     const Selection swap_only =
-        select(ctx.candidates, true, false, budget);
+        select(ctx.candidates, {true, false, false}, budget);
     const Selection rec_only =
-        select(ctx.candidates, false, true, budget);
+        select(ctx.candidates, {false, true, false}, budget);
+    const Selection peer_only =
+        peer ? select(ctx.candidates, {false, false, true}, budget)
+             : Selection{};
     const Selection united =
-        select(ctx.candidates, true, true, budget);
+        select(ctx.candidates, {true, true, peer}, budget);
     const Selection *hybrid = &united;
     if (better(swap_only, *hybrid))
         hybrid = &swap_only;
     if (better(rec_only, *hybrid))
         hybrid = &rec_only;
+    if (peer && better(peer_only, *hybrid))
+        hybrid = &peer_only;
     return {assemble(ctx, options_, view, Strategy::kSwapOnly,
                      swap_only),
             assemble(ctx, options_, view,
                      Strategy::kRecomputeOnly, rec_only),
+            peer ? assemble(ctx, options_, view,
+                            Strategy::kPeerOnly, peer_only)
+                 : unavailable_report(ctx, Strategy::kPeerOnly),
             assemble(ctx, options_, view, Strategy::kHybrid,
                      *hybrid)};
 }

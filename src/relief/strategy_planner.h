@@ -4,14 +4,20 @@
  * recompute-only, and hybrid per-tensor assignments, turning the
  * repo's two relief mechanisms into one strategy engine.
  *
- * Every (block, access-gap) candidate can be relieved two ways:
+ * Every (block, access-gap) candidate can be relieved three ways:
  *
  *   - swap      — move the block over the shared PCIe link and back
  *                 (free when the Eq. 1 bound hides both legs, a
  *                 stall otherwise);
  *   - recompute — drop the block and re-run its producing forward
  *                 op (always costs that op's measured forward time,
- *                 but touches no link bandwidth at all).
+ *                 but touches no link bandwidth at all);
+ *   - peer      — offload the block to a peer device's spare DRAM
+ *                 over the topology's interconnect: the same Eq. 1
+ *                 arithmetic as swap, but on the peer link's
+ *                 bandwidth and per-transfer latency, leaving the
+ *                 host PCIe link untouched. Only available on
+ *                 multi-device topologies.
  *
  * Selection is greedy by bytes-freed-per-nanosecond-of-overhead
  * under a total overhead budget; zero-overhead hideable swaps are
@@ -38,6 +44,7 @@
 #include "analysis/swap_model.h"
 #include "analysis/trace_view.h"
 #include "relief/recompute_planner.h"
+#include "sim/topology.h"
 #include "swap/executor.h"
 
 namespace pinpoint {
@@ -47,13 +54,14 @@ namespace relief {
 enum class Strategy : std::uint8_t {
     kSwapOnly,       ///< PCIe swapping only (PR 2 pipeline)
     kRecomputeOnly,  ///< activation recomputation only
+    kPeerOnly,       ///< peer-device offload only (multi-device)
     kHybrid,         ///< best mechanism per tensor
 };
 
 /** Number of Strategy enumerators. */
-inline constexpr int kNumStrategies = 3;
+inline constexpr int kNumStrategies = 4;
 
-/** @return short name ("swap", "recompute", "hybrid"). */
+/** @return short name ("swap", "recompute", "peer", "hybrid"). */
 const char *strategy_name(Strategy s);
 
 /**
@@ -66,9 +74,10 @@ Strategy strategy_from_name(const std::string &name);
 enum class Mechanism : std::uint8_t {
     kSwap,
     kRecompute,
+    kPeer,
 };
 
-/** @return short name ("swap", "recompute"). */
+/** @return short name ("swap", "recompute", "peer"). */
 const char *mechanism_name(Mechanism m);
 
 /** "No cap" sentinel for the overhead budget. */
@@ -89,6 +98,25 @@ struct StrategyOptions {
      * consume budget). kUnlimitedBudget = take everything.
      */
     TimeNs overhead_budget = kUnlimitedBudget;
+    /**
+     * Device count of the topology the trace ran on. Peer offload
+     * needs a peer to offload to: it is available only when this is
+     * >= 2 and the interconnect carries bandwidth.
+     */
+    int devices = 1;
+    /**
+     * Peer interconnect the offload legs are priced on (bandwidth
+     * both directions plus per-transfer latency). The default spec
+     * carries no bandwidth, so peer offload stays unavailable until
+     * a topology fills it.
+     */
+    sim::InterconnectSpec interconnect;
+
+    /** @return true when the peer-offload mechanism can be priced. */
+    bool peer_available() const
+    {
+        return devices >= 2 && interconnect.peer_bw_bps > 0.0;
+    }
 };
 
 /** One per-tensor relief assignment. */
@@ -103,14 +131,14 @@ struct ReliefDecision {
     TimeNs gap_end = 0;
     /** gap_end - gap_start. */
     TimeNs gap = 0;
-    /** Predicted overhead: swap stall, or the recompute cost. */
+    /** Predicted overhead: swap/peer stall, or the recompute cost. */
     TimeNs overhead = 0;
     /**
      * True when the decision's absence window contains the original
      * peak instant, i.e. it contributes to peak reduction.
      */
     bool covers_peak = false;
-    /** Swap only: gap / round_trip(size). */
+    /** Swap and peer: gap / round_trip(size) on the priced link. */
     double hide_ratio = 0.0;
     /** Recompute only: producing forward op re-run by the decision. */
     std::string producer;
@@ -122,14 +150,23 @@ struct ReliefDecision {
 struct ReliefReport {
     /** Strategy that produced this report. */
     Strategy strategy = Strategy::kHybrid;
+    /**
+     * False when the strategy's mechanism cannot be priced at all —
+     * peer offload on a single-device topology. An unavailable
+     * report carries the original peak and zeros everywhere else;
+     * strategy comparisons and "winner" aggregations must skip it.
+     */
+    bool available = true;
     /** Selected decisions, in (gap_start, block) order. */
     std::vector<ReliefDecision> decisions;
     /** Decisions assigned to each mechanism. */
     std::size_t swap_decisions = 0;
     std::size_t recompute_decisions = 0;
+    std::size_t peer_decisions = 0;
     /** Sum of sizes per mechanism. */
     std::size_t total_swapped_bytes = 0;
     std::size_t total_recomputed_bytes = 0;
+    std::size_t total_peer_bytes = 0;
     /** Peak live bytes of the original trace. */
     std::size_t original_peak_bytes = 0;
     /** Predicted bytes absent from the device at the peak instant. */
@@ -143,13 +180,15 @@ struct ReliefReport {
     /** original - new (saturating at 0). */
     std::size_t measured_peak_reduction = 0;
     /**
-     * Link-scheduled swap stall plus the recompute costs: what the
-     * plan really adds to the iteration once same-direction swap
-     * transfers serialize on the shared link.
+     * Link-scheduled swap and peer stalls plus the recompute costs:
+     * what the plan really adds to the iteration once
+     * same-direction transfers serialize on their shared links.
      */
     TimeNs measured_overhead = 0;
-    /** Shared-link execution of the swap-assigned decisions. */
+    /** Host-link execution of the swap-assigned decisions. */
     swap::SwapExecutionResult swap_execution;
+    /** Peer-link execution of the peer-assigned decisions. */
+    swap::SwapExecutionResult peer_execution;
 };
 
 /**
@@ -174,10 +213,11 @@ class StrategyPlanner
                       Strategy strategy) const;
 
     /**
-     * Plans all three strategies from one trace analysis — the
-     * candidate enumeration and pure selections are shared, so this
-     * costs roughly one plan() instead of three. Reports are
-     * indexed by Strategy enumerator order.
+     * Plans every strategy from one trace analysis — the candidate
+     * enumeration and pure selections are shared, so this costs
+     * roughly one plan() instead of one per strategy. Reports are
+     * indexed by Strategy enumerator order; the peer-only report is
+     * marked unavailable on single-device topologies.
      */
     std::array<ReliefReport, kNumStrategies>
     plan_all(const analysis::TraceView &view) const;

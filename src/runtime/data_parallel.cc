@@ -1,0 +1,83 @@
+#include "runtime/data_parallel.h"
+
+#include "core/check.h"
+
+namespace pinpoint {
+namespace runtime {
+
+const SessionResult &
+DataParallelResult::primary() const
+{
+    PP_CHECK(!replicas.empty(),
+             "data-parallel result holds no replicas");
+    return replicas.front();
+}
+
+DataParallelResult
+run_data_parallel(const nn::Model &model,
+                  const DataParallelConfig &config)
+{
+    PP_CHECK(config.devices >= 1,
+             "data-parallel run needs at least one device");
+
+    DataParallelResult result;
+    result.devices = config.devices;
+    result.interconnect = config.interconnect;
+
+    // One real engine per replica. The replicas are deterministic
+    // reruns of the same plan, so their traces are identical — but
+    // each is recorded honestly, so per-replica TraceView analyses
+    // (ATI, occupancy, swap validation) need no special casing.
+    result.replicas.reserve(
+        static_cast<std::size_t>(config.devices));
+    for (int d = 0; d < config.devices; ++d)
+        result.replicas.push_back(
+            run_training(model, config.session));
+
+    const SessionResult &primary = result.primary();
+    result.gradient_bytes = primary.plan.parameter_bytes();
+    result.compute_iteration_time = primary.iteration_time;
+
+    sim::Topology topology(config.session.device, config.devices,
+                           config.interconnect);
+
+    // Lockstep schedule: every replica finishes iteration k's
+    // backward at the same instant, the ring all-reduce runs fully
+    // exposed, and iteration k+1 starts when it lands. (Overlap of
+    // the all-reduce with backward compute is a later refinement;
+    // fully-exposed is the conservative bound, matching how the
+    // planners treat unhidden transfers.)
+    TimeNs now = 0;
+    const int iterations = config.session.iterations;
+    result.allreduces.reserve(
+        iterations > 0 ? static_cast<std::size_t>(iterations) : 0);
+    for (int i = 0; i < iterations; ++i) {
+        now += result.compute_iteration_time;
+        sim::AllReduceResult ar =
+            topology.all_reduce(result.gradient_bytes, now);
+        now = ar.finish;
+        result.allreduces.push_back(std::move(ar));
+    }
+
+    if (!result.allreduces.empty()) {
+        // Steady state = the last iteration, mirroring how
+        // run_training measures iteration_time.
+        const sim::AllReduceResult &last = result.allreduces.back();
+        result.allreduce_time = last.duration();
+        result.allreduce_ideal_time = last.ideal_ns;
+        result.allreduce_stall = last.stall_ns();
+    }
+    result.iteration_time =
+        result.compute_iteration_time + result.allreduce_time;
+    result.interconnect_busy_fraction =
+        topology.interconnect_busy_fraction(now);
+    result.scaling_efficiency =
+        result.iteration_time > 0
+            ? static_cast<double>(result.compute_iteration_time) /
+                  static_cast<double>(result.iteration_time)
+            : 1.0;
+    return result;
+}
+
+}  // namespace runtime
+}  // namespace pinpoint

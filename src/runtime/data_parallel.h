@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Data-parallel characterization: N replica engines off one plan,
+ * gradient all-reduce priced on the peer interconnect.
+ *
+ * Each replica is a full simulated training session — its own
+ * engine, allocator, and recorded trace — so every single-device
+ * analysis (TraceView, ATI, occupancy, swap validation, relief)
+ * works per replica unchanged. What data parallelism adds on top is
+ * the synchronization: one ring all-reduce of the gradient bytes
+ * per iteration, scheduled on the topology's peer links, whose
+ * exposed time stretches the effective iteration and whose queueing
+ * slip is reported as stall.
+ */
+#ifndef PINPOINT_RUNTIME_DATA_PARALLEL_H
+#define PINPOINT_RUNTIME_DATA_PARALLEL_H
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/session.h"
+#include "sim/topology.h"
+
+namespace pinpoint {
+namespace runtime {
+
+/** Configuration of a data-parallel characterization run. */
+struct DataParallelConfig {
+    /** Per-replica session configuration (device, batch, ...). */
+    SessionConfig session;
+    /** Number of data-parallel replicas (>= 1). */
+    int devices = 1;
+    /** Peer interconnect joining the replicas. */
+    sim::InterconnectSpec interconnect =
+        sim::InterconnectSpec::pcie_p2p();
+};
+
+/** Everything a data-parallel characterization run produces. */
+struct DataParallelResult {
+    /** One full session per replica, in device order. */
+    std::vector<SessionResult> replicas;
+    /** Number of replicas. */
+    int devices = 1;
+    /** The interconnect the all-reduces were priced on. */
+    sim::InterconnectSpec interconnect;
+    /** Gradient payload of one all-reduce (plan parameter bytes). */
+    std::size_t gradient_bytes = 0;
+    /** One scheduled all-reduce per iteration, in order. */
+    std::vector<sim::AllReduceResult> allreduces;
+
+    /** Per-replica compute time of one steady-state iteration. */
+    TimeNs compute_iteration_time = 0;
+    /** Steady-state exposed all-reduce time per iteration. */
+    TimeNs allreduce_time = 0;
+    /** Dedicated-ring all-reduce time (no queued traffic). */
+    TimeNs allreduce_ideal_time = 0;
+    /** Steady-state all-reduce slip past the dedicated ring. */
+    TimeNs allreduce_stall = 0;
+    /** Effective iteration time: compute + exposed all-reduce. */
+    TimeNs iteration_time = 0;
+    /** Mean peer-link occupancy over the synchronized timeline. */
+    double interconnect_busy_fraction = 0.0;
+    /**
+     * Data-parallel scaling efficiency: the fraction of the
+     * effective iteration spent computing, i.e. speedup / devices
+     * under perfect input sharding. 1.0 for a single device.
+     */
+    double scaling_efficiency = 1.0;
+
+    /** @return replica 0, the representative single-device view. */
+    const SessionResult &primary() const;
+};
+
+/**
+ * Runs @p config.devices identical replicas of @p model training
+ * (one engine per replica, each a deterministic rerun of the same
+ * plan) and schedules one gradient ring all-reduce per iteration on
+ * a topology built from the session device and @p config.interconnect.
+ * Replicas run in lockstep: iteration k's gradients are ready on
+ * every device at the same instant, and iteration k+1 starts when
+ * the all-reduce lands.
+ *
+ * @throws Error (or DeviceOomError) when the workload cannot run.
+ */
+DataParallelResult run_data_parallel(const nn::Model &model,
+                                     const DataParallelConfig &config);
+
+}  // namespace runtime
+}  // namespace pinpoint
+
+#endif  // PINPOINT_RUNTIME_DATA_PARALLEL_H

@@ -135,16 +135,24 @@ SessionResult::view() const
     return frozen;
 }
 
+analysis::LinkBandwidth
+fill_link_bandwidth(analysis::LinkBandwidth link,
+                    const sim::DeviceSpec &device)
+{
+    // Fill only the unset legs, so a caller overriding one
+    // direction keeps that override.
+    if (link.d2h_bps <= 0.0)
+        link.d2h_bps = device.d2h_bw_bps;
+    if (link.h2d_bps <= 0.0)
+        link.h2d_bps = device.h2d_bw_bps;
+    return link;
+}
+
 swap::PlannerOptions
 fill_swap_link(swap::PlannerOptions options,
                const sim::DeviceSpec &device)
 {
-    // Fill only the unset legs, so a caller overriding one
-    // direction keeps that override.
-    if (options.link.d2h_bps <= 0.0)
-        options.link.d2h_bps = device.d2h_bw_bps;
-    if (options.link.h2d_bps <= 0.0)
-        options.link.h2d_bps = device.h2d_bw_bps;
+    options.link = fill_link_bandwidth(options.link, device);
     return options;
 }
 
@@ -177,10 +185,7 @@ relief_options_for(const SessionResult &result,
     PP_CHECK(result.trace.size() > 0,
              "relief planning needs a recorded trace (run with "
              "record_trace = true)");
-    if (options.link.d2h_bps <= 0.0)
-        options.link.d2h_bps = device.d2h_bw_bps;
-    if (options.link.h2d_bps <= 0.0)
-        options.link.h2d_bps = device.h2d_bw_bps;
+    options.link = fill_link_bandwidth(options.link, device);
     return options;
 }
 

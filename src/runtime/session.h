@@ -146,6 +146,17 @@ struct SwapValidation {
 };
 
 /**
+ * @return @p link with unset (<= 0) bandwidths filled from
+ * @p device's measured PCIe rates, keeping any caller override.
+ * The one fill rule behind both fill_swap_link and the relief
+ * planners, so no two pipeline stages can price different host
+ * links for the same device.
+ */
+analysis::LinkBandwidth
+fill_link_bandwidth(analysis::LinkBandwidth link,
+                    const sim::DeviceSpec &device);
+
+/**
  * @return @p options with unset (<= 0) link bandwidths filled from
  * @p device. The one fill rule shared by validate_swap_plan and
  * api::Study::swap_plan, so a plan-only facet and a validated plan
@@ -172,9 +183,10 @@ SwapValidation validate_swap_plan(const SessionResult &result,
 
 /**
  * Unified-relief step of the pipeline: plans @p strategy (swap-only,
- * recompute-only, or hybrid) for @p result's trace and schedules the
- * plan's swap legs on a shared full-duplex link with @p device's
- * bandwidths. When @p options carries zero link bandwidths (the
+ * recompute-only, peer-only, or hybrid) for @p result's trace and
+ * schedules the plan's swap legs on a shared full-duplex link with
+ * @p device's bandwidths (peer legs ride @p options' interconnect).
+ * When @p options carries zero link bandwidths (the
  * default-constructed state) they are filled from @p device.
  *
  * @throws Error when the session recorded no trace.
@@ -185,8 +197,9 @@ relief::ReliefReport plan_relief(const SessionResult &result,
                                  relief::StrategyOptions options = {});
 
 /**
- * Same as plan_relief, but plans all three strategies from one
- * shared trace analysis (reports in Strategy enumerator order).
+ * Same as plan_relief, but plans every strategy from one shared
+ * trace analysis (reports in Strategy enumerator order; peer-only
+ * is marked unavailable on single-device topologies).
  */
 std::array<relief::ReliefReport, relief::kNumStrategies>
 plan_relief_all(const SessionResult &result,

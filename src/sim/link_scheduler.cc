@@ -8,8 +8,9 @@
 namespace pinpoint {
 namespace sim {
 
-LinkScheduler::LinkScheduler(double d2h_bps, double h2d_bps)
-    : bps_{d2h_bps, h2d_bps}
+LinkScheduler::LinkScheduler(double d2h_bps, double h2d_bps,
+                             TimeNs latency_ns)
+    : bps_{d2h_bps, h2d_bps}, latency_ns_(latency_ns)
 {
     PP_CHECK(d2h_bps > 0.0 && h2d_bps > 0.0,
              "link scheduler needs positive bandwidths");
@@ -33,8 +34,8 @@ LinkScheduler::submit(CopyDir dir, std::size_t bytes,
     t.bytes = bytes;
     t.ready_time = ready_time;
     t.start_time = std::max(ready_time, busy_until_[i]);
-    t.end_time =
-        t.start_time + analysis::transfer_ns(bytes, bps_[i]);
+    t.end_time = t.start_time + latency_ns_ +
+                 analysis::transfer_ns(bytes, bps_[i]);
     busy_until_[i] = t.end_time;
     busy_time_[i] += t.duration();
     bytes_moved_[i] += bytes;

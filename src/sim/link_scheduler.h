@@ -56,9 +56,15 @@ class LinkScheduler
   public:
     /**
      * Builds a link with the given per-direction bandwidths in
-     * bytes/second. @throws Error for non-positive bandwidths.
+     * bytes/second and a fixed per-transfer setup latency added to
+     * every submitted transfer (0 for the host PCIe link, whose
+     * setup cost is already folded into the measured asymptote;
+     * non-zero for peer interconnect links, where the per-message
+     * cost dominates small collective chunks).
+     * @throws Error for non-positive bandwidths.
      */
-    LinkScheduler(double d2h_bps, double h2d_bps);
+    LinkScheduler(double d2h_bps, double h2d_bps,
+                  TimeNs latency_ns = 0);
 
     /**
      * Builds a link from @p model using the paper's methodology:
@@ -76,6 +82,9 @@ class LinkScheduler
 
     /** @return bandwidth of direction @p dir, bytes/second. */
     double bandwidth_bps(CopyDir dir) const;
+
+    /** @return the fixed per-transfer setup latency. */
+    TimeNs latency_ns() const { return latency_ns_; }
 
     /** @return the instant direction @p dir becomes idle. */
     TimeNs busy_until(CopyDir dir) const;
@@ -113,6 +122,7 @@ class LinkScheduler
     }
 
     double bps_[2];
+    TimeNs latency_ns_ = 0;
     TimeNs busy_until_[2] = {0, 0};
     TimeNs busy_time_[2] = {0, 0};
     std::size_t bytes_moved_[2] = {0, 0};

@@ -91,7 +91,11 @@ execute_plan(const analysis::TraceView &view,
     std::vector<TimeNs> ready(n);
     for (std::size_t i = 0; i < n; ++i) {
         const auto &d = plan.decisions[i];
-        const TimeNs in_time = analysis::transfer_ns(d.size, h2d_bps);
+        // Charge the link's per-transfer setup latency (0 on host
+        // links) so a hideable swap-in on a latency-bearing peer
+        // link still lands exactly at gap_end when uncontended.
+        const TimeNs in_time = scheduler.latency_ns() +
+                               analysis::transfer_ns(d.size, h2d_bps);
         const TimeNs ideal =
             d.gap_end > in_time ? d.gap_end - in_time : 0;
         ready[i] = std::max(ideal, result.swaps[i].out_end);

@@ -10,10 +10,12 @@ namespace swap {
 GapEvaluation
 evaluate_swap_gap(std::size_t size, TimeNs gap_start, TimeNs gap_end,
                   const analysis::LinkBandwidth &link,
-                  double safety_factor)
+                  double safety_factor, TimeNs latency_ns)
 {
-    const TimeNs out_time = analysis::transfer_ns(size, link.d2h_bps);
-    const TimeNs in_time = analysis::transfer_ns(size, link.h2d_bps);
+    const TimeNs out_time =
+        latency_ns + analysis::transfer_ns(size, link.d2h_bps);
+    const TimeNs in_time =
+        latency_ns + analysis::transfer_ns(size, link.h2d_bps);
     const TimeNs needed = out_time + in_time;
     const TimeNs gap = gap_end - gap_start;
     GapEvaluation e;

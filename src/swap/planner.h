@@ -61,12 +61,16 @@ struct GapEvaluation {
 
 /**
  * Evaluates swapping a @p size-byte block out and back inside the
- * access gap [gap_start, gap_end] over @p link.
+ * access gap [gap_start, gap_end] over @p link. @p latency_ns is
+ * the link's fixed per-transfer setup cost, charged once per leg:
+ * 0 for the host PCIe link (folded into the measured asymptote),
+ * the interconnect latency for peer-offload legs.
  */
 GapEvaluation evaluate_swap_gap(std::size_t size, TimeNs gap_start,
                                 TimeNs gap_end,
                                 const analysis::LinkBandwidth &link,
-                                double safety_factor);
+                                double safety_factor,
+                                TimeNs latency_ns = 0);
 
 /** One scheduled swap-out/swap-in pair for a block's access gap. */
 struct SwapDecision {

@@ -42,6 +42,15 @@ aggregate(const api::Study &study, bool swap_plan,
     out.cache_hit_count = r.alloc_stats.cache_hit_count;
     out.device_alloc_count = r.alloc_stats.device_alloc_count;
 
+    // Data-parallel aggregates read the Study's DP surface, which
+    // answers with the single-device identities (1.0 / 0) when the
+    // scenario ran one replica — the columns never go stale.
+    out.scaling_efficiency = study.scaling_efficiency();
+    out.interconnect_busy_fraction =
+        study.interconnect_busy_fraction();
+    out.allreduce_time_ns = study.allreduce_time();
+    out.allreduce_stall_ns = study.allreduce_stall();
+
     out.event_count = r.trace.size();
     out.ati_count = study.atis().size();
     if (!study.atis().empty()) {
@@ -65,7 +74,7 @@ aggregate(const api::Study &study, bool swap_plan,
         out.swap_link_busy_fraction =
             v.execution.link_busy_fraction;
 
-        // Unified relief: plan all three strategies from one shared
+        // Unified relief: plan every strategy from one shared
         // trace analysis and report the winner on the *measured*
         // numbers — peak reduction with swap legs scheduled on the
         // shared link, overhead = link stall + recompute time. The
@@ -73,6 +82,11 @@ aggregate(const api::Study &study, bool swap_plan,
         // optimism the measured columns exist to correct.
         const auto &reports = study.relief_all();
         for (const auto &rep : reports) {
+            // An unavailable report (peer-only on one device) is a
+            // placeholder with zero overhead — letting it compete
+            // would steal every tie.
+            if (!rep.available)
+                continue;
             const bool wins =
                 out.relief_strategy.empty() ||
                 rep.measured_peak_reduction >

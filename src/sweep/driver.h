@@ -91,14 +91,25 @@ struct ScenarioResult {
     /** Mean per-direction occupancy of the link over the trace. */
     double swap_link_busy_fraction = 0.0;
 
+    // --- data-parallel topology -----------------------------------
+    /** Compute / effective iteration time; 1.0 for one device. */
+    double scaling_efficiency = 1.0;
+    /** Mean per-direction peer-link occupancy; 0 for one device. */
+    double interconnect_busy_fraction = 0.0;
+    /** Steady-state exposed all-reduce time per iteration. */
+    TimeNs allreduce_time_ns = 0;
+    /** All-reduce slip beyond the dedicated-link ideal. */
+    TimeNs allreduce_stall_ns = 0;
+
     // --- unified relief planner -----------------------------------
     /**
-     * Winning relief strategy ("swap", "recompute", or "hybrid"):
-     * the one with the largest *measured* peak reduction (swap legs
-     * scheduled on the shared link) at unlimited budget, ties
-     * broken by lower measured overhead, then by the order
-     * swap < recompute < hybrid (simpler mechanism first). Empty
-     * when relief planning was skipped or the scenario failed.
+     * Winning relief strategy ("swap", "recompute", "peer", or
+     * "hybrid"): among the *available* reports, the one with the
+     * largest *measured* peak reduction (swap legs scheduled on the
+     * shared link) at unlimited budget, ties broken by lower
+     * measured overhead, then by the order swap < recompute < peer
+     * < hybrid (simpler mechanism first). Empty when relief
+     * planning was skipped or the scenario failed.
      */
     std::string relief_strategy;
     /** Measured peak reduction of the winning strategy. */

@@ -49,11 +49,26 @@ csv_escape(const std::string &s)
     return out;
 }
 
+/**
+ * @return true when any scenario ran more than one replica. The
+ * topology columns appear only then, so single-device sweeps stay
+ * byte-identical to exports from before the devices axis existed.
+ */
+bool
+any_multi_device(const SweepReport &report)
+{
+    for (const auto &r : report.results)
+        if (r.scenario.devices > 1)
+            return true;
+    return false;
+}
+
 }  // namespace
 
 void
 write_sweep_csv(const SweepReport &report, std::ostream &os)
 {
+    const bool multi = any_multi_device(report);
     os << "model,batch,allocator,device,iterations,status,error,"
           "peak_total_bytes,peak_input_bytes,peak_parameter_bytes,"
           "peak_intermediate_bytes,peak_reserved_bytes,"
@@ -65,8 +80,12 @@ write_sweep_csv(const SweepReport &report, std::ostream &os)
           "swap_predicted_stall_ns,swap_measured_stall_ns,"
           "swap_link_busy_fraction,"
           "relief_strategy,relief_peak_reduction_bytes,"
-          "relief_overhead_ns"
-          "\n";
+          "relief_overhead_ns";
+    if (multi)
+        os << ",devices,topology,scaling_efficiency,"
+              "interconnect_busy_fraction,allreduce_time_ns,"
+              "allreduce_stall_ns";
+    os << "\n";
     for (const auto &r : report.results) {
         const Scenario &s = r.scenario;
         os << csv_escape(s.model) << ',' << s.batch << ','
@@ -93,13 +112,21 @@ write_sweep_csv(const SweepReport &report, std::ostream &os)
            << format_fixed6(r.swap_link_busy_fraction) << ','
            << csv_escape(r.relief_strategy) << ','
            << r.relief_peak_reduction_bytes << ','
-           << r.relief_overhead_ns << '\n';
+           << r.relief_overhead_ns;
+        if (multi)
+            os << ',' << s.devices << ',' << csv_escape(s.topology)
+               << ',' << format_fixed6(r.scaling_efficiency) << ','
+               << format_fixed6(r.interconnect_busy_fraction) << ','
+               << r.allreduce_time_ns << ','
+               << r.allreduce_stall_ns;
+        os << '\n';
     }
 }
 
 void
 write_sweep_json(const SweepReport &report, std::ostream &os)
 {
+    const bool multi = any_multi_device(report);
     os << "{\n  \"scenarios\": [\n";
     for (std::size_t i = 0; i < report.results.size(); ++i) {
         const auto &r = report.results[i];
@@ -146,8 +173,19 @@ write_sweep_json(const SweepReport &report, std::ostream &os)
            << trace::json_escape(r.relief_strategy)
            << "\", \"relief_peak_reduction_bytes\": "
            << r.relief_peak_reduction_bytes
-           << ", \"relief_overhead_ns\": " << r.relief_overhead_ns
-           << "}"
+           << ", \"relief_overhead_ns\": " << r.relief_overhead_ns;
+        if (multi)
+            os << ", \"devices\": " << s.devices
+               << ", \"topology\": \""
+               << trace::json_escape(s.topology)
+               << "\", \"scaling_efficiency\": "
+               << format_fixed6(r.scaling_efficiency)
+               << ", \"interconnect_busy_fraction\": "
+               << format_fixed6(r.interconnect_busy_fraction)
+               << ", \"allreduce_time_ns\": " << r.allreduce_time_ns
+               << ", \"allreduce_stall_ns\": "
+               << r.allreduce_stall_ns;
+        os << "}"
            << (i + 1 < report.results.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"summary\": {\"scenarios\": "
@@ -194,11 +232,15 @@ sweep_json_string(const SweepReport &report)
 void
 write_sweep_table(const SweepReport &report, std::ostream &os)
 {
+    const bool multi = any_multi_device(report);
     os << pad("scenario", 36) << pad("status", 8) << pad("peak", 12)
        << pad("reserved", 12) << pad("iter time", 12)
        << pad("ATI p50", 12) << pad("swap save", 12)
        << pad("meas save", 12) << pad("meas stall", 12)
-       << pad("relief", 10) << pad("relief save", 12) << "\n";
+       << pad("relief", 10) << pad("relief save", 12);
+    if (multi)
+        os << pad("dp eff", 8);
+    os << "\n";
     for (const auto &r : report.results) {
         os << pad(r.scenario.id(), 36)
            << pad(scenario_status_name(r.status), 8);
@@ -217,6 +259,12 @@ write_sweep_table(const SweepReport &report, std::ostream &os)
                       10)
                << pad(format_bytes(r.relief_peak_reduction_bytes),
                       12);
+            if (multi) {
+                char eff[16];
+                std::snprintf(eff, sizeof eff, "%.3f",
+                              r.scaling_efficiency);
+                os << pad(eff, 8);
+            }
         } else {
             os << first_line(r.error);
         }

@@ -4,6 +4,7 @@
 #include "core/parse.h"
 #include "nn/model_registry.h"
 #include "sim/device_spec.h"
+#include "sim/topology.h"
 
 namespace pinpoint {
 namespace sweep {
@@ -35,11 +36,26 @@ expand_grid(const SweepGrid &grid)
                       runtime::AllocatorKind::kDirect,
                       runtime::AllocatorKind::kBuddy};
 
-    std::vector<std::string> devices =
-        grid.devices.empty() ? std::vector<std::string>{"titan-x"}
-                             : grid.devices;
-    for (const auto &d : devices)
+    std::vector<std::string> device_presets =
+        grid.device_presets.empty()
+            ? std::vector<std::string>{"titan-x"}
+            : grid.device_presets;
+    for (const auto &d : device_presets)
         sim::device_spec_by_name(d);  // throws typed UsageError
+
+    std::vector<int> device_counts = grid.device_counts;
+    if (device_counts.empty())
+        device_counts = {1};
+    for (int n : device_counts)
+        if (n < 1)
+            throw UsageError("device count must be >= 1, got " +
+                             std::to_string(n));
+
+    std::vector<std::string> topologies =
+        grid.topologies.empty() ? std::vector<std::string>{"pcie"}
+                                : grid.topologies;
+    for (const auto &t : topologies)
+        sim::interconnect_by_name(t);  // throws typed UsageError
 
     if (grid.iterations < 1)
         throw UsageError("iterations must be >= 1, got " +
@@ -47,19 +63,24 @@ expand_grid(const SweepGrid &grid)
 
     std::vector<Scenario> scenarios;
     scenarios.reserve(models.size() * batches.size() *
-                      allocators.size() * devices.size());
+                      allocators.size() * device_presets.size() *
+                      device_counts.size() * topologies.size());
     for (const auto &model : models)
         for (std::int64_t batch : batches)
             for (runtime::AllocatorKind allocator : allocators)
-                for (const auto &device : devices) {
-                    Scenario s;
-                    s.model = model;
-                    s.batch = batch;
-                    s.allocator = allocator;
-                    s.device = device;
-                    s.iterations = grid.iterations;
-                    scenarios.push_back(std::move(s));
-                }
+                for (const auto &device : device_presets)
+                    for (int devices : device_counts)
+                        for (const auto &topology : topologies) {
+                            Scenario s;
+                            s.model = model;
+                            s.batch = batch;
+                            s.allocator = allocator;
+                            s.device = device;
+                            s.devices = devices;
+                            s.topology = topology;
+                            s.iterations = grid.iterations;
+                            scenarios.push_back(std::move(s));
+                        }
     return scenarios;
 }
 
@@ -104,6 +125,22 @@ parse_allocators(const std::string &csv)
     // "unknown allocator" UsageError itself.
     for (const auto &field : split_list(csv))
         out.push_back(runtime::allocator_kind_from_name(field));
+    return out;
+}
+
+std::vector<int>
+parse_device_counts(const std::string &csv)
+{
+    std::vector<int> out;
+    for (const auto &field : split_list(csv)) {
+        std::int64_t count = 0;
+        // Whole-token parse: "2x" is an error, never 2 devices.
+        if (!parse_int64(field, count) || count < 1 ||
+            count > 1 << 16)
+            throw UsageError("bad device count '" + field +
+                             "' (need an integer >= 1)");
+        out.push_back(static_cast<int>(count));
+    }
     return out;
 }
 

@@ -1,9 +1,10 @@
 /**
  * @file
  * Declarative sweep scenarios: one Scenario pins a (model, batch,
- * allocator, device) point; a SweepGrid is the cross product the
- * driver expands. Expansion order is the canonical result order —
- * independent of how many workers execute the grid.
+ * allocator, device preset, replica count, topology) point; a
+ * SweepGrid is the cross product the driver expands. Expansion order
+ * is the canonical result order — independent of how many workers
+ * execute the grid.
  */
 #ifndef PINPOINT_SWEEP_SCENARIO_H
 #define PINPOINT_SWEEP_SCENARIO_H
@@ -43,16 +44,24 @@ struct SweepGrid {
     /** Allocator kinds; empty = caching, direct, buddy. */
     std::vector<runtime::AllocatorKind> allocators;
     /** Device preset names; empty = {"titan-x"}. */
-    std::vector<std::string> devices;
+    std::vector<std::string> device_presets;
+    /** Data-parallel replica counts; empty = {1}. */
+    std::vector<int> device_counts;
+    /** Interconnect preset names; empty = {"pcie"}. */
+    std::vector<std::string> topologies;
     /** Iterations per scenario. */
     int iterations = 5;
 };
 
 /**
  * Expands @p grid into scenarios in canonical order: models
- * outermost, then batches, allocators, devices innermost.
- * @throws UsageError (grid axes are user input) for unknown model
- * or device names, non-positive batches, or iterations < 1.
+ * outermost, then batches, allocators, device presets, replica
+ * counts, topologies innermost. The default single-element replica
+ * and topology axes expand to the exact scenario list (and ids) a
+ * pre-topology grid produced.
+ * @throws UsageError (grid axes are user input) for unknown model,
+ * device, or topology names, non-positive batches or replica
+ * counts, or iterations < 1.
  */
 std::vector<Scenario> expand_grid(const SweepGrid &grid);
 
@@ -74,6 +83,13 @@ std::vector<std::int64_t> parse_batches(const std::string &csv);
  */
 std::vector<runtime::AllocatorKind>
 parse_allocators(const std::string &csv);
+
+/**
+ * Parses a comma-separated list of data-parallel replica counts;
+ * whole-token strict, each count must be >= 1.
+ * @throws UsageError.
+ */
+std::vector<int> parse_device_counts(const std::string &csv);
 
 }  // namespace sweep
 }  // namespace pinpoint

@@ -217,6 +217,69 @@ TEST(Study, RunValidatesTheSpec)
     EXPECT_THROW(Study::run(bad), UsageError);
 }
 
+TEST(Study, SingleDeviceStudiesHaveNoDataParallelSurface)
+{
+    const Study study = Study::run(small_spec());
+    EXPECT_FALSE(study.data_parallel());
+    EXPECT_EQ(study.devices(), 1);
+    EXPECT_DOUBLE_EQ(study.scaling_efficiency(), 1.0);
+    EXPECT_DOUBLE_EQ(study.interconnect_busy_fraction(), 0.0);
+    EXPECT_EQ(study.allreduce_time(), 0);
+    EXPECT_EQ(study.allreduce_stall(), 0);
+    EXPECT_THROW(study.data_parallel_result(), Error);
+}
+
+TEST(Study, DataParallelStudyProjectsThePrimaryReplica)
+{
+    WorkloadSpec spec = small_spec();
+    spec.devices = 2;
+    spec.topology = "nvlink";
+    const Study study = Study::run(spec);
+
+    ASSERT_TRUE(study.data_parallel());
+    EXPECT_EQ(study.devices(), 2);
+    const runtime::DataParallelResult &dp =
+        study.data_parallel_result();
+    ASSERT_EQ(dp.replicas.size(), 2u);
+    // result() is the primary replica: every single-device facet
+    // (timeline, ATI, swap, relief) analyzes replica 0 unchanged.
+    EXPECT_EQ(&study.result(), &dp.primary());
+    EXPECT_EQ(study.trace().size(), dp.primary().trace.size());
+
+    EXPECT_GT(study.allreduce_time(), 0);
+    EXPECT_GT(study.scaling_efficiency(), 0.0);
+    EXPECT_LT(study.scaling_efficiency(), 1.0);
+    EXPECT_DOUBLE_EQ(study.scaling_efficiency(),
+                     dp.scaling_efficiency);
+    EXPECT_GT(study.interconnect_busy_fraction(), 0.0);
+
+    // The relief facet is armed with the topology: the peer-only
+    // report is available on a two-device study.
+    EXPECT_TRUE(study.relief(relief::Strategy::kPeerOnly).available);
+    const Study single = Study::run(small_spec());
+    EXPECT_FALSE(
+        single.relief(relief::Strategy::kPeerOnly).available);
+}
+
+TEST(Study, DataParallelSpecsRoundTripThroughTheRunner)
+{
+    // The spec is the single source of the topology: id() carries
+    // the axis and the study's DP result matches a direct
+    // run_data_parallel with the same config.
+    WorkloadSpec spec = small_spec();
+    spec.devices = 2;
+    spec.topology = "pcie";
+    EXPECT_EQ(spec.id(), "mlp/b32/caching/titan-x/dp2/pcie");
+    const Study study = Study::run(spec);
+    const auto direct = runtime::run_data_parallel(
+        spec.build(), spec.data_parallel_config());
+    EXPECT_EQ(study.data_parallel_result().allreduce_time,
+              direct.allreduce_time);
+    EXPECT_EQ(study.data_parallel_result().gradient_bytes,
+              direct.gradient_bytes);
+    EXPECT_EQ(study.result().end_time, direct.primary().end_time);
+}
+
 }  // namespace
 }  // namespace api
 }  // namespace pinpoint

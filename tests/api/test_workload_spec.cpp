@@ -24,6 +24,21 @@ TEST(WorkloadSpec, IdIsTheStableScenarioKey)
     EXPECT_EQ(spec.id(), "resnet50/b32/caching/titan-x");
 }
 
+TEST(WorkloadSpec, SingleDeviceIdIgnoresTopology)
+{
+    // devices = 1 ids are pinned by golden sweep CSVs: the devices
+    // axis must not leak into them, whatever the topology field
+    // says.
+    WorkloadSpec spec;
+    spec.model = "mlp";
+    spec.batch = 8;
+    spec.topology = "nvlink";
+    EXPECT_EQ(spec.id(), "mlp/b8/caching/titan-x");
+
+    spec.devices = 4;
+    EXPECT_EQ(spec.id(), "mlp/b8/caching/titan-x/dp4/nvlink");
+}
+
 TEST(WorkloadSpec, ToStringRoundTripsThroughFromString)
 {
     WorkloadSpec spec;
@@ -33,6 +48,8 @@ TEST(WorkloadSpec, ToStringRoundTripsThroughFromString)
     spec.allocator = runtime::AllocatorKind::kBuddy;
     spec.device = "a100";
     spec.micro_batches = 4;
+    spec.devices = 2;
+    spec.topology = "nvlink";
 
     const WorkloadSpec reparsed =
         WorkloadSpec::from_string(spec.to_string());
@@ -42,6 +59,8 @@ TEST(WorkloadSpec, ToStringRoundTripsThroughFromString)
     EXPECT_EQ(reparsed.allocator, spec.allocator);
     EXPECT_EQ(reparsed.device, spec.device);
     EXPECT_EQ(reparsed.micro_batches, spec.micro_batches);
+    EXPECT_EQ(reparsed.devices, spec.devices);
+    EXPECT_EQ(reparsed.topology, spec.topology);
     EXPECT_EQ(reparsed.to_string(), spec.to_string());
 }
 
@@ -118,6 +137,25 @@ TEST(WorkloadSpec, RejectsUnknownNames)
                  UsageError);
     EXPECT_THROW(WorkloadSpec::from_args({"--allocator", "slab"}),
                  UsageError);
+    EXPECT_THROW(
+        WorkloadSpec::from_args({"--topology", "token-ring"}),
+        UsageError);
+}
+
+TEST(WorkloadSpec, RejectsBadDeviceCounts)
+{
+    EXPECT_THROW(WorkloadSpec::from_args({"--devices", "0"}),
+                 UsageError);
+    EXPECT_THROW(WorkloadSpec::from_args({"--devices", "-2"}),
+                 UsageError);
+    EXPECT_THROW(WorkloadSpec::from_args({"--devices", "two"}),
+                 UsageError);
+    EXPECT_THROW(WorkloadSpec::from_args({"--devices", "2.5"}),
+                 UsageError);
+    const WorkloadSpec ok = WorkloadSpec::from_args(
+        {"--devices", "4", "--topology", "nvlink"});
+    EXPECT_EQ(ok.devices, 4);
+    EXPECT_EQ(ok.topology, "nvlink");
 }
 
 TEST(WorkloadSpec, ValidateChecksRanges)
@@ -132,6 +170,12 @@ TEST(WorkloadSpec, ValidateChecksRanges)
     spec.micro_batches = 0;
     EXPECT_THROW(spec.validate(), UsageError);
     spec.micro_batches = 1;
+    spec.devices = 0;
+    EXPECT_THROW(spec.validate(), UsageError);
+    spec.devices = 1;
+    spec.topology = "infiniband";
+    EXPECT_THROW(spec.validate(), UsageError);
+    spec.topology = "pcie";
     EXPECT_NO_THROW(spec.validate());
 }
 
@@ -162,7 +206,7 @@ TEST(WorkloadSpec, SessionConfigPinsEveryAxis)
 TEST(WorkloadSpec, FlagNamesMatchToStringOrder)
 {
     const auto &names = WorkloadSpec::flag_names();
-    ASSERT_EQ(names.size(), 6u);
+    ASSERT_EQ(names.size(), 8u);
     const std::string str = WorkloadSpec().to_string();
     std::size_t pos = 0;
     for (const auto &name : names) {

@@ -154,7 +154,15 @@ TEST(ExitCodes, MalformedFlagsExitTwoWithADescriptiveError)
         {{"relief", "--min-block", "-1", "--model", "mlp"},
          "--min-block must be between 0 and 1048576 MiB"},
         {{"relief", "--strategy", "magic", "--model", "mlp"},
-         "--strategy must be swap, recompute, or hybrid"},
+         "--strategy must be swap, recompute, peer, or hybrid"},
+        {{"relief", "--strategy", "peer", "--model", "mlp"},
+         "--strategy peer needs a multi-device workload"},
+        {{"relief", "--devices", "2", "--topology", "token-ring"},
+         "unknown topology"},
+        {{"characterize", "--devices", "0"},
+         "--devices must be >= 1"},
+        {{"characterize", "--devices", "two"},
+         "--devices needs an integer, got 'two'"},
         {{"relief", "--budget-ms", "-1", "--model", "mlp"},
          "--budget-ms must be a finite number >= 0"},
         {{"relief", "--budget-ms", "nan", "--model", "mlp"},
@@ -165,7 +173,11 @@ TEST(ExitCodes, MalformedFlagsExitTwoWithADescriptiveError)
         {{"sweep", "--batches", "16,huge"}, "bad batch size"},
         {{"sweep", "--batches", "12abc"}, "bad batch size '12abc'"},
         {{"sweep", "--models", "nosuchmodel"}, "unknown model"},
-        {{"sweep", "--devices", "h100"}, "unknown device"},
+        {{"sweep", "--device-presets", "h100"}, "unknown device"},
+        {{"sweep", "--devices", "0"}, "bad device count '0'"},
+        {{"sweep", "--devices", "2x"}, "bad device count '2x'"},
+        {{"sweep", "--topologies", "infiniband"},
+         "unknown topology"},
     };
     for (const Case &c : cases) {
         const CliRun r = run(c.args);

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Data-parallel runtime: N replica sessions off one plan, one ring
+ * all-reduce per iteration priced on the peer interconnect, and the
+ * scaling-efficiency accounting the sweep columns are built from.
+ */
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "nn/model_registry.h"
+#include "runtime/data_parallel.h"
+
+namespace pinpoint {
+namespace runtime {
+namespace {
+
+DataParallelConfig
+mlp_config(int devices, sim::InterconnectSpec interconnect)
+{
+    DataParallelConfig config;
+    config.session.batch = 16;
+    config.session.iterations = 3;
+    config.session.device = sim::DeviceSpec::titan_x_pascal();
+    config.devices = devices;
+    config.interconnect = interconnect;
+    return config;
+}
+
+TEST(DataParallel, SingleDeviceIsTheDegenerateCase)
+{
+    const auto result = run_data_parallel(
+        nn::build_model("mlp"),
+        mlp_config(1, sim::InterconnectSpec::pcie_p2p()));
+    ASSERT_EQ(result.replicas.size(), 1u);
+    EXPECT_EQ(result.devices, 1);
+    EXPECT_EQ(result.allreduce_time, 0);
+    EXPECT_EQ(result.allreduce_stall, 0);
+    EXPECT_EQ(result.iteration_time, result.compute_iteration_time);
+    EXPECT_DOUBLE_EQ(result.scaling_efficiency, 1.0);
+    EXPECT_DOUBLE_EQ(result.interconnect_busy_fraction, 0.0);
+    // The collective is scheduled (one per iteration) but empty.
+    ASSERT_EQ(result.allreduces.size(), 3u);
+    for (const auto &ar : result.allreduces) {
+        EXPECT_TRUE(ar.legs.empty());
+        EXPECT_EQ(ar.duration(), 0);
+    }
+}
+
+TEST(DataParallel, ReplicasAreDeterministicClones)
+{
+    const auto result = run_data_parallel(
+        nn::build_model("mlp"),
+        mlp_config(4, sim::InterconnectSpec::pcie_p2p()));
+    ASSERT_EQ(result.replicas.size(), 4u);
+    const SessionResult &primary = result.primary();
+    EXPECT_EQ(&primary, &result.replicas.front());
+    for (const SessionResult &replica : result.replicas) {
+        // Same plan, same engine, same timeline — every replica is
+        // a full honest session with an identical recorded trace.
+        EXPECT_EQ(replica.trace.size(), primary.trace.size());
+        EXPECT_EQ(replica.end_time, primary.end_time);
+        EXPECT_EQ(replica.iteration_time, primary.iteration_time);
+        EXPECT_EQ(replica.usage.peak_total, primary.usage.peak_total);
+    }
+}
+
+TEST(DataParallel, AllReducePaysForTheGradientBytes)
+{
+    const sim::InterconnectSpec pcie =
+        sim::InterconnectSpec::pcie_p2p();
+    const auto result =
+        run_data_parallel(nn::build_model("mlp"), mlp_config(4, pcie));
+
+    EXPECT_EQ(result.gradient_bytes,
+              result.primary().plan.parameter_bytes());
+    EXPECT_GT(result.gradient_bytes, 0u);
+    // One collective per iteration, each carrying the full payload.
+    ASSERT_EQ(result.allreduces.size(), 3u);
+    for (const auto &ar : result.allreduces) {
+        EXPECT_EQ(ar.devices, 4);
+        EXPECT_EQ(ar.bytes, result.gradient_bytes);
+        EXPECT_EQ(ar.legs.size(), 2u * 3u * 4u);
+    }
+
+    // The lockstep schedule serializes collectives, so the steady
+    // state matches the dedicated ring and the effective iteration
+    // is compute plus the exposed collective.
+    EXPECT_EQ(result.allreduce_time, result.allreduce_ideal_time);
+    EXPECT_EQ(result.allreduce_ideal_time,
+              sim::ring_all_reduce_ideal_ns(result.gradient_bytes, 4,
+                                            pcie));
+    EXPECT_EQ(result.allreduce_stall, 0);
+    EXPECT_EQ(result.iteration_time,
+              result.compute_iteration_time + result.allreduce_time);
+
+    // Efficiency is the computing fraction of the iteration.
+    EXPECT_GT(result.scaling_efficiency, 0.0);
+    EXPECT_LT(result.scaling_efficiency, 1.0);
+    EXPECT_DOUBLE_EQ(
+        result.scaling_efficiency,
+        static_cast<double>(result.compute_iteration_time) /
+            static_cast<double>(result.iteration_time));
+    EXPECT_GT(result.interconnect_busy_fraction, 0.0);
+    EXPECT_LE(result.interconnect_busy_fraction, 1.0);
+}
+
+TEST(DataParallel, FasterInterconnectScalesBetter)
+{
+    const nn::Model model = nn::build_model("mlp");
+    const auto pcie = run_data_parallel(
+        model, mlp_config(4, sim::InterconnectSpec::pcie_p2p()));
+    const auto nvlink = run_data_parallel(
+        model, mlp_config(4, sim::InterconnectSpec::nvlink()));
+
+    // Same compute, cheaper synchronization.
+    EXPECT_EQ(pcie.compute_iteration_time,
+              nvlink.compute_iteration_time);
+    EXPECT_LT(nvlink.allreduce_time, pcie.allreduce_time);
+    EXPECT_GT(nvlink.scaling_efficiency, pcie.scaling_efficiency);
+}
+
+TEST(DataParallel, EfficiencyDegradesWithTheRingLength)
+{
+    // 2*(N-1) lockstep steps: more devices means a longer exposed
+    // collective for the same gradient payload.
+    const nn::Model model = nn::build_model("mlp");
+    const auto two = run_data_parallel(
+        model, mlp_config(2, sim::InterconnectSpec::pcie_p2p()));
+    const auto eight = run_data_parallel(
+        model, mlp_config(8, sim::InterconnectSpec::pcie_p2p()));
+    EXPECT_GT(eight.allreduce_time, two.allreduce_time);
+    EXPECT_LT(eight.scaling_efficiency, two.scaling_efficiency);
+}
+
+TEST(DataParallel, RejectsNonPositiveDeviceCounts)
+{
+    DataParallelConfig config =
+        mlp_config(0, sim::InterconnectSpec::pcie_p2p());
+    EXPECT_THROW(run_data_parallel(nn::build_model("mlp"), config),
+                 Error);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace pinpoint

@@ -109,7 +109,7 @@ TEST(SweepDriver, FailuresAreCountedNotThrown)
     grid.models = {"mlp", "vgg16"};
     grid.batches = {64};
     grid.allocators = {runtime::AllocatorKind::kCaching};
-    grid.devices = {"tiny"};
+    grid.device_presets = {"tiny"};
     SweepOptions options;
     options.jobs = 2;
     const auto report = run_sweep(grid, options);

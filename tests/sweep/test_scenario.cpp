@@ -91,7 +91,7 @@ TEST(ExpandGrid, CanonicalOrderModelsOutermost)
     grid.batches = {8, 16};
     grid.allocators = {runtime::AllocatorKind::kCaching,
                        runtime::AllocatorKind::kDirect};
-    grid.devices = {"titan-x"};
+    grid.device_presets = {"titan-x"};
     const auto scenarios = expand_grid(grid);
     ASSERT_EQ(scenarios.size(), 8u);
     EXPECT_EQ(scenarios[0].id(), "mlp/b8/caching/titan-x");
@@ -108,7 +108,7 @@ TEST(ExpandGrid, ValidatesEveryAxis)
     EXPECT_THROW(expand_grid(bad_model), Error);
 
     SweepGrid bad_device;
-    bad_device.devices = {"h100"};
+    bad_device.device_presets = {"h100"};
     EXPECT_THROW(expand_grid(bad_device), Error);
 
     SweepGrid bad_batch;
@@ -118,6 +118,36 @@ TEST(ExpandGrid, ValidatesEveryAxis)
     SweepGrid bad_iterations;
     bad_iterations.iterations = 0;
     EXPECT_THROW(expand_grid(bad_iterations), Error);
+
+    SweepGrid bad_count;
+    bad_count.device_counts = {2, 0};
+    EXPECT_THROW(expand_grid(bad_count), Error);
+
+    SweepGrid bad_topology;
+    bad_topology.topologies = {"infiniband"};
+    EXPECT_THROW(expand_grid(bad_topology), Error);
+}
+
+TEST(ExpandGrid, DeviceCountAndTopologyAxesAreInnermost)
+{
+    SweepGrid grid;
+    grid.models = {"mlp"};
+    grid.batches = {8};
+    grid.allocators = {runtime::AllocatorKind::kCaching};
+    grid.device_counts = {1, 2};
+    grid.topologies = {"pcie", "nvlink"};
+    const auto scenarios = expand_grid(grid);
+    ASSERT_EQ(scenarios.size(), 4u);
+    // devices=1 scenarios keep the pre-topology id format no
+    // matter which topology the grid carries.
+    EXPECT_EQ(scenarios[0].id(), "mlp/b8/caching/titan-x");
+    EXPECT_EQ(scenarios[1].id(), "mlp/b8/caching/titan-x");
+    EXPECT_EQ(scenarios[2].id(),
+              "mlp/b8/caching/titan-x/dp2/pcie");
+    EXPECT_EQ(scenarios[3].id(),
+              "mlp/b8/caching/titan-x/dp2/nvlink");
+    EXPECT_EQ(scenarios[2].devices, 2);
+    EXPECT_EQ(scenarios[3].topology, "nvlink");
 }
 
 TEST(Parsing, SplitListDropsEmptyFields)
@@ -139,6 +169,17 @@ TEST(Parsing, ParseBatches)
     // Partial numbers must be an error, never a silent truncation
     // (std::stoll would have accepted "12abc" as 12).
     EXPECT_THROW(parse_batches("12abc"), Error);
+}
+
+TEST(Parsing, ParseDeviceCounts)
+{
+    EXPECT_EQ(parse_device_counts("1,2,4"),
+              (std::vector<int>{1, 2, 4}));
+    EXPECT_TRUE(parse_device_counts("").empty());
+    EXPECT_THROW(parse_device_counts("0"), Error);
+    EXPECT_THROW(parse_device_counts("two"), Error);
+    // Partial numbers must be an error, never a silent truncation.
+    EXPECT_THROW(parse_device_counts("2x"), Error);
 }
 
 TEST(Parsing, ParseAllocators)
