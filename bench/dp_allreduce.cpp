@@ -17,7 +17,9 @@
 
 #include "api/study.h"
 #include "bench_util.h"
+#include "core/check.h"
 #include "core/format.h"
+#include "core/parse.h"
 #include "sim/topology.h"
 
 using namespace pinpoint;
@@ -26,7 +28,11 @@ int
 main(int argc, char **argv)
 {
     const char *model = argc > 1 ? argv[1] : "resnet18";
-    const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 16;
+    std::int64_t batch = 16;
+    if (argc > 2)
+        PP_CHECK(parse_int64(argv[2], batch),
+                 "usage: dp_allreduce [model] [batch] — '"
+                     << argv[2] << "' is not an integer");
     bench::banner("dp_allreduce",
                   "extension: data-parallel scaling efficiency",
                   "N-device ring all-reduce on both interconnect "

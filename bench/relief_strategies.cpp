@@ -21,6 +21,7 @@
 #include "bench_util.h"
 #include "core/check.h"
 #include "core/format.h"
+#include "core/parse.h"
 #include "nn/model_registry.h"
 #include "relief/strategy_planner.h"
 
@@ -29,7 +30,11 @@ using namespace pinpoint;
 int
 main(int argc, char **argv)
 {
-    const std::int64_t batch = argc > 1 ? std::atoll(argv[1]) : 16;
+    std::int64_t batch = 16;
+    if (argc > 1)
+        PP_CHECK(parse_int64(argv[1], batch),
+                 "usage: relief_strategies [batch] — '"
+                     << argv[1] << "' is not an integer");
     bench::banner("relief_strategies",
                   "extension: unified swap/recompute/hybrid planning",
                   "model zoo, shared-link swap legs vs measured "

@@ -12,6 +12,8 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "core/check.h"
+#include "core/parse.h"
 #include "sweep/driver.h"
 #include "sweep/export.h"
 #include "sweep/scenario.h"
@@ -24,7 +26,9 @@ main(int argc, char **argv)
 {
     int jobs = sweep::ThreadPool::default_threads();
     if (argc > 1)
-        jobs = std::atoi(argv[1]);
+        PP_CHECK(parse_int(argv[1], jobs),
+                 "usage: sweep_parallel [jobs] — '"
+                     << argv[1] << "' is not an integer");
     if (jobs < 1)
         jobs = 1;
 

@@ -49,6 +49,23 @@ parse_int64(const std::string &text, std::int64_t &out)
 }
 
 bool
+parse_uint64(const std::string &text, std::uint64_t &out)
+{
+    // strtoull accepts a leading '-' and wraps the negation into
+    // the unsigned range; a trace field "-1" must fail, not parse
+    // as 2^64-1.
+    if (!text.empty() && text.front() == '-')
+        return false;
+    unsigned long long value = 0;
+    if (!parse_whole(text, value, [](const char *s, char **end) {
+            return std::strtoull(s, end, 10);
+        }))
+        return false;
+    out = static_cast<std::uint64_t>(value);
+    return true;
+}
+
+bool
 parse_int(const std::string &text, int &out)
 {
     std::int64_t value = 0;

@@ -19,6 +19,13 @@ namespace pinpoint {
 /** @return true and sets @p out when @p text is a whole int64. */
 bool parse_int64(const std::string &text, std::int64_t &out);
 
+/**
+ * @return true and sets @p out when @p text is a whole uint64.
+ * Rejects '-' up front: strtoull would silently wrap "-1" to
+ * 18446744073709551615.
+ */
+bool parse_uint64(const std::string &text, std::uint64_t &out);
+
 /** @return true and sets @p out when @p text is a whole int. */
 bool parse_int(const std::string &text, int &out);
 

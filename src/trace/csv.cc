@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/check.h"
+#include "core/parse.h"
 
 namespace pinpoint {
 namespace trace {
@@ -39,6 +40,45 @@ parse_category(const std::string &s)
     if (s == "parameter") return Category::kParameter;
     if (s == "intermediate") return Category::kIntermediate;
     PP_CHECK(false, "unknown category '" << s << "'");
+}
+
+/**
+ * Strict field parses (core/parse): the whole token must be a
+ * number. std::stoull would accept "12abc" as 12 and wrap "-1"
+ * to 2^64-1, so a corrupted trace row could round-trip as quietly
+ * wrong data instead of failing the load.
+ */
+std::uint64_t
+parse_u64_field(const std::string &text, std::size_t lineno,
+                const char *field)
+{
+    std::uint64_t value = 0;
+    PP_CHECK(parse_uint64(text, value),
+             "line " << lineno << ": malformed " << field << " '"
+                     << text << "'");
+    return value;
+}
+
+std::uint32_t
+parse_u32_field(const std::string &text, std::size_t lineno,
+                const char *field)
+{
+    const std::uint64_t value = parse_u64_field(text, lineno, field);
+    PP_CHECK(value <= 0xffffffffu,
+             "line " << lineno << ": " << field << " '" << text
+                     << "' out of range");
+    return static_cast<std::uint32_t>(value);
+}
+
+std::int32_t
+parse_i32_field(const std::string &text, std::size_t lineno,
+                const char *field)
+{
+    int value = 0;
+    PP_CHECK(parse_int(text, value),
+             "line " << lineno << ": malformed " << field << " '"
+                     << text << "'");
+    return static_cast<std::int32_t>(value);
 }
 
 }  // namespace
@@ -92,22 +132,18 @@ read_csv(std::istream &is)
                  "line " << lineno << ": expected 10 fields, got "
                          << f.size());
         MemoryEvent e;
-        try {
-            e.time = std::stoull(f[0]);
-            e.kind = parse_event_kind(f[1]);
-            e.block = std::stoull(f[2]);
-            e.ptr = std::stoull(f[3]);
-            e.size = std::stoull(f[4]);
-            e.tensor = f[5] == "-" ? kInvalidTensor : std::stoull(f[5]);
-            e.category = parse_category(f[6]);
-            e.iteration = static_cast<std::uint32_t>(std::stoul(f[7]));
-            e.op_index = std::stoi(f[8]);
-            e.op = f[9];
-        } catch (const std::invalid_argument &) {
-            PP_CHECK(false, "line " << lineno << ": malformed field");
-        } catch (const std::out_of_range &) {
-            PP_CHECK(false, "line " << lineno << ": field out of range");
-        }
+        e.time = parse_u64_field(f[0], lineno, "time_ns");
+        e.kind = parse_event_kind(f[1]);
+        e.block = parse_u64_field(f[2], lineno, "block");
+        e.ptr = parse_u64_field(f[3], lineno, "ptr");
+        e.size = parse_u64_field(f[4], lineno, "size");
+        e.tensor = f[5] == "-"
+                       ? kInvalidTensor
+                       : parse_u64_field(f[5], lineno, "tensor");
+        e.category = parse_category(f[6]);
+        e.iteration = parse_u32_field(f[7], lineno, "iteration");
+        e.op_index = parse_i32_field(f[8], lineno, "op_index");
+        e.op = f[9];
         recorder.record(std::move(e));
     }
     return recorder;

@@ -22,6 +22,14 @@ namespace {
 
 constexpr std::size_t kMB = 1024 * 1024;
 
+/** Per-Strategy arrays are read by enumerator, never by position
+ * (the PR 6 bug class; enforced repo-wide by pinpoint_lint). */
+constexpr std::size_t
+at(Strategy s)
+{
+    return static_cast<std::size_t>(s);
+}
+
 trace::MemoryEvent
 ev(TimeNs t, trace::EventKind kind, BlockId block, std::size_t size,
    const char *op = "", std::int32_t op_index = -1)
@@ -128,10 +136,10 @@ TEST(StrategyPlanner, PeerUnavailableOnASingleDevice)
 
     // plan_all carries the same unavailable report in enum order.
     const auto all = planner.plan_all(r);
-    EXPECT_TRUE(all[0].available);   // swap-only
-    EXPECT_TRUE(all[1].available);   // recompute-only
-    EXPECT_FALSE(all[2].available);  // peer-only
-    EXPECT_TRUE(all[3].available);   // hybrid
+    EXPECT_TRUE(all[at(Strategy::kSwapOnly)].available);
+    EXPECT_TRUE(all[at(Strategy::kRecomputeOnly)].available);
+    EXPECT_FALSE(all[at(Strategy::kPeerOnly)].available);
+    EXPECT_TRUE(all[at(Strategy::kHybrid)].available);
     for (int s = 0; s < kNumStrategies; ++s)
         EXPECT_EQ(all[static_cast<std::size_t>(s)].strategy,
                   static_cast<Strategy>(s));
@@ -293,10 +301,11 @@ TEST(StrategyPlanner, HybridDominatesPureStrategiesZooWide)
             StrategyPlanner planner(opts);
 
             const auto all = planner.plan_all(result.view());
-            const auto &swap_only = all[0];
-            const auto &rec_only = all[1];
-            const auto &peer_only = all[2];
-            const auto &hybrid = all[3];
+            const auto &swap_only = all[at(Strategy::kSwapOnly)];
+            const auto &rec_only =
+                all[at(Strategy::kRecomputeOnly)];
+            const auto &peer_only = all[at(Strategy::kPeerOnly)];
+            const auto &hybrid = all[at(Strategy::kHybrid)];
             ASSERT_TRUE(peer_only.available);
 
             if (budget != kUnlimitedBudget) {
