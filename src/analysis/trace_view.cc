@@ -142,21 +142,21 @@ TraceView::build_timeline() const
 const Timeline &
 TraceView::timeline() const
 {
-    std::call_once(timeline_once_, [&] {
+    timeline_once_.call([&] {
         timeline_ = build_timeline();
         timeline_builds_.fetch_add(1, std::memory_order_relaxed);
         events_walked_.fetch_add(size(), std::memory_order_relaxed);
     });
     // A build that throws (inconsistent trace) propagates out of
-    // call_once without satisfying it, so the next caller retries;
-    // reaching here guarantees the slot is filled.
+    // the once-call without satisfying it, so the next caller
+    // retries; reaching here guarantees the slot is filled.
     return *timeline_;
 }
 
 const ProducerIndex &
 TraceView::producers() const
 {
-    std::call_once(producers_once_, [&] {
+    producers_once_.call([&] {
         producers_ = std::make_unique<const ProducerIndex>(
             index_producers(*this));
         producer_builds_.fetch_add(1, std::memory_order_relaxed);
@@ -171,7 +171,7 @@ TraceView::producers() const
 const IterationPattern &
 TraceView::iteration_pattern() const
 {
-    std::call_once(pattern_once_, [&] {
+    pattern_once_.call([&] {
         pattern_ = std::make_unique<const IterationPattern>(
             detect_iteration_pattern(*this));
         pattern_builds_.fetch_add(1, std::memory_order_relaxed);

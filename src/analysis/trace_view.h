@@ -8,7 +8,7 @@
  * frozen once per run: the event sequence in columnar (SoA) storage
  * plus every expensive derived index — the block Timeline, the
  * recompute producer index, the iteration pattern — each built
- * lazily, exactly once, behind a std::call_once, and shared by
+ * lazily, exactly once, behind a core OnceFlag, and shared by
  * reference with the analysis, swap, relief, runtime, and api
  * layers. Before this class existed the per-block index was rebuilt
  * from scratch at five independent sites on a single `relief` run;
@@ -20,7 +20,7 @@
  *     is const and safe to call from many threads concurrently.
  *   - The view owns its storage: the TraceRecorder it was built
  *     from may be cleared or destroyed afterwards.
- *   - Each sub-index is built at most once (std::call_once);
+ *   - Each sub-index is built at most once (OnceFlag);
  *     concurrent first accessors share one computation.
  *   - TraceView is neither copyable nor movable — share it by
  *     reference (or hold it behind a shared_ptr, as
@@ -34,13 +34,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "analysis/iteration.h"
 #include "analysis/producers.h"
 #include "analysis/timeline.h"
+#include "core/once.h"
 #include "trace/event.h"
 #include "trace/recorder.h"
 
@@ -174,11 +174,11 @@ class TraceView
 
     // Lazy sub-indices. A failed build (inconsistent trace) leaves
     // the slot empty and the accessor rethrows on the next call.
-    mutable std::once_flag timeline_once_;
+    mutable OnceFlag timeline_once_;
     mutable std::unique_ptr<const Timeline> timeline_;
-    mutable std::once_flag producers_once_;
+    mutable OnceFlag producers_once_;
     mutable std::unique_ptr<const ProducerIndex> producers_;
-    mutable std::once_flag pattern_once_;
+    mutable OnceFlag pattern_once_;
     mutable std::unique_ptr<const IterationPattern> pattern_;
 
     mutable std::atomic<std::size_t> timeline_builds_{0};

@@ -1,36 +1,36 @@
 #include "api/study.h"
 
-#include <mutex>
 #include <utility>
 
 #include "core/check.h"
+#include "core/once.h"
 
 namespace pinpoint {
 namespace api {
 
 /**
- * One slot per facet: a std::call_once guard plus storage. Facet
+ * One slot per facet: a core OnceFlag guard plus storage. Facet
  * accessors are const — the cache is an implementation detail of
  * "computed lazily", not observable state — so every slot lives
  * behind the Study's facets_ pointer and is written exactly once.
  */
 struct Study::Facets {
-    std::once_flag atis_once;
+    OnceFlag atis_once;
     std::vector<analysis::AtiSample> atis;
 
-    std::once_flag ati_summary_once;
+    OnceFlag ati_summary_once;
     analysis::SummaryStats ati_summary;
 
-    std::once_flag breakdown_once;
+    OnceFlag breakdown_once;
     analysis::BreakdownResult breakdown;
 
-    std::once_flag swap_plan_once;
+    OnceFlag swap_plan_once;
     swap::SwapPlanReport swap_plan;
 
-    std::once_flag swap_once;
+    OnceFlag swap_once;
     runtime::SwapValidation swap_validation;
 
-    std::once_flag relief_once;
+    OnceFlag relief_once;
     std::array<relief::ReliefReport, relief::kNumStrategies>
         relief_all;
 };
@@ -138,7 +138,7 @@ Study::peak_occupancy_bytes() const
 const std::vector<analysis::AtiSample> &
 Study::atis() const
 {
-    std::call_once(facets_->atis_once, [&] {
+    facets_->atis_once.call([&] {
         facets_->atis = analysis::compute_atis(result().view());
     });
     return facets_->atis;
@@ -147,7 +147,7 @@ Study::atis() const
 const analysis::SummaryStats &
 Study::ati_summary() const
 {
-    std::call_once(facets_->ati_summary_once, [&] {
+    facets_->ati_summary_once.call([&] {
         facets_->ati_summary = analysis::summarize(
             analysis::ati_microseconds(atis()));
     });
@@ -157,7 +157,7 @@ Study::ati_summary() const
 const analysis::BreakdownResult &
 Study::breakdown() const
 {
-    std::call_once(facets_->breakdown_once, [&] {
+    facets_->breakdown_once.call([&] {
         facets_->breakdown =
             analysis::occupation_breakdown(result().view());
     });
@@ -173,8 +173,8 @@ Study::iteration_pattern() const
 const swap::SwapPlanReport &
 Study::swap_plan() const
 {
-    std::call_once(facets_->swap_plan_once, [&] {
-        PP_CHECK(result().trace.size() > 0,
+    facets_->swap_plan_once.call([&] {
+        PP_CHECK(!result().trace.empty(),
                  "swap planning needs a recorded trace (run with "
                  "record_trace = true)");
         // The shared fill rule keeps this plan identical to
@@ -190,7 +190,7 @@ Study::swap_plan() const
 const runtime::SwapValidation &
 Study::swap_validation() const
 {
-    std::call_once(facets_->swap_once, [&] {
+    facets_->swap_once.call([&] {
         facets_->swap_validation = runtime::validate_swap_plan(
             result(), device_, options_.swap);
     });
@@ -200,7 +200,7 @@ Study::swap_validation() const
 const std::array<relief::ReliefReport, relief::kNumStrategies> &
 Study::relief_all() const
 {
-    std::call_once(facets_->relief_once, [&] {
+    facets_->relief_once.call([&] {
         relief::StrategyOptions opts = options_.relief;
         // Arm the peer mechanism from the spec's topology unless the
         // caller configured one explicitly — the one place the

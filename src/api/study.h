@@ -17,7 +17,7 @@
  * Invariants the layers above rely on:
  *
  *   - Each facet is computed at most once per Study, on first
- *     access, guarded by a std::call_once per facet — concurrent
+ *     access, guarded by a core OnceFlag per facet — concurrent
  *     accessors (the sweep worker pool) share one computation and
  *     one cached value.
  *   - Facet values are identical to calling the underlying analysis
@@ -255,7 +255,7 @@ class Study
     /** Multi-device runs: the aggregate, owning every replica. */
     std::unique_ptr<runtime::DataParallelResult> dp_;
     /**
-     * Heap-allocated so the Study stays movable: std::once_flag is
+     * Heap-allocated so the Study stays movable: OnceFlag is
      * neither movable nor copyable, and moving a Study must carry
      * its cache, not reset it.
      */

@@ -1,0 +1,64 @@
+/**
+ * once.h — exception-safe once-initialization, sanitizer-friendly.
+ *
+ * Drop-in replacement for the std::once_flag / std::call_once pairs
+ * guarding the lazy TraceView sub-indices and Study facets. Two
+ * reasons it exists instead of the standard facility:
+ *
+ *  1. The repo relies on call_once's exceptional contract — a
+ *     callable that throws leaves the flag unset so the next caller
+ *     retries (a TraceView over an inconsistent trace must throw
+ *     from every timeline() call, not just the first). libstdc++
+ *     implements std::call_once on pthread_once, and ThreadSanitizer
+ *     intercepts pthread_once with no support for throwing
+ *     callables: the interceptor leaves the flag half-initialized
+ *     and the retry deadlocks on its futex. Under -fsanitize=thread
+ *     the second view.timeline() call would hang forever.
+ *
+ *  2. A plain mutex + atomic double-checked flag gives tsan an
+ *     ordinary acquire/release edge it reasons about natively, so
+ *     the once-semantics are *verified* by the sanitizer rather
+ *     than special-cased by an interceptor.
+ *
+ * Semantics: OnceFlag::call(f) runs f exactly once across all
+ * threads; concurrent callers block until the running call
+ * finishes; if f throws, the exception propagates, the flag stays
+ * unset, and the next call retries. The fast path after completion
+ * is one acquire load.
+ */
+#ifndef PINPOINT_CORE_ONCE_H_
+#define PINPOINT_CORE_ONCE_H_
+
+#include <atomic>
+#include <mutex>
+
+namespace pinpoint {
+
+class OnceFlag {
+  public:
+    OnceFlag() = default;
+    OnceFlag(const OnceFlag &) = delete;
+    OnceFlag &operator=(const OnceFlag &) = delete;
+
+    /** Runs f once; throwing leaves the flag unset for a retry. */
+    template <typename F>
+    void
+    call(F &&f)
+    {
+        if (done_.load(std::memory_order_acquire))
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!done_.load(std::memory_order_relaxed)) {
+            f();
+            done_.store(true, std::memory_order_release);
+        }
+    }
+
+  private:
+    std::atomic<bool> done_{false};
+    std::mutex mutex_;
+};
+
+}  // namespace pinpoint
+
+#endif  // PINPOINT_CORE_ONCE_H_

@@ -111,7 +111,7 @@ run_training(const nn::Model &model, const SessionConfig &config)
 const analysis::TraceView &
 SessionResult::view() const
 {
-    std::call_once(view_slot_->once, [&] {
+    view_slot_->once.call([&] {
         view_slot_->view =
             std::make_unique<const analysis::TraceView>(trace);
     });
@@ -161,7 +161,7 @@ validate_swap_plan(const SessionResult &result,
                    const sim::DeviceSpec &device,
                    swap::PlannerOptions options)
 {
-    PP_CHECK(result.trace.size() > 0,
+    PP_CHECK(!result.trace.empty(),
              "swap validation needs a recorded trace (run with "
              "record_trace = true)");
     options = fill_swap_link(std::move(options), device);
@@ -182,7 +182,7 @@ relief_options_for(const SessionResult &result,
                    const sim::DeviceSpec &device,
                    relief::StrategyOptions options)
 {
-    PP_CHECK(result.trace.size() > 0,
+    PP_CHECK(!result.trace.empty(),
              "relief planning needs a recorded trace (run with "
              "record_trace = true)");
     options.link = fill_link_bandwidth(options.link, device);

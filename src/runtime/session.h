@@ -8,12 +8,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "alloc/allocator.h"
 #include "analysis/trace_view.h"
+#include "core/once.h"
 #include "nn/models.h"
 #include "relief/strategy_planner.h"
 #include "runtime/engine.h"
@@ -73,7 +73,7 @@ struct SessionConfig {
  * instead of forking or resetting it.
  */
 struct TraceViewSlot {
-    std::once_flag once;
+    OnceFlag once;
     std::unique_ptr<const analysis::TraceView> view;
 };
 
@@ -98,7 +98,7 @@ struct SessionResult {
 
     /**
      * The run's shared analysis::TraceView: built from `trace` on
-     * first call (one build per run, std::call_once), then returned
+     * first call (one build per run, OnceFlag), then returned
      * by reference forever after. Everything downstream —
      * validate_swap_plan, plan_relief*, every api::Study facet —
      * routes through this one snapshot. Call only after the run is
