@@ -1,0 +1,18 @@
+// lint-fixture-path: src/analysis/good_consumer.cc
+// Fixture: must lint clean. Consumers borrow the one shared
+// Timeline from the TraceView; member calls and references whose
+// names merely contain "timeline" do not match the rule.
+#include "analysis/trace_view.h"
+
+namespace pinpoint {
+namespace analysis {
+
+std::size_t
+shared_peak(const TraceView &view)
+{
+    const Timeline &shared = view.timeline();
+    return shared.peak_bytes();
+}
+
+}  // namespace analysis
+}  // namespace pinpoint
