@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over pinpoint's own translation units.
+
+Reads compile_commands.json from the build directory (always exported,
+see CMakeLists.txt), keeps only TUs under src/, tools/, bench/ and
+examples/ — third-party code such as a vendored googletest must not
+gate CI — and runs clang-tidy on each with the repo-root .clang-tidy
+profile.  Exits non-zero if any TU produces a diagnostic
+(WarningsAsErrors: '*' turns every finding into an error).
+
+Usage:
+    python3 tools/run_clang_tidy.py --build-dir build [--jobs N]
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OWN_DIRS = ("src", "tools", "bench", "examples")
+
+
+def own_sources(build_dir):
+    """Returns repo-owned TU paths from compile_commands.json, sorted."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit("error: %s not found — configure the build directory "
+                 "first (cmake -B %s -S .)" % (db_path, build_dir))
+    with open(db_path) as f:
+        database = json.load(f)
+    sources = set()
+    for entry in database:
+        path = os.path.abspath(
+            os.path.join(entry["directory"], entry["file"]))
+        rel = os.path.relpath(path, REPO_ROOT)
+        if rel.split(os.sep, 1)[0] in OWN_DIRS:
+            sources.add(path)
+    return sorted(sources)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="build directory with compile_commands.json")
+    parser.add_argument("--jobs", type=int,
+                        default=multiprocessing.cpu_count(),
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy executable")
+    args = parser.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        sys.exit("error: %r not found on PATH — install clang-tidy or "
+                 "pass --clang-tidy" % args.clang_tidy)
+
+    sources = own_sources(args.build_dir)
+    if not sources:
+        sys.exit("error: no repo-owned TUs in compile_commands.json")
+    print("clang-tidy: %d translation units, %d jobs"
+          % (len(sources), args.jobs))
+
+    pool = multiprocessing.Pool(args.jobs)
+    cmds = [[args.clang_tidy, "-p", args.build_dir, "--quiet", src]
+            for src in sources]
+    results = pool.map(_run_one, cmds)
+    pool.close()
+    pool.join()
+
+    failures = 0
+    for src, (code, output) in zip(sources, results):
+        if code != 0 or output.strip():
+            failures += 1
+            print("=== %s" % os.path.relpath(src, REPO_ROOT))
+            print(output.strip())
+    if failures:
+        print("clang-tidy: %d of %d TUs with findings"
+              % (failures, len(sources)))
+        return 1
+    print("clang-tidy: clean")
+    return 0
+
+
+def _run_one(cmd):
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    return proc.returncode, proc.stdout
+
+
+if __name__ == "__main__":
+    sys.exit(main())
