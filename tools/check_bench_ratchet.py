@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Perf ratchet: compare a fresh bench JSON against the committed one.
+
+tools/run_benches.py produces the current numbers; this script diffs
+them against the committed anchor (BENCH_pr6.json) and fails when
+
+  * a bench present in the anchor is missing from the current run,
+  * a bench's wall time regressed by more than --max-ratio (default
+    2.0 — CI runners are noisy, so the ratchet only catches order-of-
+    magnitude regressions, not jitter), or
+  * timeline_builds grew for any bench: the one-index-build-per-
+    scenario invariant (PR 5) is exact, so any increase is a real
+    regression, not noise.
+
+Benches faster than --noise-floor-ms in the anchor are exempt from
+the wall-time ratio (a 4 ms bench doubling to 9 ms is scheduler
+noise), but never from the timeline_builds bar.
+
+Usage:
+    tools/check_bench_ratchet.py --anchor BENCH_pr6.json \
+                                 --current BENCH_ci.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        entries = json.load(f)
+    return {e["bench"]: e for e in entries}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--anchor", default="BENCH_pr6.json",
+                        help="committed perf-trajectory JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced bench JSON")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when wall_ms exceeds anchor * ratio")
+    parser.add_argument("--noise-floor-ms", type=float, default=20.0,
+                        help="anchor wall times below this skip the "
+                             "ratio check")
+    args = parser.parse_args()
+
+    anchor = load(args.anchor)
+    current = load(args.current)
+
+    failures = []
+    for name, base in sorted(anchor.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append("%s: missing from current run" % name)
+            continue
+        base_ms, cur_ms = base["wall_ms"], cur["wall_ms"]
+        if base_ms >= args.noise_floor_ms and \
+                cur_ms > base_ms * args.max_ratio:
+            failures.append(
+                "%s: wall time regressed %d ms -> %d ms (> %.1fx)"
+                % (name, base_ms, cur_ms, args.max_ratio))
+        base_builds = base.get("timeline_builds")
+        cur_builds = cur.get("timeline_builds")
+        if base_builds is not None and (
+                cur_builds is None or cur_builds > base_builds):
+            failures.append(
+                "%s: timeline_builds grew %s -> %s (one index build "
+                "per scenario is exact, see PR 5)"
+                % (name, base_builds, cur_builds))
+        print("%-24s wall %4d -> %4d ms   timeline_builds %s -> %s"
+              % (name, base_ms, cur_ms, base_builds, cur_builds))
+
+    if failures:
+        print("\nbench ratchet FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nbench ratchet OK (%d benches)" % len(anchor))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
