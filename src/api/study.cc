@@ -69,10 +69,26 @@ Study::Study(WorkloadSpec spec, runtime::DataParallelResult result,
 {
 }
 
+Study::Study(WorkloadSpec spec, runtime::InferenceResult result,
+             StudyOptions options)
+    : spec_(std::move(spec)),
+      device_(sim::device_spec_by_name(spec_.device)),
+      options_(std::move(options)),
+      inf_(std::make_unique<runtime::InferenceResult>(
+          std::move(result))),
+      facets_(std::make_unique<Facets>())
+{
+}
+
 Study
 Study::run(const WorkloadSpec &spec, StudyOptions options)
 {
     spec.validate();
+    if (spec.mode == runtime::SessionMode::kInfer)
+        return Study(spec,
+                     runtime::run_inference(spec.build(),
+                                            spec.inference_config()),
+                     std::move(options));
     if (spec.devices > 1)
         return Study(spec,
                      runtime::run_data_parallel(
@@ -87,7 +103,18 @@ Study::run(const WorkloadSpec &spec, StudyOptions options)
 const runtime::SessionResult &
 Study::result() const
 {
+    if (inf_)
+        return inf_->session;
     return dp_ ? dp_->primary() : result_;
+}
+
+const runtime::InferenceResult &
+Study::inference_result() const
+{
+    PP_CHECK(inf_ != nullptr,
+             "training study has no serving result (spec mode = "
+                 << runtime::session_mode_name(spec_.mode) << ")");
+    return *inf_;
 }
 
 const runtime::DataParallelResult &
@@ -209,6 +236,11 @@ Study::relief_all() const
             opts.devices = dp_->devices;
             opts.interconnect = dp_->interconnect;
         }
+        // Serving studies plan against a per-request latency SLO,
+        // not a per-iteration budget: default it to the stream's
+        // steady-state p50 latency unless the caller set one.
+        if (inf_ && opts.latency_budget_ns == 0)
+            opts.latency_budget_ns = inf_->latency_p50;
         facets_->relief_all = runtime::plan_relief_all(
             result(), device_, std::move(opts));
     });

@@ -43,6 +43,7 @@
 #include "api/workload.h"
 #include "relief/strategy_planner.h"
 #include "runtime/data_parallel.h"
+#include "runtime/request_stream.h"
 #include "runtime/session.h"
 #include "swap/planner.h"
 
@@ -95,8 +96,17 @@ class Study
           StudyOptions options = {});
 
     /**
-     * Runs @p spec's training session — data-parallel when
-     * spec.devices > 1 — and wraps the result.
+     * Wraps an already-run serving result for @p spec. The
+     * single-device facets below project the serving session's
+     * continuous trace; the serving facets read the request records.
+     */
+    Study(WorkloadSpec spec, runtime::InferenceResult result,
+          StudyOptions options = {});
+
+    /**
+     * Runs @p spec's session — a serving request stream when
+     * spec.mode is infer, data-parallel training when spec.devices
+     * > 1, single-device training otherwise — and wraps the result.
      * @throws Error / DeviceOomError when the workload cannot run.
      */
     static Study run(const WorkloadSpec &spec,
@@ -188,6 +198,48 @@ class Study
         return dp_ ? dp_->allreduce_stall : 0;
     }
 
+    // --- serving surface ------------------------------------------
+
+    /** @return true when the study wraps a request-stream run. */
+    bool inference() const { return inf_ != nullptr; }
+
+    /**
+     * @return the serving result (request records, latency
+     * percentiles, arrival process). @throws Error on a training
+     * study.
+     */
+    const runtime::InferenceResult &inference_result() const;
+
+    /** @return replayed request count (0 for training studies). */
+    int requests() const
+    {
+        return inf_ ? static_cast<int>(inf_->requests.size()) : 0;
+    }
+
+    /** @return steady-state p50 request latency; 0 when training. */
+    TimeNs latency_p50() const
+    {
+        return inf_ ? inf_->latency_p50 : 0;
+    }
+
+    /** @return steady-state p90 request latency; 0 when training. */
+    TimeNs latency_p90() const
+    {
+        return inf_ ? inf_->latency_p90 : 0;
+    }
+
+    /** @return steady-state p99 request latency; 0 when training. */
+    TimeNs latency_p99() const
+    {
+        return inf_ ? inf_->latency_p99 : 0;
+    }
+
+    /** @return worst steady-state latency; 0 when training. */
+    TimeNs latency_max() const
+    {
+        return inf_ ? inf_->latency_max : 0;
+    }
+
     // --- lazy cached facets ---------------------------------------
 
     /** @return the per-block timeline (Fig. 2 reconstruction) —
@@ -235,7 +287,9 @@ class Study
      * indexed by relief::Strategy enumerator order. On multi-device
      * studies the planner's peer mechanism is armed with the spec's
      * topology; on single-device studies the peer-only report is
-     * marked unavailable.
+     * marked unavailable. On serving studies the per-request
+     * latency SLO defaults to the stream's steady-state p50 latency
+     * unless the caller configured one.
      * @throws Error when the study has no trace.
      */
     const std::array<relief::ReliefReport, relief::kNumStrategies> &
@@ -254,6 +308,8 @@ class Study
     runtime::SessionResult result_;
     /** Multi-device runs: the aggregate, owning every replica. */
     std::unique_ptr<runtime::DataParallelResult> dp_;
+    /** Serving runs: the request stream, owning its session. */
+    std::unique_ptr<runtime::InferenceResult> inf_;
     /**
      * Heap-allocated so the Study stays movable: OnceFlag is
      * neither movable nor copyable, and moving a Study must carry

@@ -13,6 +13,24 @@
 namespace pinpoint {
 namespace api {
 
+DType
+parse_workload_dtype(const std::string &name)
+{
+    if (name == "f32")
+        return DType::kF32;
+    if (name == "f16")
+        return DType::kF16;
+    if (name == "i8" || name == "int8")
+        return DType::kI8;
+    // Dtype names are user input (CLI flags, sweep grids): one typed
+    // usage error with one wording for every surface. The core
+    // parse_dtype names outside this subset (f64, i32, i64, u8) are
+    // internal bookkeeping types, not workload axes, and are
+    // rejected here on purpose.
+    throw UsageError("unknown dtype '" + name +
+                     "' (known: f32, f16, i8)");
+}
+
 std::string
 WorkloadSpec::id() const
 {
@@ -23,6 +41,13 @@ WorkloadSpec::id() const
     // golden sweep CSVs; only multi-device runs grow the suffix.
     if (devices > 1)
         key += "/dp" + std::to_string(devices) + "/" + topology;
+    // Likewise the serving axes: train/f32 ids stay byte-identical
+    // to the pre-serving grid, infer and non-f32 runs grow suffixes.
+    if (mode == runtime::SessionMode::kInfer)
+        key += "/infer/" +
+               std::string(runtime::arrival_kind_name(arrival));
+    if (dtype != DType::kF32)
+        key += "/" + std::string(dtype_name(dtype));
     return key;
 }
 
@@ -34,7 +59,11 @@ WorkloadSpec::to_string() const
        << " --iterations " << iterations << " --allocator "
        << runtime::allocator_kind_name(allocator) << " --device "
        << device << " --micro-batches " << micro_batches
-       << " --devices " << devices << " --topology " << topology;
+       << " --devices " << devices << " --topology " << topology
+       << " --mode " << runtime::session_mode_name(mode)
+       << " --dtype " << dtype_name(dtype) << " --requests "
+       << requests << " --arrival "
+       << runtime::arrival_kind_name(arrival);
     return os.str();
 }
 
@@ -43,7 +72,8 @@ WorkloadSpec::flag_names()
 {
     static const std::vector<std::string> kNames = {
         "model",  "batch",         "iterations", "allocator",
-        "device", "micro-batches", "devices",    "topology"};
+        "device", "micro-batches", "devices",    "topology",
+        "mode",   "dtype",         "requests",   "arrival"};
     return kNames;
 }
 
@@ -74,6 +104,16 @@ WorkloadSpec::from_flags(const FlagView &get, const WorkloadSpec &base)
         spec.devices = parse_int_flag("devices", *v);
     if (const std::string *v = get("topology"))
         spec.topology = *v;
+    if (const std::string *v = get("mode"))
+        // Throws the shared typed "unknown mode" UsageError.
+        spec.mode = runtime::session_mode_from_name(*v);
+    if (const std::string *v = get("dtype"))
+        spec.dtype = parse_workload_dtype(*v);
+    if (const std::string *v = get("requests"))
+        spec.requests = parse_int_flag("requests", *v);
+    if (const std::string *v = get("arrival"))
+        // Throws the shared typed "unknown arrival" UsageError.
+        spec.arrival = runtime::arrival_kind_from_name(*v);
     spec.validate();
     return spec;
 }
@@ -153,6 +193,24 @@ WorkloadSpec::validate() const
     if (devices < 1)
         throw UsageError("--devices must be >= 1, got " +
                          std::to_string(devices));
+    if (requests < 1)
+        throw UsageError("--requests must be >= 1, got " +
+                         std::to_string(requests));
+    if (mode == runtime::SessionMode::kInfer) {
+        // The training-only axes must stay at their defaults: an
+        // inference plan is per-request (no gradient accumulation)
+        // and the serving driver is single-device.
+        if (micro_batches != 1)
+            throw UsageError(
+                "--mode infer runs one request per plan; "
+                "--micro-batches must be 1, got " +
+                std::to_string(micro_batches));
+        if (devices != 1)
+            throw UsageError(
+                "--mode infer is single-device; --devices must be "
+                "1, got " +
+                std::to_string(devices));
+    }
 }
 
 runtime::SessionConfig
@@ -164,6 +222,20 @@ WorkloadSpec::session_config() const
     config.device = sim::device_spec_by_name(device);
     config.allocator = allocator;
     config.plan.micro_batches = micro_batches;
+    config.plan.dtype = dtype;
+    return config;
+}
+
+runtime::InferenceConfig
+WorkloadSpec::inference_config() const
+{
+    runtime::InferenceConfig config;
+    config.session = session_config();
+    config.requests = requests;
+    config.arrival = arrival;
+    // The scenario id seeds the arrivals: the same spec always
+    // replays the same traffic, byte for byte.
+    config.seed = runtime::arrival_seed(id());
     return config;
 }
 

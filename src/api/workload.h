@@ -19,8 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "core/dtype.h"
 #include "nn/models.h"
 #include "runtime/data_parallel.h"
+#include "runtime/request_stream.h"
 #include "runtime/session.h"
 
 namespace pinpoint {
@@ -45,15 +47,26 @@ struct WorkloadSpec {
     int devices = 1;
     /** Interconnect preset name ("pcie", "nvlink"). */
     std::string topology = "pcie";
+    /** Session mode: training iterations or serving requests. */
+    runtime::SessionMode mode = runtime::SessionMode::kTrain;
+    /** Tensor dtype for data/params/activations (f32, f16, i8). */
+    DType dtype = DType::kF32;
+    /** Serving requests to replay (infer mode's run length). */
+    int requests = 32;
+    /** Serving arrival process (identity only in infer mode). */
+    runtime::ArrivalKind arrival = runtime::ArrivalKind::kBursty;
 
     /**
      * Stable compact key, e.g. "resnet50/b32/caching/titan-x".
-     * Iterations and micro-batches are run-length knobs, not
-     * workload identity, and are deliberately excluded — this is
+     * Iterations, micro-batches, and requests are run-length knobs,
+     * not workload identity, and are deliberately excluded — this is
      * the sweep scenario id and must stay byte-stable. Multi-device
      * runs append "/dpN/<topology>"; devices=1 specs keep the
      * pre-multi-device id byte for byte (a single device has no
-     * interconnect, so the topology is not identity there).
+     * interconnect, so the topology is not identity there). The
+     * serving axes grow the key the same way: infer mode appends
+     * "/infer/<arrival>" and non-f32 dtypes append "/<dtype>", so
+     * every train/f32 id predating the serving axes is unchanged.
      */
     std::string id() const;
 
@@ -103,13 +116,23 @@ struct WorkloadSpec {
     /**
      * Checks the spec describes a runnable workload: registered
      * model, device, and topology presets, positive batch,
-     * iterations >= 1, micro-batches >= 1, devices >= 1. @throws
-     * UsageError with an actionable message otherwise.
+     * iterations >= 1, micro-batches >= 1, devices >= 1,
+     * requests >= 1, and — in infer mode — no training-only axes
+     * (micro-batches and devices must stay 1). @throws UsageError
+     * with an actionable message otherwise.
      */
     void validate() const;
 
     /** @return the session configuration this spec pins. */
     runtime::SessionConfig session_config() const;
+
+    /**
+     * @return the serving configuration this spec pins:
+     * session_config() plus the request count, the arrival process,
+     * and the deterministic arrival seed derived from id() — the
+     * same spec always replays the same traffic.
+     */
+    runtime::InferenceConfig inference_config() const;
 
     /**
      * @return the data-parallel configuration this spec pins:
@@ -122,6 +145,15 @@ struct WorkloadSpec {
     /** @return a fresh instance of the spec's model. */
     nn::Model build() const;
 };
+
+/**
+ * Parses the workload dtype axis: "f32", "f16", or "i8" ("int8"
+ * accepted as an alias for i8). A deliberate subset of the core
+ * parse_dtype names — the remaining dtypes are internal bookkeeping
+ * types (labels, masks), not workload axes.
+ * @throws UsageError (dtype names are user input) for anything else.
+ */
+DType parse_workload_dtype(const std::string &name);
 
 }  // namespace api
 }  // namespace pinpoint

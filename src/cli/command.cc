@@ -123,6 +123,21 @@ workload_flag_specs(const std::string &default_model)
          "interconnect preset: " +
              join_names(sim::interconnect_names()),
          {}},
+        {"mode", FlagKind::kValue, "M",
+         runtime::session_mode_name(defaults.mode),
+         "session mode: " +
+             join_names(runtime::session_mode_names()),
+         {}},
+        {"dtype", FlagKind::kValue, "T", dtype_name(defaults.dtype),
+         "tensor dtype: f32, f16, i8", {}},
+        {"requests", FlagKind::kValue, "N",
+         std::to_string(defaults.requests),
+         "serving requests to replay (infer mode)", {}},
+        {"arrival", FlagKind::kValue, "A",
+         runtime::arrival_kind_name(defaults.arrival),
+         "request arrival process: " +
+             join_names(runtime::arrival_kind_names()),
+         {}},
     };
     PP_ASSERT(specs.size() == api::WorkloadSpec::flag_names().size(),
               "workload flag help table out of sync with "

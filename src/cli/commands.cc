@@ -76,9 +76,12 @@ cmd_characterize(const ParsedArgs &args, CommandIo &io)
     const api::Study study = api::Study::run(spec);
 
     analysis::ReportOptions opts;
+    const std::string run_length =
+        study.inference()
+            ? " x" + std::to_string(study.requests()) + " requests"
+            : " x" + std::to_string(spec.iterations) + " iterations";
     opts.title = spec.model + " batch " + std::to_string(spec.batch) +
-                 " x" + std::to_string(spec.iterations) +
-                 " iterations on " + study.device().name;
+                 run_length + " on " + study.device().name;
     opts.link = analysis::LinkBandwidth{study.device().d2h_bw_bps,
                                         study.device().h2d_bw_bps};
     opts.gantt = !args.flag("no-gantt");
@@ -108,6 +111,32 @@ cmd_characterize(const ParsedArgs &args, CommandIo &io)
                 100.0 * dp.interconnect_busy_fraction);
         oprintf(io.out, "  scaling efficiency: %.3f\n",
                 dp.scaling_efficiency);
+    }
+
+    if (study.inference()) {
+        // The report above covers the continuous serving trace; the
+        // request-stream numbers are the serving delta on top of it.
+        const runtime::InferenceResult &inf =
+            study.inference_result();
+        oprintf(io.out,
+                "\nserving stream: %d requests, %s arrivals "
+                "(seed %llu)\n",
+                study.requests(),
+                runtime::arrival_kind_name(inf.arrival),
+                static_cast<unsigned long long>(inf.seed));
+        oprintf(io.out, "  latency p50:        %s\n",
+                format_time(study.latency_p50()).c_str());
+        oprintf(io.out, "  latency p90:        %s\n",
+                format_time(study.latency_p90()).c_str());
+        oprintf(io.out, "  latency p99:        %s\n",
+                format_time(study.latency_p99()).c_str());
+        oprintf(io.out, "  latency max:        %s\n",
+                format_time(study.latency_max()).c_str());
+        if (inf.session.end_time > 0)
+            oprintf(io.out,
+                    "  throughput:         %.1f requests/s\n",
+                    1e9 * study.requests() /
+                        static_cast<double>(inf.session.end_time));
     }
 
     const std::string csv = args.value("csv", "");
@@ -400,6 +429,19 @@ cmd_relief(const ParsedArgs &args, CommandIo &io)
                 ? relief::kUnlimitedBudget
                 : static_cast<TimeNs>(ns);
     }
+    if (args.has("slo-ms")) {
+        if (spec.mode != runtime::SessionMode::kInfer)
+            throw UsageError(
+                "--slo-ms is a per-request serving SLO; it needs "
+                "--mode infer");
+        const double ms = args.double_value("slo-ms", 0.0);
+        if (!(ms > 0.0) || !std::isfinite(ms))
+            throw UsageError(
+                "--slo-ms must be a finite number > 0, got '" +
+                args.value("slo-ms", "") + "'");
+        opts.relief.latency_budget_ns =
+            static_cast<TimeNs>(ms * static_cast<double>(kNsPerMs));
+    }
     relief::Strategy strategy = relief::Strategy::kHybrid;
     if (args.has("strategy")) {
         try {
@@ -430,6 +472,9 @@ cmd_relief(const ParsedArgs &args, CommandIo &io)
     if (opts.relief.overhead_budget != relief::kUnlimitedBudget)
         oprintf(io.out, " (budget %s)",
                 format_time(opts.relief.overhead_budget).c_str());
+    if (opts.relief.latency_budget_ns > 0)
+        oprintf(io.out, " (SLO %s/request)",
+                format_time(opts.relief.latency_budget_ns).c_str());
     oprintf(io.out, "\n\n%-12s %10s %12s %12s %12s %12s\n",
             "strategy", "decisions", "peak save", "overhead",
             "meas save", "meas ovh");
@@ -567,7 +612,13 @@ cmd_sweep(const ParsedArgs &args, CommandIo &io)
         sweep::parse_device_counts(args.value("devices", ""));
     grid.topologies =
         sweep::split_list(args.value("topologies", ""));
+    grid.modes = sweep::parse_modes(args.value("modes", ""));
+    grid.dtypes = sweep::parse_dtypes(args.value("dtypes", ""));
     grid.iterations = args.int_value("iterations", 5);
+    grid.requests = args.int_value("requests", 32);
+    if (args.has("arrival"))
+        grid.arrival = runtime::arrival_kind_from_name(
+            args.value("arrival", "bursty"));
 
     sweep::SweepOptions opts;
     opts.jobs = args.int_value("jobs", 1);
@@ -711,6 +762,11 @@ make_default_registry()
              "total predicted overhead the selection may spend, in "
              "milliseconds; hideable swaps are free and exempt",
              {}},
+            {"slo-ms", FlagKind::kValue, "N", "stream p50",
+             "per-request latency SLO for --mode infer workloads, "
+             "in milliseconds; no single overhead-bearing decision "
+             "may stall a request beyond it",
+             {}},
             {"safety-factor", FlagKind::kValue, "F", "1.0",
              "Eq. 1 headroom for the swap legs", {}},
             {"min-block", FlagKind::kValue, "MiB", "8",
@@ -763,8 +819,9 @@ make_default_registry()
                     "the results";
         c.description =
             "Runs a declarative model × batch × allocator × device "
-            "preset ×\nreplica count × topology grid on a worker "
-            "pool, each scenario in an\nisolated session, and "
+            "preset ×\nreplica count × topology × mode × dtype grid "
+            "on a worker pool, each\nscenario in an "
+            "isolated session, and "
             "aggregates everything into one deterministic\nreport "
             "(table to stdout, optional CSV/JSON). Results are "
             "ordered by\ngrid position, so `--jobs 8` and `--jobs "
@@ -791,8 +848,20 @@ make_default_registry()
              "interconnect preset axis: " +
                  join_names(sim::interconnect_names()),
              {}},
+            {"modes", FlagKind::kValue, "a,b", "train",
+             "session-mode axis: " +
+                 join_names(runtime::session_mode_names()),
+             {}},
+            {"dtypes", FlagKind::kValue, "a,b", "f32",
+             "tensor-dtype axis: f32, f16, i8", {}},
             {"iterations", FlagKind::kValue, "K", "5",
              "iterations per scenario", {}},
+            {"requests", FlagKind::kValue, "N", "32",
+             "requests per infer-mode scenario", {}},
+            {"arrival", FlagKind::kValue, "A", "bursty",
+             "arrival process for infer-mode scenarios: " +
+                 join_names(runtime::arrival_kind_names()),
+             {}},
             {"csv", FlagKind::kValue, "PATH", "",
              "full-report CSV export", {}},
             {"json", FlagKind::kValue, "PATH", "",

@@ -151,11 +151,14 @@ struct AllowedMechanisms {
  * Greedy selection over the candidates with the given mechanisms
  * allowed. Zero-overhead options (hideable swaps and offloads) are
  * always taken; overhead-bearing options are ranked by
- * bytes-freed-per-ns and taken while they fit the budget.
+ * bytes-freed-per-ns and taken while they fit the budget and, when
+ * @p latency_cap is set (> 0), their single-decision stall stays
+ * within the per-request latency SLO.
  */
 Selection
 select(const std::vector<Candidate> &candidates,
-       const AllowedMechanisms &allow, TimeNs budget)
+       const AllowedMechanisms &allow, TimeNs budget,
+       TimeNs latency_cap)
 {
     Selection sel;
     std::vector<Choice> paid;
@@ -218,6 +221,10 @@ select(const std::vector<Candidate> &candidates,
                   return a.candidate->gap_start < b.candidate->gap_start;
               });
     for (const auto &choice : paid) {
+        // A serving SLO caps each decision alone: one stall lands
+        // inside one request window, not across an iteration.
+        if (latency_cap > 0 && choice.overhead > latency_cap)
+            continue;
         if (choice.overhead > budget - sel.overhead)
             continue;
         sel.choices.push_back(choice);
@@ -458,40 +465,41 @@ StrategyPlanner::plan(const analysis::TraceView &view,
     PlanContext ctx(view);
     enumerate_candidates(ctx, options_);
     const TimeNs budget = options_.overhead_budget;
+    const TimeNs cap = options_.latency_budget_ns;
     const bool peer = options_.peer_available();
     switch (strategy) {
       case Strategy::kSwapOnly:
-        return assemble(
-            ctx, options_, view, strategy,
-            select(ctx.candidates, {true, false, false}, budget));
+        return assemble(ctx, options_, view, strategy,
+                        select(ctx.candidates, {true, false, false},
+                               budget, cap));
       case Strategy::kRecomputeOnly:
-        return assemble(
-            ctx, options_, view, strategy,
-            select(ctx.candidates, {false, true, false}, budget));
+        return assemble(ctx, options_, view, strategy,
+                        select(ctx.candidates, {false, true, false},
+                               budget, cap));
       case Strategy::kPeerOnly:
         if (!peer)
             return unavailable_report(ctx, strategy);
-        return assemble(
-            ctx, options_, view, strategy,
-            select(ctx.candidates, {false, false, true}, budget));
+        return assemble(ctx, options_, view, strategy,
+                        select(ctx.candidates, {false, false, true},
+                               budget, cap));
       case Strategy::kHybrid: break;
     }
     // The greedy union search, guarded by every pure selection:
     // hybrid adopts whichever wins, so at equal budget it is never
     // worse than any pure strategy.
     Selection sel =
-        select(ctx.candidates, {true, true, peer}, budget);
+        select(ctx.candidates, {true, true, peer}, budget, cap);
     Selection swap_only =
-        select(ctx.candidates, {true, false, false}, budget);
+        select(ctx.candidates, {true, false, false}, budget, cap);
     Selection rec_only =
-        select(ctx.candidates, {false, true, false}, budget);
+        select(ctx.candidates, {false, true, false}, budget, cap);
     if (better(swap_only, sel))
         sel = std::move(swap_only);
     if (better(rec_only, sel))
         sel = std::move(rec_only);
     if (peer) {
         Selection peer_only =
-            select(ctx.candidates, {false, false, true}, budget);
+            select(ctx.candidates, {false, false, true}, budget, cap);
         if (better(peer_only, sel))
             sel = std::move(peer_only);
     }
@@ -507,16 +515,18 @@ StrategyPlanner::plan_all(const analysis::TraceView &view) const
     PlanContext ctx(view);
     enumerate_candidates(ctx, options_);
     const TimeNs budget = options_.overhead_budget;
+    const TimeNs cap = options_.latency_budget_ns;
     const bool peer = options_.peer_available();
     const Selection swap_only =
-        select(ctx.candidates, {true, false, false}, budget);
+        select(ctx.candidates, {true, false, false}, budget, cap);
     const Selection rec_only =
-        select(ctx.candidates, {false, true, false}, budget);
+        select(ctx.candidates, {false, true, false}, budget, cap);
     const Selection peer_only =
-        peer ? select(ctx.candidates, {false, false, true}, budget)
+        peer ? select(ctx.candidates, {false, false, true}, budget,
+                      cap)
              : Selection{};
     const Selection united =
-        select(ctx.candidates, {true, true, peer}, budget);
+        select(ctx.candidates, {true, true, peer}, budget, cap);
     const Selection *hybrid = &united;
     if (better(swap_only, *hybrid))
         hybrid = &swap_only;

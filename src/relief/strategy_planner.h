@@ -99,6 +99,15 @@ struct StrategyOptions {
      */
     TimeNs overhead_budget = kUnlimitedBudget;
     /**
+     * Per-request latency SLO for serving sessions (0 = no SLO).
+     * Training plans spread overhead across an iteration; a request
+     * stream cannot — one stalled transfer lands inside one request
+     * window. With an SLO set, no single overhead-bearing decision
+     * whose predicted stall exceeds it is ever selected, whatever
+     * the total budget still allows.
+     */
+    TimeNs latency_budget_ns = 0;
+    /**
      * Device count of the topology the trace ran on. Peer offload
      * needs a peer to offload to: it is available only when this is
      * >= 2 and the interconnect carries bandwidth.

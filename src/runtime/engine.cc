@@ -222,7 +222,10 @@ Engine::execute_op(const Op &op, std::int32_t op_index)
 void
 Engine::run_iteration()
 {
-    current_iteration_ = static_cast<std::uint32_t>(iterations_done_);
+    current_iteration_ =
+        options_.continuous_trace
+            ? 0
+            : static_cast<std::uint32_t>(iterations_done_);
     if (staging_tensor_ != kInvalidTensor && iterations_done_ > 0 &&
         iterations_done_ % options_.iterations_per_epoch == 0) {
         stage_dataset(false);

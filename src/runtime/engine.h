@@ -37,6 +37,13 @@ struct EngineOptions {
     std::size_t staging_buffer_bytes = 0;
     /** Iterations per epoch (staging shuffle period). */
     int iterations_per_epoch = 0;
+    /**
+     * Pin every post-setup event's iteration label to 0. Serving
+     * sessions replay a continuous request stream with no iteration
+     * boundary, so the trace must not carry one either — analyses
+     * (detect_iteration_pattern) see one steady-state span.
+     */
+    bool continuous_trace = false;
 };
 
 /** Live per-category memory accounting maintained by the engine. */

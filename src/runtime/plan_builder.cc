@@ -71,6 +71,46 @@ class Builder
         return std::move(plan_);
     }
 
+    /**
+     * Forward-only serving lowering: one inference request per
+     * "iteration", no labels, no loss, no backward, no optimizer.
+     */
+    Plan
+    build_inference()
+    {
+        inference_ = true;
+        PP_CHECK(opt_.micro_batches == 1,
+                 "inference plans are per-request; micro_batches "
+                 "must be 1, got " << opt_.micro_batches);
+        PP_CHECK(!opt_.sgd_momentum,
+                 "inference plans carry no optimizer state");
+        PP_CHECK(opt_.checkpoint_every == 0,
+                 "activation checkpointing is a backward-pass "
+                 "technique; inference plans do not support it");
+        micro_batch_ = batch_;
+        infos_ = nn::infer(graph_, model_.input_shape(micro_batch_));
+        plan_.model_name = model_.name;
+        plan_.batch = batch_;
+
+        const std::size_t n = graph_.size();
+        param_ids_.assign(n, {});
+        create_parameters();
+        act_.assign(n, kInvalidTensor);
+        mask_.assign(n, kInvalidTensor);
+        save_stats_.assign(n, {});
+        contrib_.assign(n, {});
+        emit_data_load();
+        for (const nn::Node &node : graph_.nodes()) {
+            // Serving emits logits; the loss layer never runs.
+            if (node.kind == LayerKind::kSoftmaxCrossEntropy)
+                continue;
+            emit_forward(node);
+        }
+        emit_logits_fetch();
+        place_frees();
+        return std::move(plan_);
+    }
+
     /** Name suffix distinguishing per-micro-batch transients. */
     std::string
     sfx() const
@@ -267,6 +307,16 @@ class Builder
         const Shape in_shape = model_.input_shape(micro_batch_);
         x_ = new_tensor("input.x" + sfx(), in_shape, opt_.dtype,
                         Category::kInput);
+        if (inference_) {
+            // Serving requests carry no labels: the host uploads the
+            // request batch alone.
+            act_[static_cast<std::size_t>(graph_.input())] = x_;
+            Op &op = push_op("data.h2d", OpPhase::kDataLoad, 0.0);
+            op.allocs = {x_};
+            op.writes = {x_};
+            op.h2d_bytes = plan_.tensor(x_).bytes();
+            return;
+        }
         // Labels: one per classification row of the loss input —
         // (N) for classifiers, (N, S) for per-token LM losses.
         const nn::Node &loss = graph_.nodes().back();
@@ -340,6 +390,14 @@ class Builder
                 return;
             }
             break;
+          case LayerKind::kDropout:
+            if (inference_) {
+                // Eval-mode dropout is an identity: no kernel, no
+                // mask block, exactly as in PyTorch model.eval().
+                act_[idx] = in_act(node);
+                return;
+            }
+            break;
           default:
             break;
         }
@@ -401,6 +459,8 @@ class Builder
           case LayerKind::kBatchNorm2d: {
             for (TensorId p : all_params(node.id))
                 op.reads.push_back(p);
+            if (inference_)
+                break;  // eval mode: read running stats, save nothing
             // Training-mode BN updates running stats in place and
             // saves per-channel mean/invstd for backward.
             const auto &params = param_ids_[idx];
@@ -443,6 +503,8 @@ class Builder
           case LayerKind::kLayerNorm: {
             for (TensorId p : all_params(node.id))
                 op.reads.push_back(p);
+            if (inference_)
+                break;  // eval mode: no saved stats without backward
             // Saved per-row mean/invstd for backward.
             std::vector<std::int64_t> rows = ni.out_shape.dims();
             rows.pop_back();
@@ -479,6 +541,22 @@ class Builder
           default:
             break;
         }
+    }
+
+    /** Serving counterpart of emit_loss_fetch: the host reads the
+     * logits of the layer feeding the (skipped) loss. */
+    void
+    emit_logits_fetch()
+    {
+        const nn::Node &loss = graph_.nodes().back();
+        PP_CHECK(loss.kind == LayerKind::kSoftmaxCrossEntropy,
+                 "model must end in a softmax_ce loss");
+        const TensorId logits =
+            act_[static_cast<std::size_t>(loss.inputs[0])];
+        PP_CHECK(logits != kInvalidTensor,
+                 "model produced no logits activation");
+        Op &op = push_op("logits.item", OpPhase::kForward, 0.0);
+        op.reads = {logits};
     }
 
     void
@@ -890,6 +968,8 @@ class Builder
     std::int64_t micro_batch_ = 0;
     int mb_ = 0;
     bool recompute_pass_ = false;
+    /** Forward-only serving lowering (build_inference). */
+    bool inference_ = false;
     /** Checkpointed (kept) activations, per node. */
     std::vector<bool> is_checkpoint_;
     /** Activations currently valid during the backward sweep. */
@@ -920,6 +1000,23 @@ build_plan(const nn::Model &model, std::int64_t batch,
     PP_CHECK(batch > 0, "batch must be positive, got " << batch);
     Plan plan = Builder(model, batch, options).build();
     validate_plan(plan);
+    return plan;
+}
+
+Plan
+build_inference_plan(const nn::Model &model, std::int64_t batch,
+                     const PlanOptions &options)
+{
+    PP_CHECK(batch > 0, "batch must be positive, got " << batch);
+    Plan plan = Builder(model, batch, options).build_inference();
+    validate_plan(plan);
+    // The serving invariant the analyses and relief lean on: an
+    // inference plan is forward-only, with parameters resident.
+    for (const Op &op : plan.iteration_ops)
+        PP_ASSERT(op.phase != OpPhase::kBackward &&
+                      op.phase != OpPhase::kOptimizer,
+                  "inference plan contains training op '" << op.name
+                                                          << "'");
     return plan;
 }
 

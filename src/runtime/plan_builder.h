@@ -69,6 +69,20 @@ Plan build_plan(const nn::Model &model, std::int64_t batch,
                 const PlanOptions &options = {});
 
 /**
+ * Builds the forward-only serving plan for @p model at batch size
+ * @p batch: one inference request per "iteration". The plan contains
+ * no backward or optimizer ops and no gradient/label tensors —
+ * parameters stay resident across requests, activations are freed at
+ * last use, eval-mode dropout is an identity view, and eval-mode
+ * norms read their running stats without saving batch statistics.
+ *
+ * @throws Error when shape inference fails, or when @p options asks
+ * for training-only lowering (micro-batches, momentum, checkpoints).
+ */
+Plan build_inference_plan(const nn::Model &model, std::int64_t batch,
+                          const PlanOptions &options = {});
+
+/**
  * Validates plan well-formedness: every transient tensor is allocated
  * exactly once, never used before its alloc or after its free, and
  * freed exactly once; persistent tensors are never allocated or freed

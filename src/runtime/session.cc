@@ -15,6 +15,40 @@ namespace pinpoint {
 namespace runtime {
 
 const char *
+session_mode_name(SessionMode mode)
+{
+    switch (mode) {
+      case SessionMode::kTrain: return "train";
+      case SessionMode::kInfer: return "infer";
+    }
+    return "unknown";
+}
+
+std::vector<std::string>
+session_mode_names()
+{
+    std::vector<std::string> names;
+    for (int i = 0; i < kNumSessionModes; ++i)
+        names.push_back(
+            session_mode_name(static_cast<SessionMode>(i)));
+    return names;
+}
+
+SessionMode
+session_mode_from_name(const std::string &name)
+{
+    if (name == "train")
+        return SessionMode::kTrain;
+    if (name == "infer")
+        return SessionMode::kInfer;
+    // Mode names are user input (CLI flags, sweep grids): one typed
+    // usage error with one wording for every surface.
+    throw UsageError("unknown mode '" + name +
+                     "' (known: " + join_names(session_mode_names()) +
+                     ")");
+}
+
+const char *
 allocator_kind_name(AllocatorKind kind)
 {
     switch (kind) {
@@ -51,6 +85,29 @@ allocator_kind_from_name(const std::string &name)
                      ")");
 }
 
+std::unique_ptr<alloc::Allocator>
+make_session_allocator(AllocatorKind kind, alloc::DeviceMemory &device,
+                       sim::VirtualClock &clock,
+                       const sim::CostModel &cost)
+{
+    switch (kind) {
+      case AllocatorKind::kCaching:
+        return std::make_unique<alloc::CachingAllocator>(device, clock,
+                                                         cost);
+      case AllocatorKind::kDirect:
+        return std::make_unique<alloc::DirectAllocator>(device, clock,
+                                                        cost);
+      case AllocatorKind::kBuddy:
+        break;
+    }
+    // Largest power-of-two arena the device can hold.
+    std::size_t arena = 1;
+    while (arena * 2 <= device.capacity())
+        arena *= 2;
+    return std::make_unique<alloc::BuddyAllocator>(device, clock, cost,
+                                                   arena);
+}
+
 SessionResult
 run_training(const nn::Model &model, const SessionConfig &config)
 {
@@ -61,26 +118,8 @@ run_training(const nn::Model &model, const SessionConfig &config)
     sim::VirtualClock clock;
     sim::CostModel cost(config.device);
 
-    std::unique_ptr<alloc::Allocator> allocator;
-    switch (config.allocator) {
-      case AllocatorKind::kCaching:
-        allocator = std::make_unique<alloc::CachingAllocator>(
-            device, clock, cost);
-        break;
-      case AllocatorKind::kDirect:
-        allocator = std::make_unique<alloc::DirectAllocator>(
-            device, clock, cost);
-        break;
-      case AllocatorKind::kBuddy: {
-        // Largest power-of-two arena the device can hold.
-        std::size_t arena = 1;
-        while (arena * 2 <= config.device.dram_bytes)
-            arena *= 2;
-        allocator = std::make_unique<alloc::BuddyAllocator>(
-            device, clock, cost, arena);
-        break;
-      }
-    }
+    std::unique_ptr<alloc::Allocator> allocator =
+        make_session_allocator(config.allocator, device, clock, cost);
 
     {
         Engine engine(result.plan, *allocator, clock, cost,

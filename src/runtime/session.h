@@ -24,7 +24,31 @@
 #include "trace/recorder.h"
 
 namespace pinpoint {
+namespace alloc {
+class DeviceMemory;
+}  // namespace alloc
 namespace runtime {
+
+/** What kind of session a workload runs. */
+enum class SessionMode : std::uint8_t {
+    kTrain,  ///< forward + backward + optimizer iterations
+    kInfer,  ///< forward-only serving requests (request_stream.h)
+};
+
+/** Number of SessionMode enumerators. */
+inline constexpr int kNumSessionModes = 2;
+
+/** @return short name ("train", "infer"). */
+const char *session_mode_name(SessionMode mode);
+
+/** @return every session mode name, in enumerator order. */
+std::vector<std::string> session_mode_names();
+
+/**
+ * @return the mode named @p name.
+ * @throws UsageError (mode names are user input) for unknown names.
+ */
+SessionMode session_mode_from_name(const std::string &name);
 
 /** Which allocator backs the run. */
 enum class AllocatorKind : std::uint8_t {
@@ -119,6 +143,16 @@ struct SessionResult {
  *
  * @throws Error (or DeviceOomError) when the workload cannot run.
  */
+/**
+ * @return a freshly constructed allocator of @p kind over @p device.
+ * The one construction rule shared by run_training and
+ * run_inference, so both session drivers price the same heap.
+ */
+std::unique_ptr<alloc::Allocator>
+make_session_allocator(AllocatorKind kind, alloc::DeviceMemory &device,
+                       sim::VirtualClock &clock,
+                       const sim::CostModel &cost);
+
 SessionResult run_training(const nn::Model &model,
                            const SessionConfig &config = {});
 

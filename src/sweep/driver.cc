@@ -51,6 +51,14 @@ aggregate(const api::Study &study, bool swap_plan,
     out.allreduce_time_ns = study.allreduce_time();
     out.allreduce_stall_ns = study.allreduce_stall();
 
+    // Serving aggregates likewise read the Study's serving surface,
+    // which answers with zeros for training scenarios.
+    out.requests = study.requests();
+    out.latency_p50_ns = study.latency_p50();
+    out.latency_p90_ns = study.latency_p90();
+    out.latency_p99_ns = study.latency_p99();
+    out.latency_max_ns = study.latency_max();
+
     out.event_count = r.trace.size();
     out.ati_count = study.atis().size();
     if (!study.atis().empty()) {

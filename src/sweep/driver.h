@@ -101,6 +101,15 @@ struct ScenarioResult {
     /** All-reduce slip beyond the dedicated-link ideal. */
     TimeNs allreduce_stall_ns = 0;
 
+    // --- serving (infer-mode scenarios) ---------------------------
+    /** Replayed request count; 0 for training scenarios. */
+    int requests = 0;
+    /** Steady-state request-latency percentiles; 0 when training. */
+    TimeNs latency_p50_ns = 0;
+    TimeNs latency_p90_ns = 0;
+    TimeNs latency_p99_ns = 0;
+    TimeNs latency_max_ns = 0;
+
     // --- unified relief planner -----------------------------------
     /**
      * Winning relief strategy ("swap", "recompute", "peer", or

@@ -63,12 +63,29 @@ any_multi_device(const SweepReport &report)
     return false;
 }
 
+/**
+ * @return true when any scenario leaves the train/f32 default. The
+ * mode/dtype/serving columns appear only then, so train-only sweeps
+ * stay byte-identical to exports from before the serving axis
+ * existed.
+ */
+bool
+any_inference(const SweepReport &report)
+{
+    for (const auto &r : report.results)
+        if (r.scenario.mode == runtime::SessionMode::kInfer ||
+            r.scenario.dtype != DType::kF32)
+            return true;
+    return false;
+}
+
 }  // namespace
 
 void
 write_sweep_csv(const SweepReport &report, std::ostream &os)
 {
     const bool multi = any_multi_device(report);
+    const bool serving = any_inference(report);
     os << "model,batch,allocator,device,iterations,status,error,"
           "peak_total_bytes,peak_input_bytes,peak_parameter_bytes,"
           "peak_intermediate_bytes,peak_reserved_bytes,"
@@ -85,6 +102,9 @@ write_sweep_csv(const SweepReport &report, std::ostream &os)
         os << ",devices,topology,scaling_efficiency,"
               "interconnect_busy_fraction,allreduce_time_ns,"
               "allreduce_stall_ns";
+    if (serving)
+        os << ",mode,dtype,requests,arrival,latency_p50_ns,"
+              "latency_p90_ns,latency_p99_ns,latency_max_ns";
     os << "\n";
     for (const auto &r : report.results) {
         const Scenario &s = r.scenario;
@@ -119,6 +139,12 @@ write_sweep_csv(const SweepReport &report, std::ostream &os)
                << format_fixed6(r.interconnect_busy_fraction) << ','
                << r.allreduce_time_ns << ','
                << r.allreduce_stall_ns;
+        if (serving)
+            os << ',' << runtime::session_mode_name(s.mode) << ','
+               << dtype_name(s.dtype) << ',' << r.requests << ','
+               << runtime::arrival_kind_name(s.arrival) << ','
+               << r.latency_p50_ns << ',' << r.latency_p90_ns << ','
+               << r.latency_p99_ns << ',' << r.latency_max_ns;
         os << '\n';
     }
 }
@@ -127,6 +153,7 @@ void
 write_sweep_json(const SweepReport &report, std::ostream &os)
 {
     const bool multi = any_multi_device(report);
+    const bool serving = any_inference(report);
     os << "{\n  \"scenarios\": [\n";
     for (std::size_t i = 0; i < report.results.size(); ++i) {
         const auto &r = report.results[i];
@@ -185,6 +212,17 @@ write_sweep_json(const SweepReport &report, std::ostream &os)
                << ", \"allreduce_time_ns\": " << r.allreduce_time_ns
                << ", \"allreduce_stall_ns\": "
                << r.allreduce_stall_ns;
+        if (serving)
+            os << ", \"mode\": \""
+               << runtime::session_mode_name(s.mode)
+               << "\", \"dtype\": \"" << dtype_name(s.dtype)
+               << "\", \"requests\": " << r.requests
+               << ", \"arrival\": \""
+               << runtime::arrival_kind_name(s.arrival)
+               << "\", \"latency_p50_ns\": " << r.latency_p50_ns
+               << ", \"latency_p90_ns\": " << r.latency_p90_ns
+               << ", \"latency_p99_ns\": " << r.latency_p99_ns
+               << ", \"latency_max_ns\": " << r.latency_max_ns;
         os << "}"
            << (i + 1 < report.results.size() ? "," : "") << "\n";
     }
@@ -233,6 +271,7 @@ void
 write_sweep_table(const SweepReport &report, std::ostream &os)
 {
     const bool multi = any_multi_device(report);
+    const bool serving = any_inference(report);
     os << pad("scenario", 36) << pad("status", 8) << pad("peak", 12)
        << pad("reserved", 12) << pad("iter time", 12)
        << pad("ATI p50", 12) << pad("swap save", 12)
@@ -240,6 +279,8 @@ write_sweep_table(const SweepReport &report, std::ostream &os)
        << pad("relief", 10) << pad("relief save", 12);
     if (multi)
         os << pad("dp eff", 8);
+    if (serving)
+        os << pad("lat p50", 12) << pad("lat p99", 12);
     os << "\n";
     for (const auto &r : report.results) {
         os << pad(r.scenario.id(), 36)
@@ -265,6 +306,15 @@ write_sweep_table(const SweepReport &report, std::ostream &os)
                               r.scaling_efficiency);
                 os << pad(eff, 8);
             }
+            if (serving)
+                os << pad(r.requests > 0
+                              ? format_time(r.latency_p50_ns)
+                              : "-",
+                          12)
+                   << pad(r.requests > 0
+                              ? format_time(r.latency_p99_ns)
+                              : "-",
+                          12);
         } else {
             os << first_line(r.error);
         }

@@ -57,30 +57,55 @@ expand_grid(const SweepGrid &grid)
     for (const auto &t : topologies)
         sim::interconnect_by_name(t);  // throws typed UsageError
 
+    std::vector<runtime::SessionMode> modes = grid.modes;
+    if (modes.empty())
+        modes = {runtime::SessionMode::kTrain};
+
+    std::vector<DType> dtypes = grid.dtypes;
+    if (dtypes.empty())
+        dtypes = {DType::kF32};
+
     if (grid.iterations < 1)
         throw UsageError("iterations must be >= 1, got " +
                          std::to_string(grid.iterations));
+    if (grid.requests < 1)
+        throw UsageError("requests must be >= 1, got " +
+                         std::to_string(grid.requests));
+    for (runtime::SessionMode mode : modes)
+        if (mode == runtime::SessionMode::kInfer)
+            for (int n : device_counts)
+                if (n > 1)
+                    throw UsageError(
+                        "mode infer is single-device; drop the "
+                        "multi-device counts from --device-counts");
 
     std::vector<Scenario> scenarios;
     scenarios.reserve(models.size() * batches.size() *
                       allocators.size() * device_presets.size() *
-                      device_counts.size() * topologies.size());
+                      device_counts.size() * topologies.size() *
+                      modes.size() * dtypes.size());
     for (const auto &model : models)
         for (std::int64_t batch : batches)
             for (runtime::AllocatorKind allocator : allocators)
                 for (const auto &device : device_presets)
                     for (int devices : device_counts)
-                        for (const auto &topology : topologies) {
-                            Scenario s;
-                            s.model = model;
-                            s.batch = batch;
-                            s.allocator = allocator;
-                            s.device = device;
-                            s.devices = devices;
-                            s.topology = topology;
-                            s.iterations = grid.iterations;
-                            scenarios.push_back(std::move(s));
-                        }
+                        for (const auto &topology : topologies)
+                            for (runtime::SessionMode mode : modes)
+                                for (DType dtype : dtypes) {
+                                    Scenario s;
+                                    s.model = model;
+                                    s.batch = batch;
+                                    s.allocator = allocator;
+                                    s.device = device;
+                                    s.devices = devices;
+                                    s.topology = topology;
+                                    s.mode = mode;
+                                    s.dtype = dtype;
+                                    s.iterations = grid.iterations;
+                                    s.requests = grid.requests;
+                                    s.arrival = grid.arrival;
+                                    scenarios.push_back(std::move(s));
+                                }
     return scenarios;
 }
 
@@ -141,6 +166,28 @@ parse_device_counts(const std::string &csv)
                              "' (need an integer >= 1)");
         out.push_back(static_cast<int>(count));
     }
+    return out;
+}
+
+std::vector<runtime::SessionMode>
+parse_modes(const std::string &csv)
+{
+    std::vector<runtime::SessionMode> out;
+    // session_mode_from_name throws the shared typed "unknown mode"
+    // UsageError itself.
+    for (const auto &field : split_list(csv))
+        out.push_back(runtime::session_mode_from_name(field));
+    return out;
+}
+
+std::vector<DType>
+parse_dtypes(const std::string &csv)
+{
+    std::vector<DType> out;
+    // parse_workload_dtype throws the shared typed "unknown dtype"
+    // UsageError itself.
+    for (const auto &field : split_list(csv))
+        out.push_back(api::parse_workload_dtype(field));
     return out;
 }
 

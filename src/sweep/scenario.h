@@ -49,19 +49,29 @@ struct SweepGrid {
     std::vector<int> device_counts;
     /** Interconnect preset names; empty = {"pcie"}. */
     std::vector<std::string> topologies;
-    /** Iterations per scenario. */
+    /** Session modes; empty = {train}. */
+    std::vector<runtime::SessionMode> modes;
+    /** Tensor dtypes; empty = {f32}. */
+    std::vector<DType> dtypes;
+    /** Iterations per scenario (train mode). */
     int iterations = 5;
+    /** Requests per scenario (infer mode). */
+    int requests = 32;
+    /** Arrival process for infer-mode scenarios. */
+    runtime::ArrivalKind arrival = runtime::ArrivalKind::kBursty;
 };
 
 /**
  * Expands @p grid into scenarios in canonical order: models
  * outermost, then batches, allocators, device presets, replica
- * counts, topologies innermost. The default single-element replica
- * and topology axes expand to the exact scenario list (and ids) a
- * pre-topology grid produced.
+ * counts, topologies, modes, dtypes innermost. Every default
+ * single-element axis (replicas, topologies, modes, dtypes) expands
+ * to the exact scenario list (and ids) the grid produced before
+ * that axis existed.
  * @throws UsageError (grid axes are user input) for unknown model,
  * device, or topology names, non-positive batches or replica
- * counts, or iterations < 1.
+ * counts, iterations < 1, requests < 1, or an infer mode combined
+ * with multi-device replica counts.
  */
 std::vector<Scenario> expand_grid(const SweepGrid &grid);
 
@@ -90,6 +100,18 @@ parse_allocators(const std::string &csv);
  * @throws UsageError.
  */
 std::vector<int> parse_device_counts(const std::string &csv);
+
+/**
+ * Parses a comma-separated list of session modes.
+ * @throws UsageError.
+ */
+std::vector<runtime::SessionMode> parse_modes(const std::string &csv);
+
+/**
+ * Parses a comma-separated list of workload dtypes.
+ * @throws UsageError.
+ */
+std::vector<DType> parse_dtypes(const std::string &csv);
 
 }  // namespace sweep
 }  // namespace pinpoint

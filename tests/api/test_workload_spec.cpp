@@ -203,10 +203,138 @@ TEST(WorkloadSpec, SessionConfigPinsEveryAxis)
     EXPECT_EQ(config.plan.micro_batches, 2);
 }
 
+TEST(WorkloadSpec, TrainF32IdIgnoresServingAxes)
+{
+    // train/f32 ids are pinned by golden sweep CSVs from before the
+    // serving axis existed: mode/dtype/requests/arrival must not
+    // leak into them.
+    WorkloadSpec spec;
+    spec.model = "mlp";
+    spec.batch = 8;
+    spec.requests = 64;
+    spec.arrival = runtime::ArrivalKind::kSteady;
+    EXPECT_EQ(spec.id(), "mlp/b8/caching/titan-x");
+
+    spec.mode = runtime::SessionMode::kInfer;
+    EXPECT_EQ(spec.id(), "mlp/b8/caching/titan-x/infer/steady");
+
+    spec.dtype = DType::kF16;
+    EXPECT_EQ(spec.id(), "mlp/b8/caching/titan-x/infer/steady/f16");
+
+    spec.mode = runtime::SessionMode::kTrain;
+    EXPECT_EQ(spec.id(), "mlp/b8/caching/titan-x/f16");
+}
+
+TEST(WorkloadSpec, ServingFieldsRoundTripThroughFromString)
+{
+    WorkloadSpec spec;
+    spec.model = "mlp";
+    spec.batch = 4;
+    spec.mode = runtime::SessionMode::kInfer;
+    spec.dtype = DType::kI8;
+    spec.requests = 17;
+    spec.arrival = runtime::ArrivalKind::kUniform;
+
+    const WorkloadSpec reparsed =
+        WorkloadSpec::from_string(spec.to_string());
+    EXPECT_EQ(reparsed.mode, spec.mode);
+    EXPECT_EQ(reparsed.dtype, spec.dtype);
+    EXPECT_EQ(reparsed.requests, spec.requests);
+    EXPECT_EQ(reparsed.arrival, spec.arrival);
+    EXPECT_EQ(reparsed.to_string(), spec.to_string());
+}
+
+TEST(WorkloadSpec, RejectsBadServingFlags)
+{
+    // The exit-2 rejection matrix for the serving axes, with the
+    // shared "unknown X (known: ...)" wording.
+    try {
+        WorkloadSpec::from_args({"--mode", "nonsense"});
+        FAIL() << "expected UsageError";
+    } catch (const UsageError &e) {
+        EXPECT_EQ(std::string(e.what()),
+                  "unknown mode 'nonsense' (known: train, infer)");
+    }
+    try {
+        WorkloadSpec::from_args({"--dtype", "f64"});
+        FAIL() << "expected UsageError";
+    } catch (const UsageError &e) {
+        EXPECT_EQ(std::string(e.what()),
+                  "unknown dtype 'f64' (known: f32, f16, i8)");
+    }
+    try {
+        WorkloadSpec::from_args({"--arrival", "poisson"});
+        FAIL() << "expected UsageError";
+    } catch (const UsageError &e) {
+        EXPECT_EQ(std::string(e.what()),
+                  "unknown arrival 'poisson' (known: steady, "
+                  "uniform, bursty)");
+    }
+    EXPECT_THROW(WorkloadSpec::from_args({"--requests", "0"}),
+                 UsageError);
+    EXPECT_THROW(WorkloadSpec::from_args({"--requests", "-3"}),
+                 UsageError);
+    EXPECT_THROW(WorkloadSpec::from_args({"--requests", "ten"}),
+                 UsageError);
+    // Dangling value flag: the old CLI silently used the default.
+    EXPECT_THROW(WorkloadSpec::from_args({"--arrival"}), UsageError);
+}
+
+TEST(WorkloadSpec, ValidateRejectsInferConflicts)
+{
+    WorkloadSpec spec;
+    spec.mode = runtime::SessionMode::kInfer;
+    EXPECT_NO_THROW(spec.validate());
+    // One request per plan: gradient accumulation is meaningless
+    // without a backward pass.
+    spec.micro_batches = 2;
+    EXPECT_THROW(spec.validate(), UsageError);
+    spec.micro_batches = 1;
+    spec.devices = 2;
+    EXPECT_THROW(spec.validate(), UsageError);
+    spec.devices = 1;
+    spec.requests = 0;
+    EXPECT_THROW(spec.validate(), UsageError);
+}
+
+TEST(WorkloadSpec, Int8AliasParsesAsI8)
+{
+    EXPECT_EQ(parse_workload_dtype("int8"), DType::kI8);
+    const WorkloadSpec spec =
+        WorkloadSpec::from_args({"--dtype", "int8"});
+    EXPECT_EQ(spec.dtype, DType::kI8);
+}
+
+TEST(WorkloadSpec, InferenceConfigDerivesSeedFromId)
+{
+    WorkloadSpec spec;
+    spec.model = "mlp";
+    spec.batch = 8;
+    spec.mode = runtime::SessionMode::kInfer;
+    spec.requests = 9;
+    spec.arrival = runtime::ArrivalKind::kBursty;
+    const runtime::InferenceConfig config = spec.inference_config();
+    EXPECT_EQ(config.requests, 9);
+    EXPECT_EQ(config.arrival, runtime::ArrivalKind::kBursty);
+    // The seed is a pure function of the id: the same spec always
+    // replays the same traffic, and any axis change re-keys it.
+    EXPECT_EQ(config.seed, runtime::arrival_seed(spec.id()));
+    WorkloadSpec other = spec;
+    other.batch = 16;
+    EXPECT_NE(other.inference_config().seed, config.seed);
+}
+
+TEST(WorkloadSpec, SessionConfigPinsDtype)
+{
+    WorkloadSpec spec;
+    spec.dtype = DType::kF16;
+    EXPECT_EQ(spec.session_config().plan.dtype, DType::kF16);
+}
+
 TEST(WorkloadSpec, FlagNamesMatchToStringOrder)
 {
     const auto &names = WorkloadSpec::flag_names();
-    ASSERT_EQ(names.size(), 8u);
+    ASSERT_EQ(names.size(), 12u);
     const std::string str = WorkloadSpec().to_string();
     std::size_t pos = 0;
     for (const auto &name : names) {

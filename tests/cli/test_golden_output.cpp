@@ -81,6 +81,28 @@ TEST(GoldenOutput, SweepCsvMatchesThePreRefactorCli)
     std::remove(path.c_str());
 }
 
+TEST(GoldenOutput, InferCharacterizeMatchesTheFixture)
+{
+    // The serving report is seeded by the spec id, so the same
+    // invocation replays the same traffic — fixture bytes included.
+    EXPECT_EQ(run_out({"characterize", "--model", "mlp", "--batch",
+                       "8", "--mode", "infer", "--requests", "12"}),
+              golden("characterize_mlp_b8_infer_r12.txt"));
+}
+
+TEST(GoldenOutput, ServingSweepCsvMatchesTheFixture)
+{
+    const std::string path =
+        testing::TempDir() + "pinpoint_golden_serving_sweep.csv";
+    run_out({"sweep", "--models", "mlp", "--batches", "8",
+             "--allocators", "caching", "--modes", "train,infer",
+             "--dtypes", "f32,f16", "--requests", "6",
+             "--iterations", "2", "--jobs", "4", "--quiet", "--csv",
+             path});
+    EXPECT_EQ(read_file(path), golden("sweep_serving_small.csv"));
+    std::remove(path.c_str());
+}
+
 TEST(GoldenOutput, RepeatedRunsAreByteIdenticalThroughTheSharedView)
 {
     // PR 5 re-verification: with every command routed through one

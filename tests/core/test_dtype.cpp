@@ -40,5 +40,29 @@ TEST(DType, ParseRejectsUnknownNames)
     EXPECT_THROW(parse_dtype("F32"), Error);
 }
 
+TEST(DType, ParseIsWholeTokenStrict)
+{
+    // Near-misses must not resolve: no trimming, no prefixes, no
+    // aliases at the core layer (the workload layer owns "int8").
+    EXPECT_THROW(parse_dtype(" f32"), Error);
+    EXPECT_THROW(parse_dtype("f32 "), Error);
+    EXPECT_THROW(parse_dtype("f3"), Error);
+    EXPECT_THROW(parse_dtype("f320"), Error);
+    EXPECT_THROW(parse_dtype("int8"), Error);
+}
+
+TEST(DType, ParseErrorNamesTheBadInput)
+{
+    // The message must carry the offending token so a sweep config
+    // with one typo'd dtype is findable from the error alone.
+    try {
+        parse_dtype("fp16");
+        FAIL() << "expected Error";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("fp16"),
+                  std::string::npos);
+    }
+}
+
 }  // namespace
 }  // namespace pinpoint

@@ -362,6 +362,40 @@ class DeprecatedRecorderApiRule(Rule):
         return hits
 
 
+class InferencePlanPurityRule(Rule):
+    rule_id = "inference-plan-purity"
+    rationale = (
+        "the serving driver replays forward-only plans; a "
+        "backward/optimizer reference in src/runtime/request_stream* "
+        "would let training work leak into inference sessions and "
+        "break the zoo-wide no-backward property the latency "
+        "fixtures pin"
+    )
+    PATTERN = re.compile(
+        r"\bkBackward\b|\bkOptimizer\b|\bemit_backward\b|"
+        r"\bemit_optimizer\b|\bsgd_momentum\b"
+    )
+
+    def applies_to(self, rel):
+        return rel.as_posix().startswith(
+            "src/runtime/request_stream"
+        )
+
+    def check(self, rel, raw_lines, masked_lines):
+        hits = []
+        for no, line in enumerate(masked_lines, 1):
+            m = self.PATTERN.search(line)
+            if m:
+                hits.append(
+                    (
+                        no,
+                        f"training-phase reference '{m.group(0)}' "
+                        f"in the serving driver",
+                    )
+                )
+        return hits
+
+
 RULES = [
     TimelineConstructionRule(),
     RawNumberParseRule(),
@@ -369,6 +403,7 @@ RULES = [
     UnorderedExportIterationRule(),
     PositionalStrategyIndexRule(),
     DeprecatedRecorderApiRule(),
+    InferencePlanPurityRule(),
 ]
 RULES_BY_ID = {r.rule_id: r for r in RULES}
 

@@ -19,7 +19,7 @@ one-index-build-per-run invariant (PR 5) against the pre-refactor
 cost where a bench knows it.
 
 Usage:
-    tools/run_benches.py [--build-dir build] [--output BENCH_pr6.json]
+    tools/run_benches.py [--build-dir build] [--output BENCH_pr8.json]
                          [--benches a,b,...]
 
 Exit codes: 0 on success, 1 when a bench fails or emits no output.
@@ -41,6 +41,7 @@ DEFAULT_BENCHES = [
     "fig7_resnet_depth",
     "relief_strategies",
     "dp_allreduce",
+    "serving_latency",
 ]
 
 STATS_RE = re.compile(r"^bench_stats:\s*(.*)$", re.MULTILINE)
@@ -74,7 +75,7 @@ def main() -> int:
     )
     parser.add_argument("--build-dir", default="build", type=Path)
     parser.add_argument(
-        "--output", default=Path("BENCH_pr6.json"), type=Path
+        "--output", default=Path("BENCH_pr8.json"), type=Path
     )
     parser.add_argument(
         "--benches",
