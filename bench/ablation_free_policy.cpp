@@ -9,10 +9,12 @@
 #include <cstdio>
 
 #include "analysis/breakdown.h"
-#include "core/check.h"
 #include "bench_util.h"
+#include "core/check.h"
 #include "core/format.h"
+#include "core/types.h"
 #include "nn/models.h"
+#include "runtime/plan.h"
 #include "runtime/session.h"
 
 using namespace pinpoint;

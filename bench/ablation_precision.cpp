@@ -11,7 +11,9 @@
 
 #include "analysis/breakdown.h"
 #include "bench_util.h"
+#include "core/dtype.h"
 #include "core/format.h"
+#include "core/types.h"
 #include "nn/models.h"
 #include "runtime/session.h"
 

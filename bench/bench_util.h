@@ -3,8 +3,7 @@
  * Shared helpers for the figure-regeneration benches: consistent
  * headers and table formatting.
  */
-#ifndef PINPOINT_BENCH_BENCH_UTIL_H
-#define PINPOINT_BENCH_BENCH_UTIL_H
+#pragma once
 
 #include <cstddef>
 #include <cstdio>
@@ -12,7 +11,6 @@
 
 #include "api/study.h"
 #include "core/check.h"
-#include "core/format.h"
 
 namespace pinpoint {
 namespace bench {
@@ -85,4 +83,3 @@ section(const char *title)
 }  // namespace bench
 }  // namespace pinpoint
 
-#endif  // PINPOINT_BENCH_BENCH_UTIL_H

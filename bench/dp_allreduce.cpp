@@ -16,10 +16,12 @@
 #include <cstdlib>
 
 #include "api/study.h"
+#include "api/workload.h"
 #include "bench_util.h"
 #include "core/check.h"
 #include "core/format.h"
 #include "core/parse.h"
+#include "core/types.h"
 #include "sim/topology.h"
 
 using namespace pinpoint;

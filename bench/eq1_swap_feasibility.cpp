@@ -10,7 +10,9 @@
 #include "analysis/swap_model.h"
 #include "bench_util.h"
 #include "core/format.h"
+#include "core/types.h"
 #include "sim/cost_model.h"
+#include "sim/device_spec.h"
 #include "sim/pcie.h"
 
 using namespace pinpoint;

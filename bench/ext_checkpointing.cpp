@@ -11,6 +11,7 @@
 #include "analysis/breakdown.h"
 #include "bench_util.h"
 #include "core/format.h"
+#include "core/types.h"
 #include "nn/models.h"
 #include "runtime/session.h"
 

@@ -8,6 +8,7 @@
  */
 #include <cstdio>
 
+#include "analysis/swap_model.h"
 #include "bench_util.h"
 #include "core/format.h"
 #include "nn/models.h"

@@ -9,11 +9,15 @@
 
 #include "analysis/gantt.h"
 #include "analysis/series.h"
+#include "analysis/timeline.h"
 #include "analysis/trace_view.h"
 #include "api/study.h"
+#include "api/workload.h"
 #include "bench_util.h"
 #include "core/check.h"
 #include "core/format.h"
+#include "core/types.h"
+#include "runtime/session.h"
 
 using namespace pinpoint;
 

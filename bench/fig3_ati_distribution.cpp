@@ -10,8 +10,10 @@
 #include "analysis/ati.h"
 #include "analysis/stats.h"
 #include "api/study.h"
+#include "api/workload.h"
 #include "bench_util.h"
 #include "core/check.h"
+#include "runtime/session.h"
 
 using namespace pinpoint;
 

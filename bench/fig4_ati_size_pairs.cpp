@@ -16,8 +16,10 @@
 #include "analysis/ati.h"
 #include "analysis/outliers.h"
 #include "analysis/stats.h"
+#include "analysis/swap_model.h"
 #include "bench_util.h"
 #include "core/format.h"
+#include "core/types.h"
 #include "nn/models.h"
 #include "runtime/session.h"
 

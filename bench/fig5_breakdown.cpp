@@ -10,10 +10,13 @@
 
 #include "analysis/breakdown.h"
 #include "api/study.h"
+#include "api/workload.h"
 #include "bench_util.h"
 #include "core/check.h"
 #include "core/format.h"
+#include "core/types.h"
 #include "nn/model_registry.h"
+#include "nn/models.h"
 
 using namespace pinpoint;
 

@@ -10,9 +10,11 @@
 
 #include "analysis/breakdown.h"
 #include "api/study.h"
+#include "api/workload.h"
 #include "bench_util.h"
 #include "core/check.h"
 #include "core/format.h"
+#include "core/types.h"
 
 using namespace pinpoint;
 

@@ -11,9 +11,12 @@
 #include "alloc/device_memory.h"
 #include "analysis/breakdown.h"
 #include "api/study.h"
+#include "api/workload.h"
 #include "bench_util.h"
 #include "core/check.h"
 #include "core/format.h"
+#include "core/types.h"
+#include "nn/models.h"
 
 using namespace pinpoint;
 

@@ -13,8 +13,10 @@
 #include "alloc/caching_allocator.h"
 #include "alloc/device_memory.h"
 #include "alloc/direct_allocator.h"
+#include "core/types.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
+#include "sim/device_spec.h"
 
 using namespace pinpoint;
 

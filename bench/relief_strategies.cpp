@@ -17,11 +17,14 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "analysis/swap_model.h"
 #include "api/study.h"
+#include "api/workload.h"
 #include "bench_util.h"
 #include "core/check.h"
 #include "core/format.h"
 #include "core/parse.h"
+#include "core/types.h"
 #include "nn/model_registry.h"
 #include "relief/strategy_planner.h"
 

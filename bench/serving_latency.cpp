@@ -16,6 +16,7 @@
 #include <cstdlib>
 
 #include "api/study.h"
+#include "api/workload.h"
 #include "bench_util.h"
 #include "core/check.h"
 #include "core/dtype.h"

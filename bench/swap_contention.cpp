@@ -9,8 +9,10 @@
  */
 #include <cstdio>
 
+#include "analysis/swap_model.h"
 #include "bench_util.h"
 #include "core/format.h"
+#include "core/types.h"
 #include "nn/model_registry.h"
 #include "runtime/session.h"
 #include "swap/executor.h"

@@ -13,9 +13,12 @@
 
 #include "alloc/device_memory.h"
 #include "api/study.h"
+#include "api/workload.h"
 #include "core/format.h"
+#include "core/types.h"
 #include "nn/models.h"
 #include "runtime/session.h"
+#include "sim/device_spec.h"
 
 using namespace pinpoint;
 

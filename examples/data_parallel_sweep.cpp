@@ -16,8 +16,11 @@
 #include <iostream>
 
 #include "core/format.h"
+#include "core/types.h"
+#include "runtime/session.h"
 #include "sweep/driver.h"
 #include "sweep/export.h"
+#include "sweep/scenario.h"
 
 using namespace pinpoint;
 

@@ -26,7 +26,10 @@
 
 #include "analysis/breakdown.h"
 #include "api/study.h"
+#include "api/workload.h"
+#include "core/dtype.h"
 #include "core/format.h"
+#include "core/types.h"
 #include "nn/models.h"
 #include "relief/strategy_planner.h"
 #include "runtime/session.h"

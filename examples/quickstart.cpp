@@ -13,7 +13,9 @@
 
 #include "analysis/gantt.h"
 #include "api/study.h"
+#include "api/workload.h"
 #include "core/format.h"
+#include "core/types.h"
 
 int
 main()

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "api/study.h"
+#include "api/workload.h"
 #include "core/format.h"
 
 using namespace pinpoint;

@@ -12,7 +12,9 @@
 #include <cstdio>
 
 #include "api/study.h"
+#include "api/workload.h"
 #include "core/format.h"
+#include "core/types.h"
 #include "trace/csv.h"
 
 using namespace pinpoint;

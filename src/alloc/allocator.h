@@ -4,8 +4,7 @@
  * point of the paper: every block the training runtime touches is
  * handed out and reclaimed through this interface.
  */
-#ifndef PINPOINT_ALLOC_ALLOCATOR_H
-#define PINPOINT_ALLOC_ALLOCATOR_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -111,4 +110,3 @@ class Allocator
 }  // namespace alloc
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ALLOC_ALLOCATOR_H

@@ -8,8 +8,7 @@
  * the PyTorch caching allocator. Modeled after classic kernel buddy
  * systems.
  */
-#ifndef PINPOINT_ALLOC_BUDDY_ALLOCATOR_H
-#define PINPOINT_ALLOC_BUDDY_ALLOCATOR_H
+#pragma once
 
 #include <cstddef>
 #include <set>
@@ -18,6 +17,7 @@
 
 #include "alloc/allocator.h"
 #include "alloc/device_memory.h"
+#include "core/types.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 
@@ -103,4 +103,3 @@ class BuddyAllocator : public Allocator
 }  // namespace alloc
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ALLOC_BUDDY_ALLOCATOR_H

@@ -1,4 +1,10 @@
+#include "alloc/allocator.h"
 #include "alloc/caching_allocator.h"
+#include "alloc/device_memory.h"
+#include "core/check.h"
+#include "core/types.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
 
 #include <algorithm>
 

@@ -8,8 +8,7 @@
  * reuse of cached free blocks, block splitting with adjacent-free
  * merging, cache release on device OOM, and explicit empty_cache().
  */
-#ifndef PINPOINT_ALLOC_CACHING_ALLOCATOR_H
-#define PINPOINT_ALLOC_CACHING_ALLOCATOR_H
+#pragma once
 
 #include <cstddef>
 #include <map>
@@ -20,6 +19,7 @@
 
 #include "alloc/allocator.h"
 #include "alloc/device_memory.h"
+#include "core/types.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 
@@ -172,4 +172,3 @@ class CachingAllocator : public Allocator
 }  // namespace alloc
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ALLOC_CACHING_ALLOCATOR_H

@@ -1,4 +1,6 @@
 #include "alloc/device_memory.h"
+#include "core/check.h"
+#include "core/types.h"
 
 #include <algorithm>
 #include <sstream>

@@ -2,8 +2,7 @@
  * @file
  * Simulated device address space: the `cudaMalloc`/`cudaFree` layer.
  */
-#ifndef PINPOINT_ALLOC_DEVICE_MEMORY_H
-#define PINPOINT_ALLOC_DEVICE_MEMORY_H
+#pragma once
 
 #include <cstddef>
 #include <map>
@@ -109,4 +108,3 @@ class DeviceMemory
 }  // namespace alloc
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ALLOC_DEVICE_MEMORY_H

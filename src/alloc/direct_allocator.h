@@ -2,13 +2,13 @@
  * @file
  * Baseline allocator: one cudaMalloc/cudaFree per block, no caching.
  */
-#ifndef PINPOINT_ALLOC_DIRECT_ALLOCATOR_H
-#define PINPOINT_ALLOC_DIRECT_ALLOCATOR_H
+#pragma once
 
 #include <unordered_map>
 
 #include "alloc/allocator.h"
 #include "alloc/device_memory.h"
+#include "core/types.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 
@@ -52,4 +52,3 @@ class DirectAllocator : public Allocator
 }  // namespace alloc
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ALLOC_DIRECT_ALLOCATOR_H

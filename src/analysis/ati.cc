@@ -7,6 +7,8 @@
 #include "analysis/stats.h"
 #include "analysis/trace_view.h"
 #include "core/format.h"
+#include "core/types.h"
+#include "trace/event.h"
 
 namespace pinpoint {
 namespace analysis {

@@ -5,8 +5,7 @@
  * device memory block (Sec. III); Figs. 3 and 4 are computed from the
  * samples this module produces.
  */
-#ifndef PINPOINT_ANALYSIS_ATI_H
-#define PINPOINT_ANALYSIS_ATI_H
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -73,4 +72,3 @@ attribute_atis(const std::vector<AtiSample> &atis);
 }  // namespace analysis
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ANALYSIS_ATI_H

@@ -3,8 +3,7 @@
  * Device memory occupation breakdown by storage content (input data /
  * parameters / intermediate results), the analysis behind Figs. 5-7.
  */
-#ifndef PINPOINT_ANALYSIS_BREAKDOWN_H
-#define PINPOINT_ANALYSIS_BREAKDOWN_H
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -40,4 +39,3 @@ BreakdownResult occupation_breakdown(const TraceView &view);
 }  // namespace analysis
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ANALYSIS_BREAKDOWN_H

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/timeline.h"
 #include "core/check.h"
 #include "core/format.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace analysis {

@@ -3,13 +3,13 @@
  * Gantt chart of block lifetimes (the paper's Fig. 2), as both raw
  * rows for plotting and an ASCII rendering for terminals.
  */
-#ifndef PINPOINT_ANALYSIS_GANTT_H
-#define PINPOINT_ANALYSIS_GANTT_H
+#pragma once
 
 #include <string>
 #include <vector>
 
 #include "analysis/timeline.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace analysis {
@@ -45,4 +45,3 @@ std::string render_gantt(const Timeline &timeline,
 }  // namespace analysis
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ANALYSIS_GANTT_H

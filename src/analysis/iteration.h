@@ -3,14 +3,11 @@
  * Iterative-pattern detection: quantifies the paper's Fig. 2
  * observation that memory behaviors repeat every training iteration.
  */
-#ifndef PINPOINT_ANALYSIS_ITERATION_H
-#define PINPOINT_ANALYSIS_ITERATION_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
-
-#include "core/types.h"
 
 namespace pinpoint {
 namespace analysis {
@@ -51,5 +48,3 @@ IterationPattern detect_iteration_pattern(const TraceView &view);
 
 }  // namespace analysis
 }  // namespace pinpoint
-
-#endif  // PINPOINT_ANALYSIS_ITERATION_H

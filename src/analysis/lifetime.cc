@@ -1,6 +1,9 @@
 #include "analysis/lifetime.h"
 
+#include "analysis/stats.h"
+#include "analysis/timeline.h"
 #include "core/format.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace analysis {

@@ -6,13 +6,13 @@
  * run-lived (parameters, staged data) is exactly the structure the
  * paper's Gantt chart shows qualitatively.
  */
-#ifndef PINPOINT_ANALYSIS_LIFETIME_H
-#define PINPOINT_ANALYSIS_LIFETIME_H
+#pragma once
 
 #include <array>
 
 #include "analysis/stats.h"
 #include "analysis/timeline.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace analysis {
@@ -49,4 +49,3 @@ LifetimeReport lifetime_report(const Timeline &timeline);
 }  // namespace analysis
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ANALYSIS_LIFETIME_H

@@ -1,4 +1,6 @@
+#include "analysis/ati.h"
 #include "analysis/outliers.h"
+#include "analysis/swap_model.h"
 
 #include <algorithm>
 

@@ -4,13 +4,13 @@
  * and a large block size — the paper's Fig. 4 red-marked class, "the
  * major contributors in terms of reducing the memory pressure".
  */
-#ifndef PINPOINT_ANALYSIS_OUTLIERS_H
-#define PINPOINT_ANALYSIS_OUTLIERS_H
+#pragma once
 
 #include <vector>
 
 #include "analysis/ati.h"
 #include "analysis/swap_model.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace analysis {
@@ -47,4 +47,3 @@ rank_swap_candidates(const std::vector<AtiSample> &outliers,
 }  // namespace analysis
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ANALYSIS_OUTLIERS_H

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "analysis/trace_view.h"
+#include "core/types.h"
+#include "trace/event.h"
 
 namespace pinpoint {
 namespace analysis {

@@ -9,8 +9,7 @@
  * TraceView, built once per run and shared by every consumer, next
  * to the Timeline and the iteration pattern.
  */
-#ifndef PINPOINT_ANALYSIS_PRODUCERS_H
-#define PINPOINT_ANALYSIS_PRODUCERS_H
+#pragma once
 
 #include <string>
 #include <unordered_map>
@@ -53,4 +52,3 @@ bool is_forward_op(const std::string &op);
 }  // namespace analysis
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ANALYSIS_PRODUCERS_H

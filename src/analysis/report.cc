@@ -10,10 +10,13 @@
 #include "analysis/lifetime.h"
 #include "analysis/outliers.h"
 #include "analysis/stats.h"
+#include "analysis/swap_model.h"
 #include "analysis/timeline.h"
 #include "analysis/trace_view.h"
 #include "core/check.h"
 #include "core/format.h"
+#include "core/types.h"
+#include "trace/event.h"
 
 namespace pinpoint {
 namespace analysis {

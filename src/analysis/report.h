@@ -4,8 +4,7 @@
  * paper over one trace and renders a human-readable summary — the
  * "pinpoint" deliverable a user gets for their own workload.
  */
-#ifndef PINPOINT_ANALYSIS_REPORT_H
-#define PINPOINT_ANALYSIS_REPORT_H
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -48,4 +47,3 @@ std::string report_string(const TraceView &view,
 }  // namespace analysis
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ANALYSIS_REPORT_H

@@ -5,6 +5,8 @@
 
 #include "analysis/trace_view.h"
 #include "core/check.h"
+#include "core/types.h"
+#include "trace/event.h"
 
 namespace pinpoint {
 namespace analysis {

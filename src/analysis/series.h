@@ -4,8 +4,7 @@
  * trace, the data one would plot under the paper's Gantt chart (or
  * feed to any external plotting tool).
  */
-#ifndef PINPOINT_ANALYSIS_SERIES_H
-#define PINPOINT_ANALYSIS_SERIES_H
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -46,4 +45,3 @@ void write_series_csv(const std::vector<OccupancyPoint> &series,
 }  // namespace analysis
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ANALYSIS_SERIES_H

@@ -4,8 +4,7 @@
  * empirical CDF (Fig. 3a), kernel density / violin (Fig. 3b),
  * and histograms.
  */
-#ifndef PINPOINT_ANALYSIS_STATS_H
-#define PINPOINT_ANALYSIS_STATS_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -95,4 +94,3 @@ std::vector<HistogramBin> histogram(const std::vector<double> &values,
 }  // namespace analysis
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ANALYSIS_STATS_H

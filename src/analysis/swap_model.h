@@ -5,8 +5,7 @@
  * slowing training iff  S/Bd2h + S/Bh2d <= T, i.e.
  * S <= T / (1/Bd2h + 1/Bh2d).
  */
-#ifndef PINPOINT_ANALYSIS_SWAP_MODEL_H
-#define PINPOINT_ANALYSIS_SWAP_MODEL_H
+#pragma once
 
 #include <cstddef>
 
@@ -50,4 +49,3 @@ bool is_swappable(std::size_t bytes, TimeNs interval,
 }  // namespace analysis
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ANALYSIS_SWAP_MODEL_H

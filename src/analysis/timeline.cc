@@ -1,4 +1,5 @@
 #include "analysis/timeline.h"
+#include "core/types.h"
 
 #include <algorithm>
 

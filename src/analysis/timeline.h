@@ -10,8 +10,7 @@
  * what keeps a full `relief` run at exactly one O(n log n) timeline
  * construction.
  */
-#ifndef PINPOINT_ANALYSIS_TIMELINE_H
-#define PINPOINT_ANALYSIS_TIMELINE_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -169,4 +168,3 @@ std::size_t peak_occupancy(std::vector<OccupancyEdge> edges);
 }  // namespace analysis
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ANALYSIS_TIMELINE_H

@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "analysis/iteration.h"
+#include "analysis/producers.h"
+#include "analysis/timeline.h"
 #include "core/check.h"
+#include "core/types.h"
+#include "trace/event.h"
+#include "trace/recorder.h"
 
 namespace pinpoint {
 namespace analysis {

@@ -26,8 +26,7 @@
  *     reference (or hold it behind a shared_ptr, as
  *     runtime::SessionResult::view() does).
  */
-#ifndef PINPOINT_ANALYSIS_TRACE_VIEW_H
-#define PINPOINT_ANALYSIS_TRACE_VIEW_H
+#pragma once
 
 #include <array>
 #include <atomic>
@@ -41,6 +40,7 @@
 #include "analysis/producers.h"
 #include "analysis/timeline.h"
 #include "core/once.h"
+#include "core/types.h"
 #include "trace/event.h"
 #include "trace/recorder.h"
 
@@ -190,4 +190,3 @@ class TraceView
 }  // namespace analysis
 }  // namespace pinpoint
 
-#endif  // PINPOINT_ANALYSIS_TRACE_VIEW_H

@@ -2,8 +2,21 @@
 
 #include <utility>
 
+#include "analysis/ati.h"
+#include "analysis/breakdown.h"
+#include "analysis/iteration.h"
+#include "analysis/stats.h"
+#include "analysis/timeline.h"
+#include "api/workload.h"
 #include "core/check.h"
 #include "core/once.h"
+#include "relief/strategy_planner.h"
+#include "runtime/data_parallel.h"
+#include "runtime/request_stream.h"
+#include "runtime/session.h"
+#include "sim/device_spec.h"
+#include "swap/planner.h"
+#include "trace/recorder.h"
 
 namespace pinpoint {
 namespace api {

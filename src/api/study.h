@@ -27,8 +27,7 @@
  *   - Facets never mutate the session result; a Study is
  *     const-usable from many threads.
  */
-#ifndef PINPOINT_API_STUDY_H
-#define PINPOINT_API_STUDY_H
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -41,11 +40,14 @@
 #include "analysis/stats.h"
 #include "analysis/timeline.h"
 #include "api/workload.h"
+#include "core/types.h"
 #include "relief/strategy_planner.h"
 #include "runtime/data_parallel.h"
 #include "runtime/request_stream.h"
 #include "runtime/session.h"
+#include "sim/device_spec.h"
 #include "swap/planner.h"
+#include "trace/recorder.h"
 
 namespace pinpoint {
 namespace api {
@@ -321,4 +323,3 @@ class Study
 }  // namespace api
 }  // namespace pinpoint
 
-#endif  // PINPOINT_API_STUDY_H

@@ -4,9 +4,14 @@
 #include <sstream>
 
 #include "core/check.h"
+#include "core/dtype.h"
 #include "core/format.h"
 #include "core/parse.h"
 #include "nn/model_registry.h"
+#include "nn/models.h"
+#include "runtime/data_parallel.h"
+#include "runtime/request_stream.h"
+#include "runtime/session.h"
 #include "sim/device_spec.h"
 #include "sim/topology.h"
 

@@ -11,8 +11,7 @@
  * place that maps workload flag names to fields. A flag spelled
  * differently anywhere else is a bug.
  */
-#ifndef PINPOINT_API_WORKLOAD_H
-#define PINPOINT_API_WORKLOAD_H
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -158,4 +157,3 @@ DType parse_workload_dtype(const std::string &name);
 }  // namespace api
 }  // namespace pinpoint
 
-#endif  // PINPOINT_API_WORKLOAD_H

@@ -6,9 +6,12 @@
 #include <sstream>
 
 #include "api/workload.h"
+#include "cli/flags.h"
 #include "core/check.h"
+#include "core/dtype.h"
 #include "core/format.h"
 #include "core/parse.h"
+#include "runtime/request_stream.h"
 #include "runtime/session.h"
 #include "sim/device_spec.h"
 #include "sim/topology.h"

@@ -17,8 +17,7 @@
  *   2  usage error — unknown command, unknown flag, missing or
  *      malformed value (UsageError anywhere in the pipeline).
  */
-#ifndef PINPOINT_CLI_COMMAND_H
-#define PINPOINT_CLI_COMMAND_H
+#pragma once
 
 #include <functional>
 #include <iosfwd>
@@ -124,4 +123,3 @@ void oprintf(std::ostream &os, const char *fmt, ...);
 }  // namespace cli
 }  // namespace pinpoint
 
-#endif  // PINPOINT_CLI_COMMAND_H

@@ -8,14 +8,28 @@
 
 #include "analysis/report.h"
 #include "analysis/series.h"
+#include "analysis/swap_model.h"
 #include "api/study.h"
+#include "api/workload.h"
+#include "cli/command.h"
+#include "cli/flags.h"
 #include "core/check.h"
 #include "core/format.h"
+#include "core/types.h"
 #include "nn/model_registry.h"
+#include "relief/strategy_planner.h"
+#include "runtime/data_parallel.h"
+#include "runtime/request_stream.h"
+#include "runtime/session.h"
+#include "sim/cost_model.h"
+#include "sim/device_spec.h"
 #include "sim/pcie.h"
 #include "sim/topology.h"
+#include "swap/executor.h"
+#include "swap/planner.h"
 #include "sweep/driver.h"
 #include "sweep/export.h"
+#include "sweep/scenario.h"
 #include "trace/chrome_trace.h"
 #include "trace/csv.h"
 

@@ -5,8 +5,7 @@
  * thin projection of an api::Study — the CLI computes nothing a
  * library consumer couldn't get from the same Study.
  */
-#ifndef PINPOINT_CLI_COMMANDS_H
-#define PINPOINT_CLI_COMMANDS_H
+#pragma once
 
 #include "cli/command.h"
 
@@ -22,4 +21,3 @@ CommandRegistry make_default_registry();
 }  // namespace cli
 }  // namespace pinpoint
 
-#endif  // PINPOINT_CLI_COMMANDS_H

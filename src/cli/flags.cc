@@ -1,5 +1,6 @@
 #include "cli/flags.h"
 
+#include "core/check.h"
 #include "core/parse.h"
 
 namespace pinpoint {

@@ -13,16 +13,13 @@
  *   - non-numeric values for numeric flags (previously surfaced as
  *     a raw std::invalid_argument from std::stoll).
  */
-#ifndef PINPOINT_CLI_FLAGS_H
-#define PINPOINT_CLI_FLAGS_H
+#pragma once
 
 #include <cstdint>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
-
-#include "core/check.h"
 
 namespace pinpoint {
 namespace cli {
@@ -101,4 +98,3 @@ ParsedArgs parse_args(const std::vector<FlagSpec> &specs,
 }  // namespace cli
 }  // namespace pinpoint
 
-#endif  // PINPOINT_CLI_FLAGS_H

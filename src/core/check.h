@@ -7,8 +7,7 @@
  * pinpoint::Error; PP_ASSERT guards internal invariants that indicate
  * a library bug and aborts via assert semantics in all build types.
  */
-#ifndef PINPOINT_CORE_CHECK_H
-#define PINPOINT_CORE_CHECK_H
+#pragma once
 
 #include <sstream>
 #include <stdexcept>
@@ -87,4 +86,3 @@ throw_check_failure(const char *file, int line, const char *cond,
         }                                                                   \
     } while (0)
 
-#endif  // PINPOINT_CORE_CHECK_H

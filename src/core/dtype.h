@@ -2,8 +2,7 @@
  * @file
  * Element data types for tensors in the simulated training runtime.
  */
-#ifndef PINPOINT_CORE_DTYPE_H
-#define PINPOINT_CORE_DTYPE_H
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -35,4 +34,3 @@ DType parse_dtype(const std::string &name);
 
 }  // namespace pinpoint
 
-#endif  // PINPOINT_CORE_DTYPE_H

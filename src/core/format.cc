@@ -1,4 +1,5 @@
 #include "core/format.h"
+#include "core/types.h"
 
 #include <cstdio>
 

@@ -3,8 +3,7 @@
  * Human-readable formatting helpers for bytes, times, and ratios,
  * used by benches, examples, and log output.
  */
-#ifndef PINPOINT_CORE_FORMAT_H
-#define PINPOINT_CORE_FORMAT_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -50,4 +49,3 @@ std::string join_names(const std::vector<std::string> &names);
 
 }  // namespace pinpoint
 
-#endif  // PINPOINT_CORE_FORMAT_H

@@ -26,8 +26,7 @@
  * unset, and the next call retries. The fast path after completion
  * is one acquire load.
  */
-#ifndef PINPOINT_CORE_ONCE_H_
-#define PINPOINT_CORE_ONCE_H_
+#pragma once
 
 #include <atomic>
 #include <mutex>
@@ -61,4 +60,3 @@ class OnceFlag {
 
 }  // namespace pinpoint
 
-#endif  // PINPOINT_CORE_ONCE_H_

@@ -6,8 +6,7 @@
  * and report failure through the return value instead of throwing,
  * so callers can attach the flag or field name to the diagnostic.
  */
-#ifndef PINPOINT_CORE_PARSE_H
-#define PINPOINT_CORE_PARSE_H
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -87,4 +86,3 @@ void walk_flag_tokens(const std::vector<std::string> &tokens,
 
 }  // namespace pinpoint
 
-#endif  // PINPOINT_CORE_PARSE_H

@@ -2,8 +2,7 @@
  * @file
  * Tensor shape: an ordered list of non-negative dimension extents.
  */
-#ifndef PINPOINT_CORE_SHAPE_H
-#define PINPOINT_CORE_SHAPE_H
+#pragma once
 
 #include <cstdint>
 #include <initializer_list>
@@ -69,4 +68,3 @@ class Shape
 
 }  // namespace pinpoint
 
-#endif  // PINPOINT_CORE_SHAPE_H

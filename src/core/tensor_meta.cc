@@ -1,3 +1,4 @@
+#include "core/dtype.h"
 #include "core/tensor_meta.h"
 
 namespace pinpoint {

@@ -3,8 +3,7 @@
  * Logical tensor metadata: everything the memory characterization
  * needs to know about a tensor without materializing its values.
  */
-#ifndef PINPOINT_CORE_TENSOR_META_H
-#define PINPOINT_CORE_TENSOR_META_H
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -39,4 +38,3 @@ struct TensorMeta {
 
 }  // namespace pinpoint
 
-#endif  // PINPOINT_CORE_TENSOR_META_H

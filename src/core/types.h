@@ -2,8 +2,7 @@
  * @file
  * Fundamental identifier and time types shared by every pinpoint module.
  */
-#ifndef PINPOINT_CORE_TYPES_H
-#define PINPOINT_CORE_TYPES_H
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -72,4 +71,3 @@ category_name(Category c)
 
 }  // namespace pinpoint
 
-#endif  // PINPOINT_CORE_TYPES_H

@@ -1,0 +1,246 @@
+#include "devtools/include_graph.h"
+#include "devtools/symbol_index.h"
+#include "devtools/tokenizer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace pinpoint {
+namespace devtools {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool
+has_source_suffix(const std::string &path)
+{
+    const auto dot = path.rfind('.');
+    if (dot == std::string::npos)
+        return false;
+    const std::string ext = path.substr(dot);
+    return ext == ".cc" || ext == ".cpp" || ext == ".h" ||
+           ext == ".hpp";
+}
+
+bool
+is_header_suffix(const std::string &path)
+{
+    const auto dot = path.rfind('.');
+    if (dot == std::string::npos)
+        return false;
+    const std::string ext = path.substr(dot);
+    return ext == ".h" || ext == ".hpp";
+}
+
+std::string
+read_file(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+bool
+has_prefix(const std::string &path, const std::string &prefix)
+{
+    return path.size() >= prefix.size() &&
+           path.compare(0, prefix.size(), prefix) == 0 &&
+           (path.size() == prefix.size() ||
+            path[prefix.size()] == '/' ||
+            prefix.back() == '/');
+}
+
+/** Collects repo-relative paths of source files under one dir. */
+std::vector<std::string>
+collect_files(const std::string &root, const std::string &dir,
+              const std::vector<std::string> &skip_prefixes)
+{
+    std::vector<std::string> out;
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec))
+        return out;
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        std::string rel =
+            fs::relative(it->path(), root, ec).generic_string();
+        if (ec || !has_source_suffix(rel))
+            continue;
+        bool skipped = false;
+        for (const std::string &prefix : skip_prefixes) {
+            if (has_prefix(rel, prefix)) {
+                skipped = true;
+                break;
+            }
+        }
+        if (!skipped)
+            out.push_back(std::move(rel));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace
+
+std::string
+normalize_path(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string part;
+    const auto flush = [&]() {
+        if (part.empty() || part == ".") {
+            // skip
+        } else if (part == ".." && !parts.empty() &&
+                   parts.back() != "..") {
+            parts.pop_back();
+        } else {
+            parts.push_back(part);
+        }
+        part.clear();
+    };
+    for (char c : path) {
+        if (c == '/')
+            flush();
+        else
+            part.push_back(c);
+    }
+    flush();
+    std::string out;
+    for (const std::string &p : parts) {
+        if (!out.empty())
+            out.push_back('/');
+        out += p;
+    }
+    return out;
+}
+
+std::string
+dirname_of(const std::string &path)
+{
+    const auto slash = path.rfind('/');
+    return slash == std::string::npos ? ""
+                                      : path.substr(0, slash);
+}
+
+IncludeGraph
+IncludeGraph::load(const std::string &root,
+                   const std::vector<std::string> &graph_dirs,
+                   const std::vector<std::string> &audit_dirs,
+                   const std::vector<std::string> &skip_prefixes)
+{
+    IncludeGraph graph;
+    const auto load_dir = [&](const std::string &dir,
+                              bool audit_only) {
+        for (const std::string &rel :
+             collect_files(root, dir, skip_prefixes)) {
+            SourceFile file;
+            file.path = rel;
+            file.is_header = is_header_suffix(rel);
+            file.audit_only = audit_only;
+            file.scan =
+                scan_source(read_file(fs::path(root) / rel));
+            if (!audit_only)
+                file.symbols = index_symbols(file.scan);
+            graph.files_.emplace(rel, std::move(file));
+        }
+    };
+    for (const std::string &dir : graph_dirs)
+        load_dir(dir, false);
+    for (const std::string &dir : audit_dirs)
+        load_dir(dir, true);
+
+    // Resolve quoted includes: including file's directory, then
+    // src/, then the repo root — mirroring the build's include
+    // paths. Only graph files resolve (audit-only files keep their
+    // directives unresolved; they are never graph nodes).
+    for (auto &entry : graph.files_) {
+        SourceFile &file = entry.second;
+        if (file.audit_only)
+            continue;
+        for (const IncludeDirective &dir : file.scan.includes) {
+            ResolvedInclude resolved;
+            resolved.directive = dir;
+            if (dir.kind == IncludeDirective::Kind::kQuote) {
+                const std::string local = normalize_path(
+                    dirname_of(file.path).empty()
+                        ? dir.path
+                        : dirname_of(file.path) + "/" + dir.path);
+                const std::string in_src =
+                    normalize_path("src/" + dir.path);
+                const std::string at_root =
+                    normalize_path(dir.path);
+                for (const std::string &cand :
+                     {local, in_src, at_root}) {
+                    auto hit = graph.files_.find(cand);
+                    if (hit != graph.files_.end() &&
+                        !hit->second.audit_only) {
+                        resolved.target = cand;
+                        break;
+                    }
+                }
+            }
+            file.includes.push_back(std::move(resolved));
+        }
+    }
+    return graph;
+}
+
+const SourceFile *
+IncludeGraph::find(const std::string &path) const
+{
+    auto it = files_.find(path);
+    return it == files_.end() ? nullptr : &it->second;
+}
+
+const std::set<std::string> &
+IncludeGraph::reachable_from(const std::string &path) const
+{
+    auto memo = reach_.find(path);
+    if (memo != reach_.end())
+        return memo->second;
+    // Iterative DFS; cycles are legal input here (the cycle pass
+    // reports them), so visited-set termination is required.
+    std::set<std::string> seen;
+    std::vector<std::string> stack;
+    const SourceFile *start = find(path);
+    if (start != nullptr) {
+        for (const ResolvedInclude &inc : start->includes)
+            if (!inc.target.empty())
+                stack.push_back(inc.target);
+    }
+    while (!stack.empty()) {
+        const std::string cur = stack.back();
+        stack.pop_back();
+        if (cur == path || !seen.insert(cur).second)
+            continue;
+        const SourceFile *file = find(cur);
+        if (file == nullptr)
+            continue;
+        for (const ResolvedInclude &inc : file->includes)
+            if (!inc.target.empty() && seen.count(inc.target) == 0)
+                stack.push_back(inc.target);
+    }
+    return reach_.emplace(path, std::move(seen)).first->second;
+}
+
+std::vector<std::pair<std::string, std::string>>
+IncludeGraph::edges() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto &entry : files_) {
+        for (const ResolvedInclude &inc : entry.second.includes)
+            if (!inc.target.empty())
+                out.emplace_back(entry.first, inc.target);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace devtools
+}  // namespace pinpoint

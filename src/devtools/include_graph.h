@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Include-graph builder: loads every C++ source file under the
+ * scanned top-level directories of a repository root, scans each
+ * with the devtools tokenizer, resolves quoted includes to
+ * repo-relative paths, and exposes the resulting file/edge set to
+ * the analyzer passes.
+ *
+ * Resolution follows the repo's build rules: a quoted include is
+ * looked up relative to the including file's directory first (the
+ * bench_util.h idiom), then the `src/` root (the library idiom:
+ * "core/types.h"), then the repository root. Angle includes are
+ * external by definition; computed includes resolve to nothing and
+ * are reported by the hygiene pass.
+ */
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "devtools/symbol_index.h"
+#include "devtools/tokenizer.h"
+
+namespace pinpoint {
+namespace devtools {
+
+/** One include edge after resolution. */
+struct ResolvedInclude {
+    IncludeDirective directive;
+    /// Repo-relative target path, empty when external/unresolved.
+    std::string target;
+};
+
+/** One scanned file. */
+struct SourceFile {
+    std::string path;   ///< Repo-relative, '/'-separated.
+    bool is_header = false;
+    bool audit_only = false;  ///< Suppression audit only (tests/).
+    ScanResult scan;
+    SymbolInfo symbols;
+    std::vector<ResolvedInclude> includes;
+};
+
+/** The scanned tree: files by path plus sorted include edges. */
+class IncludeGraph
+{
+  public:
+    /**
+     * Loads and scans @p roots' files. @p graph_dirs are the
+     * top-level directories whose files join the include graph and
+     * all passes; @p audit_dirs join only the suppression audit.
+     * Directories that do not exist are skipped. @p skip_prefixes
+     * names repo-relative path prefixes to ignore (fixture trees).
+     */
+    static IncludeGraph load(
+        const std::string &root,
+        const std::vector<std::string> &graph_dirs,
+        const std::vector<std::string> &audit_dirs,
+        const std::vector<std::string> &skip_prefixes);
+
+    const std::map<std::string, SourceFile> &files() const
+    {
+        return files_;
+    }
+    const SourceFile *find(const std::string &path) const;
+
+    /**
+     * Headers reachable from @p path through resolved includes
+     * (excluding @p path itself), memoized across queries.
+     */
+    const std::set<std::string> &
+    reachable_from(const std::string &path) const;
+
+    /** Sorted list of resolved edges (from, to). */
+    std::vector<std::pair<std::string, std::string>> edges() const;
+
+  private:
+    std::map<std::string, SourceFile> files_;
+    mutable std::map<std::string, std::set<std::string>> reach_;
+};
+
+/** Lexically normalizes "a/./b//c" and resolves "..". */
+std::string normalize_path(const std::string &path);
+
+/** Directory part of a repo-relative path ("" when none). */
+std::string dirname_of(const std::string &path);
+
+}  // namespace devtools
+}  // namespace pinpoint
+

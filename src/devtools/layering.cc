@@ -1,0 +1,145 @@
+#include "devtools/layering.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/check.h"
+#include "devtools/tokenizer.h"
+
+namespace pinpoint {
+namespace devtools {
+namespace {
+
+std::vector<std::string>
+split_words(const std::string &line)
+{
+    std::vector<std::string> words;
+    std::istringstream in(line);
+    std::string word;
+    while (in >> word)
+        words.push_back(word);
+    return words;
+}
+
+[[noreturn]] void
+parse_error(int line, const std::string &what)
+{
+    std::ostringstream os;
+    os << "layering.txt:" << line << ": " << what;
+    throw Error(os.str());
+}
+
+}  // namespace
+
+LayerTable
+LayerTable::parse(const std::string &text)
+{
+    LayerTable table;
+    int no = 0;
+    for (std::string line : split_lines(text)) {
+        ++no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::vector<std::string> words = split_words(line);
+        if (words.empty())
+            continue;
+        if (words[0] == "umbrella") {
+            if (words.size() != 2)
+                parse_error(no, "umbrella takes one header path");
+            table.umbrellas_.insert(words[1]);
+            continue;
+        }
+        if (words[0] != "layer")
+            parse_error(no, "expected 'layer <name>: <deps>' or "
+                            "'umbrella <path>', got '" +
+                                words[0] + "'");
+        if (words.size() < 2)
+            parse_error(no, "layer declaration needs a name");
+        std::string name = words[1];
+        if (!name.empty() && name.back() == ':')
+            name.pop_back();
+        else if (words.size() >= 3 && words[2] == ":")
+            words.erase(words.begin() + 2);
+        else
+            parse_error(no, "missing ':' after layer name");
+        if (name.empty())
+            parse_error(no, "layer declaration needs a name");
+        if (table.has_layer(name))
+            parse_error(no, "duplicate layer '" + name + "'");
+        Layer layer;
+        layer.name = name;
+        layer.line = no;
+        for (std::size_t k = 2; k < words.size(); ++k) {
+            const std::string &dep = words[k];
+            if (!table.has_layer(dep))
+                parse_error(
+                    no, "layer '" + name + "' depends on '" + dep +
+                            "', which is not declared above it — "
+                            "the table must list layers from "
+                            "lowest to highest");
+            layer.allowed.push_back(dep);
+        }
+        std::sort(layer.allowed.begin(), layer.allowed.end());
+        table.layers_.push_back(std::move(layer));
+    }
+    return table;
+}
+
+bool
+LayerTable::has_layer(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+const Layer *
+LayerTable::find(const std::string &name) const
+{
+    for (const Layer &layer : layers_)
+        if (layer.name == name)
+            return &layer;
+    return nullptr;
+}
+
+bool
+LayerTable::allows(const std::string &from,
+                   const std::string &to) const
+{
+    if (from == to)
+        return true;
+    const Layer *layer = find(from);
+    if (layer == nullptr)
+        return false;
+    return std::binary_search(layer->allowed.begin(),
+                              layer->allowed.end(), to);
+}
+
+bool
+LayerTable::is_upward(const std::string &from,
+                      const std::string &to) const
+{
+    std::size_t from_pos = layers_.size();
+    std::size_t to_pos = layers_.size();
+    for (std::size_t k = 0; k < layers_.size(); ++k) {
+        if (layers_[k].name == from)
+            from_pos = k;
+        if (layers_[k].name == to)
+            to_pos = k;
+    }
+    return from_pos < layers_.size() &&
+           to_pos < layers_.size() && to_pos > from_pos;
+}
+
+std::string
+LayerTable::layer_of(const std::string &path)
+{
+    if (path.compare(0, 4, "src/") != 0)
+        return "";
+    const auto slash = path.find('/', 4);
+    if (slash == std::string::npos)
+        return "";
+    return path.substr(4, slash - 4);
+}
+
+}  // namespace devtools
+}  // namespace pinpoint

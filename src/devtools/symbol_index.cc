@@ -1,0 +1,433 @@
+#include "devtools/symbol_index.h"
+
+#include <cstddef>
+
+#include "devtools/tokenizer.h"
+
+namespace pinpoint {
+namespace devtools {
+namespace {
+
+const std::set<std::string> &
+keywords()
+{
+    static const std::set<std::string> kw = {
+        "alignas",   "alignof",      "auto",      "bool",
+        "break",     "case",         "catch",     "char",
+        "class",     "const",        "constexpr", "const_cast",
+        "continue",  "decltype",     "default",   "delete",
+        "do",        "double",       "dynamic_cast",
+        "else",      "enum",         "explicit",  "export",
+        "extern",    "false",        "final",     "float",
+        "for",       "friend",       "goto",      "if",
+        "inline",    "int",          "long",      "mutable",
+        "namespace", "new",          "noexcept",  "nullptr",
+        "operator",  "override",     "private",   "protected",
+        "public",    "register",     "reinterpret_cast",
+        "return",    "short",        "signed",    "sizeof",
+        "static",    "static_assert",
+        "static_cast",
+        "struct",    "switch",       "template",  "this",
+        "throw",     "true",         "try",       "typedef",
+        "typeid",    "typename",     "union",     "unsigned",
+        "using",     "virtual",      "void",      "volatile",
+        "wchar_t",   "while",
+    };
+    return kw;
+}
+
+bool
+is_keyword(const std::string &word)
+{
+    return keywords().count(word) != 0;
+}
+
+/**
+ * Scope-tracking walker over the token stream. Symbols are only
+ * recorded while the innermost scope is a namespace (or the global
+ * scope); class bodies, function bodies, and initializer braces
+ * record nothing.
+ */
+class Walker
+{
+  public:
+    explicit Walker(const std::vector<Token> &tokens)
+        : tokens_(tokens)
+    {
+    }
+
+    SymbolInfo run();
+
+  private:
+    enum class Scope { kNamespace, kClass, kOther };
+
+    bool done() const { return i_ >= tokens_.size(); }
+    const Token &tok() const { return tokens_[i_]; }
+    bool at(const char *text) const
+    {
+        return !done() && tok().text == text;
+    }
+    bool at_namespace_scope() const
+    {
+        return stack_.empty() ||
+               stack_.back() == Scope::kNamespace;
+    }
+
+    void record(const std::string &name)
+    {
+        if (!name.empty() && !is_keyword(name))
+            info_.declared.insert(name);
+    }
+
+    /** Skips a balanced `<...>` template parameter list. */
+    void skip_angles();
+    /** Skips `[[...]]` attributes and `alignas(...)`. */
+    void skip_attributes();
+    void handle_namespace();
+    void handle_class_like();
+    void handle_enum();
+    void handle_using();
+    void handle_typedef();
+    /** One non-keyword statement token at namespace scope. */
+    void handle_statement_token();
+    void reset_statement()
+    {
+        last_ident_.clear();
+        paren_depth_ = 0;
+        in_initializer_ = false;
+    }
+
+    const std::vector<Token> &tokens_;
+    SymbolInfo info_;
+    std::size_t i_ = 0;
+    std::vector<Scope> stack_;
+    // Statement-level state, valid at namespace scope only.
+    std::string last_ident_;
+    int paren_depth_ = 0;
+    bool in_initializer_ = false;
+};
+
+void
+Walker::skip_angles()
+{
+    if (!at("<"))
+        return;
+    int depth = 0;
+    while (!done()) {
+        if (at("<")) {
+            ++depth;
+        } else if (at(">")) {
+            --depth;
+            if (depth == 0) {
+                ++i_;
+                return;
+            }
+        } else if (at("{") || at(";")) {
+            return;  // malformed; bail without consuming
+        }
+        ++i_;
+    }
+}
+
+void
+Walker::skip_attributes()
+{
+    for (;;) {
+        if (!done() && i_ + 1 < tokens_.size() && at("[") &&
+            tokens_[i_ + 1].text == "[") {
+            int depth = 0;
+            while (!done()) {
+                if (at("["))
+                    ++depth;
+                else if (at("]"))
+                    --depth;
+                ++i_;
+                if (depth == 0)
+                    break;
+            }
+            continue;
+        }
+        if (at("alignas")) {
+            ++i_;
+            if (at("(")) {
+                int depth = 0;
+                while (!done()) {
+                    if (at("("))
+                        ++depth;
+                    else if (at(")"))
+                        --depth;
+                    ++i_;
+                    if (depth == 0)
+                        break;
+                }
+            }
+            continue;
+        }
+        return;
+    }
+}
+
+void
+Walker::handle_namespace()
+{
+    ++i_;  // namespace
+    // Name tokens (possibly nested a::b, possibly anonymous).
+    while (!done() && !at("{") && !at(";") && !at("="))
+        ++i_;
+    if (at("=")) {
+        // Namespace alias: namespace x = a::b;
+        while (!done() && !at(";"))
+            ++i_;
+        return;
+    }
+    if (at("{")) {
+        stack_.push_back(Scope::kNamespace);
+        ++i_;
+        reset_statement();
+    }
+}
+
+void
+Walker::handle_class_like()
+{
+    ++i_;  // class / struct / union
+    skip_attributes();
+    const bool record_name = at_namespace_scope();
+    if (!done() && tok().kind == TokenKind::kIdentifier &&
+        !is_keyword(tok().text)) {
+        if (record_name)
+            record(tok().text);
+        ++i_;
+    }
+    // Template arguments of a specialization, e.g. hash<Foo>.
+    skip_angles();
+    // Base-clause / final; stop at the body or a forward decl.
+    while (!done() && !at("{") && !at(";"))
+        ++i_;
+    if (at("{")) {
+        stack_.push_back(Scope::kClass);
+        ++i_;
+    }
+}
+
+void
+Walker::handle_enum()
+{
+    ++i_;  // enum
+    bool scoped = false;
+    if (at("class") || at("struct")) {
+        scoped = true;
+        ++i_;
+    }
+    skip_attributes();
+    const bool ns = at_namespace_scope();
+    if (!done() && tok().kind == TokenKind::kIdentifier &&
+        !is_keyword(tok().text)) {
+        if (ns)
+            record(tok().text);
+        ++i_;
+    }
+    while (!done() && !at("{") && !at(";"))
+        ++i_;  // underlying-type clause
+    if (!at("{"))
+        return;  // forward declaration
+    ++i_;
+    // Enumerators of an unscoped namespace-scope enum are reachable
+    // bare, so they count as declared symbols; scoped enumerators
+    // are reached through the (recorded) enum name.
+    const bool record_enumerators = ns && !scoped;
+    bool expect_name = true;
+    while (!done() && !at("}")) {
+        if (expect_name && tok().kind == TokenKind::kIdentifier) {
+            if (record_enumerators)
+                record(tok().text);
+            expect_name = false;
+        } else if (at(",")) {
+            expect_name = true;
+        }
+        ++i_;
+    }
+    if (at("}"))
+        ++i_;
+}
+
+void
+Walker::handle_using()
+{
+    const int line = tok().line;
+    ++i_;  // using
+    if (at("namespace")) {
+        ++i_;
+        UsingNamespace un;
+        un.line = line;
+        while (!done() && !at(";")) {
+            un.name += tok().text;
+            ++i_;
+        }
+        info_.using_namespace.push_back(un);
+        return;
+    }
+    // `using Alias = ...;` declares Alias; `using a::b;`
+    // re-exports b.
+    std::string last;
+    while (!done() && !at(";")) {
+        if (at("=")) {
+            record(last);
+            while (!done() && !at(";"))
+                ++i_;
+            return;
+        }
+        if (tok().kind == TokenKind::kIdentifier)
+            last = tok().text;
+        ++i_;
+    }
+    record(last);
+}
+
+void
+Walker::handle_typedef()
+{
+    ++i_;  // typedef
+    std::string last;
+    while (!done() && !at(";")) {
+        if (tok().kind == TokenKind::kIdentifier)
+            last = tok().text;
+        ++i_;
+    }
+    record(last);
+}
+
+void
+Walker::handle_statement_token()
+{
+    const Token &t = tok();
+    if (t.kind == TokenKind::kIdentifier) {
+        last_ident_ = is_keyword(t.text) ? "" : t.text;
+        ++i_;
+        return;
+    }
+    if (t.text == "(") {
+        // identifier( at depth 0 outside an initializer is a
+        // function declarator (or a namespace-scope macro call —
+        // over-recording is documented as safe).
+        if (paren_depth_ == 0 && !in_initializer_)
+            record(last_ident_);
+        ++paren_depth_;
+        last_ident_.clear();
+        ++i_;
+        return;
+    }
+    if (t.text == ")") {
+        if (paren_depth_ > 0)
+            --paren_depth_;
+        last_ident_.clear();
+        ++i_;
+        return;
+    }
+    if (paren_depth_ == 0 && !in_initializer_ &&
+        (t.text == "=" || t.text == ";" || t.text == "," ||
+         t.text == "[")) {
+        // identifier followed by = ; , or [ in the declarator part
+        // of a namespace-scope statement is a variable/constant.
+        record(last_ident_);
+        if (t.text == "=")
+            in_initializer_ = true;
+    }
+    if (t.text == ";" && paren_depth_ == 0)
+        reset_statement();
+    if (t.kind != TokenKind::kIdentifier &&
+        t.text != ";")  // keep last_ident_ only across nothing
+        last_ident_.clear();
+    ++i_;
+}
+
+SymbolInfo
+Walker::run()
+{
+    while (!done()) {
+        const Token &t = tok();
+        // Brace tracking applies in every scope.
+        if (t.text == "}") {
+            if (!stack_.empty())
+                stack_.pop_back();
+            ++i_;
+            if (at_namespace_scope())
+                reset_statement();
+            continue;
+        }
+        if (!at_namespace_scope()) {
+            // Inside a class/function/initializer body: only keep
+            // the brace structure; nothing here is top-level.
+            if (t.text == "{")
+                stack_.push_back(Scope::kOther);
+            ++i_;
+            continue;
+        }
+        if (t.kind == TokenKind::kIdentifier) {
+            if (t.text == "namespace") {
+                handle_namespace();
+                continue;
+            }
+            if (t.text == "class" || t.text == "struct" ||
+                t.text == "union") {
+                handle_class_like();
+                continue;
+            }
+            if (t.text == "enum") {
+                handle_enum();
+                continue;
+            }
+            if (t.text == "using") {
+                handle_using();
+                continue;
+            }
+            if (t.text == "typedef") {
+                handle_typedef();
+                continue;
+            }
+            if (t.text == "template") {
+                ++i_;
+                skip_angles();
+                continue;
+            }
+        }
+        if (t.text == "{") {
+            // Function body or braced initializer at namespace
+            // scope: record nothing inside.
+            stack_.push_back(Scope::kOther);
+            reset_statement();
+            ++i_;
+            continue;
+        }
+        handle_statement_token();
+    }
+    return std::move(info_);
+}
+
+}  // namespace
+
+SymbolInfo
+index_symbols(const ScanResult &scan)
+{
+    const std::vector<Token> tokens = tokenize(scan.masked);
+    Walker walker(tokens);
+    SymbolInfo info = walker.run();
+    for (const DefineDirective &def : scan.defines)
+        info.declared.insert(def.name);
+    return info;
+}
+
+std::set<std::string>
+referenced_identifiers(const ScanResult &scan)
+{
+    std::set<std::string> refs;
+    for (const Token &t : tokenize(scan.masked)) {
+        if (t.kind == TokenKind::kIdentifier &&
+            !is_keyword(t.text))
+            refs.insert(t.text);
+    }
+    return refs;
+}
+
+}  // namespace devtools
+}  // namespace pinpoint

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Declared-symbol indexer: the set of top-level (namespace-scope)
+ * names a header contributes to translation units that include it.
+ *
+ * This is the "lite" in IWYU-lite: a scope-tracking walk over the
+ * token stream, not a C++ parse. It records class/struct/union/enum
+ * names, unscoped enumerators, namespace-scope function and
+ * variable/constant names, `using` aliases, `typedef` names, and
+ * macro names from `#define`. Class members and function-local
+ * declarations are deliberately excluded — they are reached through
+ * a recorded top-level name. The indexer over-records in ambiguous
+ * spots (an initializer call can look like a declarator); that bias
+ * is safe for the analyzer, which only ever uses the index to prove
+ * an include *is* used, never to prove a symbol exists.
+ */
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "devtools/tokenizer.h"
+
+namespace pinpoint {
+namespace devtools {
+
+/** A `using namespace` directive found at namespace scope. */
+struct UsingNamespace {
+    int line = 0;
+    std::string name;
+};
+
+/** Symbols a file declares plus hygiene facts about them. */
+struct SymbolInfo {
+    /// Top-level names the file contributes (sorted, unique).
+    std::set<std::string> declared;
+    /// `using namespace` at namespace scope (legal in .cc files,
+    /// a hygiene violation in headers).
+    std::vector<UsingNamespace> using_namespace;
+};
+
+/** Indexes the declared symbols of one scanned file. */
+SymbolInfo index_symbols(const ScanResult &scan);
+
+/**
+ * All identifiers referenced anywhere in the masked text —
+ * the "does this TU mention any symbol of that header" side of
+ * the IWYU-lite check. Include directives are masked out by the
+ * scanner, so paths never count as references.
+ */
+std::set<std::string> referenced_identifiers(
+    const ScanResult &scan);
+
+}  // namespace devtools
+}  // namespace pinpoint
+

@@ -1,6 +1,7 @@
 #include "nn/graph.h"
 
 #include "core/check.h"
+#include "nn/layer.h"
 
 namespace pinpoint {
 namespace nn {

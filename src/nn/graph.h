@@ -2,8 +2,7 @@
  * @file
  * DAG of layer nodes: the model representation of the zoo.
  */
-#ifndef PINPOINT_NN_GRAPH_H
-#define PINPOINT_NN_GRAPH_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -79,4 +78,3 @@ class Graph
 }  // namespace nn
 }  // namespace pinpoint
 
-#endif  // PINPOINT_NN_GRAPH_H

@@ -5,8 +5,7 @@
  * derive tensor shapes, parameter sets, FLOP counts, and the
  * forward/backward op sequence whose memory behavior we characterize.
  */
-#ifndef PINPOINT_NN_LAYER_H
-#define PINPOINT_NN_LAYER_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -128,4 +127,3 @@ using LayerAttrs =
 }  // namespace nn
 }  // namespace pinpoint
 
-#endif  // PINPOINT_NN_LAYER_H

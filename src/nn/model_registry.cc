@@ -2,6 +2,7 @@
 
 #include "core/check.h"
 #include "core/format.h"
+#include "nn/models.h"
 
 namespace pinpoint {
 namespace nn {

@@ -5,8 +5,7 @@
  * figure benches, and the zoo-coverage tests — so "every model"
  * means the same thing everywhere.
  */
-#ifndef PINPOINT_NN_MODEL_REGISTRY_H
-#define PINPOINT_NN_MODEL_REGISTRY_H
+#pragma once
 
 #include <functional>
 #include <string>
@@ -62,4 +61,3 @@ Model build_model(const std::string &name);
 }  // namespace nn
 }  // namespace pinpoint
 
-#endif  // PINPOINT_NN_MODEL_REGISTRY_H

@@ -2,8 +2,7 @@
  * @file
  * Model zoo: builders for every network the paper evaluates.
  */
-#ifndef PINPOINT_NN_MODELS_H
-#define PINPOINT_NN_MODELS_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -82,4 +81,3 @@ Model transformer_encoder(const TransformerConfig &cfg = {});
 }  // namespace nn
 }  // namespace pinpoint
 
-#endif  // PINPOINT_NN_MODELS_H

@@ -1,3 +1,6 @@
+#include "core/shape.h"
+#include "nn/graph.h"
+#include "nn/layer.h"
 #include "nn/models.h"
 
 namespace pinpoint {

@@ -1,6 +1,9 @@
 #include "nn/models.h"
 
 #include "core/check.h"
+#include "core/shape.h"
+#include "nn/graph.h"
+#include "nn/layer.h"
 
 namespace pinpoint {
 namespace nn {

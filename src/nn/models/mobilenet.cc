@@ -1,6 +1,7 @@
+#include "core/shape.h"
+#include "nn/graph.h"
+#include "nn/layer.h"
 #include "nn/models.h"
-
-#include "core/check.h"
 
 namespace pinpoint {
 namespace nn {

@@ -3,6 +3,9 @@
 #include <cstdint>
 
 #include "core/check.h"
+#include "core/shape.h"
+#include "nn/graph.h"
+#include "nn/layer.h"
 
 namespace pinpoint {
 namespace nn {

@@ -4,8 +4,7 @@
  * and FLOP counts per node. Everything the plan builder needs to turn
  * a graph into a training-iteration op sequence.
  */
-#ifndef PINPOINT_NN_SHAPE_INFER_H
-#define PINPOINT_NN_SHAPE_INFER_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -60,4 +59,3 @@ double total_fwd_flops(const std::vector<NodeInfo> &infos);
 }  // namespace nn
 }  // namespace pinpoint
 
-#endif  // PINPOINT_NN_SHAPE_INFER_H

@@ -1,8 +1,9 @@
+#include "analysis/producers.h"
+#include "analysis/timeline.h"
+#include "core/types.h"
 #include "relief/recompute_planner.h"
 
 #include <algorithm>
-
-#include "core/check.h"
 
 namespace pinpoint {
 namespace relief {

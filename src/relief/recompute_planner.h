@@ -14,8 +14,7 @@
  * trace — so the planner consumes exactly the same timeline data as
  * the swap planner and needs no extra instrumentation.
  */
-#ifndef PINPOINT_RELIEF_RECOMPUTE_PLANNER_H
-#define PINPOINT_RELIEF_RECOMPUTE_PLANNER_H
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -24,6 +23,7 @@
 #include "analysis/producers.h"
 #include "analysis/timeline.h"
 #include "analysis/trace_view.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace relief {
@@ -107,4 +107,3 @@ class RecomputePlanner
 }  // namespace relief
 }  // namespace pinpoint
 
-#endif  // PINPOINT_RELIEF_RECOMPUTE_PLANNER_H

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 
+#include "analysis/producers.h"
+#include "analysis/swap_model.h"
 #include "analysis/timeline.h"
 #include "core/check.h"
+#include "core/types.h"
+#include "relief/recompute_planner.h"
 #include "sim/link_scheduler.h"
+#include "swap/executor.h"
+#include "swap/planner.h"
 
 namespace pinpoint {
 namespace relief {

@@ -31,8 +31,7 @@
  * serialize, so the report's measured numbers include the link
  * contention a per-decision cost model cannot see.
  */
-#ifndef PINPOINT_RELIEF_STRATEGY_PLANNER_H
-#define PINPOINT_RELIEF_STRATEGY_PLANNER_H
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -43,7 +42,7 @@
 
 #include "analysis/swap_model.h"
 #include "analysis/trace_view.h"
-#include "relief/recompute_planner.h"
+#include "core/types.h"
 #include "sim/topology.h"
 #include "swap/executor.h"
 
@@ -238,4 +237,3 @@ class StrategyPlanner
 }  // namespace relief
 }  // namespace pinpoint
 
-#endif  // PINPOINT_RELIEF_STRATEGY_PLANNER_H

@@ -1,6 +1,10 @@
 #include "runtime/data_parallel.h"
 
 #include "core/check.h"
+#include "core/types.h"
+#include "nn/models.h"
+#include "runtime/session.h"
+#include "sim/topology.h"
 
 namespace pinpoint {
 namespace runtime {

@@ -12,12 +12,13 @@
  * exposed time stretches the effective iteration and whose queueing
  * slip is reported as stall.
  */
-#ifndef PINPOINT_RUNTIME_DATA_PARALLEL_H
-#define PINPOINT_RUNTIME_DATA_PARALLEL_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "core/types.h"
+#include "nn/models.h"
 #include "runtime/session.h"
 #include "sim/topology.h"
 
@@ -88,4 +89,3 @@ DataParallelResult run_data_parallel(const nn::Model &model,
 }  // namespace runtime
 }  // namespace pinpoint
 
-#endif  // PINPOINT_RUNTIME_DATA_PARALLEL_H

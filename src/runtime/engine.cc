@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "alloc/allocator.h"
 #include "core/check.h"
+#include "core/dtype.h"
+#include "core/shape.h"
+#include "core/tensor_meta.h"
+#include "core/types.h"
+#include "runtime/plan.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+#include "trace/event.h"
+#include "trace/recorder.h"
 
 namespace pinpoint {
 namespace runtime {

@@ -6,17 +6,19 @@
  * malloc/free/read/write it performs is recorded exactly the way the
  * paper's instrumented runtime records them.
  */
-#ifndef PINPOINT_RUNTIME_ENGINE_H
-#define PINPOINT_RUNTIME_ENGINE_H
+#pragma once
 
 #include <array>
 #include <cstdint>
 #include <unordered_map>
 
 #include "alloc/allocator.h"
+#include "core/tensor_meta.h"
+#include "core/types.h"
 #include "runtime/plan.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
+#include "trace/event.h"
 #include "trace/recorder.h"
 
 namespace pinpoint {
@@ -140,4 +142,3 @@ class Engine
 }  // namespace runtime
 }  // namespace pinpoint
 
-#endif  // PINPOINT_RUNTIME_ENGINE_H

@@ -1,6 +1,8 @@
 #include "runtime/plan.h"
 
 #include "core/check.h"
+#include "core/tensor_meta.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace runtime {

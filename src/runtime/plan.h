@@ -9,8 +9,7 @@
  * determined by this sequence plus the allocator, which is exactly
  * the state the paper instruments.
  */
-#ifndef PINPOINT_RUNTIME_PLAN_H
-#define PINPOINT_RUNTIME_PLAN_H
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -18,6 +17,7 @@
 #include <vector>
 
 #include "core/tensor_meta.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace runtime {
@@ -91,4 +91,3 @@ struct Plan {
 }  // namespace runtime
 }  // namespace pinpoint
 
-#endif  // PINPOINT_RUNTIME_PLAN_H

@@ -4,6 +4,15 @@
 #include <unordered_set>
 
 #include "core/check.h"
+#include "core/dtype.h"
+#include "core/shape.h"
+#include "core/tensor_meta.h"
+#include "core/types.h"
+#include "nn/graph.h"
+#include "nn/layer.h"
+#include "nn/models.h"
+#include "nn/shape_infer.h"
+#include "runtime/plan.h"
 
 namespace pinpoint {
 namespace runtime {

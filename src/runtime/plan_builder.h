@@ -4,13 +4,12 @@
  * autograd pass with gradient accumulation, and SGD optimizer steps,
  * followed by liveness analysis that places the frees.
  */
-#ifndef PINPOINT_RUNTIME_PLAN_BUILDER_H
-#define PINPOINT_RUNTIME_PLAN_BUILDER_H
+#pragma once
 
 #include <cstdint>
 
+#include "core/dtype.h"
 #include "nn/models.h"
-#include "nn/shape_infer.h"
 #include "runtime/plan.h"
 
 namespace pinpoint {
@@ -94,4 +93,3 @@ void validate_plan(const Plan &plan);
 }  // namespace runtime
 }  // namespace pinpoint
 
-#endif  // PINPOINT_RUNTIME_PLAN_BUILDER_H

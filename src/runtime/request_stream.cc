@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <memory>
 
+#include "alloc/allocator.h"
 #include "alloc/device_memory.h"
 #include "core/check.h"
 #include "core/format.h"
+#include "core/types.h"
+#include "nn/models.h"
+#include "runtime/engine.h"
+#include "runtime/plan_builder.h"
+#include "runtime/session.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 

@@ -8,8 +8,7 @@
  * seeded counter-based process (no rand(), no wall clock), so the
  * same workload spec always produces the same trace, byte for byte.
  */
-#ifndef PINPOINT_RUNTIME_REQUEST_STREAM_H
-#define PINPOINT_RUNTIME_REQUEST_STREAM_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -129,4 +128,3 @@ InferenceResult run_inference(const nn::Model &model,
 }  // namespace runtime
 }  // namespace pinpoint
 
-#endif  // PINPOINT_RUNTIME_REQUEST_STREAM_H

@@ -2,14 +2,25 @@
 
 #include <memory>
 
+#include "alloc/allocator.h"
 #include "alloc/buddy_allocator.h"
-#include "core/check.h"
-#include "core/format.h"
 #include "alloc/caching_allocator.h"
 #include "alloc/device_memory.h"
 #include "alloc/direct_allocator.h"
+#include "analysis/swap_model.h"
+#include "core/check.h"
+#include "core/format.h"
+#include "core/types.h"
+#include "nn/models.h"
+#include "relief/strategy_planner.h"
+#include "runtime/engine.h"
+#include "runtime/plan_builder.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
+#include "sim/device_spec.h"
+#include "sim/link_scheduler.h"
+#include "swap/executor.h"
+#include "swap/planner.h"
 
 namespace pinpoint {
 namespace runtime {

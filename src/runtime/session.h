@@ -3,8 +3,7 @@
  * One-call training-characterization API: build a plan, run the
  * simulated training, return the trace and summary statistics.
  */
-#ifndef PINPOINT_RUNTIME_SESSION_H
-#define PINPOINT_RUNTIME_SESSION_H
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -12,12 +11,17 @@
 #include <vector>
 
 #include "alloc/allocator.h"
+#include "analysis/swap_model.h"
 #include "analysis/trace_view.h"
 #include "core/once.h"
+#include "core/types.h"
 #include "nn/models.h"
 #include "relief/strategy_planner.h"
 #include "runtime/engine.h"
+#include "runtime/plan.h"
 #include "runtime/plan_builder.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
 #include "sim/device_spec.h"
 #include "swap/executor.h"
 #include "swap/planner.h"
@@ -243,4 +247,3 @@ plan_relief_all(const SessionResult &result,
 }  // namespace runtime
 }  // namespace pinpoint
 
-#endif  // PINPOINT_RUNTIME_SESSION_H

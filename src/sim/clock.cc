@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace sim {

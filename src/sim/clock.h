@@ -2,8 +2,7 @@
  * @file
  * Virtual device clock for the discrete-event training simulation.
  */
-#ifndef PINPOINT_SIM_CLOCK_H
-#define PINPOINT_SIM_CLOCK_H
+#pragma once
 
 #include "core/types.h"
 
@@ -44,4 +43,3 @@ class VirtualClock
 }  // namespace sim
 }  // namespace pinpoint
 
-#endif  // PINPOINT_SIM_CLOCK_H

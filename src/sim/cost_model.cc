@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace sim {

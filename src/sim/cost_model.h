@@ -2,8 +2,7 @@
  * @file
  * Roofline timing model for kernels, memcpys, and driver calls.
  */
-#ifndef PINPOINT_SIM_COST_MODEL_H
-#define PINPOINT_SIM_COST_MODEL_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -61,4 +60,3 @@ class CostModel
 }  // namespace sim
 }  // namespace pinpoint
 
-#endif  // PINPOINT_SIM_COST_MODEL_H

@@ -2,8 +2,7 @@
  * @file
  * Hardware description of the simulated accelerator and its host link.
  */
-#ifndef PINPOINT_SIM_DEVICE_SPEC_H
-#define PINPOINT_SIM_DEVICE_SPEC_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -68,4 +67,3 @@ std::string device_preset_name(const DeviceSpec &spec);
 }  // namespace sim
 }  // namespace pinpoint
 
-#endif  // PINPOINT_SIM_DEVICE_SPEC_H

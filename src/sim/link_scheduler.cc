@@ -4,6 +4,9 @@
 
 #include "analysis/swap_model.h"
 #include "core/check.h"
+#include "core/types.h"
+#include "sim/cost_model.h"
+#include "sim/pcie.h"
 
 namespace pinpoint {
 namespace sim {

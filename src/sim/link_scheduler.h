@@ -11,13 +11,13 @@
  * so a transfer queued behind earlier traffic starts late, and the
  * slip becomes measurable stall in the swap executor.
  */
-#ifndef PINPOINT_SIM_LINK_SCHEDULER_H
-#define PINPOINT_SIM_LINK_SCHEDULER_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "core/types.h"
+#include "sim/cost_model.h"
 #include "sim/pcie.h"
 
 namespace pinpoint {
@@ -132,4 +132,3 @@ class LinkScheduler
 }  // namespace sim
 }  // namespace pinpoint
 
-#endif  // PINPOINT_SIM_LINK_SCHEDULER_H

@@ -1,6 +1,7 @@
 #include "sim/pcie.h"
 
 #include "core/check.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace sim {

@@ -9,8 +9,7 @@
  * the per-copy setup latency shows up at small transfer sizes exactly
  * as it does on real hardware.
  */
-#ifndef PINPOINT_SIM_PCIE_H
-#define PINPOINT_SIM_PCIE_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -69,4 +68,3 @@ class BandwidthTest
 }  // namespace sim
 }  // namespace pinpoint
 
-#endif  // PINPOINT_SIM_PCIE_H

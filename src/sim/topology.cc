@@ -5,6 +5,10 @@
 #include "analysis/swap_model.h"
 #include "core/check.h"
 #include "core/format.h"
+#include "core/types.h"
+#include "sim/device_spec.h"
+#include "sim/link_scheduler.h"
+#include "sim/pcie.h"
 
 namespace pinpoint {
 namespace sim {

@@ -17,8 +17,7 @@
  * steps of one ceil(B/N)-byte chunk per edge; a step starts when
  * every leg of the previous step has completed.
  */
-#ifndef PINPOINT_SIM_TOPOLOGY_H
-#define PINPOINT_SIM_TOPOLOGY_H
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -202,4 +201,3 @@ class Topology
 }  // namespace sim
 }  // namespace pinpoint
 
-#endif  // PINPOINT_SIM_TOPOLOGY_H

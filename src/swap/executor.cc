@@ -4,9 +4,14 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "analysis/swap_model.h"
 #include "analysis/timeline.h"
 #include "analysis/trace_view.h"
 #include "core/check.h"
+#include "core/types.h"
+#include "sim/link_scheduler.h"
+#include "sim/pcie.h"
+#include "swap/planner.h"
 
 namespace pinpoint {
 namespace swap {

@@ -13,12 +13,13 @@
  * starts late — that slip is measured as stall, which the paper's
  * per-decision Eq. 1 bound cannot see.
  */
-#ifndef PINPOINT_SWAP_EXECUTOR_H
-#define PINPOINT_SWAP_EXECUTOR_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "analysis/swap_model.h"
+#include "core/types.h"
 #include "sim/link_scheduler.h"
 #include "swap/planner.h"
 
@@ -105,4 +106,3 @@ SwapExecutionResult execute_plan(const analysis::TraceView &view,
 }  // namespace swap
 }  // namespace pinpoint
 
-#endif  // PINPOINT_SWAP_EXECUTOR_H

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "analysis/swap_model.h"
+#include "analysis/timeline.h"
 #include "core/check.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace swap {

@@ -6,8 +6,7 @@
  * blocks, applies the Eq. 1 feasibility bound, and emits a swap
  * schedule with predicted savings and overhead.
  */
-#ifndef PINPOINT_SWAP_PLANNER_H
-#define PINPOINT_SWAP_PLANNER_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -15,6 +14,7 @@
 #include "analysis/swap_model.h"
 #include "analysis/timeline.h"
 #include "analysis/trace_view.h"
+#include "core/types.h"
 
 namespace pinpoint {
 namespace swap {
@@ -128,4 +128,3 @@ class SwapPlanner
 }  // namespace swap
 }  // namespace pinpoint
 
-#endif  // PINPOINT_SWAP_PLANNER_H

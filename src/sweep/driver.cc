@@ -5,6 +5,10 @@
 
 #include "alloc/device_memory.h"
 #include "api/study.h"
+#include "core/types.h"
+#include "relief/strategy_planner.h"
+#include "runtime/session.h"
+#include "sweep/scenario.h"
 #include "sweep/thread_pool.h"
 
 namespace pinpoint {

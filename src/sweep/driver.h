@@ -6,8 +6,7 @@
  * (grid-expansion) order, never the completion order, so `--jobs 8`
  * and `--jobs 1` produce byte-identical exports.
  */
-#ifndef PINPOINT_SWEEP_DRIVER_H
-#define PINPOINT_SWEEP_DRIVER_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -15,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/types.h"
 #include "sweep/scenario.h"
 
 namespace pinpoint {
@@ -186,4 +186,3 @@ SweepReport run_sweep(const SweepGrid &grid,
 }  // namespace sweep
 }  // namespace pinpoint
 
-#endif  // PINPOINT_SWEEP_DRIVER_H

@@ -6,7 +6,12 @@
 #include <sstream>
 
 #include "core/check.h"
+#include "core/dtype.h"
 #include "core/format.h"
+#include "runtime/request_stream.h"
+#include "runtime/session.h"
+#include "sweep/driver.h"
+#include "sweep/scenario.h"
 #include "trace/chrome_trace.h"
 
 namespace pinpoint {

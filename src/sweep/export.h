@@ -6,8 +6,7 @@
  * sweeps over the same grid produce byte-identical files regardless
  * of worker count or host.
  */
-#ifndef PINPOINT_SWEEP_EXPORT_H
-#define PINPOINT_SWEEP_EXPORT_H
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -47,4 +46,3 @@ void write_sweep_table(const SweepReport &report, std::ostream &os);
 }  // namespace sweep
 }  // namespace pinpoint
 
-#endif  // PINPOINT_SWEEP_EXPORT_H

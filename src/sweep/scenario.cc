@@ -1,8 +1,11 @@
 #include "sweep/scenario.h"
 
+#include "api/workload.h"
 #include "core/check.h"
+#include "core/dtype.h"
 #include "core/parse.h"
 #include "nn/model_registry.h"
+#include "runtime/session.h"
 #include "sim/device_spec.h"
 #include "sim/topology.h"
 

@@ -6,14 +6,15 @@
  * is the canonical result order — independent of how many workers
  * execute the grid.
  */
-#ifndef PINPOINT_SWEEP_SCENARIO_H
-#define PINPOINT_SWEEP_SCENARIO_H
+#pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "api/workload.h"
+#include "core/dtype.h"
+#include "runtime/request_stream.h"
 #include "runtime/session.h"
 
 namespace pinpoint {
@@ -116,4 +117,3 @@ std::vector<DType> parse_dtypes(const std::string &csv);
 }  // namespace sweep
 }  // namespace pinpoint
 
-#endif  // PINPOINT_SWEEP_SCENARIO_H

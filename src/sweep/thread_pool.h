@@ -7,8 +7,7 @@
  * pre-assigned slots), so the pool itself needs no ordering
  * guarantees beyond running every task exactly once.
  */
-#ifndef PINPOINT_SWEEP_THREAD_POOL_H
-#define PINPOINT_SWEEP_THREAD_POOL_H
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -72,4 +71,3 @@ class ThreadPool
 }  // namespace sweep
 }  // namespace pinpoint
 
-#endif  // PINPOINT_SWEEP_THREAD_POOL_H

@@ -6,6 +6,9 @@
 #include <ostream>
 
 #include "core/check.h"
+#include "core/types.h"
+#include "trace/event.h"
+#include "trace/recorder.h"
 
 namespace pinpoint {
 namespace trace {

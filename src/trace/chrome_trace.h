@@ -6,8 +6,7 @@
  * block (lifetime bar with access instants) plus per-category
  * occupancy counters.
  */
-#ifndef PINPOINT_TRACE_CHROME_TRACE_H
-#define PINPOINT_TRACE_CHROME_TRACE_H
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -48,4 +47,3 @@ void write_chrome_trace_file(const TraceRecorder &recorder,
 }  // namespace trace
 }  // namespace pinpoint
 
-#endif  // PINPOINT_TRACE_CHROME_TRACE_H

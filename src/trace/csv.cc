@@ -7,6 +7,9 @@
 
 #include "core/check.h"
 #include "core/parse.h"
+#include "core/types.h"
+#include "trace/event.h"
+#include "trace/recorder.h"
 
 namespace pinpoint {
 namespace trace {

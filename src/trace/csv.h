@@ -3,8 +3,7 @@
  * CSV serialization of memory-event traces, so traces can be captured
  * once and analyzed (or plotted) offline, as the paper's workflow does.
  */
-#ifndef PINPOINT_TRACE_CSV_H
-#define PINPOINT_TRACE_CSV_H
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -33,4 +32,3 @@ TraceRecorder read_csv_file(const std::string &path);
 }  // namespace trace
 }  // namespace pinpoint
 
-#endif  // PINPOINT_TRACE_CSV_H

@@ -2,8 +2,7 @@
  * @file
  * The memory behavior record: one malloc/free/read/write observation.
  */
-#ifndef PINPOINT_TRACE_EVENT_H
-#define PINPOINT_TRACE_EVENT_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -65,4 +64,3 @@ struct MemoryEvent {
 }  // namespace trace
 }  // namespace pinpoint
 
-#endif  // PINPOINT_TRACE_EVENT_H

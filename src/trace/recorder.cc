@@ -1,6 +1,7 @@
 #include "trace/recorder.h"
 
 #include "core/check.h"
+#include "trace/event.h"
 
 namespace pinpoint {
 namespace trace {

@@ -2,8 +2,7 @@
  * @file
  * Trace recorder: accumulates MemoryEvents during a training run.
  */
-#ifndef PINPOINT_TRACE_RECORDER_H
-#define PINPOINT_TRACE_RECORDER_H
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -72,4 +71,3 @@ class TraceRecorder
 }  // namespace trace
 }  // namespace pinpoint
 
-#endif  // PINPOINT_TRACE_RECORDER_H

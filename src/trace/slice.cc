@@ -4,6 +4,9 @@
 #include <unordered_set>
 
 #include "core/check.h"
+#include "core/types.h"
+#include "trace/event.h"
+#include "trace/recorder.h"
 
 namespace pinpoint {
 namespace trace {

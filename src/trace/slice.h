@@ -5,8 +5,7 @@
  * run on e.g. "the first five iterations" exactly as the paper's
  * Fig. 2 does.
  */
-#ifndef PINPOINT_TRACE_SLICE_H
-#define PINPOINT_TRACE_SLICE_H
+#pragma once
 
 #include <cstdint>
 
@@ -40,4 +39,3 @@ TraceRecorder slice_iterations(const TraceRecorder &recorder,
 }  // namespace trace
 }  // namespace pinpoint
 
-#endif  // PINPOINT_TRACE_SLICE_H

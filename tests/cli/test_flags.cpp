@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "cli/flags.h"
+#include "core/check.h"
 
 namespace pinpoint {
 namespace cli {

@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "cli/commands.h"
+#include "core/check.h"
 
 namespace pinpoint {
 namespace cli {

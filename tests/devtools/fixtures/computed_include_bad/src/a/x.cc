@@ -1,0 +1,6 @@
+#define FIXTURE_HEADER "a/y.h"
+#include FIXTURE_HEADER
+
+namespace a {
+int value;
+}  // namespace a

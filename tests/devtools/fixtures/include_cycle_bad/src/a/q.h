@@ -1,0 +1,9 @@
+#pragma once
+
+#include "a/p.h"
+
+namespace a {
+struct Q {
+    P *p = nullptr;
+};
+}  // namespace a

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "a/q.h"
+
+namespace a {
+struct P {
+    Q *q = nullptr;
+};
+}  // namespace a

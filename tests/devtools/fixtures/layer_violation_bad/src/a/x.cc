@@ -1,0 +1,5 @@
+#include "b/y.h"
+
+namespace a {
+b::Y make_y();
+}  // namespace a

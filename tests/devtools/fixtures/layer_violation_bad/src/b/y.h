@@ -1,0 +1,6 @@
+#pragma once
+
+namespace b {
+struct Y {
+};
+}  // namespace b

@@ -1,0 +1,5 @@
+#include "a/y.h"
+
+namespace b {
+a::Y make_y();
+}  // namespace b

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "a/deep.h"
+
+namespace a {
+struct Mid {
+    Deep deep;
+};
+}  // namespace a

@@ -1,0 +1,6 @@
+#include "a/mid.h"
+
+namespace a {
+Mid make_mid();
+Deep make_deep();
+}  // namespace a

@@ -1,0 +1,6 @@
+#pragma once
+
+namespace a {
+struct Deep {
+};
+}  // namespace a

@@ -1,0 +1,7 @@
+#include "a/deep.h"
+#include "a/mid.h"
+
+namespace a {
+Mid make_mid();
+Deep make_deep();
+}  // namespace a

@@ -1,0 +1,9 @@
+#ifndef FIXTURE_A_Y_H
+#define FIXTURE_A_Y_H
+
+namespace a {
+struct Y {
+};
+}  // namespace a
+
+#endif  // FIXTURE_A_Y_H

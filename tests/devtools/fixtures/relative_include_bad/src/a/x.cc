@@ -1,0 +1,5 @@
+#include "../a/y.h"
+
+namespace a {
+Y make_y();
+}  // namespace a

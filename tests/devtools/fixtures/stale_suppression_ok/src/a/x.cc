@@ -1,0 +1,4 @@
+namespace a {
+int values[4];
+int third_value = values[2];  // lint: allow(positional-strategy-index)
+}  // namespace a

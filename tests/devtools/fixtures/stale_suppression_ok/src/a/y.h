@@ -1,0 +1,5 @@
+// analyze: allow(pragma-once)
+namespace a {
+struct Y {
+};
+}  // namespace a

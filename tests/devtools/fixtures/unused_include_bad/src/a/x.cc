@@ -1,0 +1,5 @@
+#include "a/y.h"
+
+namespace a {
+int value;
+}  // namespace a

@@ -1,0 +1,3 @@
+#pragma once
+
+#include "a/y.h"

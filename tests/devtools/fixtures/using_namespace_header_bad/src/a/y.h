@@ -1,0 +1,7 @@
+#pragma once
+
+namespace a {
+using namespace std;
+struct Y {
+};
+}  // namespace a

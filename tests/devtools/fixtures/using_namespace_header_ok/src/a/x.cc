@@ -1,0 +1,5 @@
+using namespace std;
+
+namespace a {
+int value;
+}  // namespace a

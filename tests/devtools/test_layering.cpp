@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Layer-table parser coverage: the DAG-by-construction property,
+ * error reporting with line numbers, and path-to-layer mapping.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/check.h"
+#include "devtools/layering.h"
+
+namespace pinpoint {
+namespace devtools {
+namespace {
+
+TEST(LayerTable, ParsesLayersInOrder)
+{
+    const LayerTable t = LayerTable::parse(
+        "# comment\n"
+        "layer core:\n"
+        "layer trace: core\n"
+        "layer runtime: core trace\n"
+        "umbrella src/nn/all.h\n");
+    ASSERT_EQ(t.layers().size(), 3u);
+    EXPECT_EQ(t.layers()[0].name, "core");
+    EXPECT_EQ(t.layers()[2].name, "runtime");
+    EXPECT_EQ(t.layers()[2].line, 4);
+    EXPECT_TRUE(t.allows("trace", "core"));
+    EXPECT_TRUE(t.allows("runtime", "trace"));
+    EXPECT_FALSE(t.allows("core", "trace"));
+    EXPECT_TRUE(t.allows("core", "core"));
+    EXPECT_TRUE(t.is_upward("core", "runtime"));
+    EXPECT_FALSE(t.is_upward("runtime", "core"));
+    EXPECT_EQ(t.umbrellas().count("src/nn/all.h"), 1u);
+}
+
+TEST(LayerTable, ForwardDependencyIsAParseError)
+{
+    // The dep names a layer declared later — a cycle cannot even
+    // be written down.
+    try {
+        LayerTable::parse("layer a: b\nlayer b: a\n");
+        FAIL() << "expected Error";
+    } catch (const Error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("layering.txt:1"), std::string::npos);
+        EXPECT_NE(what.find("not declared above"),
+                  std::string::npos);
+    }
+}
+
+TEST(LayerTable, DuplicateLayerIsAParseError)
+{
+    EXPECT_THROW(LayerTable::parse("layer a:\nlayer a:\n"),
+                 Error);
+}
+
+TEST(LayerTable, MissingColonIsAParseError)
+{
+    EXPECT_THROW(LayerTable::parse("layer a\n"), Error);
+}
+
+TEST(LayerTable, LayerOfMapsPaths)
+{
+    EXPECT_EQ(LayerTable::layer_of("src/core/types.h"), "core");
+    EXPECT_EQ(LayerTable::layer_of("src/nn/models/vgg.cc"), "nn");
+    EXPECT_EQ(LayerTable::layer_of("tools/pinpoint_cli.cc"), "");
+    EXPECT_EQ(LayerTable::layer_of("bench/bench_util.h"), "");
+    EXPECT_EQ(LayerTable::layer_of("src/loose_file.cc"), "");
+}
+
+}  // namespace
+}  // namespace devtools
+}  // namespace pinpoint

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Symbol-index coverage: which names a header is credited with
+ * declaring, and which `using namespace` directives sit at
+ * namespace scope.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "devtools/symbol_index.h"
+#include "devtools/tokenizer.h"
+
+namespace pinpoint {
+namespace devtools {
+namespace {
+
+SymbolInfo
+index_of(const char *text)
+{
+    return index_symbols(scan_source(text));
+}
+
+TEST(SymbolIndex, RecordsTopLevelDeclarations)
+{
+    const SymbolInfo info = index_of(
+        "namespace pp {\n"
+        "struct Block {\n"
+        "    int inner_field = 0;\n"
+        "};\n"
+        "class Timeline;\n"
+        "enum class Mode { kFast, kSlow };\n"
+        "enum Flags { kRead, kWrite };\n"
+        "using Alias = Block;\n"
+        "typedef int BlockId;\n"
+        "void build_timeline(int n);\n"
+        "int peak_bytes;\n"
+        "}  // namespace pp\n");
+    const std::set<std::string> &d = info.declared;
+    EXPECT_TRUE(d.count("Block"));
+    EXPECT_TRUE(d.count("Timeline"));
+    EXPECT_TRUE(d.count("Mode"));
+    EXPECT_TRUE(d.count("Flags"));
+    // Unscoped enumerators are reachable bare; scoped are not.
+    EXPECT_TRUE(d.count("kRead"));
+    EXPECT_FALSE(d.count("kFast"));
+    EXPECT_TRUE(d.count("Alias"));
+    EXPECT_TRUE(d.count("BlockId"));
+    EXPECT_TRUE(d.count("build_timeline"));
+    EXPECT_TRUE(d.count("peak_bytes"));
+    // Class members are reached through the class name only.
+    EXPECT_FALSE(d.count("inner_field"));
+}
+
+TEST(SymbolIndex, IgnoresFunctionBodies)
+{
+    const SymbolInfo info = index_of(
+        "void outer()\n"
+        "{\n"
+        "    int local = 1;\n"
+        "    struct Nested {\n"
+        "    };\n"
+        "}\n");
+    EXPECT_TRUE(info.declared.count("outer"));
+    EXPECT_FALSE(info.declared.count("local"));
+    EXPECT_FALSE(info.declared.count("Nested"));
+}
+
+TEST(SymbolIndex, DefineNamesAreDeclared)
+{
+    const SymbolInfo info =
+        index_of("#define PP_CHECK(c) ((void)0)\n");
+    EXPECT_TRUE(info.declared.count("PP_CHECK"));
+}
+
+TEST(SymbolIndex, UsingNamespaceOnlyAtNamespaceScope)
+{
+    const SymbolInfo top = index_of("using namespace std;\n");
+    ASSERT_EQ(top.using_namespace.size(), 1u);
+    EXPECT_EQ(top.using_namespace[0].name, "std");
+    EXPECT_EQ(top.using_namespace[0].line, 1);
+
+    const SymbolInfo inside = index_of(
+        "inline void f()\n"
+        "{\n"
+        "    using namespace std;\n"
+        "}\n");
+    EXPECT_TRUE(inside.using_namespace.empty());
+}
+
+TEST(SymbolIndex, TemplatesAndSpecializations)
+{
+    const SymbolInfo info = index_of(
+        "template <typename T>\n"
+        "struct Slot {\n"
+        "};\n"
+        "template <>\n"
+        "struct Slot<int> {\n"
+        "};\n"
+        "template <typename T>\n"
+        "T clamp_value(T v);\n");
+    EXPECT_TRUE(info.declared.count("Slot"));
+    EXPECT_TRUE(info.declared.count("clamp_value"));
+    EXPECT_FALSE(info.declared.count("T"));
+}
+
+TEST(SymbolIndex, ReferencedIdentifiersSkipKeywords)
+{
+    const std::set<std::string> refs = referenced_identifiers(
+        scan_source("for (int i = 0; i < n; ++i) total += i;\n"));
+    EXPECT_TRUE(refs.count("n"));
+    EXPECT_TRUE(refs.count("total"));
+    EXPECT_FALSE(refs.count("for"));
+    EXPECT_FALSE(refs.count("int"));
+}
+
+TEST(SymbolIndex, InitializersDoNotDeclareTheirContents)
+{
+    const SymbolInfo info =
+        index_of("int answer = other_value + helper(3);\n");
+    EXPECT_TRUE(info.declared.count("answer"));
+    EXPECT_FALSE(info.declared.count("other_value"));
+    EXPECT_FALSE(info.declared.count("helper"));
+}
+
+}  // namespace
+}  // namespace devtools
+}  // namespace pinpoint

@@ -1,0 +1,18 @@
+// lint-fixture-path: src/sim/quiet_model.cc
+// Fixture: MUST trigger [stale-suppression]. Both allow comments
+// shield nothing: the first sits on a line its rule no longer
+// matches (the positional index was fixed but the comment stayed),
+// the second names a rule that does not exist.
+namespace pinpoint {
+namespace sim {
+
+int
+pick_strategy_cost(int base)
+{
+    int cost = base;  // lint: allow(positional-strategy-index)
+    // lint: allow(no-such-rule)
+    return cost;
+}
+
+}  // namespace sim
+}  // namespace pinpoint

@@ -1,0 +1,15 @@
+// lint-fixture-path: src/sim/noisy_model.cc
+// Fixture: must lint clean. The allow comment is live — the line
+// it covers really does violate nondeterminism-source, so the
+// suppression is doing its documented job and is not stale.
+namespace pinpoint {
+namespace sim {
+
+unsigned
+jitter_seed()
+{
+    return rand();  // lint: allow(nondeterminism-source)
+}
+
+}  // namespace sim
+}  // namespace pinpoint

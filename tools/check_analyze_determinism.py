@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Byte-identity check for pinpoint_analyze --json.
+
+Runs the analyzer twice on the same root and fails unless the two
+JSON reports are byte-identical and the exit codes match. The JSON
+report is part of the tool's contract (sorted violations, sorted
+edges, no timestamps), so any nondeterminism — hash-order leaks,
+filesystem enumeration order, pointer-keyed maps — shows up here.
+
+Exit codes: 0 deterministic, 1 mismatch, 2 usage error.
+"""
+
+import argparse
+import subprocess
+import sys
+
+
+def run_once(binary, root):
+    proc = subprocess.run(
+        [binary, "--json", "--root", root],
+        capture_output=True,
+    )
+    if proc.returncode not in (0, 1):
+        print(
+            f"error: {binary} exited {proc.returncode}: "
+            f"{proc.stderr.decode(errors='replace').strip()}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return proc.returncode, proc.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="pinpoint_analyze --json byte-identity check"
+    )
+    parser.add_argument("--binary", required=True)
+    parser.add_argument("--root", required=True)
+    args = parser.parse_args()
+
+    code_a, out_a = run_once(args.binary, args.root)
+    code_b, out_b = run_once(args.binary, args.root)
+    if code_a != code_b:
+        print(
+            f"exit codes differ between runs: {code_a} vs {code_b}"
+        )
+        return 1
+    if out_a != out_b:
+        print(
+            f"JSON reports differ between runs "
+            f"({len(out_a)} vs {len(out_b)} bytes)"
+        )
+        return 1
+    print(
+        f"pinpoint_analyze --json deterministic: "
+        f"{len(out_a)} bytes, exit {code_a}, two runs identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

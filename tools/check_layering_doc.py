@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Drift check between tools/layering.txt and the generated
+"Layering" block in docs/ARCHITECTURE.md.
+
+tools/layering.txt is the single source of truth for the layer DAG:
+pinpoint_analyze enforces it on every include edge, and this script
+is the only renderer of the documentation block (between the
+``<!-- layering:begin -->`` / ``<!-- layering:end -->`` markers).
+One renderer means the doc cannot drift from the table without this
+check failing.
+
+Usage:
+    check_layering_doc.py [--root DIR]          # verify (CI mode)
+    check_layering_doc.py [--root DIR] --write  # regenerate block
+
+Exit codes: 0 in sync (or written), 1 drift, 2 usage/config error.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+BEGIN = "<!-- layering:begin -->"
+END = "<!-- layering:end -->"
+
+
+def parse_layering(text):
+    """Parses layering.txt into (layers, umbrellas); layers is a
+    list of (name, [allowed-deps]) in declaration order. Mirrors
+    src/devtools/layering.cc, including the declared-above rule."""
+    layers = []
+    names = set()
+    umbrellas = []
+    for no, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        words = line.split()
+        if words[0] == "umbrella":
+            if len(words) != 2:
+                raise ValueError(
+                    f"layering.txt:{no}: umbrella takes one path"
+                )
+            umbrellas.append(words[1])
+            continue
+        if words[0] != "layer" or len(words) < 2:
+            raise ValueError(
+                f"layering.txt:{no}: expected 'layer <name>: ...'"
+            )
+        name = words[1]
+        deps = words[2:]
+        if name.endswith(":"):
+            name = name[:-1]
+        elif deps and deps[0] == ":":
+            deps = deps[1:]
+        else:
+            raise ValueError(
+                f"layering.txt:{no}: missing ':' after layer name"
+            )
+        if not name or name in names:
+            raise ValueError(
+                f"layering.txt:{no}: bad or duplicate layer "
+                f"'{name}'"
+            )
+        for dep in deps:
+            if dep not in names:
+                raise ValueError(
+                    f"layering.txt:{no}: dep '{dep}' not declared "
+                    f"above '{name}'"
+                )
+        names.add(name)
+        layers.append((name, deps))
+    return layers, umbrellas
+
+
+def render_block(layers, umbrellas):
+    lines = [
+        BEGIN,
+        "<!-- Generated from tools/layering.txt by",
+        "     tools/check_layering_doc.py --write. Do not edit",
+        "     by hand; the layering_doc_drift test diffs this",
+        "     block against the table. -->",
+        "",
+        "| Layer | May include |",
+        "| --- | --- |",
+    ]
+    for name, deps in layers:
+        allowed = ", ".join(f"`{d}`" for d in deps) or "(nothing)"
+        lines.append(f"| `{name}` | {allowed} |")
+    if umbrellas:
+        lines.append("")
+        lines.append(
+            "Umbrella (forwarding) headers, exempt from the "
+            "unused-include check as includers:"
+        )
+        lines.append("")
+        for u in umbrellas:
+            lines.append(f"- `{u}`")
+    lines.append(END)
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="layering.txt <-> ARCHITECTURE.md drift check"
+    )
+    parser.add_argument(
+        "--root",
+        default=Path(__file__).resolve().parent.parent,
+        type=Path,
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the block instead of checking it",
+    )
+    args = parser.parse_args()
+
+    layering_path = args.root / "tools" / "layering.txt"
+    doc_path = args.root / "docs" / "ARCHITECTURE.md"
+    try:
+        layers, umbrellas = parse_layering(
+            layering_path.read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    try:
+        doc = doc_path.read_text(encoding="utf-8")
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    begin = doc.find(BEGIN)
+    end = doc.find(END)
+    if begin < 0 or end < 0 or end < begin:
+        print(
+            f"error: {doc_path} has no {BEGIN} .. {END} block",
+            file=sys.stderr,
+        )
+        return 2
+    current = doc[begin : end + len(END)]
+    expected = render_block(layers, umbrellas)
+
+    if args.write:
+        if current != expected:
+            doc_path.write_text(
+                doc[:begin] + expected + doc[end + len(END) :],
+                encoding="utf-8",
+            )
+            print(f"updated {doc_path}")
+        else:
+            print(f"{doc_path} already in sync")
+        return 0
+
+    if current != expected:
+        import difflib
+
+        sys.stdout.writelines(
+            difflib.unified_diff(
+                current.splitlines(keepends=True),
+                expected.splitlines(keepends=True),
+                fromfile="docs/ARCHITECTURE.md (committed)",
+                tofile="tools/layering.txt (rendered)",
+            )
+        )
+        print(
+            "layering doc drift: run "
+            "`python3 tools/check_layering_doc.py --write`"
+        )
+        return 1
+    print("layering doc in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cli/command.h"
 #include "cli/commands.h"
 
 int

@@ -31,6 +31,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 # only read by --self-test.
 SCAN_DIRS = ["src", "tools", "bench", "examples", "tests"]
 FIXTURE_DIR = Path("tests") / "lint"
+# pinpoint_analyze's fixture mini-trees are deliberate violations
+# too (stale suppressions included); never repo-scanned.
+ANALYZE_FIXTURE_DIR = Path("tests") / "devtools" / "fixtures"
 SOURCE_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
 
 SUPPRESS_RE = re.compile(r"//\s*lint:\s*allow\(([\w,\s-]+)\)")
@@ -396,6 +399,62 @@ class InferencePlanPurityRule(Rule):
         return hits
 
 
+class StaleSuppressionRule(Rule):
+    rule_id = "stale-suppression"
+    rationale = (
+        "every // lint: allow(<rule>) must still shield a live "
+        "violation; once the code is fixed the comment reads as an "
+        "active exemption that silently disables the rule for "
+        "whatever lands on that line next"
+    )
+
+    def applies_to(self, rel):
+        return True
+
+    def check(self, rel, raw_lines, masked_lines):
+        hits = []
+        for no, line in enumerate(raw_lines, 1):
+            m = SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            covered = {no}
+            if SUPPRESS_RE.sub("", line).strip() in ("", "//"):
+                covered.add(no + 1)
+            for rule_id in {
+                tok.strip() for tok in m.group(1).split(",")
+            }:
+                if rule_id == self.rule_id:
+                    # Self-referential; only a meta-linter could
+                    # judge it, so it is never reported stale.
+                    continue
+                rule = RULES_BY_ID.get(rule_id)
+                if rule is None:
+                    hits.append(
+                        (
+                            no,
+                            f"suppression names unknown rule "
+                            f"'{rule_id}'",
+                        )
+                    )
+                    continue
+                live = rule.applies_to(rel) and any(
+                    hit_no in covered
+                    for hit_no, _ in rule.check(
+                        rel, raw_lines, masked_lines
+                    )
+                )
+                if not live:
+                    hits.append(
+                        (
+                            no,
+                            f"rule '{rule_id}' no longer matches "
+                            f"the suppressed line; remove the "
+                            f"allow comment",
+                        )
+                    )
+        return hits
+
+
 RULES = [
     TimelineConstructionRule(),
     RawNumberParseRule(),
@@ -404,6 +463,7 @@ RULES = [
     PositionalStrategyIndexRule(),
     DeprecatedRecorderApiRule(),
     InferencePlanPurityRule(),
+    StaleSuppressionRule(),
 ]
 RULES_BY_ID = {r.rule_id: r for r in RULES}
 
@@ -459,6 +519,8 @@ def iter_source_files(root):
                 "tests",
                 "lint",
             ):
+                continue
+            if ANALYZE_FIXTURE_DIR in rel.parents:
                 continue
             yield path, rel
 
