@@ -1,25 +1,40 @@
 /**
  * @file
  * Sweep scalability bench: wall-clock of the full model-zoo grid
- * executed serially vs. on the worker pool, with a byte-identity
- * check of the exported results. The interesting numbers are the
- * speedup (ideally ~min(jobs, cores) on a multi-core host; the
- * per-scenario simulations are embarrassingly parallel) and the
- * determinism verdict (must always be "yes").
+ * executed serially vs. on the worker pool, then cold vs. warm
+ * through the on-disk result cache, with byte-identity checks of
+ * every exported report. The interesting numbers are the pool
+ * speedup (ideally ~min(jobs, cores)), the warm/cold cache ratio
+ * (CI asserts cold >= 5x warm from the bench_stats trailer), and
+ * the determinism verdicts (must always be "yes").
  */
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "core/check.h"
 #include "core/parse.h"
+#include "sweep/cache.h"
 #include "sweep/driver.h"
 #include "sweep/export.h"
 #include "sweep/scenario.h"
 #include "sweep/thread_pool.h"
 
 using namespace pinpoint;
+
+namespace {
+
+/** @return @p seconds as whole milliseconds, at least 1. */
+unsigned long long
+to_ms(double seconds)
+{
+    const double ms = seconds * 1000.0;
+    return ms < 1.0 ? 1ull : static_cast<unsigned long long>(ms);
+}
+
+}  // namespace
 
 int
 main(int argc, char **argv)
@@ -33,7 +48,7 @@ main(int argc, char **argv)
         jobs = 1;
 
     bench::banner("sweep_parallel",
-                  "sweep-driver scalability (serial vs. thread pool)",
+                  "sweep-driver scalability (pool + result cache)",
                   "full default zoo x {16,32,64} x 3 allocators");
 
     const auto scenarios = sweep::expand_grid(sweep::SweepGrid{});
@@ -48,25 +63,65 @@ main(int argc, char **argv)
                 report1.wall_seconds, report1.succeeded, report1.oom,
                 report1.failed);
 
-    bench::section("parallel");
-    sweep::SweepOptions parallel;
-    parallel.jobs = jobs;
-    const auto reportN = sweep::run_sweep(scenarios, parallel);
-    std::printf("wall: %.3f s  (%zu ok, %zu oom, %zu failed)\n",
-                reportN.wall_seconds, reportN.succeeded, reportN.oom,
-                reportN.failed);
+    // The parallel run doubles as the cold-cache run: a fresh
+    // cache directory, so every scenario simulates and stores.
+    const std::string cache_dir = "sweep_parallel_cache.tmp";
+    std::filesystem::remove_all(cache_dir);
+    const sweep::ResultCache cache(cache_dir);
+
+    bench::section("parallel, cold cache");
+    sweep::SweepOptions cold;
+    cold.jobs = jobs;
+    cold.cache = &cache;
+    const auto report_cold = sweep::run_sweep(scenarios, cold);
+    std::printf("wall: %.3f s  (%zu cache hits, %zu misses)\n",
+                report_cold.wall_seconds, report_cold.cache_hits,
+                report_cold.cache_misses);
+
+    bench::section("parallel, warm cache");
+    const auto report_warm = sweep::run_sweep(scenarios, cold);
+    std::printf("wall: %.3f s  (%zu cache hits, %zu misses)\n",
+                report_warm.wall_seconds, report_warm.cache_hits,
+                report_warm.cache_misses);
+    std::filesystem::remove_all(cache_dir);
 
     bench::section("verdict");
-    const bool identical = sweep::sweep_csv_string(report1) ==
-                               sweep::sweep_csv_string(reportN) &&
-                           sweep::sweep_json_string(report1) ==
-                               sweep::sweep_json_string(reportN);
+    const std::string csv1 = sweep::sweep_csv_string(report1);
+    const bool identical =
+        csv1 == sweep::sweep_csv_string(report_cold) &&
+        csv1 == sweep::sweep_csv_string(report_warm) &&
+        sweep::sweep_json_string(report1) ==
+            sweep::sweep_json_string(report_cold) &&
+        sweep::sweep_json_string(report1) ==
+            sweep::sweep_json_string(report_warm);
+    const bool all_hits =
+        report_warm.cache_hits == scenarios.size() &&
+        report_cold.cache_hits == 0;
     const double speedup =
-        reportN.wall_seconds > 0.0
-            ? report1.wall_seconds / reportN.wall_seconds
+        report_cold.wall_seconds > 0.0
+            ? report1.wall_seconds / report_cold.wall_seconds
             : 0.0;
-    std::printf("speedup:       %.2fx on %d workers\n", speedup, jobs);
-    std::printf("deterministic: %s (CSV+JSON byte-identical)\n",
+    const double cache_ratio =
+        report_warm.wall_seconds > 0.0
+            ? report_cold.wall_seconds / report_warm.wall_seconds
+            : 0.0;
+    std::printf("pool speedup:  %.2fx on %d workers\n", speedup,
+                jobs);
+    std::printf("warm cache:    %.1fx faster than cold\n",
+                cache_ratio);
+    std::printf("hit rate:      %zu/%zu warm, %zu/%zu cold\n",
+                report_warm.cache_hits, scenarios.size(),
+                report_cold.cache_hits, scenarios.size());
+    std::printf("deterministic: %s (serial/cold/warm CSV+JSON "
+                "byte-identical)\n",
                 identical ? "yes" : "NO — BUG");
-    return identical ? 0 : 1;
+
+    // Scraped by tools/run_benches.py into the perf-trajectory
+    // JSON; CI asserts cold_ms >= 5 * warm_ms from these keys.
+    std::printf("\nbench_stats: scenarios=%zu cold_ms=%llu "
+                "warm_ms=%llu warm_cache_hits=%zu\n",
+                scenarios.size(), to_ms(report_cold.wall_seconds),
+                to_ms(report_warm.wall_seconds),
+                report_warm.cache_hits);
+    return identical && all_hits ? 0 : 1;
 }

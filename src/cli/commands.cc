@@ -1,7 +1,10 @@
 #include "cli/commands.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstddef>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -15,6 +18,7 @@
 #include "cli/flags.h"
 #include "core/check.h"
 #include "core/format.h"
+#include "core/parse.h"
 #include "core/types.h"
 #include "nn/model_registry.h"
 #include "relief/strategy_planner.h"
@@ -27,9 +31,11 @@
 #include "sim/topology.h"
 #include "swap/executor.h"
 #include "swap/planner.h"
+#include "sweep/cache.h"
 #include "sweep/driver.h"
 #include "sweep/export.h"
 #include "sweep/scenario.h"
+#include "sweep/shard.h"
 #include "trace/chrome_trace.h"
 #include "trace/csv.h"
 
@@ -610,6 +616,40 @@ cmd_models(const ParsedArgs &, CommandIo &io)
 // sweep
 // ----------------------------------------------------------------
 
+/** Parses a "--shard i/N" value. @throws UsageError otherwise. */
+void
+parse_shard(const std::string &text, int &shard, int &of)
+{
+    const auto slash = text.find('/');
+    int i = 0;
+    int n = 0;
+    if (slash == std::string::npos ||
+        !parse_int(text.substr(0, slash), i) ||
+        !parse_int(text.substr(slash + 1), n))
+        throw UsageError(
+            "--shard must look like i/N (e.g. 0/4), got '" + text +
+            "'");
+    shard = i;
+    of = n;
+}
+
+/** Writes the optional --csv/--json exports of a sweep report. */
+void
+write_sweep_exports(const ParsedArgs &args, CommandIo &io,
+                    const sweep::SweepReport &report)
+{
+    const std::string csv = args.value("csv", "");
+    if (!csv.empty()) {
+        sweep::write_sweep_csv_file(report, csv);
+        oprintf(io.out, "wrote sweep CSV to %s\n", csv.c_str());
+    }
+    const std::string json = args.value("json", "");
+    if (!json.empty()) {
+        sweep::write_sweep_json_file(report, json);
+        oprintf(io.out, "wrote sweep JSON to %s\n", json.c_str());
+    }
+}
+
 int
 cmd_sweep(const ParsedArgs &args, CommandIo &io)
 {
@@ -649,25 +689,136 @@ cmd_sweep(const ParsedArgs &args, CommandIo &io)
         };
     }
 
+    // Result cache: --no-cache wins over --cache-dir so a script
+    // with a baked-in cache directory can force a fresh run.
+    std::unique_ptr<sweep::ResultCache> cache;
+    const std::string cache_dir = args.value("cache-dir", "");
+    if (!cache_dir.empty() && !args.flag("no-cache")) {
+        cache.reset(new sweep::ResultCache(cache_dir));
+        opts.cache = cache.get();
+    }
+
+    // --progress is a stderr-only ticker: exports and the stdout
+    // table never see it, so it cannot break byte-identity.
+    if (args.flag("progress")) {
+        const auto start = std::chrono::steady_clock::now();
+        opts.on_progress = [&io,
+                            start](const sweep::SweepProgress &p) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            const double eta =
+                p.done == 0 ? 0.0
+                            : elapsed / static_cast<double>(p.done) *
+                                  static_cast<double>(p.total -
+                                                      p.done);
+            oprintf(io.err,
+                    "progress: %zu/%zu done, %zu cache hit%s, "
+                    "eta %.1fs\n",
+                    p.done, p.total, p.cache_hits,
+                    p.cache_hits == 1 ? "" : "s", eta);
+        };
+    }
+
     const auto scenarios = sweep::expand_grid(grid);
+
+    const std::string shard_text = args.value("shard", "");
+    const std::string spill_dir = args.value("spill-dir", "");
+    if (!shard_text.empty()) {
+        // Sharded mode: stream rows to a spill file; exports come
+        // from `sweep-merge` once every shard finished.
+        if (spill_dir.empty())
+            throw UsageError("--shard requires --spill-dir DIR "
+                             "(where this shard spills its rows)");
+        if (!args.value("csv", "").empty() ||
+            !args.value("json", "").empty())
+            throw UsageError(
+                "--csv/--json are not valid with --shard; run "
+                "'sweep-merge' over the spill directory instead");
+        int shard = 0;
+        int shard_of = 1;
+        parse_shard(shard_text, shard, shard_of);
+        const auto indices =
+            sweep::shard_indices(scenarios.size(), shard, shard_of);
+        sweep::SpillWriter writer(spill_dir, shard, shard_of,
+                                  scenarios, opts.swap_plan);
+        std::vector<std::size_t> todo;
+        for (std::size_t index : indices)
+            if (writer.completed().count(index) == 0)
+                todo.push_back(index);
+        const std::size_t resumed = indices.size() - todo.size();
+        oprintf(io.err,
+                "sweeping shard %d/%d: %zu of %zu scenarios "
+                "(%zu already spilled) on %d worker%s...\n",
+                shard, shard_of, todo.size(), indices.size(),
+                resumed, opts.jobs, opts.jobs == 1 ? "" : "s");
+        const auto report = sweep::run_sweep_subset(
+            scenarios, todo, opts,
+            [&writer](std::size_t index,
+                      const sweep::ScenarioResult &r) {
+                writer.append(index, r);
+            });
+        if (opts.cache && !quiet)
+            oprintf(io.err, "cache: %zu hit%s, %zu miss%s\n",
+                    report.cache_hits,
+                    report.cache_hits == 1 ? "" : "s",
+                    report.cache_misses,
+                    report.cache_misses == 1 ? "" : "es");
+        // Exit code covers the whole shard, resumed rows included —
+        // rerunning a finished shard must not flip a failure to 0.
+        std::size_t ok = 0;
+        std::size_t oom = 0;
+        std::size_t failed = 0;
+        for (const auto &row : writer.completed()) {
+            switch (row.second.status) {
+              case sweep::ScenarioStatus::kOk: ++ok; break;
+              case sweep::ScenarioStatus::kOom: ++oom; break;
+              case sweep::ScenarioStatus::kError: ++failed; break;
+            }
+        }
+        oprintf(io.out,
+                "shard %d/%d: %zu scenarios: %zu ok, %zu oom, "
+                "%zu failed; spilled to %s\n",
+                shard, shard_of, indices.size(), ok, oom, failed,
+                writer.path().c_str());
+        return failed == 0 ? kExitOk : kExitRuntimeError;
+    }
+    if (!spill_dir.empty())
+        throw UsageError("--spill-dir requires --shard i/N");
+
     oprintf(io.err, "sweeping %zu scenarios on %d worker%s...\n",
             scenarios.size(), opts.jobs, opts.jobs == 1 ? "" : "s");
     const auto report = sweep::run_sweep(scenarios, opts);
+    if (opts.cache && !quiet)
+        oprintf(io.err, "cache: %zu hit%s, %zu miss%s\n",
+                report.cache_hits, report.cache_hits == 1 ? "" : "s",
+                report.cache_misses,
+                report.cache_misses == 1 ? "" : "es");
 
     sweep::write_sweep_table(report, io.out);
-    const std::string csv = args.value("csv", "");
-    if (!csv.empty()) {
-        sweep::write_sweep_csv_file(report, csv);
-        oprintf(io.out, "wrote sweep CSV to %s\n", csv.c_str());
-    }
-    const std::string json = args.value("json", "");
-    if (!json.empty()) {
-        sweep::write_sweep_json_file(report, json);
-        oprintf(io.out, "wrote sweep JSON to %s\n", json.c_str());
-    }
+    write_sweep_exports(args, io, report);
     // Deterministic simulated OOMs are findings, not failures; only
     // scenario *errors* make the sweep fail (exit 1 — the run was
     // valid, the workload broke).
+    return report.failed == 0 ? kExitOk : kExitRuntimeError;
+}
+
+// ----------------------------------------------------------------
+// sweep-merge
+// ----------------------------------------------------------------
+
+int
+cmd_sweep_merge(const ParsedArgs &args, CommandIo &io)
+{
+    const std::string spill_dir = args.value("spill-dir", "");
+    if (spill_dir.empty())
+        throw UsageError("sweep-merge needs --spill-dir DIR (the "
+                         "directory the sharded sweep spilled "
+                         "into)");
+    const auto report = sweep::merge_spills(spill_dir);
+    sweep::write_sweep_table(report, io.out);
+    write_sweep_exports(args, io, report);
     return report.failed == 0 ? kExitOk : kExitRuntimeError;
 }
 
@@ -884,11 +1035,62 @@ make_default_registry()
              "skip swap *and* relief planning per trace", {}},
             {"quiet", FlagKind::kBool, "", "",
              "suppress per-scenario progress on stderr", {}},
+            {"cache-dir", FlagKind::kValue, "DIR", "",
+             "on-disk result cache: scenarios seen before (same "
+             "full spec, planner toggle, and result schema) are "
+             "answered from disk instead of re-simulated",
+             {}},
+            {"no-cache", FlagKind::kBool, "", "",
+             "ignore --cache-dir for this run (force fresh "
+             "simulation)",
+             {}},
+            {"shard", FlagKind::kValue, "i/N", "",
+             "run only scenarios with index % N == i, streaming "
+             "rows to a spill file in --spill-dir; a re-run "
+             "resumes, skipping rows already on disk",
+             {}},
+            {"spill-dir", FlagKind::kValue, "DIR", "",
+             "where sharded runs append their spill files "
+             "(required with --shard; merge with 'sweep-merge')",
+             {}},
+            {"progress", FlagKind::kBool, "", "",
+             "stderr ticker: scenarios done/total, cache hits, "
+             "ETA (never touches stdout exports)",
+             {}},
         };
         c.example = "pinpoint_cli sweep --jobs 8 --models "
                     "resnet50,vgg16 --batches 16,32 --devices 1,2,4 "
                     "--csv zoo.csv";
         c.run = cmd_sweep;
+        registry.add(std::move(c));
+    }
+    {
+        Command c;
+        c.name = "sweep-merge";
+        c.summary = "merge sharded-sweep spill files into the "
+                    "canonical report";
+        c.description =
+            "Folds the spill files of a completed N-way sharded "
+            "sweep (`sweep\n--shard i/N --spill-dir DIR`) back into "
+            "one report in canonical grid\norder. The CSV/JSON "
+            "exports are byte-identical to a single-process\n"
+            "`sweep` over the same grid. Refuses to merge when a "
+            "shard is\nmissing, incomplete, or crashed mid-write "
+            "(torn trailing record),\nor when shards disagree on "
+            "the grid or result schema.";
+        c.flags = {
+            {"spill-dir", FlagKind::kValue, "DIR", "",
+             "directory holding the shard-*.spill files (required)",
+             {}},
+            {"csv", FlagKind::kValue, "PATH", "",
+             "full-report CSV export", {}},
+            {"json", FlagKind::kValue, "PATH", "",
+             "full-report JSON export", {}},
+        };
+        c.example =
+            "pinpoint_cli sweep-merge --spill-dir spills --csv "
+            "zoo.csv";
+        c.run = cmd_sweep_merge;
         registry.add(std::move(c));
     }
     {

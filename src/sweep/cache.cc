@@ -1,0 +1,145 @@
+#include "sweep/cache.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+#include "core/hash.h"
+#include "core/parse.h"
+#include "sweep/driver.h"
+#include "sweep/export.h"
+#include "sweep/scenario.h"
+
+namespace pinpoint {
+namespace sweep {
+namespace {
+
+/** First line of every cache entry; bump on container changes. */
+const char kMagic[] = "pinpoint-sweep-cache v1";
+
+/**
+ * @return a process-unique tag for temp-file names. Thread id and a
+ * monotonic counter — not time or randomness, which the repo's
+ * determinism lint bans from src/.
+ */
+std::uint64_t
+unique_tag()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    const std::uint64_t thread_bits = static_cast<std::uint64_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    return fnv1a64(std::to_string(counter.fetch_add(1)),
+                   thread_bits | 1);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    PP_CHECK(!ec, "cannot create cache directory '"
+                      << dir_ << "': " << ec.message());
+}
+
+std::string
+ResultCache::key(const Scenario &scenario, bool swap_plan)
+{
+    return scenario.to_string() +
+           (swap_plan ? "|swap-plan" : "|no-swap-plan");
+}
+
+std::string
+ResultCache::path_for_key(const std::string &key) const
+{
+    return dir_ + "/" + to_hex16(fnv1a64(key)) + ".rec";
+}
+
+CacheLookup
+ResultCache::load(const Scenario &scenario, bool swap_plan,
+                  ScenarioResult &out,
+                  std::uint64_t &wall_hint_ns) const
+{
+    wall_hint_ns = 0;
+    try {
+        const std::string k = key(scenario, swap_plan);
+        std::ifstream is(path_for_key(k));
+        if (!is.good())
+            return CacheLookup::kMiss;
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(is, line))
+            lines.push_back(line);
+        // Header: magic, salt, wall time, then the verbatim key —
+        // comparing the key catches both hash collisions and a
+        // hand-renamed file.
+        if (lines.size() < 4 || lines[0] != kMagic ||
+            lines[1].rfind("salt=", 0) != 0 ||
+            lines[2].rfind("wall_ns=", 0) != 0 ||
+            lines[3] != "key=" + k)
+            return CacheLookup::kMiss;
+        std::uint64_t wall = 0;
+        if (!parse_uint64(lines[2].substr(8), wall))
+            return CacheLookup::kMiss;
+        wall_hint_ns = wall;
+        if (lines[1].substr(5) != result_schema_salt())
+            return CacheLookup::kStale;
+        const std::size_t n = result_record_lines();
+        if (lines.size() < 4 + n + 1 || lines[4 + n] != "end") {
+            wall_hint_ns = 0;
+            return CacheLookup::kMiss;
+        }
+        out = decode_result_record(lines, 4);
+        return CacheLookup::kHit;
+    } catch (...) {
+        // Corrupt or half-written entries degrade to a recompute.
+        wall_hint_ns = 0;
+        return CacheLookup::kMiss;
+    }
+}
+
+void
+ResultCache::store(const Scenario &scenario, bool swap_plan,
+                   const ScenarioResult &result,
+                   std::uint64_t wall_ns) const
+{
+    try {
+        const std::string k = key(scenario, swap_plan);
+        const std::string path = path_for_key(k);
+        const std::string temp =
+            path + ".tmp" + to_hex16(unique_tag());
+        {
+            std::ofstream os(temp);
+            if (!os.good())
+                return;
+            os << kMagic << "\n"
+               << "salt=" << result_schema_salt() << "\n"
+               << "wall_ns=" << wall_ns << "\n"
+               << "key=" << k << "\n"
+               << encode_result_record(result) << "end\n";
+            os.flush();
+            if (!os.good()) {
+                os.close();
+                std::remove(temp.c_str());
+                return;
+            }
+        }
+        // Atomic on POSIX: readers see the old entry or the new
+        // one, never a torn file.
+        if (std::rename(temp.c_str(), path.c_str()) != 0)
+            std::remove(temp.c_str());
+    } catch (...) {
+        // A cache that cannot write is a slow sweep, not an error.
+    }
+}
+
+}  // namespace sweep
+}  // namespace pinpoint

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Content-keyed on-disk result cache for sweep scenarios. A cache
+ * entry maps the *full* workload identity — api::WorkloadSpec's
+ * to_string() (every field, including run-length knobs that the
+ * compact id() deliberately drops) plus the swap-plan toggle — to
+ * one serialized ScenarioResult, stamped with the record-codec
+ * schema salt so a layout change can never serve a stale row. The
+ * sweep driver consults it before dispatching a worker; repeated
+ * and grown grids then re-simulate only the scenarios they have
+ * never seen.
+ *
+ * Concurrency: entries are written to a unique temp file and
+ * renamed into place, so concurrent sweeps sharing one directory
+ * race benignly (last writer wins, readers always see a complete
+ * file or none). store() never throws — a cache that cannot write
+ * degrades to a slower sweep, not a failed one.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sweep/driver.h"
+#include "sweep/scenario.h"
+
+namespace pinpoint {
+namespace sweep {
+
+/** Outcome of a cache probe. */
+enum class CacheLookup : std::uint8_t {
+    kHit,    ///< entry found, salt matches, result decoded
+    kMiss,   ///< no entry, or entry unreadable/corrupt
+    kStale,  ///< entry predates the current record schema
+};
+
+/** One on-disk cache directory. */
+class ResultCache {
+  public:
+    /**
+     * Opens (creating if needed) the cache directory @p dir.
+     * @throws Error when the directory cannot be created.
+     */
+    explicit ResultCache(std::string dir);
+
+    /** @return the cache directory path. */
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * @return the content key of (@p scenario, @p swap_plan): the
+     * spec's full canonical flag string plus the planner toggle.
+     * Everything that can change a ScenarioResult is in the key;
+     * the compact id() is not enough because it excludes run-length
+     * knobs (iterations, micro-batches, requests).
+     */
+    static std::string key(const Scenario &scenario, bool swap_plan);
+
+    /**
+     * Probes the cache. On kHit fills @p out. On kHit *and* kStale
+     * fills @p wall_hint_ns with the wall time the cached run took
+     * (0 when unknown) — stale entries still carry a useful cost
+     * hint for the scheduler even though their rows are unusable.
+     * Never throws: any I/O or parse problem is a kMiss.
+     */
+    CacheLookup load(const Scenario &scenario, bool swap_plan,
+                     ScenarioResult &out,
+                     std::uint64_t &wall_hint_ns) const;
+
+    /**
+     * Stores @p result under (@p scenario, @p swap_plan) with the
+     * measured @p wall_ns. Best-effort and never throws; errors
+     * leave the cache unchanged.
+     */
+    void store(const Scenario &scenario, bool swap_plan,
+               const ScenarioResult &result,
+               std::uint64_t wall_ns) const;
+
+    /** @return the entry path a key hashes to (for tests/tools). */
+    std::string path_for_key(const std::string &key) const;
+
+  private:
+    std::string dir_;
+};
+
+}  // namespace sweep
+}  // namespace pinpoint

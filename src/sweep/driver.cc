@@ -1,13 +1,20 @@
 #include "sweep/driver.h"
 
+#include <algorithm>
 #include <chrono>
+#include <exception>
+#include <map>
 #include <mutex>
+#include <numeric>
+#include <utility>
 
 #include "alloc/device_memory.h"
 #include "api/study.h"
 #include "core/types.h"
+#include "nn/model_registry.h"
 #include "relief/strategy_planner.h"
 #include "runtime/session.h"
+#include "sweep/cache.h"
 #include "sweep/scenario.h"
 #include "sweep/thread_pool.h"
 
@@ -131,6 +138,48 @@ notify(const SweepOptions &options, const ScenarioResult &result)
     }
 }
 
+/**
+ * Memoized node count of a model's graph — the per-iteration work
+ * proxy the cost model scales. Building a graph is cheap (metadata
+ * only, no tensors) but not free, and a big grid repeats each model
+ * name hundreds of times. Unknown names cost 1 instead of throwing:
+ * the estimate must never fail a sweep the driver could still run.
+ */
+std::size_t
+model_graph_size(const std::string &name)
+{
+    static std::mutex mutex;
+    static std::map<std::string, std::size_t> sizes;
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = sizes.find(name);
+    if (it != sizes.end())
+        return it->second;
+    std::size_t nodes = 1;
+    try {
+        nodes = nn::build_model(name).graph.size();
+    } catch (...) {
+        nodes = 1;
+    }
+    if (nodes == 0)
+        nodes = 1;
+    sizes.emplace(name, nodes);
+    return nodes;
+}
+
+/** Abstract cost estimate: graph size x run length x replicas x batch. */
+double
+abstract_cost(const Scenario &s)
+{
+    const double run_length =
+        s.mode == runtime::SessionMode::kInfer
+            ? static_cast<double>(s.requests)
+            : static_cast<double>(s.iterations) *
+                  static_cast<double>(s.micro_batches);
+    return static_cast<double>(model_graph_size(s.model)) *
+           run_length * static_cast<double>(s.devices) *
+           static_cast<double>(s.batch);
+}
+
 }  // namespace
 
 const char *
@@ -162,40 +211,166 @@ run_scenario(const Scenario &scenario, bool swap_plan)
     return result;
 }
 
+std::vector<std::size_t>
+submission_order(const std::vector<Scenario> &scenarios,
+                 const std::vector<std::size_t> &indices,
+                 const std::vector<std::uint64_t> &wall_hints_ns)
+{
+    std::vector<double> cost(indices.size(), 0.0);
+    std::vector<double> ratios;
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+        cost[k] = abstract_cost(scenarios[indices[k]]);
+        if (k < wall_hints_ns.size() && wall_hints_ns[k] > 0 &&
+            cost[k] > 0)
+            ratios.push_back(
+                static_cast<double>(wall_hints_ns[k]) / cost[k]);
+    }
+    if (!ratios.empty()) {
+        // Median hinted wall-per-unit ratio converts the abstract
+        // estimates into the hints' unit, so a scenario with a
+        // measured wall time and one without compare on one scale.
+        const std::size_t mid = ratios.size() / 2;
+        std::nth_element(ratios.begin(), ratios.begin() + mid,
+                         ratios.end());
+        const double scale = ratios[mid];
+        if (scale > 0) {
+            for (std::size_t k = 0; k < indices.size(); ++k) {
+                if (k < wall_hints_ns.size() && wall_hints_ns[k] > 0)
+                    cost[k] = static_cast<double>(wall_hints_ns[k]);
+                else
+                    cost[k] *= scale;
+            }
+        }
+    }
+    std::vector<std::size_t> order(indices.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    // stable_sort keeps equal-cost scenarios in grid order.
+    std::stable_sort(order.begin(), order.end(),
+                     [&cost](std::size_t a, std::size_t b) {
+                         return cost[a] > cost[b];
+                     });
+    return order;
+}
+
 SweepReport
-run_sweep(const std::vector<Scenario> &scenarios,
-          const SweepOptions &options)
+run_sweep_subset(
+    const std::vector<Scenario> &scenarios,
+    const std::vector<std::size_t> &indices,
+    const SweepOptions &options,
+    const std::function<void(std::size_t, const ScenarioResult &)>
+        &sink)
 {
     SweepReport report;
     report.jobs = options.jobs < 1 ? 1 : options.jobs;
-    report.results.resize(scenarios.size());
+    report.results.resize(indices.size());
 
     const auto start = std::chrono::steady_clock::now();
+
+    SweepProgress progress;
+    progress.total = indices.size();
+    std::mutex mutex;
+    std::exception_ptr sink_error;
+
+    // Publishes one finished result: slot write, counters, sink,
+    // progress callbacks. The lock serializes everything observable
+    // from outside the driver; the slot itself has exactly one
+    // writer, so it is written outside the lock.
+    const auto finish = [&](std::size_t slot, std::size_t global,
+                            ScenarioResult r, bool from_cache) {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (from_cache) {
+                ++report.cache_hits;
+                ++progress.cache_hits;
+            }
+            ++progress.done;
+            if (sink && !sink_error) {
+                try {
+                    sink(global, r);
+                } catch (...) {
+                    // A sink failure means results are being lost
+                    // (e.g. the spill file went bad): remember the
+                    // first one and abort after workers drain.
+                    sink_error = std::current_exception();
+                }
+            }
+            notify(options, r);
+            if (options.on_progress) {
+                try {
+                    options.on_progress(progress);
+                } catch (...) {
+                    // Same best-effort contract as on_result.
+                }
+            }
+        }
+        report.results[slot] = std::move(r);
+    };
+
+    // Cache probe, serial and in grid order, so hits surface
+    // immediately and the misses keep their deterministic order.
+    std::vector<std::size_t> pending;
+    std::vector<std::uint64_t> hints;
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+        std::uint64_t hint = 0;
+        if (options.cache) {
+            ScenarioResult cached;
+            const CacheLookup lookup =
+                options.cache->load(scenarios[indices[k]],
+                                    options.swap_plan, cached, hint);
+            if (lookup == CacheLookup::kHit) {
+                finish(k, indices[k], std::move(cached), true);
+                continue;
+            }
+        }
+        pending.push_back(k);
+        hints.push_back(hint);
+    }
+    report.cache_misses = options.cache ? pending.size() : 0;
+
+    const auto run_one = [&](std::size_t k) {
+        // Each worker owns its scenario's entire session — device
+        // arena, clock, allocator, recorder — so runs share nothing
+        // and every slot is written exactly once.
+        const std::size_t global = indices[k];
+        const auto t0 = std::chrono::steady_clock::now();
+        ScenarioResult r =
+            run_scenario(scenarios[global], options.swap_plan);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (options.cache) {
+            const auto wall_ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t1 - t0)
+                    .count();
+            options.cache->store(
+                scenarios[global], options.swap_plan, r,
+                static_cast<std::uint64_t>(wall_ns));
+        }
+        finish(k, global, std::move(r), false);
+    };
+
     if (report.jobs == 1) {
-        for (std::size_t i = 0; i < scenarios.size(); ++i) {
-            report.results[i] =
-                run_scenario(scenarios[i], options.swap_plan);
-            notify(options, report.results[i]);
+        for (std::size_t k : pending) {
+            run_one(k);
+            if (sink_error)
+                break;
         }
     } else {
-        std::mutex notify_mutex;
+        std::vector<std::size_t> pending_global(pending.size());
+        for (std::size_t p = 0; p < pending.size(); ++p)
+            pending_global[p] = indices[pending[p]];
+        std::vector<std::size_t> order(pending.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        if (options.cost_order)
+            order = submission_order(scenarios, pending_global,
+                                     hints);
         ThreadPool pool(report.jobs);
-        for (std::size_t i = 0; i < scenarios.size(); ++i) {
-            pool.submit([&, i] {
-                // Each worker owns its scenario's entire session —
-                // device arena, clock, allocator, recorder — so runs
-                // share nothing and slot i is written exactly once.
-                ScenarioResult r =
-                    run_scenario(scenarios[i], options.swap_plan);
-                if (options.on_result) {
-                    std::lock_guard<std::mutex> lock(notify_mutex);
-                    notify(options, r);
-                }
-                report.results[i] = std::move(r);
-            });
-        }
+        for (std::size_t p : order)
+            pool.submit([&, p] { run_one(pending[p]); });
         pool.wait();
     }
+    if (sink_error)
+        std::rethrow_exception(sink_error);
+
     const auto end = std::chrono::steady_clock::now();
     report.wall_seconds =
         std::chrono::duration<double>(end - start).count();
@@ -208,6 +383,17 @@ run_sweep(const std::vector<Scenario> &scenarios,
         }
     }
     return report;
+}
+
+SweepReport
+run_sweep(const std::vector<Scenario> &scenarios,
+          const SweepOptions &options)
+{
+    std::vector<std::size_t> indices(scenarios.size());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    // The full index set makes "results in indices order" exactly
+    // the grid order every exporter relies on.
+    return run_sweep_subset(scenarios, indices, options);
 }
 
 SweepReport

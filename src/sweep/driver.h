@@ -127,12 +127,37 @@ struct ScenarioResult {
     TimeNs relief_overhead_ns = 0;
 };
 
+class ResultCache;
+
+/** Rolling progress counters, for ticker displays. */
+struct SweepProgress {
+    /** Scenarios finished so far (cache hits included). */
+    std::size_t done = 0;
+    /** Scenarios this sweep will produce. */
+    std::size_t total = 0;
+    /** How many of the finished ones came from the cache. */
+    std::size_t cache_hits = 0;
+};
+
 /** Sweep execution options. */
 struct SweepOptions {
     /** Worker threads; 1 = serial in the calling thread. */
     int jobs = 1;
     /** Run the Eq. 1 swap planner over each trace. */
     bool swap_plan = true;
+    /**
+     * Optional result cache, consulted before dispatching a worker
+     * and refilled after every simulated scenario. Not owned; null
+     * disables caching.
+     */
+    const ResultCache *cache = nullptr;
+    /**
+     * Submit pool work in descending estimated-cost order (longest
+     * scenarios first) so the pool tail is short. Exports are
+     * unaffected — results always land in grid order. Only the
+     * parallel path reorders; jobs == 1 keeps grid-order execution.
+     */
+    bool cost_order = true;
     /**
      * Called after each scenario finishes, serialized under a lock
      * and therefore safe to print from. Completion order — for
@@ -141,6 +166,11 @@ struct SweepOptions {
      * mode), never aborting the sweep.
      */
     std::function<void(const ScenarioResult &)> on_result;
+    /**
+     * Called after on_result with the rolling counters, under the
+     * same lock and with the same best-effort contract.
+     */
+    std::function<void(const SweepProgress &)> on_progress;
 };
 
 /** Everything one sweep produced. */
@@ -161,6 +191,10 @@ struct SweepReport {
     double wall_seconds = 0.0;
     /** Worker threads actually used. */
     int jobs = 1;
+    /** Scenarios answered from the result cache. */
+    std::size_t cache_hits = 0;
+    /** Scenarios simulated because the cache had no usable entry. */
+    std::size_t cache_misses = 0;
 };
 
 /**
@@ -182,6 +216,41 @@ SweepReport run_sweep(const std::vector<Scenario> &scenarios,
 /** Convenience: expand_grid + run_sweep. */
 SweepReport run_sweep(const SweepGrid &grid,
                       const SweepOptions &options = {});
+
+/**
+ * Runs the subset of @p scenarios selected by @p indices (positions
+ * into @p scenarios, e.g. one shard of the grid). The report's
+ * results vector holds the selected scenarios in @p indices order;
+ * @p sink — when set — additionally receives every result with its
+ * *global* scenario index, in completion order under the driver's
+ * lock. Unlike on_result, a sink exception aborts the sweep and is
+ * rethrown (it means results are being lost, e.g. a spill file went
+ * bad), after in-flight workers drain.
+ */
+SweepReport run_sweep_subset(
+    const std::vector<Scenario> &scenarios,
+    const std::vector<std::size_t> &indices,
+    const SweepOptions &options,
+    const std::function<void(std::size_t, const ScenarioResult &)>
+        &sink = nullptr);
+
+/**
+ * @return positions into @p indices, reordered by descending
+ * estimated scenario cost — the order the parallel driver feeds the
+ * pool so the most expensive scenarios start first and no cheap
+ * stragglers wait behind them at the tail. The estimate is
+ * model-graph size x run length (iterations x micro-batches, or
+ * requests) x replica count x batch; when @p wall_hints_ns (same
+ * length as @p indices, 0 = unknown) carries cached wall times,
+ * hinted scenarios use their measured cost, rescaled into the
+ * abstract unit via the median hinted ratio. Ties keep grid order.
+ * Deterministic for fixed inputs; purely a scheduling order, never
+ * visible in exports.
+ */
+std::vector<std::size_t>
+submission_order(const std::vector<Scenario> &scenarios,
+                 const std::vector<std::size_t> &indices,
+                 const std::vector<std::uint64_t> &wall_hints_ns);
 
 }  // namespace sweep
 }  // namespace pinpoint

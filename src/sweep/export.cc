@@ -1,13 +1,20 @@
 #include "sweep/export.h"
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <functional>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
+#include "api/workload.h"
 #include "core/check.h"
 #include "core/dtype.h"
 #include "core/format.h"
+#include "core/hash.h"
+#include "core/parse.h"
 #include "runtime/request_stream.h"
 #include "runtime/session.h"
 #include "sweep/driver.h"
@@ -332,6 +339,297 @@ write_sweep_table(const SweepReport &report, std::ostream &os)
     std::snprintf(buf, sizeof buf, " in %.2f s (jobs=%d)\n",
                   report.wall_seconds, report.jobs);
     os << buf;
+}
+
+// --- ScenarioResult record codec ---------------------------------
+
+namespace {
+
+/** Backslash-escapes a record value so it stays on one line. */
+std::string
+escape_value(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Inverse of escape_value. @throws Error on a malformed escape. */
+std::string
+unescape_value(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out += s[i];
+            continue;
+        }
+        PP_CHECK(i + 1 < s.size(),
+                 "record value ends mid-escape: '" << s << "'");
+        const char c = s[++i];
+        switch (c) {
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          default:
+              PP_CHECK(false,
+                       "unknown record escape '\\" << c << "'");
+        }
+    }
+    return out;
+}
+
+/** One codec field: its name plus encode/decode closures. */
+struct RecordField {
+    const char *name;
+    std::function<std::string(const ScenarioResult &)> encode;
+    std::function<void(ScenarioResult &, const std::string &)>
+        decode;
+};
+
+/** Unsigned integral member (std::size_t, std::uint64_t, TimeNs). */
+template <class T>
+RecordField
+uint_field(const char *name, T ScenarioResult::*member)
+{
+    return {name,
+            [member](const ScenarioResult &r) {
+                return std::to_string(r.*member);
+            },
+            [name, member](ScenarioResult &r, const std::string &v) {
+                std::uint64_t parsed = 0;
+                PP_CHECK(parse_uint64(v, parsed),
+                         "record field " << name
+                                         << " is not an unsigned"
+                                            " integer: '"
+                                         << v << "'");
+                r.*member = static_cast<T>(parsed);
+            }};
+}
+
+/** Signed int member. */
+RecordField
+int_field(const char *name, int ScenarioResult::*member)
+{
+    return {name,
+            [member](const ScenarioResult &r) {
+                return std::to_string(r.*member);
+            },
+            [name, member](ScenarioResult &r, const std::string &v) {
+                int parsed = 0;
+                PP_CHECK(parse_int(v, parsed),
+                         "record field "
+                             << name << " is not an integer: '" << v
+                             << "'");
+                r.*member = parsed;
+            }};
+}
+
+/**
+ * Double member, rendered with format_fixed6 — the exporters' own
+ * format, so a decoded result exports byte-identically.
+ */
+RecordField
+dbl_field(const char *name, double ScenarioResult::*member)
+{
+    return {name,
+            [member](const ScenarioResult &r) {
+                return format_fixed6(r.*member);
+            },
+            [name, member](ScenarioResult &r, const std::string &v) {
+                double parsed = 0.0;
+                PP_CHECK(parse_double(v, parsed),
+                         "record field " << name
+                                         << " is not a number: '"
+                                         << v << "'");
+                r.*member = parsed;
+            }};
+}
+
+/** Free-form string member (escaped to stay on one line). */
+RecordField
+str_field(const char *name, std::string ScenarioResult::*member)
+{
+    return {name,
+            [member](const ScenarioResult &r) {
+                return escape_value(r.*member);
+            },
+            [member](ScenarioResult &r, const std::string &v) {
+                r.*member = unescape_value(v);
+            }};
+}
+
+/**
+ * The canonical field table — the single place that knows how a
+ * ScenarioResult becomes text. Order is the record line order and
+ * feeds the schema salt; append, remove, or rename a field and
+ * every on-disk record is retired by the salt change.
+ */
+const std::vector<RecordField> &
+record_fields()
+{
+    static const std::vector<RecordField> fields = [] {
+        using R = ScenarioResult;
+        std::vector<RecordField> f;
+        f.push_back({"scenario",
+                     [](const R &r) {
+                         return escape_value(r.scenario.to_string());
+                     },
+                     [](R &r, const std::string &v) {
+                         static_cast<api::WorkloadSpec &>(
+                             r.scenario) =
+                             api::WorkloadSpec::from_string(
+                                 unescape_value(v));
+                     }});
+        f.push_back({"status",
+                     [](const R &r) {
+                         return std::string(
+                             scenario_status_name(r.status));
+                     },
+                     [](R &r, const std::string &v) {
+                         for (ScenarioStatus s :
+                              {ScenarioStatus::kOk,
+                               ScenarioStatus::kOom,
+                               ScenarioStatus::kError}) {
+                             if (v == scenario_status_name(s)) {
+                                 r.status = s;
+                                 return;
+                             }
+                         }
+                         PP_CHECK(false, "unknown scenario status '"
+                                             << v << "'");
+                     }});
+        f.push_back(str_field("error", &R::error));
+        f.push_back(
+            uint_field("peak_total_bytes", &R::peak_total_bytes));
+        f.push_back(
+            uint_field("peak_input_bytes", &R::peak_input_bytes));
+        f.push_back(uint_field("peak_parameter_bytes",
+                               &R::peak_parameter_bytes));
+        f.push_back(uint_field("peak_intermediate_bytes",
+                               &R::peak_intermediate_bytes));
+        f.push_back(uint_field("peak_reserved_bytes",
+                               &R::peak_reserved_bytes));
+        f.push_back(dbl_field("device_fragmentation",
+                              &R::device_fragmentation));
+        f.push_back(
+            uint_field("iteration_time_ns", &R::iteration_time));
+        f.push_back(uint_field("end_time_ns", &R::end_time));
+        f.push_back(uint_field("alloc_count", &R::alloc_count));
+        f.push_back(
+            uint_field("cache_hit_count", &R::cache_hit_count));
+        f.push_back(uint_field("device_alloc_count",
+                               &R::device_alloc_count));
+        f.push_back(uint_field("event_count", &R::event_count));
+        f.push_back(uint_field("ati_count", &R::ati_count));
+        f.push_back(dbl_field("ati_median_us", &R::ati_median_us));
+        f.push_back(dbl_field("ati_p90_us", &R::ati_p90_us));
+        f.push_back(dbl_field("ati_max_us", &R::ati_max_us));
+        f.push_back(
+            uint_field("swap_decisions", &R::swap_decisions));
+        f.push_back(uint_field("swap_peak_reduction_bytes",
+                               &R::swap_peak_reduction_bytes));
+        f.push_back(
+            uint_field("swap_total_bytes", &R::swap_total_bytes));
+        f.push_back(
+            uint_field("swap_measured_peak_reduction_bytes",
+                       &R::swap_measured_peak_reduction_bytes));
+        f.push_back(uint_field("swap_predicted_stall_ns",
+                               &R::swap_predicted_stall_ns));
+        f.push_back(uint_field("swap_measured_stall_ns",
+                               &R::swap_measured_stall_ns));
+        f.push_back(dbl_field("swap_link_busy_fraction",
+                              &R::swap_link_busy_fraction));
+        f.push_back(dbl_field("scaling_efficiency",
+                              &R::scaling_efficiency));
+        f.push_back(dbl_field("interconnect_busy_fraction",
+                              &R::interconnect_busy_fraction));
+        f.push_back(
+            uint_field("allreduce_time_ns", &R::allreduce_time_ns));
+        f.push_back(uint_field("allreduce_stall_ns",
+                               &R::allreduce_stall_ns));
+        f.push_back(int_field("requests", &R::requests));
+        f.push_back(
+            uint_field("latency_p50_ns", &R::latency_p50_ns));
+        f.push_back(
+            uint_field("latency_p90_ns", &R::latency_p90_ns));
+        f.push_back(
+            uint_field("latency_p99_ns", &R::latency_p99_ns));
+        f.push_back(
+            uint_field("latency_max_ns", &R::latency_max_ns));
+        f.push_back(
+            str_field("relief_strategy", &R::relief_strategy));
+        f.push_back(uint_field("relief_peak_reduction_bytes",
+                               &R::relief_peak_reduction_bytes));
+        f.push_back(
+            uint_field("relief_overhead_ns", &R::relief_overhead_ns));
+        return f;
+    }();
+    return fields;
+}
+
+}  // namespace
+
+std::size_t
+result_record_lines()
+{
+    return record_fields().size();
+}
+
+std::string
+result_schema_salt()
+{
+    std::uint64_t h = kFnv1aOffset;
+    for (const auto &f : record_fields())
+        h = fnv1a64(std::string(f.name) + "\n", h);
+    return to_hex16(h);
+}
+
+std::string
+encode_result_record(const ScenarioResult &result)
+{
+    std::string out;
+    for (const auto &f : record_fields()) {
+        out += f.name;
+        out += '=';
+        out += f.encode(result);
+        out += '\n';
+    }
+    return out;
+}
+
+ScenarioResult
+decode_result_record(const std::vector<std::string> &lines,
+                     std::size_t first)
+{
+    const auto &fields = record_fields();
+    PP_CHECK(first <= lines.size() &&
+                 fields.size() <= lines.size() - first,
+             "record truncated: need " << fields.size()
+                                       << " lines, have "
+                                       << lines.size() - first);
+    ScenarioResult result;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        const RecordField &f = fields[i];
+        const std::string &line = lines[first + i];
+        const std::size_t name_len = std::strlen(f.name);
+        PP_CHECK(line.size() > name_len &&
+                     line.compare(0, name_len, f.name) == 0 &&
+                     line[name_len] == '=',
+                 "record line " << i << " is not '" << f.name
+                                << "=...': '" << line << "'");
+        f.decode(result, line.substr(name_len + 1));
+    }
+    return result;
 }
 
 }  // namespace sweep

@@ -8,8 +8,10 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "sweep/driver.h"
 
@@ -42,6 +44,43 @@ std::string sweep_json_string(const SweepReport &report);
 
 /** Writes the human-readable summary table to @p os. */
 void write_sweep_table(const SweepReport &report, std::ostream &os);
+
+// --- ScenarioResult record codec ---------------------------------
+//
+// The one serialization of a ScenarioResult, shared by the result
+// cache and the shard spill files. A record is result_record_lines()
+// text lines, each "field=value" in a fixed field order; values are
+// rendered with the same locale-independent formatting the CSV/JSON
+// exporters use (format_fixed6 for doubles), so a result that
+// round-trips through the codec exports byte-identically to one that
+// never left memory. Every on-disk consumer stamps
+// result_schema_salt() next to its records: the salt hashes the
+// field-name list, so adding, removing, or reordering a field
+// changes the salt and retires every stale record at once instead
+// of silently mis-decoding it.
+
+/** @return lines per encoded record (one per field). */
+std::size_t result_record_lines();
+
+/**
+ * @return hex-16 hash of the codec's field-name list. Changes
+ * whenever the record layout changes; on-disk stores compare it
+ * before trusting a record.
+ */
+std::string result_schema_salt();
+
+/** @return @p result as result_record_lines() "field=value\n" lines. */
+std::string encode_result_record(const ScenarioResult &result);
+
+/**
+ * Decodes a record from @p lines starting at @p first. Strict: every
+ * field must be present, in order, with a parseable value.
+ * @throws Error on any mismatch (callers degrade to a cache miss or
+ * a torn spill tail).
+ */
+ScenarioResult
+decode_result_record(const std::vector<std::string> &lines,
+                     std::size_t first);
 
 }  // namespace sweep
 }  // namespace pinpoint

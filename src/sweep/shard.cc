@@ -1,0 +1,329 @@
+#include "sweep/shard.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+#include "core/hash.h"
+#include "core/parse.h"
+#include "sweep/cache.h"
+#include "sweep/driver.h"
+#include "sweep/export.h"
+#include "sweep/scenario.h"
+
+namespace pinpoint {
+namespace sweep {
+namespace {
+
+/** First line of every spill file; bump on container changes. */
+const char kMagic[] = "pinpoint-sweep-spill v1";
+
+/** Reads every line of @p path. @throws Error when unreadable. */
+std::vector<std::string>
+read_lines(const std::string &path)
+{
+    std::ifstream is(path);
+    PP_CHECK(is.good(), "cannot open spill file '" << path << "'");
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/** Strict "key=value" split of header line @p line. */
+std::string
+header_value(const std::string &line, const std::string &key,
+             const std::string &path)
+{
+    PP_CHECK(line.rfind(key + "=", 0) == 0,
+             "spill file '" << path << "' header: expected '"
+                            << key << "=...', got '" << line
+                            << "'");
+    return line.substr(key.size() + 1);
+}
+
+/** The five header lines every spill file starts with. */
+std::string
+header_text(int shard, int of, std::size_t total,
+            const std::string &grid)
+{
+    std::string out;
+    out += kMagic;
+    out += "\nsalt=" + result_schema_salt();
+    out += "\ngrid=" + grid;
+    out += "\nshard=" + std::to_string(shard) + "/" +
+           std::to_string(of);
+    out += "\ntotal=" + std::to_string(total) + "\n";
+    return out;
+}
+
+/** One row as appended to a spill file. */
+std::string
+row_text(std::size_t index, const ScenarioResult &result)
+{
+    return "row " + std::to_string(index) + "\n" +
+           encode_result_record(result) + "end\n";
+}
+
+}  // namespace
+
+std::vector<std::size_t>
+shard_indices(std::size_t total, int shard, int of)
+{
+    if (of < 1)
+        throw UsageError("shard count must be >= 1, got " +
+                         std::to_string(of));
+    if (shard < 0 || shard >= of)
+        throw UsageError("shard index must be in [0, " +
+                         std::to_string(of) + "), got " +
+                         std::to_string(shard));
+    std::vector<std::size_t> indices;
+    for (std::size_t j = static_cast<std::size_t>(shard); j < total;
+         j += static_cast<std::size_t>(of))
+        indices.push_back(j);
+    return indices;
+}
+
+std::string
+spill_path(const std::string &dir, int shard, int of)
+{
+    return dir + "/shard-" + std::to_string(shard) + "-of-" +
+           std::to_string(of) + ".spill";
+}
+
+std::string
+grid_signature(const std::vector<Scenario> &scenarios,
+               bool swap_plan)
+{
+    std::uint64_t h = fnv1a64(std::to_string(scenarios.size()));
+    for (const auto &s : scenarios)
+        h = fnv1a64(ResultCache::key(s, swap_plan) + "\n", h);
+    return to_hex16(h);
+}
+
+SpillFile
+read_spill(const std::string &path)
+{
+    const std::vector<std::string> lines = read_lines(path);
+    SpillFile file;
+    PP_CHECK(lines.size() >= 5 && lines[0] == kMagic,
+             "'" << path << "' is not a sweep spill file");
+    file.salt = header_value(lines[1], "salt", path);
+    file.grid = header_value(lines[2], "grid", path);
+    const std::string shard_text =
+        header_value(lines[3], "shard", path);
+    const auto slash = shard_text.find('/');
+    PP_CHECK(slash != std::string::npos &&
+                 parse_int(shard_text.substr(0, slash), file.shard) &&
+                 parse_int(shard_text.substr(slash + 1), file.of) &&
+                 file.of >= 1 && file.shard >= 0 &&
+                 file.shard < file.of,
+             "spill file '" << path << "' has a malformed shard "
+                            << "header: '" << shard_text << "'");
+    std::uint64_t total = 0;
+    PP_CHECK(parse_uint64(header_value(lines[4], "total", path),
+                          total),
+             "spill file '" << path
+                            << "' has a malformed total header");
+    file.total = static_cast<std::size_t>(total);
+
+    // Rows: strict per-record framing, but the first malformed or
+    // incomplete record truncates the file there — that is exactly
+    // the shape a killed writer leaves behind.
+    const std::size_t record = result_record_lines();
+    std::size_t pos = 5;
+    while (pos < lines.size()) {
+        std::uint64_t index = 0;
+        if (lines[pos].rfind("row ", 0) != 0 ||
+            !parse_uint64(lines[pos].substr(4), index) ||
+            index >= file.total ||
+            static_cast<int>(index % file.of) != file.shard ||
+            pos + 1 + record + 1 > lines.size() ||
+            lines[pos + 1 + record] != "end") {
+            file.truncated = true;
+            break;
+        }
+        try {
+            file.rows.emplace_back(
+                static_cast<std::size_t>(index),
+                decode_result_record(lines, pos + 1));
+        } catch (...) {
+            file.truncated = true;
+            break;
+        }
+        pos += 1 + record + 1;
+    }
+    return file;
+}
+
+SpillWriter::SpillWriter(const std::string &dir, int shard, int of,
+                         const std::vector<Scenario> &scenarios,
+                         bool swap_plan)
+    : path_(spill_path(dir, shard, of)), shard_(shard), of_(of),
+      total_(scenarios.size())
+{
+    // Validates the shard pair (throws UsageError otherwise).
+    shard_indices(total_, shard, of);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    PP_CHECK(!ec, "cannot create spill directory '"
+                      << dir << "': " << ec.message());
+
+    const std::string grid = grid_signature(scenarios, swap_plan);
+    if (std::filesystem::exists(path_)) {
+        const SpillFile existing = read_spill(path_);
+        PP_CHECK(existing.shard == shard && existing.of == of &&
+                     existing.total == total_ &&
+                     existing.grid == grid &&
+                     existing.salt == result_schema_salt(),
+                 "spill file '"
+                     << path_
+                     << "' was written for a different grid or by "
+                        "a different build; delete it or use "
+                        "another --spill-dir");
+        for (const auto &row : existing.rows)
+            completed_[row.first] = row.second;
+        // Rewrite without the torn tail (and without duplicates),
+        // atomically, so resuming after repeated crashes can never
+        // leave a record a future parse would misframe.
+        const std::string temp = path_ + ".tmp";
+        {
+            std::ofstream os(temp);
+            PP_CHECK(os.good(), "cannot rewrite spill file '"
+                                    << path_ << "'");
+            os << header_text(shard, of, total_, grid);
+            for (const auto &row : completed_)
+                os << row_text(row.first, row.second);
+            os.flush();
+            PP_CHECK(os.good(), "rewrite of spill file '"
+                                    << path_ << "' failed");
+        }
+        std::error_code rename_ec;
+        std::filesystem::rename(temp, path_, rename_ec);
+        PP_CHECK(!rename_ec, "cannot replace spill file '"
+                                 << path_
+                                 << "': " << rename_ec.message());
+        os_.open(path_, std::ios::app);
+        PP_CHECK(os_.good(), "cannot reopen spill file '" << path_
+                                                          << "'");
+        return;
+    }
+    os_.open(path_);
+    PP_CHECK(os_.good(),
+             "cannot create spill file '" << path_ << "'");
+    os_ << header_text(shard, of, total_, grid);
+    os_.flush();
+    PP_CHECK(os_.good(),
+             "write to spill file '" << path_ << "' failed");
+}
+
+void
+SpillWriter::append(std::size_t index, const ScenarioResult &result)
+{
+    PP_CHECK(index < total_ &&
+                 static_cast<int>(index %
+                                  static_cast<std::size_t>(of_)) ==
+                     shard_,
+             "scenario index " << index << " does not belong to "
+                               << "shard " << shard_ << "/" << of_);
+    os_ << row_text(index, result);
+    os_.flush();
+    PP_CHECK(os_.good(),
+             "write to spill file '" << path_ << "' failed");
+    completed_[index] = result;
+}
+
+SweepReport
+merge_spills(const std::string &dir)
+{
+    PP_CHECK(std::filesystem::is_directory(dir),
+             "'" << dir << "' is not a directory");
+    std::vector<std::string> paths;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("shard-", 0) == 0 &&
+            name.size() > 6 + 6 &&
+            name.compare(name.size() - 6, 6, ".spill") == 0)
+            paths.push_back(entry.path().string());
+    }
+    PP_CHECK(!paths.empty(),
+             "no spill files (shard-*.spill) in '" << dir << "'");
+    std::sort(paths.begin(), paths.end());
+
+    std::vector<SpillFile> files;
+    for (const auto &path : paths)
+        files.push_back(read_spill(path));
+    const SpillFile &first = files.front();
+    PP_CHECK(first.salt == result_schema_salt(),
+             "spill files in '"
+                 << dir
+                 << "' were written by a different result-schema "
+                    "version; re-run the sharded sweep");
+
+    std::vector<bool> shard_seen(
+        static_cast<std::size_t>(first.of), false);
+    SweepReport report;
+    report.results.resize(first.total);
+    std::vector<bool> covered(first.total, false);
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        const SpillFile &file = files[f];
+        PP_CHECK(file.of == first.of && file.total == first.total &&
+                     file.grid == first.grid &&
+                     file.salt == first.salt,
+                 "'" << paths[f] << "' belongs to a different "
+                     << "sharded sweep than '" << paths[0] << "'");
+        PP_CHECK(!shard_seen[static_cast<std::size_t>(file.shard)],
+                 "duplicate spill files for shard " << file.shard);
+        shard_seen[static_cast<std::size_t>(file.shard)] = true;
+        PP_CHECK(!file.truncated,
+                 "'" << paths[f]
+                     << "' has a torn trailing record — the shard "
+                        "crashed; resume it before merging");
+        const std::size_t expected =
+            shard_indices(file.total, file.shard, file.of).size();
+        PP_CHECK(file.rows.size() >= expected,
+                 "'" << paths[f] << "' is incomplete ("
+                     << file.rows.size() << " of " << expected
+                     << " rows); resume the shard before merging");
+        for (const auto &row : file.rows) {
+            PP_CHECK(!covered[row.first],
+                     "scenario index " << row.first
+                                       << " appears twice in '"
+                                       << paths[f] << "'");
+            covered[row.first] = true;
+            report.results[row.first] = row.second;
+        }
+    }
+    for (int s = 0; s < first.of; ++s)
+        PP_CHECK(shard_seen[static_cast<std::size_t>(s)],
+                 "missing spill file for shard "
+                     << s << "/" << first.of << " in '" << dir
+                     << "'");
+    for (std::size_t j = 0; j < first.total; ++j)
+        PP_CHECK(covered[j], "scenario index "
+                                 << j
+                                 << " is missing from every spill "
+                                    "file in '"
+                                 << dir << "'");
+
+    for (const auto &r : report.results) {
+        switch (r.status) {
+          case ScenarioStatus::kOk: ++report.succeeded; break;
+          case ScenarioStatus::kOom: ++report.oom; break;
+          case ScenarioStatus::kError: ++report.failed; break;
+        }
+    }
+    return report;
+}
+
+}  // namespace sweep
+}  // namespace pinpoint

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Sharded, resumable sweep execution. A grid is deterministically
+ * partitioned into N shards (scenario index mod N); each shard
+ * process streams finished rows into an append-only *spill file*
+ * instead of holding the whole grid in memory, a crashed shard
+ * resumes by skipping the rows already on disk (a torn trailing
+ * record is detected and dropped), and a merge step folds the spill
+ * files back into one SweepReport in canonical grid order — so the
+ * exported CSV/JSON is byte-identical to a single-process run.
+ *
+ * Spill files are self-describing: the header pins the record-codec
+ * schema salt and a grid signature (hash of every scenario's cache
+ * key), so a spill from a different grid, planner toggle, or codec
+ * layout is rejected instead of silently merged.
+ */
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep/driver.h"
+#include "sweep/scenario.h"
+
+namespace pinpoint {
+namespace sweep {
+
+/**
+ * @return the scenario indices shard @p shard of @p of owns:
+ * every j in [0, total) with j % of == shard, ascending.
+ * @throws UsageError unless 0 <= shard < of (the pair is user
+ * input, e.g. "--shard 2/4").
+ */
+std::vector<std::size_t> shard_indices(std::size_t total, int shard,
+                                       int of);
+
+/**
+ * @return the spill file path for shard @p shard of @p of inside
+ * @p dir, e.g. "<dir>/shard-2-of-4.spill".
+ */
+std::string spill_path(const std::string &dir, int shard, int of);
+
+/**
+ * @return the grid signature: a hex-16 hash chaining every
+ * scenario's full cache key plus the swap-plan toggle. Two sweeps
+ * agree on it iff they run the same scenario list the same way.
+ */
+std::string grid_signature(const std::vector<Scenario> &scenarios,
+                           bool swap_plan);
+
+/** One parsed spill file (see read_spill). */
+struct SpillFile {
+    int shard = 0;
+    int of = 1;
+    /** Scenario count of the full grid, not of this shard. */
+    std::size_t total = 0;
+    /** Record-codec schema salt the rows were written with. */
+    std::string salt;
+    /** Grid signature the writer pinned. */
+    std::string grid;
+    /** True when a torn trailing record was dropped. */
+    bool truncated = false;
+    /** (scenario index, result) pairs, in file (append) order. */
+    std::vector<std::pair<std::size_t, ScenarioResult>> rows;
+};
+
+/**
+ * Parses a spill file: strict about the header (@throws Error on a
+ * missing file, bad magic, or malformed header), lenient about the
+ * tail — the first incomplete or undecodable record marks the file
+ * truncated there and every complete row before it is kept. A salt
+ * mismatch is *not* an error here: readers decide whether stale
+ * rows are fatal (merge) or merely discarded (resume).
+ */
+SpillFile read_spill(const std::string &path);
+
+/**
+ * Streaming writer for one shard's spill file. Construction opens
+ * (or resumes) the file; append() streams one finished row and
+ * flushes, so a kill at any instant loses at most the row being
+ * written — which the next resume detects and re-runs.
+ */
+class SpillWriter {
+  public:
+    /**
+     * Opens the spill file for @p shard / @p of under @p dir
+     * (creating the directory if needed) against the expanded
+     * @p scenarios and @p swap_plan. When the file already exists
+     * it must carry the same shard, grid signature, and schema
+     * salt (@throws Error otherwise — an actionable "different
+     * grid" message, never a silent mixed file); its complete rows
+     * become completed() and a torn trailing record is dropped by
+     * rewriting the file without it.
+     */
+    SpillWriter(const std::string &dir, int shard, int of,
+                const std::vector<Scenario> &scenarios,
+                bool swap_plan);
+
+    /** @return this shard's spill file path. */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Rows already on disk, by scenario index — pre-populated on
+     * resume, grown by append(). The driver skips these.
+     */
+    const std::map<std::size_t, ScenarioResult> &completed() const
+    {
+        return completed_;
+    }
+
+    /**
+     * Appends the finished row for scenario @p index and flushes.
+     * @throws Error when @p index is not this shard's or the write
+     * fails (the sweep must stop rather than lose rows silently).
+     */
+    void append(std::size_t index, const ScenarioResult &result);
+
+  private:
+    std::string path_;
+    int shard_;
+    int of_;
+    std::size_t total_;
+    std::map<std::size_t, ScenarioResult> completed_;
+    std::ofstream os_;
+};
+
+/**
+ * Merges the spill files of a completed N-way sharded sweep found
+ * in @p dir back into one report, results in grid order — the
+ * exporters then produce bytes identical to a single-process run.
+ * @throws Error when shards are missing or from different grids,
+ * when any shard is incomplete (crashed and not yet resumed), when
+ * rows were written by a different codec schema, or when any
+ * scenario index is covered twice.
+ */
+SweepReport merge_spills(const std::string &dir);
+
+}  // namespace sweep
+}  // namespace pinpoint

@@ -39,10 +39,11 @@ run(const std::vector<std::string> &args)
 TEST(Registry, ShipsEveryCommand)
 {
     const CommandRegistry registry = make_default_registry();
-    for (const char *name : {"characterize", "swap", "relief",
-                             "bandwidth", "models", "sweep", "help"})
+    for (const char *name :
+         {"characterize", "swap", "relief", "bandwidth", "models",
+          "sweep", "sweep-merge", "help"})
         EXPECT_NE(registry.find(name), nullptr) << name;
-    EXPECT_EQ(registry.commands().size(), 7u);
+    EXPECT_EQ(registry.commands().size(), 8u);
 }
 
 TEST(Registry, FindsCompatibilityAliases)

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Result cache: content-keyed hits, schema-salt invalidation,
+ * corrupt entries degrading to recomputes, concurrent writers on
+ * one directory, and the driver's hit/miss accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sweep/cache.h"
+#include "sweep/driver.h"
+#include "sweep/export.h"
+#include "sweep/scenario.h"
+
+namespace pinpoint {
+namespace sweep {
+namespace {
+
+/** Fresh per-test cache directory under the gtest temp root. */
+std::string
+fresh_dir(const std::string &name)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/pinpoint_cache_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+Scenario
+tiny_scenario()
+{
+    Scenario s;
+    s.model = "mlp";
+    s.batch = 16;
+    s.iterations = 3;
+    return s;
+}
+
+TEST(ResultCache, MissThenHitRoundTripsTheResult)
+{
+    const ResultCache cache(fresh_dir("roundtrip"));
+    const Scenario s = tiny_scenario();
+
+    ScenarioResult out;
+    std::uint64_t hint = 0;
+    EXPECT_EQ(cache.load(s, true, out, hint), CacheLookup::kMiss);
+
+    const ScenarioResult computed = run_scenario(s, true);
+    cache.store(s, true, computed, 12345);
+
+    EXPECT_EQ(cache.load(s, true, out, hint), CacheLookup::kHit);
+    EXPECT_EQ(hint, 12345u);
+    EXPECT_EQ(encode_result_record(out),
+              encode_result_record(computed));
+}
+
+TEST(ResultCache, KeyCoversRunLengthKnobsAndSwapToggle)
+{
+    const Scenario base = tiny_scenario();
+    Scenario more_iterations = base;
+    more_iterations.iterations = base.iterations + 1;
+    Scenario more_requests = base;
+    more_requests.requests = base.requests + 1;
+
+    // id() drops run-length knobs by design; the cache key must
+    // not, or a --iterations 50 sweep would serve 5-iteration rows.
+    EXPECT_EQ(base.id(), more_iterations.id());
+    EXPECT_NE(ResultCache::key(base, true),
+              ResultCache::key(more_iterations, true));
+    EXPECT_NE(ResultCache::key(base, true),
+              ResultCache::key(more_requests, true));
+    EXPECT_NE(ResultCache::key(base, true),
+              ResultCache::key(base, false));
+}
+
+TEST(ResultCache, SwapToggleSeparatesEntries)
+{
+    const ResultCache cache(fresh_dir("toggle"));
+    const Scenario s = tiny_scenario();
+    cache.store(s, true, run_scenario(s, true), 1);
+
+    ScenarioResult out;
+    std::uint64_t hint = 0;
+    EXPECT_EQ(cache.load(s, false, out, hint), CacheLookup::kMiss);
+    EXPECT_EQ(cache.load(s, true, out, hint), CacheLookup::kHit);
+}
+
+TEST(ResultCache, StaleSaltInvalidatesButKeepsWallHint)
+{
+    const ResultCache cache(fresh_dir("stale"));
+    const Scenario s = tiny_scenario();
+    cache.store(s, true, run_scenario(s, true), 777);
+
+    // Rewrite the entry with a different salt, as a build with a
+    // changed record layout would have written it.
+    const std::string path =
+        cache.path_for_key(ResultCache::key(s, true));
+    std::ifstream is(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    is.close();
+    lines[1] = "salt=0000000000000000";
+    std::ofstream os(path);
+    for (const auto &l : lines)
+        os << l << "\n";
+    os.close();
+
+    ScenarioResult out;
+    std::uint64_t hint = 0;
+    EXPECT_EQ(cache.load(s, true, out, hint), CacheLookup::kStale);
+    EXPECT_EQ(hint, 777u);
+}
+
+TEST(ResultCache, CorruptEntriesAreMissesNotCrashes)
+{
+    const ResultCache cache(fresh_dir("corrupt"));
+    const Scenario s = tiny_scenario();
+    cache.store(s, true, run_scenario(s, true), 1);
+    const std::string path =
+        cache.path_for_key(ResultCache::key(s, true));
+
+    ScenarioResult out;
+    std::uint64_t hint = 0;
+    for (const char *garbage :
+         {"", "random bytes\n", "pinpoint-sweep-cache v1\n",
+          "pinpoint-sweep-cache v1\nsalt=zz\nwall_ns=x\nkey=k\n"}) {
+        std::ofstream os(path);
+        os << garbage;
+        os.close();
+        EXPECT_EQ(cache.load(s, true, out, hint),
+                  CacheLookup::kMiss)
+            << garbage;
+    }
+
+    // A truncated (half-written) entry is also just a miss.
+    cache.store(s, true, run_scenario(s, true), 1);
+    std::ifstream full(path);
+    std::string text((std::istreambuf_iterator<char>(full)),
+                     std::istreambuf_iterator<char>());
+    full.close();
+    std::ofstream os(path);
+    os << text.substr(0, text.size() / 2);
+    os.close();
+    EXPECT_EQ(cache.load(s, true, out, hint), CacheLookup::kMiss);
+}
+
+TEST(ResultCache, SixteenThreadHammerOnOneDirectory)
+{
+    const ResultCache cache(fresh_dir("hammer"));
+    const Scenario s = tiny_scenario();
+    const ScenarioResult computed = run_scenario(s, true);
+    const std::string expected = encode_result_record(computed);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 16; ++t) {
+        threads.emplace_back([&cache, &s, &computed, &expected] {
+            for (int i = 0; i < 25; ++i) {
+                cache.store(s, true, computed,
+                            static_cast<std::uint64_t>(i + 1));
+                ScenarioResult out;
+                std::uint64_t hint = 0;
+                const CacheLookup lookup =
+                    cache.load(s, true, out, hint);
+                // Concurrent writers race benignly: a load sees a
+                // complete entry or none, never a torn one.
+                if (lookup == CacheLookup::kHit)
+                    EXPECT_EQ(encode_result_record(out), expected);
+                else
+                    EXPECT_EQ(lookup, CacheLookup::kMiss);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    ScenarioResult out;
+    std::uint64_t hint = 0;
+    EXPECT_EQ(cache.load(s, true, out, hint), CacheLookup::kHit);
+    EXPECT_EQ(encode_result_record(out), expected);
+
+    // No temp files left behind.
+    std::size_t leftovers = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(cache.dir()))
+        if (entry.path().string().find(".tmp") != std::string::npos)
+            ++leftovers;
+    EXPECT_EQ(leftovers, 0u);
+}
+
+TEST(ResultCache, DriverCountsHitsAndStaysByteIdentical)
+{
+    SweepGrid grid;
+    grid.models = {"mlp", "alexnet-cifar"};
+    grid.batches = {16, 32};
+    grid.iterations = 3;
+    const auto scenarios = expand_grid(grid);
+
+    const ResultCache cache(fresh_dir("driver"));
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.cache = &cache;
+
+    const auto cold = run_sweep(scenarios, opts);
+    EXPECT_EQ(cold.cache_hits, 0u);
+    EXPECT_EQ(cold.cache_misses, scenarios.size());
+
+    const auto warm = run_sweep(scenarios, opts);
+    EXPECT_EQ(warm.cache_hits, scenarios.size());
+    EXPECT_EQ(warm.cache_misses, 0u);
+
+    EXPECT_EQ(sweep_csv_string(warm), sweep_csv_string(cold));
+    EXPECT_EQ(sweep_json_string(warm), sweep_json_string(cold));
+
+    // A sweep without the cache option ignores the directory.
+    SweepOptions plain;
+    plain.jobs = 2;
+    const auto uncached = run_sweep(scenarios, plain);
+    EXPECT_EQ(uncached.cache_hits, 0u);
+    EXPECT_EQ(uncached.cache_misses, 0u);
+    EXPECT_EQ(sweep_csv_string(uncached), sweep_csv_string(cold));
+}
+
+}  // namespace
+}  // namespace sweep
+}  // namespace pinpoint

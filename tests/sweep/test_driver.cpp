@@ -12,6 +12,7 @@
 
 #include "analysis/ati.h"
 #include "analysis/stats.h"
+#include "core/check.h"
 #include "nn/model_registry.h"
 #include "sweep/driver.h"
 #include "sweep/export.h"
@@ -167,6 +168,129 @@ TEST(SweepDriver, NonPositiveJobsClampToSerial)
     const auto report = run_sweep(one, options);
     EXPECT_EQ(report.jobs, 1);
     EXPECT_EQ(report.succeeded, 1u);
+}
+
+TEST(SubmissionOrder, DescendingCostWithStableTies)
+{
+    // Same model: cost scales with batch x iterations, so the
+    // order must be by that product, descending, grid order on
+    // ties.
+    std::vector<Scenario> scenarios(4);
+    for (auto &s : scenarios)
+        s.model = "mlp";
+    scenarios[0].batch = 16;
+    scenarios[1].batch = 64;
+    scenarios[2].batch = 16;
+    scenarios[2].iterations = 50;
+    scenarios[3].batch = 16;
+
+    std::vector<std::size_t> indices = {0, 1, 2, 3};
+    const auto order =
+        submission_order(scenarios, indices, {0, 0, 0, 0});
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 2u);  // 16 * 50 iterations
+    EXPECT_EQ(order[1], 1u);  // 64 * 5
+    EXPECT_EQ(order[2], 0u);  // tie with 3: grid order
+    EXPECT_EQ(order[3], 3u);
+}
+
+TEST(SubmissionOrder, CachedWallTimesRefineTheEstimate)
+{
+    std::vector<Scenario> scenarios(4);
+    for (auto &s : scenarios)
+        s.model = "mlp";
+    scenarios[0].batch = 16;
+    scenarios[1].batch = 16;
+    scenarios[2].batch = 16;
+    scenarios[3].batch = 64;
+
+    // By abstract cost alone, scenario 3 (batch 64) would go
+    // first. But scenario 0 *measured* far slower than its
+    // abstract twins 1 and 2, and the unhinted scenario 3 is
+    // rescaled by the median hinted ratio — so the measurement
+    // wins the first slot.
+    const std::vector<std::size_t> indices = {0, 1, 2, 3};
+    const auto order = submission_order(scenarios, indices,
+                                        {800000, 1000, 1200, 0});
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 0u);
+    EXPECT_EQ(order[1], 3u);
+    EXPECT_EQ(order[2], 2u);
+    EXPECT_EQ(order[3], 1u);
+}
+
+TEST(SweepDriver, SubsetDeliversGlobalIndicesInGridOrder)
+{
+    const auto scenarios = small_grid();
+    const std::vector<std::size_t> indices = {1, 3, 5};
+
+    std::mutex mutex;
+    std::set<std::size_t> delivered;
+    SweepOptions options;
+    options.jobs = 2;
+    const auto report = run_sweep_subset(
+        scenarios, indices, options,
+        [&](std::size_t index, const ScenarioResult &r) {
+            std::lock_guard<std::mutex> lock(mutex);
+            EXPECT_EQ(r.scenario.id(), scenarios[index].id());
+            delivered.insert(index);
+        });
+
+    EXPECT_EQ(delivered, std::set<std::size_t>({1, 3, 5}));
+    ASSERT_EQ(report.results.size(), 3u);
+    for (std::size_t k = 0; k < indices.size(); ++k)
+        EXPECT_EQ(report.results[k].scenario.id(),
+                  scenarios[indices[k]].id());
+}
+
+TEST(SweepDriver, SinkExceptionsAbortTheSweep)
+{
+    const auto scenarios = small_grid();
+    const std::vector<std::size_t> indices = {0, 1, 2, 3};
+    for (int jobs : {1, 4}) {
+        SweepOptions options;
+        options.jobs = jobs;
+        EXPECT_THROW(
+            run_sweep_subset(scenarios, indices, options,
+                             [](std::size_t,
+                                const ScenarioResult &) {
+                                 throw Error("sink failed");
+                             }),
+            Error)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(SweepDriver, CostOrderTogglesWithoutChangingBytes)
+{
+    const auto scenarios = small_grid();
+    SweepOptions ordered;
+    ordered.jobs = 4;
+    ordered.cost_order = true;
+    SweepOptions unordered;
+    unordered.jobs = 4;
+    unordered.cost_order = false;
+    EXPECT_EQ(sweep_csv_string(run_sweep(scenarios, ordered)),
+              sweep_csv_string(run_sweep(scenarios, unordered)));
+}
+
+TEST(SweepDriver, ProgressCallbackCountsToTotal)
+{
+    const auto scenarios = small_grid();
+    SweepOptions options;
+    options.jobs = 4;
+    std::mutex mutex;
+    std::size_t calls = 0;
+    std::size_t last_done = 0;
+    options.on_progress = [&](const SweepProgress &p) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++calls;
+        EXPECT_EQ(p.total, scenarios.size());
+        last_done = p.done;
+    };
+    run_sweep(scenarios, options);
+    EXPECT_EQ(calls, scenarios.size());
+    EXPECT_EQ(last_done, scenarios.size());
 }
 
 }  // namespace

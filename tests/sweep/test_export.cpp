@@ -162,6 +162,132 @@ TEST(SweepExport, FileWritersRejectBadPaths)
         Error);
 }
 
+// --- ScenarioResult record codec ---------------------------------
+
+/** Splits @p text into its lines (no trailing empties). */
+std::vector<std::string>
+split_lines(const std::string &text)
+{
+    std::istringstream is(text);
+    std::vector<std::string> lines;
+    std::string current;
+    while (std::getline(is, current))
+        lines.push_back(current);
+    return lines;
+}
+
+/** A result with every field set to a distinctive value. */
+ScenarioResult
+distinctive_result()
+{
+    ScenarioResult r;
+    r.scenario.model = "alexnet";
+    r.scenario.batch = 48;
+    r.scenario.iterations = 7;
+    r.scenario.devices = 2;
+    r.scenario.topology = "nvlink";
+    r.status = ScenarioStatus::kError;
+    r.error = "line one\nline two \\ with backslash\r";
+    r.peak_total_bytes = 111;
+    r.peak_input_bytes = 222;
+    r.peak_parameter_bytes = 333;
+    r.peak_intermediate_bytes = 444;
+    r.peak_reserved_bytes = 555;
+    r.device_fragmentation = 0.25;
+    r.iteration_time = 666;
+    r.end_time = 777;
+    r.alloc_count = 888;
+    r.cache_hit_count = 999;
+    r.device_alloc_count = 1010;
+    r.event_count = 1111;
+    r.ati_count = 1212;
+    r.ati_median_us = 1.5;
+    r.ati_p90_us = 2.5;
+    r.ati_max_us = 3.5;
+    r.swap_decisions = 13;
+    r.swap_peak_reduction_bytes = 1414;
+    r.swap_total_bytes = 1515;
+    r.swap_measured_peak_reduction_bytes = 1616;
+    r.swap_predicted_stall_ns = 1717;
+    r.swap_measured_stall_ns = 1818;
+    r.swap_link_busy_fraction = 0.75;
+    r.scaling_efficiency = 0.875;
+    r.interconnect_busy_fraction = 0.125;
+    r.allreduce_time_ns = 1919;
+    r.allreduce_stall_ns = 2020;
+    r.requests = 21;
+    r.latency_p50_ns = 2222;
+    r.latency_p90_ns = 2323;
+    r.latency_p99_ns = 2424;
+    r.latency_max_ns = 2525;
+    r.relief_strategy = "hybrid";
+    r.relief_peak_reduction_bytes = 2626;
+    r.relief_overhead_ns = 2727;
+    return r;
+}
+
+TEST(ResultRecordCodec, RoundTripsEveryField)
+{
+    const ScenarioResult original = distinctive_result();
+    const std::string encoded = encode_result_record(original);
+    const auto lines = split_lines(encoded);
+    ASSERT_EQ(lines.size(), result_record_lines());
+
+    const ScenarioResult decoded = decode_result_record(lines, 0);
+    // Field-by-field equality via the codec itself: identical
+    // encodings mean identical field values (and identical export
+    // bytes, since both use the same formatting).
+    EXPECT_EQ(encode_result_record(decoded), encoded);
+    EXPECT_EQ(decoded.scenario.id(), original.scenario.id());
+    EXPECT_EQ(decoded.error, original.error);
+    EXPECT_EQ(decoded.requests, original.requests);
+    EXPECT_EQ(decoded.relief_strategy, original.relief_strategy);
+}
+
+TEST(ResultRecordCodec, DecodedResultsExportByteIdentically)
+{
+    const auto report = tiny_report();
+    SweepReport decoded = report;
+    for (auto &r : decoded.results)
+        r = decode_result_record(
+            split_lines(encode_result_record(r)), 0);
+    EXPECT_EQ(sweep_csv_string(decoded), sweep_csv_string(report));
+    EXPECT_EQ(sweep_json_string(decoded),
+              sweep_json_string(report));
+}
+
+TEST(ResultRecordCodec, SaltIsStableHex16)
+{
+    const std::string salt = result_schema_salt();
+    ASSERT_EQ(salt.size(), 16u);
+    for (char c : salt)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << c;
+    EXPECT_EQ(salt, result_schema_salt());
+}
+
+TEST(ResultRecordCodec, DecodeRejectsTamperedRecords)
+{
+    const auto lines =
+        split_lines(encode_result_record(distinctive_result()));
+
+    auto truncated = lines;
+    truncated.pop_back();
+    EXPECT_THROW(decode_result_record(truncated, 0), Error);
+
+    auto renamed = lines;
+    renamed[3] = "not_a_field=1";
+    EXPECT_THROW(decode_result_record(renamed, 0), Error);
+
+    auto bad_number = lines;
+    bad_number[3] = "peak_total_bytes=12abc";
+    EXPECT_THROW(decode_result_record(bad_number, 0), Error);
+
+    auto bad_status = lines;
+    bad_status[1] = "status=meh";
+    EXPECT_THROW(decode_result_record(bad_status, 0), Error);
+}
+
 }  // namespace
 }  // namespace sweep
 }  // namespace pinpoint

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Sharded, resumable sweeps: deterministic grid partitioning,
+ * spill-file round trips, crash resume with a torn trailing
+ * record, and grid-order merges byte-identical to a single run.
+ */
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "sweep/driver.h"
+#include "sweep/export.h"
+#include "sweep/shard.h"
+
+namespace pinpoint {
+namespace sweep {
+namespace {
+
+/** Fresh per-test spill directory under the gtest temp root. */
+std::string
+fresh_dir(const std::string &name)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/pinpoint_spill_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::vector<Scenario>
+tiny_grid()
+{
+    SweepGrid grid;
+    grid.models = {"mlp", "alexnet-cifar"};
+    grid.batches = {16, 32};
+    grid.iterations = 3;
+    return expand_grid(grid);
+}
+
+/** Runs one shard of @p scenarios, spilling into @p dir. */
+void
+run_shard(const std::vector<Scenario> &scenarios,
+          const std::string &dir, int shard, int of)
+{
+    SpillWriter writer(dir, shard, of, scenarios, true);
+    std::vector<std::size_t> todo;
+    for (std::size_t index :
+         shard_indices(scenarios.size(), shard, of))
+        if (writer.completed().count(index) == 0)
+            todo.push_back(index);
+    SweepOptions opts;
+    opts.jobs = 2;
+    run_sweep_subset(scenarios, todo, opts,
+                     [&writer](std::size_t index,
+                               const ScenarioResult &r) {
+                         writer.append(index, r);
+                     });
+}
+
+/** Truncates the file at @p path by @p bytes. */
+void
+chop(const std::string &path, std::size_t bytes)
+{
+    std::ifstream is(path);
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    is.close();
+    ASSERT_GT(text.size(), bytes);
+    std::ofstream os(path);
+    os << text.substr(0, text.size() - bytes);
+}
+
+TEST(ShardIndices, PartitionIsExactAndDisjoint)
+{
+    std::set<std::size_t> seen;
+    for (int shard = 0; shard < 3; ++shard) {
+        for (std::size_t index : shard_indices(10, shard, 3)) {
+            EXPECT_EQ(index % 3, static_cast<std::size_t>(shard));
+            EXPECT_TRUE(seen.insert(index).second) << index;
+        }
+    }
+    EXPECT_EQ(seen.size(), 10u);
+
+    EXPECT_EQ(shard_indices(3, 0, 8).size(), 1u);
+    EXPECT_THROW(shard_indices(10, 3, 3), UsageError);
+    EXPECT_THROW(shard_indices(10, -1, 3), UsageError);
+    EXPECT_THROW(shard_indices(10, 0, 0), UsageError);
+}
+
+TEST(SpillFile, WriterRoundTripsRowsThroughReader)
+{
+    const auto scenarios = tiny_grid();
+    const std::string dir = fresh_dir("roundtrip");
+    run_shard(scenarios, dir, 1, 2);
+
+    const SpillFile file = read_spill(spill_path(dir, 1, 2));
+    EXPECT_EQ(file.shard, 1);
+    EXPECT_EQ(file.of, 2);
+    EXPECT_EQ(file.total, scenarios.size());
+    EXPECT_EQ(file.salt, result_schema_salt());
+    EXPECT_FALSE(file.truncated);
+    EXPECT_EQ(file.rows.size(),
+              shard_indices(scenarios.size(), 1, 2).size());
+    for (const auto &row : file.rows)
+        EXPECT_EQ(row.second.scenario.id(),
+                  scenarios[row.first].id());
+}
+
+TEST(SpillFile, ResumeSkipsCompletedRows)
+{
+    const auto scenarios = tiny_grid();
+    const std::string dir = fresh_dir("resume");
+    run_shard(scenarios, dir, 0, 2);
+
+    SpillWriter writer(dir, 0, 2, scenarios, true);
+    EXPECT_EQ(writer.completed().size(),
+              shard_indices(scenarios.size(), 0, 2).size());
+}
+
+TEST(SpillFile, TornTrailingRecordIsDetectedAndDropped)
+{
+    const auto scenarios = tiny_grid();
+    const std::string dir = fresh_dir("torn");
+    run_shard(scenarios, dir, 0, 2);
+    const std::string path = spill_path(dir, 0, 2);
+    const std::size_t complete_rows =
+        shard_indices(scenarios.size(), 0, 2).size();
+
+    // Kill the writer mid-record: the last row loses its tail.
+    chop(path, 40);
+    const SpillFile torn = read_spill(path);
+    EXPECT_TRUE(torn.truncated);
+    EXPECT_EQ(torn.rows.size(), complete_rows - 1);
+
+    // Merging a torn shard is refused with an actionable message.
+    run_shard(scenarios, dir, 1, 2);
+    try {
+        merge_spills(dir);
+        FAIL() << "merge_spills accepted a torn spill file";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("torn"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Resume drops the torn tail, re-runs only that scenario, and
+    // leaves a clean file.
+    run_shard(scenarios, dir, 0, 2);
+    const SpillFile resumed = read_spill(path);
+    EXPECT_FALSE(resumed.truncated);
+    EXPECT_EQ(resumed.rows.size(), complete_rows);
+}
+
+TEST(SpillFile, WriterRejectsADifferentGrid)
+{
+    const auto scenarios = tiny_grid();
+    const std::string dir = fresh_dir("gridcheck");
+    run_shard(scenarios, dir, 0, 2);
+
+    SweepGrid other;
+    other.models = {"mlp"};
+    other.batches = {64};
+    EXPECT_THROW(
+        SpillWriter(dir, 0, 2, expand_grid(other), true), Error);
+    // Same scenarios, different planner toggle: also a different
+    // sweep.
+    EXPECT_THROW(SpillWriter(dir, 0, 2, scenarios, false), Error);
+}
+
+TEST(SpillFile, AppendRejectsForeignIndices)
+{
+    const auto scenarios = tiny_grid();
+    const std::string dir = fresh_dir("foreign");
+    SpillWriter writer(dir, 0, 2, scenarios, true);
+    EXPECT_THROW(writer.append(1, ScenarioResult{}), Error);
+    EXPECT_THROW(writer.append(scenarios.size(), ScenarioResult{}),
+                 Error);
+}
+
+TEST(MergeSpills, ByteIdenticalToSingleProcessRun)
+{
+    const auto scenarios = tiny_grid();
+    const std::string dir = fresh_dir("merge");
+    for (int shard = 0; shard < 3; ++shard)
+        run_shard(scenarios, dir, shard, 3);
+    const SweepReport merged = merge_spills(dir);
+
+    SweepOptions opts;
+    opts.jobs = 1;
+    const SweepReport single = run_sweep(scenarios, opts);
+    EXPECT_EQ(sweep_csv_string(merged), sweep_csv_string(single));
+    EXPECT_EQ(sweep_json_string(merged),
+              sweep_json_string(single));
+    EXPECT_EQ(merged.succeeded, single.succeeded);
+    EXPECT_EQ(merged.oom, single.oom);
+    EXPECT_EQ(merged.failed, single.failed);
+}
+
+TEST(MergeSpills, RefusesMissingShards)
+{
+    const auto scenarios = tiny_grid();
+    const std::string dir = fresh_dir("missing");
+    run_shard(scenarios, dir, 0, 3);
+    run_shard(scenarios, dir, 2, 3);
+    try {
+        merge_spills(dir);
+        FAIL() << "merge_spills accepted a missing shard";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("missing"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(merge_spills(fresh_dir("empty")), Error);
+}
+
+}  // namespace
+}  // namespace sweep
+}  // namespace pinpoint

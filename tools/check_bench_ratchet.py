@@ -2,7 +2,7 @@
 """Perf ratchet: compare a fresh bench JSON against the committed one.
 
 tools/run_benches.py produces the current numbers; this script diffs
-them against the committed anchor (BENCH_pr8.json) and fails when
+them against the committed anchor (BENCH_pr10.json) and fails when
 
   * a bench present in the anchor is missing from the current run,
   * a bench's wall time regressed by more than --max-ratio (default
@@ -17,7 +17,7 @@ the wall-time ratio (a 4 ms bench doubling to 9 ms is scheduler
 noise), but never from the timeline_builds bar.
 
 Usage:
-    tools/check_bench_ratchet.py --anchor BENCH_pr8.json \
+    tools/check_bench_ratchet.py --anchor BENCH_pr10.json \
                                  --current BENCH_ci.json
 """
 
@@ -34,7 +34,7 @@ def load(path):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--anchor", default="BENCH_pr8.json",
+    parser.add_argument("--anchor", default="BENCH_pr10.json",
                         help="committed perf-trajectory JSON")
     parser.add_argument("--current", required=True,
                         help="freshly produced bench JSON")

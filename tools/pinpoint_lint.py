@@ -399,6 +399,59 @@ class InferencePlanPurityRule(Rule):
         return hits
 
 
+class ResultFieldSerializationRule(Rule):
+    rule_id = "result-field-serialization"
+    rationale = (
+        "ScenarioResult has exactly one serialization — the field "
+        "table in src/sweep/export.cc (exporters + record codec, "
+        "schema salt, %.6f doubles); streaming a metric field "
+        "anywhere else in src/ creates a second byte format the "
+        "cache and spill files cannot invalidate"
+    )
+    # The one blessed codec/exporter site.
+    ALLOWED = {Path("src/sweep/export.cc")}
+    # Names bound to a ScenarioResult: declarations, references, and
+    # parameters. Single-line declarations only (same documented
+    # limitation as the other variable-tracking rules).
+    DECL_RE = re.compile(
+        r"(?:sweep\s*::\s*)?\bScenarioResult\b[^;=\n(]*?"
+        r"(?:&&?|\*)?\s*(\w+)\s*[;,)({=]"
+    )
+    # Identity/bookkeeping fields may be printed by anyone (the CLI
+    # prints r.status and r.scenario.id() in tables); only the
+    # metric payload is codec-owned.
+    EXEMPT_FIELDS = {"scenario", "status", "error"}
+    EMIT_RE = re.compile(r"<<|\b(?:f|sn?)?printf\s*\(")
+
+    def applies_to(self, rel):
+        return _in_dirs(rel, ["src"]) and rel not in self.ALLOWED
+
+    def check(self, rel, raw_lines, masked_lines):
+        text = "\n".join(masked_lines)
+        names = set(self.DECL_RE.findall(text))
+        names.discard("")
+        if not names:
+            return []
+        alt = "|".join(sorted(re.escape(n) for n in names))
+        field_re = re.compile(rf"\b({alt})\s*\.\s*(\w+)\b")
+        hits = []
+        for no, line in enumerate(masked_lines, 1):
+            if not self.EMIT_RE.search(line):
+                continue
+            for m in field_re.finditer(line):
+                if m.group(2) in self.EXEMPT_FIELDS:
+                    continue
+                hits.append(
+                    (
+                        no,
+                        f"ScenarioResult field "
+                        f"'{m.group(1)}.{m.group(2)}' serialized "
+                        f"outside the sweep/export codec",
+                    )
+                )
+        return hits
+
+
 class StaleSuppressionRule(Rule):
     rule_id = "stale-suppression"
     rationale = (
@@ -463,6 +516,7 @@ RULES = [
     PositionalStrategyIndexRule(),
     DeprecatedRecorderApiRule(),
     InferencePlanPurityRule(),
+    ResultFieldSerializationRule(),
     StaleSuppressionRule(),
 ]
 RULES_BY_ID = {r.rule_id: r for r in RULES}

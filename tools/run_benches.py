@@ -19,7 +19,7 @@ one-index-build-per-run invariant (PR 5) against the pre-refactor
 cost where a bench knows it.
 
 Usage:
-    tools/run_benches.py [--build-dir build] [--output BENCH_pr8.json]
+    tools/run_benches.py [--build-dir build] [--output BENCH_pr10.json]
                          [--benches a,b,...]
 
 Exit codes: 0 on success, 1 when a bench fails or emits no output.
@@ -42,6 +42,7 @@ DEFAULT_BENCHES = [
     "relief_strategies",
     "dp_allreduce",
     "serving_latency",
+    "sweep_parallel",
 ]
 
 STATS_RE = re.compile(r"^bench_stats:\s*(.*)$", re.MULTILINE)
@@ -75,7 +76,7 @@ def main() -> int:
     )
     parser.add_argument("--build-dir", default="build", type=Path)
     parser.add_argument(
-        "--output", default=Path("BENCH_pr8.json"), type=Path
+        "--output", default=Path("BENCH_pr10.json"), type=Path
     )
     parser.add_argument(
         "--benches",
